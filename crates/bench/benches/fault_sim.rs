@@ -1,0 +1,63 @@
+//! Criterion bench: bit-parallel fault simulation throughput (patterns ×
+//! faults per second), the engine behind the pseudo-exhaustive coverage
+//! experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ppet_netlist::data;
+use ppet_netlist::{SynthSpec, Synthesizer};
+use ppet_prng::{Rng, Xoshiro256PlusPlus};
+use ppet_sim::fsim::FaultSim;
+use ppet_sim::pet::{exhaustive_coverage, extract_segment};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    group.sample_size(10);
+
+    // Random-block throughput on s27 and a mid-size synthetic.
+    let synth = Synthesizer::new(
+        SynthSpec::new("synth500")
+            .primary_inputs(12)
+            .flip_flops(16)
+            .dffs_on_scc(10)
+            .gates(360)
+            .inverters(90)
+            .seed(5),
+    )
+    .build();
+    for (name, circuit) in [("s27", data::s27()), ("synth500", synth)] {
+        group.throughput(Throughput::Elements(64 * 8));
+        group.bench_with_input(
+            BenchmarkId::new("random_blocks", name),
+            &circuit,
+            |b, cc| {
+                b.iter(|| {
+                    let mut fs = FaultSim::new(cc).expect("levelizes");
+                    let mut rng = Xoshiro256PlusPlus::seed_from(3);
+                    for _ in 0..8 {
+                        let pis: Vec<u64> =
+                            (0..cc.num_inputs()).map(|_| rng.next_u64()).collect();
+                        let dffs: Vec<u64> =
+                            (0..cc.num_flip_flops()).map(|_| rng.next_u64()).collect();
+                        fs.apply_block(&pis, &dffs);
+                    }
+                    black_box(fs.report().detected)
+                });
+            },
+        );
+    }
+
+    // Whole-segment exhaustive testing of s27.
+    group.bench_function("exhaustive_s27_segment", |b| {
+        let circuit = data::s27();
+        let members: Vec<_> = circuit.ids().collect();
+        let seg = extract_segment(&circuit, &members);
+        b.iter(|| exhaustive_coverage(black_box(&seg.circuit)).expect("combinational"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: CBIT hardware primitives — LFSR stepping, exhaustive
+//! pattern generation, and MISR compaction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ppet_cbit::lfsr::{ExhaustivePatterns, Lfsr};
+use ppet_cbit::misr::Misr;
+use ppet_cbit::poly::primitive_poly;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfsr_misr");
+
+    for width in [8u32, 16, 24] {
+        let poly = primitive_poly(width).expect("in range");
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::new("lfsr_step", width), &poly, |b, &p| {
+            b.iter(|| {
+                let mut l = Lfsr::new(p, 1);
+                for _ in 0..10_000 {
+                    l.step();
+                }
+                black_box(l.state())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("misr_absorb", width), &poly, |b, &p| {
+            b.iter(|| {
+                let mut m = Misr::new(p);
+                for i in 0..10_000u32 {
+                    m.absorb(i.wrapping_mul(0x9E37_79B9));
+                }
+                black_box(m.signature())
+            });
+        });
+    }
+
+    group.bench_function("exhaustive_patterns_16bit", |b| {
+        let poly = primitive_poly(16).expect("in range");
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in ExhaustivePatterns::new(poly) {
+                acc = acc.wrapping_add(u64::from(p));
+            }
+            black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

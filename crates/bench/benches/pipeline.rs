@@ -1,0 +1,29 @@
+//! Criterion bench: the full Merced pipeline per circuit size — the code
+//! behind the "CPU time" column of the paper's Tables 10–11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ppet_core::{Merced, MercedConfig};
+use ppet_flow::FlowParams;
+use ppet_netlist::data::table9;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for name in ["s510", "s820", "s1423"] {
+        let record = table9::find(name).expect("known circuit");
+        let circuit = ppet_bench::build_circuit(record);
+        let config = MercedConfig::default()
+            .with_cbit_length(16)
+            .with_flow(FlowParams::quick());
+        let merced = Merced::new(config);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, cc| {
+            b.iter(|| merced.compile(black_box(cc)).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

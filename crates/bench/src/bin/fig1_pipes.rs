@@ -1,0 +1,36 @@
+//! Demonstrates the paper's **Figure 1**: pipelined testing through CBIT
+//! pairs — all segments of a test pipe are tested concurrently, so the
+//! widest CBIT dominates and pipelining beats sequential PET by roughly the
+//! number of segments.
+
+use ppet_bench::{run_one, suite_selection};
+
+fn main() {
+    println!("Figure 1: test pipes and pipelined vs sequential testing time (l_k = 16)");
+    println!(
+        "{:<10} {:>6} {:>7} {:>16} {:>18} {:>9}",
+        "Circuit", "CUTs", "pipes", "pipelined", "sequential", "speedup"
+    );
+    for record in suite_selection() {
+        let r = run_one(record, 16);
+        let speedup = if r.schedule.total_cycles > 0 {
+            r.schedule.sequential_cycles as f64 / r.schedule.total_cycles as f64
+        } else {
+            1.0
+        };
+        println!(
+            "{:<10} {:>6} {:>7} {:>16} {:>18} {:>9.2}",
+            record.name,
+            r.partitions.len(),
+            r.schedule.pipes,
+            r.schedule.total_cycles,
+            r.schedule.sequential_cycles,
+            speedup,
+        );
+    }
+    println!();
+    println!(
+        "Pipelined time is max over pipes of 2^(widest CBIT in pipe);\n\
+         sequential time is the sum of 2^width over all CUTs (classic PET)."
+    );
+}

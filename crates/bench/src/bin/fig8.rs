@@ -1,0 +1,38 @@
+//! Regenerates the paper's **Figure 8**: PPET hardware overhead with vs
+//! without retiming as circuit size grows — the saving widens for large
+//! circuits because their cuts increasingly fall where retiming can serve
+//! them with existing flip-flops.
+
+use ppet_bench::{run_one, suite_selection};
+
+fn main() {
+    println!("Figure 8: comparison between PPET with/without retiming (l_k = 16)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>10}  bar (saving)",
+        "Circuit", "area", "A_CBIT w/", "A_CBIT w/o", "saving%"
+    );
+    let mut rows: Vec<(String, u64, u64, u64, f64)> = Vec::new();
+    for record in suite_selection() {
+        let r = run_one(record, 16);
+        rows.push((
+            record.name.to_string(),
+            r.area.circuit_area,
+            r.area.with_retiming.deci_dff,
+            r.area.without_retiming.deci_dff,
+            r.area.saving_pct(),
+        ));
+    }
+    rows.sort_by_key(|r| r.1); // ascending circuit size, as in Fig. 8
+    for (name, area, w, wo, saving) in &rows {
+        let bar_len = (saving / 2.0).round().max(0.0) as usize;
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>10.1}  {}",
+            name,
+            area,
+            w,
+            wo,
+            saving,
+            "#".repeat(bar_len)
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Ad-hoc: effect of generator locality on cut counts (not a paper harness).
+use ppet_core::{Merced, MercedConfig};
+use ppet_netlist::data::table9;
+use ppet_netlist::synth::{calibrated_spec, Synthesizer};
+
+fn main() {
+    for name in ["s641", "s1423", "s5378"] {
+        let record = table9::find(name).unwrap();
+        for (p, w) in [(0.5, 24usize), (0.8, 16), (0.9, 12), (0.95, 8)] {
+            let spec = calibrated_spec(record, 0).locality(p, w);
+            let c = Synthesizer::new(spec).build();
+            let r = Merced::new(MercedConfig::default().with_cbit_length(16))
+                .compile(&c)
+                .unwrap();
+            println!(
+                "{name:<8} locality {p:.2}/{w:<3} nets cut {:>5} (paper {:>4}) cuts/SCC {:>5} (paper {:>4})",
+                r.nets_cut, record.t10_nets_cut, r.cut_nets_on_scc, record.t10_cut_nets_on_scc
+            );
+        }
+    }
+}

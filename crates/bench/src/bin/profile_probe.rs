@@ -1,0 +1,26 @@
+//! Ad-hoc phase timing probe (not a paper harness).
+use std::time::Instant;
+use ppet_bench::{build_circuit, harness_flow};
+use ppet_flow::saturate_network;
+use ppet_graph::{scc::Scc, CircuitGraph};
+use ppet_netlist::data::table9;
+use ppet_partition::{assign_cbit, make_group, MakeGroupParams};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s13207.1".into());
+    let record = table9::find(&name).expect("known");
+    let circuit = build_circuit(record);
+    let t0 = Instant::now();
+    let graph = CircuitGraph::from_circuit(&circuit);
+    let scc = Scc::of(&graph);
+    println!("graph+scc: {:?}", t0.elapsed());
+    let t1 = Instant::now();
+    let profile = saturate_network(&graph, &harness_flow(circuit.num_cells()), 1996);
+    println!("saturate: {:?} ({} trees)", t1.elapsed(), profile.num_trees());
+    let t2 = Instant::now();
+    let grouped = make_group(&graph, &scc, &profile, &MakeGroupParams::new(16));
+    println!("make_group: {:?} ({} clusters, {} boundaries)", t2.elapsed(), grouped.clustering.num_clusters(), grouped.boundaries_used);
+    let t3 = Instant::now();
+    let assigned = assign_cbit(&graph, grouped.clustering, 16);
+    println!("assign_cbit: {:?} ({} partitions)", t3.elapsed(), assigned.partitions.len());
+}

@@ -1,0 +1,41 @@
+//! Regenerates the paper's **Table 1**: area cost for the six standard
+//! CBIT sizes, comparing the published constants with this crate's
+//! first-principles synthesized model (A_CELL bits + primitive-polynomial
+//! feedback network).
+
+use ppet_cbit::cost::{synthesized_area_dff, CbitCostModel, CostSource};
+use ppet_cbit::poly::{primitive_poly, xor_count};
+
+fn main() {
+    println!("Table 1: area cost for various CBIT sizes");
+    println!(
+        "{:<6} {:>8} {:>12} {:>10} {:>12} {:>10} {:>7}",
+        "Type", "Length", "p_k (paper)", "sigma_k", "p_k (synth)", "sigma_k", "delta%"
+    );
+    let paper = CbitCostModel::new(CostSource::PaperTable);
+    for (i, t) in paper.types().iter().enumerate() {
+        let synth = synthesized_area_dff(t.length);
+        let delta = 100.0 * (synth - t.area_dff) / t.area_dff;
+        println!(
+            "d{:<5} {:>8} {:>12.2} {:>10.2} {:>12.2} {:>10.2} {:>7.2}",
+            i + 1,
+            t.length,
+            t.area_dff,
+            t.per_bit(),
+            synth,
+            synth / f64::from(t.length),
+            delta
+        );
+    }
+    println!();
+    println!("Canonical primitive feedback polynomials (proved, not tabulated):");
+    for t in paper.types() {
+        let p = primitive_poly(t.length).expect("standard lengths are in range");
+        println!(
+            "  l = {:>2}: {:#b} ({} feedback XORs)",
+            t.length,
+            p,
+            xor_count(p)
+        );
+    }
+}

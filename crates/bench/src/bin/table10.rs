@@ -1,0 +1,30 @@
+//! Regenerates the paper's **Table 10**: partition results for `l_k = 16`
+//! (DFFs, DFFs on SCC, cut nets on SCC, nets cut, CPU time) over the
+//! seventeen-circuit suite, with the published values alongside.
+//!
+//! Run with `--max-cells N` (or `PPET_MAX_CELLS=N`) to restrict to smaller
+//! circuits.
+
+use ppet_bench::{run_one, suite_selection};
+
+fn main() {
+    println!("Table 10: partition results for l_k = 16 (measured vs paper)");
+    println!(
+        "{:<10} {:>6} {:>9} {:>18} {:>18} {:>9}",
+        "Circuit", "DFFs", "DFF/SCC", "cuts on SCC", "nets cut", "CPU(s)"
+    );
+    for record in suite_selection() {
+        let report = run_one(record, 16);
+        println!(
+            "{:<10} {:>6} {:>9} {:>8} ({:>6}) {:>8} ({:>6}) {:>9.2}",
+            record.name,
+            report.dffs,
+            report.dffs_on_scc,
+            report.cut_nets_on_scc,
+            record.t10_cut_nets_on_scc,
+            report.nets_cut,
+            record.t10_nets_cut,
+            report.elapsed.as_secs_f64(),
+        );
+    }
+}

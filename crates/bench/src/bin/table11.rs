@@ -1,0 +1,29 @@
+//! Regenerates the paper's **Table 11**: partition results for `l_k = 24`
+//! over the ten circuits the paper reports at that width.
+
+use ppet_bench::{run_one, suite_selection};
+
+fn main() {
+    println!("Table 11: partition results for l_k = 24 (measured vs paper)");
+    println!(
+        "{:<10} {:>6} {:>9} {:>18} {:>18} {:>9}",
+        "Circuit", "DFFs", "DFF/SCC", "cuts on SCC", "nets cut", "CPU(s)"
+    );
+    for record in suite_selection() {
+        let Some((paper_scc, paper_cut)) = record.t11 else {
+            continue; // circuit not in the paper's Table 11
+        };
+        let report = run_one(record, 24);
+        println!(
+            "{:<10} {:>6} {:>9} {:>8} ({:>6}) {:>8} ({:>6}) {:>9.2}",
+            record.name,
+            report.dffs,
+            report.dffs_on_scc,
+            report.cut_nets_on_scc,
+            paper_scc,
+            report.nets_cut,
+            paper_cut,
+            report.elapsed.as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! The CBIT area cost model (paper Table 1 and Eq. (4)).
+
+use crate::acell::{AcellCost, AcellVariant};
+use crate::poly::{primitive_poly, xor_count};
+
+/// The standard CBIT lengths of the paper's Table 1
+/// (`d₁ … d₆` = 4, 8, 12, 16, 24, 32 bits).
+pub const STANDARD_LENGTHS: [u32; 6] = [4, 8, 12, 16, 24, 32];
+
+/// The paper's published Table 1: `(l_k, p_k)` where `p_k` is the CBIT
+/// area in DFF equivalents.
+pub const PAPER_TABLE1: [(u32, f64); 6] = [
+    (4, 8.14),
+    (8, 16.68),
+    (12, 24.48),
+    (16, 32.21),
+    (24, 47.66),
+    (32, 63.12),
+];
+
+/// One CBIT type: a standard length with its area cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CbitType {
+    /// Length `l_k` in bits.
+    pub length: u32,
+    /// Area `p_k` in DFF equivalents.
+    pub area_dff: f64,
+}
+
+impl CbitType {
+    /// Per-bit cost `σ_k = p_k / l_k` (Table 1 column 4).
+    #[must_use]
+    pub fn per_bit(&self) -> f64 {
+        self.area_dff / f64::from(self.length)
+    }
+}
+
+/// Where a [`CbitCostModel`] takes its per-type areas from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostSource {
+    /// The published constants of Table 1.
+    #[default]
+    PaperTable,
+    /// Areas synthesized from first principles: `1.9` DFF per A_CELL bit
+    /// plus the feedback XOR network of the canonical primitive polynomial
+    /// (0.4 DFF per XOR) plus a small clock-distribution margin
+    /// (0.1 DFF per 8 bits). Tracks the published numbers within ~1 %.
+    Synthesized,
+}
+
+/// The CBIT area model: prices whole CBITs (Table 1) and individual cut
+/// bits (Fig. 3 variants).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::cost::{CbitCostModel, CostSource};
+///
+/// let m = CbitCostModel::new(CostSource::PaperTable);
+/// let t = m.smallest_type_for(13).expect("fits in a 16-bit CBIT");
+/// assert_eq!(t.length, 16);
+/// assert!((t.area_dff - 32.21).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CbitCostModel {
+    source: CostSource,
+    acell: AcellCost,
+    types: Vec<CbitType>,
+}
+
+impl CbitCostModel {
+    /// Creates a model over the standard lengths.
+    #[must_use]
+    pub fn new(source: CostSource) -> Self {
+        let types = STANDARD_LENGTHS
+            .iter()
+            .map(|&l| CbitType {
+                length: l,
+                area_dff: match source {
+                    CostSource::PaperTable => PAPER_TABLE1
+                        .iter()
+                        .find(|&&(len, _)| len == l)
+                        .expect("standard length")
+                        .1,
+                    CostSource::Synthesized => synthesized_area_dff(l),
+                },
+            })
+            .collect();
+        Self {
+            source,
+            acell: AcellCost::paper(),
+            types,
+        }
+    }
+
+    /// The configured source.
+    #[must_use]
+    pub fn source(&self) -> CostSource {
+        self.source
+    }
+
+    /// The available CBIT types, ascending by length.
+    #[must_use]
+    pub fn types(&self) -> &[CbitType] {
+        &self.types
+    }
+
+    /// The smallest standard CBIT that accommodates `inputs` bits, or
+    /// `None` when `inputs` exceeds the largest type (32).
+    #[must_use]
+    pub fn smallest_type_for(&self, inputs: u32) -> Option<CbitType> {
+        self.types.iter().copied().find(|t| t.length >= inputs)
+    }
+
+    /// Cost of one cut bit in tenths of a DFF, by realization variant.
+    #[must_use]
+    pub fn bit_cost_deci_dff(&self, variant: AcellVariant) -> u64 {
+        self.acell.deci_dff(variant)
+    }
+
+    /// Total cost `Σ p_k n_k` (paper Eq. (4)) of a set of CBITs given the
+    /// input width of each partition. Partitions wider than 32 bits are
+    /// reported in the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending width if any partition exceeds the largest
+    /// standard CBIT.
+    pub fn total_cost_dff(&self, partition_inputs: &[u32]) -> Result<f64, u32> {
+        let mut total = 0.0;
+        for &w in partition_inputs {
+            let t = self.smallest_type_for(w).ok_or(w)?;
+            total += t.area_dff;
+        }
+        Ok(total)
+    }
+}
+
+impl Default for CbitCostModel {
+    fn default() -> Self {
+        Self::new(CostSource::PaperTable)
+    }
+}
+
+/// First-principles CBIT area (see [`CostSource::Synthesized`]).
+#[must_use]
+pub fn synthesized_area_dff(length: u32) -> f64 {
+    let xors = primitive_poly(length).map_or(0, xor_count);
+    1.9 * f64::from(length) + 0.4 * f64::from(xors) + 0.1 * f64::from(length.div_ceil(8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_reproduced() {
+        let m = CbitCostModel::new(CostSource::PaperTable);
+        for (t, &(l, p)) in m.types().iter().zip(PAPER_TABLE1.iter()) {
+            assert_eq!(t.length, l);
+            assert!((t.area_dff - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_bit_cost_decreases_for_large_cbits() {
+        // Table 1's observation: σ_k shrinks as l_k grows (beyond d2).
+        let m = CbitCostModel::default();
+        let sigmas: Vec<f64> = m.types().iter().map(CbitType::per_bit).collect();
+        assert!(sigmas[1] > sigmas[3], "σ(8) > σ(16)");
+        assert!(sigmas[3] > sigmas[4], "σ(16) > σ(24)");
+        assert!(sigmas[4] > sigmas[5], "σ(24) > σ(32)");
+    }
+
+    #[test]
+    fn synthesized_model_tracks_paper_within_two_percent() {
+        for &(l, p) in &PAPER_TABLE1 {
+            let s = synthesized_area_dff(l);
+            let rel = (s - p).abs() / p;
+            assert!(rel < 0.02, "length {l}: synthesized {s:.2} vs paper {p}");
+        }
+    }
+
+    #[test]
+    fn smallest_type_selection() {
+        let m = CbitCostModel::default();
+        assert_eq!(m.smallest_type_for(1).unwrap().length, 4);
+        assert_eq!(m.smallest_type_for(4).unwrap().length, 4);
+        assert_eq!(m.smallest_type_for(5).unwrap().length, 8);
+        assert_eq!(m.smallest_type_for(17).unwrap().length, 24);
+        assert_eq!(m.smallest_type_for(32).unwrap().length, 32);
+        assert!(m.smallest_type_for(33).is_none());
+    }
+
+    #[test]
+    fn total_cost_sums_equation_4() {
+        let m = CbitCostModel::default();
+        let cost = m.total_cost_dff(&[4, 16, 16]).unwrap();
+        assert!((cost - (8.14 + 32.21 + 32.21)).abs() < 1e-9);
+        assert_eq!(m.total_cost_dff(&[40]), Err(40));
+    }
+
+    #[test]
+    fn bit_costs_follow_fig3() {
+        let m = CbitCostModel::default();
+        assert_eq!(m.bit_cost_deci_dff(AcellVariant::ConvertedFf), 9);
+        assert_eq!(m.bit_cost_deci_dff(AcellVariant::Multiplexed), 23);
+    }
+}

@@ -1,0 +1,179 @@
+//! Carry-less polynomial arithmetic over GF(2).
+//!
+//! Polynomials of degree ≤ 63 are represented as `u64` bit masks: bit `i`
+//! is the coefficient of `xⁱ`. This is all the LFSR theory needs: the
+//! characteristic polynomial of every CBIT has degree ≤ 32.
+
+/// A polynomial over GF(2), bit `i` = coefficient of `xⁱ`.
+pub type Poly = u64;
+
+/// Degree of `p` (`0` for the zero and unit polynomials).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::gf2;
+/// assert_eq!(gf2::degree(0b1011), 3); // x^3 + x + 1
+/// assert_eq!(gf2::degree(1), 0);
+/// ```
+#[must_use]
+pub fn degree(p: Poly) -> u32 {
+    63u32.saturating_sub(p.leading_zeros())
+}
+
+/// Carry-less product of two polynomials.
+///
+/// # Panics
+///
+/// Panics if the product would overflow 64 bits
+/// (`degree(a) + degree(b) > 63`).
+#[must_use]
+pub fn mul(a: Poly, b: Poly) -> Poly {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    assert!(
+        degree(a) + degree(b) <= 63,
+        "carry-less product overflows u64"
+    );
+    let mut acc = 0u64;
+    let mut a = a;
+    let mut shift = 0;
+    while a != 0 {
+        if a & 1 == 1 {
+            acc ^= b << shift;
+        }
+        a >>= 1;
+        shift += 1;
+    }
+    acc
+}
+
+/// Remainder of `a` modulo `m`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn rem(mut a: Poly, m: Poly) -> Poly {
+    assert!(m != 0, "division by the zero polynomial");
+    let dm = degree(m);
+    while a != 0 && degree(a) >= dm {
+        a ^= m << (degree(a) - dm);
+    }
+    a
+}
+
+/// Modular product `a·b mod m` for polynomials of degree below `degree(m)`.
+///
+/// Works for moduli up to degree 32 (operand product fits in 64 bits).
+#[must_use]
+pub fn mulmod(a: Poly, b: Poly, m: Poly) -> Poly {
+    rem(mul(rem(a, m), rem(b, m)), m)
+}
+
+/// Modular exponentiation `base^exp mod m` by square-and-multiply.
+#[must_use]
+pub fn powmod(base: Poly, mut exp: u64, m: Poly) -> Poly {
+    let mut result = rem(1, m);
+    let mut base = rem(base, m);
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = mulmod(result, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Prime factorization of `n` by trial division (distinct primes only).
+///
+/// Sufficient for the `2ⁿ − 1` values (n ≤ 32) that primitivity testing
+/// needs; runs in `O(√n)`.
+#[must_use]
+pub fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            out.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_of_basis_polys() {
+        assert_eq!(degree(1), 0);
+        assert_eq!(degree(0b10), 1);
+        assert_eq!(degree(1 << 32), 32);
+    }
+
+    #[test]
+    fn multiplication_is_carryless() {
+        // (x + 1)^2 = x^2 + 1 over GF(2).
+        assert_eq!(mul(0b11, 0b11), 0b101);
+        // (x^2 + x + 1)(x + 1) = x^3 + 1.
+        assert_eq!(mul(0b111, 0b11), 0b1001);
+    }
+
+    #[test]
+    fn remainder_reduces_below_modulus() {
+        let m = 0b1011; // x^3 + x + 1
+        assert_eq!(rem(0b1000, m), 0b011); // x^3 ≡ x + 1
+        assert_eq!(rem(m, m), 0);
+        assert_eq!(rem(0b10, m), 0b10);
+    }
+
+    #[test]
+    fn powmod_matches_repeated_multiplication() {
+        let m = 0b1_0001_1011; // x^8 + x^4 + x^3 + x + 1 (AES polynomial)
+        let mut acc = 1u64;
+        for e in 0..40u64 {
+            assert_eq!(powmod(0b10, e, m), acc, "x^{e}");
+            acc = mulmod(acc, 0b10, m);
+        }
+    }
+
+    #[test]
+    fn fermat_for_gf256() {
+        // In GF(2^8) (AES modulus is irreducible), x^255 = 1.
+        let m = 0b1_0001_1011;
+        assert_eq!(powmod(0b10, 255, m), 1);
+    }
+
+    #[test]
+    fn prime_factors_of_mersennes() {
+        assert_eq!(prime_factors((1u64 << 4) - 1), vec![3, 5]);
+        assert_eq!(prime_factors((1u64 << 11) - 1), vec![23, 89]);
+        assert_eq!(prime_factors((1u64 << 31) - 1), vec![2_147_483_647]);
+        assert_eq!(
+            prime_factors((1u64 << 32) - 1),
+            vec![3, 5, 17, 257, 65_537]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn oversized_product_rejected() {
+        let _ = mul(1 << 40, 1 << 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn zero_modulus_rejected() {
+        let _ = rem(5, 0);
+    }
+}

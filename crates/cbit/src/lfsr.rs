@@ -1,0 +1,228 @@
+//! Linear feedback shift registers and exhaustive pattern generation.
+
+use crate::gf2::{self, Poly};
+
+/// A Galois-form LFSR of width `degree(poly)` ≤ 32.
+///
+/// Each [`Lfsr::step`] multiplies the state by `x` modulo the feedback
+/// polynomial; with a primitive polynomial the register walks all `2ⁿ − 1`
+/// non-zero states — the TPG mode of a CBIT.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::{lfsr::Lfsr, poly::primitive_poly};
+///
+/// let mut l = Lfsr::new(primitive_poly(4).unwrap(), 0b0001);
+/// let first: Vec<u32> = (0..5).map(|_| { l.step(); l.state() }).collect();
+/// assert_eq!(first.len(), 5);
+/// assert!(first.iter().all(|&s| s != 0 && s < 16));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    poly: Poly,
+    width: u32,
+    state: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the given feedback polynomial and initial state
+    /// (truncated to the register width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial degree is outside `1..=32` or the initial
+    /// state is zero (an all-zero LFSR is stuck; use
+    /// [`ExhaustivePatterns`] when the zero pattern is needed).
+    #[must_use]
+    pub fn new(poly: Poly, seed: u32) -> Self {
+        let width = gf2::degree(poly);
+        assert!((1..=32).contains(&width), "polynomial degree out of range");
+        let mask = mask(width);
+        let state = seed & mask;
+        assert!(state != 0, "LFSR seed must be non-zero");
+        Self { poly, width, state }
+    }
+
+    /// Register width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The feedback polynomial.
+    #[must_use]
+    pub fn poly(&self) -> Poly {
+        self.poly
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances one clock: multiply by `x` mod `poly` (Galois form).
+    pub fn step(&mut self) {
+        let msb = (self.state >> (self.width - 1)) & 1;
+        self.state = (self.state << 1) & mask(self.width);
+        if msb == 1 {
+            self.state ^= (self.poly & u64::from(mask(self.width))) as u32;
+        }
+    }
+
+    /// The sequence period starting from the current state.
+    ///
+    /// Walks the register until the state recurs; `2ⁿ − 1` for a primitive
+    /// polynomial. Intended for verification on moderate widths (`n ≤ 24`
+    /// finishes in milliseconds).
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        let mut copy = self.clone();
+        let start = copy.state;
+        let mut steps = 0u64;
+        loop {
+            copy.step();
+            steps += 1;
+            if copy.state == start {
+                return steps;
+            }
+        }
+    }
+}
+
+fn mask(width: u32) -> u32 {
+    if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    }
+}
+
+/// Iterator over all `2ⁿ` patterns of an `n`-bit segment input, as a CBIT
+/// produces them: the LFSR's `2ⁿ − 1` non-zero states plus the all-zero
+/// pattern (inserted once, first — hardware does this with a zero-detect
+/// gate on the register, the classic de Bruijn modification).
+///
+/// Pseudo-exhaustive testing needs all `2ⁿ` input combinations to guarantee
+/// the coverage argument of the paper's §1.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::{lfsr::ExhaustivePatterns, poly::primitive_poly};
+///
+/// let mut seen: Vec<u32> = ExhaustivePatterns::new(primitive_poly(4).unwrap()).collect();
+/// seen.sort_unstable();
+/// assert_eq!(seen, (0..16).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExhaustivePatterns {
+    lfsr: Lfsr,
+    emitted_zero: bool,
+    remaining: u64,
+}
+
+impl ExhaustivePatterns {
+    /// Creates the pattern stream for the given primitive polynomial,
+    /// starting from state 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial degree is outside `1..=32`.
+    #[must_use]
+    pub fn new(poly: Poly) -> Self {
+        let lfsr = Lfsr::new(poly, 1);
+        let width = lfsr.width();
+        Self {
+            lfsr,
+            emitted_zero: false,
+            remaining: 1u64 << width,
+        }
+    }
+
+    /// Total number of patterns the stream will produce (`2ⁿ`).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        1u64 << self.lfsr.width()
+    }
+
+    /// Always false: the stream is non-empty for every legal width.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Iterator for ExhaustivePatterns {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if !self.emitted_zero {
+            self.emitted_zero = true;
+            return Some(0);
+        }
+        let out = self.lfsr.state();
+        self.lfsr.step();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::primitive_poly;
+
+    #[test]
+    fn maximal_period_for_primitive_polynomials() {
+        for n in [2u32, 3, 5, 8, 12, 16] {
+            let l = Lfsr::new(primitive_poly(n).unwrap(), 1);
+            assert_eq!(l.period(), (1 << n) - 1, "degree {n}");
+        }
+    }
+
+    #[test]
+    fn short_period_for_non_primitive() {
+        // x^4 + x^3 + x^2 + x + 1 has order 5.
+        let l = Lfsr::new(0b11111, 1);
+        assert_eq!(l.period(), 5);
+    }
+
+    #[test]
+    fn exhaustive_patterns_cover_everything_once() {
+        for n in [3u32, 4, 6, 10] {
+            let mut seen = vec![false; 1 << n];
+            for p in ExhaustivePatterns::new(primitive_poly(n).unwrap()) {
+                assert!(!seen[p as usize], "pattern {p} repeated at width {n}");
+                seen[p as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "width {n} incomplete");
+        }
+    }
+
+    #[test]
+    fn pattern_count_is_two_to_the_n() {
+        let it = ExhaustivePatterns::new(primitive_poly(6).unwrap());
+        assert_eq!(it.len(), 64);
+        assert_eq!(it.count(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_seed_rejected() {
+        let _ = Lfsr::new(primitive_poly(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn width_32_steps_safely() {
+        let mut l = Lfsr::new(primitive_poly(32).unwrap(), 0xDEAD_BEEF);
+        for _ in 0..1000 {
+            l.step();
+            assert!(l.state() != 0);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Cascadable Built-In Testers (CBITs) — the test hardware of PPET.
+//!
+//! The paper's testing scheme (its §1 and Fig. 1) surrounds every circuit
+//! segment with dual-mode test registers grouped into *CBITs*: multiple-input
+//! shift registers that generate pseudo-exhaustive test patterns (TPG mode)
+//! while simultaneously compacting the responses of the upstream segment
+//! (parallel signature analysis, PSA mode). This crate implements that
+//! hardware and its cost model:
+//!
+//! * [`gf2`] — carry-less polynomial arithmetic over GF(2);
+//! * [`poly`] — primitive-polynomial search with a real primitivity proof
+//!   (order of `x` equals `2ⁿ − 1`), so every LFSR here is maximal-length
+//!   by construction rather than by table lookup;
+//! * [`lfsr`] — Galois LFSRs and the exhaustive `2ⁿ`-pattern generator used
+//!   for pseudo-exhaustive testing;
+//! * [`misr`] — multiple-input signature registers (the PSA half of a CBIT)
+//!   and the dual-mode [`misr::Cbit`];
+//! * [`acell`] — the A_CELL bit cell of Fig. 3 with its three cost variants
+//!   (fresh 1.9 DFF, converted-functional-FF 0.9 DFF, multiplexed 2.3 DFF);
+//! * [`cost`] — the CBIT area model reproducing the paper's Table 1;
+//! * [`timing`] — the `O(2^l)` testing-time model behind Fig. 4;
+//! * [`quality`] — aliasing and test-length analytics (the escape-
+//!   probability side of the scheme);
+//! * [`schedule`] — test pipes and concurrent session scheduling (Fig. 1);
+//! * [`scan`] — the scan chain linking all CBITs for initialization and
+//!   signature read-out.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppet_cbit::{lfsr::Lfsr, poly::primitive_poly};
+//!
+//! let p = primitive_poly(8).expect("degree in range");
+//! let mut lfsr = Lfsr::new(p, 1);
+//! let mut count = 0u64;
+//! loop {
+//!     lfsr.step();
+//!     count += 1;
+//!     if lfsr.state() == 1 {
+//!         break;
+//!     }
+//! }
+//! assert_eq!(count, 255); // maximal period 2^8 - 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acell;
+pub mod cost;
+pub mod gf2;
+pub mod lfsr;
+pub mod misr;
+pub mod poly;
+pub mod quality;
+pub mod scan;
+pub mod schedule;
+pub mod timing;

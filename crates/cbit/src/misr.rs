@@ -1,0 +1,253 @@
+//! Multiple-input signature registers and the dual-mode CBIT.
+
+use crate::gf2::{self, Poly};
+
+/// A multiple-input signature register (MISR) — the PSA mode of a CBIT.
+///
+/// Each clock the state advances as a Galois LFSR and XORs in the parallel
+/// response word: `s' = (s · x mod p) ⊕ input`. After `N` cycles the state
+/// is a linear (over GF(2)) compaction of the whole response stream, so a
+/// single fault-induced bit flip always changes the signature, and aliasing
+/// probability is `2^{-n}` for random error streams.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::{misr::Misr, poly::primitive_poly};
+///
+/// let p = primitive_poly(8).unwrap();
+/// let mut a = Misr::new(p);
+/// for word in [0x12, 0x34, 0x56] {
+///     a.absorb(word);
+/// }
+/// let mut b = Misr::new(p);
+/// for word in [0x12, 0x34, 0x57] {
+///     b.absorb(word);
+/// }
+/// assert_ne!(a.signature(), b.signature()); // single-bit difference seen
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    poly: Poly,
+    width: u32,
+    state: u32,
+}
+
+impl Misr {
+    /// Creates a MISR with the given feedback polynomial, state zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial degree is outside `1..=32`.
+    #[must_use]
+    pub fn new(poly: Poly) -> Self {
+        let width = gf2::degree(poly);
+        assert!((1..=32).contains(&width), "polynomial degree out of range");
+        Self {
+            poly,
+            width,
+            state: 0,
+        }
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Resets the state (scan initialization).
+    pub fn reset(&mut self, state: u32) {
+        self.state = state & self.mask();
+    }
+
+    /// Clocks the register once, absorbing one parallel response word.
+    pub fn absorb(&mut self, input: u32) {
+        let msb = (self.state >> (self.width - 1)) & 1;
+        self.state = (self.state << 1) & self.mask();
+        if msb == 1 {
+            self.state ^= (self.poly & u64::from(self.mask())) as u32;
+        }
+        self.state ^= input & self.mask();
+    }
+
+    /// The current signature.
+    #[must_use]
+    pub fn signature(&self) -> u32 {
+        self.state
+    }
+
+    fn mask(&self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+}
+
+/// A dual-mode Cascadable Built-In Tester.
+///
+/// The crucial property of the paper's scheme (§1): *one* register bank
+/// simultaneously
+///
+/// * compacts the responses of the upstream circuit segment (PSA), and
+/// * presents a pseudo-random pattern sequence to the downstream segment
+///   (TPG) — its state *is* the next test pattern.
+///
+/// That is why a chain of CBITs pipelines tests through all segments at
+/// once: CBIT `k` is the signature analyzer of segment `k` and the pattern
+/// generator of segment `k+1`.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::{misr::Cbit, poly::primitive_poly};
+///
+/// let mut c = Cbit::new(primitive_poly(8).unwrap());
+/// let pattern_before = c.pattern();
+/// c.clock(0xA5); // absorb upstream response
+/// assert_ne!(c.pattern(), pattern_before); // and the pattern advanced
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cbit {
+    misr: Misr,
+}
+
+impl Cbit {
+    /// Creates a CBIT with the given primitive feedback polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial degree is outside `1..=32`.
+    #[must_use]
+    pub fn new(poly: Poly) -> Self {
+        Self { misr: Misr::new(poly) }
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.misr.width()
+    }
+
+    /// Scan-initializes the register.
+    pub fn load(&mut self, state: u32) {
+        self.misr.reset(state);
+    }
+
+    /// The pattern currently presented to the downstream segment.
+    #[must_use]
+    pub fn pattern(&self) -> u32 {
+        self.misr.signature()
+    }
+
+    /// One test clock: absorbs the upstream segment's response word while
+    /// advancing to the next pattern.
+    pub fn clock(&mut self, upstream_response: u32) {
+        self.misr.absorb(upstream_response);
+    }
+
+    /// The accumulated signature (read out over the scan chain at the end
+    /// of the session).
+    #[must_use]
+    pub fn signature(&self) -> u32 {
+        self.misr.signature()
+    }
+
+    /// Pure TPG mode (no upstream segment, e.g. the first CBIT of a pipe):
+    /// clock with an all-zero response.
+    pub fn clock_tpg(&mut self) {
+        self.misr.absorb(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::primitive_poly;
+    use ppet_prng::{Rng, Xoshiro256PlusPlus};
+
+    #[test]
+    fn signature_is_linear_in_gf2() {
+        // sig(a ⊕ b) = sig(a) ⊕ sig(b) when starting from state 0.
+        let p = primitive_poly(16).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from(3);
+        for _ in 0..20 {
+            let n = 1 + rng.gen_index(32);
+            let a: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32 & 0xFFFF).collect();
+            let b: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32 & 0xFFFF).collect();
+            let sig = |words: &[u32]| {
+                let mut m = Misr::new(p);
+                for &w in words {
+                    m.absorb(w);
+                }
+                m.signature()
+            };
+            let xored: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+            assert_eq!(sig(&xored), sig(&a) ^ sig(&b));
+        }
+    }
+
+    #[test]
+    fn single_bit_error_always_changes_signature() {
+        // Linearity means the error signature is sig(e) for the error
+        // stream e; a single-bit e has non-zero signature because the MISR
+        // state polynomial x^k·e never reduces to 0 mod a primitive p.
+        let p = primitive_poly(12).unwrap();
+        let base: Vec<u32> = (0..50).map(|i| (i * 37) & 0xFFF).collect();
+        let sig = |words: &[u32]| {
+            let mut m = Misr::new(p);
+            for &w in words {
+                m.absorb(w);
+            }
+            m.signature()
+        };
+        let clean = sig(&base);
+        for pos in [0usize, 7, 23, 49] {
+            for bit in [0u32, 5, 11] {
+                let mut bad = base.clone();
+                bad[pos] ^= 1 << bit;
+                assert_ne!(sig(&bad), clean, "pos {pos} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn tpg_mode_walks_lfsr_sequence() {
+        let p = primitive_poly(8).unwrap();
+        let mut c = Cbit::new(p);
+        c.load(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..255 {
+            assert!(seen.insert(c.pattern()), "pattern repeated early");
+            c.clock_tpg();
+        }
+        assert_eq!(c.pattern(), 1, "period 255 closes the cycle");
+    }
+
+    #[test]
+    fn reset_truncates_to_width() {
+        let mut m = Misr::new(primitive_poly(4).unwrap());
+        m.reset(0xFFFF_FFFF);
+        assert_eq!(m.signature(), 0xF);
+    }
+
+    #[test]
+    fn dual_mode_advances_pattern_while_absorbing() {
+        let p = primitive_poly(8).unwrap();
+        let mut c = Cbit::new(p);
+        c.load(0x3C);
+        let responses = [1u32, 2, 3, 4];
+        let mut patterns = Vec::new();
+        for r in responses {
+            patterns.push(c.pattern());
+            c.clock(r);
+        }
+        // All presented patterns distinct (short sequence of a maximal
+        // LFSR perturbed by inputs — collisions possible in general but not
+        // for this fixed vector, which the test pins down).
+        let unique: std::collections::HashSet<_> = patterns.iter().collect();
+        assert_eq!(unique.len(), patterns.len());
+    }
+}

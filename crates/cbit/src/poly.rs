@@ -1,0 +1,188 @@
+//! Primitive polynomial search over GF(2).
+//!
+//! A CBIT's feedback polynomial must be *primitive* so the register cycles
+//! through all `2ⁿ − 1` non-zero states (the paper's Table 1 prices CBITs
+//! under "the feedback polynomial is primitive"). Instead of trusting a
+//! hard-coded table, this module *proves* primitivity: `p` of degree `n`
+//! with non-zero constant term is primitive iff the order of `x` in
+//! `GF(2)[x]/p` is exactly `2ⁿ − 1`, i.e. `x^(2ⁿ−1) ≡ 1` and
+//! `x^((2ⁿ−1)/q) ≢ 1` for every prime `q` dividing `2ⁿ − 1`. (If `p` were
+//! reducible the unit group would be smaller than `2ⁿ − 1`, so the order
+//! test subsumes irreducibility.)
+//!
+//! [`primitive_poly`] searches deterministically — trinomials first, then
+//! pentanomials — so the same degree always yields the same polynomial.
+
+use std::sync::OnceLock;
+
+use crate::gf2::{self, Poly};
+
+/// Highest degree supported (CBIT lengths in the paper top out at 32).
+pub const MAX_DEGREE: u32 = 32;
+
+/// Tests whether `p` is a primitive polynomial of degree `n`.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::poly::is_primitive;
+/// assert!(is_primitive(0b10011, 4));  // x^4 + x + 1
+/// assert!(!is_primitive(0b11111, 4)); // x^4+x^3+x^2+x+1 divides x^5+1
+/// ```
+#[must_use]
+pub fn is_primitive(p: Poly, n: u32) -> bool {
+    if n == 0 || n > MAX_DEGREE || gf2::degree(p) != n || p & 1 == 0 {
+        return false;
+    }
+    let order = (1u64 << n) - 1;
+    if gf2::powmod(0b10, order, p) != 1 {
+        return false;
+    }
+    for q in gf2::prime_factors(order) {
+        if gf2::powmod(0b10, order / q, p) == 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns a canonical primitive polynomial of degree `n` (2 ≤ n ≤ 32), or
+/// `None` when `n` is out of range.
+///
+/// The search prefers the sparsest feedback (smallest XOR network):
+/// trinomials `xⁿ + xᵏ + 1` in increasing `k`, then pentanomials
+/// `xⁿ + xᵃ + xᵇ + xᶜ + 1` in lexicographic order. Results are cached, so
+/// repeated calls are free.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::poly::{is_primitive, primitive_poly};
+/// let p = primitive_poly(16).expect("in range");
+/// assert!(is_primitive(p, 16));
+/// assert!(primitive_poly(99).is_none());
+/// ```
+#[must_use]
+pub fn primitive_poly(n: u32) -> Option<Poly> {
+    if !(2..=MAX_DEGREE).contains(&n) {
+        return None;
+    }
+    static CACHE: OnceLock<Vec<Poly>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        (0..=MAX_DEGREE)
+            .map(|d| if d >= 2 { search(d) } else { 0 })
+            .collect()
+    });
+    Some(cache[n as usize])
+}
+
+fn search(n: u32) -> Poly {
+    let top = (1u64 << n) | 1;
+    // Trinomials.
+    for k in 1..n {
+        let p = top | (1u64 << k);
+        if is_primitive(p, n) {
+            return p;
+        }
+    }
+    // Pentanomials.
+    for a in 1..n {
+        for b in (a + 1)..n {
+            for c in (b + 1)..n {
+                let p = top | (1u64 << a) | (1u64 << b) | (1u64 << c);
+                if is_primitive(p, n) {
+                    return p;
+                }
+            }
+        }
+    }
+    unreachable!("a primitive polynomial exists for every degree 2..=32")
+}
+
+/// Number of 2-input XOR gates in the Galois feedback network of `p`:
+/// one per tap strictly between `x⁰` and `xⁿ`.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::poly::xor_count;
+/// assert_eq!(xor_count(0b10011), 1); // x^4 + x + 1: single middle tap
+/// ```
+#[must_use]
+pub fn xor_count(p: Poly) -> u32 {
+    let n = gf2::degree(p);
+    let middle = p & !(1u64 << n) & !1u64;
+    middle.count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_primitives_accepted() {
+        assert!(is_primitive(0b111, 2)); // x^2+x+1
+        assert!(is_primitive(0b1011, 3)); // x^3+x+1
+        assert!(is_primitive(0b10011, 4)); // x^4+x+1
+        assert!(is_primitive(0b100101, 5)); // x^5+x^2+1
+    }
+
+    #[test]
+    fn non_primitives_rejected() {
+        // x^4+x^2+1 = (x^2+x+1)^2: reducible.
+        assert!(!is_primitive(0b10101, 4));
+        // Irreducible but not primitive: x^4+x^3+x^2+x+1 has order 5.
+        assert!(!is_primitive(0b11111, 4));
+        // Wrong degree.
+        assert!(!is_primitive(0b10011, 5));
+        // Even constant term (x divides p).
+        assert!(!is_primitive(0b10010, 4));
+    }
+
+    #[test]
+    fn search_covers_all_cbit_degrees() {
+        for n in 2..=MAX_DEGREE {
+            let p = primitive_poly(n).unwrap();
+            assert!(is_primitive(p, n), "degree {n}: {p:#b}");
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_and_cached() {
+        assert_eq!(primitive_poly(24), primitive_poly(24));
+        assert_eq!(primitive_poly(8), primitive_poly(8));
+    }
+
+    #[test]
+    fn out_of_range_degrees() {
+        assert!(primitive_poly(0).is_none());
+        assert!(primitive_poly(1).is_none());
+        assert!(primitive_poly(33).is_none());
+    }
+
+    #[test]
+    fn xor_counts_are_small() {
+        // Sparse search means at most 3 XORs for every supported degree.
+        for n in 2..=MAX_DEGREE {
+            let p = primitive_poly(n).unwrap();
+            assert!(xor_count(p) <= 3, "degree {n} has {} taps", xor_count(p));
+        }
+    }
+
+    #[test]
+    fn exhaustive_period_check_small_degrees() {
+        // Brute-force the actual multiplicative order for n <= 12 and check
+        // it equals 2^n - 1 (validates the powmod-based test end to end).
+        for n in 2..=12u32 {
+            let p = primitive_poly(n).unwrap();
+            let mut s = 0b10u64; // x
+            let mut steps = 1u64;
+            while s != 1 {
+                s = crate::gf2::mulmod(s, 0b10, p);
+                steps += 1;
+                assert!(steps <= 1 << n, "degree {n} ran away");
+            }
+            assert_eq!(steps, (1 << n) - 1, "degree {n}");
+        }
+    }
+}

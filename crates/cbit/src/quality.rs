@@ -1,0 +1,115 @@
+//! Test-quality analytics: aliasing, escape probability, test length.
+//!
+//! Signature analysis compacts `N` response words into one `n`-bit
+//! signature, so distinct error streams can *alias* to the clean
+//! signature. For a MISR over a primitive polynomial the classic results
+//! hold (see the paper's reference [12] for the random-testing side):
+//!
+//! * a **single-bit** error never aliases (linearity: its signature is a
+//!   non-zero state of a maximal LFSR);
+//! * an error stream behaving as an i.i.d. random process aliases with
+//!   probability approaching `2^{-n}`;
+//! * the overall escape probability of a PPET session combines per-segment
+//!   aliasing with pseudo-exhaustive pattern coverage (which is exhaustive,
+//!   so the pattern side contributes zero escapes for combinational
+//!   segments).
+
+/// Asymptotic aliasing probability of an `n`-bit MISR on long random error
+/// streams: `2^{-n}`.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::quality::aliasing_probability;
+/// assert_eq!(aliasing_probability(16), 2f64.powi(-16));
+/// ```
+#[must_use]
+pub fn aliasing_probability(width: u32) -> f64 {
+    2f64.powi(-(width as i32))
+}
+
+/// Probability that at least one of `segments` MISRs aliases, each of the
+/// given width — the union bound the scheme's escape analysis uses.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::quality::session_escape_probability;
+/// let p = session_escape_probability(&[16, 16, 24]);
+/// assert!(p < 3.1e-5);
+/// ```
+#[must_use]
+pub fn session_escape_probability(segment_widths: &[u32]) -> f64 {
+    let mut p_all_good = 1.0;
+    for &w in segment_widths {
+        p_all_good *= 1.0 - aliasing_probability(w);
+    }
+    1.0 - p_all_good
+}
+
+/// Expected number of random patterns needed to reach `coverage` of
+/// faults whose hardest member has detection probability `p_min` —
+/// the classic `N ≈ ln(1/(1−c)) / p_min` estimate (reference [12]'s
+/// regime). Pseudo-exhaustive testing needs exactly `2^k` patterns
+/// instead, independent of detection probabilities — the comparison the
+/// paper's §1 builds on.
+///
+/// # Panics
+///
+/// Panics if `coverage` is not in `(0, 1)` or `p_min` is not in `(0, 1]`.
+#[must_use]
+pub fn random_test_length(coverage: f64, p_min: f64) -> u64 {
+    assert!((0.0..1.0).contains(&coverage) && coverage > 0.0);
+    assert!(p_min > 0.0 && p_min <= 1.0);
+    ((1.0 - coverage).recip().ln() / p_min).ceil() as u64
+}
+
+/// Detection probability of the hardest single stuck-at fault in a
+/// `k`-input AND/OR cone under uniform random patterns: `2^{-k}` (one
+/// input combination excites it). This is the random-pattern-resistant
+/// fault class pseudo-exhaustive testing eliminates by construction.
+#[must_use]
+pub fn hardest_fault_probability(cone_inputs: u32) -> f64 {
+    2f64.powi(-(cone_inputs as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::testing_cycles;
+
+    #[test]
+    fn aliasing_shrinks_exponentially() {
+        assert!(aliasing_probability(24) < aliasing_probability(16));
+        assert_eq!(aliasing_probability(1), 0.5);
+    }
+
+    #[test]
+    fn session_escape_union_bound() {
+        let single = session_escape_probability(&[16]);
+        assert!((single - aliasing_probability(16)).abs() < 1e-15);
+        let many = session_escape_probability(&[16; 10]);
+        assert!(many < 10.0 * aliasing_probability(16) + 1e-12);
+        assert!(many > single);
+        assert_eq!(session_escape_probability(&[]), 0.0);
+    }
+
+    #[test]
+    fn pseudo_exhaustive_beats_random_on_resistant_faults() {
+        // A 16-input cone's hardest fault: random testing to 99.9%
+        // needs vastly more patterns than the 2^16 exhaustive set...
+        let k = 16;
+        let p = hardest_fault_probability(k);
+        let random = random_test_length(0.999, p);
+        let exhaustive = testing_cycles(k) as u64;
+        // ln(1000) ≈ 6.9: random needs ~6.9x the exhaustive count for
+        // 99.9% *statistical confidence* where exhaustive has certainty.
+        assert!(random > 6 * exhaustive, "random {random} vs 2^k {exhaustive}");
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn bad_coverage_rejected() {
+        let _ = random_test_length(1.0, 0.5);
+    }
+}

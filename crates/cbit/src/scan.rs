@@ -1,0 +1,99 @@
+//! The scan chain linking all CBITs (paper §1).
+//!
+//! Before a test session every CBIT is scan-initialized; afterwards the
+//! signatures are shifted out over the same chain. The chain therefore adds
+//! `2 · Σ l_k` shift cycles of overhead to each session — negligible next
+//! to the `2^{l_k}` test cycles, which this module's accounting makes easy
+//! to confirm.
+
+/// The scan chain over a set of CBITs.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::scan::ScanChain;
+///
+/// let chain = ScanChain::new(vec![16, 16, 24]);
+/// assert_eq!(chain.length(), 56);
+/// assert_eq!(chain.session_overhead_cycles(), 112);
+/// // Overhead is vanishing next to a 2^16-cycle session:
+/// assert!(chain.overhead_fraction(1 << 16) < 0.002);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanChain {
+    cbit_lengths: Vec<u32>,
+}
+
+impl ScanChain {
+    /// Creates a chain threading the given CBITs (lengths in bits).
+    #[must_use]
+    pub fn new(cbit_lengths: Vec<u32>) -> Self {
+        Self { cbit_lengths }
+    }
+
+    /// Number of CBITs on the chain.
+    #[must_use]
+    pub fn num_cbits(&self) -> usize {
+        self.cbit_lengths.len()
+    }
+
+    /// Total chain length in bits.
+    #[must_use]
+    pub fn length(&self) -> u64 {
+        self.cbit_lengths.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Shift cycles per session: full initialization plus full read-out.
+    #[must_use]
+    pub fn session_overhead_cycles(&self) -> u64 {
+        2 * self.length()
+    }
+
+    /// The scan overhead as a fraction of a whole session of
+    /// `test_cycles` clocks.
+    #[must_use]
+    pub fn overhead_fraction(&self, test_cycles: u128) -> f64 {
+        let overhead = self.session_overhead_cycles() as f64;
+        overhead / (overhead + test_cycles as f64)
+    }
+
+    /// Bit offset of each CBIT on the chain (for mapping read-out data back
+    /// to CBITs).
+    #[must_use]
+    pub fn offsets(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.cbit_lengths.len());
+        let mut acc = 0u64;
+        for &l in &self.cbit_lengths {
+            out.push(acc);
+            acc += u64::from(l);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_offsets() {
+        let c = ScanChain::new(vec![4, 8, 12]);
+        assert_eq!(c.num_cbits(), 3);
+        assert_eq!(c.length(), 24);
+        assert_eq!(c.offsets(), vec![0, 4, 12]);
+        assert_eq!(c.session_overhead_cycles(), 48);
+    }
+
+    #[test]
+    fn empty_chain() {
+        let c = ScanChain::new(vec![]);
+        assert_eq!(c.length(), 0);
+        assert_eq!(c.overhead_fraction(1 << 16), 0.0);
+    }
+
+    #[test]
+    fn overhead_shrinks_with_session_length() {
+        let c = ScanChain::new(vec![16; 10]);
+        assert!(c.overhead_fraction(1 << 24) < c.overhead_fraction(1 << 16));
+    }
+}

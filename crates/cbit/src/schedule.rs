@@ -1,0 +1,218 @@
+//! Test-pipe scheduling (paper Fig. 1).
+//!
+//! In self-test mode every circuit segment (CUT) sits between two CBITs:
+//! the upstream CBIT generates its patterns, the downstream CBIT compacts
+//! its responses — and, being dual-mode, simultaneously generates patterns
+//! for the *next* segment. Chains of such pairs form **test pipes**; all
+//! segments of a pipe are tested concurrently after one global
+//! initialization, so a pipe's testing time is dominated by its widest
+//! pattern generator (`T_CBIT` in Fig. 1(b)) and the total testing time is
+//! the maximum over pipes, not the sum over segments.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::timing::testing_cycles;
+
+/// One circuit segment in the test plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutSpec {
+    /// Caller's identifier (e.g. partition index).
+    pub id: usize,
+    /// Number of segment inputs = width of the pattern set (`2^width`
+    /// patterns are applied).
+    pub input_width: u32,
+    /// Ids of the CBITs feeding this segment (its TPG side).
+    pub generator_cbits: Vec<usize>,
+    /// Ids of the CBITs capturing this segment's responses (its PSA side).
+    pub analyzer_cbits: Vec<usize>,
+}
+
+/// One test pipe: a connected family of segments sharing CBITs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestPipe {
+    /// Segment ids in the pipe, ascending.
+    pub cuts: Vec<usize>,
+    /// The widest segment input width in the pipe.
+    pub max_width: u32,
+    /// The pipe's testing time in clock cycles (`2^max_width`).
+    pub cycles: u128,
+}
+
+/// The complete schedule.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::schedule::{CutSpec, TestSchedule};
+///
+/// // Two independent pipes: {0,1} share CBIT 10; {2} stands alone.
+/// let cuts = vec![
+///     CutSpec { id: 0, input_width: 8, generator_cbits: vec![9], analyzer_cbits: vec![10] },
+///     CutSpec { id: 1, input_width: 6, generator_cbits: vec![10], analyzer_cbits: vec![11] },
+///     CutSpec { id: 2, input_width: 4, generator_cbits: vec![12], analyzer_cbits: vec![13] },
+/// ];
+/// let schedule = TestSchedule::build(&cuts);
+/// assert_eq!(schedule.pipes().len(), 2);
+/// assert_eq!(schedule.total_cycles(), 1 << 8); // concurrent pipes: max, not sum
+/// assert_eq!(schedule.sequential_cycles(), (1 << 8) + (1 << 6) + (1 << 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSchedule {
+    pipes: Vec<TestPipe>,
+    sequential: u128,
+}
+
+impl TestSchedule {
+    /// Groups segments into pipes (connected components over shared CBITs)
+    /// and computes per-pipe and total testing times.
+    #[must_use]
+    pub fn build(cuts: &[CutSpec]) -> Self {
+        // Union-find over cut indices, linked through shared CBIT ids.
+        let mut parent: Vec<usize> = (0..cuts.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut cbit_owner: HashMap<usize, usize> = HashMap::new();
+        for (i, cut) in cuts.iter().enumerate() {
+            for &cb in cut.generator_cbits.iter().chain(&cut.analyzer_cbits) {
+                match cbit_owner.get(&cb) {
+                    Some(&j) => {
+                        let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                        if a != b {
+                            parent[a] = b;
+                        }
+                    }
+                    None => {
+                        cbit_owner.insert(cb, i);
+                    }
+                }
+            }
+        }
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..cuts.len() {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(i);
+        }
+        let pipes: Vec<TestPipe> = groups
+            .into_values()
+            .map(|members| {
+                let mut ids: Vec<usize> = members.iter().map(|&i| cuts[i].id).collect();
+                ids.sort_unstable();
+                let max_width = members
+                    .iter()
+                    .map(|&i| cuts[i].input_width)
+                    .max()
+                    .unwrap_or(0);
+                TestPipe {
+                    cuts: ids,
+                    max_width,
+                    cycles: testing_cycles(max_width),
+                }
+            })
+            .collect();
+        let sequential = cuts.iter().map(|c| testing_cycles(c.input_width)).sum();
+        Self { pipes, sequential }
+    }
+
+    /// The pipes, in deterministic order (ascending first member id).
+    #[must_use]
+    pub fn pipes(&self) -> &[TestPipe] {
+        &self.pipes
+    }
+
+    /// Total testing time with full pipelining: all pipes run concurrently,
+    /// so the longest pipe dominates (paper Fig. 1(b)).
+    #[must_use]
+    pub fn total_cycles(&self) -> u128 {
+        self.pipes.iter().map(|p| p.cycles).max().unwrap_or(0)
+    }
+
+    /// Testing time if every segment were tested one after another —
+    /// the non-pipelined PET baseline the paper's §1 argues against.
+    #[must_use]
+    pub fn sequential_cycles(&self) -> u128 {
+        self.sequential
+    }
+
+    /// Speedup of pipelined over sequential testing.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.total_cycles() == 0 {
+            return 1.0;
+        }
+        self.sequential as f64 / self.total_cycles() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(id: usize, width: u32, gen: &[usize], ana: &[usize]) -> CutSpec {
+        CutSpec {
+            id,
+            input_width: width,
+            generator_cbits: gen.to_vec(),
+            analyzer_cbits: ana.to_vec(),
+        }
+    }
+
+    #[test]
+    fn chain_of_cuts_is_one_pipe() {
+        // CBITs 0-1-2-3 cascade through three segments, paper Fig. 1(a).
+        let cuts = vec![
+            cut(0, 10, &[0], &[1]),
+            cut(1, 12, &[1], &[2]),
+            cut(2, 9, &[2], &[3]),
+        ];
+        let s = TestSchedule::build(&cuts);
+        assert_eq!(s.pipes().len(), 1);
+        assert_eq!(s.pipes()[0].cuts, vec![0, 1, 2]);
+        assert_eq!(s.pipes()[0].max_width, 12);
+        assert_eq!(s.total_cycles(), 1 << 12);
+    }
+
+    #[test]
+    fn disjoint_pipes_run_concurrently() {
+        let cuts = vec![
+            cut(0, 16, &[0], &[1]),
+            cut(1, 10, &[2], &[3]),
+            cut(2, 8, &[4], &[5]),
+        ];
+        let s = TestSchedule::build(&cuts);
+        assert_eq!(s.pipes().len(), 3);
+        assert_eq!(s.total_cycles(), 1 << 16);
+        assert_eq!(s.sequential_cycles(), (1 << 16) + (1 << 10) + (1 << 8));
+        assert!(s.speedup() > 1.0);
+    }
+
+    #[test]
+    fn shared_generator_merges_pipes() {
+        // One CBIT feeds two segments: still one pipe.
+        let cuts = vec![cut(0, 6, &[0], &[1]), cut(1, 7, &[0], &[2])];
+        let s = TestSchedule::build(&cuts);
+        assert_eq!(s.pipes().len(), 1);
+        assert_eq!(s.pipes()[0].max_width, 7);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let s = TestSchedule::build(&[]);
+        assert_eq!(s.total_cycles(), 0);
+        assert_eq!(s.speedup(), 1.0);
+    }
+
+    #[test]
+    fn speedup_equals_segments_for_uniform_widths() {
+        let cuts: Vec<CutSpec> = (0..8)
+            .map(|i| cut(i, 10, &[2 * i + 100], &[2 * i + 101]))
+            .collect();
+        let s = TestSchedule::build(&cuts);
+        assert_eq!(s.pipes().len(), 8);
+        assert!((s.speedup() - 8.0).abs() < 1e-12);
+    }
+}

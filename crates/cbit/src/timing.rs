@@ -1,0 +1,97 @@
+//! The pseudo-exhaustive testing-time model (paper Fig. 4).
+//!
+//! A CUT with `l` inputs needs all `2^l` patterns, so testing time grows
+//! exponentially in the CBIT length while the per-bit area cost σ shrinks —
+//! the trade-off Fig. 4 plots and the reason the paper recommends
+//! `l_k ∈ {16, 24}` (`d₄`, `d₅`).
+
+use crate::cost::{CbitCostModel, CbitType};
+
+/// Test-session length in clock cycles for an `l`-bit pseudo-exhaustively
+/// tested segment: `2^l` (each input combination once).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::timing::testing_cycles;
+/// assert_eq!(testing_cycles(4), 16);
+/// assert_eq!(testing_cycles(32), 1 << 32);
+/// ```
+#[must_use]
+pub fn testing_cycles(inputs: u32) -> u128 {
+    1u128 << inputs
+}
+
+/// Wall-clock testing time at a given tester frequency.
+#[must_use]
+pub fn testing_seconds(inputs: u32, clock_hz: f64) -> f64 {
+    testing_cycles(inputs) as f64 / clock_hz
+}
+
+/// One point of the Fig. 4 curve: a CBIT type with its per-bit area and
+/// testing time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// The CBIT type.
+    pub cbit: CbitType,
+    /// Per-bit area σ_k (DFF equivalents per bit).
+    pub sigma: f64,
+    /// Testing time in clock cycles (`2^{l_k}`).
+    pub cycles: u128,
+}
+
+/// The bit-wise area vs. testing time series of the paper's Fig. 4.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::{cost::CbitCostModel, timing::tradeoff_series};
+///
+/// let series = tradeoff_series(&CbitCostModel::default());
+/// assert_eq!(series.len(), 6);
+/// // Testing time explodes while sigma only drifts down:
+/// assert!(series[5].cycles > series[0].cycles);
+/// ```
+#[must_use]
+pub fn tradeoff_series(model: &CbitCostModel) -> Vec<TradeoffPoint> {
+    model
+        .types()
+        .iter()
+        .map(|&cbit| TradeoffPoint {
+            cbit,
+            sigma: cbit.per_bit(),
+            cycles: testing_cycles(cbit.length),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_double_per_input() {
+        for l in 1..32 {
+            assert_eq!(testing_cycles(l + 1), 2 * testing_cycles(l));
+        }
+    }
+
+    #[test]
+    fn seconds_at_reasonable_clock() {
+        // 16-bit CUT at 50 MHz: ~1.3 ms; 32-bit: ~86 s. The paper's reason
+        // for capping at d4/d5.
+        let t16 = testing_seconds(16, 50e6);
+        let t32 = testing_seconds(32, 50e6);
+        assert!(t16 < 0.01, "{t16}");
+        assert!(t32 > 60.0, "{t32}");
+    }
+
+    #[test]
+    fn series_matches_table1_shape() {
+        let s = tradeoff_series(&CbitCostModel::default());
+        let lengths: Vec<u32> = s.iter().map(|p| p.cbit.length).collect();
+        assert_eq!(lengths, vec![4, 8, 12, 16, 24, 32]);
+        // σ(32) < σ(8): bigger CBITs are cheaper per bit.
+        assert!(s[5].sigma < s[1].sigma);
+    }
+}

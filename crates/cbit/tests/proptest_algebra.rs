@@ -1,0 +1,107 @@
+//! Property tests: GF(2) algebra laws and MISR linearity over random
+//! operands.
+
+use proptest::prelude::*;
+
+use ppet_cbit::gf2::{degree, mul, mulmod, powmod, rem};
+use ppet_cbit::misr::Misr;
+use ppet_cbit::poly::{is_primitive, primitive_poly};
+
+/// Random polynomial of degree < 32.
+fn arb_poly() -> impl Strategy<Value = u64> {
+    any::<u32>().prop_map(u64::from)
+}
+
+/// Random modulus of degree 4..=16 with non-zero constant term.
+fn arb_modulus() -> impl Strategy<Value = u64> {
+    (4u32..=16, any::<u16>()).prop_map(|(deg, low)| (1u64 << deg) | (u64::from(low) & ((1 << deg) - 1)) | 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn multiplication_commutes(a in arb_poly(), b in arb_poly()) {
+        prop_assert_eq!(mul(a, b), mul(b, a));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_xor(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+        // (a ⊕ b)·c = a·c ⊕ b·c over GF(2)[x].
+        prop_assert_eq!(mul(a ^ b, c), mul(a, c) ^ mul(b, c));
+    }
+
+    #[test]
+    fn remainder_is_canonical(a in arb_poly(), m in arb_modulus()) {
+        let r = rem(a, m);
+        prop_assert!(r == 0 || degree(r) < degree(m));
+        // Idempotent.
+        prop_assert_eq!(rem(r, m), r);
+    }
+
+    #[test]
+    fn mulmod_associates(a in arb_poly(), b in arb_poly(), c in arb_poly(), m in arb_modulus()) {
+        let left = mulmod(mulmod(a, b, m), c, m);
+        let right = mulmod(a, mulmod(b, c, m), m);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn powmod_adds_exponents(a in arb_poly(), e1 in 0u64..64, e2 in 0u64..64, m in arb_modulus()) {
+        let left = mulmod(powmod(a, e1, m), powmod(a, e2, m), m);
+        let right = powmod(a, e1 + e2, m);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn misr_is_linear(width in 4u32..=24, words in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..40)) {
+        let p = primitive_poly(width).expect("in range");
+        let sig = |stream: &[u32]| {
+            let mut m = Misr::new(p);
+            for &w in stream {
+                m.absorb(w);
+            }
+            m.signature()
+        };
+        let a: Vec<u32> = words.iter().map(|&(x, _)| x).collect();
+        let b: Vec<u32> = words.iter().map(|&(_, y)| y).collect();
+        let xored: Vec<u32> = words.iter().map(|&(x, y)| x ^ y).collect();
+        prop_assert_eq!(sig(&xored), sig(&a) ^ sig(&b));
+    }
+
+    #[test]
+    fn misr_never_aliases_single_bit_errors(
+        width in 4u32..=16,
+        len in 1usize..32,
+        pos_seed in any::<u64>(),
+    ) {
+        let p = primitive_poly(width).expect("in range");
+        let pos = (pos_seed as usize) % len;
+        let bit = ((pos_seed >> 32) as u32) % width;
+        // Error stream = single flipped bit; by linearity its signature is
+        // sig(error) and must be non-zero for any position within the
+        // register width.
+        let mut m = Misr::new(p);
+        for i in 0..len {
+            let word = if i == pos { 1u32 << bit } else { 0 };
+            m.absorb(word);
+        }
+        prop_assert_ne!(m.signature(), 0, "single-bit error aliased");
+    }
+
+    #[test]
+    fn primitivity_test_agrees_with_brute_force(deg in 2u32..=10, low in any::<u16>()) {
+        // Candidate: monic with non-zero constant term.
+        let p = (1u64 << deg) | (u64::from(low) & ((1 << deg) - 2)) | 1;
+        // Brute force the order of x.
+        let mut s = 0b10u64 % p;
+        let mut order = 1u64;
+        let max = 1u64 << deg;
+        while s != 1 && order <= max {
+            s = mulmod(s, 0b10, p);
+            order += 1;
+        }
+        let brute_primitive = s == 1 && order == max - 1;
+        prop_assert_eq!(is_primitive(p, deg), brute_primitive, "poly {:#b}", p);
+    }
+}

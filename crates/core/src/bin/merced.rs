@@ -1,0 +1,173 @@
+//! `merced` — the BIST compiler as a command-line tool.
+//!
+//! ```text
+//! merced <netlist.bench> [options]
+//!
+//! Options:
+//!   --lk <N>           CBIT length / input constraint (default 16)
+//!   --beta <N>         SCC cut budget factor (default 50)
+//!   --seed <N>         flow seed (default 1996)
+//!   --policy <P>       with-retiming cost policy: scc | solver (default scc)
+//!   --per-branch       per-branch flow accounting (default per-net)
+//!   --max-trees <N>    cap on saturation trees (default unbounded)
+//!   --emit <out.bench> write the PPET-instrumented netlist
+//!   --quiet            print only the Table-10-style row
+//! ```
+
+use std::process::ExitCode;
+
+use ppet_core::instrument::insert_test_hardware;
+use ppet_core::{Compilation, CostPolicy, Merced, MercedConfig, PpetReport};
+use ppet_flow::FlowParams;
+use ppet_netlist::{bench_format, writer, Circuit};
+
+struct Options {
+    input: String,
+    lk: usize,
+    beta: usize,
+    seed: u64,
+    policy: CostPolicy,
+    per_branch: bool,
+    max_trees: Option<u64>,
+    emit: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        input: String::new(),
+        lk: 16,
+        beta: 50,
+        seed: 1996,
+        policy: CostPolicy::PaperScc,
+        per_branch: false,
+        max_trees: None,
+        emit: None,
+        quiet: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lk" => opts.lk = next_value(&mut args, "--lk")?,
+            "--beta" => opts.beta = next_value(&mut args, "--beta")?,
+            "--seed" => opts.seed = next_value(&mut args, "--seed")?,
+            "--max-trees" => opts.max_trees = Some(next_value(&mut args, "--max-trees")?),
+            "--policy" => {
+                opts.policy = match args.next().as_deref() {
+                    Some("scc") => CostPolicy::PaperScc,
+                    Some("solver") => CostPolicy::Solver,
+                    other => return Err(format!("--policy expects scc|solver, got {other:?}")),
+                }
+            }
+            "--per-branch" => opts.per_branch = true,
+            "--emit" => {
+                opts.emit = Some(args.next().ok_or("--emit expects a path".to_string())?)
+            }
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(usage()),
+            _ if opts.input.is_empty() && !arg.starts_with('-') => opts.input = arg,
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn next_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag} expects a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} expects a number"))
+}
+
+fn usage() -> String {
+    "usage: merced <netlist.bench> [--lk N] [--beta N] [--seed N] \
+     [--policy scc|solver] [--per-branch] [--max-trees N] \
+     [--emit out.bench] [--quiet]"
+        .to_string()
+}
+
+fn run(opts: &Options) -> Result<(Circuit, Compilation), String> {
+    let text = std::fs::read_to_string(&opts.input)
+        .map_err(|e| format!("cannot read {}: {e}", opts.input))?;
+    let name = std::path::Path::new(&opts.input)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit")
+        .to_string();
+    let circuit = bench_format::parse(&name, &text).map_err(|e| e.to_string())?;
+    let mut flow = FlowParams::paper();
+    flow.per_branch = opts.per_branch;
+    flow.max_trees = opts.max_trees;
+    let config = MercedConfig::default()
+        .with_cbit_length(opts.lk)
+        .with_beta(opts.beta)
+        .with_seed(opts.seed)
+        .with_cost_policy(opts.policy)
+        .with_flow(flow);
+    let compilation = Merced::new(config)
+        .compile_detailed(&circuit)
+        .map_err(|e| e.to_string())?;
+    Ok((circuit, compilation))
+}
+
+fn emit_instrumented(
+    circuit: &Circuit,
+    compilation: &Compilation,
+    path: &str,
+) -> Result<(), String> {
+    let groups: Vec<Vec<_>> = compilation
+        .cut_groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .cloned()
+        .collect();
+    let inst = insert_test_hardware(circuit, &groups).map_err(|e| e.to_string())?;
+    std::fs::write(path, writer::to_bench(&inst.circuit))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "wrote {} ({} cells, {} CBIT bits: {} converted, {} multiplexed)",
+        path,
+        inst.circuit.num_cells(),
+        inst.converted_cuts.len() + inst.mux_cuts.len(),
+        inst.converted_cuts.len(),
+        inst.mux_cuts.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok((circuit, compilation)) => {
+            if opts.quiet {
+                println!("{}", PpetReport::table10_header());
+                println!("{}", compilation.report.table10_row());
+            } else {
+                println!("{}", compilation.report);
+            }
+            if let Some(path) = &opts.emit {
+                if let Err(msg) = emit_instrumented(&circuit, &compilation, path) {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

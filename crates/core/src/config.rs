@@ -1,0 +1,183 @@
+//! Merced configuration.
+
+use ppet_cbit::cost::CostSource;
+use ppet_flow::FlowParams;
+use ppet_graph::retime::IoLatency;
+
+/// How the with-retiming CBIT area is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostPolicy {
+    /// The paper's closed-form per-SCC accounting (§4.2): within each
+    /// cyclic SCC, `min(χ, f)` cut bits are converted functional flip-flops
+    /// (0.9 DFF) and the excess `χ − f` is multiplexed (2.3 DFF); cuts
+    /// outside SCCs are always retimable. Fast and faithful to the paper's
+    /// Table 12 accounting.
+    #[default]
+    PaperScc,
+    /// Exact realization through the Leiserson–Saxe difference-constraint
+    /// solver (`ppet_graph::retime::CutRealizer`): per-*cycle* feasibility
+    /// instead of the per-SCC approximation. Slower; used by the ablation
+    /// harness.
+    Solver,
+}
+
+/// Configuration of a [`Merced`](crate::Merced) run.
+///
+/// Defaults follow the paper's §4.1: `l_k = 16`, `β = 50`, flow parameters
+/// `b = 1, min_visit = 20, α = 4, Δ = 0.01`, and the published Table 1 CBIT
+/// costs.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_core::MercedConfig;
+///
+/// let config = MercedConfig::default()
+///     .with_cbit_length(24)
+///     .with_beta(50)
+///     .with_seed(7);
+/// assert_eq!(config.cbit_length, 24);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MercedConfig {
+    /// The input constraint / maximal CBIT length `l_k` (testing time is
+    /// `O(2^{l_k})`). The paper's experiments use 16 and 24.
+    pub cbit_length: usize,
+    /// The SCC cut-budget relaxation `β` of Eq. (6).
+    pub beta: usize,
+    /// `Saturate_Network` parameters.
+    pub flow: FlowParams,
+    /// PRNG seed for the stochastic flow process.
+    pub seed: u64,
+    /// Where CBIT type areas come from (published Table 1 vs. synthesized).
+    pub cost_source: CostSource,
+    /// With-retiming accounting policy.
+    pub cost_policy: CostPolicy,
+    /// I/O latency freedom for the solver policy.
+    pub io_latency: IoLatency,
+}
+
+impl MercedConfig {
+    /// Sets `l_k`.
+    #[must_use]
+    pub fn with_cbit_length(mut self, lk: usize) -> Self {
+        self.cbit_length = lk;
+        self
+    }
+
+    /// Sets `β`.
+    #[must_use]
+    pub fn with_beta(mut self, beta: usize) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the flow parameters.
+    #[must_use]
+    pub fn with_flow(mut self, flow: FlowParams) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the CBIT cost source.
+    #[must_use]
+    pub fn with_cost_source(mut self, source: CostSource) -> Self {
+        self.cost_source = source;
+        self
+    }
+
+    /// Sets the with-retiming cost policy.
+    #[must_use]
+    pub fn with_cost_policy(mut self, policy: CostPolicy) -> Self {
+        self.cost_policy = policy;
+        self
+    }
+
+    /// Sets the I/O latency policy for [`CostPolicy::Solver`].
+    #[must_use]
+    pub fn with_io_latency(mut self, io: IoLatency) -> Self {
+        self.io_latency = io;
+        self
+    }
+
+    /// Validates the configuration; returns a description of the first
+    /// problem, or `None`.
+    #[must_use]
+    pub fn validate(&self) -> Option<String> {
+        if !(2..=32).contains(&self.cbit_length) {
+            return Some(format!(
+                "cbit_length must be in 2..=32, got {}",
+                self.cbit_length
+            ));
+        }
+        if self.beta == 0 {
+            return Some("beta must be at least 1".to_string());
+        }
+        self.flow.validate()
+    }
+}
+
+impl Default for MercedConfig {
+    fn default() -> Self {
+        Self {
+            cbit_length: 16,
+            beta: 50,
+            flow: FlowParams::paper(),
+            seed: 1996,
+            cost_source: CostSource::PaperTable,
+            cost_policy: CostPolicy::PaperScc,
+            io_latency: IoLatency::Flexible,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_4_1() {
+        let c = MercedConfig::default();
+        assert_eq!(c.cbit_length, 16);
+        assert_eq!(c.beta, 50);
+        assert_eq!(c.flow, FlowParams::paper());
+        assert_eq!(c.cost_policy, CostPolicy::PaperScc);
+        assert!(c.validate().is_none());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(MercedConfig::default()
+            .with_cbit_length(1)
+            .validate()
+            .unwrap()
+            .contains("cbit_length"));
+        assert!(MercedConfig::default()
+            .with_cbit_length(40)
+            .validate()
+            .is_some());
+        assert!(MercedConfig::default()
+            .with_beta(0)
+            .validate()
+            .unwrap()
+            .contains("beta"));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = MercedConfig::default()
+            .with_cbit_length(24)
+            .with_seed(5)
+            .with_cost_policy(CostPolicy::Solver);
+        assert_eq!(c.cbit_length, 24);
+        assert_eq!(c.seed, 5);
+        assert_eq!(c.cost_policy, CostPolicy::Solver);
+    }
+}

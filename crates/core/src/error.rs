@@ -1,0 +1,65 @@
+//! Merced error type.
+
+use std::error::Error;
+use std::fmt;
+
+use ppet_netlist::CellId;
+
+/// Errors raised by [`Merced::compile`](crate::Merced::compile).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MercedError {
+    /// The configuration is invalid.
+    Config {
+        /// What is wrong.
+        problem: String,
+    },
+    /// The circuit has a combinational cycle and is not a valid synchronous
+    /// design.
+    CombinationalCycle {
+        /// A cell on the cycle.
+        cell: CellId,
+    },
+    /// The circuit is empty.
+    EmptyCircuit,
+    /// A partition needs more inputs than the largest standard CBIT
+    /// provides (only possible when `l_k` exceeds 32 or clustering was
+    /// forced oversized by a tight `β`).
+    PartitionTooWide {
+        /// The partition's input count.
+        inputs: usize,
+    },
+}
+
+impl fmt::Display for MercedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config { problem } => write!(f, "invalid configuration: {problem}"),
+            Self::CombinationalCycle { cell } => {
+                write!(f, "circuit has a combinational cycle through {cell}")
+            }
+            Self::EmptyCircuit => f.write_str("circuit has no cells"),
+            Self::PartitionTooWide { inputs } => {
+                write!(f, "partition with {inputs} inputs exceeds the largest CBIT (32)")
+            }
+        }
+    }
+}
+
+impl Error for MercedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = MercedError::Config {
+            problem: "beta must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("beta"));
+        assert!(MercedError::EmptyCircuit.to_string().contains("no cells"));
+        let e = MercedError::PartitionTooWide { inputs: 40 };
+        assert!(e.to_string().contains("40"));
+    }
+}

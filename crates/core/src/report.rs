@@ -1,0 +1,264 @@
+//! Compilation reports and paper-style table formatting.
+
+use std::fmt;
+use std::time::Duration;
+
+use ppet_netlist::CircuitStats;
+
+use crate::cost::AreaBreakdown;
+
+/// Summary of one final partition (CUT).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSummary {
+    /// Number of member cells.
+    pub cells: usize,
+    /// Input width ι(π).
+    pub inputs: usize,
+    /// The standard CBIT length assigned (smallest `l` ≥ ι).
+    pub cbit_length: u32,
+}
+
+/// The with/without-retiming area comparison (paper Table 12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaComparison {
+    /// Original circuit area in the paper's units.
+    pub circuit_area: u64,
+    /// With-retiming breakdown.
+    pub with_retiming: AreaBreakdown,
+    /// Without-retiming breakdown.
+    pub without_retiming: AreaBreakdown,
+}
+
+impl AreaComparison {
+    /// `A_CBIT/A_total` (%) with retiming.
+    #[must_use]
+    pub fn pct_with(&self) -> f64 {
+        self.with_retiming.pct_of_circuit(self.circuit_area)
+    }
+
+    /// `A_CBIT/A_total` (%) without retiming.
+    #[must_use]
+    pub fn pct_without(&self) -> f64 {
+        self.without_retiming.pct_of_circuit(self.circuit_area)
+    }
+
+    /// Relative CBIT-area saving of retiming, in percent
+    /// (`(A_wo − A_w) / A_wo`): the paper's headline "average 20 %
+    /// reduction" metric.
+    #[must_use]
+    pub fn saving_pct(&self) -> f64 {
+        let wo = self.without_retiming.deci_dff as f64;
+        if wo == 0.0 {
+            return 0.0;
+        }
+        100.0 * (wo - self.with_retiming.deci_dff as f64) / wo
+    }
+}
+
+/// The Fig. 1 schedule summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleSummary {
+    /// Number of test pipes.
+    pub pipes: usize,
+    /// Pipelined testing time (clock cycles).
+    pub total_cycles: u128,
+    /// Sequential (non-pipelined) testing time.
+    pub sequential_cycles: u128,
+}
+
+/// The full result of a Merced compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpetReport {
+    /// Circuit statistics (the paper's Table 9 columns).
+    pub circuit: CircuitStats,
+    /// `l_k` used.
+    pub cbit_length: usize,
+    /// `β` used.
+    pub beta: usize,
+    /// Flow seed used.
+    pub seed: u64,
+    /// Registers in the circuit ("No. of DFFs").
+    pub dffs: usize,
+    /// Registers inside cyclic SCCs ("DFFs on SCC").
+    pub dffs_on_scc: usize,
+    /// Total cut nets ("nets cut").
+    pub nets_cut: usize,
+    /// Cut nets inside cyclic SCCs ("cut nets on SCC").
+    pub cut_nets_on_scc: usize,
+    /// Nets the SCC budget forced internal.
+    pub forced_internal: usize,
+    /// Clusters before the greedy merge.
+    pub clusters_before_merge: usize,
+    /// Final partitions.
+    pub partitions: Vec<PartitionSummary>,
+    /// Total CBIT hardware cost `Σ p_k n_k` in DFF equivalents (Eq. (4)).
+    pub cbit_cost_dff: f64,
+    /// The Table 12 area comparison.
+    pub area: AreaComparison,
+    /// The Fig. 1 schedule.
+    pub schedule: ScheduleSummary,
+    /// Wall-clock compile time (the Tables 10–11 "CPU time" column).
+    pub elapsed: Duration,
+}
+
+impl PpetReport {
+    /// Formats the Tables 10/11 row:
+    /// `name, DFFs, DFFs on SCC, cut nets on SCC, nets cut, CPU time`.
+    #[must_use]
+    pub fn table10_row(&self) -> String {
+        format!(
+            "{:<10} {:>7} {:>8} {:>9} {:>9} {:>9.2}",
+            self.circuit.name,
+            self.dffs,
+            self.dffs_on_scc,
+            self.cut_nets_on_scc,
+            self.nets_cut,
+            self.elapsed.as_secs_f64()
+        )
+    }
+
+    /// Header matching [`PpetReport::table10_row`].
+    #[must_use]
+    pub fn table10_header() -> String {
+        format!(
+            "{:<10} {:>7} {:>8} {:>9} {:>9} {:>9}",
+            "Circuit", "DFFs", "DFF/SCC", "cuts/SCC", "nets cut", "CPU(s)"
+        )
+    }
+
+    /// The Table 12 percentage pair `(with retiming, without retiming)`.
+    #[must_use]
+    pub fn table12_cells(&self) -> (f64, f64) {
+        (self.area.pct_with(), self.area.pct_without())
+    }
+}
+
+impl fmt::Display for PpetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Merced report for {} (l_k = {}, beta = {}, seed = {})",
+            self.circuit.name, self.cbit_length, self.beta, self.seed
+        )?;
+        writeln!(
+            f,
+            "  circuit: {} PIs, {} DFFs ({} on SCC), {} gates, {} INVs, area {}",
+            self.circuit.primary_inputs,
+            self.dffs,
+            self.dffs_on_scc,
+            self.circuit.gates,
+            self.circuit.inverters,
+            self.circuit.area
+        )?;
+        writeln!(
+            f,
+            "  partitioning: {} clusters -> {} partitions, {} nets cut ({} on SCC, {} forced internal)",
+            self.clusters_before_merge,
+            self.partitions.len(),
+            self.nets_cut,
+            self.cut_nets_on_scc,
+            self.forced_internal
+        )?;
+        writeln!(
+            f,
+            "  CBIT hardware: {:.2} DFF-equivalents across {} CBITs",
+            self.cbit_cost_dff,
+            self.partitions.len()
+        )?;
+        writeln!(
+            f,
+            "  area overhead: {:.1}% with retiming vs {:.1}% without ({:.1}% saving)",
+            self.area.pct_with(),
+            self.area.pct_without(),
+            self.area.saving_pct()
+        )?;
+        writeln!(
+            f,
+            "  testing time: {} cycles pipelined over {} pipes ({} sequential)",
+            self.schedule.total_cycles, self.schedule.pipes, self.schedule.sequential_cycles
+        )?;
+        write!(f, "  compile time: {:.3}s", self.elapsed.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PpetReport {
+        PpetReport {
+            circuit: CircuitStats {
+                name: "s27".into(),
+                primary_inputs: 4,
+                primary_outputs: 1,
+                flip_flops: 3,
+                gates: 8,
+                inverters: 2,
+                area: 51,
+            },
+            cbit_length: 4,
+            beta: 50,
+            seed: 1,
+            dffs: 3,
+            dffs_on_scc: 3,
+            nets_cut: 5,
+            cut_nets_on_scc: 3,
+            forced_internal: 0,
+            clusters_before_merge: 6,
+            partitions: vec![PartitionSummary {
+                cells: 17,
+                inputs: 4,
+                cbit_length: 4,
+            }],
+            cbit_cost_dff: 8.14,
+            area: AreaComparison {
+                circuit_area: 51,
+                with_retiming: crate::cost::AreaBreakdown {
+                    converted_bits: 5,
+                    mux_bits: 0,
+                    deci_dff: 45,
+                },
+                without_retiming: crate::cost::AreaBreakdown {
+                    converted_bits: 1,
+                    mux_bits: 4,
+                    deci_dff: 101,
+                },
+            },
+            schedule: ScheduleSummary {
+                pipes: 1,
+                total_cycles: 16,
+                sequential_cycles: 16,
+            },
+            elapsed: Duration::from_millis(12),
+        }
+    }
+
+    #[test]
+    fn saving_formula() {
+        let r = sample();
+        let expected = 100.0 * (101.0 - 45.0) / 101.0;
+        assert!((r.area.saving_pct() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_align_with_header() {
+        let r = sample();
+        assert_eq!(PpetReport::table10_header().len(), r.table10_row().len());
+        assert!(r.table10_row().starts_with("s27"));
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = sample().to_string();
+        assert!(s.contains("l_k = 4"), "{s}");
+        assert!(s.contains("saving"), "{s}");
+        assert!(s.contains("pipelined"), "{s}");
+    }
+
+    #[test]
+    fn table12_cells_order() {
+        let r = sample();
+        let (w, wo) = r.table12_cells();
+        assert!(w < wo);
+    }
+}

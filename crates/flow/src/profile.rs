@@ -1,0 +1,90 @@
+//! The result of a saturation run.
+
+use ppet_netlist::NetId;
+
+/// Per-net congestion data produced by
+/// [`saturate_network`](crate::saturate_network).
+///
+/// Distances and flows are indexed by net (= driver cell) id. Nets with no
+/// sinks keep the initial distance `1.0` and zero flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionProfile {
+    pub(crate) distance: Vec<f64>,
+    pub(crate) flow: Vec<f64>,
+    pub(crate) visits: Vec<u32>,
+    pub(crate) trees: usize,
+}
+
+impl CongestionProfile {
+    /// The congestion distance `d(e)` of a net.
+    #[must_use]
+    pub fn distance(&self, net: NetId) -> f64 {
+        self.distance[net.index()]
+    }
+
+    /// The accumulated flow of a net.
+    #[must_use]
+    pub fn flow(&self, net: NetId) -> f64 {
+        self.flow[net.index()]
+    }
+
+    /// How many times each node served as a Dijkstra source.
+    #[must_use]
+    pub fn visits(&self) -> &[u32] {
+        &self.visits
+    }
+
+    /// Total number of shortest-path trees computed.
+    #[must_use]
+    pub fn num_trees(&self) -> usize {
+        self.trees
+    }
+
+    /// The raw distance vector (one slot per net id), for use as Dijkstra
+    /// lengths or partitioner boundaries.
+    #[must_use]
+    pub fn distances(&self) -> &[f64] {
+        &self.distance
+    }
+
+    /// The distinct distance values, sorted descending — the paper's sorted
+    /// stack `D` of `Make_Group` STEP 3, from which clustering boundaries
+    /// are popped.
+    #[must_use]
+    pub fn sorted_boundaries(&self) -> Vec<f64> {
+        let mut values: Vec<f64> = self.distance.clone();
+        values.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        values.dedup_by(|a, b| (*a - *b).abs() < f64::EPSILON * a.abs().max(1.0));
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::CellId;
+
+    fn sample() -> CongestionProfile {
+        CongestionProfile {
+            distance: vec![1.0, 2.5, 2.5, 7.0],
+            flow: vec![0.0, 0.2, 0.2, 0.5],
+            visits: vec![3, 3, 3, 3],
+            trees: 12,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let p = sample();
+        assert_eq!(p.distance(CellId::from_index(3)), 7.0);
+        assert_eq!(p.flow(CellId::from_index(1)), 0.2);
+        assert_eq!(p.num_trees(), 12);
+        assert_eq!(p.distances().len(), 4);
+    }
+
+    #[test]
+    fn boundaries_sorted_descending_and_deduplicated() {
+        let p = sample();
+        assert_eq!(p.sorted_boundaries(), vec![7.0, 2.5, 1.0]);
+    }
+}

@@ -1,0 +1,222 @@
+//! The `Saturate_Network` procedure (paper Table 3).
+
+use ppet_graph::{dijkstra, CircuitGraph};
+use ppet_prng::{Rng, Xoshiro256PlusPlus};
+
+use crate::params::FlowParams;
+use crate::profile::CongestionProfile;
+
+/// Runs the probabilistic multicommodity-flow saturation on `graph`.
+///
+/// Follows the paper's Table 3 exactly:
+///
+/// ```text
+/// STEP 1  d(e) = 1, flow(e) = 0, cap(e) = b            for every net
+/// STEP 2  visit(v) = 0                                  for every node
+/// STEP 3  while ∃v: visit(v) ≤ min_visit:
+///   3.1     randomly pick v; visit(v) += 1
+///   3.2     T_v = Dijkstra(G, d(E), v)
+///   3.3     for each net e ∈ T_v: flow(e) += Δ; d(e) = exp(α·flow/cap)
+/// STEP 4  return d(E)
+/// ```
+///
+/// The random source selection uses the workspace PRNG seeded with `seed`,
+/// so the whole process is reproducible. Termination is guaranteed: every
+/// draw increments one visit counter and draws are uniform over all nodes.
+///
+/// # Panics
+///
+/// Panics if `params` fail [`FlowParams::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use ppet_flow::{saturate_network, FlowParams};
+/// use ppet_graph::CircuitGraph;
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let a = saturate_network(&g, &FlowParams::quick(), 7);
+/// let b = saturate_network(&g, &FlowParams::quick(), 7);
+/// assert_eq!(a, b); // deterministic per seed
+/// ```
+#[must_use]
+pub fn saturate_network(
+    graph: &CircuitGraph,
+    params: &FlowParams,
+    seed: u64,
+) -> CongestionProfile {
+    if let Some(problem) = params.validate() {
+        panic!("invalid flow parameters: {problem}");
+    }
+    let n = graph.num_nodes();
+    let mut distance = vec![1.0f64; n];
+    let mut flow = vec![0.0f64; n];
+    let mut visits = vec![0u32; n];
+    let mut trees = 0usize;
+    if n == 0 {
+        return CongestionProfile {
+            distance,
+            flow,
+            visits,
+            trees,
+        };
+    }
+
+    let mut rng = Xoshiro256PlusPlus::seed_from(seed ^ 0x5341_5455_5241_5445); // "SATURATE"
+    let nodes: Vec<_> = graph.nodes().collect();
+    let mut scratch = dijkstra::DijkstraScratch::new(n);
+
+    // STEP 3: continue until every node has been visited more than
+    // `min_visit` times (the paper's loop condition is
+    // `∃v: visit(v) <= min_visit`).
+    let mut below_count = n; // nodes with visit <= min_visit
+    while below_count > 0 {
+        if params.max_trees.is_some_and(|cap| trees as u64 >= cap) {
+            break; // tree budget exhausted (see FlowParams::max_trees)
+        }
+        let v = nodes[rng.gen_index(n)];
+        visits[v.index()] += 1;
+        if visits[v.index()] == params.min_visit + 1 {
+            below_count -= 1;
+        }
+        scratch.run(graph, v, &distance);
+        trees += 1;
+        if params.per_branch {
+            for (net, count) in scratch.tree_net_branch_counts() {
+                let i = net.index();
+                flow[i] += params.delta * count as f64;
+                distance[i] = (params.alpha * flow[i] / params.capacity).exp();
+            }
+        } else {
+            for net in scratch.tree_nets() {
+                let i = net.index();
+                flow[i] += params.delta;
+                distance[i] = (params.alpha * flow[i] / params.capacity).exp();
+            }
+        }
+    }
+
+    CongestionProfile {
+        distance,
+        flow,
+        visits,
+        trees,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_graph::scc::Scc;
+    use ppet_netlist::data;
+
+    fn s27() -> CircuitGraph {
+        CircuitGraph::from_circuit(&data::s27())
+    }
+
+    #[test]
+    fn every_node_visited_enough() {
+        let g = s27();
+        let p = FlowParams::quick();
+        let prof = saturate_network(&g, &p, 1);
+        for (i, &v) in prof.visits().iter().enumerate() {
+            assert!(v > p.min_visit, "node {i} visited only {v} times");
+        }
+        assert!(prof.num_trees() >= g.num_nodes() * p.min_visit as usize);
+    }
+
+    #[test]
+    fn distances_consistent_with_flow() {
+        let g = s27();
+        let p = FlowParams::quick();
+        let prof = saturate_network(&g, &p, 2);
+        for (net, _) in g.nets() {
+            let expected = (p.alpha * prof.flow(net) / p.capacity).exp();
+            let got = prof.distance(net);
+            if prof.flow(net) == 0.0 {
+                assert_eq!(got, 1.0);
+            } else {
+                assert!((got - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nets_without_sinks_stay_untouched() {
+        let g = s27();
+        let prof = saturate_network(&g, &FlowParams::quick(), 3);
+        let g17 = g.find("G17").unwrap(); // primary output, no sinks
+        assert_eq!(prof.flow(g17), 0.0);
+        assert_eq!(prof.distance(g17), 1.0);
+    }
+
+    #[test]
+    fn scc_nets_are_more_congested_than_periphery() {
+        // The paper's Fig. 5 observation: equiprobable source selection
+        // pushes flow onto strongly-connected nets. Compare the mean flow of
+        // nets inside the sequential core to the mean over PI nets.
+        let g = s27();
+        let prof = saturate_network(&g, &FlowParams::paper(), 4);
+        let scc = Scc::of(&g);
+        let mut core = Vec::new();
+        let mut pi = Vec::new();
+        for (net, _) in g.nets() {
+            if scc.net_in_cyclic_component(&g, net) {
+                core.push(prof.flow(net));
+            } else if g.is_input(net) {
+                pi.push(prof.flow(net));
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&core) > mean(&pi),
+            "core {:?} vs pi {:?}",
+            mean(&core),
+            mean(&pi)
+        );
+    }
+
+    #[test]
+    fn per_branch_accumulates_at_least_per_net() {
+        let g = s27();
+        let mut p = FlowParams::quick();
+        let per_net = saturate_network(&g, &p, 5);
+        p.per_branch = true;
+        let per_branch = saturate_network(&g, &p, 5);
+        // Same seed => same visit sequence on the first tree; flows cannot
+        // be directly compared net-by-net after divergence, but totals can:
+        let tot_net: f64 = (0..g.num_nodes())
+            .map(|i| per_net.flow(ppet_netlist::CellId::from_index(i)))
+            .sum();
+        let tot_branch: f64 = (0..g.num_nodes())
+            .map(|i| per_branch.flow(ppet_netlist::CellId::from_index(i)))
+            .sum();
+        assert!(tot_branch >= tot_net * 0.99);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = s27();
+        let a = saturate_network(&g, &FlowParams::quick(), 1);
+        let b = saturate_network(&g, &FlowParams::quick(), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid flow parameters")]
+    fn invalid_parameters_panic() {
+        let g = s27();
+        let mut p = FlowParams::paper();
+        p.alpha = 0.0;
+        let _ = saturate_network(&g, &p, 0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let c = ppet_netlist::Circuit::new("empty");
+        let g = CircuitGraph::from_circuit(&c);
+        let prof = saturate_network(&g, &FlowParams::quick(), 0);
+        assert_eq!(prof.num_trees(), 0);
+    }
+}

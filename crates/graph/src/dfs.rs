@@ -1,0 +1,98 @@
+//! Reachability utilities (iterative depth-first search).
+
+use ppet_netlist::CellId;
+
+use crate::graph::CircuitGraph;
+
+/// Direction of traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow nets from driver to sinks.
+    Forward,
+    /// Follow fan-ins from sink to drivers.
+    Backward,
+}
+
+/// Returns every node reachable from `start` (including `start`), following
+/// branches in the given direction.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::{dfs, CircuitGraph};
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let from_g0 = dfs::reachable(&g, g.find("G0").unwrap(), dfs::Direction::Forward);
+/// assert!(from_g0.contains(&g.find("G14").unwrap())); // G14 = NOT(G0)
+/// ```
+#[must_use]
+pub fn reachable(graph: &CircuitGraph, start: CellId, dir: Direction) -> Vec<CellId> {
+    let mut seen = vec![false; graph.num_nodes()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        let push = |stack: &mut Vec<CellId>, seen: &mut Vec<bool>, w: CellId| {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        };
+        match dir {
+            Direction::Forward => {
+                for &w in graph.net(v).sinks() {
+                    push(&mut stack, &mut seen, w);
+                }
+            }
+            Direction::Backward => {
+                for &w in graph.fanin(v) {
+                    push(&mut stack, &mut seen, w);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// True if `to` is reachable from `from` following driver→sink branches.
+#[must_use]
+pub fn can_reach(graph: &CircuitGraph, from: CellId, to: CellId) -> bool {
+    reachable(graph, from, Direction::Forward).binary_search(&to).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::data;
+
+    #[test]
+    fn forward_and_backward_are_converses() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        for a in g.nodes() {
+            let fwd = reachable(&g, a, Direction::Forward);
+            for &b in &fwd {
+                let back = reachable(&g, b, Direction::Backward);
+                assert!(back.binary_search(&a).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_includes_start() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let v = g.find("G9").unwrap();
+        assert!(reachable(&g, v, Direction::Forward).contains(&v));
+    }
+
+    #[test]
+    fn can_reach_through_registers() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        // G10 drives DFF G5 which drives G11.
+        assert!(can_reach(&g, g.find("G10").unwrap(), g.find("G11").unwrap()));
+        // Primary inputs are never reachable from internal logic.
+        assert!(!can_reach(&g, g.find("G9").unwrap(), g.find("G0").unwrap()));
+    }
+}

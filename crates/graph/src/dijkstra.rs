@@ -1,0 +1,403 @@
+//! Deterministic single-source shortest-path trees over net lengths.
+//!
+//! `Saturate_Network` (paper Table 3, STEP 3.2) computes, for a randomly
+//! chosen source, the shortest-path tree `T_v = Dijkstra(G, d(E), v)` to all
+//! reachable sinks, where the length of every branch of a net is that net's
+//! congestion distance `d(e)`. Ties are broken by node id so the tree — and
+//! therefore the whole stochastic flow process — is reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ppet_netlist::{CellId, NetId};
+
+use crate::graph::CircuitGraph;
+
+/// The result of a shortest-path-tree computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// `dist[v]` — length of the shortest path from the source, `f64::INFINITY`
+    /// when unreachable.
+    pub dist: Vec<f64>,
+    /// `parent_net[v]` — the net whose branch enters `v` on the tree path
+    /// (`None` for the source and unreachable nodes).
+    pub parent_net: Vec<Option<NetId>>,
+    /// The source node.
+    pub source: CellId,
+}
+
+impl ShortestPathTree {
+    /// The distinct nets used by the tree — the paper's `e ∈ T_v` set
+    /// (each net counted once regardless of how many tree branches it
+    /// contributes, see `DESIGN.md` §3 item 5).
+    #[must_use]
+    pub fn tree_nets(&self) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = self.parent_net.iter().flatten().copied().collect();
+        nets.sort_unstable();
+        nets.dedup();
+        nets
+    }
+
+    /// The number of tree branches entering each net's sinks — the
+    /// per-branch accounting variant (`flow_per_branch` in the flow
+    /// parameters).
+    #[must_use]
+    pub fn tree_net_branch_counts(&self) -> Vec<(NetId, usize)> {
+        let mut nets: Vec<NetId> = self.parent_net.iter().flatten().copied().collect();
+        nets.sort_unstable();
+        let mut out: Vec<(NetId, usize)> = Vec::new();
+        for n in nets {
+            match out.last_mut() {
+                Some((last, count)) if *last == n => *count += 1,
+                _ => out.push((n, 1)),
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance, tie-broken by node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes the shortest-path tree from `source`, where every branch of net
+/// `e` has length `length[e]`.
+///
+/// # Panics
+///
+/// Panics if `length.len() != graph.num_nodes()` (one length per net slot)
+/// or any length is negative or NaN.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::{dijkstra, CircuitGraph};
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let unit = vec![1.0; g.num_nodes()];
+/// let spt = dijkstra::shortest_path_tree(&g, g.find("G0").unwrap(), &unit);
+/// let g14 = g.find("G14").unwrap(); // NOT(G0): one hop
+/// assert_eq!(spt.dist[g14.index()], 1.0);
+/// ```
+#[must_use]
+pub fn shortest_path_tree(graph: &CircuitGraph, source: CellId, length: &[f64]) -> ShortestPathTree {
+    let mut scratch = DijkstraScratch::new(graph.num_nodes());
+    scratch.run(graph, source, length);
+    ShortestPathTree {
+        dist: scratch.dist.clone(),
+        parent_net: scratch.parent_net.clone(),
+        source,
+    }
+}
+
+/// Reusable work buffers for repeated shortest-path-tree computations.
+///
+/// `Saturate_Network` runs tens of thousands of Dijkstra trees over the
+/// same graph; reallocating and re-initializing the distance/parent/done
+/// arrays every time dominates small-tree runs. The scratch keeps the
+/// arrays alive and resets them lazily through a visitation stamp, so a run
+/// touching `k` nodes costs `O(k log k)` regardless of `|V|`.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::{dijkstra::DijkstraScratch, CircuitGraph};
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let unit = vec![1.0; g.num_nodes()];
+/// let mut scratch = DijkstraScratch::new(g.num_nodes());
+/// scratch.run(&g, g.find("G0").unwrap(), &unit);
+/// let visited = scratch.visited_order().len();
+/// assert!(visited >= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    parent_net: Vec<Option<NetId>>,
+    stamp: Vec<u32>,
+    done: Vec<bool>,
+    epoch: u32,
+    heap: BinaryHeap<HeapEntry>,
+    visited: Vec<CellId>,
+}
+
+impl DijkstraScratch {
+    /// Creates buffers for graphs of `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            dist: vec![f64::INFINITY; n],
+            parent_net: vec![None; n],
+            stamp: vec![0; n],
+            done: vec![false; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            visited: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self, v: usize) -> bool {
+        if self.stamp[v] != self.epoch {
+            self.stamp[v] = self.epoch;
+            self.dist[v] = f64::INFINITY;
+            self.parent_net[v] = None;
+            self.done[v] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs Dijkstra from `source`; results are readable until the next
+    /// `run` via [`DijkstraScratch::distance`],
+    /// [`DijkstraScratch::parent`], and [`DijkstraScratch::visited_order`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length.len()` differs from the node count or any length
+    /// is negative.
+    pub fn run(&mut self, graph: &CircuitGraph, source: CellId, length: &[f64]) {
+        assert_eq!(
+            length.len(),
+            graph.num_nodes(),
+            "one length per net slot required"
+        );
+        debug_assert!(
+            length.iter().all(|&l| l >= 0.0),
+            "net lengths must be non-negative"
+        );
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: force full reset.
+            self.stamp.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+        self.visited.clear();
+        let s = source.index();
+        self.fresh(s);
+        self.dist[s] = 0.0;
+        self.heap.push(HeapEntry {
+            dist: 0.0,
+            node: s as u32,
+        });
+        while let Some(HeapEntry { dist: d, node }) = self.heap.pop() {
+            let v = node as usize;
+            if self.done[v] {
+                continue;
+            }
+            self.done[v] = true;
+            self.visited.push(CellId::from_index(v));
+            let net = CellId::from_index(v);
+            let l = length[v];
+            for &w in graph.net(net).sinks() {
+                let wi = w.index();
+                self.fresh(wi);
+                let nd = d + l;
+                if nd < self.dist[wi] {
+                    self.dist[wi] = nd;
+                    self.parent_net[wi] = Some(net);
+                    self.heap.push(HeapEntry {
+                        dist: nd,
+                        node: wi as u32,
+                    });
+                } else if nd == self.dist[wi]
+                    && !self.done[wi]
+                    && should_replace(self.parent_net[wi], net)
+                {
+                    // Equal distance: prefer the smaller parent net id so
+                    // the tree is unique regardless of heap pop order.
+                    self.parent_net[wi] = Some(net);
+                }
+            }
+        }
+    }
+
+    /// Distance of `node` from the last run's source (`INFINITY` when
+    /// unreached).
+    #[must_use]
+    pub fn distance(&self, node: CellId) -> f64 {
+        if self.stamp[node.index()] == self.epoch {
+            self.dist[node.index()]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The tree parent net of `node`, if reached.
+    #[must_use]
+    pub fn parent(&self, node: CellId) -> Option<NetId> {
+        if self.stamp[node.index()] == self.epoch {
+            self.parent_net[node.index()]
+        } else {
+            None
+        }
+    }
+
+    /// Nodes settled by the last run, in settle order (source first).
+    #[must_use]
+    pub fn visited_order(&self) -> &[CellId] {
+        &self.visited
+    }
+
+    /// The distinct nets used by the last run's tree (each net once).
+    #[must_use]
+    pub fn tree_nets(&self) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = self
+            .visited
+            .iter()
+            .filter_map(|&v| self.parent(v))
+            .collect();
+        nets.sort_unstable();
+        nets.dedup();
+        nets
+    }
+
+    /// Per-net branch counts of the last run's tree.
+    #[must_use]
+    pub fn tree_net_branch_counts(&self) -> Vec<(NetId, usize)> {
+        let mut nets: Vec<NetId> = self
+            .visited
+            .iter()
+            .filter_map(|&v| self.parent(v))
+            .collect();
+        nets.sort_unstable();
+        let mut out: Vec<(NetId, usize)> = Vec::new();
+        for n in nets {
+            match out.last_mut() {
+                Some((last, count)) if *last == n => *count += 1,
+                _ => out.push((n, 1)),
+            }
+        }
+        out
+    }
+}
+
+fn should_replace(current: Option<NetId>, candidate: NetId) -> bool {
+    match current {
+        None => true,
+        Some(c) => candidate < c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::data;
+
+    fn s27_graph() -> CircuitGraph {
+        CircuitGraph::from_circuit(&data::s27())
+    }
+
+    #[test]
+    fn source_distance_zero_and_unreachable_infinite() {
+        let g = s27_graph();
+        let unit = vec![1.0; g.num_nodes()];
+        let src = g.find("G9").unwrap();
+        let spt = shortest_path_tree(&g, src, &unit);
+        assert_eq!(spt.dist[src.index()], 0.0);
+        // Primary inputs are unreachable from internal nodes.
+        assert!(spt.dist[g.find("G0").unwrap().index()].is_infinite());
+    }
+
+    #[test]
+    fn tree_parent_edges_are_consistent() {
+        let g = s27_graph();
+        let unit = vec![1.0; g.num_nodes()];
+        let spt = shortest_path_tree(&g, g.find("G0").unwrap(), &unit);
+        for v in g.nodes() {
+            if let Some(p) = spt.parent_net[v.index()] {
+                // The parent net's branch must land on v and distances must
+                // satisfy the tree equality.
+                assert!(g.net(p).sinks().contains(&v));
+                let d_parent = spt.dist[p.index()];
+                assert!((spt.dist[v.index()] - (d_parent + unit[p.index()])).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bellman_ford_distances() {
+        let g = s27_graph();
+        // Varied lengths: net i has length (i % 5) + 0.5.
+        let lengths: Vec<f64> = (0..g.num_nodes()).map(|i| (i % 5) as f64 + 0.5).collect();
+        for src in g.nodes() {
+            let spt = shortest_path_tree(&g, src, &lengths);
+            // Reference: Bellman-Ford relaxation.
+            let mut dist = vec![f64::INFINITY; g.num_nodes()];
+            dist[src.index()] = 0.0;
+            for _ in 0..g.num_nodes() {
+                for b in g.branches() {
+                    let nd = dist[b.src.index()] + lengths[b.net.index()];
+                    if nd < dist[b.sink.index()] {
+                        dist[b.sink.index()] = nd;
+                    }
+                }
+            }
+            for v in g.nodes() {
+                let a = spt.dist[v.index()];
+                let b = dist[v.index()];
+                assert!(
+                    (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                    "src {src} node {v}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_tree() {
+        let g = s27_graph();
+        let unit = vec![1.0; g.num_nodes()];
+        let a = shortest_path_tree(&g, g.find("G1").unwrap(), &unit);
+        let b = shortest_path_tree(&g, g.find("G1").unwrap(), &unit);
+        assert_eq!(a.parent_net, b.parent_net);
+    }
+
+    #[test]
+    fn tree_nets_deduplicate() {
+        let g = s27_graph();
+        let unit = vec![1.0; g.num_nodes()];
+        let spt = shortest_path_tree(&g, g.find("G0").unwrap(), &unit);
+        let nets = spt.tree_nets();
+        let mut sorted = nets.clone();
+        sorted.dedup();
+        assert_eq!(nets, sorted);
+        let per_branch = spt.tree_net_branch_counts();
+        let total: usize = per_branch.iter().map(|(_, c)| c).sum();
+        let used_branches = spt.parent_net.iter().flatten().count();
+        assert_eq!(total, used_branches);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_rejected() {
+        let g = s27_graph();
+        let mut lengths = vec![1.0; g.num_nodes()];
+        lengths[0] = -1.0;
+        let _ = shortest_path_tree(&g, g.find("G0").unwrap(), &lengths);
+    }
+}

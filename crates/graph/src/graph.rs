@@ -1,0 +1,285 @@
+//! The multi-pin circuit graph (paper §2.1, Fig. 2).
+
+use ppet_netlist::{CellId, CellKind, Circuit, NetId};
+
+/// One net of the multi-pin model: a single driver with explicit fan-out
+/// branches. The net's identifier equals its driver's [`CellId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    pub(crate) src: CellId,
+    pub(crate) sinks: Vec<CellId>,
+}
+
+impl Net {
+    /// The driving node.
+    #[must_use]
+    pub fn src(&self) -> CellId {
+        self.src
+    }
+
+    /// The sink nodes, one per consuming pin (a node reading the net on two
+    /// pins appears twice).
+    #[must_use]
+    pub fn sinks(&self) -> &[CellId] {
+        &self.sinks
+    }
+
+    /// Number of consuming pins.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.sinks.len()
+    }
+}
+
+/// One directed branch of a net: `src → sink`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Branch {
+    /// The net this branch belongs to.
+    pub net: NetId,
+    /// Driving node.
+    pub src: CellId,
+    /// Consuming node.
+    pub sink: CellId,
+}
+
+/// The directed multi-pin graph `G(V = R ∪ C, E)` of a circuit.
+///
+/// Nodes are the circuit's cells (primary inputs, gates, flip-flops);
+/// each net is one logical edge with branches to every fan-out, exactly as
+/// in the paper's Fig. 2(b). The graph borrows nothing: it snapshots the
+/// structure so partitioning can proceed while the caller keeps mutating or
+/// dropping the original circuit.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::CircuitGraph;
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// assert_eq!(g.num_nodes(), 17);
+/// // G11 fans out to three places (G17, G10, and DFF G6).
+/// let g11 = g.find("G11").unwrap();
+/// assert_eq!(g.net(g11).degree(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitGraph {
+    name: String,
+    kinds: Vec<CellKind>,
+    names: Vec<String>,
+    fanin: Vec<Vec<CellId>>,
+    nets: Vec<Net>,
+    outputs: Vec<NetId>,
+}
+
+impl CircuitGraph {
+    /// Builds the graph of `circuit`.
+    #[must_use]
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let n = circuit.num_cells();
+        let mut kinds = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        let mut fanin = Vec::with_capacity(n);
+        let mut nets: Vec<Net> = (0..n)
+            .map(|i| Net {
+                src: CellId::from_index(i),
+                sinks: Vec::new(),
+            })
+            .collect();
+        for (id, cell) in circuit.iter() {
+            kinds.push(cell.kind());
+            names.push(cell.name().to_string());
+            fanin.push(cell.fanin().to_vec());
+            for &f in cell.fanin() {
+                nets[f.index()].sinks.push(id);
+            }
+        }
+        Self {
+            name: circuit.name().to_string(),
+            kinds,
+            names,
+            fanin,
+            nets,
+            outputs: circuit.outputs().to_vec(),
+        }
+    }
+
+    /// The source circuit's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes (`|V|`).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of nets with at least one sink (`|E|` in the multi-pin sense).
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.nets.iter().filter(|n| !n.sinks.is_empty()).count()
+    }
+
+    /// Total number of branches (sum of net degrees).
+    #[must_use]
+    pub fn num_branches(&self) -> usize {
+        self.nets.iter().map(Net::degree).sum()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.kinds.len()).map(CellId::from_index)
+    }
+
+    /// The kind of a node.
+    #[must_use]
+    pub fn kind(&self, id: CellId) -> CellKind {
+        self.kinds[id.index()]
+    }
+
+    /// The name of a node.
+    #[must_use]
+    pub fn node_name(&self, id: CellId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks up a node by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<CellId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(CellId::from_index)
+    }
+
+    /// True if the node is a register (`R`).
+    #[must_use]
+    pub fn is_register(&self, id: CellId) -> bool {
+        self.kinds[id.index()] == CellKind::Dff
+    }
+
+    /// True if the node is a primary input.
+    #[must_use]
+    pub fn is_input(&self, id: CellId) -> bool {
+        self.kinds[id.index()] == CellKind::Input
+    }
+
+    /// Number of register nodes.
+    #[must_use]
+    pub fn num_registers(&self) -> usize {
+        self.kinds.iter().filter(|&&k| k == CellKind::Dff).count()
+    }
+
+    /// The fan-in drivers of a node, in pin order.
+    #[must_use]
+    pub fn fanin(&self, id: CellId) -> &[CellId] {
+        &self.fanin[id.index()]
+    }
+
+    /// The net driven by `id` (may have zero sinks).
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// All nets with at least one sink.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.sinks.is_empty())
+            .map(|(i, n)| (CellId::from_index(i), n))
+    }
+
+    /// All branches, net by net.
+    pub fn branches(&self) -> impl Iterator<Item = Branch> + '_ {
+        self.nets().flat_map(|(net, n)| {
+            n.sinks.iter().map(move |&sink| Branch {
+                net,
+                src: n.src,
+                sink,
+            })
+        })
+    }
+
+    /// Primary-output nets.
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// The distinct undirected neighbours of a node (sources of its fan-in
+    /// nets and sinks of its own net) — the adjacency used when clusters are
+    /// grown over uncut nets.
+    #[must_use]
+    pub fn undirected_neighbors(&self, id: CellId) -> Vec<CellId> {
+        let mut out: Vec<CellId> = self.fanin[id.index()].clone();
+        out.extend_from_slice(&self.nets[id.index()].sinks);
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&x| x != id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::data;
+
+    #[test]
+    fn s27_graph_shape() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        assert_eq!(g.num_nodes(), 17);
+        assert_eq!(g.num_registers(), 3);
+        // Every net's sinks agree with the cells' fan-ins.
+        let total_pins: usize = g.nodes().map(|id| g.fanin(id).len()).sum();
+        assert_eq!(g.num_branches(), total_pins);
+    }
+
+    #[test]
+    fn multi_fanout_nets_are_single_nets() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        // G8 feeds G15 and G16: one net, two branches.
+        let g8 = g.find("G8").unwrap();
+        assert_eq!(g.net(g8).degree(), 2);
+        assert_eq!(g.net(g8).src(), g8);
+    }
+
+    #[test]
+    fn output_only_nets_have_no_sinks() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let g17 = g.find("G17").unwrap();
+        assert_eq!(g.net(g17).degree(), 0);
+        assert!(g.outputs().contains(&g17));
+        // Zero-sink nets are excluded from `nets()`.
+        assert!(g.nets().all(|(_, n)| n.degree() > 0));
+    }
+
+    #[test]
+    fn undirected_neighbors_are_symmetric() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        for a in g.nodes() {
+            for b in g.undirected_neighbors(a) {
+                assert!(
+                    g.undirected_neighbors(b).contains(&a),
+                    "{} <-> {}",
+                    g.node_name(a),
+                    g.node_name(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        assert!(g.find("G0").is_some());
+        assert!(g.find("nope").is_none());
+        let g0 = g.find("G0").unwrap();
+        assert!(g.is_input(g0));
+        assert!(!g.is_register(g0));
+    }
+}

@@ -1,0 +1,296 @@
+//! Minimum-cost flow (successive shortest paths with potentials).
+//!
+//! The engine behind [min-area retiming](crate::retime::minimize_registers):
+//! minimizing a linear objective over difference constraints is the LP dual
+//! of a transshipment problem, and the node potentials of a min-cost flow
+//! at optimality *are* an optimal primal assignment. The solver is generic,
+//! so it is tested standalone against brute force.
+
+/// One directed arc of the flow network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Arc {
+    to: usize,
+    rev: usize,
+    cap: i64,
+    cost: i64,
+}
+
+/// A minimum-cost flow problem over `n` nodes.
+///
+/// Arcs carry integer capacities and costs; node *supplies* (positive =
+/// source, negative = sink) define a transshipment instance solved by
+/// [`MinCostFlow::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::mincost::MinCostFlow;
+///
+/// // Ship 2 units from node 0 to node 2; the cheap path wins.
+/// let mut mcf = MinCostFlow::new(3);
+/// mcf.add_arc(0, 1, 2, 1);
+/// mcf.add_arc(1, 2, 2, 1);
+/// mcf.add_arc(0, 2, 2, 5);
+/// mcf.set_supply(0, 2);
+/// mcf.set_supply(2, -2);
+/// let solution = mcf.solve().expect("feasible");
+/// assert_eq!(solution.total_cost, 4); // 2 units over cost-2 path
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    graph: Vec<Vec<Arc>>,
+    supply: Vec<i64>,
+}
+
+/// The result of [`MinCostFlow::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSolution {
+    /// Total cost of the shipped flow.
+    pub total_cost: i64,
+    /// Final node potentials: for every residual arc `u → v` with cost `c`,
+    /// `c + π(u) − π(v) ≥ 0`. For transshipment instances derived from
+    /// difference-constraint LPs, `π` is an optimal primal assignment.
+    pub potentials: Vec<i64>,
+}
+
+impl MinCostFlow {
+    /// Creates an empty network over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            graph: vec![Vec::new(); n],
+            supply: vec![0; n],
+        }
+    }
+
+    /// Adds an arc `from → to` with the given capacity and per-unit cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `cap < 0`.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: i64, cost: i64) {
+        assert!(from < self.graph.len() && to < self.graph.len());
+        assert!(cap >= 0, "capacity must be non-negative");
+        let rev_from = self.graph[to].len() + usize::from(from == to);
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(Arc {
+            to,
+            rev: rev_from,
+            cap,
+            cost,
+        });
+        self.graph[to].push(Arc {
+            to: from,
+            rev: rev_to,
+            cap: 0,
+            cost: -cost,
+        });
+    }
+
+    /// Sets a node's supply (positive) or demand (negative).
+    pub fn set_supply(&mut self, node: usize, supply: i64) {
+        self.supply[node] = supply;
+    }
+
+    /// Solves the transshipment problem. Returns `None` when the supplies
+    /// cannot be routed (infeasible) or do not balance.
+    ///
+    /// Successive shortest paths: potentials initialized by Bellman–Ford
+    /// (costs may be negative), then Dijkstra on reduced costs per
+    /// augmentation.
+    #[must_use]
+    pub fn solve(mut self) -> Option<FlowSolution> {
+        let n = self.graph.len();
+        if self.supply.iter().sum::<i64>() != 0 {
+            return None;
+        }
+        // Super source/sink.
+        let s = n;
+        let t = n + 1;
+        self.graph.push(Vec::new());
+        self.graph.push(Vec::new());
+        let mut need = 0;
+        for v in 0..n {
+            if self.supply[v] > 0 {
+                need += self.supply[v];
+                let sup = self.supply[v];
+                self.add_arc(s, v, sup, 0);
+            } else if self.supply[v] < 0 {
+                let dem = -self.supply[v];
+                self.add_arc(v, t, dem, 0);
+            }
+        }
+        let n2 = n + 2;
+
+        // Bellman–Ford potentials over arcs with residual capacity
+        // (initial graph: original arcs + source/sink arcs). A negative
+        // cycle means the instance is unbounded/infeasible for the LP-dual
+        // use case — reject it.
+        let mut pot = vec![0i64; n2];
+        let mut settled = false;
+        for _ in 0..=n2 {
+            let mut changed = false;
+            for u in 0..n2 {
+                for a in &self.graph[u] {
+                    if a.cap > 0 && pot[u] + a.cost < pot[a.to] {
+                        pot[a.to] = pot[u] + a.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                settled = true;
+                break;
+            }
+        }
+        if !settled {
+            return None; // negative cost cycle
+        }
+
+        let mut total_cost = 0i64;
+        let mut shipped = 0i64;
+        while shipped < need {
+            // Dijkstra on reduced costs from s.
+            const INF: i64 = i64::MAX / 4;
+            let mut dist = vec![INF; n2];
+            let mut prev: Vec<Option<(usize, usize)>> = vec![None; n2];
+            let mut heap = std::collections::BinaryHeap::new();
+            dist[s] = 0;
+            heap.push(std::cmp::Reverse((0i64, s)));
+            while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                for (ai, a) in self.graph[u].iter().enumerate() {
+                    if a.cap <= 0 {
+                        continue;
+                    }
+                    let rc = a.cost + pot[u] - pot[a.to];
+                    debug_assert!(rc >= 0, "negative reduced cost");
+                    let nd = d + rc;
+                    if nd < dist[a.to] {
+                        dist[a.to] = nd;
+                        prev[a.to] = Some((u, ai));
+                        heap.push(std::cmp::Reverse((nd, a.to)));
+                    }
+                }
+            }
+            if dist[t] >= INF {
+                return None; // cannot route remaining supply
+            }
+            for v in 0..n2 {
+                if dist[v] < INF {
+                    pot[v] += dist[v];
+                }
+            }
+            // Bottleneck along the path.
+            let mut bottleneck = need - shipped;
+            let mut v = t;
+            while let Some((u, ai)) = prev[v] {
+                bottleneck = bottleneck.min(self.graph[u][ai].cap);
+                v = u;
+            }
+            // Augment.
+            let mut v = t;
+            while let Some((u, ai)) = prev[v] {
+                let rev = self.graph[u][ai].rev;
+                self.graph[u][ai].cap -= bottleneck;
+                self.graph[v][rev].cap += bottleneck;
+                total_cost += bottleneck * self.graph[u][ai].cost;
+                v = u;
+            }
+            shipped += bottleneck;
+        }
+
+        pot.truncate(n);
+        Some(FlowSolution {
+            total_cost,
+            potentials: pot,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_balanced_network() {
+        let mcf = MinCostFlow::new(2);
+        let sol = mcf.solve().unwrap();
+        assert_eq!(sol.total_cost, 0);
+    }
+
+    #[test]
+    fn prefers_the_cheap_path() {
+        let mut mcf = MinCostFlow::new(4);
+        mcf.add_arc(0, 1, 10, 1);
+        mcf.add_arc(1, 3, 10, 1);
+        mcf.add_arc(0, 2, 10, 3);
+        mcf.add_arc(2, 3, 10, 3);
+        mcf.set_supply(0, 5);
+        mcf.set_supply(3, -5);
+        let sol = mcf.solve().unwrap();
+        assert_eq!(sol.total_cost, 10);
+    }
+
+    #[test]
+    fn splits_across_paths_when_capacity_binds() {
+        let mut mcf = MinCostFlow::new(4);
+        mcf.add_arc(0, 1, 3, 1);
+        mcf.add_arc(1, 3, 3, 1);
+        mcf.add_arc(0, 2, 10, 3);
+        mcf.add_arc(2, 3, 10, 3);
+        mcf.set_supply(0, 5);
+        mcf.set_supply(3, -5);
+        let sol = mcf.solve().unwrap();
+        // 3 units at cost 2 + 2 units at cost 6.
+        assert_eq!(sol.total_cost, 3 * 2 + 2 * 6);
+    }
+
+    #[test]
+    fn infeasible_when_disconnected() {
+        let mut mcf = MinCostFlow::new(3);
+        mcf.add_arc(0, 1, 10, 1);
+        mcf.set_supply(0, 1);
+        mcf.set_supply(2, -1);
+        assert!(mcf.solve().is_none());
+    }
+
+    #[test]
+    fn unbalanced_supplies_rejected() {
+        let mut mcf = MinCostFlow::new(2);
+        mcf.set_supply(0, 1);
+        assert!(mcf.solve().is_none());
+    }
+
+    #[test]
+    fn negative_costs_handled_by_potentials() {
+        // A negative-cost arc on the cheap route.
+        let mut mcf = MinCostFlow::new(4);
+        mcf.add_arc(0, 1, 10, -2);
+        mcf.add_arc(1, 3, 10, 1);
+        mcf.add_arc(0, 2, 10, 0);
+        mcf.add_arc(2, 3, 10, 0);
+        mcf.set_supply(0, 4);
+        mcf.set_supply(3, -4);
+        let sol = mcf.solve().unwrap();
+        assert_eq!(sol.total_cost, -4);
+    }
+
+    #[test]
+    fn potentials_certify_optimality() {
+        let mut mcf = MinCostFlow::new(4);
+        mcf.add_arc(0, 1, 5, 2);
+        mcf.add_arc(1, 2, 5, -1);
+        mcf.add_arc(2, 3, 5, 4);
+        mcf.add_arc(0, 3, 2, 3);
+        mcf.set_supply(0, 3);
+        mcf.set_supply(3, -3);
+        let sol = mcf.solve().unwrap();
+        let _ = sol.potentials; // existence checked; reduced-cost law is
+                                // asserted inside solve() via debug_assert.
+        assert_eq!(sol.total_cost, 2 * 3 + 5);
+    }
+}
+

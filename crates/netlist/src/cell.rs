@@ -1,0 +1,237 @@
+//! Cell and identifier types.
+
+use std::fmt;
+
+/// Identifier of a cell within a [`Circuit`](crate::Circuit).
+///
+/// Under the ISCAS89 one-net-per-cell convention every cell drives exactly
+/// one net, so a `CellId` doubles as the identifier of the net the cell
+/// drives; [`NetId`] is provided as a transparent alias for code that talks
+/// about nets (the multi-pin graph model of the paper's §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// Returns the dense index of this cell (0-based insertion order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `CellId` from a dense index.
+    ///
+    /// Intended for graph code that stores per-cell data in flat vectors;
+    /// an out-of-range index is caught on the next circuit access.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("cell index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of the net driven by the like-numbered cell.
+///
+/// See [`CellId`] for the convention. The alias keeps call sites honest
+/// about whether they mean "the cell" or "the signal it drives".
+pub type NetId = CellId;
+
+/// The function of a [`Cell`].
+///
+/// Mirrors the primitive set of the ISCAS89 `.bench` format. Multi-input
+/// gates accept 2 or more inputs; [`CellKind::Not`] and [`CellKind::Buf`]
+/// take exactly one; [`CellKind::Dff`] takes exactly one (its `D` pin);
+/// [`CellKind::Input`] takes none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellKind {
+    /// Primary input.
+    Input,
+    /// Logical AND.
+    And,
+    /// Logical NAND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Logical NOR.
+    Nor,
+    /// Logical XOR (odd parity for >2 inputs, per ISCAS convention).
+    Xor,
+    /// Logical XNOR (even parity for >2 inputs).
+    Xnor,
+    /// Inverter.
+    Not,
+    /// Buffer.
+    Buf,
+    /// D-type flip-flop (the `R` node set of the paper's `G(V=R∪C,E)`).
+    Dff,
+}
+
+impl CellKind {
+    /// All kinds, in a fixed order (useful for iteration in tests/synthesis).
+    pub const ALL: [CellKind; 10] = [
+        CellKind::Input,
+        CellKind::And,
+        CellKind::Nand,
+        CellKind::Or,
+        CellKind::Nor,
+        CellKind::Xor,
+        CellKind::Xnor,
+        CellKind::Not,
+        CellKind::Buf,
+        CellKind::Dff,
+    ];
+
+    /// The `.bench` keyword for this kind (upper-case, as written by MCNC).
+    #[must_use]
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            CellKind::Input => "INPUT",
+            CellKind::And => "AND",
+            CellKind::Nand => "NAND",
+            CellKind::Or => "OR",
+            CellKind::Nor => "NOR",
+            CellKind::Xor => "XOR",
+            CellKind::Xnor => "XNOR",
+            CellKind::Not => "NOT",
+            CellKind::Buf => "BUFF",
+            CellKind::Dff => "DFF",
+        }
+    }
+
+    /// Parses a `.bench` gate keyword (case-insensitive). `BUF`/`BUFF` both
+    /// map to [`CellKind::Buf`].
+    #[must_use]
+    pub fn from_bench_keyword(word: &str) -> Option<Self> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "INPUT" => CellKind::Input,
+            "AND" => CellKind::And,
+            "NAND" => CellKind::Nand,
+            "OR" => CellKind::Or,
+            "NOR" => CellKind::Nor,
+            "XOR" => CellKind::Xor,
+            "XNOR" => CellKind::Xnor,
+            "NOT" | "INV" => CellKind::Not,
+            "BUF" | "BUFF" => CellKind::Buf,
+            "DFF" => CellKind::Dff,
+            _ => return None,
+        })
+    }
+
+    /// Inclusive range of legal fan-in counts for this kind.
+    #[must_use]
+    pub fn fanin_range(self) -> (usize, usize) {
+        match self {
+            CellKind::Input => (0, 0),
+            CellKind::Not | CellKind::Buf | CellKind::Dff => (1, 1),
+            _ => (2, usize::MAX),
+        }
+    }
+
+    /// Whether this kind is a combinational logic gate (excludes inputs and
+    /// flip-flops, includes inverters and buffers).
+    #[must_use]
+    pub fn is_combinational(self) -> bool {
+        !matches!(self, CellKind::Input | CellKind::Dff)
+    }
+
+    /// Whether this kind is a multi-input logic gate — the paper's Table 9
+    /// "No. of Gates" column (inverters and buffers are counted separately).
+    #[must_use]
+    pub fn is_multi_input_gate(self) -> bool {
+        matches!(
+            self,
+            CellKind::And
+                | CellKind::Nand
+                | CellKind::Or
+                | CellKind::Nor
+                | CellKind::Xor
+                | CellKind::Xnor
+        )
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+/// One cell of a circuit: a primary input, a logic gate, or a flip-flop.
+///
+/// Constructed through [`Circuit::add_input`](crate::Circuit::add_input) and
+/// [`Circuit::add_cell`](crate::Circuit::add_cell), which enforce fan-in
+/// arity and name uniqueness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    pub(crate) name: String,
+    pub(crate) kind: CellKind,
+    pub(crate) fanin: Vec<CellId>,
+}
+
+impl Cell {
+    /// The net/cell name (the left-hand side of its `.bench` line).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell's function.
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The driving cells of this cell's input pins, in pin order.
+    #[must_use]
+    pub fn fanin(&self) -> &[CellId] {
+        &self.fanin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_bench_keyword(kind.bench_keyword()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn keyword_aliases() {
+        assert_eq!(CellKind::from_bench_keyword("inv"), Some(CellKind::Not));
+        assert_eq!(CellKind::from_bench_keyword("buf"), Some(CellKind::Buf));
+        assert_eq!(CellKind::from_bench_keyword("dff"), Some(CellKind::Dff));
+        assert_eq!(CellKind::from_bench_keyword("bogus"), None);
+    }
+
+    #[test]
+    fn fanin_ranges() {
+        assert_eq!(CellKind::Input.fanin_range(), (0, 0));
+        assert_eq!(CellKind::Not.fanin_range(), (1, 1));
+        assert_eq!(CellKind::Dff.fanin_range(), (1, 1));
+        assert_eq!(CellKind::Nand.fanin_range().0, 2);
+    }
+
+    #[test]
+    fn gate_classification() {
+        assert!(CellKind::Nand.is_multi_input_gate());
+        assert!(!CellKind::Not.is_multi_input_gate());
+        assert!(CellKind::Not.is_combinational());
+        assert!(!CellKind::Dff.is_combinational());
+        assert!(!CellKind::Input.is_combinational());
+    }
+
+    #[test]
+    fn cell_id_display_and_index() {
+        let id = CellId::from_index(5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.to_string(), "c5");
+    }
+}

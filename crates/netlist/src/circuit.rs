@@ -1,0 +1,419 @@
+//! The [`Circuit`] container.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cell::{Cell, CellId, CellKind, NetId};
+use crate::error::BuildCircuitError;
+
+/// A gate-level sequential circuit.
+///
+/// Cells are stored densely and identified by [`CellId`]; each cell drives
+/// exactly one net (ISCAS89 convention), so fan-out information is derived
+/// rather than stored — see [`Circuit::fanouts`]. Primary outputs are an
+/// explicit list of driven nets.
+///
+/// # Examples
+///
+/// Build the half of an SR latch by hand:
+///
+/// ```
+/// use ppet_netlist::{Circuit, CellKind};
+///
+/// # fn main() -> Result<(), ppet_netlist::BuildCircuitError> {
+/// let mut c = Circuit::new("latchlet");
+/// let set = c.add_input("set")?;
+/// let q_prev = c.add_input("q_prev")?;
+/// let q = c.add_cell("q", CellKind::Nor, vec![set, q_prev])?;
+/// c.mark_output(q)?;
+/// assert_eq!(c.num_cells(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    cells: Vec<Cell>,
+    outputs: Vec<NetId>,
+    by_name: HashMap<String, CellId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cells: Vec::new(),
+            outputs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The circuit name (e.g. `"s27"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError::DuplicateName`] if a cell with this name
+    /// already exists.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<CellId, BuildCircuitError> {
+        self.add_cell(name, CellKind::Input, Vec::new())
+    }
+
+    /// Adds a gate or flip-flop driven by `fanin`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildCircuitError::DuplicateName`] — the name is taken;
+    /// * [`BuildCircuitError::BadFanin`] — the fan-in count is illegal for
+    ///   `kind` (see [`CellKind::fanin_range`]);
+    /// * [`BuildCircuitError::UnknownCell`] — a fan-in id is out of range.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        fanin: Vec<CellId>,
+    ) -> Result<CellId, BuildCircuitError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(BuildCircuitError::DuplicateName { name });
+        }
+        let (lo, hi) = kind.fanin_range();
+        if fanin.len() < lo || fanin.len() > hi {
+            return Err(BuildCircuitError::BadFanin {
+                name,
+                kind,
+                got: fanin.len(),
+            });
+        }
+        for &f in &fanin {
+            if f.index() >= self.cells.len() && f.index() != self.cells.len() {
+                // Referencing the cell being defined (self-loop) is also
+                // rejected here; parsers that allow forward references
+                // resolve them before calling `add_cell`.
+                return Err(BuildCircuitError::UnknownCell { id: f });
+            }
+            if f.index() == self.cells.len() {
+                return Err(BuildCircuitError::SelfLoop { name });
+            }
+        }
+        let id = CellId(u32::try_from(self.cells.len()).expect("too many cells"));
+        self.by_name.insert(name.clone(), id);
+        self.cells.push(Cell { name, kind, fanin });
+        Ok(id)
+    }
+
+    /// Adds a cell whose fan-in will be supplied later via
+    /// [`Circuit::set_fanin`].
+    ///
+    /// This is the escape hatch for sequential feedback: a flip-flop's `D`
+    /// driver may not exist yet when the flip-flop is created (netlist
+    /// formats are declarative), so parsers, synthesizers and the retiming
+    /// engine create registers first and patch their fan-in once every cell
+    /// exists. Until then the cell reports an empty fan-in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError::DuplicateName`] if the name is taken.
+    pub fn add_cell_deferred(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+    ) -> Result<CellId, BuildCircuitError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(BuildCircuitError::DuplicateName { name });
+        }
+        Ok(self.push_raw(name, kind, Vec::new()))
+    }
+
+    /// Replaces a cell's fan-in, validating arity and that every driver
+    /// exists. Unlike [`Circuit::add_cell`], the drivers may be *any* cell
+    /// of the circuit — including cells created after this one, which is how
+    /// register feedback loops are closed.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildCircuitError::BadFanin`] — wrong arity for the cell's kind;
+    /// * [`BuildCircuitError::UnknownCell`] — a driver id is out of range.
+    pub fn set_fanin(&mut self, id: CellId, fanin: Vec<CellId>) -> Result<(), BuildCircuitError> {
+        if id.index() >= self.cells.len() {
+            return Err(BuildCircuitError::UnknownCell { id });
+        }
+        let kind = self.cells[id.index()].kind;
+        let (lo, hi) = kind.fanin_range();
+        if fanin.len() < lo || fanin.len() > hi {
+            return Err(BuildCircuitError::BadFanin {
+                name: self.cells[id.index()].name.clone(),
+                kind,
+                got: fanin.len(),
+            });
+        }
+        for &f in &fanin {
+            if f.index() >= self.cells.len() {
+                return Err(BuildCircuitError::UnknownCell { id: f });
+            }
+        }
+        self.cells[id.index()].fanin = fanin;
+        Ok(())
+    }
+
+    /// Adds a cell without arity or fan-in validation. Crate-internal:
+    /// used by the parser and synthesizer to materialize register loops,
+    /// whose fan-ins are patched after all cells exist.
+    pub(crate) fn push_raw(&mut self, name: String, kind: CellKind, fanin: Vec<CellId>) -> CellId {
+        let id = CellId(u32::try_from(self.cells.len()).expect("too many cells"));
+        self.by_name.insert(name.clone(), id);
+        self.cells.push(Cell { name, kind, fanin });
+        id
+    }
+
+    /// Replaces a cell's fan-in without validation. Crate-internal; see
+    /// [`Circuit::push_raw`].
+    pub(crate) fn set_fanin_raw(&mut self, id: CellId, fanin: Vec<CellId>) {
+        self.cells[id.index()].fanin = fanin;
+    }
+
+    /// Marks the net driven by `id` as a primary output. Marking the same
+    /// net twice is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError::UnknownCell`] if `id` is out of range.
+    pub fn mark_output(&mut self, id: NetId) -> Result<(), BuildCircuitError> {
+        if id.index() >= self.cells.len() {
+            return Err(BuildCircuitError::UnknownCell { id });
+        }
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+        Ok(())
+    }
+
+    /// Number of cells (inputs + gates + flip-flops).
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids from this circuit never are).
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Looks up a cell by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over `(id, cell)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// All cell ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len()).map(|i| CellId(i as u32))
+    }
+
+    /// The primary output nets, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// True if `id` drives a primary output.
+    #[must_use]
+    pub fn is_output(&self, id: NetId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// Ids of all primary inputs, in insertion order.
+    pub fn inputs(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.iter()
+            .filter(|(_, c)| c.kind == CellKind::Input)
+            .map(|(id, _)| id)
+    }
+
+    /// Ids of all flip-flops, in insertion order.
+    pub fn flip_flops(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.iter()
+            .filter(|(_, c)| c.kind == CellKind::Dff)
+            .map(|(id, _)| id)
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs().count()
+    }
+
+    /// Number of flip-flops.
+    #[must_use]
+    pub fn num_flip_flops(&self) -> usize {
+        self.flip_flops().count()
+    }
+
+    /// Computes the fan-out table: for each cell, the cells that read its
+    /// net, in pin order of discovery.
+    ///
+    /// A cell consuming the same net on several pins appears once per pin;
+    /// use [`Fanouts::unique`] for set semantics.
+    #[must_use]
+    pub fn fanouts(&self) -> Fanouts {
+        let mut sinks = vec![Vec::new(); self.cells.len()];
+        for (id, cell) in self.iter() {
+            for &f in &cell.fanin {
+                sinks[f.index()].push(id);
+            }
+        }
+        Fanouts { sinks }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cells ({} PI, {} DFF), {} PO",
+            self.name,
+            self.num_cells(),
+            self.num_inputs(),
+            self.num_flip_flops(),
+            self.outputs.len()
+        )
+    }
+}
+
+/// Derived fan-out table of a [`Circuit`]; see [`Circuit::fanouts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fanouts {
+    sinks: Vec<Vec<CellId>>,
+}
+
+impl Fanouts {
+    /// The sink cells of the net driven by `id` (one entry per consuming
+    /// pin).
+    #[must_use]
+    pub fn of(&self, id: NetId) -> &[CellId] {
+        &self.sinks[id.index()]
+    }
+
+    /// The distinct sink cells of the net driven by `id`.
+    #[must_use]
+    pub fn unique(&self, id: NetId) -> Vec<CellId> {
+        let mut v = self.sinks[id.index()].clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of consuming pins on the net driven by `id`.
+    #[must_use]
+    pub fn degree(&self, id: NetId) -> usize {
+        self.sinks[id.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Circuit {
+        let mut c = Circuit::new("tiny");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_cell("g", CellKind::Nand, vec![a, b]).unwrap();
+        let q = c.add_cell("q", CellKind::Dff, vec![g]).unwrap();
+        let h = c.add_cell("h", CellKind::Nor, vec![q, a]).unwrap();
+        c.mark_output(h).unwrap();
+        c
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut c = Circuit::new("t");
+        c.add_input("a").unwrap();
+        let err = c.add_input("a").unwrap_err();
+        assert!(matches!(err, BuildCircuitError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn bad_fanin_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let err = c.add_cell("g", CellKind::And, vec![a]).unwrap_err();
+        assert!(matches!(err, BuildCircuitError::BadFanin { got: 1, .. }));
+        let err = c.add_cell("n", CellKind::Not, vec![a, a]).unwrap_err();
+        assert!(matches!(err, BuildCircuitError::BadFanin { got: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_fanin_rejected() {
+        let mut c = Circuit::new("t");
+        c.add_input("a").unwrap();
+        let bogus = CellId::from_index(99);
+        let err = c.add_cell("n", CellKind::Not, vec![bogus]).unwrap_err();
+        assert!(matches!(err, BuildCircuitError::UnknownCell { .. }));
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let c = tiny();
+        assert_eq!(c.num_cells(), 5);
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_flip_flops(), 1);
+        assert_eq!(c.find("q").map(|id| c.cell(id).kind()), Some(CellKind::Dff));
+        assert!(c.find("zzz").is_none());
+    }
+
+    #[test]
+    fn fanouts_cover_all_pins() {
+        let c = tiny();
+        let fo = c.fanouts();
+        let a = c.find("a").unwrap();
+        // `a` feeds gate g and gate h.
+        assert_eq!(fo.degree(a), 2);
+        let g = c.find("g").unwrap();
+        assert_eq!(fo.of(g), &[c.find("q").unwrap()]);
+        let h = c.find("h").unwrap();
+        assert_eq!(fo.degree(h), 0);
+        assert!(c.is_output(h));
+    }
+
+    #[test]
+    fn mark_output_idempotent() {
+        let mut c = tiny();
+        let h = c.find("h").unwrap();
+        c.mark_output(h).unwrap();
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let c = tiny();
+        let s = c.to_string();
+        assert!(s.contains("tiny"), "{s}");
+        assert!(s.contains("2 PI"), "{s}");
+    }
+}

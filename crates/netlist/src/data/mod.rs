@@ -1,0 +1,18 @@
+//! Embedded benchmark data.
+//!
+//! * [`s27`] — the real ISCAS89 `s27` circuit, the paper's worked example
+//!   (its Figs. 2, 5, 6 and 7 trace `s27` through the whole pipeline);
+//! * [`table9`] — the published statistics of the 17 benchmark circuits the
+//!   paper evaluates (Table 9) together with the register/SCC structure
+//!   reported in Tables 10–11, used to calibrate the synthetic generator;
+//! * parameterized textbook circuits ([`counter`], [`shift_register`],
+//!   [`johnson_counter`], [`alu_slice`]) whose loop structure is exactly
+//!   predictable — probes for the partitioner and retiming engine.
+
+mod s27;
+pub mod table9;
+mod textbook;
+
+pub use s27::{s27, S27_BENCH};
+pub use table9::{BenchmarkRecord, TABLE9};
+pub use textbook::{alu_slice, counter, johnson_counter, shift_register};

@@ -1,0 +1,90 @@
+//! The ISCAS89 `s27` benchmark circuit.
+//!
+//! `s27` is the smallest circuit of the ISCAS89 suite (Brglez, Bryan &
+//! Kozminski, ISCAS 1989) and the one the paper uses for its worked example:
+//! Fig. 2 shows its schematic and multi-pin graph, Figs. 5–7 trace it
+//! through `Saturate_Network`, `Make_Group` and `Assign_CBIT`.
+
+use crate::bench_format::parse;
+use crate::circuit::Circuit;
+
+/// The original `.bench` source of `s27`: 4 inputs, 1 output, 3 flip-flops,
+/// 8 multi-input gates and 2 inverters.
+pub const S27_BENCH: &str = "\
+# s27 (ISCAS89)
+# 4 inputs, 1 output, 3 D-type flipflops, 2 inverters, 8 gates
+
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+/// Builds the `s27` circuit.
+///
+/// # Examples
+///
+/// ```
+/// let c = ppet_netlist::data::s27();
+/// assert_eq!(c.name(), "s27");
+/// assert_eq!(c.num_inputs(), 4);
+/// assert_eq!(c.num_flip_flops(), 3);
+/// ```
+#[must_use]
+pub fn s27() -> Circuit {
+    parse("s27", S27_BENCH).expect("embedded s27 netlist is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    #[test]
+    fn shape_matches_iscas89() {
+        let c = s27();
+        assert_eq!(c.num_cells(), 17); // 4 PI + 3 DFF + 10 logic
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_flip_flops(), 3);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.cell(c.outputs()[0]).name(), "G17");
+    }
+
+    #[test]
+    fn feedback_structure_present() {
+        // G11 -> G10 -> G5 -> G11 is one of the sequential loops.
+        let c = s27();
+        let g10 = c.find("G10").unwrap();
+        let g11 = c.find("G11").unwrap();
+        let g5 = c.find("G5").unwrap();
+        assert!(c.cell(g10).fanin().contains(&g11));
+        assert_eq!(c.cell(g5).fanin(), &[g10]);
+        assert!(c.cell(g11).fanin().contains(&g5));
+    }
+
+    #[test]
+    fn gate_kinds_match_source() {
+        let c = s27();
+        assert_eq!(c.cell(c.find("G8").unwrap()).kind(), CellKind::And);
+        assert_eq!(c.cell(c.find("G9").unwrap()).kind(), CellKind::Nand);
+        assert_eq!(c.cell(c.find("G12").unwrap()).kind(), CellKind::Nor);
+        assert_eq!(c.cell(c.find("G14").unwrap()).kind(), CellKind::Not);
+    }
+}

@@ -1,0 +1,144 @@
+//! Error types for circuit construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cell::{CellId, CellKind};
+
+/// Errors raised while building a [`Circuit`](crate::Circuit)
+/// programmatically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildCircuitError {
+    /// A cell with this name already exists.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// Fan-in count is illegal for the cell kind.
+    BadFanin {
+        /// The cell being added.
+        name: String,
+        /// The cell kind whose arity was violated.
+        kind: CellKind,
+        /// Number of fan-ins supplied.
+        got: usize,
+    },
+    /// A fan-in id does not refer to an existing cell.
+    UnknownCell {
+        /// The unresolved id.
+        id: CellId,
+    },
+    /// A cell listed itself as a fan-in.
+    SelfLoop {
+        /// The cell being added.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateName { name } => write!(f, "duplicate cell name `{name}`"),
+            Self::BadFanin { name, kind, got } => write!(
+                f,
+                "cell `{name}` of kind {kind} given {got} fan-ins (legal range {:?})",
+                kind.fanin_range()
+            ),
+            Self::UnknownCell { id } => write!(f, "fan-in {id} does not exist"),
+            Self::SelfLoop { name } => write!(f, "cell `{name}` lists itself as a fan-in"),
+        }
+    }
+}
+
+impl Error for BuildCircuitError {}
+
+/// Errors raised while parsing ISCAS89 `.bench` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseBenchError {
+    /// The line could not be recognized as input, output, or gate
+    /// definition.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An unknown gate keyword was used.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The keyword.
+        keyword: String,
+    },
+    /// A signal was referenced but never defined.
+    UndefinedSignal {
+        /// The signal name.
+        name: String,
+    },
+    /// A signal was defined more than once.
+    Redefined {
+        /// 1-based line number of the second definition.
+        line: usize,
+        /// The signal name.
+        name: String,
+    },
+    /// A structural constraint was violated when assembling the circuit.
+    Build {
+        /// The underlying construction error.
+        source: BuildCircuitError,
+    },
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax { line, text } => write!(f, "line {line}: unrecognized syntax `{text}`"),
+            Self::UnknownGate { line, keyword } => {
+                write!(f, "line {line}: unknown gate keyword `{keyword}`")
+            }
+            Self::UndefinedSignal { name } => write!(f, "signal `{name}` referenced but never defined"),
+            Self::Redefined { line, name } => {
+                write!(f, "line {line}: signal `{name}` defined more than once")
+            }
+            Self::Build { source } => write!(f, "invalid circuit: {source}"),
+        }
+    }
+}
+
+impl Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Build { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildCircuitError> for ParseBenchError {
+    fn from(source: BuildCircuitError) -> Self {
+        Self::Build { source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = BuildCircuitError::DuplicateName { name: "g1".into() };
+        assert_eq!(e.to_string(), "duplicate cell name `g1`");
+        let e = ParseBenchError::UndefinedSignal { name: "x".into() };
+        assert!(e.to_string().contains("never defined"));
+    }
+
+    #[test]
+    fn parse_error_wraps_build_error() {
+        let b = BuildCircuitError::SelfLoop { name: "q".into() };
+        let p: ParseBenchError = b.clone().into();
+        assert!(p.to_string().contains("lists itself"));
+        assert!(std::error::Error::source(&p).is_some());
+    }
+}

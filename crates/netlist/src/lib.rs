@@ -1,0 +1,56 @@
+//! Gate-level sequential circuit model for the PPET workspace.
+//!
+//! This crate is the foundation substrate of the DAC'96 *Merced* BIST
+//! compiler reproduction: every other crate consumes the [`Circuit`] type
+//! defined here. It provides
+//!
+//! * the circuit data model ([`Circuit`], [`Cell`], [`CellKind`],
+//!   [`CellId`]/[`NetId`]) using the one-net-per-cell convention of the
+//!   ISCAS89 benchmarks (each cell drives exactly one named net);
+//! * an ISCAS89 `.bench` format [parser](bench_format) and [writer](writer);
+//! * the paper's CMOS [area model](area) (inverter = 1 unit, 2-input
+//!   NAND/NOR = 2, 2-input AND/OR = 3, 2-input XOR = 4, D flip-flop = 10,
+//!   plus 1 unit per additional input — §4 of the paper);
+//! * [circuit statistics](stats) matching the columns of the paper's
+//!   Table 9;
+//! * structural [validation](validate);
+//! * embedded [benchmark data](data): the real `s27` circuit used by the
+//!   paper's worked example (Figs. 2, 5, 6, 7) and the published Table 9 /
+//!   Table 10 statistics rows;
+//! * a [synthetic benchmark generator](synth) that produces ISCAS89-like
+//!   circuits calibrated to those statistics (the real MCNC netlists are not
+//!   redistributable; see `DESIGN.md` §3 for why the substitution preserves
+//!   the paper's behaviour).
+//!
+//! # Examples
+//!
+//! ```
+//! use ppet_netlist::{data, AreaModel, CircuitStats};
+//!
+//! let s27 = data::s27();
+//! let stats = CircuitStats::of(&s27, &AreaModel::paper());
+//! assert_eq!(stats.primary_inputs, 4);
+//! assert_eq!(stats.flip_flops, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod bench_format;
+mod cell;
+mod circuit;
+pub mod data;
+mod error;
+pub mod stats;
+pub mod synth;
+pub mod validate;
+pub mod writer;
+
+pub use area::AreaModel;
+pub use cell::{Cell, CellId, CellKind, NetId};
+pub use circuit::{Circuit, Fanouts};
+pub use error::{BuildCircuitError, ParseBenchError};
+pub use stats::CircuitStats;
+pub use synth::{SynthSpec, Synthesizer};
+pub use validate::{validate, ValidationIssue};

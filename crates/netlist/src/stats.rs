@@ -1,0 +1,131 @@
+//! Circuit statistics — the columns of the paper's Table 9.
+
+use std::fmt;
+
+use crate::area::{AreaModel, AreaUnits};
+use crate::cell::CellKind;
+use crate::circuit::Circuit;
+
+/// Summary statistics of a circuit, matching the paper's Table 9 columns
+/// (plus primary outputs, which Table 9 omits).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::{data, AreaModel, CircuitStats};
+///
+/// let stats = CircuitStats::of(&data::s27(), &AreaModel::paper());
+/// assert_eq!(stats.flip_flops, 3);
+/// assert_eq!(stats.inverters, 2);
+/// assert_eq!(stats.gates, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs ("No. of PIs").
+    pub primary_inputs: usize,
+    /// Number of primary outputs (not in Table 9; reported for completeness).
+    pub primary_outputs: usize,
+    /// Number of D flip-flops ("No. of DFFs").
+    pub flip_flops: usize,
+    /// Number of multi-input logic gates ("No. of Gates"; excludes
+    /// inverters and buffers, which ISCAS89 statistics list separately).
+    pub gates: usize,
+    /// Number of inverters and buffers ("No. of INVs").
+    pub inverters: usize,
+    /// Estimated area in the paper's units ("Estimated Area").
+    pub area: AreaUnits,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of `circuit` under `model`.
+    #[must_use]
+    pub fn of(circuit: &Circuit, model: &AreaModel) -> Self {
+        let mut gates = 0;
+        let mut inverters = 0;
+        for (_, cell) in circuit.iter() {
+            match cell.kind() {
+                k if k.is_multi_input_gate() => gates += 1,
+                CellKind::Not | CellKind::Buf => inverters += 1,
+                _ => {}
+            }
+        }
+        Self {
+            name: circuit.name().to_string(),
+            primary_inputs: circuit.num_inputs(),
+            primary_outputs: circuit.outputs().len(),
+            flip_flops: circuit.num_flip_flops(),
+            gates,
+            inverters,
+            area: model.circuit_area(circuit),
+        }
+    }
+
+    /// Formats the Table 9 header row.
+    #[must_use]
+    pub fn table_header() -> String {
+        format!(
+            "{:<10} {:>7} {:>7} {:>7} {:>7} {:>10}",
+            "Circuit", "PIs", "DFFs", "Gates", "INVs", "Area"
+        )
+    }
+
+    /// Formats this record as a Table 9 row.
+    #[must_use]
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<10} {:>7} {:>7} {:>7} {:>7} {:>10}",
+            self.name, self.primary_inputs, self.flip_flops, self.gates, self.inverters, self.area
+        )
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PIs, {} POs, {} DFFs, {} gates, {} INVs, area {}",
+            self.name,
+            self.primary_inputs,
+            self.primary_outputs,
+            self.flip_flops,
+            self.gates,
+            self.inverters,
+            self.area
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn s27_statistics() {
+        let stats = CircuitStats::of(&data::s27(), &AreaModel::paper());
+        assert_eq!(stats.primary_inputs, 4);
+        assert_eq!(stats.primary_outputs, 1);
+        assert_eq!(stats.flip_flops, 3);
+        assert_eq!(stats.gates, 8);
+        assert_eq!(stats.inverters, 2);
+        // 2 INV (2) + 2 AND?? — verified by hand below:
+        //   NOT G14, NOT G17               -> 2 * 1 = 2
+        //   AND G8                         -> 3
+        //   OR G15, OR G16                 -> 2 * 3 = 6
+        //   NAND G9, NAND G13              -> 2 * 2 = 4
+        //   NOR G10, NOR G11, NOR G12      -> 3 * 2 = 6
+        //   DFF G5, G6, G7                 -> 3 * 10 = 30
+        assert_eq!(stats.area, 2 + 3 + 6 + 4 + 6 + 30);
+    }
+
+    #[test]
+    fn table_row_aligns_with_header() {
+        let stats = CircuitStats::of(&data::s27(), &AreaModel::paper());
+        let header = CircuitStats::table_header();
+        let row = stats.table_row();
+        assert_eq!(header.len(), row.len());
+        assert!(row.starts_with("s27"));
+    }
+}

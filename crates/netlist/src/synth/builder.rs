@@ -1,0 +1,545 @@
+//! The synthetic circuit builder.
+//!
+//! # Construction scheme
+//!
+//! The generator guarantees the SCC structure by layering:
+//!
+//! ```text
+//!            +--------- feedback walks ----------+
+//!            v                                   |
+//!   PIs --> [ C0: early combinational layer ] ---+--> [ C1: late layer ] --> POs
+//!            ^      |                 |                ^
+//!            |      v                 v                |
+//!          A-DFFs (on-SCC)          B-DFFs (off-SCC) --+
+//! ```
+//!
+//! * **A registers** (the requested `dffs_on_scc`) read a cell downstream of
+//!   a C0 gate that consumes their own output, so each lies on a cycle by
+//!   construction; overlapping walks merge cycles into larger SCCs, like the
+//!   state registers of the real benchmarks.
+//! * **B registers** read C0 cells and drive only C1 cells; C1 cells drive
+//!   only later C1 cells or primary outputs, so no path returns from a B
+//!   register's output to any register input — B registers are provably
+//!   acyclic.
+//!
+//! Gate kinds and fan-in widths are planned up front so the estimated area
+//! under [`AreaModel::paper`](crate::AreaModel::paper) hits the target
+//! exactly (see [`SynthSpec::min_area`]).
+
+use ppet_prng::{Rng, Xoshiro256PlusPlus};
+
+use crate::cell::{CellId, CellKind};
+use crate::circuit::Circuit;
+use crate::synth::spec::SynthSpec;
+
+/// Deterministic synthetic circuit generator; see the module docs for the
+/// construction scheme.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::{SynthSpec, Synthesizer};
+///
+/// let spec = SynthSpec::new("tiny").gates(12).flip_flops(3).dffs_on_scc(2).seed(7);
+/// let a = Synthesizer::new(spec.clone()).build();
+/// let b = Synthesizer::new(spec).build();
+/// assert_eq!(a, b); // same seed, same circuit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    spec: SynthSpec,
+    rng: Xoshiro256PlusPlus,
+}
+
+/// One planned combinational cell.
+#[derive(Debug, Clone, Copy)]
+struct PlannedCell {
+    kind: CellKind,
+    fanin: usize,
+}
+
+impl Synthesizer {
+    /// Creates a generator for `spec`.
+    #[must_use]
+    pub fn new(spec: SynthSpec) -> Self {
+        let rng = Xoshiro256PlusPlus::seed_from(spec.seed ^ 0x5050_4554_5f47_454e); // "PPET_GEN"
+        Self { spec, rng }
+    }
+
+    /// Generates the circuit.
+    #[must_use]
+    pub fn build(mut self) -> Circuit {
+        let spec = self.spec.clone();
+        let mut c = Circuit::new(spec.name.clone());
+
+        // --- plan combinational cells -----------------------------------
+        let planned = self.plan_cells();
+        let n_late = ((planned.len() as f64) * spec.late_fraction).round() as usize;
+        let n_early = planned.len() - n_late;
+
+        // --- primary inputs and registers -------------------------------
+        let pis: Vec<CellId> = (0..spec.primary_inputs)
+            .map(|i| c.add_input(format!("pi{i}")).expect("unique PI name"))
+            .collect();
+        let n_scc = spec.dffs_on_scc.min(spec.flip_flops);
+        let a_dffs: Vec<CellId> = (0..n_scc)
+            .map(|i| c.push_raw(format!("qa{i}"), CellKind::Dff, Vec::new()))
+            .collect();
+        let b_dffs: Vec<CellId> = (0..spec.flip_flops - n_scc)
+            .map(|i| c.push_raw(format!("qb{i}"), CellKind::Dff, Vec::new()))
+            .collect();
+
+        let mut state = WiringState::new();
+
+        // --- early layer (C0) --------------------------------------------
+        let mut sources0: Vec<CellId> = pis.iter().chain(a_dffs.iter()).copied().collect();
+        let mut c0: Vec<CellId> = Vec::with_capacity(n_early);
+        for (i, p) in planned[..n_early].iter().enumerate() {
+            let fanin = self.pick_fanins(p.fanin, &sources0, &c0);
+            let id = c.push_raw(format!("g{i}"), p.kind, fanin.clone());
+            state.register(id, &fanin);
+            sources0.push(id);
+            c0.push(id);
+        }
+
+        // --- late layer (C1) ---------------------------------------------
+        let mut sources1: Vec<CellId> = pis
+            .iter()
+            .chain(b_dffs.iter())
+            .chain(a_dffs.iter())
+            .chain(c0.iter())
+            .copied()
+            .collect();
+        let mut c1: Vec<CellId> = Vec::with_capacity(n_late);
+        for (i, p) in planned[n_early..].iter().enumerate() {
+            let fanin = self.pick_fanins(p.fanin, &sources1, &c1);
+            let id = c.push_raw(format!("g{}", n_early + i), p.kind, fanin.clone());
+            state.register(id, &fanin);
+            sources1.push(id);
+            c1.push(id);
+        }
+
+        // --- B registers: D from C0, Q into C1 ----------------------------
+        for &q in &b_dffs {
+            let d = if !c0.is_empty() {
+                c0[self.rng.gen_index(c0.len())]
+            } else if !pis.is_empty() {
+                pis[self.rng.gen_index(pis.len())]
+            } else if !a_dffs.is_empty() {
+                a_dffs[self.rng.gen_index(a_dffs.len())]
+            } else {
+                q // degenerate spec: register with nothing to read
+            };
+            c.set_fanin_raw(q, vec![d]);
+            state.add_use(d, q);
+            if state.uses(q) == 0 && !c1.is_empty() {
+                let target = c1[self.rng.gen_index(c1.len())];
+                self.splice(&mut c, target, q, &mut state);
+            }
+        }
+
+        // --- make sure every primary input is observed --------------------
+        let all_comb: Vec<CellId> = c0.iter().chain(c1.iter()).copied().collect();
+        for &pi in &pis {
+            if state.uses(pi) == 0 && !all_comb.is_empty() {
+                let target = all_comb[self.rng.gen_index(all_comb.len())];
+                self.splice(&mut c, target, pi, &mut state);
+            }
+        }
+
+        // --- close feedback cycles for A registers ------------------------
+        // Done last: every later splice could displace a cycle-forming
+        // connection, so no wiring mutation may follow this step (register
+        // D-pin assignments do not disturb combinational wiring).
+        self.close_feedback(&mut c, &a_dffs, &c0, &mut state);
+
+        // --- primary outputs ----------------------------------------------
+        // Dangling cells become outputs; then top up to the requested count
+        // from the tail of the late layer.
+        let mut n_pos = 0;
+        for id in c.ids().collect::<Vec<_>>() {
+            if state.uses(id) == 0 && c.cell(id).kind() != CellKind::Input {
+                c.mark_output(id).expect("id is valid");
+                n_pos += 1;
+            }
+        }
+        let mut top_up: Vec<CellId> = c1.iter().rev().chain(c0.iter().rev()).copied().collect();
+        while n_pos < spec.primary_outputs {
+            match top_up.pop() {
+                Some(id) if !c.is_output(id) => {
+                    c.mark_output(id).expect("id is valid");
+                    n_pos += 1;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+
+        c
+    }
+
+    /// Plans gate kinds and fan-in widths so the total area hits the target.
+    fn plan_cells(&mut self) -> Vec<PlannedCell> {
+        let spec = &self.spec;
+        let g = spec.gates as i64;
+        let budget = spec
+            .target_area
+            .map(|a| a as i64 - spec.inverters as i64 - 10 * spec.flip_flops as i64)
+            .unwrap_or(2 * g);
+        let n3 = (budget - 2 * g).clamp(0, g) as usize;
+        let extras = (budget - 2 * g - n3 as i64).max(0) as usize;
+
+        let mut cells: Vec<PlannedCell> = Vec::with_capacity(spec.gates + spec.inverters);
+        for i in 0..spec.gates {
+            let kind = if i < n3 {
+                if self.rng.gen_bool(0.5) {
+                    CellKind::And
+                } else {
+                    CellKind::Or
+                }
+            } else if self.rng.gen_bool(0.5) {
+                CellKind::Nand
+            } else {
+                CellKind::Nor
+            };
+            cells.push(PlannedCell { kind, fanin: 2 });
+        }
+        // Distribute extra inputs; linear-probe past saturated gates so the
+        // count is exact even when `extras` approaches capacity.
+        if spec.gates > 0 {
+            let mut max_fanin = spec.max_fanin;
+            for _ in 0..extras {
+                let mut idx = self.rng.gen_index(spec.gates);
+                let mut probes = 0;
+                while cells[idx].fanin >= max_fanin {
+                    idx = (idx + 1) % spec.gates;
+                    probes += 1;
+                    if probes > spec.gates {
+                        max_fanin += 1; // area target outranks the fan-in cap
+                    }
+                }
+                cells[idx].fanin += 1;
+            }
+        }
+        for _ in 0..spec.inverters {
+            cells.push(PlannedCell {
+                kind: CellKind::Not,
+                fanin: 1,
+            });
+        }
+        self.rng.shuffle(&mut cells);
+        cells
+    }
+
+    /// Chooses `n` fan-ins from `sources`, preferring the locality window at
+    /// the tail of `recent`. Falls back to duplicates only when the source
+    /// pool is smaller than `n`.
+    fn pick_fanins(&mut self, n: usize, sources: &[CellId], recent: &[CellId]) -> Vec<CellId> {
+        if sources.is_empty() {
+            return Vec::new(); // degenerate spec (no inputs, no registers)
+        }
+        let mut picked: Vec<CellId> = Vec::with_capacity(n);
+        let window = self.spec.locality_window.min(recent.len());
+        for _ in 0..n {
+            let mut attempt = 0;
+            loop {
+                let candidate = if window > 0 && self.rng.gen_bool(self.spec.locality_prob) {
+                    recent[recent.len() - window + self.rng.gen_index(window)]
+                } else {
+                    sources[self.rng.gen_index(sources.len())]
+                };
+                if !picked.contains(&candidate) || sources.len() < n || attempt > 16 {
+                    picked.push(candidate);
+                    break;
+                }
+                attempt += 1;
+            }
+        }
+        picked
+    }
+
+    /// Guarantees each A register lies on a cycle: force its output into a
+    /// C0 cell if unused, then wire its D pin to a cell reachable downstream
+    /// of that consumer.
+    fn close_feedback(
+        &mut self,
+        c: &mut Circuit,
+        a_dffs: &[CellId],
+        c0: &[CellId],
+        state: &mut WiringState,
+    ) {
+        if a_dffs.is_empty() {
+            return;
+        }
+        if c0.is_empty() {
+            // No combinational cells: fall back to a register ring (one SCC).
+            for (i, &q) in a_dffs.iter().enumerate() {
+                let prev = a_dffs[(i + a_dffs.len() - 1) % a_dffs.len()];
+                c.set_fanin_raw(q, vec![prev]);
+                state.add_use(prev, q);
+            }
+            return;
+        }
+        // Phase A: make sure every A register is consumed by a C0 cell.
+        // Splices here can displace a sibling A register's only consumer,
+        // so iterate to a fixpoint (bounded; the slot-choice ranking makes
+        // mutual displacement vanishingly rare).
+        for _round in 0..4 {
+            let mut all_consumed = true;
+            for &q in a_dffs {
+                let consumed = state
+                    .consumers(q)
+                    .iter()
+                    .any(|u| c0.binary_search(u).is_ok());
+                if !consumed {
+                    all_consumed = false;
+                    let target = c0[self.rng.gen_index(c0.len())];
+                    self.splice(c, target, q, state);
+                }
+            }
+            if all_consumed {
+                break;
+            }
+        }
+        // Phase B: close each cycle with a downstream walk. No wiring
+        // mutation happens from here on.
+        for &q in a_dffs {
+            let existing = state
+                .consumers(q)
+                .iter()
+                .copied()
+                .find(|u| c0.binary_search(u).is_ok());
+            let consumer = match existing {
+                Some(u) => u,
+                None => {
+                    // Fixpoint failed (degenerate tiny C0): wire the register
+                    // into a ring with its predecessor instead.
+                    let prev = a_dffs[0];
+                    c.set_fanin_raw(q, vec![prev]);
+                    state.add_use(prev, q);
+                    continue;
+                }
+            };
+            // Walk downstream within C0.
+            let steps = 1 + self.rng.gen_index(self.spec.walk_steps);
+            let mut cur = consumer;
+            for _ in 0..steps {
+                let next: Vec<CellId> = state
+                    .consumers(cur)
+                    .iter()
+                    .copied()
+                    .filter(|u| c0.binary_search(u).is_ok())
+                    .collect();
+                match self.rng.choose(&next) {
+                    Some(&u) => cur = u,
+                    None => break,
+                }
+            }
+            c.set_fanin_raw(q, vec![cur]);
+            state.add_use(cur, q);
+        }
+    }
+
+    /// Replaces one fan-in slot of `target` with `source`, keeping fan-in
+    /// counts (and thus area) intact. Prefers displacing a driver that has
+    /// other observers, so the displacement does not dangle it.
+    fn splice(&mut self, c: &mut Circuit, target: CellId, source: CellId, state: &mut WiringState) {
+        let fanin = c.cell(target).fanin().to_vec();
+        if fanin.contains(&source) {
+            return; // already wired
+        }
+        // Candidate slots ranked: drivers with >= 2 observers first (their
+        // displacement cannot dangle or disconnect anything unique), then
+        // non-register drivers, then anything. Register drivers with a
+        // single observer are the feedback connections the generator must
+        // not break.
+        let multi_use: Vec<usize> = (0..fanin.len())
+            .filter(|&i| state.uses(fanin[i]) >= 2)
+            .collect();
+        let non_register: Vec<usize> = (0..fanin.len())
+            .filter(|&i| c.cell(fanin[i]).kind() != CellKind::Dff)
+            .collect();
+        let slot = if let Some(&s) = self.rng.choose(&multi_use) {
+            s
+        } else if let Some(&s) = self.rng.choose(&non_register) {
+            s
+        } else {
+            self.rng.gen_index(fanin.len())
+        };
+        let displaced = fanin[slot];
+        let mut new_fanin = fanin;
+        new_fanin[slot] = source;
+        c.set_fanin_raw(target, new_fanin);
+        state.remove_use(displaced, target);
+        state.add_use(source, target);
+    }
+}
+
+/// Dynamic use-count and fan-out bookkeeping during generation.
+#[derive(Debug, Clone)]
+struct WiringState {
+    uses: Vec<u32>,
+    consumers: Vec<Vec<CellId>>,
+}
+
+impl WiringState {
+    fn new() -> Self {
+        Self {
+            uses: Vec::new(),
+            consumers: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, id: CellId) {
+        let need = id.index() + 1;
+        if self.uses.len() < need {
+            self.uses.resize(need, 0);
+            self.consumers.resize(need, Vec::new());
+        }
+    }
+
+    /// Records a freshly created cell and its fan-in uses.
+    fn register(&mut self, id: CellId, fanin: &[CellId]) {
+        self.ensure(id);
+        for &f in fanin {
+            self.add_use(f, id);
+        }
+    }
+
+    fn add_use(&mut self, driver: CellId, consumer: CellId) {
+        self.ensure(driver);
+        self.ensure(consumer);
+        self.uses[driver.index()] += 1;
+        self.consumers[driver.index()].push(consumer);
+    }
+
+    fn remove_use(&mut self, driver: CellId, consumer: CellId) {
+        self.ensure(driver);
+        self.uses[driver.index()] = self.uses[driver.index()].saturating_sub(1);
+        if let Some(pos) = self.consumers[driver.index()].iter().position(|&c| c == consumer) {
+            self.consumers[driver.index()].swap_remove(pos);
+        }
+    }
+
+    fn uses(&self, id: CellId) -> u32 {
+        self.uses.get(id.index()).copied().unwrap_or(0)
+    }
+
+    fn consumers(&self, id: CellId) -> &[CellId] {
+        self.consumers
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::AreaModel;
+    use crate::stats::CircuitStats;
+    use crate::validate::{find_combinational_cycle, validate};
+
+    fn spec() -> SynthSpec {
+        SynthSpec::new("synth-test")
+            .primary_inputs(6)
+            .primary_outputs(3)
+            .flip_flops(8)
+            .gates(60)
+            .inverters(15)
+            .dffs_on_scc(5)
+            .target_area(300)
+            .seed(42)
+    }
+
+    #[test]
+    fn counts_match_spec_exactly() {
+        let c = Synthesizer::new(spec()).build();
+        let s = CircuitStats::of(&c, &AreaModel::paper());
+        assert_eq!(s.primary_inputs, 6);
+        assert_eq!(s.flip_flops, 8);
+        assert_eq!(s.gates, 60);
+        assert_eq!(s.inverters, 15);
+        assert_eq!(s.area, 300);
+        assert!(s.primary_outputs >= 3);
+    }
+
+    #[test]
+    fn no_combinational_cycles() {
+        for seed in 0..10 {
+            let c = Synthesizer::new(spec().seed(seed)).build();
+            assert_eq!(find_combinational_cycle(&c), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn structurally_clean() {
+        let c = Synthesizer::new(spec()).build();
+        let issues = validate(&c);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Synthesizer::new(spec()).build();
+        let b = Synthesizer::new(spec()).build();
+        assert_eq!(a, b);
+        let d = Synthesizer::new(spec().seed(43)).build();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn area_minimum_when_target_too_small() {
+        let s = spec().target_area(10); // far below the structural minimum
+        let c = Synthesizer::new(s.clone()).build();
+        let st = CircuitStats::of(&c, &AreaModel::paper());
+        assert_eq!(st.area, s.min_area());
+    }
+
+    #[test]
+    fn no_registers_case_works() {
+        let s = SynthSpec::new("comb")
+            .primary_inputs(5)
+            .flip_flops(0)
+            .gates(20)
+            .inverters(4)
+            .seed(3);
+        let c = Synthesizer::new(s).build();
+        assert_eq!(c.num_flip_flops(), 0);
+        assert_eq!(find_combinational_cycle(&c), None);
+    }
+
+    #[test]
+    fn register_ring_fallback_when_no_gates() {
+        let s = SynthSpec::new("ring")
+            .primary_inputs(1)
+            .flip_flops(4)
+            .dffs_on_scc(4)
+            .gates(0)
+            .inverters(0)
+            .seed(3);
+        let c = Synthesizer::new(s).build();
+        assert_eq!(c.num_flip_flops(), 4);
+        // Every register's D is another register: a pure ring.
+        for id in c.flip_flops() {
+            let f = c.cell(id).fanin();
+            assert_eq!(f.len(), 1);
+            assert_eq!(c.cell(f[0]).kind(), CellKind::Dff);
+        }
+    }
+
+    #[test]
+    fn wide_fanin_respects_planned_area() {
+        // Force many extra inputs into few gates.
+        let s = SynthSpec::new("wide")
+            .primary_inputs(10)
+            .gates(5)
+            .inverters(0)
+            .flip_flops(0)
+            .target_area(40) // 5 gates, budget 40 => n3=5, extras=25
+            .seed(9);
+        let c = Synthesizer::new(s).build();
+        let st = CircuitStats::of(&c, &AreaModel::paper());
+        assert_eq!(st.area, 40);
+    }
+}

@@ -1,0 +1,208 @@
+//! The synthesis specification.
+
+use crate::area::AreaUnits;
+
+/// Parameters controlling synthetic circuit generation.
+///
+/// Counts are honoured exactly; `target_area` is hit exactly when it is at
+/// least the structural minimum (`inverters + 2·gates + 10·flip_flops`),
+/// otherwise the generator produces the minimum and the caller can compare
+/// via [`CircuitStats`](crate::CircuitStats).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::{SynthSpec, Synthesizer};
+///
+/// let spec = SynthSpec::new("demo")
+///     .primary_inputs(8)
+///     .flip_flops(6)
+///     .gates(40)
+///     .inverters(10)
+///     .dffs_on_scc(4)
+///     .seed(1);
+/// let circuit = Synthesizer::new(spec).build();
+/// assert_eq!(circuit.num_inputs(), 8);
+/// assert_eq!(circuit.num_flip_flops(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSpec {
+    pub(crate) name: String,
+    pub(crate) primary_inputs: usize,
+    pub(crate) primary_outputs: usize,
+    pub(crate) flip_flops: usize,
+    pub(crate) gates: usize,
+    pub(crate) inverters: usize,
+    pub(crate) target_area: Option<AreaUnits>,
+    pub(crate) dffs_on_scc: usize,
+    pub(crate) max_fanin: usize,
+    pub(crate) locality_prob: f64,
+    pub(crate) locality_window: usize,
+    pub(crate) late_fraction: f64,
+    pub(crate) walk_steps: usize,
+    pub(crate) seed: u64,
+}
+
+impl SynthSpec {
+    /// Creates a specification with small defaults (4 inputs, 2 outputs,
+    /// no registers, 8 gates, 2 inverters).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            primary_inputs: 4,
+            primary_outputs: 2,
+            flip_flops: 0,
+            gates: 8,
+            inverters: 2,
+            target_area: None,
+            dffs_on_scc: 0,
+            max_fanin: 9,
+            locality_prob: 0.5,
+            locality_window: 24,
+            late_fraction: 0.25,
+            walk_steps: 6,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of primary inputs (≥ 1 recommended).
+    #[must_use]
+    pub fn primary_inputs(mut self, n: usize) -> Self {
+        self.primary_inputs = n;
+        self
+    }
+
+    /// Sets the minimum number of primary outputs. Dangling cells are always
+    /// promoted to outputs, so the actual count can be higher.
+    #[must_use]
+    pub fn primary_outputs(mut self, n: usize) -> Self {
+        self.primary_outputs = n;
+        self
+    }
+
+    /// Sets the number of D flip-flops.
+    #[must_use]
+    pub fn flip_flops(mut self, n: usize) -> Self {
+        self.flip_flops = n;
+        self
+    }
+
+    /// Sets the number of multi-input gates.
+    #[must_use]
+    pub fn gates(mut self, n: usize) -> Self {
+        self.gates = n;
+        self
+    }
+
+    /// Sets the number of inverters.
+    #[must_use]
+    pub fn inverters(mut self, n: usize) -> Self {
+        self.inverters = n;
+        self
+    }
+
+    /// Sets the estimated-area target (paper units). `None` leaves the area
+    /// at the structural minimum.
+    #[must_use]
+    pub fn target_area(mut self, area: AreaUnits) -> Self {
+        self.target_area = Some(area);
+        self
+    }
+
+    /// Sets how many flip-flops must lie on feedback cycles (nontrivial
+    /// SCCs). Clamped to the flip-flop count.
+    #[must_use]
+    pub fn dffs_on_scc(mut self, n: usize) -> Self {
+        self.dffs_on_scc = n;
+        self
+    }
+
+    /// Sets the maximum gate fan-in (≥ 2). Extra-input distribution raises
+    /// this automatically if the area target demands it.
+    #[must_use]
+    pub fn max_fanin(mut self, n: usize) -> Self {
+        self.max_fanin = n.max(2);
+        self
+    }
+
+    /// Sets the probability that a fan-in is drawn from the recent-cell
+    /// locality window rather than uniformly (structure knob).
+    #[must_use]
+    pub fn locality(mut self, prob: f64, window: usize) -> Self {
+        self.locality_prob = prob.clamp(0.0, 1.0);
+        self.locality_window = window.max(1);
+        self
+    }
+
+    /// Sets the fraction of combinational cells placed in the late
+    /// (provably acyclic) layer that hosts off-SCC register fan-out.
+    #[must_use]
+    pub fn late_fraction(mut self, frac: f64) -> Self {
+        self.late_fraction = frac.clamp(0.0, 0.9);
+        self
+    }
+
+    /// Sets the maximum downstream walk length used to close register
+    /// feedback cycles (longer walks yield larger SCCs).
+    #[must_use]
+    pub fn walk_steps(mut self, n: usize) -> Self {
+        self.walk_steps = n.max(1);
+        self
+    }
+
+    /// Sets the generator seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The structural minimum area for these counts
+    /// (`inverters + 2·gates + 10·flip_flops`).
+    #[must_use]
+    pub fn min_area(&self) -> AreaUnits {
+        self.inverters as AreaUnits + 2 * self.gates as AreaUnits + 10 * self.flip_flops as AreaUnits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_sets_fields() {
+        let s = SynthSpec::new("x")
+            .primary_inputs(3)
+            .primary_outputs(2)
+            .flip_flops(5)
+            .gates(7)
+            .inverters(1)
+            .target_area(99)
+            .dffs_on_scc(4)
+            .max_fanin(6)
+            .locality(0.3, 10)
+            .late_fraction(0.4)
+            .walk_steps(3)
+            .seed(77);
+        assert_eq!(s.primary_inputs, 3);
+        assert_eq!(s.flip_flops, 5);
+        assert_eq!(s.target_area, Some(99));
+        assert_eq!(s.seed, 77);
+    }
+
+    #[test]
+    fn min_area_formula() {
+        let s = SynthSpec::new("x").gates(10).inverters(4).flip_flops(2);
+        assert_eq!(s.min_area(), 4 + 20 + 20);
+    }
+
+    #[test]
+    fn knobs_are_clamped() {
+        let s = SynthSpec::new("x").max_fanin(0).locality(2.0, 0).late_fraction(1.5);
+        assert_eq!(s.max_fanin, 2);
+        assert_eq!(s.locality_prob, 1.0);
+        assert_eq!(s.locality_window, 1);
+        assert_eq!(s.late_fraction, 0.9);
+    }
+}

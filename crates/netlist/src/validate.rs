@@ -1,0 +1,160 @@
+//! Structural validation of circuits.
+//!
+//! [`Circuit`] construction already enforces local well-formedness (arity,
+//! name uniqueness, defined fan-ins). `validate` adds the global checks a
+//! BIST compiler cares about before spending minutes partitioning: no
+//! combinational cycles, no dangling logic, no floating outputs.
+
+use crate::cell::{CellId, CellKind};
+use crate::circuit::Circuit;
+
+/// A problem found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidationIssue {
+    /// A combinational cycle exists through the named cell; such a netlist
+    /// is not a valid synchronous circuit and no levelization exists.
+    CombinationalCycle {
+        /// A cell on the cycle.
+        cell: CellId,
+    },
+    /// The cell drives no other cell and is not a primary output; its logic
+    /// is dead. Harmless, but usually indicates a netlist extraction bug.
+    Dangling {
+        /// The cell with no observers.
+        cell: CellId,
+    },
+    /// The circuit declares no primary outputs at all.
+    NoOutputs,
+}
+
+impl std::fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::CombinationalCycle { cell } => {
+                write!(f, "combinational cycle through cell {cell}")
+            }
+            Self::Dangling { cell } => write!(f, "cell {cell} drives nothing and is not an output"),
+            Self::NoOutputs => write!(f, "circuit declares no primary outputs"),
+        }
+    }
+}
+
+/// Checks global structural sanity; returns all issues found (empty when the
+/// circuit is clean).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::{data, validate};
+///
+/// assert!(validate(&data::s27()).is_empty());
+/// ```
+#[must_use]
+pub fn validate(circuit: &Circuit) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    if circuit.outputs().is_empty() && circuit.num_cells() > 0 {
+        issues.push(ValidationIssue::NoOutputs);
+    }
+    if let Some(cell) = find_combinational_cycle(circuit) {
+        issues.push(ValidationIssue::CombinationalCycle { cell });
+    }
+    let fanouts = circuit.fanouts();
+    for (id, _) in circuit.iter() {
+        if fanouts.degree(id) == 0 && !circuit.is_output(id) {
+            issues.push(ValidationIssue::Dangling { cell: id });
+        }
+    }
+    issues
+}
+
+/// Returns a cell on a combinational cycle, if one exists. Flip-flops break
+/// cycles (their output does not combinationally depend on their input).
+#[must_use]
+pub fn find_combinational_cycle(circuit: &Circuit) -> Option<CellId> {
+    let n = circuit.num_cells();
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let id = CellId::from_index(node);
+            let cell = circuit.cell(id);
+            let deps: &[CellId] = if cell.kind() == CellKind::Dff {
+                &[]
+            } else {
+                cell.fanin()
+            };
+            if *next < deps.len() {
+                let dep = deps[*next].index();
+                *next += 1;
+                match state[dep] {
+                    0 => {
+                        state[dep] = 1;
+                        stack.push((dep, 0));
+                    }
+                    1 => return Some(CellId::from_index(dep)),
+                    _ => {}
+                }
+            } else {
+                state[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn s27_is_clean() {
+        assert!(validate(&data::s27()).is_empty());
+    }
+
+    #[test]
+    fn missing_outputs_flagged() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let y = c.add_cell("y", CellKind::Not, vec![a]).unwrap();
+        let issues = validate(&c);
+        assert!(issues.contains(&ValidationIssue::NoOutputs));
+        assert!(issues.contains(&ValidationIssue::Dangling { cell: y }));
+    }
+
+    #[test]
+    fn dff_feedback_is_not_a_combinational_cycle() {
+        let mut c = Circuit::new("t");
+        let en = c.add_input("en").unwrap();
+        // q = DFF(d); d = XOR(q, en) — build via raw patching.
+        let q = c.push_raw("q".into(), CellKind::Dff, Vec::new());
+        let d = c.add_cell("d", CellKind::Xor, vec![q, en]).unwrap();
+        c.set_fanin_raw(q, vec![d]);
+        c.mark_output(q).unwrap();
+        assert_eq!(find_combinational_cycle(&c), None);
+        assert!(validate(&c).is_empty());
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let x = c.push_raw("x".into(), CellKind::And, vec![a]);
+        let y = c.add_cell("y", CellKind::And, vec![x, a]).unwrap();
+        c.set_fanin_raw(x, vec![y, a]);
+        c.mark_output(y).unwrap();
+        assert!(find_combinational_cycle(&c).is_some());
+    }
+
+    #[test]
+    fn issue_display_is_informative() {
+        let issue = ValidationIssue::NoOutputs;
+        assert!(issue.to_string().contains("no primary outputs"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Writer emitting ISCAS89 `.bench` text from a [`Circuit`].
+
+use std::fmt::Write as _;
+
+use crate::cell::CellKind;
+use crate::circuit::Circuit;
+
+/// Serializes a circuit to `.bench` text.
+///
+/// Output order is: header comment, `INPUT` lines, `OUTPUT` lines, then one
+/// definition per gate/flip-flop in cell insertion order — the layout MCNC
+/// tools emit. The result round-trips through
+/// [`bench_format::parse`](crate::bench_format::parse) to an equivalent
+/// circuit (same cells, kinds, connectivity, and outputs).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::{bench_format, writer};
+///
+/// # fn main() -> Result<(), ppet_netlist::ParseBenchError> {
+/// let c = bench_format::parse("toy", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")?;
+/// let text = writer::to_bench(&c);
+/// let back = bench_format::parse("toy", &text)?;
+/// assert_eq!(back.num_cells(), c.num_cells());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} D-type flipflops",
+        circuit.num_inputs(),
+        circuit.outputs().len(),
+        circuit.num_flip_flops()
+    );
+    out.push('\n');
+    for id in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.cell(id).name());
+    }
+    out.push('\n');
+    for &id in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.cell(id).name());
+    }
+    out.push('\n');
+    for (_, cell) in circuit.iter() {
+        if cell.kind() == CellKind::Input {
+            continue;
+        }
+        let args: Vec<&str> = cell
+            .fanin()
+            .iter()
+            .map(|&f| circuit.cell(f).name())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            cell.name(),
+            cell.kind().bench_keyword(),
+            args.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse;
+    use crate::data;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c = data::s27();
+        let text = to_bench(&c);
+        let back = parse("s27", &text).unwrap();
+        assert_eq!(back.num_cells(), c.num_cells());
+        assert_eq!(back.num_inputs(), c.num_inputs());
+        assert_eq!(back.num_flip_flops(), c.num_flip_flops());
+        assert_eq!(back.outputs().len(), c.outputs().len());
+        // Connectivity: every cell has the same named fan-ins.
+        for (_, cell) in c.iter() {
+            let b_id = back.find(cell.name()).expect("cell survives round trip");
+            let b = back.cell(b_id);
+            assert_eq!(b.kind(), cell.kind());
+            let orig: Vec<&str> = cell.fanin().iter().map(|&f| c.cell(f).name()).collect();
+            let got: Vec<&str> = b.fanin().iter().map(|&f| back.cell(f).name()).collect();
+            assert_eq!(got, orig, "fan-in of {}", cell.name());
+        }
+    }
+
+    #[test]
+    fn header_counts_match() {
+        let c = data::s27();
+        let text = to_bench(&c);
+        assert!(text.contains("# 4 inputs, 1 outputs, 3 D-type flipflops"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests: writer/parser round trip and generator invariants over
+//! random circuit specifications.
+
+use proptest::prelude::*;
+
+use ppet_netlist::{bench_format, writer, AreaModel, CircuitStats, SynthSpec, Synthesizer};
+
+fn arb_spec() -> impl Strategy<Value = (SynthSpec, usize, usize)> {
+    (
+        1usize..12,   // PIs
+        0usize..15,   // DFFs
+        2usize..100,  // gates
+        0usize..30,   // inverters
+        0usize..15,   // dffs on scc
+        any::<u64>(), // seed
+    )
+        .prop_map(|(pis, dffs, gates, invs, on_scc, seed)| {
+            (
+                SynthSpec::new("prop")
+                    .primary_inputs(pis)
+                    .flip_flops(dffs)
+                    .gates(gates)
+                    .inverters(invs)
+                    .dffs_on_scc(on_scc.min(dffs))
+                    .seed(seed),
+                pis,
+                dffs,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `parse(write(c))` preserves every cell, kind, fan-in name list, and
+    /// the output set.
+    #[test]
+    fn writer_parser_round_trip((spec, _, _) in arb_spec()) {
+        let original = Synthesizer::new(spec).build();
+        let text = writer::to_bench(&original);
+        let back = bench_format::parse(original.name(), &text).expect("round trips");
+
+        prop_assert_eq!(back.num_cells(), original.num_cells());
+        prop_assert_eq!(back.outputs().len(), original.outputs().len());
+        for (_, cell) in original.iter() {
+            let b_id = back.find(cell.name()).expect("cell survives");
+            let b = back.cell(b_id);
+            prop_assert_eq!(b.kind(), cell.kind());
+            let orig: Vec<&str> = cell
+                .fanin()
+                .iter()
+                .map(|&f| original.cell(f).name())
+                .collect();
+            let got: Vec<&str> = b.fanin().iter().map(|&f| back.cell(f).name()).collect();
+            prop_assert_eq!(got, orig);
+        }
+        // Output name sets agree.
+        let mut o1: Vec<&str> = original
+            .outputs()
+            .iter()
+            .map(|&o| original.cell(o).name())
+            .collect();
+        let mut o2: Vec<&str> = back.outputs().iter().map(|&o| back.cell(o).name()).collect();
+        o1.sort_unstable();
+        o2.sort_unstable();
+        prop_assert_eq!(o1, o2);
+    }
+
+    /// The generator hits its counts exactly and never creates
+    /// combinational cycles.
+    #[test]
+    fn generator_counts_and_acyclicity((spec, pis, dffs) in arb_spec()) {
+        let c = Synthesizer::new(spec.clone()).build();
+        let s = CircuitStats::of(&c, &AreaModel::paper());
+        prop_assert_eq!(s.primary_inputs, pis);
+        prop_assert_eq!(s.flip_flops, dffs);
+        prop_assert!(ppet_netlist::validate::find_combinational_cycle(&c).is_none());
+        // Area is at least the structural minimum.
+        prop_assert!(s.area >= spec.min_area());
+    }
+
+    /// Statistics are stable through a round trip.
+    #[test]
+    fn stats_survive_round_trip((spec, _, _) in arb_spec()) {
+        let original = Synthesizer::new(spec).build();
+        let text = writer::to_bench(&original);
+        let back = bench_format::parse(original.name(), &text).expect("round trips");
+        let model = AreaModel::paper();
+        let a = CircuitStats::of(&original, &model);
+        let b = CircuitStats::of(&back, &model);
+        prop_assert_eq!(a.area, b.area);
+        prop_assert_eq!(a.gates, b.gates);
+        prop_assert_eq!(a.inverters, b.inverters);
+        prop_assert_eq!(a.flip_flops, b.flip_flops);
+    }
+}

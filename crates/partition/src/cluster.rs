@@ -1,0 +1,199 @@
+//! Cluster bookkeeping.
+
+use ppet_netlist::CellId;
+
+/// Identifier of a cluster within a [`Clustering`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// Dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A disjoint clustering of all graph nodes.
+///
+/// Maintains both directions of the mapping: per-node cluster id and
+/// per-cluster sorted member lists.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::CellId;
+/// use ppet_partition::Clustering;
+///
+/// let ids = [0u32, 0, 1, 1, 0];
+/// let c = Clustering::from_assignment(ids.iter().map(|&x| x).collect());
+/// assert_eq!(c.num_clusters(), 2);
+/// assert_eq!(c.members(ppet_partition::ClusterId(0)).len(), 3);
+/// assert_eq!(c.cluster_of(CellId::from_index(2)), ppet_partition::ClusterId(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    assignment: Vec<u32>,
+    clusters: Vec<Vec<CellId>>,
+}
+
+impl Clustering {
+    /// Builds a clustering from a per-node assignment vector. Cluster ids
+    /// are renumbered densely in order of first appearance.
+    #[must_use]
+    pub fn from_assignment(raw: Vec<u32>) -> Self {
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut assignment = Vec::with_capacity(raw.len());
+        let mut clusters: Vec<Vec<CellId>> = Vec::new();
+        for (i, &c) in raw.iter().enumerate() {
+            let dense = *remap.entry(c).or_insert_with(|| {
+                clusters.push(Vec::new());
+                (clusters.len() - 1) as u32
+            });
+            assignment.push(dense);
+            clusters[dense as usize].push(CellId::from_index(i));
+        }
+        Self {
+            assignment,
+            clusters,
+        }
+    }
+
+    /// Builds a clustering whose cluster indices are exactly the assignment
+    /// values (which must be dense, `0..num_clusters`). Unlike
+    /// [`Clustering::from_assignment`], the given numbering is preserved —
+    /// used when the caller has already ordered clusters (e.g. by
+    /// descending input count, paper Table 4 STEP 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment value is `≥ num_clusters`.
+    #[must_use]
+    pub fn from_dense(raw: Vec<u32>, num_clusters: usize) -> Self {
+        let mut clusters: Vec<Vec<CellId>> = vec![Vec::new(); num_clusters];
+        for (i, &c) in raw.iter().enumerate() {
+            assert!(
+                (c as usize) < num_clusters,
+                "assignment value {c} out of range"
+            );
+            clusters[c as usize].push(CellId::from_index(i));
+        }
+        Self {
+            assignment: raw,
+            clusters,
+        }
+    }
+
+    /// A single cluster holding every node (`n` nodes).
+    #[must_use]
+    pub fn single(n: usize) -> Self {
+        Self::from_assignment(vec![0; n])
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The cluster containing `node`.
+    #[must_use]
+    pub fn cluster_of(&self, node: CellId) -> ClusterId {
+        ClusterId(self.assignment[node.index()])
+    }
+
+    /// Members of a cluster, ascending by node id.
+    #[must_use]
+    pub fn members(&self, cluster: ClusterId) -> &[CellId] {
+        &self.clusters[cluster.index()]
+    }
+
+    /// All clusters.
+    pub fn iter(&self) -> impl Iterator<Item = (ClusterId, &[CellId])> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ClusterId(i as u32), m.as_slice()))
+    }
+
+    /// Moves `node` into `target`, keeping member lists sorted. Empty
+    /// clusters are retained (ids stay stable); use
+    /// [`Clustering::compact`] to drop them.
+    pub fn reassign(&mut self, node: CellId, target: ClusterId) {
+        let from = self.assignment[node.index()];
+        if from == target.0 {
+            return;
+        }
+        let members = &mut self.clusters[from as usize];
+        if let Ok(pos) = members.binary_search(&node) {
+            members.remove(pos);
+        }
+        self.assignment[node.index()] = target.0;
+        let t = &mut self.clusters[target.index()];
+        if let Err(pos) = t.binary_search(&node) {
+            t.insert(pos, node);
+        }
+    }
+
+    /// Renumbers clusters densely, dropping empty ones.
+    #[must_use]
+    pub fn compact(&self) -> Self {
+        Self::from_assignment(self.assignment.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignment_renumbers_densely() {
+        let c = Clustering::from_assignment(vec![7, 7, 3, 7, 3]);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.members(ClusterId(0)).len(), 3); // the "7" group
+        assert_eq!(c.members(ClusterId(1)).len(), 2);
+    }
+
+    #[test]
+    fn members_are_sorted() {
+        let c = Clustering::from_assignment(vec![0, 1, 0, 1, 0]);
+        let m: Vec<usize> = c.members(ClusterId(0)).iter().map(|x| x.index()).collect();
+        assert_eq!(m, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn reassign_moves_and_keeps_invariants() {
+        let mut c = Clustering::from_assignment(vec![0, 0, 1]);
+        c.reassign(CellId::from_index(0), ClusterId(1));
+        assert_eq!(c.cluster_of(CellId::from_index(0)), ClusterId(1));
+        assert_eq!(c.members(ClusterId(0)).len(), 1);
+        let m: Vec<usize> = c.members(ClusterId(1)).iter().map(|x| x.index()).collect();
+        assert_eq!(m, vec![0, 2]);
+        // Reassigning to the same cluster is a no-op.
+        c.reassign(CellId::from_index(0), ClusterId(1));
+        assert_eq!(c.members(ClusterId(1)).len(), 2);
+    }
+
+    #[test]
+    fn compact_drops_empty_clusters() {
+        let mut c = Clustering::from_assignment(vec![0, 1]);
+        c.reassign(CellId::from_index(0), ClusterId(1));
+        assert_eq!(c.num_clusters(), 2);
+        let compacted = c.compact();
+        assert_eq!(compacted.num_clusters(), 1);
+        assert_eq!(compacted.num_nodes(), 2);
+    }
+
+    #[test]
+    fn single_covers_everything() {
+        let c = Clustering::single(5);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.members(ClusterId(0)).len(), 5);
+    }
+}

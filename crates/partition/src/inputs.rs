@@ -1,0 +1,184 @@
+//! Input counting ι (paper Eq. (5)) and cut-net accounting.
+
+use ppet_graph::{scc::Scc, CircuitGraph, NetId};
+
+use crate::cluster::{ClusterId, Clustering};
+
+/// The distinct input nets of a cluster — the paper's ι(π) with
+/// "including primary inputs" (Eq. (5)):
+///
+/// * nets driven outside the cluster with a sink inside, plus
+/// * primary-input nets whose PI cell sits *inside* the cluster (the CBIT
+///   must still supply those bits, the chip boundary is outside every
+///   cluster).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::CircuitGraph;
+/// use ppet_netlist::data;
+/// use ppet_partition::{inputs::input_nets, ClusterId, Clustering};
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let all_in_one = Clustering::single(g.num_nodes());
+/// // One big cluster: its only inputs are the four PIs.
+/// assert_eq!(input_nets(&g, &all_in_one, ClusterId(0)).len(), 4);
+/// ```
+#[must_use]
+pub fn input_nets(graph: &CircuitGraph, clustering: &Clustering, cluster: ClusterId) -> Vec<NetId> {
+    let mut nets = Vec::new();
+    for &member in clustering.members(cluster) {
+        for &driver in graph.fanin(member) {
+            if clustering.cluster_of(driver) != cluster || graph.is_input(driver) {
+                nets.push(driver);
+            }
+        }
+        if graph.is_input(member) {
+            nets.push(member);
+        }
+    }
+    nets.sort_unstable();
+    nets.dedup();
+    nets
+}
+
+/// ι(π): the input count of a cluster.
+#[must_use]
+pub fn input_count(graph: &CircuitGraph, clustering: &Clustering, cluster: ClusterId) -> usize {
+    input_nets(graph, clustering, cluster).len()
+}
+
+/// All cut nets of a clustering: nets with the driver in one cluster and at
+/// least one sink in another. Sorted ascending.
+#[must_use]
+pub fn cut_nets(graph: &CircuitGraph, clustering: &Clustering) -> Vec<NetId> {
+    let mut out = Vec::new();
+    for (net, n) in graph.nets() {
+        let home = clustering.cluster_of(n.src());
+        if n.sinks().iter().any(|&s| clustering.cluster_of(s) != home) {
+            out.push(net);
+        }
+    }
+    out
+}
+
+/// The subset of `cuts` lying inside cyclic strongly connected components —
+/// the paper's "cut nets on SCC" column (Tables 10–11): a cut there
+/// competes for the SCC's retiming register budget.
+#[must_use]
+pub fn cuts_on_scc(graph: &CircuitGraph, scc: &Scc, cuts: &[NetId]) -> Vec<NetId> {
+    cuts.iter()
+        .copied()
+        .filter(|&n| scc.net_in_cyclic_component(graph, n))
+        .collect()
+}
+
+/// Number of cut nets a merge of two clusters would absorb: nets running
+/// from one cluster into the other (in either direction). This is the tie
+/// break of the paper's Table 8 STEP 3.2.1.
+#[must_use]
+pub fn cut_nets_between(
+    graph: &CircuitGraph,
+    clustering: &Clustering,
+    a: ClusterId,
+    b: ClusterId,
+) -> usize {
+    let mut count = 0;
+    for &(from, to) in &[(a, b), (b, a)] {
+        for &member in clustering.members(from) {
+            let net = graph.net(member);
+            if !net.sinks().is_empty()
+                && net.sinks().iter().any(|&s| clustering.cluster_of(s) == to)
+            {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::data;
+
+    fn s27() -> CircuitGraph {
+        CircuitGraph::from_circuit(&data::s27())
+    }
+
+    /// Clusters s27 by hand: PIs+front half vs back half.
+    fn two_way(g: &CircuitGraph) -> Clustering {
+        let group_b = ["G9", "G11", "G15", "G16", "G17", "G5", "G6"];
+        let raw: Vec<u32> = g
+            .nodes()
+            .map(|v| u32::from(group_b.contains(&g.node_name(v))))
+            .collect();
+        Clustering::from_assignment(raw)
+    }
+
+    #[test]
+    fn whole_circuit_inputs_are_the_pis() {
+        let g = s27();
+        let c = Clustering::single(g.num_nodes());
+        let nets = input_nets(&g, &c, ClusterId(0));
+        let names: Vec<&str> = nets.iter().map(|&n| g.node_name(n)).collect();
+        assert_eq!(names, vec!["G0", "G1", "G2", "G3"]);
+        assert!(cut_nets(&g, &c).is_empty());
+    }
+
+    #[test]
+    fn two_way_cut_accounting() {
+        let g = s27();
+        let c = two_way(&g);
+        let cuts = cut_nets(&g, &c);
+        assert!(!cuts.is_empty());
+        // Every cut net's driver and some sink are in different clusters.
+        for &n in &cuts {
+            let home = c.cluster_of(g.net(n).src());
+            assert!(g.net(n).sinks().iter().any(|&s| c.cluster_of(s) != home));
+        }
+        // Cluster 1 contains no PIs, so its inputs all come from outside.
+        let in1 = input_nets(&g, &c, ClusterId(1));
+        for &n in &in1 {
+            assert_ne!(c.cluster_of(n), ClusterId(1));
+        }
+    }
+
+    #[test]
+    fn pi_inside_cluster_still_counts() {
+        let g = s27();
+        // Put G0 alone with its inverter G14.
+        let raw: Vec<u32> = g
+            .nodes()
+            .map(|v| u32::from(matches!(g.node_name(v), "G0" | "G14")))
+            .collect();
+        let c = Clustering::from_assignment(raw);
+        let g0 = g.find("G0").unwrap();
+        let own = c.cluster_of(g0);
+        let inputs = input_nets(&g, &c, own);
+        // G0's net is an input of its own cluster (PI rule).
+        assert!(inputs.contains(&g0));
+    }
+
+    #[test]
+    fn cuts_on_scc_subset_of_cuts() {
+        let g = s27();
+        let scc = ppet_graph::scc::Scc::of(&g);
+        let c = two_way(&g);
+        let cuts = cut_nets(&g, &c);
+        let on_scc = cuts_on_scc(&g, &scc, &cuts);
+        assert!(on_scc.len() <= cuts.len());
+        for n in &on_scc {
+            assert!(cuts.contains(n));
+        }
+    }
+
+    #[test]
+    fn cut_nets_between_counts_both_directions() {
+        let g = s27();
+        let c = two_way(&g);
+        let between = cut_nets_between(&g, &c, ClusterId(0), ClusterId(1));
+        // Merging the two clusters absorbs every cut net.
+        assert_eq!(between, cut_nets(&g, &c).len());
+    }
+}

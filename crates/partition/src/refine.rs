@@ -1,0 +1,208 @@
+//! Boundary refinement of a finished partition.
+//!
+//! The paper's pipeline stops at `Assign_CBIT`; this module adds the
+//! natural post-pass the authors leave on the table: Fiduccia–Mattheyses
+//! style boundary moves. A cell sitting on a cut boundary is moved to a
+//! neighbouring partition when that strictly reduces the number of cut
+//! nets while keeping both partitions within the input constraint — the
+//! classic gain-driven refinement, here in its simple greedy-pass form
+//! (no bucket structure; partitions are small enough that recomputing
+//! local gains is cheap). Used by the ablation harness to quantify how
+//! much slack the congestion-guided clustering leaves behind.
+
+use ppet_graph::{CircuitGraph, NetId};
+use ppet_netlist::CellId;
+
+use crate::cluster::{ClusterId, Clustering};
+use crate::inputs;
+
+/// Refinement outcome.
+#[derive(Debug, Clone)]
+pub struct RefineResult {
+    /// The refined clustering.
+    pub clustering: Clustering,
+    /// Cut nets after refinement.
+    pub cut_nets: Vec<NetId>,
+    /// Number of accepted moves.
+    pub moves: usize,
+    /// Number of full passes performed.
+    pub passes: usize,
+}
+
+/// Greedily refines `clustering` under input constraint `lk`: repeatedly
+/// move boundary cells to adjacent partitions while each move strictly
+/// reduces the cut count and respects `ι ≤ l_k` on both sides, until a
+/// full pass makes no move (or `max_passes` is reached).
+///
+/// Never moves a partition's last cell (partition count is preserved).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_flow::{saturate_network, FlowParams};
+/// use ppet_graph::{scc::Scc, CircuitGraph};
+/// use ppet_netlist::data;
+/// use ppet_partition::{assign_cbit, make_group, refine, MakeGroupParams};
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let scc = Scc::of(&g);
+/// let profile = saturate_network(&g, &FlowParams::quick(), 1);
+/// let grouped = make_group(&g, &scc, &profile, &MakeGroupParams::new(4));
+/// let assigned = assign_cbit(&g, grouped.clustering, 4);
+/// let before = assigned.cut_nets.len();
+/// let refined = refine::greedy_refine(&g, assigned.clustering, 4, 8);
+/// assert!(refined.cut_nets.len() <= before);
+/// ```
+#[must_use]
+pub fn greedy_refine(
+    graph: &CircuitGraph,
+    clustering: Clustering,
+    lk: usize,
+    max_passes: usize,
+) -> RefineResult {
+    let mut clustering = clustering;
+    let mut moves = 0usize;
+    let mut passes = 0usize;
+    let mut current_cuts = inputs::cut_nets(graph, &clustering).len();
+
+    while passes < max_passes {
+        passes += 1;
+        let mut changed = false;
+        for cell in graph.nodes() {
+            let home = clustering.cluster_of(cell);
+            if clustering.members(home).len() <= 1 {
+                continue; // never empty a partition
+            }
+            // Candidate targets: partitions of the cell's neighbours.
+            let mut targets: Vec<ClusterId> = graph
+                .undirected_neighbors(cell)
+                .into_iter()
+                .map(|w| clustering.cluster_of(w))
+                .filter(|&t| t != home)
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            if targets.is_empty() {
+                continue; // interior cell
+            }
+            // Try each target; accept the best strictly improving move.
+            let mut best: Option<(usize, ClusterId)> = None;
+            for &target in &targets {
+                clustering.reassign(cell, target);
+                let ok = inputs::input_count(graph, &clustering, target) <= lk
+                    && inputs::input_count(graph, &clustering, home) <= lk;
+                if ok {
+                    let cuts = local_cut_count(graph, &clustering, cell, current_cuts);
+                    if cuts < current_cuts && best.map_or(true, |(b, _)| cuts < b) {
+                        best = Some((cuts, target));
+                    }
+                }
+                clustering.reassign(cell, home);
+            }
+            if let Some((cuts, target)) = best {
+                clustering.reassign(cell, target);
+                current_cuts = cuts;
+                moves += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let cut_nets = inputs::cut_nets(graph, &clustering);
+    debug_assert_eq!(cut_nets.len(), current_cuts);
+    RefineResult {
+        clustering,
+        cut_nets,
+        moves,
+        passes,
+    }
+}
+
+/// Cut count after a tentative move of `cell`, computed incrementally:
+/// only the nets touching `cell` (its own and its fan-ins) can change
+/// state, so adjust `baseline` by the delta over those nets re-evaluated
+/// against the *pre-move* clustering. Callers pass the clustering already
+/// containing the tentative move, so this recomputes the affected nets
+/// from scratch against it and reconciles with a full recount of the
+/// untouched remainder implied by `baseline`.
+fn local_cut_count(
+    graph: &CircuitGraph,
+    clustering: &Clustering,
+    cell: CellId,
+    _baseline: usize,
+) -> usize {
+    // The affected-net delta bookkeeping is easy to get subtly wrong when
+    // `cell`'s fan-in nets overlap its own net; partitions here are small,
+    // so a full recount keeps the refinement trustworthy. (The function
+    // boundary stays: swapping in a true incremental count later touches
+    // only this body.)
+    let _ = cell;
+    inputs::cut_nets(graph, clustering).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign_cbit_impl::assign_cbit;
+    use crate::make_group::{make_group, MakeGroupParams};
+    use ppet_flow::{saturate_network, FlowParams};
+    use ppet_graph::scc::Scc;
+    use ppet_netlist::{data, SynthSpec, Synthesizer};
+
+    fn partitioned(circuit: &ppet_netlist::Circuit, lk: usize) -> (CircuitGraph, Clustering) {
+        let g = CircuitGraph::from_circuit(circuit);
+        let scc = Scc::of(&g);
+        let profile = saturate_network(&g, &FlowParams::quick(), 1996);
+        let grouped = make_group(&g, &scc, &profile, &MakeGroupParams::new(lk));
+        let assigned = assign_cbit(&g, grouped.clustering, lk);
+        (g, assigned.clustering)
+    }
+
+    #[test]
+    fn never_increases_cuts_and_respects_lk() {
+        let circuit = Synthesizer::new(
+            SynthSpec::new("refine")
+                .primary_inputs(6)
+                .flip_flops(8)
+                .dffs_on_scc(5)
+                .gates(90)
+                .inverters(20)
+                .seed(4),
+        )
+        .build();
+        let lk = 6;
+        let (g, clustering) = partitioned(&circuit, lk);
+        let before = inputs::cut_nets(&g, &clustering).len();
+        let n_parts = clustering.num_clusters();
+        let refined = greedy_refine(&g, clustering, lk, 10);
+        assert!(refined.cut_nets.len() <= before);
+        for (id, members) in refined.clustering.iter() {
+            assert!(!members.is_empty());
+            assert!(inputs::input_count(&g, &refined.clustering, id) <= lk);
+        }
+        assert_eq!(refined.clustering.num_clusters(), n_parts);
+    }
+
+    #[test]
+    fn converges_before_max_passes_on_small_circuits() {
+        let (g, clustering) = partitioned(&data::s27(), 4);
+        let refined = greedy_refine(&g, clustering, 4, 50);
+        assert!(refined.passes < 50, "did not converge: {}", refined.passes);
+        // Re-running on the result changes nothing.
+        let again = greedy_refine(&g, refined.clustering.clone(), 4, 50);
+        assert_eq!(again.moves, 0);
+        assert_eq!(again.cut_nets, refined.cut_nets);
+    }
+
+    #[test]
+    fn zero_passes_is_identity() {
+        let (g, clustering) = partitioned(&data::s27(), 4);
+        let before = inputs::cut_nets(&g, &clustering);
+        let refined = greedy_refine(&g, clustering, 4, 0);
+        assert_eq!(refined.cut_nets, before);
+        assert_eq!(refined.moves, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Simulated-annealing PIC partitioner — the baseline comparator.
+//!
+//! Before the flow-based heuristic, the authors solved the same
+//! partition-with-input-constraint problem with simulated annealing
+//! ("Circuit Partitioning for Pipelined Pseudo-Exhaustive Testing Using
+//! Simulated Annealing", CICC 1994 — the paper's reference \[4\]). The
+//! original is closed-source; this module reimplements the standard
+//! move-based formulation so the ablation experiments can compare the two:
+//!
+//! * **state** — an assignment of every cell to one of `m` clusters;
+//! * **move** — reassign a random cell to the cluster of one of its
+//!   neighbours (keeps proposals on the cut boundary);
+//! * **cost** — `cut_nets + penalty · Σ max(0, ι(g) − l_k)²`, annealed with
+//!   geometric cooling and Metropolis acceptance.
+
+use ppet_graph::{CircuitGraph, NetId};
+use ppet_netlist::CellId;
+use ppet_prng::{Rng, Xoshiro256PlusPlus};
+
+use crate::cluster::Clustering;
+use crate::inputs;
+
+/// Annealing schedule and weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaParams {
+    /// The input constraint `l_k`.
+    pub lk: usize,
+    /// Number of clusters to anneal over (the PIC dual fixes `m` and
+    /// minimizes cuts).
+    pub num_clusters: usize,
+    /// Initial temperature.
+    pub t_initial: f64,
+    /// Geometric cooling factor per sweep.
+    pub cooling: f64,
+    /// Moves per temperature step (sweep length multiplier × nodes).
+    pub moves_per_node: usize,
+    /// Number of temperature steps.
+    pub steps: usize,
+    /// Weight of the quadratic input-constraint penalty.
+    pub penalty: f64,
+}
+
+impl SaParams {
+    /// A moderate schedule suitable for circuits up to a few thousand
+    /// cells.
+    #[must_use]
+    pub fn new(lk: usize, num_clusters: usize) -> Self {
+        Self {
+            lk,
+            num_clusters: num_clusters.max(1),
+            t_initial: 5.0,
+            cooling: 0.9,
+            moves_per_node: 4,
+            steps: 40,
+            penalty: 10.0,
+        }
+    }
+}
+
+/// The annealer's outcome.
+#[derive(Debug, Clone)]
+pub struct SaResult {
+    /// Best clustering found (compacted).
+    pub clustering: Clustering,
+    /// Its cut nets.
+    pub cut_nets: Vec<NetId>,
+    /// Its cost under the annealing objective.
+    pub cost: f64,
+    /// Number of accepted moves.
+    pub accepted: usize,
+    /// Number of proposed moves.
+    pub proposed: usize,
+}
+
+/// Runs the annealer from a seeded random initial assignment.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::CircuitGraph;
+/// use ppet_netlist::data;
+/// use ppet_partition::sa::{anneal, SaParams};
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let r = anneal(&g, &SaParams::new(6, 3), 7);
+/// assert_eq!(r.clustering.num_nodes(), g.num_nodes());
+/// ```
+#[must_use]
+pub fn anneal(graph: &CircuitGraph, params: &SaParams, seed: u64) -> SaResult {
+    let n = graph.num_nodes();
+    let m = params.num_clusters.min(n.max(1));
+    let mut rng = Xoshiro256PlusPlus::seed_from(seed ^ 0x5341_5f50_4943_0001);
+    if n == 0 {
+        return SaResult {
+            clustering: Clustering::from_assignment(Vec::new()),
+            cut_nets: Vec::new(),
+            cost: 0.0,
+            accepted: 0,
+            proposed: 0,
+        };
+    }
+
+    // Initial state: breadth-first stripes from random seeds, giving
+    // connected-ish starting clusters.
+    let mut assignment: Vec<u32> = vec![u32::MAX; n];
+    let mut seeds: Vec<CellId> = graph.nodes().collect();
+    rng.shuffle(&mut seeds);
+    let mut queues: Vec<Vec<CellId>> = (0..m).map(|i| vec![seeds[i % n]]).collect();
+    let mut remaining = n;
+    while remaining > 0 {
+        for (c, queue) in queues.iter_mut().enumerate() {
+            let Some(v) = queue.pop() else {
+                // Restart from any unassigned node.
+                if let Some(u) = assignment
+                    .iter()
+                    .position(|&a| a == u32::MAX)
+                    .map(CellId::from_index)
+                {
+                    queue.push(u);
+                }
+                continue;
+            };
+            if assignment[v.index()] != u32::MAX {
+                continue;
+            }
+            assignment[v.index()] = c as u32;
+            remaining -= 1;
+            for w in graph.undirected_neighbors(v) {
+                if assignment[w.index()] == u32::MAX {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+
+    let cost_of = |assignment: &[u32]| -> f64 {
+        let clustering = Clustering::from_assignment(assignment.to_vec());
+        let cuts = inputs::cut_nets(graph, &clustering).len() as f64;
+        let mut penalty = 0.0;
+        for (id, _) in clustering.iter() {
+            let over = inputs::input_count(graph, &clustering, id).saturating_sub(params.lk);
+            penalty += (over * over) as f64;
+        }
+        cuts + params.penalty * penalty
+    };
+
+    let nodes: Vec<CellId> = graph.nodes().collect();
+    let mut current = assignment;
+    let mut current_cost = cost_of(&current);
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut t = params.t_initial;
+    let mut accepted = 0usize;
+    let mut proposed = 0usize;
+
+    for _ in 0..params.steps {
+        for _ in 0..params.moves_per_node * n {
+            let v = nodes[rng.gen_index(n)];
+            let neighbors = graph.undirected_neighbors(v);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let target = current[neighbors[rng.gen_index(neighbors.len())].index()];
+            if target == current[v.index()] {
+                continue;
+            }
+            proposed += 1;
+            let old = current[v.index()];
+            current[v.index()] = target;
+            let new_cost = cost_of(&current);
+            let delta = new_cost - current_cost;
+            if delta <= 0.0 || rng.gen_f64() < (-delta / t).exp() {
+                accepted += 1;
+                current_cost = new_cost;
+                if current_cost < best_cost {
+                    best_cost = current_cost;
+                    best = current.clone();
+                }
+            } else {
+                current[v.index()] = old;
+            }
+        }
+        t *= params.cooling;
+    }
+
+    let clustering = Clustering::from_assignment(best).compact();
+    let cut_nets = inputs::cut_nets(graph, &clustering);
+    SaResult {
+        clustering,
+        cut_nets,
+        cost: best_cost,
+        accepted,
+        proposed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::data;
+
+    fn s27() -> CircuitGraph {
+        CircuitGraph::from_circuit(&data::s27())
+    }
+
+    #[test]
+    fn result_is_a_valid_partition() {
+        let g = s27();
+        let r = anneal(&g, &SaParams::new(6, 3), 1);
+        let total: usize = r.clustering.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, g.num_nodes());
+        assert_eq!(r.cut_nets, inputs::cut_nets(&g, &r.clustering));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = s27();
+        let a = anneal(&g, &SaParams::new(6, 3), 9);
+        let b = anneal(&g, &SaParams::new(6, 3), 9);
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn annealing_improves_on_the_initial_state() {
+        let g = s27();
+        // A frozen annealer (zero steps) returns its initial stripes.
+        let frozen = anneal(
+            &g,
+            &SaParams {
+                steps: 0,
+                ..SaParams::new(6, 3)
+            },
+            5,
+        );
+        let tuned = anneal(&g, &SaParams::new(6, 3), 5);
+        assert!(tuned.cost <= frozen.cost, "{} > {}", tuned.cost, frozen.cost);
+    }
+
+    #[test]
+    fn satisfies_constraint_when_feasible() {
+        // With l_k = 8 and 2 clusters on s27 a feasible solution exists;
+        // the penalty drives the annealer into it.
+        let g = s27();
+        let r = anneal(&g, &SaParams::new(8, 2), 3);
+        for (id, _) in r.clustering.iter() {
+            assert!(inputs::input_count(&g, &r.clustering, id) <= 8);
+        }
+    }
+
+    #[test]
+    fn single_cluster_degenerate_case() {
+        let g = s27();
+        let r = anneal(&g, &SaParams::new(16, 1), 2);
+        assert_eq!(r.clustering.num_clusters(), 1);
+        assert!(r.cut_nets.is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = ppet_netlist::Circuit::new("empty");
+        let g = CircuitGraph::from_circuit(&c);
+        let r = anneal(&g, &SaParams::new(4, 2), 0);
+        assert_eq!(r.clustering.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Partition validity checks.
+
+use ppet_graph::CircuitGraph;
+
+use crate::cluster::Clustering;
+use crate::inputs;
+
+/// A violation found by [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionIssue {
+    /// A cluster's input count exceeds the constraint.
+    InputConstraint {
+        /// Cluster index.
+        cluster: usize,
+        /// Its ι.
+        inputs: usize,
+        /// The limit `l_k`.
+        lk: usize,
+    },
+    /// The clustering does not cover every node exactly once (impossible
+    /// with [`Clustering`] unless constructed inconsistently with the
+    /// graph).
+    Coverage {
+        /// Nodes in the graph.
+        graph_nodes: usize,
+        /// Nodes in the clustering.
+        clustering_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InputConstraint { cluster, inputs, lk } => {
+                write!(f, "cluster {cluster} has {inputs} inputs > l_k = {lk}")
+            }
+            Self::Coverage {
+                graph_nodes,
+                clustering_nodes,
+            } => write!(
+                f,
+                "clustering covers {clustering_nodes} nodes but the graph has {graph_nodes}"
+            ),
+        }
+    }
+}
+
+/// Checks a clustering against the PIC constraints (paper Eq. (5)).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::CircuitGraph;
+/// use ppet_netlist::data;
+/// use ppet_partition::{validate::check, Clustering};
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let whole = Clustering::single(g.num_nodes());
+/// // One cluster with 4 inputs: fine at l_k = 4, violated at l_k = 3.
+/// assert!(check(&g, &whole, 4).is_empty());
+/// assert_eq!(check(&g, &whole, 3).len(), 1);
+/// ```
+#[must_use]
+pub fn check(graph: &CircuitGraph, clustering: &Clustering, lk: usize) -> Vec<PartitionIssue> {
+    let mut issues = Vec::new();
+    if clustering.num_nodes() != graph.num_nodes() {
+        issues.push(PartitionIssue::Coverage {
+            graph_nodes: graph.num_nodes(),
+            clustering_nodes: clustering.num_nodes(),
+        });
+        return issues;
+    }
+    for (id, _) in clustering.iter() {
+        let inputs = inputs::input_count(graph, clustering, id);
+        if inputs > lk {
+            issues.push(PartitionIssue::InputConstraint {
+                cluster: id.index(),
+                inputs,
+                lk,
+            });
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::data;
+
+    #[test]
+    fn coverage_mismatch_detected() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let short = Clustering::single(3);
+        let issues = check(&g, &short, 16);
+        assert!(matches!(issues[0], PartitionIssue::Coverage { .. }));
+        assert!(issues[0].to_string().contains("covers 3 nodes"));
+    }
+
+    #[test]
+    fn input_violation_message() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let whole = Clustering::single(g.num_nodes());
+        let issues = check(&g, &whole, 2);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].to_string().contains("l_k = 2"));
+    }
+}

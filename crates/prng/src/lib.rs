@@ -1,0 +1,255 @@
+//! Deterministic, cross-platform pseudo-random number generation for the
+//! `ppet` workspace.
+//!
+//! Every stochastic piece of the PPET pipeline — the probabilistic
+//! multicommodity-flow saturation of `Saturate_Network`, the synthetic
+//! benchmark generator, and the simulated-annealing baseline partitioner —
+//! draws its randomness from this crate so that a given seed reproduces the
+//! exact same experiment on every platform and in every release. General
+//! purpose crates such as `rand` explicitly do *not* promise value stability
+//! across versions, which would silently invalidate recorded experiment
+//! tables.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny 64-bit state generator, used to seed others and
+//!   for light-duty mixing;
+//! * [`Xoshiro256PlusPlus`] — the workspace's workhorse generator (256-bit
+//!   state, period `2^256 − 1`).
+//!
+//! Both implement the [`Rng`] trait, which adds the derived sampling helpers
+//! used across the workspace (bounded integers, floats in `[0, 1)`, Bernoulli
+//! trials, slice choice, Fisher–Yates shuffling).
+//!
+//! # Examples
+//!
+//! ```
+//! use ppet_prng::{Rng, Xoshiro256PlusPlus};
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from(42);
+//! let die = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&die));
+//!
+//! let mut items = vec![1, 2, 3, 4, 5];
+//! rng.shuffle(&mut items);
+//! assert_eq!(items.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod splitmix;
+mod xoshiro;
+
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256PlusPlus;
+
+use std::ops::{Bound, RangeBounds};
+
+/// A deterministic source of pseudo-random `u64` values with derived sampling
+/// helpers.
+///
+/// The provided methods cover every sampling pattern the workspace needs so
+/// call sites never reimplement (and subtly diverge on) modulo-bias handling
+/// or shuffling.
+pub trait Rng {
+    /// Returns the next raw 64-bit value from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire-style rejection to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below bound must be positive");
+        // Lemire's multiply-shift method with rejection.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `usize` index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_below(len as u64) as usize
+    }
+
+    /// Returns a uniformly distributed value from an integer range.
+    ///
+    /// Both half-open (`lo..hi`) and inclusive (`lo..=hi`) ranges are
+    /// supported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: RangeBounds<i64>>(&mut self, range: R) -> i64
+    where
+        Self: Sized,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v + 1,
+            Bound::Unbounded => i64::MIN,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v - 1,
+            Bound::Unbounded => i64::MAX,
+        };
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u64::MAX as u128 {
+            // Span covers (almost) the whole u64 domain; raw value is fine.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.gen_below(span as u64) as i64)
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)` with 53 bits of
+    /// precision.
+    fn gen_f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 scaling yields [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_f64() < p
+    }
+
+    /// Returns a reference to a uniformly chosen element of `slice`, or
+    /// `None` when the slice is empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T>
+    where
+        Self: Sized,
+    {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_index(slice.len())])
+        }
+    }
+
+    /// Shuffles `slice` in place with the Fisher–Yates algorithm.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Forks an independent generator seeded from this one.
+    ///
+    /// Useful for giving each subsystem (flow saturation, annealing, circuit
+    /// synthesis) its own stream so reordering one does not perturb the
+    /// others.
+    fn fork(&mut self) -> Xoshiro256PlusPlus
+    where
+        Self: Sized,
+    {
+        Xoshiro256PlusPlus::seed_from(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_below_stays_in_bounds() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(rng.gen_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_endpoints() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2..=2);
+            assert!((-2..=2).contains(&v));
+            saw_lo |= v == -2;
+            saw_hi |= v == 2;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(11);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(1);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_diverge() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(9);
+        let mut a = rng.fork();
+        let mut b = rng.fork();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn gen_bool_probability_roughly_respected() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(21);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,92 @@
+//! SplitMix64: a tiny, fast, well-mixed 64-bit generator.
+//!
+//! Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014. The constants below are the canonical ones from
+//! the public-domain reference implementation.
+
+use crate::Rng;
+
+/// A 64-bit-state pseudo-random generator based on the SplitMix64 finalizer.
+///
+/// SplitMix64 passes BigCrush for its size and, crucially for this workspace,
+/// maps *any* seed (including zero) to a usable stream, which makes it the
+/// right tool for expanding small user-facing seeds into the 256-bit state of
+/// [`Xoshiro256PlusPlus`](crate::Xoshiro256PlusPlus).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_prng::{Rng, SplitMix64};
+///
+/// let mut a = SplitMix64::new(1);
+/// let mut b = SplitMix64::new(1);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Any seed is valid.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the current internal state (the *next* increment base).
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First outputs for seed 1234567, from the reference C implementation.
+    #[test]
+    fn matches_reference_vectors() {
+        let mut rng = SplitMix64::new(1234567);
+        let expected = [
+            6_457_827_717_110_365_317u64,
+            3_203_168_211_198_807_973,
+            9_817_491_932_198_370_423,
+            4_593_380_528_125_082_431,
+            16_408_922_859_458_223_821,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn zero_seed_produces_nonzero_stream() {
+        let mut rng = SplitMix64::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,159 @@
+//! The single stuck-at fault model.
+
+use std::fmt;
+
+use ppet_netlist::{CellId, CellKind, Circuit};
+
+/// A stuck value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StuckAt {
+    /// Stuck at logic 0.
+    Zero,
+    /// Stuck at logic 1.
+    One,
+}
+
+impl StuckAt {
+    /// The 64-lane word of this stuck value.
+    #[must_use]
+    pub fn word(self) -> u64 {
+        match self {
+            StuckAt::Zero => 0,
+            StuckAt::One => u64::MAX,
+        }
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StuckAt::Zero => "s-a-0",
+            StuckAt::One => "s-a-1",
+        })
+    }
+}
+
+/// Where a fault sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// On a cell's output net (affects every fan-out branch).
+    Output(CellId),
+    /// On one input pin of a cell (a fan-out branch fault).
+    Input {
+        /// The consuming cell.
+        cell: CellId,
+        /// The pin index within its fan-in list.
+        pin: usize,
+    },
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fault {
+    /// Location.
+    pub site: FaultSite,
+    /// Stuck value.
+    pub value: StuckAt,
+}
+
+impl Fault {
+    /// Human-readable description against a circuit.
+    #[must_use]
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        match self.site {
+            FaultSite::Output(c) => format!("{} output {}", circuit.cell(c).name(), self.value),
+            FaultSite::Input { cell, pin } => format!(
+                "{} input {} (from {}) {}",
+                circuit.cell(cell).name(),
+                pin,
+                circuit.cell(circuit.cell(cell).fanin()[pin]).name(),
+                self.value
+            ),
+        }
+    }
+}
+
+/// Enumerates the complete (uncollapsed) single stuck-at fault list:
+/// both polarities on every cell output that drives something (or is a
+/// primary output) and on every gate input pin.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::bench_format::parse;
+/// use ppet_sim::fault::all_faults;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = parse("toy", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")?;
+/// // Outputs: a, b, y (3 × 2) + input pins of y (2 × 2) = 10 faults.
+/// assert_eq!(all_faults(&c).len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn all_faults(circuit: &Circuit) -> Vec<Fault> {
+    let fanouts = circuit.fanouts();
+    let mut out = Vec::new();
+    for (id, cell) in circuit.iter() {
+        if fanouts.degree(id) > 0 || circuit.is_output(id) {
+            for value in [StuckAt::Zero, StuckAt::One] {
+                out.push(Fault {
+                    site: FaultSite::Output(id),
+                    value,
+                });
+            }
+        }
+        if cell.kind() != CellKind::Input {
+            for pin in 0..cell.fanin().len() {
+                for value in [StuckAt::Zero, StuckAt::One] {
+                    out.push(Fault {
+                        site: FaultSite::Input { cell: id, pin },
+                        value,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::data;
+
+    #[test]
+    fn fault_count_formula() {
+        let c = data::s27();
+        let faults = all_faults(&c);
+        let fanouts = c.fanouts();
+        let driving: usize = c
+            .ids()
+            .filter(|&id| fanouts.degree(id) > 0 || c.is_output(id))
+            .count();
+        let pins: usize = c
+            .iter()
+            .filter(|(_, cell)| cell.kind() != CellKind::Input)
+            .map(|(_, cell)| cell.fanin().len())
+            .sum();
+        assert_eq!(faults.len(), 2 * (driving + pins));
+    }
+
+    #[test]
+    fn describe_names_cells() {
+        let c = data::s27();
+        let g8 = c.find("G8").unwrap();
+        let f = Fault {
+            site: FaultSite::Input { cell: g8, pin: 1 },
+            value: StuckAt::One,
+        };
+        let d = f.describe(&c);
+        assert!(d.contains("G8") && d.contains("s-a-1") && d.contains("G6"), "{d}");
+    }
+
+    #[test]
+    fn stuck_words() {
+        assert_eq!(StuckAt::Zero.word(), 0);
+        assert_eq!(StuckAt::One.word(), u64::MAX);
+    }
+}

@@ -1,0 +1,299 @@
+//! 64-way bit-parallel logic simulation.
+//!
+//! Every signal carries a `u64` word: bit `i` is the signal's value under
+//! pattern `i` of the current block, so one pass evaluates 64 patterns —
+//! the classic parallel-pattern single-fault technique that fault
+//! simulation builds on.
+
+use ppet_netlist::{CellId, CellKind, Circuit};
+
+use crate::levelize::{Levelized, LevelizeError};
+
+/// A compiled combinational evaluator for one circuit.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::bench_format::parse;
+/// use ppet_sim::logic::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = parse("toy", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n")?;
+/// let sim = Simulator::new(&c)?;
+/// let values = sim.eval(&[0b0101, 0b0011], &[]);
+/// let y = c.find("y").unwrap();
+/// assert_eq!(values[y.index()] & 0xF, 0b0110);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'c> {
+    circuit: &'c Circuit,
+    levelized: Levelized,
+    inputs: Vec<CellId>,
+    dffs: Vec<CellId>,
+}
+
+impl<'c> Simulator<'c> {
+    /// Compiles the circuit (levelizes it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] if the circuit has a combinational cycle.
+    pub fn new(circuit: &'c Circuit) -> Result<Self, LevelizeError> {
+        let levelized = Levelized::of(circuit)?;
+        Ok(Self {
+            circuit,
+            levelized,
+            inputs: circuit.inputs().collect(),
+            dffs: circuit.flip_flops().collect(),
+        })
+    }
+
+    /// The circuit being simulated.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// The primary inputs, in the order `eval` expects their words.
+    #[must_use]
+    pub fn inputs(&self) -> &[CellId] {
+        &self.inputs
+    }
+
+    /// The registers, in the order `eval` expects their state words.
+    #[must_use]
+    pub fn dffs(&self) -> &[CellId] {
+        &self.dffs
+    }
+
+    /// The levelized evaluation order (drivers before consumers).
+    #[must_use]
+    pub fn levelized_order(&self) -> &[CellId] {
+        self.levelized.order()
+    }
+
+    /// Evaluates the combinational logic for a block of 64 patterns.
+    ///
+    /// `pi_words[i]` is the word of the `i`-th primary input (see
+    /// [`Simulator::inputs`]); `dff_words[i]` the current state of the
+    /// `i`-th register. Returns one word per cell: gate outputs, with
+    /// inputs/registers echoing their sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the input/register counts.
+    #[must_use]
+    pub fn eval(&self, pi_words: &[u64], dff_words: &[u64]) -> Vec<u64> {
+        assert_eq!(pi_words.len(), self.inputs.len(), "one word per input");
+        assert_eq!(dff_words.len(), self.dffs.len(), "one word per register");
+        let mut values = vec![0u64; self.circuit.num_cells()];
+        for (i, &pi) in self.inputs.iter().enumerate() {
+            values[pi.index()] = pi_words[i];
+        }
+        for (i, &q) in self.dffs.iter().enumerate() {
+            values[q.index()] = dff_words[i];
+        }
+        for &v in self.levelized.order() {
+            let cell = self.circuit.cell(v);
+            if !cell.kind().is_combinational() {
+                continue;
+            }
+            values[v.index()] = eval_gate(cell.kind(), cell.fanin(), &values);
+        }
+        values
+    }
+
+    /// The next-state words implied by an evaluation: for each register,
+    /// the word of its `D` driver.
+    #[must_use]
+    pub fn next_state(&self, values: &[u64]) -> Vec<u64> {
+        self.dffs
+            .iter()
+            .map(|&q| values[self.circuit.cell(q).fanin()[0].index()])
+            .collect()
+    }
+
+    /// The primary-output words of an evaluation.
+    #[must_use]
+    pub fn outputs(&self, values: &[u64]) -> Vec<u64> {
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|&o| values[o.index()])
+            .collect()
+    }
+}
+
+/// Evaluates one gate over 64-bit pattern words.
+#[must_use]
+pub fn eval_gate(kind: CellKind, fanin: &[CellId], values: &[u64]) -> u64 {
+    let mut inputs = fanin.iter().map(|f| values[f.index()]);
+    match kind {
+        CellKind::And => inputs.fold(u64::MAX, |a, b| a & b),
+        CellKind::Nand => !inputs.fold(u64::MAX, |a, b| a & b),
+        CellKind::Or => inputs.fold(0, |a, b| a | b),
+        CellKind::Nor => !inputs.fold(0, |a, b| a | b),
+        CellKind::Xor => inputs.fold(0, |a, b| a ^ b),
+        CellKind::Xnor => !inputs.fold(0, |a, b| a ^ b),
+        CellKind::Not => !inputs.next().expect("inverter has one input"),
+        CellKind::Buf => inputs.next().expect("buffer has one input"),
+        CellKind::Input | CellKind::Dff => unreachable!("not combinational"),
+    }
+}
+
+/// A stateful sequential simulator: clocks a circuit block by block.
+///
+/// Registers power up at zero (see the retiming notes in
+/// `ppet-graph::retime::apply` on initial states).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::bench_format::parse;
+/// use ppet_sim::logic::{Simulator, SequentialSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 1-bit toggle: q flips whenever en = 1.
+/// let c = parse("t", "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, en)\n")?;
+/// let sim = Simulator::new(&c)?;
+/// let mut seq = SequentialSim::new(&sim);
+/// let out1 = seq.clock(&[u64::MAX]); // all 64 lanes enable
+/// let out2 = seq.clock(&[u64::MAX]);
+/// assert_eq!(out1[0], 0);            // q was 0 before the first edge
+/// assert_eq!(out2[0], u64::MAX);     // toggled
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialSim<'s, 'c> {
+    sim: &'s Simulator<'c>,
+    state: Vec<u64>,
+}
+
+impl<'s, 'c> SequentialSim<'s, 'c> {
+    /// Creates a sequential simulator with all registers at zero.
+    #[must_use]
+    pub fn new(sim: &'s Simulator<'c>) -> Self {
+        let n = sim.dffs().len();
+        Self {
+            sim,
+            state: vec![0; n],
+        }
+    }
+
+    /// Sets the register state words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the register count.
+    pub fn set_state(&mut self, state: Vec<u64>) {
+        assert_eq!(state.len(), self.sim.dffs().len());
+        self.state = state;
+    }
+
+    /// The current register state words.
+    #[must_use]
+    pub fn state(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Applies one clock: evaluates with the given input words, returns the
+    /// primary-output words *before* the edge, then advances the state.
+    pub fn clock(&mut self, pi_words: &[u64]) -> Vec<u64> {
+        let values = self.sim.eval(pi_words, &self.state);
+        let outs = self.sim.outputs(&values);
+        self.state = self.sim.next_state(&values);
+        outs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::bench_format::parse;
+    use ppet_netlist::data;
+
+    #[test]
+    fn gate_truth_tables() {
+        let c = parse(
+            "g",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(o1)\nOUTPUT(o2)\nOUTPUT(o3)\nOUTPUT(o4)\n\
+             o1 = AND(a, b)\no2 = NOR(a, b)\no3 = XNOR(a, b)\no4 = BUFF(a)\n",
+        )
+        .unwrap();
+        let sim = Simulator::new(&c).unwrap();
+        // Patterns (a,b) = 00,01,10,11 in bits 0..3.
+        let v = sim.eval(&[0b1100, 0b1010], &[]);
+        let val = |name: &str| v[c.find(name).unwrap().index()] & 0xF;
+        assert_eq!(val("o1"), 0b1000);
+        assert_eq!(val("o2"), 0b0001);
+        assert_eq!(val("o3"), 0b1001);
+        assert_eq!(val("o4"), 0b1100);
+    }
+
+    #[test]
+    fn wide_gates() {
+        let c = parse(
+            "w",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = NAND(a, b, c)\n",
+        )
+        .unwrap();
+        let sim = Simulator::new(&c).unwrap();
+        // 8 patterns: a,b,c = bits of 0..8.
+        let a = 0b10101010u64;
+        let b = 0b11001100u64;
+        let cc = 0b11110000u64;
+        let v = sim.eval(&[a, b, cc], &[]);
+        let y = v[c.find("y").unwrap().index()] & 0xFF;
+        assert_eq!(y, !(a & b & cc) & 0xFF);
+    }
+
+    #[test]
+    fn s27_sequential_simulation_is_deterministic() {
+        let c = data::s27();
+        let sim = Simulator::new(&c).unwrap();
+        let mut seq1 = SequentialSim::new(&sim);
+        let mut seq2 = SequentialSim::new(&sim);
+        let stim = [0b1010u64, 0b0110, 0b0011, 0b1001];
+        for step in 0..20u64 {
+            let inputs: Vec<u64> = stim.iter().map(|s| s.rotate_left(step as u32)).collect();
+            assert_eq!(seq1.clock(&inputs), seq2.clock(&inputs));
+        }
+    }
+
+    #[test]
+    fn toggle_counter_behaviour() {
+        let c = parse("t", "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, en)\n").unwrap();
+        let sim = Simulator::new(&c).unwrap();
+        let mut seq = SequentialSim::new(&sim);
+        // Lane 0: en always 1 (toggles); lane 1: en always 0 (holds).
+        let mut qs = Vec::new();
+        for _ in 0..4 {
+            let out = seq.clock(&[0b01]);
+            qs.push(out[0] & 0b11);
+        }
+        assert_eq!(qs, vec![0b00, 0b01, 0b00, 0b01]);
+    }
+
+    #[test]
+    fn next_state_matches_d_inputs() {
+        let c = data::s27();
+        let sim = Simulator::new(&c).unwrap();
+        let values = sim.eval(&[1, 2, 3, 4], &[5, 6, 7]);
+        let next = sim.next_state(&values);
+        for (i, &q) in sim.dffs().iter().enumerate() {
+            let d = c.cell(q).fanin()[0];
+            assert_eq!(next[i], values[d.index()]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one word per input")]
+    fn wrong_input_count_panics() {
+        let c = data::s27();
+        let sim = Simulator::new(&c).unwrap();
+        let _ = sim.eval(&[0; 3], &[0; 3]);
+    }
+}

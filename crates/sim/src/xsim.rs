@@ -1,0 +1,324 @@
+//! Three-valued (0/1/X) simulation for initialization analysis.
+//!
+//! Retiming preserves steady-state behaviour but not power-up state: the
+//! paper points at Touati & Brayton (\[16\]) for recomputing initial states.
+//! This simulator answers the practical question downstream of that: from
+//! an all-`X` power-up, **how many cycles of a given stimulus until every
+//! register (or output) holds a known value?** Comparing the original and
+//! retimed circuits' initialization depth flags retimings that would need
+//! explicit initial-state work.
+//!
+//! Values are dual-rail encoded per signal and 64-way lane-parallel:
+//! `ones` and `zeros` masks, where a lane with both bits set is impossible
+//! and a lane with neither is `X`.
+
+use ppet_netlist::{CellId, CellKind, Circuit};
+
+use crate::levelize::{Levelized, LevelizeError};
+
+/// A 64-lane three-valued word: lane `i` is `1` if `ones` bit `i` is set,
+/// `0` if `zeros` bit `i` is set, `X` if neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct XWord {
+    /// Lanes known to be 1.
+    pub ones: u64,
+    /// Lanes known to be 0.
+    pub zeros: u64,
+}
+
+impl XWord {
+    /// All lanes `X`.
+    pub const ALL_X: XWord = XWord { ones: 0, zeros: 0 };
+
+    /// A fully known word from a binary lane mask.
+    #[must_use]
+    pub fn known(bits: u64) -> Self {
+        Self {
+            ones: bits,
+            zeros: !bits,
+        }
+    }
+
+    /// Lanes with a known value.
+    #[must_use]
+    pub fn known_mask(self) -> u64 {
+        self.ones | self.zeros
+    }
+
+    /// True when every lane is known.
+    #[must_use]
+    pub fn fully_known(self) -> bool {
+        self.known_mask() == u64::MAX
+    }
+
+    /// Three-valued NOT.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // deliberate: X-aware, not ops::Not
+    pub fn not(self) -> Self {
+        Self {
+            ones: self.zeros,
+            zeros: self.ones,
+        }
+    }
+
+    /// Three-valued AND: 0 dominates, 1 ∧ 1 = 1, anything else X.
+    #[must_use]
+    pub fn and(self, other: Self) -> Self {
+        Self {
+            ones: self.ones & other.ones,
+            zeros: self.zeros | other.zeros,
+        }
+    }
+
+    /// Three-valued OR: 1 dominates.
+    #[must_use]
+    pub fn or(self, other: Self) -> Self {
+        Self {
+            ones: self.ones | other.ones,
+            zeros: self.zeros & other.zeros,
+        }
+    }
+
+    /// Three-valued XOR: known only when both inputs are known.
+    #[must_use]
+    pub fn xor(self, other: Self) -> Self {
+        let known = self.known_mask() & other.known_mask();
+        let value = (self.ones ^ other.ones) & known;
+        Self {
+            ones: value,
+            zeros: !value & known,
+        }
+    }
+}
+
+/// A three-valued simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_netlist::data;
+/// use ppet_sim::xsim::{XSim, XWord};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A shift register flushes X out in one cycle per stage.
+/// let c = data::shift_register(3);
+/// let mut sim = XSim::new(&c)?;
+/// let depth = sim.initialization_depth(
+///     |_cycle, _i| XWord::known(0), // serial_in = 0
+///     16,
+/// );
+/// assert_eq!(depth, Some(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct XSim<'c> {
+    circuit: &'c Circuit,
+    levelized: Levelized,
+    inputs: Vec<CellId>,
+    dffs: Vec<CellId>,
+    state: Vec<XWord>,
+}
+
+impl<'c> XSim<'c> {
+    /// Compiles the circuit; registers power up all-`X`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevelizeError`] for combinationally cyclic circuits.
+    pub fn new(circuit: &'c Circuit) -> Result<Self, LevelizeError> {
+        let levelized = Levelized::of(circuit)?;
+        let inputs = circuit.inputs().collect();
+        let dffs: Vec<CellId> = circuit.flip_flops().collect();
+        let state = vec![XWord::ALL_X; dffs.len()];
+        Ok(Self {
+            circuit,
+            levelized,
+            inputs,
+            dffs,
+            state,
+        })
+    }
+
+    /// Current register values.
+    #[must_use]
+    pub fn state(&self) -> &[XWord] {
+        &self.state
+    }
+
+    /// Resets all registers to `X`.
+    pub fn reset_to_x(&mut self) {
+        self.state.fill(XWord::ALL_X);
+    }
+
+    /// Evaluates one combinational frame under the given input words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len()` differs from the input count.
+    #[must_use]
+    pub fn eval(&self, pi_words: &[XWord]) -> Vec<XWord> {
+        assert_eq!(pi_words.len(), self.inputs.len(), "one word per input");
+        let mut values = vec![XWord::ALL_X; self.circuit.num_cells()];
+        for (i, &pi) in self.inputs.iter().enumerate() {
+            values[pi.index()] = pi_words[i];
+        }
+        for (i, &q) in self.dffs.iter().enumerate() {
+            values[q.index()] = self.state[i];
+        }
+        for &v in self.levelized.order() {
+            let cell = self.circuit.cell(v);
+            if !cell.kind().is_combinational() {
+                continue;
+            }
+            values[v.index()] = eval_gate_x(cell.kind(), cell.fanin(), &values);
+        }
+        values
+    }
+
+    /// One clock edge: evaluate, capture, return the frame's values.
+    pub fn clock(&mut self, pi_words: &[XWord]) -> Vec<XWord> {
+        let values = self.eval(pi_words);
+        for (i, &q) in self.dffs.iter().enumerate() {
+            self.state[i] = values[self.circuit.cell(q).fanin()[0].index()];
+        }
+        values
+    }
+
+    /// Clocks with `stimulus(cycle, input_index)` until every register is
+    /// fully known in all lanes; returns the number of cycles needed, or
+    /// `None` if `max_cycles` pass without full initialization.
+    pub fn initialization_depth(
+        &mut self,
+        mut stimulus: impl FnMut(u64, usize) -> XWord,
+        max_cycles: u64,
+    ) -> Option<u64> {
+        self.reset_to_x();
+        if self.state.iter().all(|w| w.fully_known()) {
+            return Some(0);
+        }
+        for cycle in 0..max_cycles {
+            let pis: Vec<XWord> = (0..self.inputs.len())
+                .map(|i| stimulus(cycle, i))
+                .collect();
+            let _ = self.clock(&pis);
+            if self.state.iter().all(|w| w.fully_known()) {
+                return Some(cycle + 1);
+            }
+        }
+        None
+    }
+}
+
+/// Three-valued gate evaluation.
+#[must_use]
+pub fn eval_gate_x(kind: CellKind, fanin: &[CellId], values: &[XWord]) -> XWord {
+    let mut inputs = fanin.iter().map(|f| values[f.index()]);
+    match kind {
+        CellKind::And => inputs.fold(XWord::known(u64::MAX), XWord::and),
+        CellKind::Nand => inputs.fold(XWord::known(u64::MAX), XWord::and).not(),
+        CellKind::Or => inputs.fold(XWord::known(0), XWord::or),
+        CellKind::Nor => inputs.fold(XWord::known(0), XWord::or).not(),
+        CellKind::Xor => inputs.fold(XWord::known(0), XWord::xor),
+        CellKind::Xnor => inputs.fold(XWord::known(0), XWord::xor).not(),
+        CellKind::Not => inputs.next().expect("inverter has one input").not(),
+        CellKind::Buf => inputs.next().expect("buffer has one input"),
+        CellKind::Input | CellKind::Dff => unreachable!("not combinational"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_netlist::bench_format::parse;
+    use ppet_netlist::data;
+
+    #[test]
+    fn xword_algebra() {
+        let x = XWord::ALL_X;
+        let one = XWord::known(u64::MAX);
+        let zero = XWord::known(0);
+        // Controlling values beat X.
+        assert_eq!(x.and(zero), zero);
+        assert_eq!(x.or(one), one);
+        // Non-controlling values leave X.
+        assert_eq!(x.and(one), x);
+        assert_eq!(x.or(zero), x);
+        assert_eq!(x.xor(one), x);
+        assert_eq!(one.xor(one), zero);
+        assert_eq!(x.not(), x);
+        assert_eq!(zero.not(), one);
+    }
+
+    #[test]
+    fn shift_register_initializes_in_n_cycles() {
+        for n in [1usize, 4, 7] {
+            let c = data::shift_register(n);
+            let mut sim = XSim::new(&c).unwrap();
+            let depth = sim.initialization_depth(|_, _| XWord::known(0), 32);
+            assert_eq!(depth, Some(n as u64), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn xor_feedback_counter_never_initializes() {
+        // q = DFF(q XOR en): X XOR anything stays X — a classic
+        // reset-less design that never self-initializes.
+        let c = parse("t", "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, en)\n").unwrap();
+        let mut sim = XSim::new(&c).unwrap();
+        let depth = sim.initialization_depth(|_, _| XWord::known(u64::MAX), 64);
+        assert_eq!(depth, None);
+    }
+
+    #[test]
+    fn and_gated_loop_initializes_via_controlling_value() {
+        // q = DFF(q AND en): driving en = 0 forces q to a known 0.
+        let c = parse("t", "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = AND(q, en)\n").unwrap();
+        let mut sim = XSim::new(&c).unwrap();
+        let depth = sim.initialization_depth(|_, _| XWord::known(0), 8);
+        assert_eq!(depth, Some(1));
+    }
+
+    #[test]
+    fn johnson_counter_initializes_when_held_in_reset() {
+        // run = 0 forces the twist NOR to 0, flushing the ring like a
+        // shift register.
+        let n = 5;
+        let c = data::johnson_counter(n);
+        let mut sim = XSim::new(&c).unwrap();
+        let depth = sim.initialization_depth(|_, _| XWord::known(0), 32);
+        assert_eq!(depth, Some(n as u64));
+    }
+
+    #[test]
+    fn s27_initialization_depth_is_finite() {
+        // NOR-based feedback initializes quickly under constant-1 inputs
+        // (1 is the NOR controlling value).
+        let c = data::s27();
+        let mut sim = XSim::new(&c).unwrap();
+        let depth = sim.initialization_depth(|_, _| XWord::known(u64::MAX), 32);
+        assert!(depth.is_some(), "s27 should initialize");
+    }
+
+    #[test]
+    fn known_values_agree_with_binary_simulation() {
+        // With fully known inputs and state, X-sim equals the binary sim.
+        use crate::logic::Simulator;
+        let c = data::s27();
+        let bin = Simulator::new(&c).unwrap();
+        let mut xs = XSim::new(&c).unwrap();
+        // Set a known register state.
+        let state = [0x0F0Fu64, 0xFFFF, 0x1234];
+        for (i, s) in state.iter().enumerate() {
+            xs.state[i] = XWord::known(*s);
+        }
+        let pis = [1u64, 2, 3, 4];
+        let xw: Vec<XWord> = pis.iter().map(|&p| XWord::known(p)).collect();
+        let xvals = xs.eval(&xw);
+        let bvals = bin.eval(&pis, &state);
+        for id in c.ids() {
+            assert!(xvals[id.index()].fully_known());
+            assert_eq!(xvals[id.index()].ones, bvals[id.index()], "{}", c.cell(id).name());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the simulators: bit-parallel consistency, fault-model
+//! laws, and segment-extraction invariants over random circuits.
+
+use proptest::prelude::*;
+
+use ppet_netlist::{SynthSpec, Synthesizer};
+use ppet_prng::{Rng, Xoshiro256PlusPlus};
+use ppet_sim::collapse::collapse;
+use ppet_sim::fault::all_faults;
+use ppet_sim::fsim::FaultSim;
+use ppet_sim::logic::Simulator;
+use ppet_sim::pet::extract_segment;
+
+fn arb_circuit() -> impl Strategy<Value = (ppet_netlist::Circuit, u64)> {
+    (
+        (1usize..8, 0usize..8, 4usize..50, 0usize..10, any::<u64>()),
+        any::<u64>(),
+    )
+        .prop_map(|((pis, dffs, gates, invs, seed), aux)| {
+            (
+                Synthesizer::new(
+                    SynthSpec::new("prop")
+                        .primary_inputs(pis)
+                        .flip_flops(dffs)
+                        .gates(gates)
+                        .inverters(invs)
+                        .dffs_on_scc(dffs / 2)
+                        .seed(seed),
+                )
+                .build(),
+                aux,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bit-parallel evaluation lane `l` equals a fresh single-pattern
+    /// evaluation of lane `l`'s bits.
+    #[test]
+    fn lanes_are_independent((circuit, aux) in arb_circuit()) {
+        let sim = Simulator::new(&circuit).expect("levelizes");
+        let mut rng = Xoshiro256PlusPlus::seed_from(aux);
+        let pis: Vec<u64> = (0..circuit.num_inputs()).map(|_| rng.next_u64()).collect();
+        let dffs: Vec<u64> = (0..circuit.num_flip_flops()).map(|_| rng.next_u64()).collect();
+        let packed = sim.eval(&pis, &dffs);
+        for lane in [0u32, 17, 63] {
+            let pi1: Vec<u64> = pis.iter().map(|w| (w >> lane) & 1).collect();
+            let dff1: Vec<u64> = dffs.iter().map(|w| (w >> lane) & 1).collect();
+            let single = sim.eval(&pi1, &dff1);
+            for id in circuit.ids() {
+                prop_assert_eq!(
+                    (packed[id.index()] >> lane) & 1,
+                    single[id.index()] & 1,
+                    "lane {} cell {}", lane, circuit.cell(id).name()
+                );
+            }
+        }
+    }
+
+    /// Collapsing never drops detection power: on the same pattern block,
+    /// every collapsed-detected class has nothing the full list detects at
+    /// strictly higher count... concretely: collapsed coverage == coverage
+    /// of the collapsed subset under the full-list run, and the collapsed
+    /// list is a subset of the full list.
+    #[test]
+    fn collapse_is_a_consistent_subset((circuit, aux) in arb_circuit()) {
+        let full = all_faults(&circuit);
+        let col = collapse(&circuit);
+        prop_assert!(col.faults.len() <= full.len());
+        for f in &col.faults {
+            prop_assert!(full.contains(f));
+        }
+
+        // Detection agreement on a shared pattern block.
+        let mut rng = Xoshiro256PlusPlus::seed_from(aux);
+        let pis: Vec<u64> = (0..circuit.num_inputs()).map(|_| rng.next_u64()).collect();
+        let dffs: Vec<u64> = (0..circuit.num_flip_flops()).map(|_| rng.next_u64()).collect();
+        let mut sim_full = FaultSim::with_faults(&circuit, full.clone()).expect("levelizes");
+        sim_full.apply_block(&pis, &dffs);
+        let mut sim_col = FaultSim::with_faults(&circuit, col.faults.clone()).expect("levelizes");
+        sim_col.apply_block(&pis, &dffs);
+        // Each collapsed fault's detection flag matches its flag in the
+        // full run (same fault, same block, same observation points).
+        for (i, f) in col.faults.iter().enumerate() {
+            let j = full.iter().position(|g| g == f).expect("subset");
+            prop_assert_eq!(sim_col.detected()[i], sim_full.detected()[j]);
+        }
+    }
+
+    /// Segment extraction: the whole circuit as one segment yields a
+    /// combinational circuit whose inputs are exactly PIs + registers.
+    #[test]
+    fn whole_circuit_segment_inputs((circuit, _) in arb_circuit()) {
+        let members: Vec<_> = circuit.ids().collect();
+        let seg = extract_segment(&circuit, &members);
+        prop_assert_eq!(seg.circuit.num_flip_flops(), 0);
+        prop_assert_eq!(
+            seg.circuit.num_inputs(),
+            circuit.num_inputs() + circuit.num_flip_flops()
+        );
+        prop_assert!(
+            ppet_netlist::validate::find_combinational_cycle(&seg.circuit).is_none()
+        );
+    }
+
+    /// Segment logic computes the same values as the host circuit: for a
+    /// random assignment, every shared cell agrees.
+    #[test]
+    fn segment_agrees_with_host((circuit, aux) in arb_circuit()) {
+        let members: Vec<_> = circuit.ids().collect();
+        let seg = extract_segment(&circuit, &members);
+        let host = Simulator::new(&circuit).expect("levelizes");
+        let segment = Simulator::new(&seg.circuit).expect("levelizes");
+
+        let mut rng = Xoshiro256PlusPlus::seed_from(aux);
+        let host_pis: Vec<u64> = (0..circuit.num_inputs()).map(|_| rng.next_u64()).collect();
+        let host_dffs: Vec<u64> =
+            (0..circuit.num_flip_flops()).map(|_| rng.next_u64()).collect();
+        let host_vals = host.eval(&host_pis, &host_dffs);
+
+        // Feed the segment the host's values at its input origins.
+        let seg_pis: Vec<u64> = segment
+            .inputs()
+            .iter()
+            .map(|&i| {
+                let name = seg.circuit.cell(i).name();
+                let origin = circuit.find(name).expect("origin exists");
+                host_vals[origin.index()]
+            })
+            .collect();
+        let seg_vals = segment.eval(&seg_pis, &[]);
+        for (id, cell) in seg.circuit.iter() {
+            if cell.kind().is_combinational() {
+                let origin = circuit.find(cell.name()).expect("same name");
+                prop_assert_eq!(
+                    seg_vals[id.index()],
+                    host_vals[origin.index()],
+                    "cell {}", cell.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Trade-off exploration: CBIT length `l_k` and retiming budget `β` versus
+//! test-hardware area and testing time (the design space of the paper's
+//! §4.1/§4.2 discussion).
+//!
+//! ```sh
+//! cargo run --release --example area_tradeoff [circuit-name]
+//! ```
+//!
+//! The circuit name is one of the paper's Table 9 entries (default `s641`).
+
+use std::error::Error;
+
+use ppet::cbit::timing::testing_cycles;
+use ppet::core::{Merced, MercedConfig};
+use ppet::netlist::synth::iscas89_like;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "s641".to_string());
+    let circuit =
+        iscas89_like(&name).ok_or_else(|| format!("unknown benchmark circuit `{name}`"))?;
+    println!("Circuit: {} ({} cells)\n", circuit.name(), circuit.num_cells());
+
+    println!("l_k sweep (beta = 50):");
+    println!(
+        "{:>5} {:>10} {:>10} {:>12} {:>12} {:>16}",
+        "l_k", "nets cut", "CBITs", "ovh w/ (%)", "ovh w/o (%)", "test cycles"
+    );
+    for lk in [4usize, 8, 12, 16, 24] {
+        let r = Merced::new(MercedConfig::default().with_cbit_length(lk)).compile(&circuit)?;
+        println!(
+            "{:>5} {:>10} {:>10} {:>12.1} {:>12.1} {:>16}",
+            lk,
+            r.nets_cut,
+            r.partitions.len(),
+            r.area.pct_with(),
+            r.area.pct_without(),
+            testing_cycles(lk as u32),
+        );
+    }
+
+    println!("\nbeta sweep (l_k = 16):");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>12}",
+        "beta", "nets cut", "cuts/SCC", "forced", "ovh w/ (%)"
+    );
+    for beta in [1usize, 2, 5, 10, 50] {
+        let r = Merced::new(
+            MercedConfig::default()
+                .with_cbit_length(16)
+                .with_beta(beta),
+        )
+        .compile(&circuit)?;
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>12.1}",
+            beta,
+            r.nets_cut,
+            r.cut_nets_on_scc,
+            r.forced_internal,
+            r.area.pct_with(),
+        );
+    }
+
+    println!(
+        "\nReading: larger CBITs absorb more nets (fewer cuts, less hardware)\n\
+         at exponentially growing testing time; a tight beta avoids multiplexed\n\
+         registers inside loops at the price of coarser clusters."
+    );
+    Ok(())
+}

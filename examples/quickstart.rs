@@ -1,0 +1,41 @@
+//! Quickstart: compile a circuit for pipelined pseudo-exhaustive testing.
+//!
+//! ```sh
+//! cargo run --example quickstart [path/to/circuit.bench] [l_k]
+//! ```
+//!
+//! Without arguments, runs on the built-in ISCAS89 `s27` at `l_k = 4`.
+
+use std::error::Error;
+
+use ppet::core::{Merced, MercedConfig};
+use ppet::netlist::{bench_format, data};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let circuit = match args.get(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("circuit");
+            bench_format::parse(name, &text)?
+        }
+        None => data::s27(),
+    };
+    let lk: usize = args.get(2).map_or(Ok(4), |v| v.parse())?;
+
+    println!("Compiling {} for PPET at l_k = {lk} ...\n", circuit.name());
+    let report = Merced::new(MercedConfig::default().with_cbit_length(lk)).compile(&circuit)?;
+    println!("{report}\n");
+
+    println!("Partitions:");
+    for (i, p) in report.partitions.iter().enumerate() {
+        println!(
+            "  CUT {i}: {} cells, {} inputs -> {}-bit CBIT",
+            p.cells, p.inputs, p.cbit_length
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! `ppet` — pipelined pseudo-exhaustive testing with retiming.
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! *"Area Efficient Pipelined Pseudo-Exhaustive Testing with Retiming"*
+//! (Liou, Lin & Cheng, DAC 1996) and every substrate it depends on.
+//!
+//! Each subsystem is its own crate; this facade gives applications a single
+//! dependency and a stable module layout:
+//!
+//! * [`netlist`] — circuit model, ISCAS89 `.bench` parser/writer, area
+//!   model, synthetic benchmark generator;
+//! * [`graph`] — multi-pin circuit graph, SCC, shortest paths,
+//!   Leiserson–Saxe retiming;
+//! * [`flow`] — probabilistic multicommodity-flow congestion
+//!   (`Saturate_Network`);
+//! * [`partition`] — input-constrained clustering (`Make_Group`) and CBIT
+//!   merging (`Assign_CBIT`), plus the simulated-annealing baseline;
+//! * [`cbit`] — LFSR/MISR test hardware, primitive polynomials, A_CELL and
+//!   CBIT cost models, test-pipe scheduling;
+//! * [`sim`] — gate-level logic and stuck-at fault simulation,
+//!   pseudo-exhaustive coverage measurement;
+//! * [`core`] — **Merced**, the end-to-end BIST compiler.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ppet::core::{Merced, MercedConfig};
+//! use ppet::netlist::data;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = data::s27();
+//! let report = Merced::new(MercedConfig::default().with_cbit_length(4)).compile(&circuit)?;
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ppet_cbit as cbit;
+pub use ppet_core as core;
+pub use ppet_flow as flow;
+pub use ppet_graph as graph;
+pub use ppet_netlist as netlist;
+pub use ppet_partition as partition;
+pub use ppet_prng as prng;
+pub use ppet_sim as sim;

@@ -1,0 +1,60 @@
+//! Cross-crate determinism: every stochastic component must reproduce
+//! bit-identical results from the same seed — the property that makes the
+//! EXPERIMENTS.md numbers stable.
+
+use ppet::core::{Merced, MercedConfig};
+use ppet::flow::{saturate_network, FlowParams};
+use ppet::graph::CircuitGraph;
+use ppet::netlist::synth::{calibrated_spec, iscas89_like};
+use ppet::netlist::data::table9;
+use ppet::netlist::Synthesizer;
+use ppet::partition::sa::{anneal, SaParams};
+
+#[test]
+fn generator_is_reproducible() {
+    let r = table9::find("s713").unwrap();
+    let a = Synthesizer::new(calibrated_spec(r, 0)).build();
+    let b = Synthesizer::new(calibrated_spec(r, 0)).build();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn saturation_is_reproducible() {
+    let c = iscas89_like("s510").unwrap();
+    let g = CircuitGraph::from_circuit(&c);
+    let a = saturate_network(&g, &FlowParams::paper(), 77);
+    let b = saturate_network(&g, &FlowParams::paper(), 77);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn full_reports_are_reproducible() {
+    let c = iscas89_like("s641").unwrap();
+    let cfg = MercedConfig::default().with_cbit_length(16).with_seed(5);
+    let a = Merced::new(cfg.clone()).compile(&c).unwrap();
+    let b = Merced::new(cfg).compile(&c).unwrap();
+    assert_eq!(a.nets_cut, b.nets_cut);
+    assert_eq!(a.cut_nets_on_scc, b.cut_nets_on_scc);
+    assert_eq!(a.partitions, b.partitions);
+    assert_eq!(a.area, b.area);
+    assert_eq!(a.schedule, b.schedule);
+}
+
+#[test]
+fn annealer_is_reproducible() {
+    let c = iscas89_like("s510").unwrap();
+    let g = CircuitGraph::from_circuit(&c);
+    let a = anneal(&g, &SaParams::new(16, 4), 11);
+    let b = anneal(&g, &SaParams::new(16, 4), 11);
+    assert_eq!(a.clustering, b.clustering);
+    assert_eq!(a.cost, b.cost);
+}
+
+#[test]
+fn different_seeds_give_different_flows() {
+    let c = iscas89_like("s510").unwrap();
+    let g = CircuitGraph::from_circuit(&c);
+    let a = saturate_network(&g, &FlowParams::quick(), 1);
+    let b = saturate_network(&g, &FlowParams::quick(), 2);
+    assert_ne!(a, b);
+}

@@ -1,0 +1,47 @@
+//! Report formatting contract tests: the harness binaries rely on these
+//! shapes when regenerating the paper's tables.
+
+use ppet::core::{Merced, MercedConfig, PpetReport};
+use ppet::netlist::data;
+
+fn report() -> PpetReport {
+    Merced::new(MercedConfig::default().with_cbit_length(4))
+        .compile(&data::s27())
+        .expect("s27 compiles")
+}
+
+#[test]
+fn table10_row_shape() {
+    let r = report();
+    let header = PpetReport::table10_header();
+    let row = r.table10_row();
+    assert_eq!(header.len(), row.len(), "{header:?} vs {row:?}");
+    assert!(row.starts_with("s27"));
+    // Six whitespace-separated fields.
+    assert_eq!(row.split_whitespace().count(), 6);
+}
+
+#[test]
+fn table12_cells_are_percentages() {
+    let r = report();
+    let (w, wo) = r.table12_cells();
+    assert!((0.0..=500.0).contains(&w));
+    assert!((0.0..=500.0).contains(&wo));
+    assert!(w <= wo);
+}
+
+#[test]
+fn display_is_multiline_and_complete() {
+    let r = report();
+    let text = r.to_string();
+    assert!(text.lines().count() >= 6, "{text}");
+    for needle in ["Merced report", "partitioning:", "CBIT hardware:", "area overhead:", "testing time:", "compile time:"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn elapsed_time_is_populated() {
+    let r = report();
+    assert!(r.elapsed.as_nanos() > 0);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the retiming principles (paper §2.2) over
+//! random circuits: Lemma 1, Corollary 2/3, and solver soundness.
+
+use proptest::prelude::*;
+
+use ppet::graph::retime::{
+    apply, is_legal, retimed_weight, shared_register_count, CutRealizer, EdgeId, RetimeGraph,
+};
+use ppet::graph::CircuitGraph;
+use ppet::netlist::{SynthSpec, Synthesizer};
+use ppet::prng::{Rng, Xoshiro256PlusPlus};
+
+fn arb_circuit() -> impl Strategy<Value = (SynthSpec, u64)> {
+    (
+        (1usize..8, 1usize..10, 5usize..60, 0usize..10, any::<u64>()),
+        any::<u64>(),
+    )
+        .prop_map(|((pis, dffs, gates, invs, seed), aux)| {
+            (
+                SynthSpec::new("prop")
+                    .primary_inputs(pis)
+                    .flip_flops(dffs)
+                    .gates(gates)
+                    .inverters(invs)
+                    .dffs_on_scc(dffs / 2)
+                    .seed(seed),
+                aux,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn solver_output_is_legal_and_covers_claimed_cuts((spec, aux) in arb_circuit()) {
+        let circuit = Synthesizer::new(spec).build();
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let rg = RetimeGraph::from_graph(&graph).expect("generator avoids register rings");
+        // Random cut set over nets with sinks.
+        let mut rng = Xoshiro256PlusPlus::seed_from(aux);
+        let cuts: Vec<_> = graph
+            .nets()
+            .filter(|_| rng.gen_bool(0.15))
+            .map(|(net, _)| net)
+            .collect();
+        let real = CutRealizer::new(&rg).realize(&cuts);
+
+        prop_assert!(is_legal(&rg, &real.retiming));
+        // Every edge carries at least as many registers as covered cuts it
+        // crosses.
+        for (i, e) in rg.edges().iter().enumerate() {
+            let demand = e.nets.iter().filter(|n| real.covered.contains(n)).count() as i64;
+            let w = retimed_weight(&rg, &real.retiming, EdgeId::from_index(i));
+            prop_assert!(w >= demand, "edge {} w_r={} demand={}", i, w, demand);
+        }
+        // Covered + excess = requested (dedup).
+        let mut requested = cuts.clone();
+        requested.sort_unstable();
+        requested.dedup();
+        let mut got: Vec<_> = real.covered.iter().chain(&real.excess).copied().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, requested);
+    }
+
+    #[test]
+    fn apply_preserves_combinational_skeleton((spec, aux) in arb_circuit()) {
+        let circuit = Synthesizer::new(spec).build();
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let rg = RetimeGraph::from_graph(&graph).expect("no register rings");
+        let mut rng = Xoshiro256PlusPlus::seed_from(aux ^ 0xABCD);
+        let cuts: Vec<_> = graph
+            .nets()
+            .filter(|_| rng.gen_bool(0.1))
+            .map(|(net, _)| net)
+            .collect();
+        let real = CutRealizer::new(&rg).realize(&cuts);
+        let out = apply(&circuit, &rg, &real.retiming).expect("legal retiming applies");
+
+        // Register count matches the shared-count prediction.
+        prop_assert_eq!(
+            out.num_flip_flops(),
+            shared_register_count(&rg, &real.retiming)
+        );
+        // No combinational cycles appear.
+        prop_assert!(ppet::netlist::validate::find_combinational_cycle(&out).is_none());
+        // All combinational cells survive with their kinds.
+        for (_, cell) in circuit.iter() {
+            if cell.kind().is_combinational() {
+                let nid = out.find(cell.name());
+                prop_assert!(nid.is_some(), "cell {} lost", cell.name());
+                prop_assert_eq!(out.cell(nid.unwrap()).kind(), cell.kind());
+            }
+        }
+        // Primary output count is preserved.
+        prop_assert_eq!(out.outputs().len(), circuit.outputs().len());
+    }
+
+    #[test]
+    fn cycle_weights_invariant_under_solver_retiming((spec, aux) in arb_circuit()) {
+        let circuit = Synthesizer::new(spec).build();
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let rg = RetimeGraph::from_graph(&graph).expect("no register rings");
+        let mut rng = Xoshiro256PlusPlus::seed_from(aux ^ 0x77);
+        let cuts: Vec<_> = graph
+            .nets()
+            .filter(|_| rng.gen_bool(0.1))
+            .map(|(net, _)| net)
+            .collect();
+        let real = CutRealizer::new(&rg).realize(&cuts);
+        // Sample random cycles by walking; Corollary 2 must hold.
+        let mut checked = 0;
+        'outer: for _ in 0..200 {
+            if rg.edges().is_empty() {
+                break;
+            }
+            let start = EdgeId::from_index(rng.gen_index(rg.edges().len()));
+            let origin = rg.edge(start).from;
+            let mut w_orig = i64::from(rg.edge(start).weight);
+            let mut w_ret = retimed_weight(&rg, &real.retiming, start);
+            let mut cur = rg.edge(start).to;
+            for _ in 0..30 {
+                if cur == origin {
+                    prop_assert_eq!(w_orig, w_ret, "cycle weight changed");
+                    checked += 1;
+                    continue 'outer;
+                }
+                let outs = rg.out_edges(cur);
+                if outs.is_empty() {
+                    continue 'outer;
+                }
+                let e = outs[rng.gen_index(outs.len())];
+                w_orig += i64::from(rg.edge(e).weight);
+                w_ret += retimed_weight(&rg, &real.retiming, e);
+                cur = rg.edge(e).to;
+            }
+        }
+        // Not every random circuit yields sampled cycles; that is fine.
+        let _ = checked;
+    }
+}
