@@ -36,8 +36,7 @@ fn bench(c: &mut Criterion) {
                     let mut fs = FaultSim::new(cc).expect("levelizes");
                     let mut rng = Xoshiro256PlusPlus::seed_from(3);
                     for _ in 0..8 {
-                        let pis: Vec<u64> =
-                            (0..cc.num_inputs()).map(|_| rng.next_u64()).collect();
+                        let pis: Vec<u64> = (0..cc.num_inputs()).map(|_| rng.next_u64()).collect();
                         let dffs: Vec<u64> =
                             (0..cc.num_flip_flops()).map(|_| rng.next_u64()).collect();
                         fs.apply_block(&pis, &dffs);

@@ -16,14 +16,13 @@
 
 use ppet_core::cost::realized_with_retiming;
 use ppet_core::{CostPolicy, Merced, MercedConfig};
-use ppet_graph::retime::IoLatency;
 use ppet_flow::{saturate_network, FlowParams};
+use ppet_graph::retime::IoLatency;
+use ppet_graph::retime::{
+    minimize_registers, minimize_shared_registers, shared_register_count, CutRealizer, RetimeGraph,
+};
 use ppet_graph::{scc::Scc, CircuitGraph};
 use ppet_netlist::data::table9;
-use ppet_graph::retime::{
-    minimize_registers, minimize_shared_registers, shared_register_count, CutRealizer,
-    RetimeGraph,
-};
 use ppet_partition::refine::greedy_refine;
 use ppet_partition::sa::{anneal, SaParams};
 use ppet_partition::{assign_cbit, inputs, make_group, MakeGroupParams};
@@ -34,12 +33,49 @@ const CIRCUITS: [&str; 3] = ["s641", "s713", "s1423"];
 const LK: usize = 16;
 
 fn main() {
+    let json: Option<String> = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => path = Some(args.next().expect("--json expects a path")),
+                other => panic!("unknown argument `{other}` (usage: ablation [--json out.jsonl])"),
+            }
+        }
+        path
+    };
     beta_sweep();
     cost_policy();
     flow_accounting();
     partitioner_comparison();
     refinement();
     min_area_retiming();
+    if let Some(path) = json {
+        write_manifests(&path);
+    }
+}
+
+/// Writes one run manifest per ablation circuit (default config, the
+/// shared `l_k`) as JSON Lines, so the tables above are attributable to
+/// exact per-phase counters and wall times.
+fn write_manifests(path: &str) {
+    let mut out = String::new();
+    for name in CIRCUITS {
+        let record = table9::find(name).expect("known circuit");
+        let circuit = build_circuit(record);
+        let report = Merced::new(MercedConfig::default().with_cbit_length(LK))
+            .compile(&circuit)
+            .expect("compiles");
+        let mut manifest = report.run_manifest();
+        manifest.push_config("harness", "ablation");
+        // One manifest per line: collapse the pretty-printed JSON.
+        let pretty = manifest.to_json();
+        let line: Vec<&str> = pretty.lines().map(str::trim).collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    std::fs::write(path, out).expect("manifest path is writable");
+    println!("\nwrote {} manifests to {path}", CIRCUITS.len());
 }
 
 fn beta_sweep() {
@@ -52,22 +88,19 @@ fn beta_sweep() {
         let record = table9::find(name).expect("known circuit");
         let circuit = build_circuit(record);
         for beta in [1usize, 2, 5, 50] {
-            match Merced::new(
-                MercedConfig::default()
-                    .with_cbit_length(LK)
-                    .with_beta(beta),
-            )
-            .compile(&circuit)
+            match Merced::new(MercedConfig::default().with_cbit_length(LK).with_beta(beta))
+                .compile(&circuit)
             {
                 Ok(r) => println!(
                     "{:<10} {:>6} {:>10} {:>10} {:>10} {:>12.1}",
-                    name, beta, r.nets_cut, r.cut_nets_on_scc, r.forced_internal,
+                    name,
+                    beta,
+                    r.nets_cut,
+                    r.cut_nets_on_scc,
+                    r.forced_internal,
                     r.area.pct_with()
                 ),
-                Err(e) => println!(
-                    "{:<10} {:>6}   infeasible at this beta: {e}",
-                    name, beta
-                ),
+                Err(e) => println!("{:<10} {:>6}   infeasible at this beta: {e}", name, beta),
             }
         }
     }
@@ -124,13 +157,9 @@ fn flow_accounting() {
                 per_branch,
                 ..FlowParams::paper()
             };
-            let r = Merced::new(
-                MercedConfig::default()
-                    .with_cbit_length(LK)
-                    .with_flow(flow),
-            )
-            .compile(&circuit)
-            .expect("compiles");
+            let r = Merced::new(MercedConfig::default().with_cbit_length(LK).with_flow(flow))
+                .compile(&circuit)
+                .expect("compiles");
             cuts.push(r.nets_cut);
         }
         println!("{:<10} {:>14} {:>14}", name, cuts[0], cuts[1]);
@@ -224,8 +253,8 @@ fn min_area_retiming() {
             .map(|e| e.nets.iter().filter(|n| real.covered.contains(n)).count() as i64)
             .collect();
         let realizer_regs = shared_register_count(&rg, &real.retiming);
-        let min_edge = minimize_registers(&rg, &demands)
-            .map(|m| shared_register_count(&rg, &m.retiming));
+        let min_edge =
+            minimize_registers(&rg, &demands).map(|m| shared_register_count(&rg, &m.retiming));
         let min_shared = minimize_shared_registers(&rg, &demands).map(|m| m.total_registers);
         let realized = realized_with_retiming(&circuit, &assigned.cut_nets, IoLatency::Flexible);
         let area = ppet_core::cost::circuit_area_units(&circuit);
@@ -237,7 +266,10 @@ fn min_area_retiming() {
             min_edge.map_or("-".to_string(), |v| v.to_string()),
             min_shared.map_or("-".to_string(), |v| v.to_string()),
             realized.map_or("-".to_string(), |r| r.new_registers.to_string()),
-            realized.map_or("-".to_string(), |r| format!("{:.1}", r.pct_of_circuit(area))),
+            realized.map_or("-".to_string(), |r| format!(
+                "{:.1}",
+                r.pct_of_circuit(area)
+            )),
         );
     }
     println!(

@@ -1,26 +1,50 @@
-//! Ad-hoc phase timing probe (not a paper harness).
-use std::time::Instant;
+//! Phase-level profiling probe: runs the traced Merced pipeline on one
+//! Table 9 circuit, prints the span tree (durations, counters, histograms)
+//! to stderr, and optionally writes the JSON run manifest.
+//!
+//! ```text
+//! profile_probe [circuit] [--lk N] [--json out.json]
+//! ```
+
 use ppet_bench::{build_circuit, harness_flow};
-use ppet_flow::saturate_network;
-use ppet_graph::{scc::Scc, CircuitGraph};
+use ppet_core::{Merced, MercedConfig, PpetReport};
 use ppet_netlist::data::table9;
-use ppet_partition::{assign_cbit, make_group, MakeGroupParams};
+use ppet_trace::Tracer;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s13207.1".into());
-    let record = table9::find(&name).expect("known");
+    let mut name = "s13207.1".to_string();
+    let mut lk = 16usize;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lk" => {
+                lk = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--lk expects a number")
+            }
+            "--json" => json = Some(args.next().expect("--json expects a path")),
+            other => name = other.to_string(),
+        }
+    }
+    let record = table9::find(&name).expect("known Table 9 circuit");
     let circuit = build_circuit(record);
-    let t0 = Instant::now();
-    let graph = CircuitGraph::from_circuit(&circuit);
-    let scc = Scc::of(&graph);
-    println!("graph+scc: {:?}", t0.elapsed());
-    let t1 = Instant::now();
-    let profile = saturate_network(&graph, &harness_flow(circuit.num_cells()), 1996);
-    println!("saturate: {:?} ({} trees)", t1.elapsed(), profile.num_trees());
-    let t2 = Instant::now();
-    let grouped = make_group(&graph, &scc, &profile, &MakeGroupParams::new(16));
-    println!("make_group: {:?} ({} clusters, {} boundaries)", t2.elapsed(), grouped.clustering.num_clusters(), grouped.boundaries_used);
-    let t3 = Instant::now();
-    let assigned = assign_cbit(&graph, grouped.clustering, 16);
-    println!("assign_cbit: {:?} ({} partitions)", t3.elapsed(), assigned.partitions.len());
+
+    let (tracer, sink) = Tracer::collecting();
+    let config = MercedConfig::default()
+        .with_cbit_length(lk)
+        .with_flow(harness_flow(circuit.num_cells()));
+    let report = Merced::new(config)
+        .compile_traced(&circuit, &tracer)
+        .expect("circuit compiles");
+
+    eprint!("{}", sink.report().tree_string());
+    println!("{}", PpetReport::table10_header());
+    println!("{}", report.table10_row());
+
+    if let Some(path) = json {
+        std::fs::write(&path, report.run_manifest().to_json()).expect("manifest is writable");
+        eprintln!("wrote {path}");
+    }
 }

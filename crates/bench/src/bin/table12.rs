@@ -11,10 +11,7 @@ fn main() {
         "{:<10} | {:>7} {:>7} {:>9} | {:>7} {:>7} {:>9} | paper lk16 (w/wo)",
         "Circuit", "w/ ret", "w/o", "saving%", "w/ ret", "w/o", "saving%"
     );
-    println!(
-        "{:<10} | {:^25} | {:^25} |",
-        "", "l_k = 16", "l_k = 24"
-    );
+    println!("{:<10} | {:^25} | {:^25} |", "", "l_k = 16", "l_k = 24");
     let mut savings16 = Vec::new();
     let mut savings24 = Vec::new();
     for record in suite_selection() {

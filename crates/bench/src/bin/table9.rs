@@ -18,7 +18,11 @@ fn main() {
         let c = build_circuit(record);
         let s = CircuitStats::of(&c, &model);
         let scc = Scc::of(&CircuitGraph::from_circuit(&c));
-        assert_eq!(s.primary_inputs, record.primary_inputs, "{} PIs", record.name);
+        assert_eq!(
+            s.primary_inputs, record.primary_inputs,
+            "{} PIs",
+            record.name
+        );
         assert_eq!(s.flip_flops, record.flip_flops, "{} DFFs", record.name);
         assert_eq!(s.gates, record.gates, "{} gates", record.name);
         assert_eq!(s.inverters, record.inverters, "{} INVs", record.name);

@@ -77,11 +77,13 @@ impl CbitCostModel {
             .map(|&l| CbitType {
                 length: l,
                 area_dff: match source {
-                    CostSource::PaperTable => PAPER_TABLE1
-                        .iter()
-                        .find(|&&(len, _)| len == l)
-                        .expect("standard length")
-                        .1,
+                    CostSource::PaperTable => {
+                        PAPER_TABLE1
+                            .iter()
+                            .find(|&&(len, _)| len == l)
+                            .expect("standard length")
+                            .1
+                    }
                     CostSource::Synthesized => synthesized_area_dff(l),
                 },
             })

@@ -159,10 +159,7 @@ mod tests {
         assert_eq!(prime_factors((1u64 << 4) - 1), vec![3, 5]);
         assert_eq!(prime_factors((1u64 << 11) - 1), vec![23, 89]);
         assert_eq!(prime_factors((1u64 << 31) - 1), vec![2_147_483_647]);
-        assert_eq!(
-            prime_factors((1u64 << 32) - 1),
-            vec![3, 5, 17, 257, 65_537]
-        );
+        assert_eq!(prime_factors((1u64 << 32) - 1), vec![3, 5, 17, 257, 65_537]);
     }
 
     #[test]

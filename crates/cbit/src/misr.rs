@@ -122,7 +122,9 @@ impl Cbit {
     /// Panics if the polynomial degree is outside `1..=32`.
     #[must_use]
     pub fn new(poly: Poly) -> Self {
-        Self { misr: Misr::new(poly) }
+        Self {
+            misr: Misr::new(poly),
+        }
     }
 
     /// Width in bits.

@@ -104,7 +104,10 @@ mod tests {
         let exhaustive = testing_cycles(k) as u64;
         // ln(1000) ≈ 6.9: random needs ~6.9x the exhaustive count for
         // 99.9% *statistical confidence* where exhaustive has certainty.
-        assert!(random > 6 * exhaustive, "random {random} vs 2^k {exhaustive}");
+        assert!(
+            random > 6 * exhaustive,
+            "random {random} vs 2^k {exhaustive}"
+        );
     }
 
     #[test]

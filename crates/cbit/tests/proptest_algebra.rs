@@ -14,7 +14,8 @@ fn arb_poly() -> impl Strategy<Value = u64> {
 
 /// Random modulus of degree 4..=16 with non-zero constant term.
 fn arb_modulus() -> impl Strategy<Value = u64> {
-    (4u32..=16, any::<u16>()).prop_map(|(deg, low)| (1u64 << deg) | (u64::from(low) & ((1 << deg) - 1)) | 1)
+    (4u32..=16, any::<u16>())
+        .prop_map(|(deg, low)| (1u64 << deg) | (u64::from(low) & ((1 << deg) - 1)) | 1)
 }
 
 proptest! {

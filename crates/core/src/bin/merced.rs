@@ -12,14 +12,17 @@
 //!   --max-trees <N>    cap on saturation trees (default unbounded)
 //!   --emit <out.bench> write the PPET-instrumented netlist
 //!   --quiet            print only the Table-10-style row
+//!   --trace            print the span tree + counters to stderr
+//!   --trace-json <out> write the JSON run manifest
 //! ```
 
 use std::process::ExitCode;
 
-use ppet_core::instrument::insert_test_hardware;
+use ppet_core::instrument::{insert_test_hardware_traced, InstrumentOptions};
 use ppet_core::{Compilation, CostPolicy, Merced, MercedConfig, PpetReport};
 use ppet_flow::FlowParams;
 use ppet_netlist::{bench_format, writer, Circuit};
+use ppet_trace::Tracer;
 
 struct Options {
     input: String,
@@ -31,6 +34,8 @@ struct Options {
     max_trees: Option<u64>,
     emit: Option<String>,
     quiet: bool,
+    trace: bool,
+    trace_json: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +50,8 @@ fn parse_args() -> Result<Options, String> {
         max_trees: None,
         emit: None,
         quiet: false,
+        trace: false,
+        trace_json: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,10 +67,15 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--per-branch" => opts.per_branch = true,
-            "--emit" => {
-                opts.emit = Some(args.next().ok_or("--emit expects a path".to_string())?)
-            }
+            "--emit" => opts.emit = Some(args.next().ok_or("--emit expects a path".to_string())?),
             "--quiet" => opts.quiet = true,
+            "--trace" => opts.trace = true,
+            "--trace-json" => {
+                opts.trace_json = Some(
+                    args.next()
+                        .ok_or("--trace-json expects a path".to_string())?,
+                )
+            }
             "--help" | "-h" => return Err(usage()),
             _ if opts.input.is_empty() && !arg.starts_with('-') => opts.input = arg,
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -88,11 +100,11 @@ fn next_value<T: std::str::FromStr>(
 fn usage() -> String {
     "usage: merced <netlist.bench> [--lk N] [--beta N] [--seed N] \
      [--policy scc|solver] [--per-branch] [--max-trees N] \
-     [--emit out.bench] [--quiet]"
+     [--emit out.bench] [--quiet] [--trace] [--trace-json out.json]"
         .to_string()
 }
 
-fn run(opts: &Options) -> Result<(Circuit, Compilation), String> {
+fn run(opts: &Options, tracer: &Tracer) -> Result<(Circuit, Compilation), String> {
     let text = std::fs::read_to_string(&opts.input)
         .map_err(|e| format!("cannot read {}: {e}", opts.input))?;
     let name = std::path::Path::new(&opts.input)
@@ -111,7 +123,7 @@ fn run(opts: &Options) -> Result<(Circuit, Compilation), String> {
         .with_cost_policy(opts.policy)
         .with_flow(flow);
     let compilation = Merced::new(config)
-        .compile_detailed(&circuit)
+        .compile_detailed_traced(&circuit, tracer)
         .map_err(|e| e.to_string())?;
     Ok((circuit, compilation))
 }
@@ -120,6 +132,7 @@ fn emit_instrumented(
     circuit: &Circuit,
     compilation: &Compilation,
     path: &str,
+    tracer: &Tracer,
 ) -> Result<(), String> {
     let groups: Vec<Vec<_>> = compilation
         .cut_groups
@@ -127,7 +140,8 @@ fn emit_instrumented(
         .filter(|g| !g.is_empty())
         .cloned()
         .collect();
-    let inst = insert_test_hardware(circuit, &groups).map_err(|e| e.to_string())?;
+    let inst = insert_test_hardware_traced(circuit, &groups, InstrumentOptions::default(), tracer)
+        .map_err(|e| e.to_string())?;
     std::fs::write(path, writer::to_bench(&inst.circuit))
         .map_err(|e| format!("cannot write {path}: {e}"))?;
     eprintln!(
@@ -141,6 +155,19 @@ fn emit_instrumented(
     Ok(())
 }
 
+fn write_manifest(compilation: &Compilation, opts: &Options, path: &str) -> Result<(), String> {
+    let mut manifest = compilation.report.run_manifest();
+    manifest.push_config(
+        "policy",
+        match opts.policy {
+            CostPolicy::PaperScc => "scc",
+            CostPolicy::Solver => "solver",
+        },
+    );
+    manifest.push_config("per_branch", opts.per_branch);
+    std::fs::write(path, manifest.to_json()).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -149,7 +176,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&opts) {
+    let (tracer, sink) = if opts.trace {
+        let (tracer, sink) = Tracer::collecting();
+        (tracer, Some(sink))
+    } else {
+        (Tracer::noop(), None)
+    };
+    match run(&opts, &tracer) {
         Ok((circuit, compilation)) => {
             if opts.quiet {
                 println!("{}", PpetReport::table10_header());
@@ -158,7 +191,16 @@ fn main() -> ExitCode {
                 println!("{}", compilation.report);
             }
             if let Some(path) = &opts.emit {
-                if let Err(msg) = emit_instrumented(&circuit, &compilation, path) {
+                if let Err(msg) = emit_instrumented(&circuit, &compilation, path, &tracer) {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(sink) = &sink {
+                eprint!("{}", sink.report().tree_string());
+            }
+            if let Some(path) = &opts.trace_json {
+                if let Err(msg) = write_manifest(&compilation, &opts, path) {
                     eprintln!("{msg}");
                     return ExitCode::FAILURE;
                 }

@@ -272,8 +272,7 @@ mod tests {
         let cuts: Vec<NetId> = g
             .nodes()
             .filter(|&n| {
-                scc.net_in_cyclic_component(&g, n)
-                    && scc.component_of(g.net(n).src()) == comp
+                scc.net_in_cyclic_component(&g, n) && scc.component_of(g.net(n).src()) == comp
             })
             .collect();
         assert!(cuts.len() > 1);

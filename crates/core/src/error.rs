@@ -40,7 +40,10 @@ impl fmt::Display for MercedError {
             }
             Self::EmptyCircuit => f.write_str("circuit has no cells"),
             Self::PartitionTooWide { inputs } => {
-                write!(f, "partition with {inputs} inputs exceeds the largest CBIT (32)")
+                write!(
+                    f,
+                    "partition with {inputs} inputs exceeds the largest CBIT (32)"
+                )
             }
         }
     }

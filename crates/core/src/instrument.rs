@@ -35,11 +35,10 @@
 use std::collections::HashMap;
 
 use ppet_cbit::poly::primitive_poly;
-use ppet_graph::retime::{
-    apply, minimize_registers, CutRealizer, IoLatency, RetimeGraph,
-};
+use ppet_graph::retime::{apply, minimize_registers, CutRealizer, IoLatency, RetimeGraph};
 use ppet_graph::CircuitGraph;
 use ppet_netlist::{CellId, CellKind, Circuit, NetId};
+use ppet_trace::Tracer;
 
 use crate::error::MercedError;
 
@@ -125,6 +124,26 @@ pub fn insert_test_hardware_with(
     cut_groups: &[Vec<NetId>],
     options: InstrumentOptions,
 ) -> Result<Instrumented, MercedError> {
+    insert_test_hardware_traced(circuit, cut_groups, options, &Tracer::noop())
+}
+
+/// [`insert_test_hardware_with`] with observability: wraps the conversion
+/// in an `instrument` span, reports `instrument.converted_cuts` and
+/// `instrument.mux_cuts` counters, and the register-count change the
+/// retiming caused as the `instrument.retimed_register_delta` gauge
+/// (registers after retiming minus before; mux A_CELL registers are
+/// counted separately under `instrument.mux_cuts`).
+///
+/// # Errors
+///
+/// Same as [`insert_test_hardware`].
+pub fn insert_test_hardware_traced(
+    circuit: &Circuit,
+    cut_groups: &[Vec<NetId>],
+    options: InstrumentOptions,
+    tracer: &Tracer,
+) -> Result<Instrumented, MercedError> {
+    let _span = tracer.span("instrument");
     if let Some(cell) = ppet_netlist::validate::find_combinational_cycle(circuit) {
         return Err(MercedError::CombinationalCycle { cell });
     }
@@ -156,8 +175,17 @@ pub fn insert_test_hardware_with(
     };
 
     // Apply the retiming so covered cuts physically hold registers.
-    let mut out = apply(circuit, &rg, &retiming)
-        .expect("realization retiming is legal by construction");
+    let mut out =
+        apply(circuit, &rg, &retiming).expect("realization retiming is legal by construction");
+    tracer.add(
+        "instrument.converted_cuts",
+        realization.covered.len() as u64,
+    );
+    tracer.add("instrument.mux_cuts", realization.excess.len() as u64);
+    tracer.gauge(
+        "instrument.retimed_register_delta",
+        out.num_flip_flops() as f64 - circuit.num_flip_flops() as f64,
+    );
 
     // Mode pins.
     let b1 = out.add_input("ppet_b1").expect("fresh mode pin name");
@@ -297,18 +325,25 @@ fn insert_mux_acell(
 }
 
 /// Chains the bits of one CBIT: `cascade(i) = Q(i−1)`, with bit 0 fed by
-/// the XOR of the polynomial tap bits (groups longer than 32 bits reuse the
-/// degree-32 polynomial's low taps; the chain is still a valid compactor,
-/// just not provably maximal).
+/// the XOR of the polynomial tap bits.
+///
+/// Tap exponent `i` of the primitive polynomial reads the register `i`
+/// stages before the chain end, so the constant term (present in every
+/// primitive polynomial) always taps the **last** register: every bit's
+/// state reaches the feedback XOR and no register dead-ends. Groups longer
+/// than 32 bits reuse the degree-32 polynomial over their last 32
+/// registers; the earlier bits still feed the loop through the shift chain,
+/// so the compactor stays valid — just not provably maximal-length.
 fn wire_cascade(out: &mut Circuit, bits: &[CbitBit], group: usize) {
-    let len = bits.len() as u32;
+    let len = bits.len();
     let feedback = if len == 1 {
         bits[0].register
     } else {
-        let poly = primitive_poly(len.clamp(2, 32)).expect("length in range");
-        let taps: Vec<CellId> = (0..len.min(32))
+        let deg = (len as u32).clamp(2, 32);
+        let poly = primitive_poly(deg).expect("degree in range");
+        let taps: Vec<CellId> = (0..deg as usize)
             .filter(|&i| (poly >> i) & 1 == 1)
-            .map(|i| bits[i as usize].register)
+            .map(|i| bits[len - 1 - i].register)
             .collect();
         let mut acc = taps[0];
         for (k, &t) in taps.iter().enumerate().skip(1) {
@@ -319,7 +354,11 @@ fn wire_cascade(out: &mut Circuit, bits: &[CbitBit], group: usize) {
         acc
     };
     for (i, bit) in bits.iter().enumerate() {
-        let cascade = if i == 0 { feedback } else { bits[i - 1].register };
+        let cascade = if i == 0 {
+            feedback
+        } else {
+            bits[i - 1].register
+        };
         // The bit's NOR gate currently reads (b2, b2); repoint its first
         // pin to the cascade. Structure by construction:
         //   register.fanin[0] = XOR, XOR.fanin[1] = NOR, NOR.fanin[1] = b2.
@@ -335,6 +374,59 @@ fn wire_cascade(out: &mut Circuit, bits: &[CbitBit], group: usize) {
 mod tests {
     use super::*;
     use ppet_netlist::data;
+
+    /// A combinational AND chain of `n` gates; every gate net is a cut.
+    /// With no functional registers, every cut becomes a mux A_CELL, so a
+    /// single group exercises arbitrarily wide CBIT cascades.
+    fn chain_circuit(n: usize) -> (Circuit, Vec<NetId>) {
+        let mut c = Circuit::new("chain");
+        let x = c.add_input("x").unwrap();
+        let mut prev = x;
+        let mut cuts = Vec::new();
+        for i in 0..n {
+            let g = c
+                .add_cell(format!("g{i}"), CellKind::And, vec![prev, x])
+                .unwrap();
+            cuts.push(g);
+            prev = g;
+        }
+        c.mark_output(prev).unwrap();
+        (c, cuts)
+    }
+
+    /// The CBIT registers feeding bit 0's cascade input through the XOR
+    /// feedback tree, sorted.
+    fn feedback_taps(c: &Circuit, bits: &[CbitBit]) -> Vec<CellId> {
+        let regs: std::collections::HashSet<CellId> = bits.iter().map(|b| b.register).collect();
+        let xor0 = c.cell(bits[0].register).fanin()[0];
+        let nor0 = c.cell(xor0).fanin()[1];
+        let feedback = c.cell(nor0).fanin()[0];
+        let mut taps = Vec::new();
+        let mut stack = vec![feedback];
+        while let Some(cell) = stack.pop() {
+            if regs.contains(&cell) {
+                taps.push(cell);
+            } else {
+                stack.extend(c.cell(cell).fanin().iter().copied());
+            }
+        }
+        taps.sort_unstable();
+        taps.dedup();
+        taps
+    }
+
+    /// Tap exponent `i` of the degree-`deg` polynomial must read the
+    /// register `i` stages before the chain end.
+    fn expected_taps(bits: &[CbitBit], deg: u32) -> Vec<CellId> {
+        let poly = primitive_poly(deg).unwrap();
+        let mut taps: Vec<CellId> = (0..deg as usize)
+            .filter(|&i| (poly >> i) & 1 == 1)
+            .map(|i| bits[bits.len() - 1 - i].register)
+            .collect();
+        taps.sort_unstable();
+        taps.dedup();
+        taps
+    }
 
     #[test]
     fn converted_cut_reuses_the_register() {
@@ -377,9 +469,7 @@ mod tests {
         assert_eq!(inst.mux_cuts.len(), 1);
         // The mux A_CELL adds one register.
         assert!(inst.circuit.num_flip_flops() >= 2);
-        assert!(
-            ppet_netlist::validate::find_combinational_cycle(&inst.circuit).is_none()
-        );
+        assert!(ppet_netlist::validate::find_combinational_cycle(&inst.circuit).is_none());
     }
 
     #[test]
@@ -399,9 +489,70 @@ mod tests {
         // Same cut realization either way.
         assert_eq!(lean.converted_cuts, plain.converted_cuts);
         assert_eq!(lean.mux_cuts, plain.mux_cuts);
+        assert!(ppet_netlist::validate::find_combinational_cycle(&lean.circuit).is_none());
+    }
+
+    #[test]
+    fn small_group_taps_include_the_last_register() {
+        let (c, cuts) = chain_circuit(4);
+        let inst = insert_test_hardware(&c, &[cuts]).unwrap();
+        let bits = &inst.cbits[0];
+        assert_eq!(bits.len(), 4);
+        let taps = feedback_taps(&inst.circuit, bits);
+        assert_eq!(taps, expected_taps(bits, 4));
         assert!(
-            ppet_netlist::validate::find_combinational_cycle(&lean.circuit).is_none()
+            taps.contains(&bits.last().unwrap().register),
+            "the last register must feed the loop or its state is lost"
         );
+    }
+
+    #[test]
+    fn group_wider_than_32_bits_builds_a_valid_compactor() {
+        let (c, cuts) = chain_circuit(40);
+        let inst = insert_test_hardware(&c, &[cuts]).unwrap();
+        assert_eq!(inst.cbits.len(), 1);
+        let bits = &inst.cbits[0];
+        assert_eq!(bits.len(), 40);
+        assert!(ppet_netlist::validate::find_combinational_cycle(&inst.circuit).is_none());
+        // The degree-32 polynomial taps the last 32 registers; the
+        // constant term always taps the very last one.
+        let taps = feedback_taps(&inst.circuit, bits);
+        assert_eq!(taps, expected_taps(bits, 32));
+        assert!(taps.contains(&bits.last().unwrap().register));
+        // And every later bit shifts from its predecessor, so the front
+        // 8 untapped registers still reach the loop through the chain.
+        for i in 1..bits.len() {
+            let xor = inst.circuit.cell(bits[i].register).fanin()[0];
+            let nor = inst.circuit.cell(xor).fanin()[1];
+            assert_eq!(
+                inst.circuit.cell(nor).fanin()[0],
+                bits[i - 1].register,
+                "bit {i} must cascade from bit {}",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn traced_instrumentation_reports_cut_realization() {
+        let c = data::s27();
+        let cuts = vec![vec![c.find("G10").unwrap(), c.find("G11").unwrap()]];
+        let (tracer, sink) = Tracer::collecting();
+        let inst =
+            insert_test_hardware_traced(&c, &cuts, InstrumentOptions::default(), &tracer).unwrap();
+        let report = sink.report();
+        assert_eq!(report.spans[0].name, "instrument");
+        assert_eq!(
+            report.counters["instrument.converted_cuts"],
+            inst.converted_cuts.len() as u64
+        );
+        assert_eq!(
+            report.counters["instrument.mux_cuts"],
+            inst.mux_cuts.len() as u64
+        );
+        assert!(report
+            .gauges
+            .contains_key("instrument.retimed_register_delta"));
     }
 
     #[test]

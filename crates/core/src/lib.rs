@@ -46,4 +46,4 @@ pub mod report;
 pub use config::{CostPolicy, MercedConfig};
 pub use error::MercedError;
 pub use merced::{Compilation, Merced};
-pub use report::PpetReport;
+pub use report::{PhaseMetrics, PpetReport};

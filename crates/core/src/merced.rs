@@ -4,10 +4,11 @@ use std::time::Instant;
 
 use ppet_cbit::cost::CbitCostModel;
 use ppet_cbit::schedule::{CutSpec, TestSchedule};
-use ppet_flow::saturate_network;
+use ppet_flow::saturate_network_traced;
 use ppet_graph::{scc::Scc, CircuitGraph};
 use ppet_netlist::{AreaModel, Circuit, CircuitStats};
-use ppet_partition::{assign_cbit, inputs, make_group, MakeGroupParams};
+use ppet_partition::{assign_cbit_traced, inputs, make_group_traced, MakeGroupParams};
+use ppet_trace::Tracer;
 
 use ppet_netlist::NetId;
 use ppet_partition::CbitAssignment;
@@ -15,7 +16,15 @@ use ppet_partition::CbitAssignment;
 use crate::config::{CostPolicy, MercedConfig};
 use crate::cost;
 use crate::error::MercedError;
-use crate::report::{AreaComparison, PartitionSummary, PpetReport, ScheduleSummary};
+use crate::report::{AreaComparison, PartitionSummary, PhaseMetrics, PpetReport, ScheduleSummary};
+
+/// Elapsed nanoseconds since `start`, clamped to ≥ 1 so a phase that fits
+/// inside one clock tick still registers as having happened.
+fn phase_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos())
+        .unwrap_or(u64::MAX)
+        .max(1)
+}
 
 /// A compilation result carrying the full partition data alongside the
 /// summary report — for callers that go on to extract segments
@@ -81,6 +90,25 @@ impl Merced {
         self.compile_detailed(circuit).map(|c| c.report)
     }
 
+    /// [`Merced::compile`] with observability: wraps each pipeline phase
+    /// in a span on `tracer` and records phase counters into it.
+    ///
+    /// The report (including [`PpetReport::phases`]) is identical to the
+    /// untraced call up to wall-clock noise; counters are deterministic
+    /// per seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Merced::compile`].
+    pub fn compile_traced(
+        &self,
+        circuit: &Circuit,
+        tracer: &Tracer,
+    ) -> Result<PpetReport, MercedError> {
+        self.compile_detailed_traced(circuit, tracer)
+            .map(|c| c.report)
+    }
+
     /// Like [`Merced::compile`], additionally returning the partition
     /// member sets and per-partition cut groups.
     ///
@@ -88,6 +116,20 @@ impl Merced {
     ///
     /// Same as [`Merced::compile`].
     pub fn compile_detailed(&self, circuit: &Circuit) -> Result<Compilation, MercedError> {
+        self.compile_detailed_traced(circuit, &Tracer::noop())
+    }
+
+    /// [`Merced::compile_detailed`] with observability (see
+    /// [`Merced::compile_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Merced::compile`].
+    pub fn compile_detailed_traced(
+        &self,
+        circuit: &Circuit,
+        tracer: &Tracer,
+    ) -> Result<Compilation, MercedError> {
         if let Some(problem) = self.config.validate() {
             return Err(MercedError::Config { problem });
         }
@@ -98,22 +140,93 @@ impl Merced {
             return Err(MercedError::CombinationalCycle { cell });
         }
         let started = Instant::now();
+        let root_span = tracer.span("merced");
+        let mut phases = Vec::with_capacity(5);
 
-        // STEP 1: graph representation.
-        let graph = CircuitGraph::from_circuit(circuit);
-        // STEP 2: strongly connected components.
-        let scc = Scc::of(&graph);
+        // STEPs 1–2: graph representation and strongly connected
+        // components.
+        let phase_start = Instant::now();
+        let (graph, scc) = {
+            let _span = tracer.span("scc");
+            let graph = CircuitGraph::from_circuit(circuit);
+            let scc = Scc::of(&graph);
+            tracer.add("scc.components", scc.len() as u64);
+            (graph, scc)
+        };
+        let cyclic_components = scc
+            .components()
+            .iter()
+            .filter(|comp| scc.is_cyclic(scc.component_of(comp[0])))
+            .count();
+        phases.push(PhaseMetrics {
+            name: "scc",
+            wall_ns: phase_ns(phase_start),
+            counters: vec![
+                ("scc.components", scc.len() as u64),
+                ("scc.cyclic_components", cyclic_components as u64),
+            ],
+        });
+
         // STEP 3: Assign_CBIT = saturate + cluster + merge.
-        let profile = saturate_network(&graph, &self.config.flow, self.config.seed);
-        let grouped = make_group(
-            &graph,
-            &scc,
-            &profile,
-            &MakeGroupParams::new(self.config.cbit_length).with_beta(self.config.beta),
-        );
+        let phase_start = Instant::now();
+        let profile = {
+            let _span = tracer.span("saturate_network");
+            saturate_network_traced(&graph, &self.config.flow, self.config.seed, tracer)
+        };
+        let search = profile.search_stats();
+        phases.push(PhaseMetrics {
+            name: "saturate_network",
+            wall_ns: phase_ns(phase_start),
+            counters: vec![
+                ("flow.heap_pops", search.heap_pops),
+                ("flow.nodes_settled", search.settled),
+                ("flow.relaxations", search.relaxations),
+                ("flow.trees_built", profile.num_trees() as u64),
+            ],
+        });
+
+        let phase_start = Instant::now();
+        let grouped = {
+            let _span = tracer.span("make_group");
+            make_group_traced(
+                &graph,
+                &scc,
+                &profile,
+                &MakeGroupParams::new(self.config.cbit_length).with_beta(self.config.beta),
+                tracer,
+            )
+        };
         let clusters_before_merge = grouped.clustering.num_clusters();
         let forced_internal = grouped.forced_internal.len();
-        let assignment = assign_cbit(&graph, grouped.clustering, self.config.cbit_length);
+        phases.push(PhaseMetrics {
+            name: "make_group",
+            wall_ns: phase_ns(phase_start),
+            counters: vec![
+                ("partition.boundaries_used", grouped.boundaries_used as u64),
+                ("partition.clusters_formed", clusters_before_merge as u64),
+                ("partition.forced_internal", forced_internal as u64),
+                ("partition.nets_cut", grouped.cut_nets.len() as u64),
+            ],
+        });
+
+        let phase_start = Instant::now();
+        let assignment = {
+            let _span = tracer.span("assign_cbit");
+            assign_cbit_traced(&graph, grouped.clustering, self.config.cbit_length, tracer)
+        };
+        phases.push(PhaseMetrics {
+            name: "assign_cbit",
+            wall_ns: phase_ns(phase_start),
+            counters: vec![
+                ("assign.merge_attempts", assignment.merge_attempts as u64),
+                ("assign.merges", assignment.merges as u64),
+                ("assign.partitions", assignment.partitions.len() as u64),
+            ],
+        });
+
+        // STEP 4: cost the partition with and without retiming.
+        let phase_start = Instant::now();
+        let cost_span = tracer.span("cost_retime");
 
         // Cut statistics.
         let cuts = assignment.cut_nets.clone();
@@ -147,8 +260,10 @@ impl Merced {
         // Area comparison (Table 12).
         let with_retiming = match self.config.cost_policy {
             CostPolicy::PaperScc => cost::with_retiming_scc(&graph, &scc, &cuts),
-            CostPolicy::Solver => cost::with_retiming_solver(circuit, &cuts, self.config.io_latency)
-                .unwrap_or_else(|| cost::with_retiming_scc(&graph, &scc, &cuts)),
+            CostPolicy::Solver => {
+                cost::with_retiming_solver(circuit, &cuts, self.config.io_latency)
+                    .unwrap_or_else(|| cost::with_retiming_scc(&graph, &scc, &cuts))
+            }
         };
         let without_retiming = cost::without_retiming(&graph, &cuts);
         let circuit_area = cost::circuit_area_units(circuit);
@@ -202,6 +317,21 @@ impl Merced {
             })
             .collect();
 
+        tracer.add("cost.converted_cuts", with_retiming.converted_bits as u64);
+        tracer.add("cost.mux_cuts", with_retiming.mux_bits as u64);
+        tracer.add("cost.cut_nets_on_scc", cuts_on_scc.len() as u64);
+        drop(cost_span);
+        phases.push(PhaseMetrics {
+            name: "cost_retime",
+            wall_ns: phase_ns(phase_start),
+            counters: vec![
+                ("cost.converted_cuts", with_retiming.converted_bits as u64),
+                ("cost.cut_nets_on_scc", cuts_on_scc.len() as u64),
+                ("cost.mux_cuts", with_retiming.mux_bits as u64),
+            ],
+        });
+        drop(root_span);
+
         let report = PpetReport {
             circuit: CircuitStats::of(circuit, &AreaModel::paper()),
             cbit_length: self.config.cbit_length,
@@ -225,6 +355,7 @@ impl Merced {
                 total_cycles: schedule.total_cycles(),
                 sequential_cycles: schedule.sequential_cycles(),
             },
+            phases,
             elapsed: started.elapsed(),
         };
         Ok(Compilation {
@@ -306,12 +437,15 @@ mod tests {
         // per-SCC aggregate on the mux count... in either direction the
         // totals must stay consistent with the bit counts.
         let b = &r.area.with_retiming;
-        assert_eq!(b.deci_dff, 9 * b.converted_bits as u64 + 23 * b.mux_bits as u64);
+        assert_eq!(
+            b.deci_dff,
+            9 * b.converted_bits as u64 + 23 * b.mux_bits as u64
+        );
         assert_eq!(b.converted_bits + b.mux_bits, r.nets_cut);
     }
 
     #[test]
-    fn cbit_cost_uses_table1(){
+    fn cbit_cost_uses_table1() {
         let r = compile_s27(4);
         // Every partition with 1..=4 inputs costs 8.14 DFF.
         let nonzero = r.partitions.iter().filter(|p| p.inputs > 0).count();

@@ -4,8 +4,23 @@ use std::fmt;
 use std::time::Duration;
 
 use ppet_netlist::CircuitStats;
+use ppet_trace::RunManifest;
 
 use crate::cost::AreaBreakdown;
+
+/// Wall time and counters of one pipeline phase (one paper Table 2 step).
+///
+/// Populated by every compile — no tracer needed — from the phase results
+/// themselves, so [`PpetReport::run_manifest`] works on any report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseMetrics {
+    /// Phase name; matches the span name used under tracing.
+    pub name: &'static str,
+    /// Wall-clock nanoseconds spent in the phase (clamped to ≥ 1).
+    pub wall_ns: u64,
+    /// Counter values attributed to the phase, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+}
 
 /// Summary of one final partition (CUT).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +112,8 @@ pub struct PpetReport {
     pub area: AreaComparison,
     /// The Fig. 1 schedule.
     pub schedule: ScheduleSummary,
+    /// Per-phase wall time and counters, in pipeline order.
+    pub phases: Vec<PhaseMetrics>,
     /// Wall-clock compile time (the Tables 10–11 "CPU time" column).
     pub elapsed: Duration,
 }
@@ -130,6 +147,32 @@ impl PpetReport {
     #[must_use]
     pub fn table12_cells(&self) -> (f64, f64) {
         (self.area.pct_with(), self.area.pct_without())
+    }
+
+    /// Builds the self-describing JSON run manifest for this compile:
+    /// circuit, seed, configuration, the per-phase wall times and counters
+    /// of [`PpetReport::phases`], and counter totals.
+    ///
+    /// Counter *values* are deterministic per seed; only `wall_ns` varies
+    /// between runs.
+    #[must_use]
+    pub fn run_manifest(&self) -> RunManifest {
+        let mut manifest = RunManifest::new(self.circuit.name.clone(), self.seed);
+        manifest.push_config("cbit_length", self.cbit_length);
+        manifest.push_config("beta", self.beta);
+        for phase in &self.phases {
+            manifest.push_phase(
+                phase.name,
+                phase.wall_ns,
+                phase
+                    .counters
+                    .iter()
+                    .map(|&(name, value)| (name.to_owned(), value))
+                    .collect(),
+            );
+        }
+        manifest.compute_totals();
+        manifest
     }
 }
 
@@ -229,6 +272,11 @@ mod tests {
                 total_cycles: 16,
                 sequential_cycles: 16,
             },
+            phases: vec![PhaseMetrics {
+                name: "saturate_network",
+                wall_ns: 1_000,
+                counters: vec![("flow.trees_built", 60)],
+            }],
             elapsed: Duration::from_millis(12),
         }
     }
@@ -260,5 +308,16 @@ mod tests {
         let r = sample();
         let (w, wo) = r.table12_cells();
         assert!(w < wo);
+    }
+
+    #[test]
+    fn manifest_reflects_report() {
+        let m = sample().run_manifest();
+        assert_eq!(m.circuit, "s27");
+        assert_eq!(m.seed, 1);
+        assert_eq!(m.phases.len(), 1);
+        assert_eq!(m.total("flow.trees_built"), Some(60));
+        let back = RunManifest::from_json(&m.to_json()).expect("round-trips");
+        assert_eq!(back, m);
     }
 }

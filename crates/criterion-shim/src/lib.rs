@@ -1,0 +1,298 @@
+//! Offline drop-in replacement for the subset of the `criterion` API the
+//! ppet micro-benchmarks use.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched; the workspace aliases
+//! `criterion = { package = "ppet-criterion-shim", ... }` and the bench
+//! files compile unchanged. This shim is a simple wall-clock harness: per
+//! benchmark it calibrates an iteration count, takes `sample_size` timed
+//! samples, and prints min/median/mean ns-per-iteration (plus throughput
+//! when configured). It has no statistical analysis, baselines, or HTML
+//! reports — enough to rank hot paths and catch large regressions, not a
+//! substitute for the real criterion when network access exists.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported for bench code that imports it from
+/// `criterion` rather than `std::hint`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for reporting per-second rates alongside per-iteration times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// `n` logical elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, criterion's two-part id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Times one benchmark body. Passed to the closure given to
+/// [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`].
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` for the harness-chosen number of iterations and records
+    /// the elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point (a stand-in for criterion's).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Reads an optional substring filter from the command line (cargo
+    /// passes flags like `--bench`; the first non-flag argument, if any,
+    /// selects which benchmarks run).
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (an implicit single-entry group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match self.filter.as_deref() {
+            Some(needle) => full_name.contains(needle),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample size, and
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+/// Total time budget per benchmark; sampling stops early past this.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Target wall-clock per timed sample when calibrating iteration counts.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates iterations with a throughput so a rate is reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a reference to `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id, |bencher| f(bencher, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id, |bencher| f(bencher));
+        self
+    }
+
+    /// Ends the group (retained for API compatibility; prints nothing).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &BenchmarkId, mut body: impl FnMut(&mut Bencher)) {
+        let full_name = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs at least TARGET_SAMPLE (or the budget says stop).
+        let started = Instant::now();
+        let mut iterations = 1u64;
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        loop {
+            bencher.iterations = iterations;
+            body(&mut bencher);
+            if bencher.elapsed >= TARGET_SAMPLE
+                || started.elapsed() >= TIME_BUDGET / 2
+                || iterations >= 1 << 40
+            {
+                break;
+            }
+            iterations = iterations.saturating_mul(2);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iterations = iterations;
+            body(&mut bencher);
+            per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iterations as f64);
+            if started.elapsed() >= TIME_BUDGET {
+                break;
+            }
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter_ns.first().copied().unwrap_or(0.0);
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 * 1e9 / median)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {full_name:<48} {median:>14.1} ns/iter (min {min:.1}, mean {mean:.1}, \
+             {} samples x {iterations} iters){rate}",
+            per_iter_ns.len(),
+        );
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1u64) + 1));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_times() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("lfsr_step", 16).id, "lfsr_step/16");
+        assert_eq!(BenchmarkId::from_parameter("s27").id, "s27");
+    }
+}

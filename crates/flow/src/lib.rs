@@ -43,4 +43,4 @@ mod saturate;
 
 pub use params::FlowParams;
 pub use profile::CongestionProfile;
-pub use saturate::saturate_network;
+pub use saturate::{saturate_network, saturate_network_traced};

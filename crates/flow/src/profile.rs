@@ -1,5 +1,6 @@
 //! The result of a saturation run.
 
+use ppet_graph::dijkstra::DijkstraStats;
 use ppet_netlist::NetId;
 
 /// Per-net congestion data produced by
@@ -13,6 +14,7 @@ pub struct CongestionProfile {
     pub(crate) flow: Vec<f64>,
     pub(crate) visits: Vec<u32>,
     pub(crate) trees: usize,
+    pub(crate) search: DijkstraStats,
 }
 
 impl CongestionProfile {
@@ -38,6 +40,13 @@ impl CongestionProfile {
     #[must_use]
     pub fn num_trees(&self) -> usize {
         self.trees
+    }
+
+    /// Aggregate Dijkstra work counters (heap pops, relaxations, settled
+    /// nodes) summed across every tree of the run.
+    #[must_use]
+    pub fn search_stats(&self) -> DijkstraStats {
+        self.search
     }
 
     /// The raw distance vector (one slot per net id), for use as Dijkstra
@@ -70,6 +79,7 @@ mod tests {
             flow: vec![0.0, 0.2, 0.2, 0.5],
             visits: vec![3, 3, 3, 3],
             trees: 12,
+            search: DijkstraStats::default(),
         }
     }
 

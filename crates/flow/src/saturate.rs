@@ -2,6 +2,7 @@
 
 use ppet_graph::{dijkstra, CircuitGraph};
 use ppet_prng::{Rng, Xoshiro256PlusPlus};
+use ppet_trace::Tracer;
 
 use crate::params::FlowParams;
 use crate::profile::CongestionProfile;
@@ -41,10 +42,24 @@ use crate::profile::CongestionProfile;
 /// assert_eq!(a, b); // deterministic per seed
 /// ```
 #[must_use]
-pub fn saturate_network(
+pub fn saturate_network(graph: &CircuitGraph, params: &FlowParams, seed: u64) -> CongestionProfile {
+    saturate_network_traced(graph, params, seed, &Tracer::noop())
+}
+
+/// [`saturate_network`] with observability: reports trees built, heap
+/// pops, relaxations, and settled nodes as `flow.*` counters, and each
+/// tree's size into the `flow.tree_nodes` histogram.
+///
+/// The congestion result is bit-identical to the untraced call — tracing
+/// never perturbs the PRNG stream or the flow arithmetic — and with a
+/// disabled tracer (e.g. [`Tracer::noop`]) the hot loop performs no
+/// recording, no formatting, and no allocation beyond the untraced path.
+#[must_use]
+pub fn saturate_network_traced(
     graph: &CircuitGraph,
     params: &FlowParams,
     seed: u64,
+    tracer: &Tracer,
 ) -> CongestionProfile {
     if let Some(problem) = params.validate() {
         panic!("invalid flow parameters: {problem}");
@@ -60,12 +75,14 @@ pub fn saturate_network(
             flow,
             visits,
             trees,
+            search: dijkstra::DijkstraStats::default(),
         };
     }
 
     let mut rng = Xoshiro256PlusPlus::seed_from(seed ^ 0x5341_5455_5241_5445); // "SATURATE"
     let nodes: Vec<_> = graph.nodes().collect();
     let mut scratch = dijkstra::DijkstraScratch::new(n);
+    let enabled = tracer.enabled(); // hoisted: one check, not one per tree
 
     // STEP 3: continue until every node has been visited more than
     // `min_visit` times (the paper's loop condition is
@@ -82,6 +99,9 @@ pub fn saturate_network(
         }
         scratch.run(graph, v, &distance);
         trees += 1;
+        if enabled {
+            tracer.record("flow.tree_nodes", scratch.visited_order().len() as u64);
+        }
         if params.per_branch {
             for (net, count) in scratch.tree_net_branch_counts() {
                 let i = net.index();
@@ -97,11 +117,20 @@ pub fn saturate_network(
         }
     }
 
+    let search = scratch.stats();
+    if enabled {
+        tracer.add("flow.trees_built", trees as u64);
+        tracer.add("flow.heap_pops", search.heap_pops);
+        tracer.add("flow.relaxations", search.relaxations);
+        tracer.add("flow.nodes_settled", search.settled);
+    }
+
     CongestionProfile {
         distance,
         flow,
         visits,
         trees,
+        search,
     }
 }
 
@@ -210,6 +239,29 @@ mod tests {
         let mut p = FlowParams::paper();
         p.alpha = 0.0;
         let _ = saturate_network(&g, &p, 0);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        let g = s27();
+        let p = FlowParams::quick();
+        let plain = saturate_network(&g, &p, 9);
+        let (tracer, sink) = Tracer::collecting();
+        let traced = saturate_network_traced(&g, &p, 9, &tracer);
+        assert_eq!(plain, traced);
+
+        let report = sink.report();
+        let stats = traced.search_stats();
+        assert_eq!(
+            report.counters["flow.trees_built"],
+            traced.num_trees() as u64
+        );
+        assert_eq!(report.counters["flow.heap_pops"], stats.heap_pops);
+        assert_eq!(report.counters["flow.relaxations"], stats.relaxations);
+        assert_eq!(report.counters["flow.nodes_settled"], stats.settled);
+        let hist = &report.histograms["flow.tree_nodes"];
+        assert_eq!(hist.count, traced.num_trees() as u64);
+        assert_eq!(hist.sum, stats.settled);
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub fn reachable(graph: &CircuitGraph, start: CellId, dir: Direction) -> Vec<Cel
 /// True if `to` is reachable from `from` following driver→sink branches.
 #[must_use]
 pub fn can_reach(graph: &CircuitGraph, from: CellId, to: CellId) -> bool {
-    reachable(graph, from, Direction::Forward).binary_search(&to).is_ok()
+    reachable(graph, from, Direction::Forward)
+        .binary_search(&to)
+        .is_ok()
 }
 
 #[cfg(test)]
@@ -91,7 +93,11 @@ mod tests {
     fn can_reach_through_registers() {
         let g = CircuitGraph::from_circuit(&data::s27());
         // G10 drives DFF G5 which drives G11.
-        assert!(can_reach(&g, g.find("G10").unwrap(), g.find("G11").unwrap()));
+        assert!(can_reach(
+            &g,
+            g.find("G10").unwrap(),
+            g.find("G11").unwrap()
+        ));
         // Primary inputs are never reachable from internal logic.
         assert!(!can_reach(&g, g.find("G9").unwrap(), g.find("G0").unwrap()));
     }

@@ -102,7 +102,11 @@ impl PartialOrd for HeapEntry {
 /// assert_eq!(spt.dist[g14.index()], 1.0);
 /// ```
 #[must_use]
-pub fn shortest_path_tree(graph: &CircuitGraph, source: CellId, length: &[f64]) -> ShortestPathTree {
+pub fn shortest_path_tree(
+    graph: &CircuitGraph,
+    source: CellId,
+    length: &[f64],
+) -> ShortestPathTree {
     let mut scratch = DijkstraScratch::new(graph.num_nodes());
     scratch.run(graph, source, length);
     ShortestPathTree {
@@ -142,6 +146,21 @@ pub struct DijkstraScratch {
     epoch: u32,
     heap: BinaryHeap<HeapEntry>,
     visited: Vec<CellId>,
+    stats: DijkstraStats,
+}
+
+/// Work counters accumulated across every [`DijkstraScratch::run`] call
+/// since creation (or [`DijkstraScratch::take_stats`]). Plain integers —
+/// always maintained, cheap enough to never need a feature gate — so the
+/// flow phase can report how much search work its trees cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DijkstraStats {
+    /// Heap pops, including stale entries skipped by the `done` check.
+    pub heap_pops: u64,
+    /// Successful relaxations (`dist` improvements pushed to the heap).
+    pub relaxations: u64,
+    /// Nodes settled (popped with their final distance).
+    pub settled: u64,
 }
 
 impl DijkstraScratch {
@@ -156,7 +175,19 @@ impl DijkstraScratch {
             epoch: 0,
             heap: BinaryHeap::new(),
             visited: Vec::new(),
+            stats: DijkstraStats::default(),
         }
+    }
+
+    /// The work counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> DijkstraStats {
+        self.stats
+    }
+
+    /// Returns the accumulated counters and resets them to zero.
+    pub fn take_stats(&mut self) -> DijkstraStats {
+        std::mem::take(&mut self.stats)
     }
 
     fn fresh(&mut self, v: usize) -> bool {
@@ -205,11 +236,13 @@ impl DijkstraScratch {
             node: s as u32,
         });
         while let Some(HeapEntry { dist: d, node }) = self.heap.pop() {
+            self.stats.heap_pops += 1;
             let v = node as usize;
             if self.done[v] {
                 continue;
             }
             self.done[v] = true;
+            self.stats.settled += 1;
             self.visited.push(CellId::from_index(v));
             let net = CellId::from_index(v);
             let l = length[v];
@@ -220,6 +253,7 @@ impl DijkstraScratch {
                 if nd < self.dist[wi] {
                     self.dist[wi] = nd;
                     self.parent_net[wi] = Some(net);
+                    self.stats.relaxations += 1;
                     self.heap.push(HeapEntry {
                         dist: nd,
                         node: wi as u32,
@@ -390,6 +424,30 @@ mod tests {
         let total: usize = per_branch.iter().map(|(_, c)| c).sum();
         let used_branches = spt.parent_net.iter().flatten().count();
         assert_eq!(total, used_branches);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let g = s27_graph();
+        let unit = vec![1.0; g.num_nodes()];
+        let mut scratch = DijkstraScratch::new(g.num_nodes());
+        scratch.run(&g, g.find("G0").unwrap(), &unit);
+        let one = scratch.stats();
+        assert!(one.heap_pops >= one.settled);
+        assert!(one.settled >= 2);
+        assert!(one.relaxations >= one.settled - 1);
+        assert_eq!(one.settled, scratch.visited_order().len() as u64);
+
+        scratch.run(&g, g.find("G0").unwrap(), &unit);
+        let two = scratch.stats();
+        assert_eq!(
+            two.heap_pops,
+            2 * one.heap_pops,
+            "identical runs add equal work"
+        );
+
+        assert_eq!(scratch.take_stats(), two);
+        assert_eq!(scratch.stats(), DijkstraStats::default());
     }
 
     #[test]

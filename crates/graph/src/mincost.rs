@@ -293,4 +293,3 @@ mod tests {
         assert_eq!(sol.total_cost, 2 * 3 + 5);
     }
 }
-

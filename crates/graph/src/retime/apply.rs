@@ -277,7 +277,10 @@ mod tests {
         let real = CutRealizer::new(&rg).realize(&cuts);
         let out = apply(&c, &rg, &real.retiming).unwrap();
 
-        assert_eq!(out.num_flip_flops(), shared_register_count(&rg, &real.retiming));
+        assert_eq!(
+            out.num_flip_flops(),
+            shared_register_count(&rg, &real.retiming)
+        );
 
         let g_after = CircuitGraph::from_circuit(&out);
         let rg_after = RetimeGraph::from_graph(&g_after).unwrap();
@@ -326,10 +329,18 @@ mod tests {
         let fanouts = out.fanouts();
         assert!(!fanouts.of(g1_new).is_empty());
         for &s in fanouts.of(g1_new) {
-            assert_eq!(out.cell(s).kind(), CellKind::Dff, "sink {}", out.cell(s).name());
+            assert_eq!(
+                out.cell(s).kind(),
+                CellKind::Dff,
+                "sink {}",
+                out.cell(s).name()
+            );
         }
         // Total register count is preserved on the loop (Corollary 2).
-        assert_eq!(out.num_flip_flops(), shared_register_count(&rg, &real.retiming));
+        assert_eq!(
+            out.num_flip_flops(),
+            shared_register_count(&rg, &real.retiming)
+        );
     }
 
     #[test]

@@ -106,7 +106,9 @@ mod tests {
         let rg = rg();
         let mut prng = Xoshiro256PlusPlus::seed_from(4);
         for _ in 0..100 {
-            let r: Retiming = (0..rg.num_nodes()).map(|_| prng.gen_range(-3..=3)).collect();
+            let r: Retiming = (0..rg.num_nodes())
+                .map(|_| prng.gen_range(-3..=3))
+                .collect();
             // Random walk path of up to 6 edges.
             let start = EdgeId::from_index(prng.gen_index(rg.edges().len()));
             let mut path = vec![start];
@@ -140,8 +142,9 @@ mod tests {
             for _ in 0..20 {
                 let tail = rg.edge(*path.last().unwrap()).to;
                 if tail == origin {
-                    let r: Retiming =
-                        (0..rg.num_nodes()).map(|_| prng.gen_range(-5..=5)).collect();
+                    let r: Retiming = (0..rg.num_nodes())
+                        .map(|_| prng.gen_range(-5..=5))
+                        .collect();
                     assert_eq!(
                         retimed_path_weight(&rg, &r, &path),
                         path_weight(&rg, &path),

@@ -32,7 +32,7 @@ mod solver;
 mod weights;
 
 pub use apply::{apply, shared_register_count, ApplyRetimingError};
-pub use minarea::{minimize_registers, minimize_shared_registers, MinAreaResult};
 pub use legal::{is_legal, path_weight, retimed_path_weight, retimed_weight, Retiming};
+pub use minarea::{minimize_registers, minimize_shared_registers, MinAreaResult};
 pub use solver::{CutRealization, CutRealizer, IoLatency};
 pub use weights::{BuildRetimeGraphError, EdgeId, REdge, RNodeId, RNodeKind, RetimeGraph};

@@ -200,11 +200,7 @@ mod tests {
     fn assert_covered(rg: &RetimeGraph, real: &CutRealization) {
         assert!(is_legal(rg, &real.retiming));
         for (i, e) in rg.edges().iter().enumerate() {
-            let demand = e
-                .nets
-                .iter()
-                .filter(|n| real.covered.contains(n))
-                .count() as i64;
+            let demand = e.nets.iter().filter(|n| real.covered.contains(n)).count() as i64;
             let w = retimed_weight(rg, &real.retiming, EdgeId::from_index(i));
             assert!(w >= demand, "edge {i}: w_r={w} demand={demand}");
         }
@@ -248,7 +244,9 @@ mod tests {
         .unwrap();
         let (_, rg) = setup(&c);
         let cut = c.find("g1").unwrap();
-        let real = CutRealizer::new(&rg).io_latency(IoLatency::Fixed).realize(&[cut]);
+        let real = CutRealizer::new(&rg)
+            .io_latency(IoLatency::Fixed)
+            .realize(&[cut]);
         assert_eq!(real.excess, vec![cut]);
         assert!(real.covered.is_empty());
         assert_covered(&rg, &real);

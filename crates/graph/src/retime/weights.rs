@@ -270,10 +270,7 @@ impl RetimeGraph {
     /// The retime-graph node of a combinational or input cell.
     #[must_use]
     pub fn rnode_of(&self, cell: CellId) -> Option<RNodeId> {
-        self.rnode_of_cell
-            .get(cell.index())
-            .copied()
-            .flatten()
+        self.rnode_of_cell.get(cell.index()).copied().flatten()
     }
 
     /// The chain origin and register depth of a cell's output net; see the

@@ -126,11 +126,8 @@ mod tests {
         // Build a cyclic graph via the parser? The parser rejects it, so
         // construct a 2-gate loop through raw circuit surgery is not public;
         // instead check that a register loop still levelizes.
-        let c = bench_format::parse(
-            "loop",
-            "INPUT(x)\nOUTPUT(h)\nq = DFF(h)\nh = OR(q, x)\n",
-        )
-        .unwrap();
+        let c =
+            bench_format::parse("loop", "INPUT(x)\nOUTPUT(h)\nq = DFF(h)\nh = OR(q, x)\n").unwrap();
         let g = CircuitGraph::from_circuit(&c);
         assert!(combinational_order(&g).is_some());
     }

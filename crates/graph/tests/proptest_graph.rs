@@ -10,14 +10,8 @@ use ppet_netlist::{SynthSpec, Synthesizer};
 use ppet_prng::{Rng, Xoshiro256PlusPlus};
 
 fn arb_graph() -> impl Strategy<Value = CircuitGraph> {
-    (
-        1usize..8,
-        0usize..10,
-        4usize..60,
-        0usize..12,
-        any::<u64>(),
-    )
-        .prop_map(|(pis, dffs, gates, invs, seed)| {
+    (1usize..8, 0usize..10, 4usize..60, 0usize..12, any::<u64>()).prop_map(
+        |(pis, dffs, gates, invs, seed)| {
             let c = Synthesizer::new(
                 SynthSpec::new("prop")
                     .primary_inputs(pis)
@@ -29,7 +23,8 @@ fn arb_graph() -> impl Strategy<Value = CircuitGraph> {
             )
             .build();
             CircuitGraph::from_circuit(&c)
-        })
+        },
+    )
 }
 
 proptest! {

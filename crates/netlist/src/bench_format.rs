@@ -87,10 +87,12 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
             continue;
         }
         // `lhs = KIND(args)`
-        let (lhs, rhs) = stripped.split_once('=').ok_or_else(|| ParseBenchError::Syntax {
-            line,
-            text: stripped.to_string(),
-        })?;
+        let (lhs, rhs) = stripped
+            .split_once('=')
+            .ok_or_else(|| ParseBenchError::Syntax {
+                line,
+                text: stripped.to_string(),
+            })?;
         let lhs = lhs.trim().to_string();
         let rhs = rhs.trim();
         let open = rhs.find('(').ok_or_else(|| ParseBenchError::Syntax {
@@ -104,12 +106,11 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseBenchError> {
             });
         }
         let keyword = rhs[..open].trim();
-        let kind = CellKind::from_bench_keyword(keyword).ok_or_else(|| {
-            ParseBenchError::UnknownGate {
+        let kind =
+            CellKind::from_bench_keyword(keyword).ok_or_else(|| ParseBenchError::UnknownGate {
                 line,
                 keyword: keyword.to_string(),
-            }
-        })?;
+            })?;
         if kind == CellKind::Input {
             return Err(ParseBenchError::Syntax {
                 line,
@@ -161,9 +162,7 @@ fn record_def(
 /// Matches `KEYWORD ( inner )` case-insensitively and returns `inner`.
 fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
     let rest = line.strip_prefix(keyword).or_else(|| {
-        if line.len() >= keyword.len()
-            && line[..keyword.len()].eq_ignore_ascii_case(keyword)
-        {
+        if line.len() >= keyword.len() && line[..keyword.len()].eq_ignore_ascii_case(keyword) {
             Some(&line[keyword.len()..])
         } else {
             None
@@ -304,17 +303,17 @@ mod tests {
 
     #[test]
     fn forward_references_resolve() {
-        let c = parse(
-            "t",
-            "OUTPUT(y)\ny = AND(a, b)\nINPUT(a)\nINPUT(b)\n",
-        )
-        .unwrap();
+        let c = parse("t", "OUTPUT(y)\ny = AND(a, b)\nINPUT(a)\nINPUT(b)\n").unwrap();
         assert_eq!(c.num_cells(), 3);
     }
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let c = parse("t", "# header\n\nINPUT(a)\n y = BUFF(a) # trailing\nOUTPUT(y)\n").unwrap();
+        let c = parse(
+            "t",
+            "# header\n\nINPUT(a)\n y = BUFF(a) # trailing\nOUTPUT(y)\n",
+        )
+        .unwrap();
         assert_eq!(c.num_cells(), 2);
     }
 
@@ -329,11 +328,7 @@ mod tests {
     #[test]
     fn dff_feedback_loop_parses() {
         // q feeds the gate that feeds q's D pin: a 1-bit counter core.
-        let c = parse(
-            "t",
-            "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, en)\n",
-        )
-        .unwrap();
+        let c = parse("t", "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, en)\n").unwrap();
         let q = c.find("q").unwrap();
         let d = c.find("d").unwrap();
         assert_eq!(c.cell(q).fanin(), &[d]);
@@ -341,11 +336,7 @@ mod tests {
 
     #[test]
     fn dff_chain_parses() {
-        let c = parse(
-            "t",
-            "INPUT(a)\nOUTPUT(q2)\nq2 = DFF(q1)\nq1 = DFF(a)\n",
-        )
-        .unwrap();
+        let c = parse("t", "INPUT(a)\nOUTPUT(q2)\nq2 = DFF(q1)\nq1 = DFF(a)\n").unwrap();
         assert_eq!(c.num_flip_flops(), 2);
     }
 
@@ -381,7 +372,9 @@ mod tests {
     #[test]
     fn unknown_gate_rejected() {
         let err = parse("t", "INPUT(a)\ny = FROB(a, a)\n").unwrap_err();
-        assert!(matches!(err, ParseBenchError::UnknownGate { ref keyword, .. } if keyword == "FROB"));
+        assert!(
+            matches!(err, ParseBenchError::UnknownGate { ref keyword, .. } if keyword == "FROB")
+        );
     }
 
     #[test]

@@ -199,7 +199,10 @@ mod tests {
     #[test]
     fn keyword_round_trip() {
         for kind in CellKind::ALL {
-            assert_eq!(CellKind::from_bench_keyword(kind.bench_keyword()), Some(kind));
+            assert_eq!(
+                CellKind::from_bench_keyword(kind.bench_keyword()),
+                Some(kind)
+            );
         }
     }
 

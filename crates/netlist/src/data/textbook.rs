@@ -161,23 +161,45 @@ pub fn alu_slice() -> Circuit {
     let op1 = c.add_input("op1").expect("fresh");
 
     let axb = c.add_cell("axb", CellKind::Xor, vec![a, b]).expect("fresh");
-    let sum = c.add_cell("sum", CellKind::Xor, vec![axb, cin]).expect("fresh");
+    let sum = c
+        .add_cell("sum", CellKind::Xor, vec![axb, cin])
+        .expect("fresh");
     let aab = c.add_cell("aab", CellKind::And, vec![a, b]).expect("fresh");
-    let pc = c.add_cell("pc", CellKind::And, vec![axb, cin]).expect("fresh");
-    let cout = c.add_cell("cout", CellKind::Or, vec![aab, pc]).expect("fresh");
+    let pc = c
+        .add_cell("pc", CellKind::And, vec![axb, cin])
+        .expect("fresh");
+    let cout = c
+        .add_cell("cout", CellKind::Or, vec![aab, pc])
+        .expect("fresh");
     let aob = c.add_cell("aob", CellKind::Or, vec![a, b]).expect("fresh");
 
     // op: 00 -> sum, 01 -> and, 10 -> or, 11 -> xor.
     let n0 = c.add_cell("n0", CellKind::Not, vec![op0]).expect("fresh");
     let n1 = c.add_cell("n1", CellKind::Not, vec![op1]).expect("fresh");
-    let s_add = c.add_cell("s_add", CellKind::And, vec![n0, n1]).expect("fresh");
-    let s_and = c.add_cell("s_and", CellKind::And, vec![op0, n1]).expect("fresh");
-    let s_or = c.add_cell("s_or", CellKind::And, vec![n0, op1]).expect("fresh");
-    let s_xor = c.add_cell("s_xor", CellKind::And, vec![op0, op1]).expect("fresh");
-    let m0 = c.add_cell("m0", CellKind::And, vec![s_add, sum]).expect("fresh");
-    let m1 = c.add_cell("m1", CellKind::And, vec![s_and, aab]).expect("fresh");
-    let m2 = c.add_cell("m2", CellKind::And, vec![s_or, aob]).expect("fresh");
-    let m3 = c.add_cell("m3", CellKind::And, vec![s_xor, axb]).expect("fresh");
+    let s_add = c
+        .add_cell("s_add", CellKind::And, vec![n0, n1])
+        .expect("fresh");
+    let s_and = c
+        .add_cell("s_and", CellKind::And, vec![op0, n1])
+        .expect("fresh");
+    let s_or = c
+        .add_cell("s_or", CellKind::And, vec![n0, op1])
+        .expect("fresh");
+    let s_xor = c
+        .add_cell("s_xor", CellKind::And, vec![op0, op1])
+        .expect("fresh");
+    let m0 = c
+        .add_cell("m0", CellKind::And, vec![s_add, sum])
+        .expect("fresh");
+    let m1 = c
+        .add_cell("m1", CellKind::And, vec![s_and, aab])
+        .expect("fresh");
+    let m2 = c
+        .add_cell("m2", CellKind::And, vec![s_or, aob])
+        .expect("fresh");
+    let m3 = c
+        .add_cell("m3", CellKind::And, vec![s_xor, axb])
+        .expect("fresh");
     let res = c
         .add_cell("res", CellKind::Or, vec![m0, m1, m2, m3])
         .expect("fresh");

@@ -98,7 +98,9 @@ impl fmt::Display for ParseBenchError {
             Self::UnknownGate { line, keyword } => {
                 write!(f, "line {line}: unknown gate keyword `{keyword}`")
             }
-            Self::UndefinedSignal { name } => write!(f, "signal `{name}` referenced but never defined"),
+            Self::UndefinedSignal { name } => {
+                write!(f, "signal `{name}` referenced but never defined")
+            }
             Self::Redefined { line, name } => {
                 write!(f, "line {line}: signal `{name}` defined more than once")
             }

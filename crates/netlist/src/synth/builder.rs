@@ -416,7 +416,10 @@ impl WiringState {
     fn remove_use(&mut self, driver: CellId, consumer: CellId) {
         self.ensure(driver);
         self.uses[driver.index()] = self.uses[driver.index()].saturating_sub(1);
-        if let Some(pos) = self.consumers[driver.index()].iter().position(|&c| c == consumer) {
+        if let Some(pos) = self.consumers[driver.index()]
+            .iter()
+            .position(|&c| c == consumer)
+        {
             self.consumers[driver.index()].swap_remove(pos);
         }
     }

@@ -80,7 +80,9 @@ mod tests {
 
     #[test]
     fn small_circuits_match_published_statistics() {
-        for name in ["s510", "s420.1", "s641", "s713", "s820", "s832", "s838.1", "s1423"] {
+        for name in [
+            "s510", "s420.1", "s641", "s713", "s820", "s832", "s838.1", "s1423",
+        ] {
             let record = table9::find(name).unwrap();
             let c = iscas89_like(name).unwrap();
             let s = CircuitStats::of(&c, &AreaModel::paper());

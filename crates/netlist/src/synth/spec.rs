@@ -162,7 +162,9 @@ impl SynthSpec {
     /// (`inverters + 2·gates + 10·flip_flops`).
     #[must_use]
     pub fn min_area(&self) -> AreaUnits {
-        self.inverters as AreaUnits + 2 * self.gates as AreaUnits + 10 * self.flip_flops as AreaUnits
+        self.inverters as AreaUnits
+            + 2 * self.gates as AreaUnits
+            + 10 * self.flip_flops as AreaUnits
     }
 }
 
@@ -199,7 +201,10 @@ mod tests {
 
     #[test]
     fn knobs_are_clamped() {
-        let s = SynthSpec::new("x").max_fanin(0).locality(2.0, 0).late_fraction(1.5);
+        let s = SynthSpec::new("x")
+            .max_fanin(0)
+            .locality(2.0, 0)
+            .late_fraction(1.5);
         assert_eq!(s.max_fanin, 2);
         assert_eq!(s.locality_prob, 1.0);
         assert_eq!(s.locality_window, 1);

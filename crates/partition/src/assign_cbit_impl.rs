@@ -5,6 +5,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use ppet_graph::{CircuitGraph, NetId};
 use ppet_netlist::CellId;
+use ppet_trace::Tracer;
 
 use crate::cluster::Clustering;
 use crate::inputs;
@@ -38,6 +39,9 @@ pub struct CbitAssignment {
     pub cut_nets: Vec<NetId>,
     /// Number of merges performed.
     pub merges: usize,
+    /// Number of merge candidates evaluated across the whole greedy pass
+    /// (feasible or not) — a measure of how much work step 3.2.1 did.
+    pub merge_attempts: usize,
 }
 
 /// One live cluster during merging.
@@ -76,6 +80,21 @@ struct Live {
 /// walkthrough.
 #[must_use]
 pub fn assign_cbit(graph: &CircuitGraph, clustering: Clustering, lk: usize) -> CbitAssignment {
+    assign_cbit_traced(graph, clustering, lk, &Tracer::noop())
+}
+
+/// [`assign_cbit`] with observability: reports merges performed, merge
+/// candidates evaluated, and final partition count as `assign.*` counters.
+///
+/// The assignment is identical to the untraced call; a disabled tracer
+/// records nothing.
+#[must_use]
+pub fn assign_cbit_traced(
+    graph: &CircuitGraph,
+    clustering: Clustering,
+    lk: usize,
+    tracer: &Tracer,
+) -> CbitAssignment {
     let mut live: Vec<Option<Live>> = clustering
         .iter()
         .map(|(id, members)| {
@@ -137,6 +156,7 @@ pub fn assign_cbit(graph: &CircuitGraph, clustering: Clustering, lk: usize) -> C
 
     let mut partitions: Vec<Partition> = Vec::new();
     let mut merges = 0usize;
+    let mut merge_attempts = 0usize;
     // O = remaining cluster with the largest input count (ties: the
     // smallest index, matching the paper's deterministic extraction;
     // `next_back` gives max ι but the LARGEST idx on ties, so scan the tie
@@ -182,6 +202,7 @@ pub fn assign_cbit(graph: &CircuitGraph, clustering: Clustering, lk: usize) -> C
             let mut best: Option<(usize, usize, usize)> = None; // (merged ι, cuts, idx)
             for &i in &related {
                 let Some(g) = live[i].as_ref() else { continue };
+                merge_attempts += 1;
                 let merged = merged_inputs(&o, g, &owner, o_id, i as u32);
                 if merged.len() > lk {
                     continue; // infeasible: γ < 0 (Eq. (7))
@@ -190,8 +211,7 @@ pub fn assign_cbit(graph: &CircuitGraph, clustering: Clustering, lk: usize) -> C
                 let better = match best {
                     None => true,
                     Some((bm, bc, bi)) => {
-                        (merged.len(), std::cmp::Reverse(cuts), i)
-                            < (bm, std::cmp::Reverse(bc), bi)
+                        (merged.len(), std::cmp::Reverse(cuts), i) < (bm, std::cmp::Reverse(bc), bi)
                     }
                 };
                 if better {
@@ -204,6 +224,7 @@ pub fn assign_cbit(graph: &CircuitGraph, clustering: Clustering, lk: usize) -> C
                 if related.contains(&i) {
                     continue;
                 }
+                merge_attempts += 1;
                 let merged = o.inputs.len() + iota;
                 if merged > lk {
                     break; // ordered ascending: nothing further fits
@@ -253,12 +274,17 @@ pub fn assign_cbit(graph: &CircuitGraph, clustering: Clustering, lk: usize) -> C
     let merged_clustering = Clustering::from_dense(raw, partitions.len().max(1));
     let cut_nets = inputs::cut_nets(graph, &merged_clustering);
 
-    CbitAssignment {
+    let assignment = CbitAssignment {
         partitions,
         clustering: merged_clustering,
         cut_nets,
         merges,
-    }
+        merge_attempts,
+    };
+    tracer.add("assign.merges", assignment.merges as u64);
+    tracer.add("assign.merge_attempts", assignment.merge_attempts as u64);
+    tracer.add("assign.partitions", assignment.partitions.len() as u64);
+    assignment
 }
 
 #[cfg(test)]
@@ -318,7 +344,11 @@ mod tests {
         let (g, clustering) = grouped(3);
         let before = inputs::cut_nets(&g, &clustering).len();
         let a = assign_cbit(&g, clustering, 3);
-        assert!(a.cut_nets.len() <= before, "{} > {before}", a.cut_nets.len());
+        assert!(
+            a.cut_nets.len() <= before,
+            "{} > {before}",
+            a.cut_nets.len()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use ppet_flow::CongestionProfile;
 use ppet_graph::{scc::Scc, CircuitGraph, NetId};
 use ppet_netlist::CellId;
+use ppet_trace::Tracer;
 
 use crate::budget::SccBudget;
 use crate::cluster::Clustering;
@@ -112,6 +113,23 @@ pub fn make_group(
     profile: &CongestionProfile,
     params: &MakeGroupParams,
 ) -> MakeGroupResult {
+    make_group_traced(graph, scc, profile, params, &Tracer::noop())
+}
+
+/// [`make_group`] with observability: reports the clustering outcome as
+/// `partition.*` counters (nets cut, clusters formed, boundaries used,
+/// nets forced internal by the SCC budget, oversized clusters).
+///
+/// The result is identical to the untraced call; a disabled tracer
+/// records nothing.
+#[must_use]
+pub fn make_group_traced(
+    graph: &CircuitGraph,
+    scc: &Scc,
+    profile: &CongestionProfile,
+    params: &MakeGroupParams,
+    tracer: &Tracer,
+) -> MakeGroupResult {
     let n = graph.num_nodes();
     let mut state = vec![NetState::Undecided; n];
     let mut budget = SccBudget::new(graph, scc, params.beta);
@@ -171,7 +189,9 @@ pub fn make_group(
             .max_by_key(|&(id, inputs)| (inputs, std::cmp::Reverse(id)))
             .map(|(id, _)| id);
         let Some(worst) = worst else { break };
-        let Some(boundary) = boundary_iter.next() else { break };
+        let Some(boundary) = boundary_iter.next() else {
+            break;
+        };
         boundaries_used += 1;
         let (members, _) = clusters.remove(&worst).expect("cluster exists");
         split_subset(
@@ -214,14 +234,26 @@ pub fn make_group(
         .map(|(id, _)| id.index())
         .collect();
 
-    MakeGroupResult {
+    let result = MakeGroupResult {
         clustering,
         cut_nets,
         forced_internal,
         boundaries_used,
         oversized,
         locked_cluster,
-    }
+    };
+    tracer.add("partition.nets_cut", result.cut_nets.len() as u64);
+    tracer.add(
+        "partition.clusters_formed",
+        result.clustering.num_clusters() as u64,
+    );
+    tracer.add("partition.boundaries_used", result.boundaries_used as u64);
+    tracer.add(
+        "partition.forced_internal",
+        result.forced_internal.len() as u64,
+    );
+    tracer.add("partition.oversized", result.oversized.len() as u64);
+    result
 }
 
 /// `Make_Set` (paper Table 5): splits `subset` into weakly connected
@@ -240,7 +272,8 @@ fn split_subset(
     clusters: &mut HashMap<u32, (Vec<CellId>, usize)>,
 ) {
     // Union-find over subset positions.
-    let index_of: HashMap<CellId, usize> = subset.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index_of: HashMap<CellId, usize> =
+        subset.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut parent: Vec<usize> = (0..subset.len()).collect();
     fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
@@ -417,7 +450,10 @@ mod tests {
     #[test]
     fn locked_cells_form_their_own_untouched_cluster() {
         let (g, scc, profile) = setup();
-        let locked: Vec<_> = ["G12", "G13", "G7"].iter().map(|n| g.find(n).unwrap()).collect();
+        let locked: Vec<_> = ["G12", "G13", "G7"]
+            .iter()
+            .map(|n| g.find(n).unwrap())
+            .collect();
         let r = make_group(
             &g,
             &scc,

@@ -234,7 +234,12 @@ mod tests {
             5,
         );
         let tuned = anneal(&g, &SaParams::new(6, 3), 5);
-        assert!(tuned.cost <= frozen.cost, "{} > {}", tuned.cost, frozen.cost);
+        assert!(
+            tuned.cost <= frozen.cost,
+            "{} > {}",
+            tuned.cost,
+            frozen.cost
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub enum PartitionIssue {
 impl std::fmt::Display for PartitionIssue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::InputConstraint { cluster, inputs, lk } => {
+            Self::InputConstraint {
+                cluster,
+                inputs,
+                lk,
+            } => {
                 write!(f, "cluster {cluster} has {inputs} inputs > l_k = {lk}")
             }
             Self::Coverage {

@@ -1,0 +1,537 @@
+//! Offline drop-in replacement for the subset of the `proptest` API that
+//! the ppet test suite uses.
+//!
+//! This build environment has no network access and no vendored registry,
+//! so the real `proptest` crate cannot be fetched. The workspace therefore
+//! aliases `proptest = { package = "ppet-proptest-shim", ... }`, and every
+//! `use proptest::...` in the test files resolves here unchanged.
+//!
+//! Scope (deliberately small, just what the suite needs):
+//!
+//! - the [`proptest!`] macro, including `#![proptest_config(...)]`,
+//!   multiple test functions per block, doc comments and attributes, and
+//!   `pattern in strategy` argument lists;
+//! - [`Strategy`] with [`Strategy::prop_map`], integer range strategies
+//!   (`1usize..8`, `4u32..=16`), [`any`], tuple strategies, [`Just`], and
+//!   [`collection::vec`];
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Unlike the real proptest there is **no shrinking** and no persisted
+//! failure seeds: each test function draws its cases from a fixed
+//! deterministic stream derived from the test's name, so failures
+//! reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use ppet_prng::{Rng, Xoshiro256PlusPlus};
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; the runner redraws.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds the failure variant from any printable message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject => write!(f, "rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Per-block runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 32 cases — smaller than upstream's 256 to keep the offline test
+    /// suite quick; blocks that need more ask for it explicitly.
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The deterministic random stream strategies draw from.
+#[derive(Debug, Clone)]
+pub struct TestRng(Xoshiro256PlusPlus);
+
+impl TestRng {
+    /// Seeds the stream from the test's name (FNV-1a), so every test owns
+    /// a fixed, machine-independent sequence of cases.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(Xoshiro256PlusPlus::seed_from(hash))
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of values for one `pattern in strategy` argument.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (no shrinking to preserve).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy ([`any`]).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`: `any::<u64>()`, `any::<u16>()`, ...
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy {}..{}", self.start, self.end);
+                let off = (rng.next_u64() as u128 % span as u128) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let span = (end as i128) - (start as i128) + 1;
+                assert!(span > 0, "empty range strategy {start}..={end}");
+                let off = (rng.next_u64() as u128 % span as u128) as i128;
+                ((start as i128) + off) as $t
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for collection strategies. Only `usize`-typed
+    /// ranges convert into it, which pins the type of unsuffixed literals
+    /// like `1..40` (mirroring proptest's `SizeRange`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        start: usize,
+        /// Exclusive upper bound.
+        end: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                start: *r.start(),
+                end: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                start: len,
+                end: len + 1,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let SizeRange { start, end } = self.len;
+            assert!(end > start, "empty length range for collection::vec");
+            let span = (end - start) as u64;
+            let n = start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The case-driving loop behind the [`proptest!`] macro.
+pub mod runner {
+    use super::{ProptestConfig, Strategy, TestCaseError, TestRng};
+
+    /// Runs `body` on `config.cases` generated values, panicking on the
+    /// first failure. Rejected cases (`prop_assume!`) are redrawn and do
+    /// not count, up to a bounded number of retries.
+    pub fn run<S, F>(name: &str, config: &ProptestConfig, strategy: S, mut body: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::for_test(name);
+        let max_rejects = config.cases.saturating_mul(16).max(256);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut drawn = 0u32;
+        while passed < config.cases {
+            let value = strategy.generate(&mut rng);
+            drawn += 1;
+            match body(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "[{name}] too many cases rejected by prop_assume! \
+                         ({rejected} rejections for {passed} passes)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "[{name}] case {drawn} (of {} requested): {msg}",
+                        config.cases
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #![proptest_config(...)] fn ... }`.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a
+/// `#[test]`-able function that draws its arguments from the strategies
+/// and runs the body under [`runner::run`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::runner::run(
+                ::core::stringify!($name),
+                &config,
+                ($($strat,)+),
+                |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                $($fmt)+
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left, right, ::std::format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left, right, ::std::format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case; the runner draws a replacement.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = (1usize..8).generate(&mut rng);
+            assert!((1..8).contains(&v));
+            let w = (4u32..=16).generate(&mut rng);
+            assert!((4..=16).contains(&w));
+            let s = (-5i64..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        let (da, db, dc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(da, db);
+        assert_ne!(da, dc);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = TestRng::for_test("vec_strategy_respects_length_range");
+        let strat = collection::vec((any::<u32>(), any::<u32>()), 1usize..40);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: args, doc comments, tuples, prop_map.
+        #[test]
+        fn macro_roundtrip(x in any::<u16>(), (lo, hi) in (0u32..10, 10u32..20)) {
+            prop_assert!(lo < hi, "{lo} vs {hi}");
+            prop_assert_eq!(u32::from(x) + lo, lo + u32::from(x));
+            prop_assert_ne!(hi, lo);
+            prop_assume!(x % 2 == 0);
+        }
+
+        #[test]
+        fn mapped_strategies_compose(v in (1usize..5).prop_map(|n| n * 2)) {
+            prop_assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+    }
+}

@@ -156,10 +156,6 @@ mod tests {
     #[test]
     fn collapse_ratio_in_expected_band_for_s27() {
         let col = collapse(&data::s27());
-        assert!(
-            (0.4..0.9).contains(&col.ratio()),
-            "ratio {}",
-            col.ratio()
-        );
+        assert!((0.4..0.9).contains(&col.ratio()), "ratio {}", col.ratio());
     }
 }

@@ -148,7 +148,10 @@ mod tests {
             value: StuckAt::One,
         };
         let d = f.describe(&c);
-        assert!(d.contains("G8") && d.contains("s-a-1") && d.contains("G6"), "{d}");
+        assert!(
+            d.contains("G8") && d.contains("s-a-1") && d.contains("G6"),
+            "{d}"
+        );
     }
 
     #[test]

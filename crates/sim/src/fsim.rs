@@ -226,7 +226,6 @@ impl<'c> FaultSim<'c> {
         }
         newly
     }
-
 }
 
 #[cfg(test)]
@@ -297,7 +296,9 @@ mod tests {
         let mut fs = FaultSim::with_faults(&c, vec![stem, branch]).unwrap();
         // Exhaust the 4 PIs x a few register states.
         for state in 0..8u64 {
-            let dffs: Vec<u64> = (0..3).map(|i| if (state >> i) & 1 == 1 { u64::MAX } else { 0 }).collect();
+            let dffs: Vec<u64> = (0..3)
+                .map(|i| if (state >> i) & 1 == 1 { u64::MAX } else { 0 })
+                .collect();
             let pis: Vec<u64> = (0..4).map(pattern_word).collect();
             fs.apply_block_counted(&pis, &dffs, 16);
         }

@@ -53,10 +53,7 @@ impl Levelized {
                 indegree[id.index()] = cell.fanin().len();
             }
         }
-        let mut order: Vec<CellId> = circuit
-            .ids()
-            .filter(|v| indegree[v.index()] == 0)
-            .collect();
+        let mut order: Vec<CellId> = circuit.ids().filter(|v| indegree[v.index()] == 0).collect();
         let fanouts = circuit.fanouts();
         let mut head = 0;
         while head < order.len() {
@@ -76,9 +73,7 @@ impl Levelized {
         } else {
             let cell = circuit
                 .ids()
-                .find(|v| {
-                    circuit.cell(*v).kind().is_combinational() && indegree[v.index()] > 0
-                })
+                .find(|v| circuit.cell(*v).kind().is_combinational() && indegree[v.index()] > 0)
                 .expect("some gate remains blocked on a cycle");
             Err(LevelizeError { cell })
         }
@@ -131,10 +126,7 @@ mod tests {
         let lv = Levelized::of(&c).unwrap();
         // All DFFs and PIs appear before any gate that reads them; in
         // particular the first 7 slots are exactly the 4 PIs + 3 DFFs.
-        let heads: Vec<CellKind> = lv.order()[..7]
-            .iter()
-            .map(|&v| c.cell(v).kind())
-            .collect();
+        let heads: Vec<CellKind> = lv.order()[..7].iter().map(|&v| c.cell(v).kind()).collect();
         assert!(heads
             .iter()
             .all(|k| matches!(k, CellKind::Input | CellKind::Dff)));

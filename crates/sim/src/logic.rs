@@ -7,7 +7,7 @@
 
 use ppet_netlist::{CellId, CellKind, Circuit};
 
-use crate::levelize::{Levelized, LevelizeError};
+use crate::levelize::{LevelizeError, Levelized};
 
 /// A compiled combinational evaluator for one circuit.
 ///

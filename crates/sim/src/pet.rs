@@ -15,7 +15,7 @@ use ppet_netlist::{CellId, CellKind, Circuit};
 use ppet_prng::{Rng, Xoshiro256PlusPlus};
 
 use crate::fsim::{CoverageReport, FaultSim};
-use crate::levelize::{Levelized, LevelizeError};
+use crate::levelize::{LevelizeError, Levelized};
 
 /// Error raised by segment extraction or exhaustive simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,9 +105,9 @@ pub fn extract_segment(circuit: &Circuit, members: &[CellId]) -> Segment {
     // Segment inputs: external drivers of member pins, member register
     // outputs, member PIs.
     let add_input = |seg: &mut Circuit,
-                         new_id: &mut Vec<Option<CellId>>,
-                         input_origin: &mut Vec<CellId>,
-                         cell: CellId| {
+                     new_id: &mut Vec<Option<CellId>>,
+                     input_origin: &mut Vec<CellId>,
+                     cell: CellId| {
         if new_id[cell.index()].is_none() {
             let id = seg
                 .add_input(circuit.cell(cell).name())
@@ -159,9 +159,10 @@ pub fn extract_segment(circuit: &Circuit, members: &[CellId]) -> Segment {
         if !circuit.cell(m).kind().is_combinational() {
             continue;
         }
-        let leaves = fanouts.of(m).iter().any(|&s| {
-            !member_set[s.index()] || circuit.cell(s).kind() == CellKind::Dff
-        });
+        let leaves = fanouts
+            .of(m)
+            .iter()
+            .any(|&s| !member_set[s.index()] || circuit.cell(s).kind() == CellKind::Dff);
         if leaves || circuit.is_output(m) {
             let id = new_id[m.index()].expect("member materialized");
             seg.mark_output(id).expect("id valid");

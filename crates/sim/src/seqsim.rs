@@ -197,11 +197,7 @@ impl<'c> SequentialFaultSim<'c> {
             let values = self.eval_faulty(fault, pi_words, &state);
             if let Observe::OutputsEveryCycle = self.observe {
                 let outs = self.sim.outputs(&values);
-                if outs
-                    .iter()
-                    .zip(&good_outs)
-                    .any(|(a, b)| a != b)
-                {
+                if outs.iter().zip(&good_outs).any(|(a, b)| a != b) {
                     self.detected[fi] = true;
                 }
             }
@@ -273,12 +269,8 @@ mod tests {
     fn register_end_observation_needs_finish() {
         let c = data::s27();
         let regs: Vec<CellId> = c.flip_flops().collect();
-        let mut sim = SequentialFaultSim::new(
-            &c,
-            all_faults(&c),
-            Observe::RegistersAtEnd(regs),
-        )
-        .unwrap();
+        let mut sim =
+            SequentialFaultSim::new(&c, all_faults(&c), Observe::RegistersAtEnd(regs)).unwrap();
         let mut rng = Xoshiro256PlusPlus::seed_from(9);
         for _ in 0..32 {
             let pis: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
@@ -322,8 +314,7 @@ mod tests {
             site: FaultSite::Output(q),
             value: StuckAt::One,
         };
-        let mut sim =
-            SequentialFaultSim::new(&c, vec![fault], Observe::OutputsEveryCycle).unwrap();
+        let mut sim = SequentialFaultSim::new(&c, vec![fault], Observe::OutputsEveryCycle).unwrap();
         sim.clock(&[0]);
         assert!(sim.detected()[0]);
     }

@@ -14,7 +14,7 @@
 
 use ppet_netlist::{CellId, CellKind, Circuit};
 
-use crate::levelize::{Levelized, LevelizeError};
+use crate::levelize::{LevelizeError, Levelized};
 
 /// A 64-lane three-valued word: lane `i` is `1` if `ones` bit `i` is set,
 /// `0` if `zeros` bit `i` is set, `X` if neither.
@@ -198,9 +198,7 @@ impl<'c> XSim<'c> {
             return Some(0);
         }
         for cycle in 0..max_cycles {
-            let pis: Vec<XWord> = (0..self.inputs.len())
-                .map(|i| stimulus(cycle, i))
-                .collect();
+            let pis: Vec<XWord> = (0..self.inputs.len()).map(|i| stimulus(cycle, i)).collect();
             let _ = self.clock(&pis);
             if self.state.iter().all(|w| w.fully_known()) {
                 return Some(cycle + 1);
@@ -318,7 +316,12 @@ mod tests {
         let bvals = bin.eval(&pis, &state);
         for id in c.ids() {
             assert!(xvals[id.index()].fully_known());
-            assert_eq!(xvals[id.index()].ones, bvals[id.index()], "{}", c.cell(id).name());
+            assert_eq!(
+                xvals[id.index()].ones,
+                bvals[id.index()],
+                "{}",
+                c.cell(id).name()
+            );
         }
     }
 }

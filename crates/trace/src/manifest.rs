@@ -1,0 +1,334 @@
+//! The self-describing JSON run manifest: one document that pins down a
+//! Merced run — circuit, seed, configuration, per-phase wall time and
+//! counters, and run totals — so results are attributable and diffable.
+
+use std::fmt;
+
+use crate::json::{self, Value};
+
+/// Manifest schema tag; bump on breaking layout changes.
+pub const SCHEMA: &str = "ppet-trace/v1";
+
+/// One pipeline phase in a [`RunManifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseManifest {
+    /// Phase name (the span name, e.g. `saturate_network`).
+    pub name: String,
+    /// Wall-clock nanoseconds spent in the phase.
+    pub wall_ns: u64,
+    /// Counter values attributed to the phase, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A machine-readable record of one compiler run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Circuit name the run compiled.
+    pub circuit: String,
+    /// PRNG seed the run used.
+    pub seed: u64,
+    /// Configuration key/value pairs, in insertion order.
+    pub config: Vec<(String, String)>,
+    /// The pipeline phases in execution order.
+    pub phases: Vec<PhaseManifest>,
+    /// Counter totals summed across phases, sorted by name.
+    pub totals: Vec<(String, u64)>,
+}
+
+impl RunManifest {
+    /// An empty manifest for `circuit` and `seed`.
+    #[must_use]
+    pub fn new(circuit: impl Into<String>, seed: u64) -> Self {
+        RunManifest {
+            schema: SCHEMA.to_owned(),
+            circuit: circuit.into(),
+            seed,
+            config: Vec::new(),
+            phases: Vec::new(),
+            totals: Vec::new(),
+        }
+    }
+
+    /// Appends a configuration entry (order is preserved).
+    pub fn push_config(&mut self, key: impl Into<String>, value: impl fmt::Display) {
+        self.config.push((key.into(), value.to_string()));
+    }
+
+    /// Appends a phase. `counters` is sorted by name for stable output.
+    pub fn push_phase(
+        &mut self,
+        name: impl Into<String>,
+        wall_ns: u64,
+        mut counters: Vec<(String, u64)>,
+    ) {
+        counters.sort();
+        self.phases.push(PhaseManifest {
+            name: name.into(),
+            wall_ns,
+            counters,
+        });
+    }
+
+    /// Recomputes [`RunManifest::totals`] as the per-name sum of all
+    /// phase counters.
+    pub fn compute_totals(&mut self) {
+        let mut totals = std::collections::BTreeMap::<&str, u64>::new();
+        for phase in &self.phases {
+            for (name, value) in &phase.counters {
+                *totals.entry(name).or_insert(0) += value;
+            }
+        }
+        self.totals = totals
+            .into_iter()
+            .map(|(name, value)| (name.to_owned(), value))
+            .collect();
+    }
+
+    /// Serializes the manifest as pretty-printed JSON (2-space indent,
+    /// stable field order — byte-identical for identical runs).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        field(&mut out, 1, "schema", &json::escaped(&self.schema), true);
+        field(&mut out, 1, "circuit", &json::escaped(&self.circuit), true);
+        field(&mut out, 1, "seed", &self.seed.to_string(), true);
+
+        out.push_str("  \"config\": {");
+        for (i, (key, value)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json::escaped(key));
+            out.push_str(": ");
+            out.push_str(&json::escaped(value));
+        }
+        if !self.config.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+
+        out.push_str("  \"phases\": [");
+        for (i, phase) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            field(&mut out, 3, "name", &json::escaped(&phase.name), true);
+            field(&mut out, 3, "wall_ns", &phase.wall_ns.to_string(), true);
+            out.push_str("      \"counters\": {");
+            write_counters(&mut out, 4, &phase.counters);
+            out.push_str("}\n    }");
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+
+        out.push_str("  \"totals\": {");
+        write_counters(&mut out, 2, &self.totals);
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a manifest back from [`RunManifest::to_json`] output (or
+    /// any JSON document with the same shape). Checks the schema tag.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing `schema`")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema `{schema}` (want `{SCHEMA}`)"));
+        }
+        let circuit = doc
+            .get("circuit")
+            .and_then(Value::as_str)
+            .ok_or("missing `circuit`")?
+            .to_owned();
+        let seed = doc
+            .get("seed")
+            .and_then(Value::as_u64)
+            .ok_or("missing `seed`")?;
+        let config = doc
+            .get("config")
+            .and_then(Value::as_obj)
+            .ok_or("missing `config`")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|s| (k.clone(), s.to_owned()))
+                    .ok_or_else(|| format!("config `{k}` is not a string"))
+            })
+            .collect::<Result<_, _>>()?;
+        let phases = doc
+            .get("phases")
+            .and_then(Value::as_arr)
+            .ok_or("missing `phases`")?
+            .iter()
+            .map(parse_phase)
+            .collect::<Result<_, _>>()?;
+        let totals = doc
+            .get("totals")
+            .and_then(Value::as_obj)
+            .ok_or("missing `totals`")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("total `{k}` is not a u64"))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(RunManifest {
+            schema: schema.to_owned(),
+            circuit,
+            seed,
+            config,
+            phases,
+            totals,
+        })
+    }
+
+    /// The counter value `name` summed across all phases, if recorded.
+    #[must_use]
+    pub fn total(&self, name: &str) -> Option<u64> {
+        self.totals.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+}
+
+fn field(out: &mut String, depth: usize, key: &str, rendered: &str, comma: bool) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&json::escaped(key));
+    out.push_str(": ");
+    out.push_str(rendered);
+    if comma {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn write_counters(out: &mut String, depth: usize, counters: &[(String, u64)]) {
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&json::escaped(name));
+        out.push_str(": ");
+        out.push_str(&value.to_string());
+    }
+    if !counters.is_empty() {
+        out.push('\n');
+        for _ in 0..depth.saturating_sub(1) {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn parse_phase(value: &Value) -> Result<PhaseManifest, String> {
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("phase missing `name`")?
+        .to_owned();
+    let wall_ns = value
+        .get("wall_ns")
+        .and_then(Value::as_u64)
+        .ok_or("phase missing `wall_ns`")?;
+    let counters = value
+        .get("counters")
+        .and_then(Value::as_obj)
+        .ok_or("phase missing `counters`")?
+        .iter()
+        .map(|(k, v)| {
+            v.as_u64()
+                .map(|n| (k.clone(), n))
+                .ok_or_else(|| format!("counter `{k}` is not a u64"))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(PhaseManifest {
+        name,
+        wall_ns,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("s27", 0xdead_beef_dead_beef);
+        m.push_config("cbit_length", 4);
+        m.push_config("beta", 2.0);
+        m.push_phase(
+            "saturate_network",
+            1_234_567,
+            vec![
+                ("flow.trees_built".to_owned(), 42),
+                ("flow.heap_pops".to_owned(), 999),
+            ],
+        );
+        m.push_phase(
+            "make_group",
+            89_000,
+            vec![("partition.nets_cut".to_owned(), 7)],
+        );
+        m.compute_totals();
+        m
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let m = sample();
+        let text = m.to_json();
+        let back = RunManifest::from_json(&text).expect("parses");
+        assert_eq!(back, m);
+        // And serialization is stable.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn phase_counters_are_sorted_and_totalled() {
+        let m = sample();
+        assert_eq!(
+            m.phases[0].counters,
+            vec![
+                ("flow.heap_pops".to_owned(), 999),
+                ("flow.trees_built".to_owned(), 42)
+            ]
+        );
+        assert_eq!(m.total("flow.heap_pops"), Some(999));
+        assert_eq!(m.total("partition.nets_cut"), Some(7));
+        assert_eq!(m.total("missing"), None);
+    }
+
+    #[test]
+    fn large_seeds_survive() {
+        let m = sample();
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.seed, 0xdead_beef_dead_beef);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = sample().to_json().replace(SCHEMA, "other/v9");
+        assert!(RunManifest::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn empty_sections_serialize_cleanly() {
+        let m = RunManifest::new("c", 1);
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+}

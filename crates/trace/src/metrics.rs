@@ -1,0 +1,284 @@
+//! The metrics registry: named monotonic counters, gauges, and fixed
+//! log-bucket `u64` histograms.
+//!
+//! Handles returned by the registry are cheap `Arc` clones over atomics,
+//! so a hot loop can look its counter up once and bump it without
+//! touching the registry lock again. All atomics use relaxed ordering —
+//! metrics are statistics, not synchronization.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A named monotonic counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-value-wins gauge handle (stores `f64` bits atomically).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Replaces the gauge value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per bit length.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// A fixed log-bucket histogram of `u64` samples.
+///
+/// Bucket `0` holds zeros; bucket `i >= 1` holds values with bit length
+/// `i`, i.e. the half-open range `[2^(i-1), 2^i)`. Good enough to answer
+/// "how big do Dijkstra trees get" without configuring bucket bounds.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then(|| {
+                    let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    (lower, count)
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A copy of a [`Histogram`]'s state: total count, total sum, and the
+/// non-empty buckets as `(lower_bound, count)` pairs in ascending order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// The registry of all named metrics produced by one traced run.
+///
+/// Names are `&'static str` by design: every instrumentation site names
+/// its metric with a literal, so recording never allocates.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    registry: Mutex<Registry>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut reg = self.registry.lock().unwrap();
+        reg.counters.entry(name).or_default().clone()
+    }
+
+    /// Adds `delta` to the counter named `name`.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut reg = self.registry.lock().unwrap();
+        reg.gauges.entry(name).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let mut reg = self.registry.lock().unwrap();
+        reg.histograms.entry(name).or_default().clone()
+    }
+
+    /// All counter values, sorted by name.
+    #[must_use]
+    pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
+        let reg = self.registry.lock().unwrap();
+        reg.counters
+            .iter()
+            .map(|(name, c)| ((*name).to_owned(), c.get()))
+            .collect()
+    }
+
+    /// All gauge values, sorted by name.
+    #[must_use]
+    pub fn gauges_snapshot(&self) -> BTreeMap<String, f64> {
+        let reg = self.registry.lock().unwrap();
+        reg.gauges
+            .iter()
+            .map(|(name, g)| ((*name).to_owned(), g.get()))
+            .collect()
+    }
+
+    /// All histogram states, sorted by name.
+    #[must_use]
+    pub fn histograms_snapshot(&self) -> BTreeMap<String, HistogramSnapshot> {
+        let reg = self.registry.lock().unwrap();
+        reg.histograms
+            .iter()
+            .map(|(name, h)| ((*name).to_owned(), h.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_and_monotone() {
+        let metrics = Metrics::new();
+        let a = metrics.counter("x");
+        let b = metrics.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(metrics.counter("x").get(), 3);
+
+        // Monotone: successive snapshots never decrease.
+        let mut last = 0;
+        for _ in 0..10 {
+            a.inc();
+            let now = metrics.counters_snapshot()["x"];
+            assert!(now > last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn gauges_store_last_value() {
+        let metrics = Metrics::new();
+        metrics.gauge("g").set(-2.5);
+        assert_eq!(metrics.gauge("g").get(), -2.5);
+        metrics.gauge("g").set(7.0);
+        assert_eq!(metrics.gauges_snapshot()["g"], 7.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 9);
+        assert_eq!(
+            snap.sum,
+            0u64.wrapping_add(1 + 2 + 3 + 4 + 7 + 8 + 1000)
+                .wrapping_add(u64::MAX)
+        );
+        // zero bucket, [1,2), [2,4) x2, [4,8) x2, [8,16), [512,1024), top.
+        assert_eq!(
+            snap.buckets,
+            vec![
+                (0, 1),
+                (1, 1),
+                (2, 2),
+                (4, 2),
+                (8, 1),
+                (512, 1),
+                (1 << 63, 1)
+            ]
+        );
+        assert!(snap.mean() > 0.0);
+    }
+}

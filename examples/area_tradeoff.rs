@@ -15,10 +15,16 @@ use ppet::core::{Merced, MercedConfig};
 use ppet::netlist::synth::iscas89_like;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s641".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s641".to_string());
     let circuit =
         iscas89_like(&name).ok_or_else(|| format!("unknown benchmark circuit `{name}`"))?;
-    println!("Circuit: {} ({} cells)\n", circuit.name(), circuit.num_cells());
+    println!(
+        "Circuit: {} ({} cells)\n",
+        circuit.name(),
+        circuit.num_cells()
+    );
 
     println!("l_k sweep (beta = 50):");
     println!(
@@ -44,12 +50,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         "beta", "nets cut", "cuts/SCC", "forced", "ovh w/ (%)"
     );
     for beta in [1usize, 2, 5, 10, 50] {
-        let r = Merced::new(
-            MercedConfig::default()
-                .with_cbit_length(16)
-                .with_beta(beta),
-        )
-        .compile(&circuit)?;
+        let r = Merced::new(MercedConfig::default().with_cbit_length(16).with_beta(beta))
+            .compile(&circuit)?;
         println!(
             "{:>5} {:>10} {:>10} {:>10} {:>12.1}",
             beta,

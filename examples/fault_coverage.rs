@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (circuit, lk) in circuits {
         println!("=== {} (l_k = {lk}) ===", circuit.name());
         use ppet::core::{Merced, MercedConfig};
-        let compilation = Merced::new(MercedConfig::default().with_cbit_length(lk))
-            .compile_detailed(&circuit)?;
+        let compilation =
+            Merced::new(MercedConfig::default().with_cbit_length(lk)).compile_detailed(&circuit)?;
         let assigned = &compilation.assignment;
         println!(
             "  {} partitions, {} cut nets",

@@ -39,9 +39,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (i, comp) in scc.components().iter().enumerate() {
         if comp.len() > 1 {
             let names: Vec<&str> = comp.iter().map(|&v| graph.node_name(v)).collect();
-            println!("  SCC {i} (f = {}): {}",
+            println!(
+                "  SCC {i} (f = {}): {}",
                 scc.registers_in(ppet::graph::scc::SccId(i as u32)),
-                names.join(", "));
+                names.join(", ")
+            );
         }
     }
 

@@ -44,8 +44,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("=== {} (l_k = {lk}) ===", circuit.name());
 
         // 1. Compile.
-        let compilation = Merced::new(MercedConfig::default().with_cbit_length(lk))
-            .compile_detailed(&circuit)?;
+        let compilation =
+            Merced::new(MercedConfig::default().with_cbit_length(lk)).compile_detailed(&circuit)?;
         println!(
             "  compiled: {} partitions, {} cut nets, {:.1}% overhead w/ retiming \
              ({:.1}% without)",
@@ -87,12 +87,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                 !inst.circuit.cell(cell).name().starts_with("ppet_")
             })
             .collect();
-        let signature_regs: Vec<_> = inst
-            .cbits
-            .iter()
-            .flatten()
-            .map(|b| b.register)
-            .collect();
+        let signature_regs: Vec<_> = inst.cbits.iter().flatten().map(|b| b.register).collect();
         let mut session = SequentialFaultSim::new(
             &inst.circuit,
             functional_faults,

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, and the full test suite.
+# Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --no-deps --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> ci: all green"

@@ -19,6 +19,8 @@
 //!   CBIT cost models, test-pipe scheduling;
 //! * [`sim`] — gate-level logic and stuck-at fault simulation,
 //!   pseudo-exhaustive coverage measurement;
+//! * [`trace`] — structured pipeline tracing: spans, counters, and the
+//!   JSON run manifest (`merced --trace-json`);
 //! * [`core`] — **Merced**, the end-to-end BIST compiler.
 //!
 //! # Quick start
@@ -45,3 +47,4 @@ pub use ppet_netlist as netlist;
 pub use ppet_partition as partition;
 pub use ppet_prng as prng;
 pub use ppet_sim as sim;
+pub use ppet_trace as trace;

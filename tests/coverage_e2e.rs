@@ -9,7 +9,10 @@ use ppet::partition::{assign_cbit, make_group, MakeGroupParams};
 use ppet::sim::collapse::collapse;
 use ppet::sim::pet::{exhaustive_coverage, extract_segment, random_coverage};
 
-fn partition_members(circuit: &ppet::netlist::Circuit, lk: usize) -> Vec<Vec<ppet::netlist::CellId>> {
+fn partition_members(
+    circuit: &ppet::netlist::Circuit,
+    lk: usize,
+) -> Vec<Vec<ppet::netlist::CellId>> {
     let graph = CircuitGraph::from_circuit(circuit);
     let scc = Scc::of(&graph);
     let profile = saturate_network(&graph, &FlowParams::quick(), 1996);

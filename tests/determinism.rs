@@ -5,8 +5,8 @@
 use ppet::core::{Merced, MercedConfig};
 use ppet::flow::{saturate_network, FlowParams};
 use ppet::graph::CircuitGraph;
-use ppet::netlist::synth::{calibrated_spec, iscas89_like};
 use ppet::netlist::data::table9;
+use ppet::netlist::synth::{calibrated_spec, iscas89_like};
 use ppet::netlist::Synthesizer;
 use ppet::partition::sa::{anneal, SaParams};
 

@@ -48,8 +48,12 @@ fn johnson_ring_initialization_is_preserved_by_in_ring_retiming() {
     // so the initialization depth stays within one lap of the ring.
     let mut orig = XSim::new(&c).unwrap();
     let mut retd = XSim::new(&retimed).unwrap();
-    let d0 = orig.initialization_depth(|_, _| XWord::known(0), 32).unwrap();
-    let d1 = retd.initialization_depth(|_, _| XWord::known(0), 32).unwrap();
+    let d0 = orig
+        .initialization_depth(|_, _| XWord::known(0), 32)
+        .unwrap();
+    let d1 = retd
+        .initialization_depth(|_, _| XWord::known(0), 32)
+        .unwrap();
     assert_eq!(d0, n as u64);
     assert!(d1 <= 2 * n as u64, "retimed ring took {d1} cycles");
 }

@@ -16,7 +16,11 @@ use ppet::prng::{Rng, Xoshiro256PlusPlus};
 use ppet::sim::logic::{SequentialSim, Simulator};
 
 fn s27_cuts(c: &Circuit) -> Vec<ppet::netlist::NetId> {
-    vec![c.find("G10").unwrap(), c.find("G11").unwrap(), c.find("G12").unwrap()]
+    vec![
+        c.find("G10").unwrap(),
+        c.find("G11").unwrap(),
+        c.find("G12").unwrap(),
+    ]
 }
 
 #[test]
@@ -99,25 +103,34 @@ fn test_mode_signature_detects_an_injected_fault() {
     let faulty_src = data::S27_BENCH.replace("G12 = NOR(G1, G7)", "G12 = OR(G1, G7)");
     let faulty = ppet::netlist::bench_format::parse("s27", &faulty_src).unwrap();
 
-    let signature = |c: &Circuit| -> Vec<u64> {
+    // Signature = the CBIT register values over the last 8 of 64 test
+    // cycles. A single 3-bit snapshot aliases with probability 1/8; the
+    // window stands in for the wider MISR a real session would size to
+    // make aliasing negligible.
+    let signature = |c: &Circuit| -> Vec<Vec<u64>> {
         let inst = insert_test_hardware(c, std::slice::from_ref(&cuts)).unwrap();
         let sim = Simulator::new(&inst.circuit).unwrap();
         let mut seq = SequentialSim::new(&sim);
         let n = sim.inputs().len();
-        for _ in 0..64 {
+        let mut window = Vec::new();
+        for cycle in 0..64 {
             let mut pis = vec![0u64; n];
             pis[n - 2] = 1; // B1
             pis[n - 1] = 0; // B2: test mode
             let _ = seq.clock(&pis);
+            if cycle >= 56 {
+                window.push(
+                    inst.cbits[0]
+                        .iter()
+                        .map(|bit| {
+                            let pos = sim.dffs().iter().position(|&d| d == bit.register).unwrap();
+                            seq.state()[pos] & 1
+                        })
+                        .collect(),
+                );
+            }
         }
-        // Signature = the CBIT register values.
-        inst.cbits[0]
-            .iter()
-            .map(|bit| {
-                let pos = sim.dffs().iter().position(|&d| d == bit.register).unwrap();
-                seq.state()[pos] & 1
-            })
-            .collect()
+        window
     };
 
     let clean = signature(&circuit);
@@ -145,7 +158,10 @@ fn instrumentation_counts_add_up() {
         .filter(|(_, cell)| cell.name().starts_with("ppet_"))
         .count();
     let expected_min = inst.converted_cuts.len() * 3 + inst.mux_cuts.len() * 8;
-    assert!(added_gates >= expected_min, "{added_gates} < {expected_min}");
+    assert!(
+        added_gates >= expected_min,
+        "{added_gates} < {expected_min}"
+    );
 }
 
 #[test]
@@ -172,15 +188,12 @@ fn works_on_synthetic_circuits() {
     assert!(!cuts.is_empty());
     let inst = insert_test_hardware(&circuit, std::slice::from_ref(&cuts)).unwrap();
     assert!(ppet::netlist::validate::find_combinational_cycle(&inst.circuit).is_none());
-    assert_eq!(
-        inst.converted_cuts.len() + inst.mux_cuts.len(),
-        {
-            let mut c = cuts.clone();
-            c.sort_unstable();
-            c.dedup();
-            c.len()
-        }
-    );
+    assert_eq!(inst.converted_cuts.len() + inst.mux_cuts.len(), {
+        let mut c = cuts.clone();
+        c.sort_unstable();
+        c.dedup();
+        c.len()
+    });
 }
 
 #[test]

@@ -1,0 +1,59 @@
+//! The disabled tracer must be free on the saturation hot path: compiling
+//! with `Tracer::noop()` performs exactly the allocations of the untraced
+//! call. A counting global allocator makes the comparison exact — which is
+//! why this check lives in its own test binary, alone on its thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ppet::flow::{saturate_network, saturate_network_traced, FlowParams};
+use ppet::graph::CircuitGraph;
+use ppet::netlist::data;
+use ppet::trace::Tracer;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn noop_tracing_allocates_nothing_extra_in_saturation() {
+    let graph = CircuitGraph::from_circuit(&data::s27());
+    let params = FlowParams::quick();
+    // Warm the shared no-op tracer (its first use initializes a OnceLock)
+    // and both code paths, so the measured runs hit steady state.
+    let tracer = Tracer::noop();
+    let _ = saturate_network(&graph, &params, 11);
+    let _ = saturate_network_traced(&graph, &params, 11, &tracer);
+
+    let plain = allocations_during(|| {
+        let _ = saturate_network(&graph, &params, 11);
+    });
+    let traced = allocations_during(|| {
+        let _ = saturate_network_traced(&graph, &params, 11, &tracer);
+    });
+    assert!(plain > 0, "saturation allocates its result vectors");
+    assert_eq!(
+        traced, plain,
+        "a disabled tracer must not allocate on the hot path"
+    );
+}

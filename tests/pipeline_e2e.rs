@@ -18,7 +18,10 @@ fn s27_full_pipeline_all_cbit_lengths() {
             "lk={lk}: {:?}",
             report.partitions
         );
-        assert!(report.area.pct_with() <= report.area.pct_without(), "lk={lk}");
+        assert!(
+            report.area.pct_with() <= report.area.pct_without(),
+            "lk={lk}"
+        );
         // Consistency: converted + mux bits account for every cut.
         let w = &report.area.with_retiming;
         assert_eq!(w.converted_bits + w.mux_bits, report.nets_cut, "lk={lk}");
@@ -61,11 +64,9 @@ fn parse_compile_roundtrip() {
 fn retiming_saving_is_nonnegative_across_seeds() {
     let circuit = iscas89_like("s641").expect("calibrated");
     for seed in [1u64, 2, 3, 1996] {
-        let report = Merced::new(
-            MercedConfig::default().with_cbit_length(16).with_seed(seed),
-        )
-        .compile(&circuit)
-        .expect("compiles");
+        let report = Merced::new(MercedConfig::default().with_cbit_length(16).with_seed(seed))
+            .compile(&circuit)
+            .expect("compiles");
         assert!(
             report.area.saving_pct() >= 0.0,
             "seed {seed}: {}",
@@ -88,5 +89,8 @@ fn headline_claim_retiming_saves_cbit_area_on_the_small_suite() {
         savings.push(report.area.saving_pct());
     }
     let avg = savings.iter().sum::<f64>() / savings.len() as f64;
-    assert!(avg >= 10.0, "average saving {avg:.1}% below floor: {savings:?}");
+    assert!(
+        avg >= 10.0,
+        "average saving {avg:.1}% below floor: {savings:?}"
+    );
 }

@@ -35,7 +35,14 @@ fn display_is_multiline_and_complete() {
     let r = report();
     let text = r.to_string();
     assert!(text.lines().count() >= 6, "{text}");
-    for needle in ["Merced report", "partitioning:", "CBIT hardware:", "area overhead:", "testing time:", "compile time:"] {
+    for needle in [
+        "Merced report",
+        "partitioning:",
+        "CBIT hardware:",
+        "area overhead:",
+        "testing time:",
+        "compile time:",
+    ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
 }
