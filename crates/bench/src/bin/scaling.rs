@@ -1,0 +1,163 @@
+//! Measures the wall-clock scaling of the `ppet-exec` consumers —
+//! parallel saturation, fault-parallel simulation, and batch compilation —
+//! across worker counts, and writes the results to `BENCH_scaling.json`.
+//!
+//! Every configuration first checks that its result is bit-identical to
+//! the 1-worker run (the determinism contract), then times it. The JSON
+//! records the host's available parallelism alongside the numbers: on a
+//! single-core machine every worker count necessarily lands within noise
+//! of sequential, so speedups are only meaningful when
+//! `available_workers > 1`.
+//!
+//! Usage: `scaling [out.json]` (default `BENCH_scaling.json`).
+
+use std::time::Instant;
+
+use ppet_bench::build_circuit;
+use ppet_core::{compile_batch, Merced, MercedConfig};
+use ppet_exec::{available_workers, Pool};
+use ppet_flow::{saturate_network_par, FlowParams};
+use ppet_graph::CircuitGraph;
+use ppet_netlist::data::table9;
+use ppet_prng::{Rng, Xoshiro256PlusPlus};
+use ppet_sim::fsim::FaultSim;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+/// Runs `f` `REPS` times and returns the fastest wall time in ns.
+fn best_ns(mut f: impl FnMut()) -> u64 {
+    (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+struct Row {
+    workers: usize,
+    saturate_ns: u64,
+    fsim_ns: u64,
+    batch_ns: u64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scaling.json".to_string());
+
+    // Saturation workload: a mid-size suite circuit, 8 replica streams.
+    let record = table9::find("s1423").expect("suite circuit");
+    let circuit = build_circuit(record);
+    let graph = CircuitGraph::from_circuit(&circuit);
+    let flow = FlowParams::budgeted(graph.num_nodes(), 6).with_replicas(8);
+
+    // Fault-simulation workload: random pattern blocks over the full
+    // collapsed fault list.
+    let mut rng = Xoshiro256PlusPlus::seed_from(3);
+    let blocks: Vec<(Vec<u64>, Vec<u64>)> = (0..8)
+        .map(|_| {
+            let pis = (0..circuit.num_inputs()).map(|_| rng.next_u64()).collect();
+            let dffs = (0..circuit.num_flip_flops())
+                .map(|_| rng.next_u64())
+                .collect();
+            (pis, dffs)
+        })
+        .collect();
+
+    // Batch workload: four smaller circuits compiled concurrently.
+    let batch_circuits: Vec<_> = ["s510", "s641", "s713", "s820"]
+        .iter()
+        .map(|name| build_circuit(table9::find(name).expect("suite circuit")))
+        .collect();
+    let mut batch_flow = FlowParams::paper();
+    batch_flow.max_trees = Some(256);
+    let merced = Merced::new(
+        MercedConfig::default()
+            .with_cbit_length(16)
+            .with_flow(batch_flow),
+    );
+
+    let baseline_profile = saturate_network_par(&graph, &flow, 7, &Pool::sequential());
+    let mut rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        let pool = Pool::new(workers);
+
+        // Determinism check before timing.
+        assert_eq!(
+            saturate_network_par(&graph, &flow, 7, &pool),
+            baseline_profile,
+            "saturation must be worker-count invariant"
+        );
+
+        let saturate_ns = best_ns(|| {
+            let _ = saturate_network_par(&graph, &flow, 7, &pool);
+        });
+        let fsim_ns = best_ns(|| {
+            let mut fs = FaultSim::new(&circuit).expect("levelizes");
+            for (pis, dffs) in &blocks {
+                fs.apply_block_par(pis, dffs, &pool);
+            }
+        });
+        let batch_ns = best_ns(|| {
+            let outcome = compile_batch(&merced, &batch_circuits, &pool);
+            assert_eq!(outcome.failed(), 0);
+        });
+        eprintln!(
+            "workers {workers}: saturate {:.1} ms, fsim {:.1} ms, batch {:.1} ms",
+            saturate_ns as f64 / 1e6,
+            fsim_ns as f64 / 1e6,
+            batch_ns as f64 / 1e6
+        );
+        rows.push(Row {
+            workers,
+            saturate_ns,
+            fsim_ns,
+            batch_ns,
+        });
+    }
+
+    let speedup = |ns: &dyn Fn(&Row) -> u64, workers: usize| -> f64 {
+        let base = rows.first().map(ns).unwrap_or(1).max(1);
+        let at = rows
+            .iter()
+            .find(|r| r.workers == workers)
+            .map(ns)
+            .unwrap_or(base)
+            .max(1);
+        base as f64 / at as f64
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"ppet-bench-scaling/v1\",\n");
+    json.push_str(&format!("  \"circuit\": \"{}\",\n", record.name));
+    json.push_str(&format!("  \"cells\": {},\n", circuit.num_cells()));
+    json.push_str(&format!("  \"replicas\": {},\n", flow.replicas));
+    json.push_str(&format!(
+        "  \"available_workers\": {},\n",
+        available_workers()
+    ));
+    json.push_str(&format!(
+        "  \"saturate_speedup_4w\": {:.3},\n",
+        speedup(&|r: &Row| r.saturate_ns, 4)
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"saturate_ns\": {}, \"fsim_ns\": {}, \"batch_ns\": {}}}{}\n",
+            row.workers,
+            row.saturate_ns,
+            row.fsim_ns,
+            row.batch_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write scaling results");
+    println!("wrote {out_path}");
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! merced <netlist.bench> [options]
+//! merced batch <netlist.bench>... [options]
 //!
 //! Options:
 //!   --lk <N>           CBIT length / input constraint (default 16)
@@ -10,28 +11,38 @@
 //!   --policy <P>       with-retiming cost policy: scc | solver (default scc)
 //!   --per-branch       per-branch flow accounting (default per-net)
 //!   --max-trees <N>    cap on saturation trees (default unbounded)
+//!   --jobs <N|max>     worker threads (default $PPET_JOBS, else 1); never
+//!                      changes results, capped at the available cores
+//!   --replicas <N>     saturation replica streams (default 1 = the paper's
+//!                      sequential loop; changes the deterministic result)
 //!   --emit <out.bench> write the PPET-instrumented netlist
 //!   --quiet            print only the Table-10-style row
 //!   --trace            print the span tree + counters to stderr
-//!   --trace-json <out> write the JSON run manifest
+//!   --trace-json <out> write the JSON run manifest (in batch mode: a
+//!                      directory receiving one manifest per job plus
+//!                      batch.json)
 //! ```
 
 use std::process::ExitCode;
 
 use ppet_core::instrument::{insert_test_hardware_traced, InstrumentOptions};
-use ppet_core::{Compilation, CostPolicy, Merced, MercedConfig, PpetReport};
+use ppet_core::{compile_batch, Compilation, CostPolicy, Merced, MercedConfig, PpetReport};
+use ppet_exec::Pool;
 use ppet_flow::FlowParams;
 use ppet_netlist::{bench_format, writer, Circuit};
 use ppet_trace::Tracer;
 
 struct Options {
-    input: String,
+    batch: bool,
+    inputs: Vec<String>,
     lk: usize,
     beta: usize,
     seed: u64,
     policy: CostPolicy,
     per_branch: bool,
     max_trees: Option<u64>,
+    jobs: Option<usize>,
+    replicas: u32,
     emit: Option<String>,
     quiet: bool,
     trace: bool,
@@ -41,13 +52,16 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
-        input: String::new(),
+        batch: false,
+        inputs: Vec::new(),
         lk: 16,
         beta: 50,
         seed: 1996,
         policy: CostPolicy::PaperScc,
         per_branch: false,
         max_trees: None,
+        jobs: None,
+        replicas: 1,
         emit: None,
         quiet: false,
         trace: false,
@@ -59,6 +73,12 @@ fn parse_args() -> Result<Options, String> {
             "--beta" => opts.beta = next_value(&mut args, "--beta")?,
             "--seed" => opts.seed = next_value(&mut args, "--seed")?,
             "--max-trees" => opts.max_trees = Some(next_value(&mut args, "--max-trees")?),
+            "--jobs" => {
+                let text = args.next().ok_or("--jobs expects a value".to_string())?;
+                let jobs = ppet_exec::parse_jobs(&text).map_err(|e| format!("--jobs: {e}"))?;
+                opts.jobs = Some(jobs);
+            }
+            "--replicas" => opts.replicas = next_value(&mut args, "--replicas")?,
             "--policy" => {
                 opts.policy = match args.next().as_deref() {
                     Some("scc") => CostPolicy::PaperScc,
@@ -77,12 +97,22 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--help" | "-h" => return Err(usage()),
-            _ if opts.input.is_empty() && !arg.starts_with('-') => opts.input = arg,
+            "batch" if opts.inputs.is_empty() && !opts.batch => opts.batch = true,
+            _ if !arg.starts_with('-') => opts.inputs.push(arg),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
-    if opts.input.is_empty() {
+    if opts.inputs.is_empty() {
         return Err(usage());
+    }
+    if !opts.batch && opts.inputs.len() > 1 {
+        return Err(format!(
+            "multiple netlists given; use `merced batch` to compile several\n{}",
+            usage()
+        ));
+    }
+    if opts.batch && opts.emit.is_some() {
+        return Err("--emit is not supported in batch mode".to_string());
     }
     Ok(opts)
 }
@@ -100,32 +130,80 @@ fn next_value<T: std::str::FromStr>(
 fn usage() -> String {
     "usage: merced <netlist.bench> [--lk N] [--beta N] [--seed N] \
      [--policy scc|solver] [--per-branch] [--max-trees N] \
-     [--emit out.bench] [--quiet] [--trace] [--trace-json out.json]"
+     [--jobs N|max] [--replicas N] \
+     [--emit out.bench] [--quiet] [--trace] [--trace-json out.json]\n\
+     \x20      merced batch <netlist.bench>... [same options; --trace-json \
+     names a directory]"
         .to_string()
 }
 
-fn run(opts: &Options, tracer: &Tracer) -> Result<(Circuit, Compilation), String> {
-    let text = std::fs::read_to_string(&opts.input)
-        .map_err(|e| format!("cannot read {}: {e}", opts.input))?;
-    let name = std::path::Path::new(&opts.input)
+fn load_circuit(path: &str) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("circuit")
         .to_string();
-    let circuit = bench_format::parse(&name, &text).map_err(|e| e.to_string())?;
-    let mut flow = FlowParams::paper();
+    bench_format::parse(&name, &text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn build_config(opts: &Options, jobs: usize) -> MercedConfig {
+    let mut flow = FlowParams::paper().with_replicas(opts.replicas);
     flow.per_branch = opts.per_branch;
     flow.max_trees = opts.max_trees;
-    let config = MercedConfig::default()
+    MercedConfig::default()
         .with_cbit_length(opts.lk)
         .with_beta(opts.beta)
         .with_seed(opts.seed)
         .with_cost_policy(opts.policy)
-        .with_flow(flow);
-    let compilation = Merced::new(config)
+        .with_flow(flow)
+        .with_jobs(jobs)
+}
+
+fn run(opts: &Options, jobs: usize, tracer: &Tracer) -> Result<(Circuit, Compilation), String> {
+    let circuit = load_circuit(&opts.inputs[0])?;
+    let compilation = Merced::new(build_config(opts, jobs))
         .compile_detailed_traced(&circuit, tracer)
         .map_err(|e| e.to_string())?;
     Ok((circuit, compilation))
+}
+
+fn run_batch(opts: &Options, jobs: usize) -> Result<ExitCode, String> {
+    let circuits: Vec<Circuit> = opts
+        .inputs
+        .iter()
+        .map(|path| load_circuit(path))
+        .collect::<Result<_, _>>()?;
+    let merced = Merced::new(build_config(opts, jobs));
+    let pool = Pool::new(jobs);
+    let outcome = compile_batch(&merced, &circuits, &pool);
+    println!("{}", outcome.table());
+    if !opts.quiet {
+        println!(
+            "batch: {} compiled, {} failed, {} worker(s)",
+            outcome.succeeded(),
+            outcome.failed(),
+            pool.workers()
+        );
+    }
+    if let Some(dir) = &opts.trace_json {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for manifest in outcome.manifests() {
+            let path = dir.join(format!("{}.json", manifest.circuit));
+            std::fs::write(&path, manifest.to_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        let path = dir.join("batch.json");
+        std::fs::write(&path, outcome.summary.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(if outcome.failed() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn emit_instrumented(
@@ -176,13 +254,37 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // --jobs wins; otherwise PPET_JOBS; otherwise 1. Capped at the
+    // available cores — results are identical at any worker count.
+    let jobs = match ppet_exec::resolve_jobs(opts.jobs) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("--jobs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.trace {
+        eprintln!(
+            "jobs: {jobs} worker(s) effective ({} available)",
+            ppet_exec::available_workers()
+        );
+    }
+    if opts.batch {
+        return match run_batch(&opts, jobs) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let (tracer, sink) = if opts.trace {
         let (tracer, sink) = Tracer::collecting();
         (tracer, Some(sink))
     } else {
         (Tracer::noop(), None)
     };
-    match run(&opts, &tracer) {
+    match run(&opts, jobs, &tracer) {
         Ok((circuit, compilation)) => {
             if opts.quiet {
                 println!("{}", PpetReport::table10_header());

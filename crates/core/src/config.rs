@@ -55,6 +55,12 @@ pub struct MercedConfig {
     pub cost_policy: CostPolicy,
     /// I/O latency freedom for the solver policy.
     pub io_latency: IoLatency,
+    /// Worker threads for the parallel pipeline phases (the saturation
+    /// replicas of [`FlowParams::replicas`] and batch compilation). A pure
+    /// resource decision: any value produces bit-identical results — only
+    /// `flow.replicas` (part of the experiment definition) changes them.
+    /// Default 1 (fully sequential).
+    pub jobs: usize,
 }
 
 impl MercedConfig {
@@ -107,6 +113,13 @@ impl MercedConfig {
         self
     }
 
+    /// Sets the worker-thread count (see [`MercedConfig::jobs`]).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Validates the configuration; returns a description of the first
     /// problem, or `None`.
     #[must_use]
@@ -119,6 +132,9 @@ impl MercedConfig {
         }
         if self.beta == 0 {
             return Some("beta must be at least 1".to_string());
+        }
+        if self.jobs == 0 {
+            return Some("jobs must be at least 1".to_string());
         }
         self.flow.validate()
     }
@@ -134,6 +150,7 @@ impl Default for MercedConfig {
             cost_source: CostSource::PaperTable,
             cost_policy: CostPolicy::PaperScc,
             io_latency: IoLatency::Flexible,
+            jobs: 1,
         }
     }
 }
@@ -168,6 +185,18 @@ mod tests {
             .validate()
             .unwrap()
             .contains("beta"));
+        assert!(MercedConfig::default()
+            .with_jobs(0)
+            .validate()
+            .unwrap()
+            .contains("jobs"));
+    }
+
+    #[test]
+    fn jobs_default_sequential() {
+        let c = MercedConfig::default();
+        assert_eq!(c.jobs, 1);
+        assert_eq!(MercedConfig::default().with_jobs(8).jobs, 8);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod config;
 pub mod cost;
 mod error;
@@ -43,6 +44,7 @@ pub mod instrument;
 mod merced;
 pub mod report;
 
+pub use batch::{compile_batch, BatchOutcome};
 pub use config::{CostPolicy, MercedConfig};
 pub use error::MercedError;
 pub use merced::{Compilation, Merced};

@@ -4,7 +4,8 @@ use std::time::Instant;
 
 use ppet_cbit::cost::CbitCostModel;
 use ppet_cbit::schedule::{CutSpec, TestSchedule};
-use ppet_flow::saturate_network_traced;
+use ppet_exec::Pool;
+use ppet_flow::saturate_network_par_traced;
 use ppet_graph::{scc::Scc, CircuitGraph};
 use ppet_netlist::{AreaModel, Circuit, CircuitStats};
 use ppet_partition::{assign_cbit_traced, inputs, make_group_traced, MakeGroupParams};
@@ -167,11 +168,15 @@ impl Merced {
             ],
         });
 
-        // STEP 3: Assign_CBIT = saturate + cluster + merge.
+        // STEP 3: Assign_CBIT = saturate + cluster + merge. The saturation
+        // replicas (config.flow.replicas, default 1 = the paper's
+        // sequential loop) run on config.jobs workers; the result is
+        // bit-identical at any worker count.
         let phase_start = Instant::now();
+        let pool = Pool::new(self.config.jobs.max(1));
         let profile = {
             let _span = tracer.span("saturate_network");
-            saturate_network_traced(&graph, &self.config.flow, self.config.seed, tracer)
+            saturate_network_par_traced(&graph, &self.config.flow, self.config.seed, &pool, tracer)
         };
         let search = profile.search_stats();
         phases.push(PhaseMetrics {
@@ -181,6 +186,7 @@ impl Merced {
                 ("flow.heap_pops", search.heap_pops),
                 ("flow.nodes_settled", search.settled),
                 ("flow.relaxations", search.relaxations),
+                ("flow.replicas", u64::from(self.config.flow.replicas)),
                 ("flow.trees_built", profile.num_trees() as u64),
             ],
         });
@@ -337,6 +343,7 @@ impl Merced {
             cbit_length: self.config.cbit_length,
             beta: self.config.beta,
             seed: self.config.seed,
+            jobs: self.config.jobs,
             dffs: circuit.num_flip_flops(),
             dffs_on_scc: scc.registers_on_cyclic(),
             nets_cut: cuts.len(),

@@ -92,6 +92,9 @@ pub struct PpetReport {
     pub beta: usize,
     /// Flow seed used.
     pub seed: u64,
+    /// Configured worker-thread count. Purely informational: results are
+    /// bit-identical at any value (see `MercedConfig::jobs`).
+    pub jobs: usize,
     /// Registers in the circuit ("No. of DFFs").
     pub dffs: usize,
     /// Registers inside cyclic SCCs ("DFFs on SCC").
@@ -160,6 +163,7 @@ impl PpetReport {
         let mut manifest = RunManifest::new(self.circuit.name.clone(), self.seed);
         manifest.push_config("cbit_length", self.cbit_length);
         manifest.push_config("beta", self.beta);
+        manifest.push_config("jobs", self.jobs);
         for phase in &self.phases {
             manifest.push_phase(
                 phase.name,
@@ -242,6 +246,7 @@ mod tests {
             cbit_length: 4,
             beta: 50,
             seed: 1,
+            jobs: 1,
             dffs: 3,
             dffs_on_scc: 3,
             nets_cut: 5,
@@ -317,6 +322,7 @@ mod tests {
         assert_eq!(m.seed, 1);
         assert_eq!(m.phases.len(), 1);
         assert_eq!(m.total("flow.trees_built"), Some(60));
+        assert!(m.config.contains(&("jobs".to_owned(), "1".to_owned())));
         let back = RunManifest::from_json(&m.to_json()).expect("round-trips");
         assert_eq!(back, m);
     }

@@ -1,0 +1,45 @@
+//! `ppet-exec`: the deterministic parallel execution engine of the `ppet`
+//! workspace.
+//!
+//! The Merced pipeline's dominant costs — `Saturate_Network`'s repeated
+//! randomized Dijkstra trees and pseudo-exhaustive fault simulation — are
+//! embarrassingly parallel, but the workspace's reason for existing is
+//! *reproducible* experiments: a given seed must produce the exact same
+//! report on every machine, at every `--jobs` setting. This crate
+//! reconciles the two with a scoped thread pool whose primitives are
+//! **bit-identical to sequential execution at any worker count**:
+//!
+//! - [`Pool::par_map`] — dynamic scheduling, results reassembled in item
+//!   order;
+//! - [`Pool::par_chunks`] — chunk boundaries depend only on the chunk
+//!   size, never on the worker count;
+//! - [`Pool::par_reduce`] — parallel map, then a fixed-order left fold,
+//!   so even floating-point accumulation is stable.
+//!
+//! The other half of the contract lives with callers: tasks must be pure
+//! functions of `(index, item)`. Stochastic tasks get there by deriving
+//! per-task PRNG streams (`ppet_prng::Xoshiro256PlusPlus::stream`, jump
+//! based and non-overlapping) instead of sharing one mutable generator.
+//!
+//! Worker counts resolve through [`resolve_jobs`]: explicit request, then
+//! the [`JOBS_ENV`] (`PPET_JOBS`) environment variable (`N` or `max`),
+//! then 1 — always capped at [`available_workers`]. Because results never
+//! depend on the worker count, the cap is a pure resource decision.
+//!
+//! ```
+//! use ppet_exec::Pool;
+//!
+//! let inputs: Vec<u64> = (0..64).collect();
+//! let a = Pool::new(8).par_map(&inputs, |_, &x| x.wrapping_mul(x));
+//! let b = Pool::sequential().par_map(&inputs, |_, &x| x.wrapping_mul(x));
+//! assert_eq!(a, b); // any worker count, same bits
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod jobs;
+mod pool;
+
+pub use jobs::{available_workers, parse_jobs, resolve_jobs, JobsError, JOBS_ENV};
+pub use pool::Pool;

@@ -1,0 +1,290 @@
+//! The scoped worker pool and its order-stable primitives.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use crate::jobs::{resolve_jobs, JobsError};
+
+/// A deterministic parallel executor over borrowed data.
+///
+/// `Pool` carries only a worker count; every call runs on
+/// [`std::thread::scope`] threads that may borrow from the caller's stack
+/// and are joined before the call returns. There is no task queue to
+/// drain, no detached state, and nothing to shut down.
+///
+/// # Determinism contract
+///
+/// Every primitive returns results **in item order**, regardless of which
+/// worker computed which item and in what order tasks finished. As long
+/// as the task function is a pure function of `(index, item)` — in
+/// particular, stochastic tasks must derive their randomness from a
+/// per-task PRNG stream (see `ppet_prng::Xoshiro256PlusPlus::stream`)
+/// rather than a shared generator — the output is bit-identical to
+/// sequential execution at *any* worker count.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_exec::Pool;
+///
+/// let squares = Pool::new(4).par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// // Worker count never changes the result:
+/// assert_eq!(squares, Pool::sequential().par_map(&[1u64, 2, 3, 4], |_, &x| x * x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with `workers` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`; command-line layers validate user input
+    /// through [`crate::resolve_jobs`] before constructing a pool.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a pool needs at least one worker");
+        Self { workers }
+    }
+
+    /// The single-worker pool: primitives run inline on the calling
+    /// thread, with zero thread overhead.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// A pool sized by [`crate::resolve_jobs`]`(None)`: the `PPET_JOBS`
+    /// environment variable when set (`N` or `max`), else one worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JobsError`] when `PPET_JOBS` is set but invalid.
+    pub fn from_env() -> Result<Self, JobsError> {
+        resolve_jobs(None).map(Self::new)
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f(index, &item)` to every item and returns the results in
+    /// item order.
+    ///
+    /// Work is distributed dynamically (an atomic cursor), so uneven task
+    /// sizes balance across workers; the dynamic schedule is invisible in
+    /// the output because results are reassembled by index. A panic in
+    /// any task propagates to the caller after the scope joins.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, U)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => {
+                        for (i, value) in local {
+                            slots[i] = Some(value);
+                        }
+                    }
+                    Err(payload) => panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index is claimed exactly once"))
+            .collect()
+    }
+
+    /// Applies `f(chunk_index, chunk)` to fixed-size chunks of `items` and
+    /// returns the results in chunk order.
+    ///
+    /// Chunk boundaries depend only on `chunk_size` (the last chunk may be
+    /// short), never on the worker count — the property that keeps
+    /// chunked reductions worker-count independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn par_chunks<T, U, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T]) -> U + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        self.par_map(&chunks, |i, chunk| f(i, chunk))
+    }
+
+    /// Maps every item in parallel, then folds the mapped values **in item
+    /// order** on the calling thread.
+    ///
+    /// Because the combine order is fixed, non-commutative and
+    /// non-associative accumulations (floating-point sums, congestion
+    /// merges) produce bit-identical results at any worker count: the
+    /// reduction is exactly `items.map(map).fold(init, combine)`.
+    pub fn par_reduce<T, U, A, M, C>(&self, items: &[T], map: M, init: A, combine: C) -> A
+    where
+        T: Sync,
+        U: Send,
+        M: Fn(usize, &T) -> U + Sync,
+        C: FnMut(A, U) -> A,
+    {
+        self.par_map(items, map).into_iter().fold(init, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_prng::{Rng, Xoshiro256PlusPlus};
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let out = Pool::new(workers).par_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 10
+            });
+            assert_eq!(out, (0..100).map(|x| x * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny() {
+        let empty: [u8; 0] = [];
+        assert!(Pool::new(8).par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(Pool::new(8).par_map(&[7u8], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn stochastic_tasks_are_worker_count_invariant() {
+        // Each task draws from its own PRNG stream; the aggregate must be
+        // identical no matter how many workers race over the tasks.
+        let base = Xoshiro256PlusPlus::seed_from(42);
+        let streams = base.streams(16);
+        let run = |workers: usize| -> Vec<u64> {
+            Pool::new(workers).par_map(&streams, |_, stream| {
+                let mut rng = stream.clone();
+                (0..1000).map(|_| rng.next_u64() % 97).sum()
+            })
+        };
+        let sequential = run(1);
+        for workers in [2, 4, 8, 16] {
+            assert_eq!(run(workers), sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_boundaries_are_fixed() {
+        let items: Vec<u32> = (0..10).collect();
+        for workers in [1, 2, 8] {
+            let lens = Pool::new(workers).par_chunks(&items, 4, |i, chunk| (i, chunk.len()));
+            assert_eq!(lens, vec![(0, 4), (1, 4), (2, 2)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_rejected() {
+        let _ = Pool::sequential().par_chunks(&[1], 0, |_, c| c.len());
+    }
+
+    #[test]
+    fn par_reduce_folds_in_item_order() {
+        // Subtraction is non-commutative and non-associative: any deviation
+        // from left-fold item order changes the result.
+        let items: Vec<i64> = (1..=50).collect();
+        let expected = items.iter().fold(0i64, |acc, &x| acc * 2 - x);
+        for workers in [1, 2, 7, 32] {
+            let got = Pool::new(workers).par_reduce(&items, |_, &x| x, 0i64, |acc, x| acc * 2 - x);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn float_sums_are_bit_identical_across_worker_counts() {
+        let base = Xoshiro256PlusPlus::seed_from(7);
+        let streams = base.streams(24);
+        let sum = |workers: usize| -> f64 {
+            Pool::new(workers).par_reduce(
+                &streams,
+                |_, stream| {
+                    let mut rng = stream.clone();
+                    (0..100).map(|_| rng.gen_f64()).sum::<f64>()
+                },
+                0.0f64,
+                |acc, x| acc + x,
+            )
+        };
+        let bits = sum(1).to_bits();
+        for workers in [2, 3, 8] {
+            assert_eq!(sum(workers).to_bits(), bits, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn task_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).par_map(&[0, 1, 2, 3, 4], |i, _| {
+                assert!(i != 3, "task three exploded");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn uneven_tasks_still_assemble_in_order() {
+        // Early tasks sleep so later tasks finish first; order must hold.
+        let items: Vec<u64> = (0..12).collect();
+        let out = Pool::new(4).par_map(&items, |_, &x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -19,6 +19,12 @@
 //! absorb flow from many sources and end up the most congested — exactly
 //! the nets whose removal dissects the circuit (the paper's Fig. 5).
 //!
+//! [`saturate_network_par`] runs the same process with the visit quota
+//! split across [`FlowParams::replicas`] independent PRNG streams on a
+//! `ppet_exec::Pool` — deterministic at any worker count: the result
+//! depends on `replicas` (part of the experiment definition), never on
+//! how many workers executed them.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,10 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod par;
 mod params;
 mod profile;
 mod saturate;
 
+pub use par::{saturate_network_par, saturate_network_par_traced};
 pub use params::FlowParams;
 pub use profile::CongestionProfile;
 pub use saturate::{saturate_network, saturate_network_traced};

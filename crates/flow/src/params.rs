@@ -38,6 +38,17 @@ pub struct FlowParams {
     /// the large-circuit harnesses set a budget of a few trees per node and
     /// record the deviation in `EXPERIMENTS.md`. `None` = unbounded.
     pub max_trees: Option<u64>,
+    /// Number of independent saturation replicas the visit quota is split
+    /// across (see `saturate_network_par`). `1` — the default — is the
+    /// paper's strictly sequential Table 3 loop. With `R > 1`, replica `r`
+    /// runs the same loop over its own non-overlapping PRNG stream with
+    /// `min_visit/R` of the quota (and its share of `max_trees`), and the
+    /// per-net flows are summed in replica order.
+    ///
+    /// The replica count is part of the *experiment definition*: it changes
+    /// the (still deterministic) result. The worker count executing the
+    /// replicas never does.
+    pub replicas: u32,
 }
 
 impl FlowParams {
@@ -52,7 +63,16 @@ impl FlowParams {
             min_visit: 20,
             per_branch: false,
             max_trees: None,
+            replicas: 1,
         }
+    }
+
+    /// This parameter set with the visit quota split across `replicas`
+    /// independent streams (see [`FlowParams::replicas`]).
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: u32) -> Self {
+        self.replicas = replicas;
+        self
     }
 
     /// A fast setting for unit tests and examples on small circuits
@@ -95,6 +115,16 @@ impl FlowParams {
             // exp(α·flow/cap) would overflow long before this; refuse.
             return Some("min_visit·delta/capacity is absurdly large".to_string());
         }
+        if self.replicas == 0 {
+            return Some("replicas must be at least 1".to_string());
+        }
+        if self.replicas > self.min_visit {
+            return Some(format!(
+                "replicas ({}) must not exceed min_visit ({}): every replica needs \
+                 at least one visit of the quota",
+                self.replicas, self.min_visit
+            ));
+        }
         None
     }
 }
@@ -131,6 +161,18 @@ mod tests {
         let mut p = FlowParams::paper();
         p.min_visit = 0;
         assert!(p.validate().unwrap().contains("min_visit"));
+        let mut p = FlowParams::paper();
+        p.replicas = 0;
+        assert!(p.validate().unwrap().contains("replicas"));
+        let p = FlowParams::quick().with_replicas(6); // quick: min_visit = 5
+        assert!(p.validate().unwrap().contains("exceed"));
+    }
+
+    #[test]
+    fn replica_split_within_quota_is_valid() {
+        let p = FlowParams::paper().with_replicas(8);
+        assert!(p.validate().is_none());
+        assert_eq!(p.replicas, 8);
     }
 
     #[test]

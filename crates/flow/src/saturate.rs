@@ -65,42 +65,106 @@ pub fn saturate_network_traced(
         panic!("invalid flow parameters: {problem}");
     }
     let n = graph.num_nodes();
-    let mut distance = vec![1.0f64; n];
-    let mut flow = vec![0.0f64; n];
-    let mut visits = vec![0u32; n];
-    let mut trees = 0usize;
     if n == 0 {
         return CongestionProfile {
-            distance,
-            flow,
-            visits,
-            trees,
+            distance: Vec::new(),
+            flow: Vec::new(),
+            visits: Vec::new(),
+            trees: 0,
             search: dijkstra::DijkstraStats::default(),
         };
     }
 
-    let mut rng = Xoshiro256PlusPlus::seed_from(seed ^ 0x5341_5455_5241_5445); // "SATURATE"
+    let rng = Xoshiro256PlusPlus::seed_from(seed ^ SATURATE_SALT);
+    let enabled = tracer.enabled(); // hoisted: one check, not one per tree
+    let outcome = run_replica(
+        graph,
+        params,
+        params.min_visit,
+        params.max_trees,
+        rng,
+        enabled,
+    );
+
+    if enabled {
+        for &size in &outcome.tree_sizes {
+            tracer.record("flow.tree_nodes", size);
+        }
+        tracer.add("flow.trees_built", outcome.trees as u64);
+        tracer.add("flow.heap_pops", outcome.search.heap_pops);
+        tracer.add("flow.relaxations", outcome.search.relaxations);
+        tracer.add("flow.nodes_settled", outcome.search.settled);
+    }
+
+    CongestionProfile {
+        distance: outcome.distance,
+        flow: outcome.flow,
+        visits: outcome.visits,
+        trees: outcome.trees,
+        search: outcome.search,
+    }
+}
+
+/// Seed salt for the saturation PRNG (ASCII "SATURATE"), shared by the
+/// sequential loop and every parallel replica stream.
+pub(crate) const SATURATE_SALT: u64 = 0x5341_5455_5241_5445;
+
+/// Everything one saturation replica produces: the locally evolved
+/// distances, the per-net flow it injected, its visit counts, and its
+/// Dijkstra work counters. `tree_sizes` is filled only when the caller
+/// wants tracing (one entry per tree, in tree order).
+#[derive(Debug, Clone)]
+pub(crate) struct ReplicaOutcome {
+    pub(crate) distance: Vec<f64>,
+    pub(crate) flow: Vec<f64>,
+    pub(crate) visits: Vec<u32>,
+    pub(crate) trees: usize,
+    pub(crate) search: dijkstra::DijkstraStats,
+    pub(crate) tree_sizes: Vec<u64>,
+}
+
+/// One run of the paper's Table 3 loop: `quota` is this replica's
+/// `min_visit` share, `tree_cap` its share of `FlowParams::max_trees`, and
+/// `rng` its private PRNG stream. The sequential algorithm is exactly one
+/// replica carrying the whole quota.
+///
+/// Determinism: the outcome is a pure function of
+/// `(graph, params, quota, tree_cap, rng)` — no shared mutable state — so
+/// replicas may execute on any worker in any order.
+pub(crate) fn run_replica(
+    graph: &CircuitGraph,
+    params: &FlowParams,
+    quota: u32,
+    tree_cap: Option<u64>,
+    mut rng: Xoshiro256PlusPlus,
+    collect_tree_sizes: bool,
+) -> ReplicaOutcome {
+    let n = graph.num_nodes();
+    let mut distance = vec![1.0f64; n];
+    let mut flow = vec![0.0f64; n];
+    let mut visits = vec![0u32; n];
+    let mut trees = 0usize;
+    let mut tree_sizes = Vec::new();
     let nodes: Vec<_> = graph.nodes().collect();
     let mut scratch = dijkstra::DijkstraScratch::new(n);
-    let enabled = tracer.enabled(); // hoisted: one check, not one per tree
 
     // STEP 3: continue until every node has been visited more than
-    // `min_visit` times (the paper's loop condition is
+    // `quota` times (the paper's loop condition is
     // `∃v: visit(v) <= min_visit`).
-    let mut below_count = n; // nodes with visit <= min_visit
+    let mut below_count = n; // nodes with visit <= quota
     while below_count > 0 {
-        if params.max_trees.is_some_and(|cap| trees as u64 >= cap) {
+        if tree_cap.is_some_and(|cap| trees as u64 >= cap) {
             break; // tree budget exhausted (see FlowParams::max_trees)
         }
         let v = nodes[rng.gen_index(n)];
         visits[v.index()] += 1;
-        if visits[v.index()] == params.min_visit + 1 {
+        if visits[v.index()] == quota + 1 {
             below_count -= 1;
         }
         scratch.run(graph, v, &distance);
         trees += 1;
-        if enabled {
-            tracer.record("flow.tree_nodes", scratch.visited_order().len() as u64);
+        if collect_tree_sizes {
+            tree_sizes.push(scratch.visited_order().len() as u64);
         }
         if params.per_branch {
             for (net, count) in scratch.tree_net_branch_counts() {
@@ -117,20 +181,13 @@ pub fn saturate_network_traced(
         }
     }
 
-    let search = scratch.stats();
-    if enabled {
-        tracer.add("flow.trees_built", trees as u64);
-        tracer.add("flow.heap_pops", search.heap_pops);
-        tracer.add("flow.relaxations", search.relaxations);
-        tracer.add("flow.nodes_settled", search.settled);
-    }
-
-    CongestionProfile {
+    ReplicaOutcome {
         distance,
         flow,
         visits,
         trees,
-        search,
+        search: scratch.stats(),
+        tree_sizes,
     }
 }
 

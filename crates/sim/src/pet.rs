@@ -11,8 +11,10 @@
 use std::error::Error;
 use std::fmt;
 
+use ppet_exec::Pool;
 use ppet_netlist::{CellId, CellKind, Circuit};
 use ppet_prng::{Rng, Xoshiro256PlusPlus};
+use ppet_trace::Tracer;
 
 use crate::fsim::{CoverageReport, FaultSim};
 use crate::levelize::{LevelizeError, Levelized};
@@ -199,6 +201,48 @@ pub fn counting_word(i: usize, block: u64) -> u64 {
 /// * [`PetError::TooManyInputs`] beyond [`MAX_EXHAUSTIVE_INPUTS`];
 /// * [`PetError::Levelize`] for cyclic netlists.
 pub fn exhaustive_coverage(circuit: &Circuit) -> Result<CoverageReport, PetError> {
+    exhaustive_coverage_par_traced(circuit, &Pool::sequential(), &Tracer::noop())
+}
+
+/// [`exhaustive_coverage`] with observability: records the simulation work
+/// as `fsim.*` counters (see [`exhaustive_coverage_par_traced`]).
+///
+/// # Errors
+///
+/// As [`exhaustive_coverage`].
+pub fn exhaustive_coverage_traced(
+    circuit: &Circuit,
+    tracer: &Tracer,
+) -> Result<CoverageReport, PetError> {
+    exhaustive_coverage_par_traced(circuit, &Pool::sequential(), tracer)
+}
+
+/// [`exhaustive_coverage`] with the undetected faults of each pattern
+/// block decided in parallel on `pool` (see
+/// [`FaultSim::apply_block_par`]). Bit-identical to the sequential sweep
+/// at any worker count.
+///
+/// # Errors
+///
+/// As [`exhaustive_coverage`].
+pub fn exhaustive_coverage_par(circuit: &Circuit, pool: &Pool) -> Result<CoverageReport, PetError> {
+    exhaustive_coverage_par_traced(circuit, pool, &Tracer::noop())
+}
+
+/// The fully general exhaustive sweep: fault-parallel on `pool`, reporting
+/// `fsim.blocks`, `fsim.fault_evals`, `fsim.patterns`, `fsim.detected`,
+/// and `fsim.faults` counters to `tracer`. All counters are accumulated by
+/// the calling thread after the sweep, so traced output is as
+/// worker-count independent as the coverage itself.
+///
+/// # Errors
+///
+/// As [`exhaustive_coverage`].
+pub fn exhaustive_coverage_par_traced(
+    circuit: &Circuit,
+    pool: &Pool,
+    tracer: &Tracer,
+) -> Result<CoverageReport, PetError> {
     let k = circuit.num_inputs();
     if k > MAX_EXHAUSTIVE_INPUTS {
         return Err(PetError::TooManyInputs {
@@ -214,13 +258,22 @@ pub fn exhaustive_coverage(circuit: &Circuit) -> Result<CoverageReport, PetError
         let block = pattern / 64;
         let valid = (total - pattern).min(64) as u32;
         let pis: Vec<u64> = (0..k).map(|i| counting_word(i, block)).collect();
-        fs.apply_block_counted(&pis, &dffs, valid);
+        fs.apply_block_par_counted(&pis, &dffs, valid, pool);
         pattern += u64::from(valid);
         if fs.report().detected == fs.report().total {
             break; // everything detectable found already
         }
     }
-    Ok(fs.report())
+    let report = fs.report();
+    if tracer.enabled() {
+        let stats = fs.stats();
+        tracer.add("fsim.blocks", stats.blocks);
+        tracer.add("fsim.fault_evals", stats.fault_evals);
+        tracer.add("fsim.patterns", report.patterns);
+        tracer.add("fsim.detected", report.detected as u64);
+        tracer.add("fsim.faults", report.total as u64);
+    }
+    Ok(report)
 }
 
 /// Random-pattern coverage with `n` patterns (the comparison the paper's §1
@@ -300,6 +353,56 @@ mod tests {
         assert!(report.coverage() < 1.0);
         // y stuck-at-1 is undetectable (y is constant 1).
         assert!(report.detected < report.total);
+    }
+
+    #[test]
+    fn parallel_coverage_is_worker_count_invariant() {
+        let c = data::s27();
+        let members: Vec<_> = c.ids().collect();
+        let seg = extract_segment(&c, &members);
+        let seq = exhaustive_coverage(&seg.circuit).unwrap();
+        for workers in [1, 2, 8] {
+            let par = exhaustive_coverage_par(&seg.circuit, &Pool::new(workers)).unwrap();
+            assert_eq!(par, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn traced_coverage_reports_consistent_counters() {
+        let c = data::s27();
+        let members: Vec<_> = c.ids().collect();
+        let seg = extract_segment(&c, &members);
+        let plain = exhaustive_coverage(&seg.circuit).unwrap();
+        let (tracer, sink) = Tracer::collecting();
+        let traced = exhaustive_coverage_par_traced(&seg.circuit, &Pool::new(4), &tracer).unwrap();
+        assert_eq!(plain, traced);
+
+        let report = sink.report();
+        assert_eq!(report.counters["fsim.patterns"], traced.patterns);
+        assert_eq!(report.counters["fsim.detected"], traced.detected as u64);
+        assert_eq!(report.counters["fsim.faults"], traced.total as u64);
+        assert_eq!(report.counters["fsim.blocks"], traced.patterns.div_ceil(64));
+        // Every block simulates at most the full fault list.
+        assert!(
+            report.counters["fsim.fault_evals"]
+                <= traced.total as u64 * traced.patterns.div_ceil(64)
+        );
+        assert!(report.counters["fsim.fault_evals"] >= traced.total as u64);
+    }
+
+    #[test]
+    fn traced_counters_are_worker_count_invariant() {
+        let c = data::s27();
+        let members: Vec<_> = c.ids().collect();
+        let seg = extract_segment(&c, &members);
+        let counters = |workers: usize| {
+            let (tracer, sink) = Tracer::collecting();
+            let _ =
+                exhaustive_coverage_par_traced(&seg.circuit, &Pool::new(workers), &tracer).unwrap();
+            sink.report().counters
+        };
+        let baseline = counters(1);
+        assert_eq!(counters(8), baseline);
     }
 
     #[test]

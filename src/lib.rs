@@ -17,6 +17,8 @@
 //!   merging (`Assign_CBIT`), plus the simulated-annealing baseline;
 //! * [`cbit`] — LFSR/MISR test hardware, primitive polynomials, A_CELL and
 //!   CBIT cost models, test-pipe scheduling;
+//! * [`exec`] — deterministic parallel execution: a scoped thread pool
+//!   whose results are bit-identical to sequential at any worker count;
 //! * [`sim`] — gate-level logic and stuck-at fault simulation,
 //!   pseudo-exhaustive coverage measurement;
 //! * [`trace`] — structured pipeline tracing: spans, counters, and the
@@ -41,6 +43,7 @@
 
 pub use ppet_cbit as cbit;
 pub use ppet_core as core;
+pub use ppet_exec as exec;
 pub use ppet_flow as flow;
 pub use ppet_graph as graph;
 pub use ppet_netlist as netlist;

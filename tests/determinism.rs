@@ -2,13 +2,16 @@
 //! bit-identical results from the same seed — the property that makes the
 //! EXPERIMENTS.md numbers stable.
 
-use ppet::core::{Merced, MercedConfig};
-use ppet::flow::{saturate_network, FlowParams};
+use ppet::core::{compile_batch, Merced, MercedConfig, PpetReport};
+use ppet::exec::Pool;
+use ppet::flow::{saturate_network, saturate_network_par, FlowParams};
 use ppet::graph::CircuitGraph;
 use ppet::netlist::data::table9;
 use ppet::netlist::synth::{calibrated_spec, iscas89_like};
-use ppet::netlist::Synthesizer;
+use ppet::netlist::{Circuit, Synthesizer};
 use ppet::partition::sa::{anneal, SaParams};
+use ppet::prng::{Rng, Xoshiro256PlusPlus};
+use ppet::sim::fsim::FaultSim;
 
 #[test]
 fn generator_is_reproducible() {
@@ -48,6 +51,132 @@ fn annealer_is_reproducible() {
     let b = anneal(&g, &SaParams::new(16, 4), 11);
     assert_eq!(a.clustering, b.clustering);
     assert_eq!(a.cost, b.cost);
+}
+
+/// The worker counts every parallel entry point must be invariant under.
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn parallel_saturation_is_worker_count_invariant() {
+    let c = iscas89_like("s510").unwrap();
+    let g = CircuitGraph::from_circuit(&c);
+    let params = FlowParams::paper().with_replicas(8);
+    let baseline = saturate_network_par(&g, &params, 77, &Pool::sequential());
+    for jobs in JOB_COUNTS {
+        let par = saturate_network_par(&g, &params, 77, &Pool::new(jobs));
+        assert_eq!(par, baseline, "jobs = {jobs}");
+    }
+    // And the single-replica parallel path is exactly the sequential loop.
+    let seq = saturate_network(&g, &FlowParams::paper(), 77);
+    assert_eq!(
+        saturate_network_par(&g, &FlowParams::paper(), 77, &Pool::new(8)),
+        seq
+    );
+}
+
+#[test]
+fn parallel_fault_simulation_is_worker_count_invariant() {
+    let c = iscas89_like("s510").unwrap();
+    let mut rng = Xoshiro256PlusPlus::seed_from(42);
+    let blocks: Vec<(Vec<u64>, Vec<u64>)> = (0..4)
+        .map(|_| {
+            let pis = (0..c.num_inputs()).map(|_| rng.next_u64()).collect();
+            let dffs = (0..c.num_flip_flops()).map(|_| rng.next_u64()).collect();
+            (pis, dffs)
+        })
+        .collect();
+
+    let mut seq = FaultSim::new(&c).unwrap();
+    for (pis, dffs) in &blocks {
+        seq.apply_block(pis, dffs);
+    }
+    for jobs in JOB_COUNTS {
+        let pool = Pool::new(jobs);
+        let mut par = FaultSim::new(&c).unwrap();
+        for (pis, dffs) in &blocks {
+            par.apply_block_par(pis, dffs, &pool);
+        }
+        assert_eq!(par.detected(), seq.detected(), "jobs = {jobs}");
+        assert_eq!(par.report(), seq.report(), "jobs = {jobs}");
+        assert_eq!(par.stats(), seq.stats(), "jobs = {jobs}");
+    }
+}
+
+/// Everything in a report except the wall-clock fields.
+fn deterministic_view(r: &PpetReport) -> PpetReport {
+    let mut r = r.clone();
+    r.elapsed = std::time::Duration::ZERO;
+    r.jobs = 0;
+    for p in &mut r.phases {
+        p.wall_ns = 0;
+    }
+    r
+}
+
+#[test]
+fn full_compile_is_worker_count_invariant() {
+    let c = iscas89_like("s641").unwrap();
+    let flow = FlowParams::paper().with_replicas(8);
+    let config = MercedConfig::default()
+        .with_cbit_length(16)
+        .with_seed(5)
+        .with_flow(flow);
+    let baseline = Merced::new(config.clone().with_jobs(1))
+        .compile(&c)
+        .unwrap();
+    for jobs in JOB_COUNTS {
+        let report = Merced::new(config.clone().with_jobs(jobs))
+            .compile(&c)
+            .unwrap();
+        assert_eq!(
+            deterministic_view(&report),
+            deterministic_view(&baseline),
+            "jobs = {jobs}"
+        );
+    }
+}
+
+#[test]
+fn batch_compiling_table9_at_max_parallelism_is_deterministic() {
+    // Every Table 9 circuit through `compile_batch` at high parallelism,
+    // with a small saturation tree budget so the stress test stays fast.
+    let circuits: Vec<Circuit> = table9::TABLE9
+        .iter()
+        .map(|r| iscas89_like(r.name).unwrap())
+        .collect();
+    let mut flow = FlowParams::paper();
+    flow.max_trees = Some(64);
+    let config = MercedConfig::default()
+        .with_cbit_length(16)
+        .with_seed(9)
+        .with_flow(flow);
+    let merced = Merced::new(config);
+
+    let baseline = compile_batch(&merced, &circuits, &Pool::sequential());
+    // The tight budget makes a couple of the big circuits fail with
+    // PartitionTooWide — that is fine, as long as failures are themselves
+    // deterministic and the bulk of the suite compiles.
+    assert!(
+        baseline.succeeded() >= 15,
+        "only {} compiled:\n{}",
+        baseline.succeeded(),
+        baseline.table()
+    );
+    let batch = compile_batch(&merced, &circuits, &Pool::new(8));
+    assert_eq!(batch.results.len(), table9::TABLE9.len());
+    for ((name_a, a), (name_b, b)) in batch.results.iter().zip(&baseline.results) {
+        assert_eq!(name_a, name_b);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    deterministic_view(a),
+                    deterministic_view(b),
+                    "circuit = {name_a}"
+                );
+            }
+            (a, b) => assert_eq!(a, b, "circuit = {name_a}"),
+        }
+    }
 }
 
 #[test]
