@@ -1,0 +1,220 @@
+//! CBIT structural checks: Table 1 sizing, LFSR polynomial primitivity,
+//! MISR geometry, and the Fig. 1 cascade wiring / test schedule.
+
+use ppet_cbit::lfsr::Lfsr;
+use ppet_cbit::misr::Misr;
+use ppet_cbit::poly::primitive_poly;
+use ppet_cbit::schedule::{CutSpec, TestSchedule};
+
+use crate::code::AuditCode;
+use crate::ctx::Ctx;
+use crate::gf2;
+use crate::report::AuditReport;
+
+/// The paper's standard CBIT lengths — the auditor's own copy, so a
+/// corrupted table in the compiler cannot vouch for itself.
+const STANDARD_LENGTHS: [u32; 6] = [4, 8, 12, 16, 24, 32];
+
+/// Largest length whose full LFSR period is walked exhaustively.
+const EXHAUSTIVE_PERIOD_LIMIT: u32 = 16;
+
+pub(crate) fn check(ctx: &Ctx<'_>, report: &mut AuditReport) {
+    let subject = ctx.subject;
+
+    // Sizing: each claimed length is the smallest standard length covering
+    // the re-derived input cone.
+    let mut sizing_bad = Vec::new();
+    let mut lengths_used: Vec<u32> = Vec::new();
+    for (k, row) in subject.claims.partitions.iter().enumerate() {
+        let width = ctx.derived_inputs.get(k).map_or(0, Vec::len) as u32;
+        let want = if width == 0 {
+            0
+        } else {
+            match STANDARD_LENGTHS.iter().copied().find(|&l| l >= width) {
+                Some(l) => l,
+                None => {
+                    sizing_bad.push(format!("p{k}: {width} inputs exceed every standard length"));
+                    continue;
+                }
+            }
+        };
+        if row.cbit_length != want {
+            sizing_bad.push(format!(
+                "p{k}: claimed length {}, {width} inputs need {want}",
+                row.cbit_length
+            ));
+        }
+        if want > 0 && !lengths_used.contains(&want) {
+            lengths_used.push(want);
+        }
+    }
+    if sizing_bad.is_empty() {
+        report.ok(
+            AuditCode::CbitLength,
+            format!(
+                "{} partitions sized onto lengths {lengths_used:?}",
+                subject.partitions.len()
+            ),
+        );
+    } else {
+        report.fail(AuditCode::CbitLength, sizing_bad.join("; "));
+    }
+
+    // Every CBIT the design instantiates uses a feedback polynomial the
+    // independent GF(2) order test certifies as primitive, and builds an
+    // LFSR/MISR of the right width (maximal period walked outright for the
+    // small lengths).
+    let mut poly_bad = Vec::new();
+    let mut misr_bad = Vec::new();
+    lengths_used.sort_unstable();
+    for &len in &lengths_used {
+        let Some(poly) = primitive_poly(len) else {
+            poly_bad.push(format!("no polynomial for length {len}"));
+            continue;
+        };
+        if !gf2::prove_primitive(poly, len) {
+            poly_bad.push(format!(
+                "polynomial {poly:#x} for length {len} is not primitive"
+            ));
+        }
+        let misr = Misr::new(poly);
+        if misr.width() != len {
+            misr_bad.push(format!(
+                "MISR for length {len} is {} bits wide",
+                misr.width()
+            ));
+        }
+        if len <= EXHAUSTIVE_PERIOD_LIMIT {
+            let period = Lfsr::new(poly, 1).period();
+            let want = (1u64 << len) - 1;
+            if period != want {
+                misr_bad.push(format!(
+                    "LFSR period {period} for length {len}, want {want}"
+                ));
+            }
+        }
+    }
+    if poly_bad.is_empty() {
+        report.ok(
+            AuditCode::CbitPolyPrimitive,
+            format!("independent order proof for lengths {lengths_used:?}"),
+        );
+    } else {
+        report.fail(AuditCode::CbitPolyPrimitive, poly_bad.join("; "));
+    }
+    if misr_bad.is_empty() {
+        report.ok(
+            AuditCode::CbitMisrWidth,
+            format!("MISR widths and periods verified for lengths {lengths_used:?}"),
+        );
+    } else {
+        report.fail(AuditCode::CbitMisrWidth, misr_bad.join("; "));
+    }
+
+    // Cascade wiring (Fig. 1): rebuild the generator/analyzer graph from
+    // the membership and cross-validate it against the cut set, then
+    // rebuild the schedule and compare the claimed testing times.
+    let n_parts = subject.partitions.len();
+    let cut_specs: Vec<CutSpec> = subject
+        .partitions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut analyzers: Vec<usize> = Vec::new();
+            for &m in &p.members {
+                if m.index() >= ctx.graph.num_nodes() {
+                    continue;
+                }
+                for &s in ctx.graph.net(m).sinks() {
+                    if let Some(home) = ctx.cluster_of[s.index()] {
+                        if home != i && !analyzers.contains(&home) {
+                            analyzers.push(home);
+                        }
+                    }
+                }
+                if ctx.graph.outputs().contains(&m) {
+                    let sink_id = n_parts + i;
+                    if !analyzers.contains(&sink_id) {
+                        analyzers.push(sink_id);
+                    }
+                }
+            }
+            CutSpec {
+                id: i,
+                input_width: ctx.derived_inputs[i].len() as u32,
+                generator_cbits: vec![i],
+                analyzer_cbits: analyzers,
+            }
+        })
+        .collect();
+
+    let mut wiring_bad = Vec::new();
+    for spec in &cut_specs {
+        for &a in &spec.analyzer_cbits {
+            if a == spec.id {
+                wiring_bad.push(format!("p{}: analyzes into its own generator", spec.id));
+            } else if a >= n_parts && a != n_parts + spec.id {
+                wiring_bad.push(format!("p{}: analyzer id {a} out of range", spec.id));
+            }
+        }
+    }
+    // Independent cross-validation: every cut net's sink partition must be
+    // wired as an analyzer of the driver's partition.
+    for &cut in &ctx.derived_cuts {
+        let Some(driver) = ctx.cluster_of[cut.index()] else {
+            continue;
+        };
+        for &s in ctx.graph.net(cut).sinks() {
+            if let Some(home) = ctx.cluster_of[s.index()] {
+                if home != driver && !cut_specs[driver].analyzer_cbits.contains(&home) {
+                    wiring_bad.push(format!(
+                        "cut {cut}: p{driver} does not analyze into p{home}"
+                    ));
+                }
+            }
+        }
+    }
+    if wiring_bad.is_empty() {
+        report.ok(
+            AuditCode::CbitCascadeWiring,
+            format!(
+                "{} segments wired consistently with {} cuts",
+                n_parts,
+                ctx.derived_cuts.len()
+            ),
+        );
+    } else {
+        wiring_bad.truncate(3);
+        report.fail(AuditCode::CbitCascadeWiring, wiring_bad.join("; "));
+    }
+
+    let schedule = TestSchedule::build(&cut_specs);
+    let claims = &subject.claims;
+    if schedule.pipes().len() == claims.schedule_pipes
+        && schedule.total_cycles() == claims.schedule_total_cycles
+        && schedule.sequential_cycles() == claims.schedule_sequential_cycles
+    {
+        report.ok(
+            AuditCode::ScheduleCycles,
+            format!(
+                "{} pipes, {} cycles pipelined / {} sequential",
+                claims.schedule_pipes,
+                claims.schedule_total_cycles,
+                claims.schedule_sequential_cycles
+            ),
+        );
+    } else {
+        report.fail(
+            AuditCode::ScheduleCycles,
+            format!(
+                "claimed {}/{}/{} (pipes/total/sequential), rebuilt {}/{}/{}",
+                claims.schedule_pipes,
+                claims.schedule_total_cycles,
+                claims.schedule_sequential_cycles,
+                schedule.pipes().len(),
+                schedule.total_cycles(),
+                schedule.sequential_cycles()
+            ),
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! A from-scratch GF(2) primitivity proof, independent of `ppet-cbit`.
+//!
+//! The auditor must not certify an LFSR polynomial with the same code that
+//! selected it, so this module re-implements the order test with its own
+//! arithmetic: `p` of degree `n` (non-zero constant term) is primitive iff
+//! the multiplicative order of `x` in `GF(2)[x]/p` is exactly `2ⁿ − 1`,
+//! i.e. `x^(2ⁿ−1) ≡ 1` and `x^((2ⁿ−1)/q) ≢ 1` for every prime `q`
+//! dividing `2ⁿ − 1`. Unlike `ppet_cbit::gf2` (window-free square-and-
+//! multiply over pre-reduced operands) the multiply here is an interleaved
+//! shift-reduce, so even a shared systematic bug is unlikely.
+
+/// Degree of a GF(2) polynomial in bit representation (`deg(0) = 0`).
+#[must_use]
+pub fn degree(p: u64) -> u32 {
+    63u32.saturating_sub(p.leading_zeros())
+}
+
+/// Carry-less multiply of two residues modulo `p`, reducing after every
+/// shift so intermediates never exceed `deg(p) + 1` bits.
+#[must_use]
+pub fn mulmod(mut a: u64, mut b: u64, p: u64) -> u64 {
+    let n = degree(p);
+    let mut acc = 0u64;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        b >>= 1;
+        a <<= 1;
+        if (a >> n) & 1 == 1 {
+            a ^= p;
+        }
+    }
+    acc
+}
+
+/// `base^e mod p` by square-and-multiply.
+#[must_use]
+pub fn powmod(base: u64, mut e: u64, p: u64) -> u64 {
+    let mut acc = 1u64;
+    let mut sq = base;
+    while e != 0 {
+        if e & 1 == 1 {
+            acc = mulmod(acc, sq, p);
+        }
+        sq = mulmod(sq, sq, p);
+        e >>= 1;
+    }
+    acc
+}
+
+/// The distinct prime factors of `n` by trial division (ample for the
+/// `2³² − 1` ceiling of CBIT lengths).
+#[must_use]
+pub fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            out.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Proves (or refutes) that `p` is a primitive polynomial of degree `n`.
+#[must_use]
+pub fn prove_primitive(p: u64, n: u32) -> bool {
+    if n == 0 || n > 32 || degree(p) != n || p & 1 == 0 {
+        return false;
+    }
+    let order = (1u64 << n) - 1;
+    if powmod(0b10, order, p) != 1 {
+        return false;
+    }
+    prime_factors(order)
+        .into_iter()
+        .all(|q| powmod(0b10, order / q, p) != 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_primitives_pass() {
+        assert!(prove_primitive(0b111, 2)); // x^2+x+1
+        assert!(prove_primitive(0b1011, 3)); // x^3+x+1
+        assert!(prove_primitive(0b10011, 4)); // x^4+x+1
+    }
+
+    #[test]
+    fn reducible_and_non_primitive_fail() {
+        assert!(!prove_primitive(0b11111, 4)); // irreducible but order 5
+        assert!(!prove_primitive(0b10101, 4)); // (x^2+x+1)^2
+        assert!(!prove_primitive(0b10010, 4)); // even constant term
+        assert!(!prove_primitive(0b10011, 5)); // degree mismatch
+    }
+
+    #[test]
+    fn brute_force_period_agrees_for_degree_4() {
+        // Walk x^k mod p directly; the first return to 1 is the order.
+        for p in [0b10011u64, 0b11001u64] {
+            let mut s = 0b10u64;
+            let mut k = 1;
+            while s != 1 {
+                s = mulmod(s, 0b10, p);
+                k += 1;
+            }
+            assert_eq!(k, 15, "p={p:#b}");
+            assert!(prove_primitive(p, 4));
+        }
+    }
+
+    #[test]
+    fn factors_of_mersenne_numbers() {
+        assert_eq!(prime_factors((1 << 4) - 1), vec![3, 5]);
+        assert_eq!(prime_factors((1 << 8) - 1), vec![3, 5, 17]);
+        assert_eq!(prime_factors((1u64 << 32) - 1), vec![3, 5, 17, 257, 65537]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Partition legality: coverage, input cones (Eq. (5)), cut-set identity,
+//! and the per-SCC cut budget (Eq. (6)).
+
+use ppet_graph::scc::SccId;
+
+use crate::code::AuditCode;
+use crate::ctx::Ctx;
+use crate::report::AuditReport;
+
+pub(crate) fn check(ctx: &Ctx<'_>, report: &mut AuditReport) {
+    let subject = ctx.subject;
+    let n = ctx.graph.num_nodes();
+
+    // Coverage: every cell in exactly one partition.
+    let missing: Vec<usize> = (0..n).filter(|&i| ctx.cluster_of[i].is_none()).collect();
+    let out_of_range = subject
+        .partitions
+        .iter()
+        .flat_map(|p| &p.members)
+        .filter(|m| m.index() >= n)
+        .count();
+    if missing.is_empty() && ctx.duplicate_cells.is_empty() && out_of_range == 0 {
+        report.ok(
+            AuditCode::PartitionCoverage,
+            format!(
+                "{n} cells covered once by {} partitions",
+                subject.partitions.len()
+            ),
+        );
+    } else {
+        report.fail(
+            AuditCode::PartitionCoverage,
+            format!(
+                "{} cells unassigned, {} claimed twice, {} out of range",
+                missing.len(),
+                ctx.duplicate_cells.len(),
+                out_of_range
+            ),
+        );
+    }
+
+    // Input cones: recomputed width vs the l_k bound, the recorded nets,
+    // and the claimed summary row.
+    let mut bound_bad = Vec::new();
+    let mut claim_bad = Vec::new();
+    for (k, p) in subject.partitions.iter().enumerate() {
+        let derived = &ctx.derived_inputs[k];
+        if derived.len() > subject.cbit_length {
+            bound_bad.push(format!(
+                "p{k}: {} inputs > l_k = {}",
+                derived.len(),
+                subject.cbit_length
+            ));
+        }
+        let mut recorded = p.input_nets.clone();
+        recorded.sort_unstable();
+        recorded.dedup();
+        if recorded != *derived {
+            claim_bad.push(format!(
+                "p{k}: recorded {} input nets, re-derived {}",
+                recorded.len(),
+                derived.len()
+            ));
+        }
+        match subject.claims.partitions.get(k) {
+            Some(row) if row.inputs == derived.len() && row.cells == p.members.len() => {}
+            Some(row) => claim_bad.push(format!(
+                "p{k}: claimed {} cells/{} inputs, re-derived {}/{}",
+                row.cells,
+                row.inputs,
+                p.members.len(),
+                derived.len()
+            )),
+            None => claim_bad.push(format!("p{k}: no claimed summary row")),
+        }
+    }
+    if subject.claims.partitions.len() != subject.partitions.len() {
+        claim_bad.push(format!(
+            "{} claimed rows for {} partitions",
+            subject.claims.partitions.len(),
+            subject.partitions.len()
+        ));
+    }
+    push(report, AuditCode::PartitionInputBound, &bound_bad, || {
+        format!(
+            "all {} cones fit l_k = {}",
+            subject.partitions.len(),
+            subject.cbit_length
+        )
+    });
+    push(report, AuditCode::PartitionInputClaim, &claim_bad, || {
+        format!(
+            "{} recorded cones match re-derivation",
+            subject.partitions.len()
+        )
+    });
+
+    // Cut-set identity: the recorded cut nets are exactly those implied by
+    // the membership, and the claimed count agrees.
+    let mut recorded_cuts = subject.cut_nets.to_vec();
+    recorded_cuts.sort_unstable();
+    recorded_cuts.dedup();
+    if recorded_cuts == ctx.derived_cuts && subject.claims.nets_cut == ctx.derived_cuts.len() {
+        report.ok(
+            AuditCode::PartitionCutSet,
+            format!("{} cut nets re-derived identically", ctx.derived_cuts.len()),
+        );
+    } else {
+        let extra = recorded_cuts
+            .iter()
+            .filter(|c| !ctx.derived_cuts.contains(c))
+            .count();
+        let lost = ctx
+            .derived_cuts
+            .iter()
+            .filter(|c| !recorded_cuts.contains(c))
+            .count();
+        report.fail(
+            AuditCode::PartitionCutSet,
+            format!(
+                "recorded {} cuts (claimed {}), re-derived {}: {extra} not implied, {lost} missing",
+                recorded_cuts.len(),
+                subject.claims.nets_cut,
+                ctx.derived_cuts.len()
+            ),
+        );
+    }
+
+    // Cut nets inside cyclic SCCs: recount and the Eq. (6) budget.
+    let on_scc: Vec<_> = ctx
+        .derived_cuts
+        .iter()
+        .copied()
+        .filter(|&c| ctx.scc.net_in_cyclic_component(&ctx.graph, c))
+        .collect();
+    if subject.claims.cut_nets_on_scc == on_scc.len() {
+        report.ok(
+            AuditCode::PartitionCutsOnScc,
+            format!(
+                "{} of {} cuts inside cyclic SCCs",
+                on_scc.len(),
+                ctx.derived_cuts.len()
+            ),
+        );
+    } else {
+        report.fail(
+            AuditCode::PartitionCutsOnScc,
+            format!(
+                "claimed {} cuts on SCC, recount gives {}",
+                subject.claims.cut_nets_on_scc,
+                on_scc.len()
+            ),
+        );
+    }
+
+    let mut chi = vec![0usize; ctx.scc.len()];
+    for &c in &on_scc {
+        chi[ctx.scc.component_of(ctx.graph.net(c).src()).index()] += 1;
+    }
+    let mut budget_bad = Vec::new();
+    for (i, &count) in chi.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let f = ctx.scc.registers_in(SccId(i as u32));
+        let limit = subject.beta.saturating_mul(f);
+        if count > limit {
+            budget_bad.push(format!("scc{i}: chi = {count} > beta*f = {limit}"));
+        }
+    }
+    push(report, AuditCode::PartitionCutBudget, &budget_bad, || {
+        format!("every cyclic SCC within beta = {} budget", subject.beta)
+    });
+}
+
+fn push(
+    report: &mut AuditReport,
+    code: AuditCode,
+    problems: &[String],
+    ok_detail: impl FnOnce() -> String,
+) {
+    if problems.is_empty() {
+        report.ok(code, ok_detail());
+    } else {
+        report.fail(code, problems.join("; "));
+    }
+}

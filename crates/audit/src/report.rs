@@ -1,0 +1,191 @@
+//! Audit outcomes: individual check verdicts and the aggregate report.
+
+use std::fmt;
+
+use crate::code::AuditCode;
+
+/// The verdict of one audit check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditCheck {
+    /// The invariant checked.
+    pub code: AuditCode,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// Human-readable evidence: the re-derived values on success, the
+    /// discrepancy on failure.
+    pub detail: String,
+}
+
+/// The aggregate result of one audit run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditReport {
+    /// Every check performed, in execution order.
+    pub checks: Vec<AuditCheck>,
+    /// The retiming lag witness the audit derived (sparse `node:lag` pairs,
+    /// comma-separated, zero lags omitted) — recorded into manifests so a
+    /// later re-audit can verify the same witness against the netlist.
+    pub witness: Option<String>,
+}
+
+impl AuditReport {
+    /// Records one check verdict.
+    pub fn push(&mut self, code: AuditCode, passed: bool, detail: impl Into<String>) {
+        self.checks.push(AuditCheck {
+            code,
+            passed,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records a passing check.
+    pub fn ok(&mut self, code: AuditCode, detail: impl Into<String>) {
+        self.push(code, true, detail);
+    }
+
+    /// Records a failing check.
+    pub fn fail(&mut self, code: AuditCode, detail: impl Into<String>) {
+        self.push(code, false, detail);
+    }
+
+    /// Whether every check passed.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The failing checks, in execution order.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&AuditCheck> {
+        self.checks.iter().filter(|c| !c.passed).collect()
+    }
+
+    /// The first failing check, if any — what a CI log leads with.
+    #[must_use]
+    pub fn first_failure(&self) -> Option<&AuditCheck> {
+        self.checks.iter().find(|c| !c.passed)
+    }
+
+    /// Whether a specific code failed.
+    #[must_use]
+    pub fn failed(&self, code: AuditCode) -> bool {
+        self.checks.iter().any(|c| c.code == code && !c.passed)
+    }
+
+    /// Appends another report's checks (manifest cross-checks after the
+    /// structural audit, for example). The witness is kept from `self`
+    /// unless absent.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks.extend(other.checks);
+        if self.witness.is_none() {
+            self.witness = other.witness;
+        }
+    }
+
+    /// The key/value entries embedded in a manifest's `audit` section:
+    /// the overall verdict, the number of checks, one `check.<code>` entry
+    /// per distinct code (`pass` / the failure detail), and the retiming
+    /// lag witness.
+    #[must_use]
+    pub fn manifest_entries(&self) -> Vec<(String, String)> {
+        let mut entries = vec![
+            ("pass".to_owned(), self.pass().to_string()),
+            ("checks".to_owned(), self.checks.len().to_string()),
+        ];
+        for check in &self.checks {
+            let key = format!("check.{}", check.code);
+            let value = if check.passed {
+                "pass".to_owned()
+            } else {
+                format!("FAIL: {}", check.detail)
+            };
+            match entries.iter_mut().find(|(k, _)| *k == key) {
+                // A code that failed anywhere stays failed; otherwise keep
+                // the first entry.
+                Some((_, v)) => {
+                    if !check.passed && v == "pass" {
+                        *v = value;
+                    }
+                }
+                None => entries.push((key, value)),
+            }
+        }
+        if let Some(witness) = &self.witness {
+            entries.push(("retime.lags".to_owned(), witness.clone()));
+        }
+        entries
+    }
+}
+
+impl fmt::Display for AuditReport {
+    /// One line per check: `ok <code>: detail` / `FAIL <code>: detail`,
+    /// then a verdict line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for check in &self.checks {
+            let status = if check.passed { "ok  " } else { "FAIL" };
+            writeln!(f, "{status} {:<24} {}", check.code.name(), check.detail)?;
+        }
+        let failed = self.failures().len();
+        if failed == 0 {
+            write!(f, "audit: all {} checks passed", self.checks.len())
+        } else {
+            write!(f, "audit: {failed}/{} checks FAILED", self.checks.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_and_failures() {
+        let mut r = AuditReport::default();
+        r.ok(AuditCode::CircuitStats, "dffs=3");
+        assert!(r.pass());
+        r.fail(AuditCode::CostDeciDff, "want 45 got 46");
+        assert!(!r.pass());
+        assert!(r.failed(AuditCode::CostDeciDff));
+        assert!(!r.failed(AuditCode::CircuitStats));
+        assert_eq!(r.first_failure().unwrap().code, AuditCode::CostDeciDff);
+        assert_eq!(r.failures().len(), 1);
+    }
+
+    #[test]
+    fn display_names_the_failing_code() {
+        let mut r = AuditReport::default();
+        r.fail(AuditCode::RetimeLegality, "edge 4: w_r = -1");
+        let s = r.to_string();
+        assert!(s.contains("FAIL"), "{s}");
+        assert!(s.contains("retime-legality"), "{s}");
+        assert!(s.contains("1/1 checks FAILED"), "{s}");
+    }
+
+    #[test]
+    fn manifest_entries_aggregate_per_code() {
+        let mut r = AuditReport::default();
+        r.ok(AuditCode::PartitionInputBound, "p0 ok");
+        r.fail(AuditCode::PartitionInputBound, "p1: 9 > 8");
+        r.witness = Some("2:1".to_owned());
+        let entries = r.manifest_entries();
+        assert!(entries.contains(&("pass".to_owned(), "false".to_owned())));
+        let bound = entries
+            .iter()
+            .find(|(k, _)| k == "check.partition-input-bound")
+            .unwrap();
+        assert!(bound.1.starts_with("FAIL"), "{}", bound.1);
+        assert!(entries.contains(&("retime.lags".to_owned(), "2:1".to_owned())));
+    }
+
+    #[test]
+    fn merge_concatenates_checks() {
+        let mut a = AuditReport::default();
+        a.ok(AuditCode::CircuitStats, "x");
+        let mut b = AuditReport::default();
+        b.fail(AuditCode::ManifestMismatch, "y");
+        b.witness = Some("w".to_owned());
+        a.merge(b);
+        assert_eq!(a.checks.len(), 2);
+        assert!(!a.pass());
+        assert_eq!(a.witness.as_deref(), Some("w"));
+    }
+}

@@ -3,7 +3,7 @@
 //! Signature analysis compacts `N` response words into one `n`-bit
 //! signature, so distinct error streams can *alias* to the clean
 //! signature. For a MISR over a primitive polynomial the classic results
-//! hold (see the paper's reference [12] for the random-testing side):
+//! hold (see the paper's reference \[12\] for the random-testing side):
 //!
 //! * a **single-bit** error never aliases (linearity: its signature is a
 //!   non-zero state of a maximal LFSR);
@@ -49,7 +49,7 @@ pub fn session_escape_probability(segment_widths: &[u32]) -> f64 {
 
 /// Expected number of random patterns needed to reach `coverage` of
 /// faults whose hardest member has detection probability `p_min` —
-/// the classic `N ≈ ln(1/(1−c)) / p_min` estimate (reference [12]'s
+/// the classic `N ≈ ln(1/(1−c)) / p_min` estimate (reference \[12\]'s
 /// regime). Pseudo-exhaustive testing needs exactly `2^k` patterns
 /// instead, independent of detection probabilities — the comparison the
 /// paper's §1 builds on.

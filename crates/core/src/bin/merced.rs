@@ -3,6 +3,7 @@
 //! ```text
 //! merced <netlist.bench> [options]
 //! merced batch <netlist.bench>... [options]
+//! merced audit <manifest.json> [--bench netlist.bench] [options]
 //!
 //! Options:
 //!   --lk <N>           CBIT length / input constraint (default 16)
@@ -15,6 +16,15 @@
 //!                      changes results, capped at the available cores
 //!   --replicas <N>     saturation replica streams (default 1 = the paper's
 //!                      sequential loop; changes the deterministic result)
+//!   --builtin <name>   compile a built-in circuit instead of a file: s27,
+//!                      alu_slice, counter<N>, shift<N>, johnson<N>, or a
+//!                      Table 9 name (s641, s5378, ...) for its calibrated
+//!                      synthetic stand-in; repeatable in batch mode
+//!   --audit            run the independent ppet-audit checker on every
+//!                      compile; audit entries are embedded in the manifest
+//!                      and a failed audit exits non-zero
+//!   --bench <path>     (audit mode) the netlist the manifest was compiled
+//!                      from, when its circuit is not a builtin
 //!   --emit <out.bench> write the PPET-instrumented netlist
 //!   --quiet            print only the Table-10-style row
 //!   --trace            print the span tree + counters to stderr
@@ -22,18 +32,81 @@
 //!                      directory receiving one manifest per job plus
 //!                      batch.json)
 //! ```
+//!
+//! `merced audit` re-verifies a recorded run manifest from scratch: it
+//! reconstructs the configuration from the manifest's `config` entries,
+//! recompiles the circuit, runs the full independent audit on the fresh
+//! result, cross-checks the recorded counters and result claims against
+//! the recompile, and re-validates the recorded retiming lag witness.
+//!
+//! Runtime failures (unreadable or malformed inputs, compile errors,
+//! audit failures) are reported as one structured JSON line on stderr —
+//! `{"schema":"ppet-error/v1","kind":"...","message":"..."}` — with a
+//! non-zero exit code, so CI gates can match on `kind` instead of
+//! scraping prose.
 
 use std::process::ExitCode;
 
+use ppet_core::audit::attach_audit;
 use ppet_core::instrument::{insert_test_hardware_traced, InstrumentOptions};
 use ppet_core::{compile_batch, Compilation, CostPolicy, Merced, MercedConfig, PpetReport};
 use ppet_exec::Pool;
 use ppet_flow::FlowParams;
-use ppet_netlist::{bench_format, writer, Circuit};
-use ppet_trace::Tracer;
+use ppet_netlist::{bench_format, data, synth, writer, Circuit};
+use ppet_trace::{RunManifest, Tracer};
+
+/// A runtime error with a machine-matchable kind, rendered as one JSON
+/// line on stderr.
+struct CliError {
+    kind: &'static str,
+    message: String,
+}
+
+impl CliError {
+    fn new(kind: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn emit(&self) -> ExitCode {
+        eprintln!(
+            "{{\"schema\":\"ppet-error/v1\",\"kind\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(self.kind),
+            json_escape(&self.message)
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Single,
+    Batch,
+    Audit,
+}
 
 struct Options {
-    batch: bool,
+    mode: Mode,
     inputs: Vec<String>,
     lk: usize,
     beta: usize,
@@ -43,6 +116,8 @@ struct Options {
     max_trees: Option<u64>,
     jobs: Option<usize>,
     replicas: u32,
+    audit: bool,
+    bench: Option<String>,
     emit: Option<String>,
     quiet: bool,
     trace: bool,
@@ -52,7 +127,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
-        batch: false,
+        mode: Mode::Single,
         inputs: Vec::new(),
         lk: 16,
         beta: 50,
@@ -62,11 +137,14 @@ fn parse_args() -> Result<Options, String> {
         max_trees: None,
         jobs: None,
         replicas: 1,
+        audit: false,
+        bench: None,
         emit: None,
         quiet: false,
         trace: false,
         trace_json: None,
     };
+    let mut positionals = 0usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--lk" => opts.lk = next_value(&mut args, "--lk")?,
@@ -87,6 +165,15 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--per-branch" => opts.per_branch = true,
+            "--builtin" => {
+                let name = args.next().ok_or("--builtin expects a name".to_string())?;
+                opts.inputs.push(format!("builtin:{name}"));
+                positionals += 1;
+            }
+            "--audit" => opts.audit = true,
+            "--bench" => {
+                opts.bench = Some(args.next().ok_or("--bench expects a path".to_string())?)
+            }
             "--emit" => opts.emit = Some(args.next().ok_or("--emit expects a path".to_string())?),
             "--quiet" => opts.quiet = true,
             "--trace" => opts.trace = true,
@@ -97,22 +184,32 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--help" | "-h" => return Err(usage()),
-            "batch" if opts.inputs.is_empty() && !opts.batch => opts.batch = true,
-            _ if !arg.starts_with('-') => opts.inputs.push(arg),
+            "batch" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Batch,
+            "audit" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Audit,
+            _ if !arg.starts_with('-') => {
+                opts.inputs.push(arg);
+                positionals += 1;
+            }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
     if opts.inputs.is_empty() {
         return Err(usage());
     }
-    if !opts.batch && opts.inputs.len() > 1 {
-        return Err(format!(
-            "multiple netlists given; use `merced batch` to compile several\n{}",
-            usage()
-        ));
+    match opts.mode {
+        Mode::Single | Mode::Audit if opts.inputs.len() > 1 => {
+            return Err(format!(
+                "multiple inputs given; use `merced batch` to compile several\n{}",
+                usage()
+            ));
+        }
+        Mode::Batch if opts.emit.is_some() => {
+            return Err("--emit is not supported in batch mode".to_string());
+        }
+        _ => {}
     }
-    if opts.batch && opts.emit.is_some() {
-        return Err("--emit is not supported in batch mode".to_string());
+    if opts.bench.is_some() && opts.mode != Mode::Audit {
+        return Err("--bench only applies to `merced audit`".to_string());
     }
     Ok(opts)
 }
@@ -128,23 +225,56 @@ fn next_value<T: std::str::FromStr>(
 }
 
 fn usage() -> String {
-    "usage: merced <netlist.bench> [--lk N] [--beta N] [--seed N] \
-     [--policy scc|solver] [--per-branch] [--max-trees N] \
-     [--jobs N|max] [--replicas N] \
+    "usage: merced <netlist.bench | --builtin NAME> [--lk N] [--beta N] \
+     [--seed N] [--policy scc|solver] [--per-branch] [--max-trees N] \
+     [--jobs N|max] [--replicas N] [--audit] \
      [--emit out.bench] [--quiet] [--trace] [--trace-json out.json]\n\
-     \x20      merced batch <netlist.bench>... [same options; --trace-json \
-     names a directory]"
+     \x20      merced batch <netlist.bench | --builtin NAME>... [same \
+     options; --trace-json names a directory]\n\
+     \x20      merced audit <manifest.json> [--bench netlist.bench] \
+     [--jobs N|max] [--quiet]"
         .to_string()
 }
 
-fn load_circuit(path: &str) -> Result<Circuit, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let name = std::path::Path::new(path)
+/// Resolves a built-in circuit name: the hand-written s27 and textbook
+/// structures, or the calibrated synthetic stand-in for a Table 9 name.
+fn resolve_builtin(name: &str) -> Option<Circuit> {
+    if name == "s27" {
+        return Some(data::s27());
+    }
+    if name == "alu_slice" {
+        return Some(data::alu_slice());
+    }
+    for (prefix, build) in [
+        ("counter", data::counter as fn(usize) -> Circuit),
+        ("shift", data::shift_register),
+        ("johnson", data::johnson_counter),
+    ] {
+        if let Some(n) = name.strip_prefix(prefix) {
+            if let Ok(n) = n.parse::<usize>() {
+                if (1..=64).contains(&n) {
+                    return Some(build(n));
+                }
+            }
+        }
+    }
+    synth::iscas89_like(name)
+}
+
+/// Loads one circuit source: a `builtin:<name>` marker or a `.bench` path.
+fn load_circuit(source: &str) -> Result<Circuit, CliError> {
+    if let Some(name) = source.strip_prefix("builtin:") {
+        return resolve_builtin(name)
+            .ok_or_else(|| CliError::new("usage", format!("unknown builtin circuit `{name}`")));
+    }
+    let text = std::fs::read_to_string(source)
+        .map_err(|e| CliError::new("io", format!("cannot read {source}: {e}")))?;
+    let name = std::path::Path::new(source)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("circuit")
         .to_string();
-    bench_format::parse(&name, &text).map_err(|e| format!("{path}: {e}"))
+    bench_format::parse(&name, &text).map_err(|e| CliError::new("parse", format!("{source}: {e}")))
 }
 
 fn build_config(opts: &Options, jobs: usize) -> MercedConfig {
@@ -160,19 +290,24 @@ fn build_config(opts: &Options, jobs: usize) -> MercedConfig {
         .with_jobs(jobs)
 }
 
-fn run(opts: &Options, jobs: usize, tracer: &Tracer) -> Result<(Circuit, Compilation), String> {
+fn run(opts: &Options, jobs: usize, tracer: &Tracer) -> Result<(Circuit, Compilation), CliError> {
     let circuit = load_circuit(&opts.inputs[0])?;
     let compilation = Merced::new(build_config(opts, jobs))
         .compile_detailed_traced(&circuit, tracer)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::new("compile", e.to_string()))?;
     Ok((circuit, compilation))
 }
 
-fn run_batch(opts: &Options, jobs: usize) -> Result<ExitCode, String> {
+fn write_file(path: &std::path::Path, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::new("io", format!("cannot write {}: {e}", path.display())))
+}
+
+fn run_batch(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
     let circuits: Vec<Circuit> = opts
         .inputs
         .iter()
-        .map(|path| load_circuit(path))
+        .map(|source| load_circuit(source))
         .collect::<Result<_, _>>()?;
     let merced = Merced::new(build_config(opts, jobs));
     let pool = Pool::new(jobs);
@@ -186,18 +321,52 @@ fn run_batch(opts: &Options, jobs: usize) -> Result<ExitCode, String> {
             pool.workers()
         );
     }
-    if let Some(dir) = &opts.trace_json {
-        let dir = std::path::Path::new(dir);
+
+    let dir = opts.trace_json.as_ref().map(std::path::PathBuf::from);
+    if let Some(dir) = &dir {
         std::fs::create_dir_all(dir)
-            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-        for manifest in outcome.manifests() {
-            let path = dir.join(format!("{}.json", manifest.circuit));
-            std::fs::write(&path, manifest.to_json())
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            .map_err(|e| CliError::new("io", format!("cannot create {}: {e}", dir.display())))?;
+    }
+
+    // Per-job manifests, each audited on demand. The audit recompiles the
+    // job through `compile_detailed` — bit-identical to the batch result —
+    // to recover the partition membership the checker walks.
+    let mut audit_failures: Vec<String> = Vec::new();
+    let mut audited = 0usize;
+    for (circuit, (name, result)) in circuits.iter().zip(&outcome.results) {
+        let Ok(report) = result else { continue };
+        let mut manifest = report.run_manifest();
+        if opts.audit {
+            let compilation = merced
+                .compile_detailed(circuit)
+                .map_err(|e| CliError::new("compile", format!("{name}: {e}")))?;
+            let audit = compilation.audit(circuit);
+            attach_audit(&mut manifest, &audit);
+            audited += 1;
+            if !audit.pass() {
+                let what = audit.first_failure().map_or_else(
+                    || "unknown check".to_owned(),
+                    |c| format!("{}: {}", c.code, c.detail),
+                );
+                eprintln!("{audit}");
+                audit_failures.push(format!("{name}: {what}"));
+            }
         }
-        let path = dir.join("batch.json");
-        std::fs::write(&path, outcome.summary.to_json())
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        if let Some(dir) = &dir {
+            write_file(&dir.join(format!("{name}.json")), &manifest.to_json())?;
+        }
+    }
+    if let Some(dir) = &dir {
+        write_file(&dir.join("batch.json"), &outcome.summary.to_json())?;
+    }
+    if opts.audit && !opts.quiet {
+        println!(
+            "audit: {}/{audited} job(s) passed",
+            audited - audit_failures.len()
+        );
+    }
+    if !audit_failures.is_empty() {
+        return Err(CliError::new("audit", audit_failures.join("; ")));
     }
     Ok(if outcome.failed() == 0 {
         ExitCode::SUCCESS
@@ -206,12 +375,74 @@ fn run_batch(opts: &Options, jobs: usize) -> Result<ExitCode, String> {
     })
 }
 
+/// `merced audit <manifest.json>`: independent re-verification of a
+/// recorded run. See the module docs for what is checked.
+fn run_audit(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
+    let path = &opts.inputs[0];
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new("io", format!("cannot read {path}: {e}")))?;
+    let recorded = RunManifest::from_json(&text)
+        .map_err(|e| CliError::new("manifest", format!("{path}: {e}")))?;
+
+    let circuit = match &opts.bench {
+        Some(bench) => load_circuit(bench)?,
+        None => resolve_builtin(&recorded.circuit).ok_or_else(|| {
+            CliError::new(
+                "manifest",
+                format!(
+                    "circuit {:?} is not a builtin; pass --bench <netlist.bench>",
+                    recorded.circuit
+                ),
+            )
+        })?,
+    };
+
+    let config = MercedConfig::from_manifest_entries(&recorded.config)
+        .map_err(|e| CliError::new("manifest", format!("{path}: {e}")))?
+        .with_seed(recorded.seed)
+        .with_jobs(jobs);
+    let compilation = Merced::new(config)
+        .compile_detailed(&circuit)
+        .map_err(|e| CliError::new("compile", e.to_string()))?;
+
+    // Three independent layers: the invariant audit of the fresh compile,
+    // the recorded-vs-fresh manifest cross-check, and the recorded lag
+    // witness re-validated against the netlist.
+    let mut audit = compilation.audit(&circuit);
+    let fresh = compilation.report.run_manifest();
+    audit.merge(ppet_audit::manifest::cross_check(&recorded, &fresh));
+    if let Some(witness) = recorded.audit_value("retime.lags") {
+        audit.merge(ppet_audit::verify_recorded_witness(&circuit, witness));
+    }
+
+    if !opts.quiet {
+        println!("{audit}");
+    }
+    if audit.pass() {
+        println!(
+            "audit: PASS ({} checks, {})",
+            audit.checks.len(),
+            recorded.circuit
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        let what = audit.first_failure().map_or_else(
+            || "unknown check".to_owned(),
+            |c| format!("{}: {}", c.code, c.detail),
+        );
+        Err(CliError::new(
+            "audit",
+            format!("{}: {what}", recorded.circuit),
+        ))
+    }
+}
+
 fn emit_instrumented(
     circuit: &Circuit,
     compilation: &Compilation,
     path: &str,
     tracer: &Tracer,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let groups: Vec<Vec<_>> = compilation
         .cut_groups
         .iter()
@@ -219,9 +450,8 @@ fn emit_instrumented(
         .cloned()
         .collect();
     let inst = insert_test_hardware_traced(circuit, &groups, InstrumentOptions::default(), tracer)
-        .map_err(|e| e.to_string())?;
-    std::fs::write(path, writer::to_bench(&inst.circuit))
-        .map_err(|e| format!("cannot write {path}: {e}"))?;
+        .map_err(|e| CliError::new("compile", e.to_string()))?;
+    write_file(std::path::Path::new(path), &writer::to_bench(&inst.circuit))?;
     eprintln!(
         "wrote {} ({} cells, {} CBIT bits: {} converted, {} multiplexed)",
         path,
@@ -233,17 +463,50 @@ fn emit_instrumented(
     Ok(())
 }
 
-fn write_manifest(compilation: &Compilation, opts: &Options, path: &str) -> Result<(), String> {
-    let mut manifest = compilation.report.run_manifest();
-    manifest.push_config(
-        "policy",
-        match opts.policy {
-            CostPolicy::PaperScc => "scc",
-            CostPolicy::Solver => "solver",
-        },
-    );
-    manifest.push_config("per_branch", opts.per_branch);
-    std::fs::write(path, manifest.to_json()).map_err(|e| format!("cannot write {path}: {e}"))
+fn run_single(
+    opts: &Options,
+    jobs: usize,
+    tracer: &Tracer,
+    sink: Option<&ppet_trace::CollectingSink>,
+) -> Result<ExitCode, CliError> {
+    let (circuit, compilation) = run(opts, jobs, tracer)?;
+    if opts.quiet {
+        println!("{}", PpetReport::table10_header());
+        println!("{}", compilation.report.table10_row());
+    } else {
+        println!("{}", compilation.report);
+    }
+    let audit = opts.audit.then(|| compilation.audit(&circuit));
+    if let Some(path) = &opts.emit {
+        emit_instrumented(&circuit, &compilation, path, tracer)?;
+    }
+    if let Some(sink) = sink {
+        eprint!("{}", sink.report().tree_string());
+    }
+    if let Some(path) = &opts.trace_json {
+        let mut manifest = compilation.report.run_manifest();
+        if let Some(audit) = &audit {
+            attach_audit(&mut manifest, audit);
+        }
+        write_file(std::path::Path::new(path), &manifest.to_json())?;
+    }
+    if let Some(audit) = &audit {
+        if !opts.quiet {
+            println!("{audit}");
+        }
+        if !audit.pass() {
+            let what = audit.first_failure().map_or_else(
+                || "unknown check".to_owned(),
+                |c| format!("{}: {}", c.code, c.detail),
+            );
+            return Err(CliError::new(
+                "audit",
+                format!("{}: {what}", compilation.report.circuit.name),
+            ));
+        }
+        println!("audit: PASS ({} checks)", audit.checks.len());
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
@@ -259,8 +522,7 @@ fn main() -> ExitCode {
     let jobs = match ppet_exec::resolve_jobs(opts.jobs) {
         Ok(n) => n,
         Err(e) => {
-            eprintln!("--jobs: {e}");
-            return ExitCode::FAILURE;
+            return CliError::new("usage", format!("--jobs: {e}")).emit();
         }
     };
     if opts.trace {
@@ -269,49 +531,21 @@ fn main() -> ExitCode {
             ppet_exec::available_workers()
         );
     }
-    if opts.batch {
-        return match run_batch(&opts, jobs) {
-            Ok(code) => code,
-            Err(msg) => {
-                eprintln!("{msg}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-    let (tracer, sink) = if opts.trace {
-        let (tracer, sink) = Tracer::collecting();
-        (tracer, Some(sink))
-    } else {
-        (Tracer::noop(), None)
-    };
-    match run(&opts, jobs, &tracer) {
-        Ok((circuit, compilation)) => {
-            if opts.quiet {
-                println!("{}", PpetReport::table10_header());
-                println!("{}", compilation.report.table10_row());
+    let outcome = match opts.mode {
+        Mode::Batch => run_batch(&opts, jobs),
+        Mode::Audit => run_audit(&opts, jobs),
+        Mode::Single => {
+            let (tracer, sink) = if opts.trace {
+                let (tracer, sink) = Tracer::collecting();
+                (tracer, Some(sink))
             } else {
-                println!("{}", compilation.report);
-            }
-            if let Some(path) = &opts.emit {
-                if let Err(msg) = emit_instrumented(&circuit, &compilation, path, &tracer) {
-                    eprintln!("{msg}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            if let Some(sink) = &sink {
-                eprint!("{}", sink.report().tree_string());
-            }
-            if let Some(path) = &opts.trace_json {
-                if let Err(msg) = write_manifest(&compilation, &opts, path) {
-                    eprintln!("{msg}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            ExitCode::SUCCESS
+                (Tracer::noop(), None)
+            };
+            run_single(&opts, jobs, &tracer, sink.as_deref())
         }
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
-        }
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(e) => e.emit(),
     }
 }

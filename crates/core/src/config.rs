@@ -120,6 +120,112 @@ impl MercedConfig {
         self
     }
 
+    /// Serializes every reproducibility-relevant knob as manifest `config`
+    /// entries (the seed travels as the manifest's own `seed` field).
+    ///
+    /// [`MercedConfig::from_manifest_entries`] inverts this exactly, which
+    /// is what lets `merced audit` recompile a recorded run from its
+    /// manifest alone. The flow preset's continuous parameters (`b`, `Δ`,
+    /// `α`, `min_visit`) are always [`FlowParams::paper`] for manifest
+    /// producers and are therefore not recorded.
+    #[must_use]
+    pub fn manifest_entries(&self) -> Vec<(String, String)> {
+        let entry = |k: &str, v: String| (k.to_owned(), v);
+        vec![
+            entry("cbit_length", self.cbit_length.to_string()),
+            entry("beta", self.beta.to_string()),
+            entry("jobs", self.jobs.to_string()),
+            entry(
+                "policy",
+                match self.cost_policy {
+                    CostPolicy::PaperScc => "scc".to_owned(),
+                    CostPolicy::Solver => "solver".to_owned(),
+                },
+            ),
+            entry(
+                "io_latency",
+                match self.io_latency {
+                    IoLatency::Flexible => "flexible".to_owned(),
+                    IoLatency::Fixed => "fixed".to_owned(),
+                },
+            ),
+            entry(
+                "cost_source",
+                match self.cost_source {
+                    CostSource::PaperTable => "paper-table".to_owned(),
+                    CostSource::Synthesized => "synthesized".to_owned(),
+                },
+            ),
+            entry("per_branch", self.flow.per_branch.to_string()),
+            entry("replicas", self.flow.replicas.to_string()),
+            entry(
+                "max_trees",
+                self.flow
+                    .max_trees
+                    .map_or_else(|| "none".to_owned(), |n| n.to_string()),
+            ),
+        ]
+    }
+
+    /// Reconstructs a configuration from recorded manifest `config`
+    /// entries (the inverse of [`MercedConfig::manifest_entries`]).
+    ///
+    /// Unknown keys are ignored so manifests may carry extra annotations;
+    /// missing keys keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unparseable value.
+    pub fn from_manifest_entries(entries: &[(String, String)]) -> Result<Self, String> {
+        fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("config entry {key}: cannot parse {value:?}"))
+        }
+        let mut config = Self::default();
+        for (key, value) in entries {
+            match key.as_str() {
+                "cbit_length" => config.cbit_length = num(key, value)?,
+                "beta" => config.beta = num(key, value)?,
+                "jobs" => config.jobs = num(key, value)?,
+                "policy" => {
+                    config.cost_policy = match value.as_str() {
+                        "scc" => CostPolicy::PaperScc,
+                        "solver" => CostPolicy::Solver,
+                        other => return Err(format!("config entry policy: unknown {other:?}")),
+                    }
+                }
+                "io_latency" => {
+                    config.io_latency = match value.as_str() {
+                        "flexible" => IoLatency::Flexible,
+                        "fixed" => IoLatency::Fixed,
+                        other => return Err(format!("config entry io_latency: unknown {other:?}")),
+                    }
+                }
+                "cost_source" => {
+                    config.cost_source = match value.as_str() {
+                        "paper-table" => CostSource::PaperTable,
+                        "synthesized" => CostSource::Synthesized,
+                        other => {
+                            return Err(format!("config entry cost_source: unknown {other:?}"))
+                        }
+                    }
+                }
+                "per_branch" => config.flow.per_branch = num(key, value)?,
+                "replicas" => config.flow.replicas = num(key, value)?,
+                "max_trees" => {
+                    config.flow.max_trees = if value == "none" {
+                        None
+                    } else {
+                        Some(num(key, value)?)
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(config)
+    }
+
     /// Validates the configuration; returns a description of the first
     /// problem, or `None`.
     #[must_use]
@@ -197,6 +303,48 @@ mod tests {
         let c = MercedConfig::default();
         assert_eq!(c.jobs, 1);
         assert_eq!(MercedConfig::default().with_jobs(8).jobs, 8);
+    }
+
+    #[test]
+    fn manifest_entries_round_trip() {
+        let mut flow = FlowParams::paper().with_replicas(8);
+        flow.per_branch = true;
+        flow.max_trees = Some(1000);
+        let config = MercedConfig::default()
+            .with_cbit_length(24)
+            .with_beta(10)
+            .with_cost_policy(CostPolicy::Solver)
+            .with_io_latency(IoLatency::Fixed)
+            .with_cost_source(CostSource::Synthesized)
+            .with_flow(flow)
+            .with_jobs(4);
+        let back = MercedConfig::from_manifest_entries(&config.manifest_entries()).unwrap();
+        assert_eq!(back, config);
+
+        // Defaults round-trip too.
+        let d = MercedConfig::default();
+        let back = MercedConfig::from_manifest_entries(&d.manifest_entries()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn manifest_entries_ignore_unknown_and_reject_garbage() {
+        let entries = vec![
+            ("cbit_length".to_owned(), "8".to_owned()),
+            ("circuits".to_owned(), "3".to_owned()),
+        ];
+        let c = MercedConfig::from_manifest_entries(&entries).unwrap();
+        assert_eq!(c.cbit_length, 8);
+        assert_eq!(c.beta, MercedConfig::default().beta);
+
+        let bad = vec![("beta".to_owned(), "many".to_owned())];
+        assert!(MercedConfig::from_manifest_entries(&bad)
+            .unwrap_err()
+            .contains("beta"));
+        let bad = vec![("policy".to_owned(), "magic".to_owned())];
+        assert!(MercedConfig::from_manifest_entries(&bad)
+            .unwrap_err()
+            .contains("policy"));
     }
 
     #[test]

@@ -344,6 +344,7 @@ impl Merced {
             beta: self.config.beta,
             seed: self.config.seed,
             jobs: self.config.jobs,
+            config: self.config.clone(),
             dffs: circuit.num_flip_flops(),
             dffs_on_scc: scc.registers_on_cyclic(),
             nets_cut: cuts.len(),

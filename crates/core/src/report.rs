@@ -6,6 +6,7 @@ use std::time::Duration;
 use ppet_netlist::CircuitStats;
 use ppet_trace::RunManifest;
 
+use crate::config::MercedConfig;
 use crate::cost::AreaBreakdown;
 
 /// Wall time and counters of one pipeline phase (one paper Table 2 step).
@@ -95,6 +96,10 @@ pub struct PpetReport {
     /// Configured worker-thread count. Purely informational: results are
     /// bit-identical at any value (see `MercedConfig::jobs`).
     pub jobs: usize,
+    /// The full configuration of the compile that produced this report —
+    /// enough to reproduce the run from the manifest alone (see
+    /// [`MercedConfig::manifest_entries`]).
+    pub config: MercedConfig,
     /// Registers in the circuit ("No. of DFFs").
     pub dffs: usize,
     /// Registers inside cyclic SCCs ("DFFs on SCC").
@@ -152,18 +157,92 @@ impl PpetReport {
         (self.area.pct_with(), self.area.pct_without())
     }
 
+    /// Serializes every audited claim of this report as manifest `result`
+    /// entries: the cut statistics, the per-partition rows
+    /// (`cells/inputs/length`), the Eq. (4) cost, the Table 12 breakdowns,
+    /// and the Fig. 1 schedule.
+    ///
+    /// `merced audit` recompiles a recorded manifest and compares these
+    /// entries field by field, so the encoding is deterministic (the one
+    /// float, `cbit_cost_dff`, is fixed at four decimals).
+    #[must_use]
+    pub fn result_entries(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = [
+            ("dffs", self.dffs.to_string()),
+            ("dffs_on_scc", self.dffs_on_scc.to_string()),
+            ("nets_cut", self.nets_cut.to_string()),
+            ("cut_nets_on_scc", self.cut_nets_on_scc.to_string()),
+            ("forced_internal", self.forced_internal.to_string()),
+            (
+                "clusters_before_merge",
+                self.clusters_before_merge.to_string(),
+            ),
+            ("circuit_area", self.area.circuit_area.to_string()),
+            ("cbit_cost_dff", format!("{:.4}", self.cbit_cost_dff)),
+            (
+                "with.converted_bits",
+                self.area.with_retiming.converted_bits.to_string(),
+            ),
+            (
+                "with.mux_bits",
+                self.area.with_retiming.mux_bits.to_string(),
+            ),
+            (
+                "with.deci_dff",
+                self.area.with_retiming.deci_dff.to_string(),
+            ),
+            (
+                "without.converted_bits",
+                self.area.without_retiming.converted_bits.to_string(),
+            ),
+            (
+                "without.mux_bits",
+                self.area.without_retiming.mux_bits.to_string(),
+            ),
+            (
+                "without.deci_dff",
+                self.area.without_retiming.deci_dff.to_string(),
+            ),
+            ("schedule.pipes", self.schedule.pipes.to_string()),
+            (
+                "schedule.total_cycles",
+                self.schedule.total_cycles.to_string(),
+            ),
+            (
+                "schedule.sequential_cycles",
+                self.schedule.sequential_cycles.to_string(),
+            ),
+            ("partitions", self.partitions.len().to_string()),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
+        for (k, p) in self.partitions.iter().enumerate() {
+            out.push((
+                format!("partition.{k}"),
+                format!("{}/{}/{}", p.cells, p.inputs, p.cbit_length),
+            ));
+        }
+        out
+    }
+
     /// Builds the self-describing JSON run manifest for this compile:
-    /// circuit, seed, configuration, the per-phase wall times and counters
-    /// of [`PpetReport::phases`], and counter totals.
+    /// circuit, seed, the full configuration
+    /// ([`MercedConfig::manifest_entries`]), the audited result claims
+    /// ([`PpetReport::result_entries`]), the per-phase wall times and
+    /// counters of [`PpetReport::phases`], and counter totals.
     ///
     /// Counter *values* are deterministic per seed; only `wall_ns` varies
     /// between runs.
     #[must_use]
     pub fn run_manifest(&self) -> RunManifest {
         let mut manifest = RunManifest::new(self.circuit.name.clone(), self.seed);
-        manifest.push_config("cbit_length", self.cbit_length);
-        manifest.push_config("beta", self.beta);
-        manifest.push_config("jobs", self.jobs);
+        for (key, value) in self.config.manifest_entries() {
+            manifest.push_config(key, value);
+        }
+        for (key, value) in self.result_entries() {
+            manifest.push_result(key, value);
+        }
         for phase in &self.phases {
             manifest.push_phase(
                 phase.name,
@@ -247,6 +326,10 @@ mod tests {
             beta: 50,
             seed: 1,
             jobs: 1,
+            config: MercedConfig::default()
+                .with_cbit_length(4)
+                .with_seed(1)
+                .with_jobs(1),
             dffs: 3,
             dffs_on_scc: 3,
             nets_cut: 5,
@@ -323,7 +406,27 @@ mod tests {
         assert_eq!(m.phases.len(), 1);
         assert_eq!(m.total("flow.trees_built"), Some(60));
         assert!(m.config.contains(&("jobs".to_owned(), "1".to_owned())));
+        assert!(m.config.contains(&("policy".to_owned(), "scc".to_owned())));
         let back = RunManifest::from_json(&m.to_json()).expect("round-trips");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn result_entries_carry_every_claim() {
+        let r = sample();
+        let m = r.run_manifest();
+        assert_eq!(m.result_value("nets_cut"), Some("5"));
+        assert_eq!(m.result_value("cbit_cost_dff"), Some("8.1400"));
+        assert_eq!(m.result_value("with.deci_dff"), Some("45"));
+        assert_eq!(m.result_value("without.mux_bits"), Some("4"));
+        assert_eq!(m.result_value("partitions"), Some("1"));
+        assert_eq!(m.result_value("partition.0"), Some("17/4/4"));
+        assert_eq!(m.result_value("schedule.total_cycles"), Some("16"));
+        // The recorded config (plus the manifest's own seed field)
+        // reconstructs the compile's configuration.
+        let back = MercedConfig::from_manifest_entries(&m.config)
+            .unwrap()
+            .with_seed(m.seed);
+        assert_eq!(back, r.config);
     }
 }

@@ -4,7 +4,7 @@
 //! The partitioner needs to know which nets are *congested*: nets that many
 //! source-to-sink commodities would route through. Yeh, Cheng & Lin's
 //! probabilistic multicommodity-flow method (ICCAD 1992, the paper's
-//! reference [10]) estimates this by repeatedly
+//! reference \[10\]) estimates this by repeatedly
 //!
 //! 1. picking a random source node (with a fairness index so every node is
 //!    visited at least `min_visit` times),

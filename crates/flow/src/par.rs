@@ -29,7 +29,7 @@ use crate::saturate::{run_replica, saturate_network_traced, ReplicaOutcome, SATU
 /// Runs the probabilistic saturation with the visit quota split across
 /// `params.replicas` independent streams, scheduled on `pool`.
 ///
-/// See the [module docs](self) for the algorithm and determinism
+/// See the [crate docs](crate) for the algorithm and determinism
 /// contract. With `replicas = 1` this is exactly
 /// [`saturate_network`](crate::saturate_network).
 ///

@@ -3,7 +3,7 @@
 //! A system of constraints `x_u − x_v ≤ w` is feasible iff the constraint
 //! graph (edge `v → u` with weight `w`) has no negative cycle; a feasible
 //! solution is given by shortest-path distances from a virtual source
-//! (Cormen, Leiserson & Rivest — the paper's reference [11] — §25.5 of the
+//! (Cormen, Leiserson & Rivest — the paper's reference \[11\] — §25.5 of the
 //! 1990 edition).
 //!
 //! The retiming solver expresses both the legality condition (Corollary 3:

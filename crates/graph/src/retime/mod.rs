@@ -12,7 +12,7 @@
 //!   each edge is a register chain between two of them, annotated with the
 //!   original nets it passes through so partition cut nets can be mapped
 //!   onto it;
-//! * [`legal`] — the paper's Lemma 1 (path weight transformation),
+//! * `legal` — the paper's Lemma 1 (path weight transformation),
 //!   Corollary 2 (cycle invariance) and Corollary 3 (legality) as checkable
 //!   predicates;
 //! * [`CutRealizer`] — a difference-constraint solver that finds a legal

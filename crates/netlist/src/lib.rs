@@ -7,13 +7,13 @@
 //! * the circuit data model ([`Circuit`], [`Cell`], [`CellKind`],
 //!   [`CellId`]/[`NetId`]) using the one-net-per-cell convention of the
 //!   ISCAS89 benchmarks (each cell drives exactly one named net);
-//! * an ISCAS89 `.bench` format [parser](bench_format) and [writer](writer);
+//! * an ISCAS89 `.bench` format [parser](bench_format) and [writer];
 //! * the paper's CMOS [area model](area) (inverter = 1 unit, 2-input
 //!   NAND/NOR = 2, 2-input AND/OR = 3, 2-input XOR = 4, D flip-flop = 10,
 //!   plus 1 unit per additional input — §4 of the paper);
 //! * [circuit statistics](stats) matching the columns of the paper's
 //!   Table 9;
-//! * structural [validation](validate);
+//! * structural [validation](mod@validate);
 //! * embedded [benchmark data](data): the real `s27` circuit used by the
 //!   paper's worked example (Figs. 2, 5, 6, 7) and the published Table 9 /
 //!   Table 10 statistics rows;

@@ -15,7 +15,7 @@
 //! * the number of flip-flops inside nontrivial SCCs matches the published
 //!   "DFFs on SCC" column **exactly, by construction** (on-SCC registers are
 //!   placed on generated feedback cycles; off-SCC registers are provably
-//!   acyclic by the generator's layering — see [`builder`]).
+//!   acyclic by the generator's layering — see `builder`).
 //!
 //! See `DESIGN.md` §3 for the substitution rationale.
 

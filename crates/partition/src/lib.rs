@@ -3,7 +3,7 @@
 //! The *partition with input constraint* (PIC) problem: dissect the circuit
 //! into disjoint clusters, each with at most `l_k` inputs, cutting as few
 //! nets as possible — every cut net becomes one CBIT test-register bit.
-//! PIC is NP-complete (the paper's reference [4]), so Merced uses the
+//! PIC is NP-complete (the paper's reference \[4\]), so Merced uses the
 //! congestion-guided heuristic of §3:
 //!
 //! * [`make_group`] — the clustering driver (paper Table 4): pop congestion
@@ -17,7 +17,7 @@
 //! * [`refine`] — a Fiduccia–Mattheyses-style boundary refinement
 //!   post-pass (an extension beyond the paper, used by the ablations);
 //! * [`sa`] — a simulated-annealing PIC partitioner, reimplementing the
-//!   authors' earlier comparison point ([4], CICC 1994) as the baseline for
+//!   authors' earlier comparison point (\[4\], CICC 1994) as the baseline for
 //!   the ablation experiments;
 //! * [`inputs`] — the input-counting function ι (Eq. (5)) and cut-net
 //!   accounting shared by all of the above.

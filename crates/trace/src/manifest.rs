@@ -31,10 +31,19 @@ pub struct RunManifest {
     pub seed: u64,
     /// Configuration key/value pairs, in insertion order.
     pub config: Vec<(String, String)>,
+    /// Deterministic result key/value pairs (cut counts, partition shapes,
+    /// cost fields), in insertion order. Empty for runs that record only
+    /// phase metrics; omitted from the JSON when empty, so pre-existing
+    /// manifests keep parsing and serializing byte-identically.
+    pub result: Vec<(String, String)>,
     /// The pipeline phases in execution order.
     pub phases: Vec<PhaseManifest>,
     /// Counter totals summed across phases, sorted by name.
     pub totals: Vec<(String, u64)>,
+    /// Independent-audit key/value pairs (check verdicts plus the retiming
+    /// lag witness), in insertion order. Empty unless an audit ran;
+    /// omitted from the JSON when empty.
+    pub audit: Vec<(String, String)>,
 }
 
 impl RunManifest {
@@ -46,14 +55,44 @@ impl RunManifest {
             circuit: circuit.into(),
             seed,
             config: Vec::new(),
+            result: Vec::new(),
             phases: Vec::new(),
             totals: Vec::new(),
+            audit: Vec::new(),
         }
     }
 
     /// Appends a configuration entry (order is preserved).
     pub fn push_config(&mut self, key: impl Into<String>, value: impl fmt::Display) {
         self.config.push((key.into(), value.to_string()));
+    }
+
+    /// Appends a deterministic result entry (order is preserved).
+    pub fn push_result(&mut self, key: impl Into<String>, value: impl fmt::Display) {
+        self.result.push((key.into(), value.to_string()));
+    }
+
+    /// Appends an audit entry (order is preserved).
+    pub fn push_audit(&mut self, key: impl Into<String>, value: impl fmt::Display) {
+        self.audit.push((key.into(), value.to_string()));
+    }
+
+    /// Looks up a result entry by key.
+    #[must_use]
+    pub fn result_value(&self, key: &str) -> Option<&str> {
+        self.result
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up an audit entry by key.
+    #[must_use]
+    pub fn audit_value(&self, key: &str) -> Option<&str> {
+        self.audit
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Appends a phase. `counters` is sorted by name for stable output.
@@ -111,6 +150,12 @@ impl RunManifest {
         }
         out.push_str("},\n");
 
+        if !self.result.is_empty() {
+            out.push_str("  \"result\": {");
+            write_string_entries(&mut out, &self.result);
+            out.push_str("},\n");
+        }
+
         out.push_str("  \"phases\": [");
         for (i, phase) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -130,7 +175,13 @@ impl RunManifest {
 
         out.push_str("  \"totals\": {");
         write_counters(&mut out, 2, &self.totals);
-        out.push_str("}\n}\n");
+        out.push('}');
+        if !self.audit.is_empty() {
+            out.push_str(",\n  \"audit\": {");
+            write_string_entries(&mut out, &self.audit);
+            out.push('}');
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -165,6 +216,8 @@ impl RunManifest {
                     .ok_or_else(|| format!("config `{k}` is not a string"))
             })
             .collect::<Result<_, _>>()?;
+        let result = parse_string_section(&doc, "result")?;
+        let audit = parse_string_section(&doc, "audit")?;
         let phases = doc
             .get("phases")
             .and_then(Value::as_arr)
@@ -188,8 +241,10 @@ impl RunManifest {
             circuit,
             seed,
             config,
+            result,
             phases,
             totals,
+            audit,
         })
     }
 
@@ -198,6 +253,24 @@ impl RunManifest {
     pub fn total(&self, name: &str) -> Option<u64> {
         self.totals.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
+}
+
+/// Parses an optional `{"key": "value", ...}` section; a missing section
+/// is an empty list.
+fn parse_string_section(doc: &Value, name: &str) -> Result<Vec<(String, String)>, String> {
+    let Some(section) = doc.get(name) else {
+        return Ok(Vec::new());
+    };
+    section
+        .as_obj()
+        .ok_or_else(|| format!("`{name}` is not an object"))?
+        .iter()
+        .map(|(k, v)| {
+            v.as_str()
+                .map(|s| (k.clone(), s.to_owned()))
+                .ok_or_else(|| format!("{name} `{k}` is not a string"))
+        })
+        .collect()
 }
 
 fn field(out: &mut String, depth: usize, key: &str, rendered: &str, comma: bool) {
@@ -211,6 +284,21 @@ fn field(out: &mut String, depth: usize, key: &str, rendered: &str, comma: bool)
         out.push(',');
     }
     out.push('\n');
+}
+
+fn write_string_entries(out: &mut String, entries: &[(String, String)]) {
+    for (i, (key, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json::escaped(key));
+        out.push_str(": ");
+        out.push_str(&json::escaped(value));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
 }
 
 fn write_counters(out: &mut String, depth: usize, counters: &[(String, u64)]) {
@@ -330,5 +418,35 @@ mod tests {
         let m = RunManifest::new("c", 1);
         let back = RunManifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn result_and_audit_sections_round_trip() {
+        let mut m = sample();
+        m.push_result("nets_cut", 7);
+        m.push_result("area.with.deci_dff", 45);
+        m.push_audit("pass", true);
+        m.push_audit("retime.lags", "0:1,3:-2");
+        let text = m.to_json();
+        assert!(text.contains("\"result\""));
+        assert!(text.contains("\"audit\""));
+        let back = RunManifest::from_json(&text).expect("parses");
+        assert_eq!(back, m);
+        assert_eq!(back.to_json(), text, "serialization must be stable");
+        assert_eq!(back.result_value("nets_cut"), Some("7"));
+        assert_eq!(back.audit_value("pass"), Some("true"));
+        assert_eq!(back.audit_value("missing"), None);
+    }
+
+    #[test]
+    fn empty_result_and_audit_are_omitted_from_json() {
+        // Pre-existing manifests (no result/audit) must keep serializing
+        // byte-identically, so the sections only appear when used.
+        let text = sample().to_json();
+        assert!(!text.contains("\"result\""));
+        assert!(!text.contains("\"audit\""));
+        let back = RunManifest::from_json(&text).unwrap();
+        assert!(back.result.is_empty());
+        assert!(back.audit.is_empty());
     }
 }

@@ -1,17 +1,32 @@
 #!/usr/bin/env sh
-# Offline CI gate: formatting, lints, the full test suite under both
-# sequential and maximally parallel execution, and a manifest-parity
-# check proving the worker count never leaks into results.
+# Offline CI gate: toolchain pin, formatting, lints, documentation, the
+# full test suite under both sequential and maximally parallel execution,
+# a manifest-parity check proving the worker count never leaks into
+# results, and the independent re-audit of the golden regression corpus.
 # Run from the repository root.
+#
+# The golden corpus is re-blessed (after an *intentional* algorithm
+# change) with `scripts/golden.sh --bless`; see that script's header.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> toolchain: rustc 1.95.0 (pinned)"
+# rust-toolchain.toml pins the stable channel; this asserts the exact
+# version the repository is developed and gated against.
+rustc --version | grep -q '^rustc 1\.95\.0' || {
+    echo "ci: expected rustc 1.95.0, got: $(rustc --version)" >&2
+    exit 1
+}
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --no-deps --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo "==> cargo test (PPET_JOBS=1)"
 PPET_JOBS=1 cargo test -q
@@ -20,49 +35,9 @@ echo "==> cargo test (PPET_JOBS=max)"
 PPET_JOBS=max cargo test -q
 
 echo "==> manifest parity: PPET_JOBS=1 vs PPET_JOBS=max"
-cargo build -q --release -p ppet-core --bin merced
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
-cat > "$tmp/s27.bench" <<'BENCH'
-# s27 (ISCAS89)
-INPUT(G0)
-INPUT(G1)
-INPUT(G2)
-INPUT(G3)
-OUTPUT(G17)
-G5 = DFF(G10)
-G6 = DFF(G11)
-G7 = DFF(G13)
-G14 = NOT(G0)
-G17 = NOT(G11)
-G8 = AND(G14, G6)
-G15 = OR(G12, G8)
-G16 = OR(G3, G8)
-G9 = NAND(G16, G15)
-G10 = NOR(G14, G11)
-G11 = NOR(G5, G9)
-G12 = NOR(G1, G7)
-G13 = NAND(G2, G12)
-BENCH
+scripts/parity.sh
 
-# Only wall-clock fields and the informational `jobs` config entry may
-# differ between worker counts; everything else must be byte-identical.
-strip_varying() {
-    grep -v '"wall_ns"' "$1" | grep -v '"jobs"'
-}
-
-PPET_JOBS=1 ./target/release/merced batch "$tmp/s27.bench" \
-    --lk 4 --replicas 8 --quiet --trace-json "$tmp/seq" > /dev/null
-PPET_JOBS=max ./target/release/merced batch "$tmp/s27.bench" \
-    --lk 4 --replicas 8 --quiet --trace-json "$tmp/par" > /dev/null
-for name in s27.json batch.json; do
-    strip_varying "$tmp/seq/$name" > "$tmp/a"
-    strip_varying "$tmp/par/$name" > "$tmp/b"
-    if ! diff -u "$tmp/a" "$tmp/b"; then
-        echo "ci: $name differs between PPET_JOBS=1 and PPET_JOBS=max" >&2
-        exit 1
-    fi
-done
-echo "manifests identical modulo wall_ns/jobs"
+echo "==> audit golden corpus"
+scripts/golden.sh --check
 
 echo "==> ci: all green"

@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# Golden regression corpus: recorded, audited run manifests that every CI
+# run re-verifies from scratch.
+#
+#   scripts/golden.sh --check   re-audit every manifest in recorded/golden/
+#                               (the CI gate; fails on any divergence)
+#   scripts/golden.sh --bless   recompile the corpus and overwrite the
+#                               recordings (run after an intentional
+#                               algorithm change, then commit the diff)
+#
+# Each recording is produced by `merced --builtin <name> --audit
+# --trace-json`, so it carries the full configuration, every result claim,
+# and the audited retiming lag witness. `merced audit <manifest>`
+# reconstructs the configuration, recompiles the builtin circuit,
+# re-derives every paper invariant, cross-checks the recorded counters and
+# claims against the fresh compile, and re-validates the recorded witness
+# against the netlist — corrupting any lag, partition, or cost field in a
+# recording makes the check fail with a named diagnostic code.
+#
+# Run from the repository root. Fully offline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GOLDEN_DIR=recorded/golden
+MERCED=target/release/merced
+
+# The corpus: builtin circuit name + compile flags. One line per recording;
+# keep it deterministic (fixed seeds, explicit l_k) and fast (< 1 s each).
+corpus() {
+    cat <<'EOF'
+s27 --lk 4
+counter8 --lk 4
+johnson12 --lk 6
+s510 --lk 16
+s641 --lk 16 --policy solver
+EOF
+}
+
+build() {
+    echo "==> cargo build --release -p ppet-core --bin merced"
+    cargo build -q --release -p ppet-core --bin merced
+}
+
+bless() {
+    build
+    mkdir -p "$GOLDEN_DIR"
+    corpus | while read -r name flags; do
+        echo "==> bless $name"
+        # shellcheck disable=SC2086
+        "$MERCED" --builtin "$name" $flags --audit --quiet \
+            --trace-json "$GOLDEN_DIR/$name.json" > /dev/null
+    done
+    echo "golden: blessed $(corpus | wc -l | tr -d ' ') recordings in $GOLDEN_DIR"
+}
+
+check() {
+    build
+    if ! ls "$GOLDEN_DIR"/*.json > /dev/null 2>&1; then
+        echo "golden: no recordings in $GOLDEN_DIR (run scripts/golden.sh --bless)" >&2
+        exit 1
+    fi
+    status=0
+    for manifest in "$GOLDEN_DIR"/*.json; do
+        if "$MERCED" audit "$manifest" --quiet; then
+            :
+        else
+            echo "golden: $manifest FAILED" >&2
+            status=1
+        fi
+    done
+    if [ "$status" -ne 0 ]; then
+        echo "golden: corpus diverged; inspect with \`merced audit <manifest>\`," >&2
+        echo "golden: or re-bless after an intentional change: scripts/golden.sh --bless" >&2
+        exit 1
+    fi
+    echo "golden: all recordings re-verified"
+}
+
+case "${1:-}" in
+    --check) check ;;
+    --bless) bless ;;
+    *)
+        echo "usage: scripts/golden.sh --check | --bless" >&2
+        exit 2
+        ;;
+esac

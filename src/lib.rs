@@ -23,6 +23,8 @@
 //!   pseudo-exhaustive coverage measurement;
 //! * [`trace`] — structured pipeline tracing: spans, counters, and the
 //!   JSON run manifest (`merced --trace-json`);
+//! * [`audit`] — independent verification: re-derives every paper
+//!   invariant from the netlist and partition alone (`merced audit`);
 //! * [`core`] — **Merced**, the end-to-end BIST compiler.
 //!
 //! # Quick start
@@ -41,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ppet_audit as audit;
 pub use ppet_cbit as cbit;
 pub use ppet_core as core;
 pub use ppet_exec as exec;

@@ -102,11 +102,14 @@ fn parallel_fault_simulation_is_worker_count_invariant() {
     }
 }
 
-/// Everything in a report except the wall-clock fields.
+/// Everything in a report except the wall-clock fields and the worker
+/// count (a pure resource decision, echoed in both `jobs` and the
+/// recorded configuration).
 fn deterministic_view(r: &PpetReport) -> PpetReport {
     let mut r = r.clone();
     r.elapsed = std::time::Duration::ZERO;
     r.jobs = 0;
+    r.config.jobs = 0;
     for p in &mut r.phases {
         p.wall_ns = 0;
     }
