@@ -33,6 +33,11 @@ pub enum AuditCode {
     PartitionCutBudget,
     /// The "cut nets on SCC" count disagrees with a recount.
     PartitionCutsOnScc,
+    /// The congestion profile that fed the partitioner never met its full
+    /// visit quota (the `max_trees` budget ran out first). Reported as a
+    /// *warning* — the configuration is still legal, but the distance
+    /// function was built from fewer trees than Table 3 demands.
+    FlowSaturation,
     /// The retiming witness is malformed (wrong length, unparsable).
     RetimeWitness,
     /// The retiming witness violates Corollary 3: some retimed edge weight
@@ -95,6 +100,7 @@ impl AuditCode {
             Self::PartitionCutSet => "partition-cut-set",
             Self::PartitionCutBudget => "partition-cut-budget",
             Self::PartitionCutsOnScc => "partition-cuts-on-scc",
+            Self::FlowSaturation => "flow-saturation",
             Self::RetimeWitness => "retime-witness",
             Self::RetimeLegality => "retime-legality",
             Self::RetimeCoverage => "retime-coverage",
@@ -136,6 +142,7 @@ mod tests {
             AuditCode::PartitionCutSet,
             AuditCode::PartitionCutBudget,
             AuditCode::PartitionCutsOnScc,
+            AuditCode::FlowSaturation,
             AuditCode::RetimeWitness,
             AuditCode::RetimeLegality,
             AuditCode::RetimeCoverage,

@@ -82,6 +82,7 @@ use ctx::Ctx;
 ///     partitions: &partitions,
 ///     cut_nets: &[],
 ///     claims: Claims {
+///         flow_saturated: true,
 ///         dffs: 3,
 ///         dffs_on_scc: 3,
 ///         nets_cut: 0,
@@ -103,6 +104,21 @@ use ctx::Ctx;
 pub fn audit(subject: &AuditSubject<'_>) -> AuditReport {
     let ctx = Ctx::new(subject);
     let mut report = AuditReport::default();
+    if subject.claims.flow_saturated {
+        report.ok(
+            AuditCode::FlowSaturation,
+            "congestion profile met the full visit quota",
+        );
+    } else {
+        // Advisory, not a failure: a truncated max_trees run is a
+        // documented large-circuit trade-off, but it must never feed the
+        // partitioner silently.
+        report.warn(
+            AuditCode::FlowSaturation,
+            "congestion profile under-saturated: the tree budget ran out \
+             before every node met its visit quota",
+        );
+    }
     partition::check(&ctx, &mut report);
     let realization = retime::check(&ctx, &mut report);
     cbit::check(&ctx, &mut report);

@@ -11,6 +11,12 @@ pub struct AuditCheck {
     pub code: AuditCode,
     /// Whether the invariant held.
     pub passed: bool,
+    /// Whether this is an advisory finding: the configuration is legal but
+    /// something about how it was produced deserves attention (e.g. an
+    /// under-saturated congestion profile). Warnings never fail the audit
+    /// (`passed` stays `true`) but render as `warn` and embed as
+    /// `WARN: …` manifest entries.
+    pub warning: bool,
     /// Human-readable evidence: the re-derived values on success, the
     /// discrepancy on failure.
     pub detail: String,
@@ -33,6 +39,7 @@ impl AuditReport {
         self.checks.push(AuditCheck {
             code,
             passed,
+            warning: false,
             detail: detail.into(),
         });
     }
@@ -45,6 +52,30 @@ impl AuditReport {
     /// Records a failing check.
     pub fn fail(&mut self, code: AuditCode, detail: impl Into<String>) {
         self.push(code, false, detail);
+    }
+
+    /// Records an advisory warning under `code`: the audit still passes,
+    /// but the finding is rendered as `warn` and embedded as a `WARN: …`
+    /// manifest entry (see [`AuditCheck::warning`]).
+    pub fn warn(&mut self, code: AuditCode, detail: impl Into<String>) {
+        self.checks.push(AuditCheck {
+            code,
+            passed: true,
+            warning: true,
+            detail: detail.into(),
+        });
+    }
+
+    /// The warning checks, in execution order.
+    #[must_use]
+    pub fn warnings(&self) -> Vec<&AuditCheck> {
+        self.checks.iter().filter(|c| c.warning).collect()
+    }
+
+    /// Whether a specific code warned.
+    #[must_use]
+    pub fn warned(&self, code: AuditCode) -> bool {
+        self.checks.iter().any(|c| c.code == code && c.warning)
     }
 
     /// Whether every check passed.
@@ -93,16 +124,18 @@ impl AuditReport {
         ];
         for check in &self.checks {
             let key = format!("check.{}", check.code);
-            let value = if check.passed {
-                "pass".to_owned()
-            } else {
+            let value = if !check.passed {
                 format!("FAIL: {}", check.detail)
+            } else if check.warning {
+                format!("WARN: {}", check.detail)
+            } else {
+                "pass".to_owned()
             };
             match entries.iter_mut().find(|(k, _)| *k == key) {
-                // A code that failed anywhere stays failed; otherwise keep
-                // the first entry.
+                // Severity wins per code: a FAIL anywhere sticks, a WARN
+                // overrides a plain pass, otherwise keep the first entry.
                 Some((_, v)) => {
-                    if !check.passed && v == "pass" {
+                    if (!check.passed && !v.starts_with("FAIL")) || (check.warning && v == "pass") {
                         *v = value;
                     }
                 }
@@ -121,7 +154,13 @@ impl fmt::Display for AuditReport {
     /// then a verdict line.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for check in &self.checks {
-            let status = if check.passed { "ok  " } else { "FAIL" };
+            let status = if !check.passed {
+                "FAIL"
+            } else if check.warning {
+                "warn"
+            } else {
+                "ok  "
+            };
             writeln!(f, "{status} {:<24} {}", check.code.name(), check.detail)?;
         }
         let failed = self.failures().len();
@@ -174,6 +213,32 @@ mod tests {
             .unwrap();
         assert!(bound.1.starts_with("FAIL"), "{}", bound.1);
         assert!(entries.contains(&("retime.lags".to_owned(), "2:1".to_owned())));
+    }
+
+    #[test]
+    fn warnings_pass_but_surface_in_manifest_and_display() {
+        let mut r = AuditReport::default();
+        r.warn(AuditCode::FlowSaturation, "5 nodes short of quota");
+        assert!(r.pass(), "warnings never fail the audit");
+        assert!(r.warned(AuditCode::FlowSaturation));
+        assert_eq!(r.warnings().len(), 1);
+        assert!(r.failures().is_empty());
+        let entries = r.manifest_entries();
+        let entry = entries
+            .iter()
+            .find(|(k, _)| k == "check.flow-saturation")
+            .unwrap();
+        assert!(entry.1.starts_with("WARN:"), "{}", entry.1);
+        let s = r.to_string();
+        assert!(s.contains("warn flow-saturation"), "{s}");
+        // Severity ordering per code: FAIL sticks over a later WARN.
+        r.fail(AuditCode::FlowSaturation, "broken");
+        let entries = r.manifest_entries();
+        let entry = entries
+            .iter()
+            .find(|(k, _)| k == "check.flow-saturation")
+            .unwrap();
+        assert!(entry.1.starts_with("FAIL"), "{}", entry.1);
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct ClaimedPartition {
 /// Every number the compiler reported that the audit re-derives.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Claims {
+    /// Whether the flow phase met its full visit quota before the
+    /// partitioner consumed the congestion profile. `false` (a truncated
+    /// `max_trees` run) does not invalidate the configuration — every
+    /// structural invariant is still checked — but the audit flags it with
+    /// a [`AuditCode::FlowSaturation`](crate::AuditCode) warning so an
+    /// under-saturated profile never feeds a partition silently.
+    pub flow_saturated: bool,
     /// Registers in the circuit.
     pub dffs: usize,
     /// Registers inside cyclic SCCs.

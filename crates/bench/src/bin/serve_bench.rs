@@ -1,0 +1,113 @@
+//! Measures the compile service: cold-compile latency, cache-hit latency,
+//! and cached throughput under concurrent clients, over a real TCP
+//! round-trip to an in-process `merced serve` with the Merced backend.
+//! Writes the results to `BENCH_serve.json`.
+//!
+//! The interesting number is the cold/hit ratio: a hit skips the entire
+//! pipeline and pays only request parsing, normalization, hashing, and
+//! the socket round-trip.
+//!
+//! Usage: `serve_bench [out.json]` (default `BENCH_serve.json`).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Instant;
+
+use ppet_core::{MercedBackend, MercedConfig};
+use ppet_serve::{CompileRequest, ServeConfig, Server};
+
+const COLD_SEEDS: u64 = 8;
+const HIT_REPS: usize = 64;
+const CLIENTS: usize = 8;
+
+fn request(addr: SocketAddr, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /compile HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "unexpected response: {}",
+        response.lines().next().unwrap_or("")
+    );
+    response
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let circuit = "s641";
+
+    let backend = MercedBackend::new(MercedConfig::default());
+    let server = Server::bind("127.0.0.1:0", backend, ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+
+    // Cold path: distinct seeds, each a full pipeline run.
+    let mut cold_ns: Vec<u64> = Vec::new();
+    for seed in 0..COLD_SEEDS {
+        let body = CompileRequest::builtin(circuit).with_seed(seed).to_json();
+        let start = Instant::now();
+        request(addr, &body);
+        cold_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    // Hit path: one seed, repeated — pure cache reads.
+    let hit_body = CompileRequest::builtin(circuit).with_seed(0).to_json();
+    let mut hit_ns: Vec<u64> = Vec::new();
+    for _ in 0..HIT_REPS {
+        let start = Instant::now();
+        request(addr, &hit_body);
+        hit_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    // Cached throughput under concurrent clients.
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let body = hit_body.clone();
+            thread::spawn(move || {
+                for _ in 0..HIT_REPS / CLIENTS {
+                    request(addr, &body);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client");
+    }
+    let concurrent_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let concurrent_requests = (HIT_REPS / CLIENTS) * CLIENTS;
+    let throughput_rps = concurrent_requests as f64 / (concurrent_ns as f64 / 1e9);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+
+    let mean = |ns: &[u64]| ns.iter().sum::<u64>() / ns.len().max(1) as u64;
+    let min = |ns: &[u64]| ns.iter().copied().min().unwrap_or(0);
+    let cold_mean = mean(&cold_ns);
+    let hit_mean = mean(&hit_ns);
+
+    let json = format!(
+        "{{\n  \"schema\": \"ppet-bench-serve/v1\",\n  \"circuit\": \"{circuit}\",\n  \
+         \"cold_requests\": {COLD_SEEDS},\n  \"cold_ns_mean\": {cold_mean},\n  \
+         \"cold_ns_min\": {},\n  \"hit_requests\": {HIT_REPS},\n  \
+         \"hit_ns_mean\": {hit_mean},\n  \"hit_ns_min\": {},\n  \
+         \"cold_over_hit\": {:.1},\n  \"concurrent_clients\": {CLIENTS},\n  \
+         \"cached_throughput_rps\": {throughput_rps:.0}\n}}\n",
+        min(&cold_ns),
+        min(&hit_ns),
+        cold_mean as f64 / hit_mean.max(1) as f64,
+    );
+    std::fs::write(&out_path, &json).expect("write output");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

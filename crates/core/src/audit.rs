@@ -46,6 +46,7 @@ fn claimed(b: &AreaBreakdown) -> ClaimedBreakdown {
 /// The report's numbers, restated as claims for the auditor to re-derive.
 fn claims_of(report: &PpetReport) -> Claims {
     Claims {
+        flow_saturated: report.flow_saturated,
         dffs: report.dffs,
         dffs_on_scc: report.dffs_on_scc,
         nets_cut: report.nets_cut,
@@ -142,6 +143,31 @@ mod tests {
         .expect("compiles");
         let audit = compilation.audit(&circuit);
         assert!(audit.pass(), "{audit}");
+    }
+
+    #[test]
+    fn under_saturated_profile_warns_but_still_passes() {
+        // Regression: a max_trees-starved compile used to feed the
+        // partitioner with no signal anywhere; now the audit names it.
+        let circuit = data::s27();
+        let mut config = MercedConfig::default().with_cbit_length(4);
+        config.flow.max_trees = Some(2);
+        let compilation = Merced::new(config)
+            .compile_detailed(&circuit)
+            .expect("compiles");
+        assert!(!compilation.report.flow_saturated);
+        let audit = compilation.audit(&circuit);
+        assert!(audit.pass(), "{audit}");
+        assert!(audit.warned(AuditCode::FlowSaturation), "{audit}");
+        let mut manifest = compilation.report.run_manifest();
+        attach_audit(&mut manifest, &audit);
+        let warn = manifest.audit_value("check.flow-saturation").unwrap();
+        assert!(warn.starts_with("WARN:"), "{warn}");
+
+        // And a fully saturated compile records a plain pass.
+        let (circuit, full) = compiled(4);
+        let audit = full.audit(&circuit);
+        assert!(!audit.warned(AuditCode::FlowSaturation));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! merced <netlist.bench> [options]
 //! merced batch <netlist.bench>... [options]
 //! merced audit <manifest.json> [--bench netlist.bench] [options]
+//! merced serve --addr <host:port> [--workers N] [--queue N]
+//!              [--timeout-ms N] [options]
 //!
 //! Options:
 //!   --lk <N>           CBIT length / input constraint (default 16)
@@ -31,7 +33,23 @@
 //!   --trace-json <out> write the JSON run manifest (in batch mode: a
 //!                      directory receiving one manifest per job plus
 //!                      batch.json)
+//!
+//! Serve options:
+//!   --addr <host:port> listen address (port 0 picks an ephemeral port;
+//!                      the bound address is printed on stdout)
+//!   --workers <N>      compile worker threads (default 2)
+//!   --queue <N>        bounded queue capacity; a full queue answers 429
+//!                      (default 64)
+//!   --timeout-ms <N>   per-request compile deadline; past it the client
+//!                      gets a structured 408 while the compile finishes
+//!                      into the cache (default 60000)
 //! ```
+//!
+//! `merced serve` keeps the compiler resident: requests hit a
+//! content-addressed cache keyed by the canonical netlist bytes, the
+//! effective config, and the seed, so repeated and concurrent identical
+//! requests cost one compile. `POST /shutdown`, SIGINT, or SIGTERM
+//! drains in-flight work before exiting.
 //!
 //! `merced audit` re-verifies a recorded run manifest from scratch: it
 //! reconstructs the configuration from the manifest's `config` entries,
@@ -49,10 +67,14 @@ use std::process::ExitCode;
 
 use ppet_core::audit::attach_audit;
 use ppet_core::instrument::{insert_test_hardware_traced, InstrumentOptions};
-use ppet_core::{compile_batch, Compilation, CostPolicy, Merced, MercedConfig, PpetReport};
+use ppet_core::{
+    compile_batch, resolve_builtin, Compilation, CostPolicy, Merced, MercedBackend, MercedConfig,
+    PpetReport,
+};
 use ppet_exec::Pool;
 use ppet_flow::FlowParams;
-use ppet_netlist::{bench_format, data, synth, writer, Circuit};
+use ppet_netlist::{bench_format, writer, Circuit};
+use ppet_serve::{ServeConfig, Server};
 use ppet_trace::{RunManifest, Tracer};
 
 /// A runtime error with a machine-matchable kind, rendered as one JSON
@@ -103,6 +125,7 @@ enum Mode {
     Single,
     Batch,
     Audit,
+    Serve,
 }
 
 struct Options {
@@ -122,6 +145,10 @@ struct Options {
     quiet: bool,
     trace: bool,
     trace_json: Option<String>,
+    addr: Option<String>,
+    workers: usize,
+    queue: usize,
+    timeout_ms: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -143,6 +170,10 @@ fn parse_args() -> Result<Options, String> {
         quiet: false,
         trace: false,
         trace_json: None,
+        addr: None,
+        workers: 2,
+        queue: 64,
+        timeout_ms: 60_000,
     };
     let mut positionals = 0usize;
     while let Some(arg) = args.next() {
@@ -183,15 +214,34 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--trace-json expects a path".to_string())?,
                 )
             }
+            "--addr" => {
+                opts.addr = Some(args.next().ok_or("--addr expects host:port".to_string())?)
+            }
+            "--workers" => opts.workers = next_value(&mut args, "--workers")?,
+            "--queue" => opts.queue = next_value(&mut args, "--queue")?,
+            "--timeout-ms" => opts.timeout_ms = next_value(&mut args, "--timeout-ms")?,
             "--help" | "-h" => return Err(usage()),
             "batch" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Batch,
             "audit" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Audit,
+            "serve" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Serve,
             _ if !arg.starts_with('-') => {
                 opts.inputs.push(arg);
                 positionals += 1;
             }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
+    }
+    if opts.mode == Mode::Serve {
+        if opts.addr.is_none() {
+            return Err(format!("serve requires --addr <host:port>\n{}", usage()));
+        }
+        if !opts.inputs.is_empty() {
+            return Err("serve takes no circuit inputs; clients post them".to_string());
+        }
+        return Ok(opts);
+    }
+    if opts.addr.is_some() {
+        return Err("--addr only applies to `merced serve`".to_string());
     }
     if opts.inputs.is_empty() {
         return Err(usage());
@@ -232,33 +282,10 @@ fn usage() -> String {
      \x20      merced batch <netlist.bench | --builtin NAME>... [same \
      options; --trace-json names a directory]\n\
      \x20      merced audit <manifest.json> [--bench netlist.bench] \
-     [--jobs N|max] [--quiet]"
+     [--jobs N|max] [--quiet]\n\
+     \x20      merced serve --addr <host:port> [--workers N] [--queue N] \
+     [--timeout-ms N] [--jobs N|max] [same compile options as defaults]"
         .to_string()
-}
-
-/// Resolves a built-in circuit name: the hand-written s27 and textbook
-/// structures, or the calibrated synthetic stand-in for a Table 9 name.
-fn resolve_builtin(name: &str) -> Option<Circuit> {
-    if name == "s27" {
-        return Some(data::s27());
-    }
-    if name == "alu_slice" {
-        return Some(data::alu_slice());
-    }
-    for (prefix, build) in [
-        ("counter", data::counter as fn(usize) -> Circuit),
-        ("shift", data::shift_register),
-        ("johnson", data::johnson_counter),
-    ] {
-        if let Some(n) = name.strip_prefix(prefix) {
-            if let Ok(n) = n.parse::<usize>() {
-                if (1..=64).contains(&n) {
-                    return Some(build(n));
-                }
-            }
-        }
-    }
-    synth::iscas89_like(name)
 }
 
 /// Loads one circuit source: a `builtin:<name>` marker or a `.bench` path.
@@ -373,6 +400,31 @@ fn run_batch(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// `merced serve --addr <host:port>`: the long-running compile service.
+/// Blocks until `POST /shutdown`, SIGINT, or SIGTERM, then drains.
+fn run_serve(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
+    ppet_serve::signal::install();
+    let addr = opts.addr.as_deref().expect("parse_args enforces --addr");
+    let backend = MercedBackend::new(build_config(opts, jobs));
+    let config = ServeConfig {
+        workers: opts.workers.max(1),
+        queue_capacity: opts.queue.max(1),
+        timeout: std::time::Duration::from_millis(opts.timeout_ms.max(1)),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(addr, backend, config)
+        .map_err(|e| CliError::new("io", format!("cannot bind {addr}: {e}")))?;
+    // Tests bind port 0; the printed line is how they learn the real port.
+    println!("merced serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run();
+    if !opts.quiet {
+        println!("merced serve drained");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `merced audit <manifest.json>`: independent re-verification of a
@@ -534,6 +586,7 @@ fn main() -> ExitCode {
     let outcome = match opts.mode {
         Mode::Batch => run_batch(&opts, jobs),
         Mode::Audit => run_audit(&opts, jobs),
+        Mode::Serve => run_serve(&opts, jobs),
         Mode::Single => {
             let (tracer, sink) = if opts.trace {
                 let (tracer, sink) = Tracer::collecting();

@@ -1,0 +1,54 @@
+//! Built-in circuit resolution, shared by the `merced` CLI and the
+//! compile-service backend.
+
+use ppet_netlist::{data, synth, Circuit};
+
+/// Resolves a built-in circuit name: the hand-written s27 and textbook
+/// structures (`counter<N>`, `shift<N>`, `johnson<N>`, `alu_slice`), or
+/// the calibrated synthetic stand-in for a Table 9 name (`s641`,
+/// `s5378`, …).
+#[must_use]
+pub fn resolve_builtin(name: &str) -> Option<Circuit> {
+    if name == "s27" {
+        return Some(data::s27());
+    }
+    if name == "alu_slice" {
+        return Some(data::alu_slice());
+    }
+    for (prefix, build) in [
+        ("counter", data::counter as fn(usize) -> Circuit),
+        ("shift", data::shift_register),
+        ("johnson", data::johnson_counter),
+    ] {
+        if let Some(n) = name.strip_prefix(prefix) {
+            if let Ok(n) = n.parse::<usize>() {
+                if (1..=64).contains(&n) {
+                    return Some(build(n));
+                }
+            }
+        }
+    }
+    synth::iscas89_like(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_known_names() {
+        assert_eq!(resolve_builtin("s27").unwrap().name(), "s27");
+        assert!(resolve_builtin("alu_slice").is_some());
+        assert!(resolve_builtin("counter8").is_some());
+        assert!(resolve_builtin("shift4").is_some());
+        assert!(resolve_builtin("johnson3").is_some());
+        assert!(resolve_builtin("s641").is_some());
+    }
+
+    #[test]
+    fn rejects_unknown_and_out_of_range_names() {
+        assert!(resolve_builtin("nonsense").is_none());
+        assert!(resolve_builtin("counter0").is_none());
+        assert!(resolve_builtin("counter999").is_none());
+    }
+}

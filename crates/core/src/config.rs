@@ -177,12 +177,27 @@ impl MercedConfig {
     ///
     /// Returns a description of the first unparseable value.
     pub fn from_manifest_entries(entries: &[(String, String)]) -> Result<Self, String> {
+        let mut config = Self::default();
+        config.apply_manifest_entries(entries)?;
+        Ok(config)
+    }
+
+    /// Applies manifest `config` entries *over* the current configuration
+    /// — the overlay variant of [`MercedConfig::from_manifest_entries`],
+    /// used by the compile service to layer per-request overrides on the
+    /// server's base configuration. Unknown keys are ignored; untouched
+    /// knobs keep their current values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unparseable value.
+    pub fn apply_manifest_entries(&mut self, entries: &[(String, String)]) -> Result<(), String> {
         fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
             value
                 .parse()
                 .map_err(|_| format!("config entry {key}: cannot parse {value:?}"))
         }
-        let mut config = Self::default();
+        let config = self;
         for (key, value) in entries {
             match key.as_str() {
                 "cbit_length" => config.cbit_length = num(key, value)?,
@@ -223,7 +238,7 @@ impl MercedConfig {
                 _ => {}
             }
         }
-        Ok(config)
+        Ok(())
     }
 
     /// Validates the configuration; returns a description of the first
@@ -345,6 +360,16 @@ mod tests {
         assert!(MercedConfig::from_manifest_entries(&bad)
             .unwrap_err()
             .contains("policy"));
+    }
+
+    #[test]
+    fn apply_manifest_entries_overlays_the_current_config() {
+        let mut config = MercedConfig::default().with_cbit_length(24).with_beta(10);
+        let overrides = vec![("beta".to_owned(), "7".to_owned())];
+        config.apply_manifest_entries(&overrides).unwrap();
+        // Only the named knob changes; the rest keep their values.
+        assert_eq!(config.beta, 7);
+        assert_eq!(config.cbit_length, 24);
     }
 
     #[test]

@@ -38,15 +38,19 @@
 
 pub mod audit;
 pub mod batch;
+pub mod builtin;
 mod config;
 pub mod cost;
 mod error;
 pub mod instrument;
 mod merced;
 pub mod report;
+pub mod serve_backend;
 
 pub use batch::{compile_batch, BatchOutcome};
+pub use builtin::resolve_builtin;
 pub use config::{CostPolicy, MercedConfig};
 pub use error::MercedError;
 pub use merced::{Compilation, Merced};
 pub use report::{PhaseMetrics, PpetReport};
+pub use serve_backend::MercedBackend;

@@ -179,6 +179,8 @@ impl Merced {
             saturate_network_par_traced(&graph, &self.config.flow, self.config.seed, &pool, tracer)
         };
         let search = profile.search_stats();
+        let flow_saturated = profile.is_saturated();
+        let flow_shortfall_nodes = profile.unsaturated_nodes();
         phases.push(PhaseMetrics {
             name: "saturate_network",
             wall_ns: phase_ns(phase_start),
@@ -187,6 +189,7 @@ impl Merced {
                 ("flow.nodes_settled", search.settled),
                 ("flow.relaxations", search.relaxations),
                 ("flow.replicas", u64::from(self.config.flow.replicas)),
+                ("flow.shortfall_nodes", flow_shortfall_nodes as u64),
                 ("flow.trees_built", profile.num_trees() as u64),
             ],
         });
@@ -350,6 +353,8 @@ impl Merced {
             nets_cut: cuts.len(),
             cut_nets_on_scc: cuts_on_scc.len(),
             forced_internal,
+            flow_saturated,
+            flow_shortfall_nodes,
             clusters_before_merge,
             partitions,
             cbit_cost_dff,
@@ -414,6 +419,21 @@ mod tests {
             .unwrap();
         // A different seed may (and usually does) change the cut set.
         let _ = c;
+    }
+
+    #[test]
+    fn unbudgeted_compile_is_saturated_and_tree_budget_is_flagged() {
+        let full = compile_s27(4);
+        assert!(full.flow_saturated);
+        assert_eq!(full.flow_shortfall_nodes, 0);
+
+        let mut config = MercedConfig::default().with_cbit_length(4);
+        config.flow.max_trees = Some(2);
+        let starved = Merced::new(config).compile(&data::s27()).unwrap();
+        assert!(!starved.flow_saturated);
+        assert!(starved.flow_shortfall_nodes > 0);
+        let m = starved.run_manifest();
+        assert_eq!(m.result_value("flow.saturated"), Some("false"));
     }
 
     #[test]

@@ -110,6 +110,14 @@ pub struct PpetReport {
     pub cut_nets_on_scc: usize,
     /// Nets the SCC budget forced internal.
     pub forced_internal: usize,
+    /// Whether the flow phase met the full visit quota. `false` means the
+    /// [`FlowParams::max_trees`](ppet_flow::FlowParams) budget ran out
+    /// first, so the congestion profile that fed the partitioner was built
+    /// from fewer trees than Table 3 demands (the deliberate large-circuit
+    /// trade-off recorded in `EXPERIMENTS.md`).
+    pub flow_saturated: bool,
+    /// Number of nodes that missed their visit quota (0 when saturated).
+    pub flow_shortfall_nodes: usize,
     /// Clusters before the greedy merge.
     pub clusters_before_merge: usize,
     /// Final partitions.
@@ -176,6 +184,11 @@ impl PpetReport {
             (
                 "clusters_before_merge",
                 self.clusters_before_merge.to_string(),
+            ),
+            ("flow.saturated", self.flow_saturated.to_string()),
+            (
+                "flow.shortfall_nodes",
+                self.flow_shortfall_nodes.to_string(),
             ),
             ("circuit_area", self.area.circuit_area.to_string()),
             ("cbit_cost_dff", format!("{:.4}", self.cbit_cost_dff)),
@@ -335,6 +348,8 @@ mod tests {
             nets_cut: 5,
             cut_nets_on_scc: 3,
             forced_internal: 0,
+            flow_saturated: true,
+            flow_shortfall_nodes: 0,
             clusters_before_merge: 6,
             partitions: vec![PartitionSummary {
                 cells: 17,
@@ -421,6 +436,8 @@ mod tests {
         assert_eq!(m.result_value("without.mux_bits"), Some("4"));
         assert_eq!(m.result_value("partitions"), Some("1"));
         assert_eq!(m.result_value("partition.0"), Some("17/4/4"));
+        assert_eq!(m.result_value("flow.saturated"), Some("true"));
+        assert_eq!(m.result_value("flow.shortfall_nodes"), Some("0"));
         assert_eq!(m.result_value("schedule.total_cycles"), Some("16"));
         // The recorded config (plus the manifest's own seed field)
         // reconstructs the compile's configuration.

@@ -1,0 +1,178 @@
+//! The Merced compiler as a [`ppet_serve::CompileBackend`].
+//!
+//! This is the glue that turns `ppet-serve`'s compiler-agnostic service
+//! into `merced serve`: requests resolve through the same builtin table
+//! and `.bench` parser as the CLI, per-request `config` entries overlay
+//! the server's base [`MercedConfig`] via the `manifest_entries`
+//! vocabulary, and the compile emits the exact `ppet-trace/v1` run
+//! manifest the CLI's `--trace-json` would write — so a served result is
+//! byte-identical to a CLI compile of the same inputs (modulo the
+//! `wall_ns`/`jobs` manifest entries, which record the run, not the
+//! result).
+
+use ppet_serve::{BackendError, CompileBackend, CompileRequest, NormalizedRequest};
+
+use crate::builtin::resolve_builtin;
+use crate::{Merced, MercedConfig};
+
+/// [`CompileBackend`] implementation backed by [`Merced`].
+#[derive(Debug, Clone)]
+pub struct MercedBackend {
+    base: MercedConfig,
+}
+
+impl MercedBackend {
+    /// A backend compiling over `base`: request `config` entries overlay
+    /// it, the request `seed` (when present) replaces its seed, and its
+    /// `jobs` always wins — worker counts are the server's resource
+    /// decision and never change results.
+    #[must_use]
+    pub fn new(base: MercedConfig) -> Self {
+        Self { base }
+    }
+
+    fn effective_config(
+        &self,
+        normalized: &NormalizedRequest,
+    ) -> Result<MercedConfig, BackendError> {
+        let mut config = MercedConfig::from_manifest_entries(&normalized.config_entries)
+            .map_err(|e| BackendError::new("manifest", e))?;
+        config.seed = normalized.seed;
+        config.jobs = self.base.jobs;
+        Ok(config)
+    }
+}
+
+impl CompileBackend for MercedBackend {
+    fn normalize(&self, request: &CompileRequest) -> Result<NormalizedRequest, BackendError> {
+        let circuit = match (&request.builtin, &request.bench) {
+            (Some(name), None) => resolve_builtin(name).ok_or_else(|| {
+                BackendError::new("usage", format!("unknown builtin circuit `{name}`"))
+            })?,
+            (None, Some(source)) => {
+                let name = request.name.as_deref().unwrap_or("request");
+                ppet_netlist::bench_format::parse(name, source)
+                    .map_err(|e| BackendError::new("parse", e.to_string()))?
+            }
+            _ => {
+                return Err(BackendError::new(
+                    "usage",
+                    "request must name exactly one of builtin or bench",
+                ));
+            }
+        };
+        let mut config = self.base.clone();
+        config
+            .apply_manifest_entries(&request.config)
+            .map_err(|e| BackendError::new("manifest", e))?;
+        if let Some(seed) = request.seed {
+            config.seed = seed;
+        }
+        config.jobs = self.base.jobs;
+        if let Some(problem) = config.validate() {
+            return Err(BackendError::new("usage", problem));
+        }
+        // The cache key must be a pure function of the *result*, so the
+        // jobs entry (pure resource decision, bit-identical at any value)
+        // is excluded from the normalized entries.
+        let config_entries = config
+            .manifest_entries()
+            .into_iter()
+            .filter(|(k, _)| k != "jobs")
+            .collect();
+        Ok(NormalizedRequest {
+            circuit,
+            config_entries,
+            seed: config.seed,
+        })
+    }
+
+    fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError> {
+        let config = self.effective_config(normalized)?;
+        let report = Merced::new(config)
+            .compile(&normalized.circuit)
+            .map_err(|e| BackendError::new("compile", e.to_string()))?;
+        Ok(report.run_manifest().to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_serve::CacheKey;
+    use ppet_trace::RunManifest;
+
+    fn backend() -> MercedBackend {
+        MercedBackend::new(MercedConfig::default().with_cbit_length(4))
+    }
+
+    #[test]
+    fn normalizes_builtins_and_overlays_config() {
+        let req = CompileRequest::builtin("s27")
+            .with_config("beta", "7")
+            .with_seed(42);
+        let norm = backend().normalize(&req).unwrap();
+        assert_eq!(norm.circuit.name(), "s27");
+        assert_eq!(norm.seed, 42);
+        let entry = |k: &str| {
+            norm.config_entries
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(entry("beta"), Some("7"));
+        assert_eq!(entry("cbit_length"), Some("4"), "base config survives");
+        assert_eq!(entry("jobs"), None, "jobs never reaches the cache key");
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_cache_key() {
+        let req = CompileRequest::builtin("s27").with_config("jobs", "8");
+        let with_jobs = backend().normalize(&req).unwrap();
+        let without = backend()
+            .normalize(&CompileRequest::builtin("s27"))
+            .unwrap();
+        assert_eq!(CacheKey::of(&with_jobs), CacheKey::of(&without));
+    }
+
+    #[test]
+    fn rejects_unknown_builtins_and_bad_config() {
+        let err = backend()
+            .normalize(&CompileRequest::builtin("nonsense"))
+            .unwrap_err();
+        assert_eq!(err.kind, "usage");
+        let err = backend()
+            .normalize(&CompileRequest::builtin("s27").with_config("beta", "many"))
+            .unwrap_err();
+        assert_eq!(err.kind, "manifest");
+        let err = backend()
+            .normalize(&CompileRequest::builtin("s27").with_config("cbit_length", "99"))
+            .unwrap_err();
+        assert_eq!(err.kind, "usage");
+    }
+
+    #[test]
+    fn compile_matches_the_direct_path_bit_for_bit() {
+        let backend = backend();
+        let req = CompileRequest::builtin("s27").with_seed(7);
+        let norm = backend.normalize(&req).unwrap();
+        let served = backend.compile(&norm).unwrap();
+
+        let direct = Merced::new(MercedConfig::default().with_cbit_length(4).with_seed(7))
+            .compile(&norm.circuit)
+            .unwrap()
+            .run_manifest()
+            .to_json();
+
+        // The manifest is a deterministic function of (circuit, config,
+        // seed) except for the wall-clock entry.
+        let strip = |s: &str| -> String {
+            s.lines()
+                .filter(|l| !l.contains("\"wall_ns\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&served), strip(&direct));
+        assert!(RunManifest::from_json(&served).is_ok());
+    }
+}

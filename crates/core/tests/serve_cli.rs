@@ -1,0 +1,136 @@
+//! Black-box test of the `merced serve` subcommand: spawn the real
+//! binary on an ephemeral port, compile over HTTP, observe the cache in
+//! `/metrics`, and shut down cleanly via `POST /shutdown`.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct ServerProcess {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProcess {
+    fn spawn(extra_args: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_merced"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--quiet"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn merced serve");
+        // The first stdout line announces the bound address.
+        let stdout = child.stdout.as_mut().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read bound address");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address in announcement")
+            .to_owned();
+        assert!(
+            line.contains("listening on"),
+            "unexpected announcement {line:?}"
+        );
+        Self { child, addr }
+    }
+
+    fn request(&self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .unwrap();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn wait_for_exit(mut self) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "merced serve did not exit after /shutdown"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn serve_compiles_caches_and_drains() {
+    let server = ServerProcess::spawn(&["--lk", "4"]);
+
+    let (status, health) = server.request("GET", "/healthz", "");
+    assert_eq!((status, health.as_str()), (200, "ok\n"));
+
+    let req = r#"{"schema":"ppet-serve/v1","builtin":"s27","seed":7}"#;
+    let (status, first) = server.request("POST", "/compile", req);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains("\"schema\": \"ppet-trace/v1\""), "{first}");
+
+    // Identical request: served from the cache, byte-for-byte.
+    let (status, second) = server.request("POST", "/compile", req);
+    assert_eq!(status, 200);
+    assert_eq!(first, second);
+    let (_, metrics) = server.request("GET", "/metrics", "");
+    assert!(metrics.contains("serve.cache_hits 1\n"), "{metrics}");
+    assert!(metrics.contains("serve.cache_misses 1\n"), "{metrics}");
+
+    // Malformed request: structured error, server stays up.
+    let (status, err) = server.request("POST", "/compile", "{nope");
+    assert_eq!(status, 400);
+    assert!(err.contains("\"schema\":\"ppet-error/v1\""), "{err}");
+
+    let (status, drain) = server.request("POST", "/shutdown", "");
+    assert_eq!((status, drain.as_str()), (202, "draining\n"));
+    let exit = server.wait_for_exit();
+    assert!(exit.success(), "drained exit should be clean: {exit:?}");
+}
+
+#[test]
+fn serve_refuses_bad_invocations() {
+    let out = Command::new(env!("CARGO_BIN_EXE_merced"))
+        .args(["serve"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--addr"), "{stderr}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_merced"))
+        .args(["serve", "--addr", "127.0.0.1:0", "extra.bench"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no circuit inputs"), "{stderr}");
+}

@@ -16,6 +16,11 @@
 //! - [`Pool::par_reduce`] — parallel map, then a fixed-order left fold,
 //!   so even floating-point accumulation is stable.
 //!
+//! For long-running services the crate adds [`WorkQueue`]: a bounded,
+//! persistent worker pool with backpressure ([`WorkQueue::try_submit`] /
+//! [`QueueFull`]), graceful drain, and a cancellation hook for jobs that
+//! have not started — the scheduling substrate of `merced serve`.
+//!
 //! The other half of the contract lives with callers: tasks must be pure
 //! functions of `(index, item)`. Stochastic tasks get there by deriving
 //! per-task PRNG streams (`ppet_prng::Xoshiro256PlusPlus::stream`, jump
@@ -40,6 +45,8 @@
 
 mod jobs;
 mod pool;
+mod queue;
 
 pub use jobs::{available_workers, parse_jobs, resolve_jobs, JobsError, JOBS_ENV};
 pub use pool::Pool;
+pub use queue::{QueueFull, WorkQueue};

@@ -90,6 +90,8 @@ pub fn saturate_network_par_traced(
             visits: Vec::new(),
             trees: 0,
             search: DijkstraStats::default(),
+            saturated: true,
+            shortfall: Vec::new(),
         };
     }
 
@@ -116,6 +118,7 @@ pub fn saturate_network_par_traced(
     // fold, so the merged profile is bit-identical at any worker count.
     let mut flow = vec![0.0f64; n];
     let mut visits = vec![0u32; n];
+    let mut shortfall = vec![0u32; n];
     let mut trees = 0usize;
     let mut search = DijkstraStats::default();
     for outcome in &outcomes {
@@ -124,6 +127,9 @@ pub fn saturate_network_par_traced(
         }
         for (slot, &v) in visits.iter_mut().zip(&outcome.visits) {
             *slot += v;
+        }
+        for (slot, &s) in shortfall.iter_mut().zip(&outcome.shortfall) {
+            *slot += s;
         }
         trees += outcome.trees;
         search.heap_pops += outcome.search.heap_pops;
@@ -136,10 +142,11 @@ pub fn saturate_network_par_traced(
             if f == 0.0 {
                 1.0
             } else {
-                (params.alpha * f / params.capacity).exp()
+                params.congestion_distance(f)
             }
         })
         .collect();
+    let saturated = shortfall.iter().all(|&s| s == 0);
 
     if enabled {
         for outcome in &outcomes {
@@ -160,6 +167,8 @@ pub fn saturate_network_par_traced(
         visits,
         trees,
         search,
+        saturated,
+        shortfall,
     }
 }
 
@@ -271,6 +280,36 @@ mod tests {
         p.max_trees = Some(10);
         let prof = saturate_network_par(&g, &p, 4, &Pool::new(2));
         assert!(prof.num_trees() <= 10);
+        // 10 trees cannot cover |V|·(quota+1) visits: the merged profile
+        // must report the shortfall instead of staying silent.
+        assert!(!prof.is_saturated());
+        assert!(prof.unsaturated_nodes() > 0);
+    }
+
+    #[test]
+    fn unbudgeted_parallel_run_is_saturated() {
+        let g = s27();
+        let p = FlowParams::quick().with_replicas(5);
+        let prof = saturate_network_par(&g, &p, 4, &Pool::new(2));
+        assert!(prof.is_saturated());
+        assert_eq!(prof.unsaturated_nodes(), 0);
+    }
+
+    #[test]
+    fn extreme_congestion_stays_finite_in_the_merged_distances() {
+        // Regression: the merged-recompute path had its own raw
+        // `exp(α·flow/cap)` — it must clamp exactly like the sequential
+        // update so determinism parity holds under extreme parameters.
+        let g = s27();
+        let mut p = FlowParams::quick().with_replicas(5);
+        p.alpha = 1e6;
+        let prof = saturate_network_par(&g, &p, 4, &Pool::new(3));
+        for (net, _) in g.nets() {
+            assert!(
+                prof.distance(net).is_finite(),
+                "net {net}: merged distance overflowed"
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,37 @@ pub struct FlowParams {
 }
 
 impl FlowParams {
+    /// Largest exponent [`FlowParams::congestion_distance`] feeds to
+    /// `exp`. `exp(709.78…)` is the last finite `f64`; saturating a little
+    /// below it keeps every congestion distance finite with headroom for
+    /// downstream additions.
+    pub const MAX_EXPONENT: f64 = 700.0;
+
+    /// The congestion distance `d(e) = exp(α·flow/cap)` of Table 3 STEP
+    /// 3.3, with the exponent saturated at [`FlowParams::MAX_EXPONENT`].
+    ///
+    /// [`FlowParams::validate`] bounds the *expected* flow, but source
+    /// selection is random: unlucky draws (or a heavily shared net in a
+    /// per-branch run) can overshoot the visit quota far enough that the
+    /// raw `exp` overflows to `+inf`, which makes every path through the
+    /// net compare as unreachable and silently distorts the trees that
+    /// follow. Saturating keeps the distance finite and the ordering of
+    /// all smaller flows intact. Both the sequential loop and the parallel
+    /// merge use this single definition, so determinism parity holds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = ppet_flow::FlowParams::paper();
+    /// assert_eq!(p.congestion_distance(0.0), 1.0);
+    /// assert!(p.congestion_distance(f64::MAX).is_finite());
+    /// ```
+    #[must_use]
+    pub fn congestion_distance(&self, flow: f64) -> f64 {
+        let exponent = (self.alpha * flow / self.capacity).min(Self::MAX_EXPONENT);
+        exponent.exp()
+    }
+
     /// The paper's published setting: `b = 1`, `min_visit = 20`, `α = 4`,
     /// `Δ = 0.01`, per-net accounting.
     #[must_use]
@@ -178,5 +209,21 @@ mod tests {
     #[test]
     fn default_is_paper() {
         assert_eq!(FlowParams::default(), FlowParams::paper());
+    }
+
+    #[test]
+    fn congestion_distance_saturates_instead_of_overflowing() {
+        let p = FlowParams::paper();
+        assert_eq!(p.congestion_distance(0.0), 1.0);
+        // Below the clamp the definition is the raw exponential.
+        assert_eq!(p.congestion_distance(0.5), (p.alpha * 0.5).exp());
+        // Past the clamp the distance stays finite (raw exp would be +inf
+        // for any exponent above ~709.78).
+        let saturated = p.congestion_distance(1e6);
+        assert!(saturated.is_finite());
+        assert_eq!(saturated, FlowParams::MAX_EXPONENT.exp());
+        assert_eq!(p.congestion_distance(f64::MAX), saturated);
+        // Monotone: saturation never reorders smaller flows.
+        assert!(p.congestion_distance(10.0) < p.congestion_distance(100.0));
     }
 }

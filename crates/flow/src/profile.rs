@@ -15,6 +15,8 @@ pub struct CongestionProfile {
     pub(crate) visits: Vec<u32>,
     pub(crate) trees: usize,
     pub(crate) search: DijkstraStats,
+    pub(crate) saturated: bool,
+    pub(crate) shortfall: Vec<u32>,
 }
 
 impl CongestionProfile {
@@ -49,6 +51,32 @@ impl CongestionProfile {
         self.search
     }
 
+    /// Whether every node met its visit quota before the run stopped.
+    ///
+    /// `false` means the [`FlowParams::max_trees`](crate::FlowParams)
+    /// budget ran out first and the distance function was built from fewer
+    /// trees than the paper's STEP 3 loop condition demands — see
+    /// [`CongestionProfile::shortfall`] for where the quota was missed.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Per-node visit shortfall: how many source visits each node was
+    /// short of its quota when the run stopped (all zeros when
+    /// [`CongestionProfile::is_saturated`]). For a replicated run the
+    /// entries are the per-replica shortfalls summed in replica order.
+    #[must_use]
+    pub fn shortfall(&self) -> &[u32] {
+        &self.shortfall
+    }
+
+    /// Number of nodes that never met their visit quota.
+    #[must_use]
+    pub fn unsaturated_nodes(&self) -> usize {
+        self.shortfall.iter().filter(|&&s| s > 0).count()
+    }
+
     /// The raw distance vector (one slot per net id), for use as Dijkstra
     /// lengths or partitioner boundaries.
     #[must_use]
@@ -80,6 +108,8 @@ mod tests {
             visits: vec![3, 3, 3, 3],
             trees: 12,
             search: DijkstraStats::default(),
+            saturated: true,
+            shortfall: vec![0, 0, 0, 0],
         }
     }
 
@@ -90,6 +120,18 @@ mod tests {
         assert_eq!(p.flow(CellId::from_index(1)), 0.2);
         assert_eq!(p.num_trees(), 12);
         assert_eq!(p.distances().len(), 4);
+        assert!(p.is_saturated());
+        assert_eq!(p.unsaturated_nodes(), 0);
+    }
+
+    #[test]
+    fn shortfall_counts_unsaturated_nodes() {
+        let mut p = sample();
+        p.saturated = false;
+        p.shortfall = vec![0, 2, 0, 1];
+        assert!(!p.is_saturated());
+        assert_eq!(p.unsaturated_nodes(), 2);
+        assert_eq!(p.shortfall(), &[0, 2, 0, 1]);
     }
 
     #[test]

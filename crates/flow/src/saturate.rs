@@ -72,6 +72,8 @@ pub fn saturate_network_traced(
             visits: Vec::new(),
             trees: 0,
             search: dijkstra::DijkstraStats::default(),
+            saturated: true,
+            shortfall: Vec::new(),
         };
     }
 
@@ -96,12 +98,15 @@ pub fn saturate_network_traced(
         tracer.add("flow.nodes_settled", outcome.search.settled);
     }
 
+    let saturated = outcome.shortfall.iter().all(|&s| s == 0);
     CongestionProfile {
         distance: outcome.distance,
         flow: outcome.flow,
         visits: outcome.visits,
         trees: outcome.trees,
         search: outcome.search,
+        saturated,
+        shortfall: outcome.shortfall,
     }
 }
 
@@ -121,6 +126,10 @@ pub(crate) struct ReplicaOutcome {
     pub(crate) trees: usize,
     pub(crate) search: dijkstra::DijkstraStats,
     pub(crate) tree_sizes: Vec<u64>,
+    /// Per-node visit shortfall against this replica's quota: how many
+    /// visits each node was short of `quota + 1` when the loop stopped
+    /// (non-zero only when the tree budget ran out first).
+    pub(crate) shortfall: Vec<u32>,
 }
 
 /// One run of the paper's Table 3 loop: `quota` is this replica's
@@ -170,17 +179,21 @@ pub(crate) fn run_replica(
             for (net, count) in scratch.tree_net_branch_counts() {
                 let i = net.index();
                 flow[i] += params.delta * count as f64;
-                distance[i] = (params.alpha * flow[i] / params.capacity).exp();
+                distance[i] = params.congestion_distance(flow[i]);
             }
         } else {
             for net in scratch.tree_nets() {
                 let i = net.index();
                 flow[i] += params.delta;
-                distance[i] = (params.alpha * flow[i] / params.capacity).exp();
+                distance[i] = params.congestion_distance(flow[i]);
             }
         }
     }
 
+    let shortfall: Vec<u32> = visits
+        .iter()
+        .map(|&v| (quota + 1).saturating_sub(v))
+        .collect();
     ReplicaOutcome {
         distance,
         flow,
@@ -188,6 +201,7 @@ pub(crate) fn run_replica(
         trees,
         search: scratch.stats(),
         tree_sizes,
+        shortfall,
     }
 }
 
@@ -327,5 +341,70 @@ mod tests {
         let g = CircuitGraph::from_circuit(&c);
         let prof = saturate_network(&g, &FlowParams::quick(), 0);
         assert_eq!(prof.num_trees(), 0);
+        assert!(prof.is_saturated());
+    }
+
+    /// A two-gate chain: the single internal net absorbs every tree, so a
+    /// huge `α` drives the raw `exp(α·flow/cap)` past the finite range
+    /// within a handful of trees.
+    fn tiny() -> CircuitGraph {
+        let c = ppet_netlist::bench_format::parse(
+            "tiny",
+            "INPUT(a)\nOUTPUT(y)\nb = NOT(a)\ny = NOT(b)\n",
+        )
+        .unwrap();
+        CircuitGraph::from_circuit(&c)
+    }
+
+    #[test]
+    fn extreme_congestion_saturates_instead_of_overflowing() {
+        // Regression: with α = 1e6 a single Δ = 0.01 injection makes the
+        // raw exponent 10 000 ≫ 709.78, so before the clamp the first
+        // touched net's distance became +inf and every later tree saw it
+        // as unreachable.
+        let g = tiny();
+        let mut p = FlowParams::quick();
+        p.alpha = 1e6;
+        let prof = saturate_network(&g, &p, 1);
+        assert!(prof.num_trees() > 0);
+        for (net, _) in g.nets() {
+            let d = prof.distance(net);
+            assert!(d.is_finite(), "net {net}: distance overflowed to {d}");
+            assert!(d <= FlowParams::MAX_EXPONENT.exp());
+            if prof.flow(net) > 0.0 {
+                assert_eq!(d, p.congestion_distance(prof.flow(net)));
+            }
+        }
+    }
+
+    #[test]
+    fn full_run_is_saturated_with_no_shortfall() {
+        let g = s27();
+        let p = FlowParams::quick();
+        let prof = saturate_network(&g, &p, 6);
+        assert!(prof.is_saturated());
+        assert_eq!(prof.unsaturated_nodes(), 0);
+        assert!(prof.shortfall().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn exhausted_tree_budget_reports_shortfall() {
+        // Regression: hitting max_trees used to return silently, with no
+        // way to tell the profile was built from too few trees.
+        let g = s27();
+        let mut p = FlowParams::quick();
+        p.max_trees = Some(3); // far below the |V|·min_visit quota
+        let prof = saturate_network(&g, &p, 6);
+        assert_eq!(prof.num_trees(), 3);
+        assert!(!prof.is_saturated());
+        assert!(prof.unsaturated_nodes() > 0);
+        // Every node with a shortfall really did miss its quota.
+        for (i, &s) in prof.shortfall().iter().enumerate() {
+            assert_eq!(
+                s,
+                (p.min_visit + 1).saturating_sub(prof.visits()[i]),
+                "node {i}"
+            );
+        }
     }
 }

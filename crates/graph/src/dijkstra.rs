@@ -87,7 +87,8 @@ impl PartialOrd for HeapEntry {
 /// # Panics
 ///
 /// Panics if `length.len() != graph.num_nodes()` (one length per net slot)
-/// or any length is negative or NaN.
+/// or any length consumed by the search is negative or NaN (validated in
+/// release builds too — see [`DijkstraScratch::run`]).
 ///
 /// # Examples
 ///
@@ -208,17 +209,18 @@ impl DijkstraScratch {
     ///
     /// # Panics
     ///
-    /// Panics if `length.len()` differs from the node count or any length
-    /// is negative.
+    /// Panics if `length.len()` differs from the node count, or if any
+    /// length the search consumes is negative or NaN. The validation is
+    /// always on — not a `debug_assert!` — because a NaN admitted in a
+    /// release build makes the heap entry's `partial_cmp` fall back to
+    /// `Ordering::Equal`, silently corrupting heap order; each length is
+    /// checked once when its node settles, so the check adds O(1) per
+    /// settled node and never touches lengths of unreached nodes.
     pub fn run(&mut self, graph: &CircuitGraph, source: CellId, length: &[f64]) {
         assert_eq!(
             length.len(),
             graph.num_nodes(),
             "one length per net slot required"
-        );
-        debug_assert!(
-            length.iter().all(|&l| l >= 0.0),
-            "net lengths must be non-negative"
         );
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
@@ -246,6 +248,10 @@ impl DijkstraScratch {
             self.visited.push(CellId::from_index(v));
             let net = CellId::from_index(v);
             let l = length[v];
+            assert!(
+                l >= 0.0,
+                "net length of node {v} must be non-negative and not NaN, got {l}"
+            );
             for &w in graph.net(net).sinks() {
                 let wi = w.index();
                 self.fresh(wi);
@@ -450,12 +456,28 @@ mod tests {
         assert_eq!(scratch.stats(), DijkstraStats::default());
     }
 
+    // The two rejection tests below are regression tests for a release-mode
+    // hole: the length check used to be a `debug_assert!`, so `--release`
+    // builds accepted NaN (and negative) lengths and silently corrupted the
+    // heap order. CI runs them under the release profile as well.
+
     #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_length_rejected() {
         let g = s27_graph();
+        let src = g.find("G0").unwrap();
         let mut lengths = vec![1.0; g.num_nodes()];
-        lengths[0] = -1.0;
-        let _ = shortest_path_tree(&g, g.find("G0").unwrap(), &lengths);
+        lengths[src.index()] = -1.0; // the source always settles first
+        let _ = shortest_path_tree(&g, src, &lengths);
+    }
+
+    #[test]
+    #[should_panic(expected = "not NaN")]
+    fn nan_length_rejected() {
+        let g = s27_graph();
+        let src = g.find("G0").unwrap();
+        let mut lengths = vec![1.0; g.num_nodes()];
+        lengths[src.index()] = f64::NAN;
+        let _ = shortest_path_tree(&g, src, &lengths);
     }
 }

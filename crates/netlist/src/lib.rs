@@ -38,6 +38,7 @@
 
 pub mod area;
 pub mod bench_format;
+pub mod canonical;
 mod cell;
 mod circuit;
 pub mod data;

@@ -1,0 +1,276 @@
+//! The content-addressed result cache with in-flight coalescing.
+//!
+//! The key is a 128-bit FNV-1a hash over the circuit's canonical
+//! `.bench` bytes, the effective config entries, and the effective seed —
+//! each field length-prefixed so concatenations cannot collide (see
+//! [`ppet_netlist::canonical`]). Because the compiler is deterministic,
+//! equal keys *must* produce byte-identical manifests (modulo the
+//! `wall_ns`/`jobs` entries, which are part of the manifest but not the
+//! result), so a hit can return the stored body outright.
+//!
+//! Identical requests that arrive while the first is still compiling
+//! coalesce: the first requester inserts a `Pending` slot holding a
+//! [`Gate`]; later requesters wait on the gate instead of submitting a
+//! second compile. Failures are never cached — the pending slot is
+//! removed so the next request retries.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use ppet_netlist::canonical::{canonical_bytes, Fnv128};
+use ppet_netlist::Circuit;
+
+use crate::request::{BackendError, NormalizedRequest};
+
+/// The cache key: a 128-bit content hash of `(circuit, config, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// Derives the key for a normalized request.
+    #[must_use]
+    pub fn of(normalized: &NormalizedRequest) -> Self {
+        Self::derive(
+            &normalized.circuit,
+            &normalized.config_entries,
+            normalized.seed,
+        )
+    }
+
+    /// Derives the key from the constituent parts.
+    #[must_use]
+    pub fn derive(circuit: &Circuit, config_entries: &[(String, String)], seed: u64) -> Self {
+        let mut hasher = Fnv128::new();
+        hasher.write_frame(&canonical_bytes(circuit));
+        for (k, v) in config_entries {
+            hasher.write_frame(k.as_bytes());
+            hasher.write_frame(v.as_bytes());
+        }
+        hasher.write_frame(&seed.to_le_bytes());
+        CacheKey(hasher.finish())
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The outcome a waiter observes for one compile.
+pub type CompileResult = Result<Arc<String>, BackendError>;
+
+/// A one-shot broadcast cell: the compiling thread fills it once, any
+/// number of coalesced waiters block on it (with a deadline).
+#[derive(Debug, Default)]
+pub struct Gate {
+    slot: Mutex<Option<CompileResult>>,
+    ready: Condvar,
+}
+
+impl Gate {
+    /// Fills the gate and wakes all waiters. Later fills are ignored —
+    /// the first result wins, matching "the first requester compiles".
+    pub fn fill(&self, result: CompileResult) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    /// Waits up to `timeout` for the result. `None` means the deadline
+    /// passed with the compile still running.
+    #[must_use]
+    pub fn wait(&self, timeout: Duration) -> Option<CompileResult> {
+        let mut slot = self.slot.lock().unwrap();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, wait) = self.ready.wait_timeout(slot, deadline - now).unwrap();
+            slot = guard;
+            if wait.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    /// A compile for this key is in flight; waiters block on the gate.
+    Pending(Arc<Gate>),
+    /// A finished manifest, returned verbatim on every future hit.
+    Done(Arc<String>),
+}
+
+/// What [`ResultCache::claim`] tells the caller to do.
+#[derive(Debug)]
+pub enum Claim {
+    /// The manifest is cached; return it.
+    Hit(Arc<String>),
+    /// An identical compile is in flight; wait on this gate.
+    Wait(Arc<Gate>),
+    /// The caller owns the compile; fill the gate, then
+    /// [`ResultCache::complete`] or [`ResultCache::abandon`] the key.
+    Compute(Arc<Gate>),
+}
+
+/// The content-addressed manifest cache.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    slots: Mutex<HashMap<u128, Slot>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`, registering a pending slot when it is absent.
+    pub fn claim(&self, key: CacheKey) -> Claim {
+        let mut slots = self.slots.lock().unwrap();
+        match slots.get(&key.0) {
+            Some(Slot::Done(body)) => Claim::Hit(Arc::clone(body)),
+            Some(Slot::Pending(gate)) => Claim::Wait(Arc::clone(gate)),
+            None => {
+                let gate = Arc::new(Gate::default());
+                slots.insert(key.0, Slot::Pending(Arc::clone(&gate)));
+                Claim::Compute(gate)
+            }
+        }
+    }
+
+    /// Promotes `key` to a cached result (after filling the gate).
+    pub fn complete(&self, key: CacheKey, body: Arc<String>) {
+        let mut slots = self.slots.lock().unwrap();
+        slots.insert(key.0, Slot::Done(body));
+    }
+
+    /// Removes the pending slot for a failed compile so the next request
+    /// retries instead of hitting a cached error.
+    pub fn abandon(&self, key: CacheKey) {
+        let mut slots = self.slots.lock().unwrap();
+        if matches!(slots.get(&key.0), Some(Slot::Pending(_))) {
+            slots.remove(&key.0);
+        }
+    }
+
+    /// Number of completed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let slots = self.slots.lock().unwrap();
+        slots
+            .values()
+            .filter(|s| matches!(s, Slot::Done(_)))
+            .count()
+    }
+
+    /// Whether no completed entries exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn circuit() -> Circuit {
+        ppet_netlist::bench_format::parse("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap()
+    }
+
+    fn normalized(seed: u64) -> NormalizedRequest {
+        NormalizedRequest {
+            circuit: circuit(),
+            config_entries: vec![("cbit_length".into(), "4".into())],
+            seed,
+        }
+    }
+
+    #[test]
+    fn key_depends_on_all_three_fields() {
+        let base = CacheKey::of(&normalized(1));
+        assert_eq!(base, CacheKey::of(&normalized(1)));
+        assert_ne!(base, CacheKey::of(&normalized(2)));
+
+        let mut other_cfg = normalized(1);
+        other_cfg.config_entries[0].1 = "8".into();
+        assert_ne!(base, CacheKey::of(&other_cfg));
+
+        let mut other_circuit = normalized(1);
+        other_circuit.circuit =
+            ppet_netlist::bench_format::parse("t", "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n").unwrap();
+        assert_ne!(base, CacheKey::of(&other_circuit));
+    }
+
+    #[test]
+    fn first_claim_computes_then_hits() {
+        let cache = ResultCache::new();
+        let key = CacheKey::of(&normalized(1));
+        let gate = match cache.claim(key) {
+            Claim::Compute(gate) => gate,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        let body = Arc::new("manifest".to_owned());
+        gate.fill(Ok(Arc::clone(&body)));
+        cache.complete(key, Arc::clone(&body));
+        match cache.claim(key) {
+            Claim::Hit(got) => assert_eq!(got, body),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_claims_coalesce_on_the_gate() {
+        let cache = Arc::new(ResultCache::new());
+        let key = CacheKey::of(&normalized(3));
+        let gate = match cache.claim(key) {
+            Claim::Compute(gate) => gate,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        let waiter_gate = match cache.claim(key) {
+            Claim::Wait(gate) => gate,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        let waiter = thread::spawn(move || waiter_gate.wait(Duration::from_secs(5)));
+        gate.fill(Ok(Arc::new("body".to_owned())));
+        let got = waiter.join().unwrap().expect("gate filled before timeout");
+        assert_eq!(*got.unwrap(), "body");
+    }
+
+    #[test]
+    fn abandoned_failures_are_not_cached() {
+        let cache = ResultCache::new();
+        let key = CacheKey::of(&normalized(9));
+        let gate = match cache.claim(key) {
+            Claim::Compute(gate) => gate,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        gate.fill(Err(BackendError::new("compile", "boom")));
+        cache.abandon(key);
+        assert!(matches!(cache.claim(key), Claim::Compute(_)));
+    }
+
+    #[test]
+    fn gate_wait_times_out_while_pending() {
+        let gate = Gate::default();
+        assert!(gate.wait(Duration::from_millis(10)).is_none());
+        gate.fill(Ok(Arc::new("late".to_owned())));
+        let got = gate.wait(Duration::from_millis(10)).unwrap();
+        assert_eq!(*got.unwrap(), "late");
+    }
+}

@@ -1,0 +1,236 @@
+//! A minimal HTTP/1.1 reader/writer — just enough protocol for the
+//! compile service's four routes, hand-rolled over `std::io` so the
+//! workspace stays dependency-free.
+//!
+//! Supported: request line + headers, `Content-Length` bodies (bounded),
+//! `Connection: close` semantics (one request per connection). Not
+//! supported, by design: chunked transfer, keep-alive, TLS, HTTP/2.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A parsed request: method, path, and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased by the client.
+    pub method: String,
+    /// Request path (`/compile`, `/healthz`, …), query string ignored.
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// A protocol-level failure while reading a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The connection closed before a full request arrived, or an I/O
+    /// error (including read timeouts) interrupted it.
+    Io(String),
+    /// The bytes on the wire were not a well-formed HTTP/1.x request.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds the server's body limit.
+    BodyTooLarge {
+        /// Declared length.
+        declared: usize,
+        /// Server limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(e) => write!(f, "malformed request: {e}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one HTTP/1.x request from `stream`, bounding the body at
+/// `max_body_bytes`.
+///
+/// # Errors
+///
+/// [`HttpError`] on connection loss, malformed framing, or an oversized
+/// declared body.
+pub fn read_request<S: Read>(stream: S, max_body_bytes: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    if line.is_empty() {
+        return Err(HttpError::Io("connection closed before request".into()));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header {header:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("content-length {value:?}")))?;
+        }
+    }
+
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let body = String::from_utf8(body)
+        .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))?;
+
+    // Strip any query string: the service routes on the bare path.
+    let path = path.split('?').next().unwrap_or(&path).to_owned();
+    Ok(Request { method, path, body })
+}
+
+/// Writes one response and flushes. `Connection: close` is always sent —
+/// the service speaks one request per connection.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_response<S: Write>(
+    mut stream: S,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Formats a `ppet-error/v1` JSON body (the same error envelope the
+/// `merced` CLI prints on stderr).
+#[must_use]
+pub fn error_body(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"schema\":\"ppet-error/v1\",\"kind\":{},\"message\":{}}}",
+        ppet_trace::json::escaped(kind),
+        ppet_trace::json::escaped(message),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = "POST /compile HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(raw.as_bytes(), 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/compile");
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_strips_query() {
+        let raw = "GET /metrics?x=1 HTTP/1.1\r\n\r\n";
+        let req = read_request(raw.as_bytes(), 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_before_reading_them() {
+        let raw = "POST /compile HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        let err = read_request(raw.as_bytes(), 16).unwrap_err();
+        assert_eq!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 999,
+                limit: 16
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            read_request("not http at all\r\n\r\n".as_bytes(), 16),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request("".as_bytes(), 16),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn writes_a_well_formed_response() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn error_bodies_use_the_cli_envelope() {
+        let body = error_body("timeout", "compile exceeded 5ms");
+        assert_eq!(
+            body,
+            "{\"schema\":\"ppet-error/v1\",\"kind\":\"timeout\",\"message\":\"compile exceeded 5ms\"}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! `ppet-serve`: the long-running compile service of the `ppet`
+//! workspace.
+//!
+//! Batch compiles (`merced` CLI, `ppet-exec` batch runner) pay the full
+//! pipeline cost on every invocation even when the input has not
+//! changed. This crate turns the compiler into a service: a hand-rolled
+//! HTTP/1.1 front end over `std::net` (the workspace stays
+//! dependency-free), a bounded [`ppet_exec::WorkQueue`] of compile
+//! workers, and a **content-addressed result cache** keyed by
+//! `hash(canonical netlist bytes, effective config entries, seed)` — the
+//! exact inputs the deterministic compiler's output is a function of.
+//! Identical requests in flight coalesce onto one compile; repeated
+//! requests are answered from the cache byte-for-byte.
+//!
+//! The crate is deliberately compiler-agnostic: it depends on
+//! `ppet-netlist`/`ppet-exec`/`ppet-trace` but *not* on `ppet-core`.
+//! The compiler plugs in through the [`CompileBackend`] trait, and
+//! `ppet-core` mounts the whole thing as `merced serve --addr
+//! <host:port>`.
+//!
+//! # Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /compile` | compile a [`CompileRequest`]; returns the run manifest |
+//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | plain-text counters/gauges ([`ppet_trace::Metrics::render_text`]) |
+//! | `POST /shutdown` | begin graceful drain |
+//!
+//! Failure surface, all as structured `ppet-error/v1` JSON bodies:
+//! `429 backpressure` when the bounded queue is full, `408 timeout` when
+//! a compile exceeds the per-request deadline (the compile keeps running
+//! and still populates the cache), `400` for malformed or unresolvable
+//! requests, `503 shutdown` while draining.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+mod request;
+pub mod server;
+pub mod signal;
+
+pub use cache::{CacheKey, ResultCache};
+pub use request::{
+    BackendError, CompileBackend, CompileRequest, NormalizedRequest, REQUEST_SCHEMA,
+};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,560 @@
+//! The server proper: TCP accept loop, routing, scheduling, shutdown.
+//!
+//! One [`Server`] owns a nonblocking `TcpListener`, a bounded
+//! [`WorkQueue`] of compile workers, the [`ResultCache`], and a
+//! [`Metrics`] registry. Each accepted connection is handled on its own
+//! thread (one request per connection); compile work itself runs on the
+//! queue, so slow compiles exert backpressure through the bounded queue
+//! rather than through unbounded thread growth.
+//!
+//! Shutdown is cooperative: `POST /shutdown`, a Unix signal (via
+//! [`crate::signal`]), or [`ServerHandle::shutdown`] sets a flag; the
+//! accept loop stops taking connections, in-flight requests finish,
+//! queued compiles drain, and [`Server::run`] returns.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ppet_exec::WorkQueue;
+use ppet_trace::Metrics;
+
+use crate::cache::{CacheKey, Claim, ResultCache};
+use crate::http::{self, HttpError, Request};
+use crate::request::{CompileBackend, CompileRequest};
+use crate::signal;
+
+/// How often the accept loop polls the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// Read/write timeout on accepted connections, so a stalled client
+/// cannot pin a handler thread forever.
+const STREAM_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Tunable service limits.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Compile worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue answers 429.
+    pub queue_capacity: usize,
+    /// Per-request compile deadline; an expired deadline answers 408
+    /// with a structured `timeout` error (the compile itself keeps
+    /// running and still populates the cache).
+    pub timeout: Duration,
+    /// Largest accepted request body in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            timeout: Duration::from_secs(60),
+            max_body_bytes: 4 << 20,
+        }
+    }
+}
+
+struct Service<B> {
+    backend: Arc<B>,
+    cache: Arc<ResultCache>,
+    queue: WorkQueue,
+    metrics: Metrics,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+/// A clonable handle that can stop a running server from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle").finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// Requests shutdown; [`Server::run`] drains and returns.
+    pub fn shutdown(&self) {
+        (self.shutdown)();
+    }
+}
+
+/// The compile service bound to a socket.
+pub struct Server<B: CompileBackend> {
+    listener: TcpListener,
+    addr: SocketAddr,
+    service: Arc<Service<B>>,
+}
+
+impl<B: CompileBackend> std::fmt::Debug for Server<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<B: CompileBackend> Server<B> {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
+    /// worker pool. The listener runs nonblocking so the accept loop can
+    /// poll for shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/configure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: B,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let queue = WorkQueue::new(config.workers.max(1), config.queue_capacity.max(1));
+        let service = Arc::new(Service {
+            backend: Arc::new(backend),
+            cache: Arc::new(ResultCache::new()),
+            queue,
+            metrics: Metrics::new(),
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Self {
+            listener,
+            addr,
+            service,
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        let service = Arc::clone(&self.service);
+        ServerHandle {
+            shutdown: Arc::new(move || service.shutdown.store(true, Ordering::SeqCst)),
+        }
+    }
+
+    /// The server's metric values, rendered as the `/metrics` endpoint
+    /// would (handy for in-process tests).
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        self.service.render_metrics()
+    }
+
+    /// Serves until shutdown is requested (handle, `POST /shutdown`, or
+    /// a Unix termination signal), then drains: no new connections, all
+    /// accepted requests answered, all queued compiles completed.
+    pub fn run(self) {
+        let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.service.shutting_down() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = Arc::clone(&self.service);
+                    handlers.push(thread::spawn(move || service.handle_connection(stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+            // Reap finished handler threads so the vec stays small on
+            // long runs.
+            if handlers.len() >= 32 {
+                handlers.retain(|h| !h.is_finished());
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        // All handler threads have answered; finish whatever compiles the
+        // queue still holds, then stop the workers.
+        match Arc::try_unwrap(self.service) {
+            Ok(service) => service.queue.shutdown(),
+            Err(service) => service.queue.drain(),
+        }
+    }
+}
+
+impl<B: CompileBackend> Service<B> {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::signaled()
+    }
+
+    fn render_metrics(&self) -> String {
+        self.metrics
+            .gauge("serve.queue_depth")
+            .set(self.queue.depth() as f64);
+        self.metrics
+            .gauge("serve.in_flight")
+            .set(self.queue.in_flight() as f64);
+        self.metrics
+            .gauge("serve.cache_entries")
+            .set(self.cache.len() as f64);
+        self.metrics.render_text()
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(STREAM_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
+        let request = match http::read_request(&stream, self.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                let body = http::error_body(
+                    "payload",
+                    &format!("body of {declared} bytes exceeds limit of {limit}"),
+                );
+                let _ = http::write_response(&stream, 413, "application/json", &body);
+                return;
+            }
+            Err(e) => {
+                let body = http::error_body("parse", &e.to_string());
+                let _ = http::write_response(&stream, 400, "application/json", &body);
+                return;
+            }
+        };
+        let (status, content_type, body) = self.route(&request);
+        let _ = http::write_response(&stream, status, content_type, &body);
+    }
+
+    fn route(&self, request: &Request) -> (u16, &'static str, String) {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => (200, "text/plain", "ok\n".to_owned()),
+            ("GET", "/metrics") => (200, "text/plain", self.render_metrics()),
+            ("POST", "/shutdown") => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (202, "text/plain", "draining\n".to_owned())
+            }
+            ("POST", "/compile") => self.compile(&request.body),
+            (_, "/healthz" | "/metrics" | "/shutdown" | "/compile") => (
+                405,
+                "application/json",
+                http::error_body("usage", &format!("{} not allowed here", request.method)),
+            ),
+            (_, path) => (
+                404,
+                "application/json",
+                http::error_body("usage", &format!("no route {path}")),
+            ),
+        }
+    }
+
+    fn compile(&self, body: &str) -> (u16, &'static str, String) {
+        self.metrics.counter("serve.requests").inc();
+        if self.shutting_down() {
+            return (
+                503,
+                "application/json",
+                http::error_body("shutdown", "server is draining"),
+            );
+        }
+        let started = Instant::now();
+        let request = match CompileRequest::from_json(body) {
+            Ok(request) => request,
+            Err(e) => return (400, "application/json", http::error_body("parse", &e)),
+        };
+        let normalized = match self.backend.normalize(&request) {
+            Ok(normalized) => normalized,
+            Err(e) => {
+                return (
+                    400,
+                    "application/json",
+                    http::error_body(e.kind, &e.message),
+                );
+            }
+        };
+        let key = CacheKey::of(&normalized);
+
+        let gate = match self.cache.claim(key) {
+            Claim::Hit(manifest) => {
+                self.metrics.counter("serve.cache_hits").inc();
+                self.record_latency(started);
+                return (200, "application/json", manifest.as_ref().clone());
+            }
+            Claim::Wait(gate) => {
+                self.metrics.counter("serve.coalesced").inc();
+                gate
+            }
+            Claim::Compute(gate) => {
+                self.metrics.counter("serve.cache_misses").inc();
+                let backend = Arc::clone(&self.backend);
+                let cache = Arc::clone(&self.cache);
+                let job_gate = Arc::clone(&gate);
+                let submitted = self
+                    .queue
+                    .try_submit(move || match backend.compile(&normalized) {
+                        Ok(manifest) => {
+                            let manifest = Arc::new(manifest);
+                            cache.complete(key, Arc::clone(&manifest));
+                            job_gate.fill(Ok(manifest));
+                        }
+                        Err(e) => {
+                            cache.abandon(key);
+                            job_gate.fill(Err(e));
+                        }
+                    });
+                if let Err(full) = submitted {
+                    self.metrics.counter("serve.rejected").inc();
+                    self.cache.abandon(key);
+                    gate.fill(Err(crate::request::BackendError::new(
+                        "backpressure",
+                        full.to_string(),
+                    )));
+                    return (
+                        429,
+                        "application/json",
+                        http::error_body("backpressure", &full.to_string()),
+                    );
+                }
+                gate
+            }
+        };
+
+        match gate.wait(self.config.timeout) {
+            Some(Ok(manifest)) => {
+                self.record_latency(started);
+                (200, "application/json", manifest.as_ref().clone())
+            }
+            Some(Err(e)) => {
+                let status = if e.kind == "backpressure" { 429 } else { 500 };
+                (
+                    status,
+                    "application/json",
+                    http::error_body(e.kind, &e.message),
+                )
+            }
+            None => {
+                self.metrics.counter("serve.timeouts").inc();
+                (
+                    408,
+                    "application/json",
+                    http::error_body(
+                        "timeout",
+                        &format!(
+                            "compile exceeded {} ms; retry to pick up the cached result",
+                            self.config.timeout.as_millis()
+                        ),
+                    ),
+                )
+            }
+        }
+    }
+
+    fn record_latency(&self, started: Instant) {
+        self.metrics
+            .histogram("serve.latency_us")
+            .record(started.elapsed().as_micros().try_into().unwrap_or(u64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{BackendError, NormalizedRequest};
+    use std::io::{Read as _, Write as _};
+    use std::sync::atomic::AtomicU64;
+
+    /// A backend that "compiles" by echoing a deterministic line, with a
+    /// configurable delay so tests can exercise timeouts and coalescing.
+    struct EchoBackend {
+        delay: Duration,
+        compiles: AtomicU64,
+    }
+
+    impl EchoBackend {
+        fn new(delay: Duration) -> Self {
+            Self {
+                delay,
+                compiles: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl CompileBackend for EchoBackend {
+        fn normalize(&self, request: &CompileRequest) -> Result<NormalizedRequest, BackendError> {
+            let source = request
+                .bench
+                .as_deref()
+                .ok_or_else(|| BackendError::new("parse", "echo backend wants bench"))?;
+            let circuit = ppet_netlist::bench_format::parse("echo", source)
+                .map_err(|e| BackendError::new("parse", e.to_string()))?;
+            Ok(NormalizedRequest {
+                circuit,
+                config_entries: request.config.clone(),
+                seed: request.seed.unwrap_or(0),
+            })
+        }
+
+        fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError> {
+            self.compiles.fetch_add(1, Ordering::SeqCst);
+            if !self.delay.is_zero() {
+                thread::sleep(self.delay);
+            }
+            Ok(format!(
+                "{{\"circuit\":\"{}\",\"seed\":{}}}",
+                normalized.circuit.name(),
+                normalized.seed
+            ))
+        }
+    }
+
+    fn start(
+        delay: Duration,
+        config: ServeConfig,
+    ) -> (SocketAddr, ServerHandle, thread::JoinHandle<()>) {
+        let server = Server::bind("127.0.0.1:0", EchoBackend::new(delay), config).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run());
+        (addr, handle, join)
+    }
+
+    fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .unwrap();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    const BENCH: &str = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+
+    #[test]
+    fn healthz_metrics_and_unknown_routes() {
+        let (addr, handle, join) = start(Duration::ZERO, ServeConfig::default());
+        let (status, body) = roundtrip(addr, "GET", "/healthz", "");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, body) = roundtrip(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("serve.queue_depth 0\n"), "{body}");
+        let (status, _) = roundtrip(addr, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = roundtrip(addr, "GET", "/compile", "");
+        assert_eq!(status, 405);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn compile_misses_then_hits_the_cache() {
+        let (addr, handle, join) = start(Duration::ZERO, ServeConfig::default());
+        let req = CompileRequest::bench(BENCH).with_seed(7).to_json();
+        let (status, first) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200, "{first}");
+        let (status, second) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200);
+        assert_eq!(first, second);
+        let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+        assert!(metrics.contains("serve.cache_hits 1\n"), "{metrics}");
+        assert!(metrics.contains("serve.cache_misses 1\n"), "{metrics}");
+        assert!(metrics.contains("serve.requests 2\n"), "{metrics}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_get_structured_errors() {
+        let (addr, handle, join) = start(Duration::ZERO, ServeConfig::default());
+        let (status, body) = roundtrip(addr, "POST", "/compile", "{not json");
+        assert_eq!(status, 400);
+        assert!(body.contains("\"schema\":\"ppet-error/v1\""), "{body}");
+        assert!(body.contains("\"kind\":\"parse\""), "{body}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn slow_compiles_time_out_with_a_structured_error() {
+        let config = ServeConfig {
+            timeout: Duration::from_millis(30),
+            ..ServeConfig::default()
+        };
+        let (addr, handle, join) = start(Duration::from_millis(400), config);
+        let req = CompileRequest::bench(BENCH).to_json();
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 408, "{body}");
+        assert!(body.contains("\"kind\":\"timeout\""), "{body}");
+        let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+        assert!(metrics.contains("serve.timeouts 1\n"), "{metrics}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let config = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let (addr, handle, join) = start(Duration::from_millis(120), config);
+        let req = CompileRequest::bench(BENCH).with_seed(3).to_json();
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let req = req.clone();
+                thread::spawn(move || roundtrip(addr, "POST", "/compile", &req))
+            })
+            .collect();
+        let mut bodies = Vec::new();
+        for c in clients {
+            let (status, body) = c.join().unwrap();
+            assert_eq!(status, 200, "{body}");
+            bodies.push(body);
+        }
+        bodies.dedup();
+        assert_eq!(bodies.len(), 1, "all clients see the same manifest");
+        let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+        assert!(metrics.contains("serve.cache_misses 1\n"), "{metrics}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_route_drains_the_server() {
+        let (addr, _handle, join) = start(Duration::ZERO, ServeConfig::default());
+        let (status, body) = roundtrip(addr, "POST", "/shutdown", "");
+        assert_eq!((status, body.as_str()), (202, "draining\n"));
+        join.join().unwrap();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly on some platforms; a request
+                // must at least fail to be answered.
+                let mut s = TcpStream::connect(addr).unwrap();
+                let _ = write!(s, "GET /healthz HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                s.read_to_string(&mut out).unwrap_or(0) == 0
+            }
+        );
+    }
+}

@@ -219,6 +219,47 @@ impl Metrics {
             .map(|(name, h)| ((*name).to_owned(), h.snapshot()))
             .collect()
     }
+
+    /// Renders a plain-text exposition of every metric, one `name value`
+    /// line per counter and gauge plus `name.count` / `name.sum` lines per
+    /// histogram, all sorted by name — the `/metrics` endpoint format of
+    /// the compile service.
+    ///
+    /// The format is deliberately trivial: line-oriented, space-separated,
+    /// stable ordering, so a shell test can `grep '^serve.cache_hits '`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let m = ppet_trace::Metrics::new();
+    /// m.counter("requests").add(2);
+    /// m.gauge("queue_depth").set(1.0);
+    /// let text = m.render_text();
+    /// assert!(text.contains("requests 2\n"));
+    /// assert!(text.contains("queue_depth 1\n"));
+    /// ```
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in self.counters_snapshot() {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in self.gauges_snapshot() {
+            // Gauges are f64; render integral values without a trailing
+            // ".0" so grep-style assertions stay simple.
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                let _ = writeln!(out, "{name} {}", value as i64);
+            } else {
+                let _ = writeln!(out, "{name} {value}");
+            }
+        }
+        for (name, snap) in self.histograms_snapshot() {
+            let _ = writeln!(out, "{name}.count {}", snap.count);
+            let _ = writeln!(out, "{name}.sum {}", snap.sum);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +292,27 @@ mod tests {
         assert_eq!(metrics.gauge("g").get(), -2.5);
         metrics.gauge("g").set(7.0);
         assert_eq!(metrics.gauges_snapshot()["g"], 7.0);
+    }
+
+    #[test]
+    fn render_text_lists_everything_sorted() {
+        let m = Metrics::new();
+        m.counter("serve.requests").add(3);
+        m.counter("serve.cache_hits").inc();
+        m.gauge("serve.queue_depth").set(2.0);
+        m.histogram("serve.latency_us").record(150);
+        let text = m.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "serve.cache_hits 1",
+                "serve.requests 3",
+                "serve.queue_depth 2",
+                "serve.latency_us.count 1",
+                "serve.latency_us.sum 150",
+            ]
+        );
     }
 
     #[test]

@@ -34,10 +34,18 @@ PPET_JOBS=1 cargo test -q
 echo "==> cargo test (PPET_JOBS=max)"
 PPET_JOBS=max cargo test -q
 
+echo "==> release-profile input validation (Dijkstra NaN/negative rejection)"
+# The rejection is a release-mode bug class by construction: it used to be
+# a debug_assert!, so only a release-profile run proves it is always on.
+cargo test -q --release -p ppet-graph --lib rejected
+
 echo "==> manifest parity: PPET_JOBS=1 vs PPET_JOBS=max"
 scripts/parity.sh
 
 echo "==> audit golden corpus"
 scripts/golden.sh --check
+
+echo "==> serve smoke: compile service round-trip, cache hit, drain"
+scripts/serve_smoke.sh
 
 echo "==> ci: all green"

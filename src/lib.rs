@@ -25,6 +25,9 @@
 //!   JSON run manifest (`merced --trace-json`);
 //! * [`audit`] — independent verification: re-derives every paper
 //!   invariant from the netlist and partition alone (`merced audit`);
+//! * [`serve`] — the long-running compile service: HTTP front end,
+//!   content-addressed result cache, bounded-queue backpressure
+//!   (`merced serve`);
 //! * [`core`] — **Merced**, the end-to-end BIST compiler.
 //!
 //! # Quick start
@@ -52,5 +55,6 @@ pub use ppet_graph as graph;
 pub use ppet_netlist as netlist;
 pub use ppet_partition as partition;
 pub use ppet_prng as prng;
+pub use ppet_serve as serve;
 pub use ppet_sim as sim;
 pub use ppet_trace as trace;

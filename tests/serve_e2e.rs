@@ -1,0 +1,175 @@
+//! End-to-end tests of the compile service with the real Merced backend:
+//! served manifests must be bit-identical to the CLI compile path, cache
+//! hits must be observable in `/metrics`, deadline misses must produce
+//! the structured timeout error, and shutdown must drain.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use ppet::core::{Merced, MercedBackend, MercedConfig};
+use ppet::serve::{CompileRequest, ServeConfig, Server, ServerHandle};
+
+fn start(config: ServeConfig) -> (SocketAddr, ServerHandle, thread::JoinHandle<()>) {
+    let backend = MercedBackend::new(MercedConfig::default().with_cbit_length(4));
+    let server = Server::bind("127.0.0.1:0", backend, config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .unwrap();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Drops the manifest entries that record the run rather than the result
+/// (same normalization as `scripts/parity.sh`).
+fn normalize(manifest: &str) -> String {
+    manifest
+        .lines()
+        .filter(|l| !l.contains("\"wall_ns\"") && !l.contains("\"jobs\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn served_manifest_is_bit_identical_to_the_cli_path() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let req = CompileRequest::builtin("s27").with_seed(7).to_json();
+    let (status, served) = roundtrip(addr, "POST", "/compile", &req);
+    assert_eq!(status, 200, "{served}");
+
+    let direct = Merced::new(MercedConfig::default().with_cbit_length(4).with_seed(7))
+        .compile(&ppet::netlist::data::s27())
+        .unwrap()
+        .run_manifest()
+        .to_json();
+    assert_eq!(normalize(&served), normalize(&direct));
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_identical_manifests_and_the_cache_fills() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let req = CompileRequest::builtin("s27").with_seed(11).to_json();
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let req = req.clone();
+            thread::spawn(move || roundtrip(addr, "POST", "/compile", &req))
+        })
+        .collect();
+    let mut bodies: Vec<String> = clients
+        .into_iter()
+        .map(|c| {
+            let (status, body) = c.join().unwrap();
+            assert_eq!(status, 200, "{body}");
+            body
+        })
+        .collect();
+    bodies.dedup();
+    assert_eq!(bodies.len(), 1, "every client sees the same manifest");
+
+    // A repeat of the same request is a pure cache hit.
+    let (status, again) = roundtrip(addr, "POST", "/compile", &req);
+    assert_eq!(status, 200);
+    assert_eq!(again, bodies[0]);
+    let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+    let count = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or(0)
+    };
+    assert_eq!(count("serve.cache_misses "), 1, "{metrics}");
+    assert!(count("serve.cache_hits ") >= 1, "{metrics}");
+    assert_eq!(
+        count("serve.cache_misses ") + count("serve.cache_hits ") + count("serve.coalesced "),
+        7,
+        "{metrics}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn different_seeds_are_different_cache_entries() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let a = CompileRequest::builtin("s27").with_seed(1).to_json();
+    let b = CompileRequest::builtin("s27").with_seed(2).to_json();
+    let (_, body_a) = roundtrip(addr, "POST", "/compile", &a);
+    let (_, body_b) = roundtrip(addr, "POST", "/compile", &b);
+    assert_ne!(body_a, body_b);
+    let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+    assert!(metrics.contains("serve.cache_misses 2\n"), "{metrics}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn deadline_misses_return_the_structured_timeout_error() {
+    let config = ServeConfig {
+        timeout: Duration::from_millis(1),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = start(config);
+    // The calibrated s641 stand-in takes well over a millisecond but
+    // keeps the post-timeout drain short.
+    let req = CompileRequest::builtin("s641").to_json();
+    let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+    assert_eq!(status, 408, "{body}");
+    assert!(body.contains("\"schema\":\"ppet-error/v1\""), "{body}");
+    assert!(body.contains("\"kind\":\"timeout\""), "{body}");
+    let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+    assert!(metrics.contains("serve.timeouts 1\n"), "{metrics}");
+    handle.shutdown();
+    // The drain still completes the timed-out compile before exiting.
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_and_stops_answering() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let (status, _) = roundtrip(
+        addr,
+        "POST",
+        "/compile",
+        &CompileRequest::builtin("s27").to_json(),
+    );
+    assert_eq!(status, 200);
+    handle.shutdown();
+    join.join().unwrap();
+    // After run() returns the listener is gone: a fresh connection is
+    // refused or answered with nothing.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            let _ = write!(s, "GET /healthz HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            assert_eq!(s.read_to_string(&mut out).unwrap_or(0), 0);
+        }
+    }
+}
