@@ -5,7 +5,9 @@
 //! merced batch <netlist.bench>... [options]
 //! merced audit <manifest.json> [--bench netlist.bench] [options]
 //! merced serve --addr <host:port> [--workers N] [--queue N]
-//!              [--timeout-ms N] [options]
+//!              [--timeout-ms N] [--store DIR] [--store-budget BYTES]
+//!              [--cache-cap N] [options]
+//! merced store <dir> <stats | gc | verify | export KEY | import FILE [--pin]>
 //!
 //! Options:
 //!   --lk <N>           CBIT length / input constraint (default 16)
@@ -43,6 +45,26 @@
 //!   --timeout-ms <N>   per-request compile deadline; past it the client
 //!                      gets a structured 408 while the compile finishes
 //!                      into the cache (default 60000)
+//!   --store <dir>      mount a persistent artifact store: compiled
+//!                      manifests are written through to disk, survive
+//!                      restarts, and are audit-re-verified before being
+//!                      served again
+//!   --store-budget <B> byte budget for the store's LRU eviction
+//!                      (default unbounded; pinned entries never evicted)
+//!   --cache-cap <N>    max completed entries in the in-memory hot cache
+//!                      (default 1024, LRU beyond it)
+//!
+//! Store maintenance (`merced store <dir> <action>`):
+//!   stats              print entry/byte/hit/eviction statistics
+//!   gc                 compact segments, reclaiming dead bytes
+//!   verify             read and decode every entry; non-zero exit on
+//!                      any corruption
+//!   export <key>       write the artifact stored under the 32-hex-digit
+//!                      key to stdout
+//!   import <file>      store a file under its content hash (printed on
+//!                      stdout); --pin protects it from eviction
+//!   (--store-budget applies here too: imports then enforce the byte
+//!   budget, evicting unpinned LRU entries)
 //! ```
 //!
 //! `merced serve` keeps the compiler resident: requests hit a
@@ -126,6 +148,7 @@ enum Mode {
     Batch,
     Audit,
     Serve,
+    Store,
 }
 
 struct Options {
@@ -149,6 +172,10 @@ struct Options {
     workers: usize,
     queue: usize,
     timeout_ms: u64,
+    store: Option<String>,
+    store_budget: Option<u64>,
+    cache_cap: Option<usize>,
+    pin: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -174,6 +201,10 @@ fn parse_args() -> Result<Options, String> {
         workers: 2,
         queue: 64,
         timeout_ms: 60_000,
+        store: None,
+        store_budget: None,
+        cache_cap: None,
+        pin: false,
     };
     let mut positionals = 0usize;
     while let Some(arg) = args.next() {
@@ -220,10 +251,20 @@ fn parse_args() -> Result<Options, String> {
             "--workers" => opts.workers = next_value(&mut args, "--workers")?,
             "--queue" => opts.queue = next_value(&mut args, "--queue")?,
             "--timeout-ms" => opts.timeout_ms = next_value(&mut args, "--timeout-ms")?,
+            "--store" => {
+                opts.store = Some(
+                    args.next()
+                        .ok_or("--store expects a directory".to_string())?,
+                )
+            }
+            "--store-budget" => opts.store_budget = Some(next_value(&mut args, "--store-budget")?),
+            "--cache-cap" => opts.cache_cap = Some(next_value(&mut args, "--cache-cap")?),
+            "--pin" => opts.pin = true,
             "--help" | "-h" => return Err(usage()),
             "batch" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Batch,
             "audit" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Audit,
             "serve" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Serve,
+            "store" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Store,
             _ if !arg.starts_with('-') => {
                 opts.inputs.push(arg);
                 positionals += 1;
@@ -238,10 +279,31 @@ fn parse_args() -> Result<Options, String> {
         if !opts.inputs.is_empty() {
             return Err("serve takes no circuit inputs; clients post them".to_string());
         }
+        if opts.pin {
+            return Err("--pin only applies to `merced store <dir> import`".to_string());
+        }
+        return Ok(opts);
+    }
+    if opts.mode == Mode::Store {
+        if opts.inputs.len() < 2 {
+            return Err(format!(
+                "store expects a directory and an action\n{}",
+                usage()
+            ));
+        }
         return Ok(opts);
     }
     if opts.addr.is_some() {
         return Err("--addr only applies to `merced serve`".to_string());
+    }
+    if opts.store.is_some() || opts.cache_cap.is_some() {
+        return Err("--store/--cache-cap only apply to `merced serve`".to_string());
+    }
+    if opts.store_budget.is_some() {
+        return Err("--store-budget only applies to `merced serve` or `merced store`".to_string());
+    }
+    if opts.pin {
+        return Err("--pin only applies to `merced store <dir> import`".to_string());
     }
     if opts.inputs.is_empty() {
         return Err(usage());
@@ -284,7 +346,10 @@ fn usage() -> String {
      \x20      merced audit <manifest.json> [--bench netlist.bench] \
      [--jobs N|max] [--quiet]\n\
      \x20      merced serve --addr <host:port> [--workers N] [--queue N] \
-     [--timeout-ms N] [--jobs N|max] [same compile options as defaults]"
+     [--timeout-ms N] [--jobs N|max] [--store DIR] [--store-budget BYTES] \
+     [--cache-cap N] [same compile options as defaults]\n\
+     \x20      merced store <dir> <stats | gc | verify | export KEY | \
+     import FILE [--pin]>"
         .to_string()
 }
 
@@ -412,6 +477,9 @@ fn run_serve(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
         workers: opts.workers.max(1),
         queue_capacity: opts.queue.max(1),
         timeout: std::time::Duration::from_millis(opts.timeout_ms.max(1)),
+        cache_capacity: opts.cache_cap.unwrap_or(ppet_serve::DEFAULT_CACHE_CAPACITY),
+        store_dir: opts.store.as_ref().map(std::path::PathBuf::from),
+        store_budget: opts.store_budget,
         ..ServeConfig::default()
     };
     let server = Server::bind(addr, backend, config)
@@ -425,6 +493,98 @@ fn run_serve(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
         println!("merced serve drained");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `merced store <dir> <action>`: maintenance operations on a persistent
+/// artifact store. Without `--store-budget` the store opens unbounded,
+/// so maintenance never triggers surprise evictions; with it, opening
+/// and importing enforce the byte budget exactly as the server would.
+fn run_store(opts: &Options) -> Result<ExitCode, CliError> {
+    use ppet_store::{Store, StoreConfig};
+
+    let dir = &opts.inputs[0];
+    let action = opts.inputs[1].as_str();
+    let config = StoreConfig {
+        budget: opts.store_budget,
+        ..StoreConfig::default()
+    };
+    let store = Store::open(dir, config)
+        .map_err(|e| CliError::new("io", format!("cannot open store {dir}: {e}")))?;
+    match action {
+        "stats" => {
+            println!("{}", store.stats());
+            Ok(ExitCode::SUCCESS)
+        }
+        "gc" => {
+            let outcome = store
+                .gc()
+                .map_err(|e| CliError::new("io", format!("gc failed: {e}")))?;
+            store
+                .flush()
+                .map_err(|e| CliError::new("io", format!("flush failed: {e}")))?;
+            println!(
+                "gc: {} -> {} bytes ({} live entries)",
+                outcome.before_bytes, outcome.after_bytes, outcome.live_entries
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let report = store.verify();
+            println!("verify: {} ok, {} corrupt", report.ok, report.corrupt.len());
+            if report.pass() {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                let detail: Vec<String> = report
+                    .corrupt
+                    .iter()
+                    .map(|(key, why)| format!("{key:032x}: {why}"))
+                    .collect();
+                Err(CliError::new("store", detail.join("; ")))
+            }
+        }
+        "export" => {
+            let hex = opts
+                .inputs
+                .get(2)
+                .ok_or_else(|| CliError::new("usage", "export expects a 32-hex-digit key"))?;
+            let key = u128::from_str_radix(hex, 16)
+                .map_err(|e| CliError::new("usage", format!("bad key {hex:?}: {e}")))?;
+            let body = store
+                .get(key)
+                .ok_or_else(|| CliError::new("store", format!("no entry for key {hex}")))?;
+            use std::io::Write as _;
+            std::io::stdout()
+                .write_all(&body)
+                .map_err(|e| CliError::new("io", format!("cannot write artifact: {e}")))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "import" => {
+            let path = opts
+                .inputs
+                .get(2)
+                .ok_or_else(|| CliError::new("usage", "import expects a file path"))?;
+            let bytes = std::fs::read(path)
+                .map_err(|e| CliError::new("io", format!("cannot read {path}: {e}")))?;
+            let mut hasher = ppet_netlist::canonical::Fnv128::new();
+            hasher.write_frame(&bytes);
+            let key = hasher.finish();
+            let result = if opts.pin {
+                store.put_pinned(key, &bytes)
+            } else {
+                store.put(key, &bytes)
+            };
+            result.map_err(|e| CliError::new("io", format!("cannot store {path}: {e}")))?;
+            store
+                .flush()
+                .map_err(|e| CliError::new("io", format!("flush failed: {e}")))?;
+            println!("{key:032x}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(CliError::new(
+            "usage",
+            format!("unknown store action `{other}` (stats | gc | verify | export | import)"),
+        )),
+    }
 }
 
 /// `merced audit <manifest.json>`: independent re-verification of a
@@ -587,6 +747,7 @@ fn main() -> ExitCode {
         Mode::Batch => run_batch(&opts, jobs),
         Mode::Audit => run_audit(&opts, jobs),
         Mode::Serve => run_serve(&opts, jobs),
+        Mode::Store => run_store(&opts),
         Mode::Single => {
             let (tracer, sink) = if opts.trace {
                 let (tracer, sink) = Tracer::collecting();

@@ -94,6 +94,32 @@ impl CompileBackend for MercedBackend {
             .map_err(|e| BackendError::new("compile", e.to_string()))?;
         Ok(report.run_manifest().to_json())
     }
+
+    /// Semantic integrity gate on the persistent store's read path: the
+    /// stored body must parse as a `ppet-trace/v1` run manifest and its
+    /// recorded totals must survive an audit cross-check against totals
+    /// recomputed from its own phase counters. The store's CRC layer
+    /// catches flipped bits; this catches a manifest that decodes fine
+    /// but no longer adds up.
+    fn verify_stored(&self, stored: &str) -> Result<(), BackendError> {
+        let recorded = ppet_trace::RunManifest::from_json(stored).map_err(|e| {
+            BackendError::new("audit", format!("stored body is not a manifest: {e}"))
+        })?;
+        let mut recomputed = recorded.clone();
+        recomputed.compute_totals();
+        let report = ppet_audit::manifest::cross_check(&recorded, &recomputed);
+        if report.pass() {
+            Ok(())
+        } else {
+            let detail = report
+                .first_failure()
+                .map_or_else(|| "unknown mismatch".to_owned(), |c| format!("{c:?}"));
+            Err(BackendError::new(
+                "audit",
+                format!("stored manifest failed cross-check: {detail}"),
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -108,8 +108,9 @@ impl Gate {
 enum Slot {
     /// A compile for this key is in flight; waiters block on the gate.
     Pending(Arc<Gate>),
-    /// A finished manifest, returned verbatim on every future hit.
-    Done(Arc<String>),
+    /// A finished manifest, returned verbatim on every future hit. The
+    /// tick orders completed entries for LRU eviction.
+    Done { body: Arc<String>, tick: u64 },
 }
 
 /// What [`ResultCache::claim`] tells the caller to do.
@@ -124,45 +125,100 @@ pub enum Claim {
     Compute(Arc<Gate>),
 }
 
-/// The content-addressed manifest cache.
 #[derive(Debug, Default)]
+struct Slots {
+    map: HashMap<u128, Slot>,
+    tick: u64,
+}
+
+/// The content-addressed manifest cache, bounded to a maximum number of
+/// *completed* entries (least-recently-used entries are dropped beyond
+/// it). Pending slots are exempt — they represent in-flight work and
+/// dropping one would orphan coalesced waiters. With the persistent
+/// store mounted this cache is the hot tier: an evicted manifest is one
+/// store read away, not a recompile.
+#[derive(Debug)]
 pub struct ResultCache {
-    slots: Mutex<HashMap<u128, Slot>>,
+    slots: Mutex<Slots>,
+    capacity: usize,
+}
+
+/// Default bound on completed entries; generous for manifests (a few KiB
+/// each) while keeping a long-running server's memory flat.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
     }
 
-    /// Looks up `key`, registering a pending slot when it is absent.
+    /// An empty cache bounded to `capacity` completed entries (minimum 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new(Slots::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up `key`, registering a pending slot when it is absent. A
+    /// hit refreshes the entry's LRU position.
     pub fn claim(&self, key: CacheKey) -> Claim {
         let mut slots = self.slots.lock().unwrap();
-        match slots.get(&key.0) {
-            Some(Slot::Done(body)) => Claim::Hit(Arc::clone(body)),
+        slots.tick += 1;
+        let now = slots.tick;
+        match slots.map.get_mut(&key.0) {
+            Some(Slot::Done { body, tick }) => {
+                *tick = now;
+                Claim::Hit(Arc::clone(body))
+            }
             Some(Slot::Pending(gate)) => Claim::Wait(Arc::clone(gate)),
             None => {
                 let gate = Arc::new(Gate::default());
-                slots.insert(key.0, Slot::Pending(Arc::clone(&gate)));
+                slots.map.insert(key.0, Slot::Pending(Arc::clone(&gate)));
                 Claim::Compute(gate)
             }
         }
     }
 
-    /// Promotes `key` to a cached result (after filling the gate).
+    /// Promotes `key` to a cached result (after filling the gate),
+    /// evicting the least-recently-used completed entries beyond the
+    /// capacity.
     pub fn complete(&self, key: CacheKey, body: Arc<String>) {
         let mut slots = self.slots.lock().unwrap();
-        slots.insert(key.0, Slot::Done(body));
+        slots.tick += 1;
+        let tick = slots.tick;
+        slots.map.insert(key.0, Slot::Done { body, tick });
+        let mut done: Vec<(u64, u128)> = slots
+            .map
+            .iter()
+            .filter_map(|(k, s)| match s {
+                Slot::Done { tick, .. } => Some((*tick, *k)),
+                Slot::Pending(_) => None,
+            })
+            .collect();
+        if done.len() > self.capacity {
+            done.sort_unstable();
+            for &(_, k) in &done[..done.len() - self.capacity] {
+                slots.map.remove(&k);
+            }
+        }
     }
 
     /// Removes the pending slot for a failed compile so the next request
     /// retries instead of hitting a cached error.
     pub fn abandon(&self, key: CacheKey) {
         let mut slots = self.slots.lock().unwrap();
-        if matches!(slots.get(&key.0), Some(Slot::Pending(_))) {
-            slots.remove(&key.0);
+        if matches!(slots.map.get(&key.0), Some(Slot::Pending(_))) {
+            slots.map.remove(&key.0);
         }
     }
 
@@ -171,8 +227,9 @@ impl ResultCache {
     pub fn len(&self) -> usize {
         let slots = self.slots.lock().unwrap();
         slots
+            .map
             .values()
-            .filter(|s| matches!(s, Slot::Done(_)))
+            .filter(|s| matches!(s, Slot::Done { .. }))
             .count()
     }
 
@@ -263,6 +320,44 @@ mod tests {
         gate.fill(Err(BackendError::new("compile", "boom")));
         cache.abandon(key);
         assert!(matches!(cache.claim(key), Claim::Compute(_)));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = ResultCache::with_capacity(2);
+        let keys: Vec<CacheKey> = (0..3).map(|s| CacheKey::of(&normalized(s))).collect();
+        for (i, &key) in keys.iter().enumerate() {
+            assert!(matches!(cache.claim(key), Claim::Compute(_)));
+            cache.complete(key, Arc::new(format!("m{i}")));
+            // Touch key 0 so it stays hot.
+            if i > 0 {
+                assert!(matches!(cache.claim(keys[0]), Claim::Hit(_)));
+            }
+        }
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        // Key 1 was the LRU victim; 0 (touched) and 2 (fresh) survive.
+        assert!(matches!(cache.claim(keys[0]), Claim::Hit(_)));
+        assert!(matches!(cache.claim(keys[2]), Claim::Hit(_)));
+        assert!(matches!(cache.claim(keys[1]), Claim::Compute(_)));
+    }
+
+    #[test]
+    fn pending_slots_are_exempt_from_the_capacity_bound() {
+        let cache = ResultCache::with_capacity(1);
+        let pending_key = CacheKey::of(&normalized(100));
+        let gate = match cache.claim(pending_key) {
+            Claim::Compute(gate) => gate,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        for s in 0..4 {
+            let key = CacheKey::of(&normalized(s));
+            assert!(matches!(cache.claim(key), Claim::Compute(_)));
+            cache.complete(key, Arc::new("m".to_owned()));
+        }
+        assert_eq!(cache.len(), 1);
+        // The pending slot survived the churn: waiters still coalesce.
+        assert!(matches!(cache.claim(pending_key), Claim::Wait(_)));
+        gate.fill(Ok(Arc::new("late".to_owned())));
     }
 
     #[test]

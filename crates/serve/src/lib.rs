@@ -32,6 +32,16 @@
 //! a compile exceeds the per-request deadline (the compile keeps running
 //! and still populates the cache), `400` for malformed or unresolvable
 //! requests, `503 shutdown` while draining.
+//!
+//! # Persistence
+//!
+//! The in-memory cache is bounded (LRU over completed entries, see
+//! [`ServeConfig::cache_capacity`]) and optionally backed by a
+//! [`ppet_store::Store`] ([`ServeConfig::store_dir`]): compiled
+//! manifests are written through to disk, survive restarts, and are
+//! re-verified (CRC by the store, semantically by
+//! [`CompileBackend::verify_stored`]) before being served again. The
+//! store's `store.*` counters surface on `GET /metrics`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +52,7 @@ mod request;
 pub mod server;
 pub mod signal;
 
-pub use cache::{CacheKey, ResultCache};
+pub use cache::{CacheKey, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use request::{
     BackendError, CompileBackend, CompileRequest, NormalizedRequest, REQUEST_SCHEMA,
 };

@@ -221,6 +221,20 @@ pub trait CompileBackend: Send + Sync + 'static {
     ///
     /// [`BackendError`] for compile failures.
     fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError>;
+
+    /// Re-verifies a body fetched from the persistent store before it is
+    /// served. The store already CRC-checks every record; this hook is
+    /// for *semantic* verification — the Merced backend overrides it to
+    /// re-derive the manifest's totals and audit-cross-check them. A
+    /// failure quarantines the stored entry and falls back to a fresh
+    /// compile, so returning an error here is safe, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the stored body fails verification.
+    fn verify_stored(&self, _stored: &str) -> Result<(), BackendError> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -13,15 +13,17 @@
 //! queued compiles drain, and [`Server::run`] returns.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use ppet_exec::WorkQueue;
+use ppet_store::{Store, StoreConfig};
 use ppet_trace::Metrics;
 
-use crate::cache::{CacheKey, Claim, ResultCache};
+use crate::cache::{CacheKey, Claim, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::http::{self, HttpError, Request};
 use crate::request::{CompileBackend, CompileRequest};
 use crate::signal;
@@ -46,6 +48,17 @@ pub struct ServeConfig {
     pub timeout: Duration,
     /// Largest accepted request body in bytes.
     pub max_body_bytes: usize,
+    /// Maximum completed entries the in-memory result cache keeps
+    /// (least-recently-used eviction beyond it).
+    pub cache_capacity: usize,
+    /// Directory of the persistent artifact store; `None` runs
+    /// memory-only. With a store mounted, the in-memory cache becomes a
+    /// bounded hot tier: store hits skip the compiler entirely, and the
+    /// cache survives restarts through the store.
+    pub store_dir: Option<PathBuf>,
+    /// Byte budget for the persistent store's LRU eviction; `None`
+    /// means unbounded.
+    pub store_budget: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +68,9 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             timeout: Duration::from_secs(60),
             max_body_bytes: 4 << 20,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            store_dir: None,
+            store_budget: None,
         }
     }
 }
@@ -62,6 +78,7 @@ impl Default for ServeConfig {
 struct Service<B> {
     backend: Arc<B>,
     cache: Arc<ResultCache>,
+    store: Option<Arc<Store>>,
     queue: WorkQueue,
     metrics: Metrics,
     config: ServeConfig,
@@ -119,11 +136,27 @@ impl<B: CompileBackend> Server<B> {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let queue = WorkQueue::new(config.workers.max(1), config.queue_capacity.max(1));
+        let metrics = Metrics::new();
+        let store = match &config.store_dir {
+            Some(dir) => {
+                let store_config = StoreConfig {
+                    budget: config.store_budget,
+                    ..StoreConfig::default()
+                };
+                Some(Arc::new(Store::open_with_metrics(
+                    dir,
+                    store_config,
+                    &metrics,
+                )?))
+            }
+            None => None,
+        };
         let service = Arc::new(Service {
             backend: Arc::new(backend),
-            cache: Arc::new(ResultCache::new()),
+            cache: Arc::new(ResultCache::with_capacity(config.cache_capacity)),
+            store,
             queue,
-            metrics: Metrics::new(),
+            metrics,
             config,
             shutdown: AtomicBool::new(false),
         });
@@ -185,10 +218,21 @@ impl<B: CompileBackend> Server<B> {
             let _ = h.join();
         }
         // All handler threads have answered; finish whatever compiles the
-        // queue still holds, then stop the workers.
+        // queue still holds, then stop the workers. The store is flushed
+        // last so a clean shutdown is an fsync point.
         match Arc::try_unwrap(self.service) {
-            Ok(service) => service.queue.shutdown(),
-            Err(service) => service.queue.drain(),
+            Ok(service) => {
+                service.queue.shutdown();
+                if let Some(store) = &service.store {
+                    let _ = store.flush();
+                }
+            }
+            Err(service) => {
+                service.queue.drain();
+                if let Some(store) = &service.store {
+                    let _ = store.flush();
+                }
+            }
         }
     }
 }
@@ -293,15 +337,31 @@ impl<B: CompileBackend> Service<B> {
                 gate
             }
             Claim::Compute(gate) => {
+                // Second tier: the persistent store. A verified stored
+                // manifest is promoted into the hot cache and served
+                // without compiling; a corrupt or unverifiable one is
+                // quarantined and recompiled.
+                if let Some(body) = self.store_fetch(key) {
+                    self.cache.complete(key, Arc::clone(&body));
+                    gate.fill(Ok(Arc::clone(&body)));
+                    self.record_latency(started);
+                    return (200, "application/json", body.as_ref().clone());
+                }
                 self.metrics.counter("serve.cache_misses").inc();
                 let backend = Arc::clone(&self.backend);
                 let cache = Arc::clone(&self.cache);
+                let store = self.store.clone();
                 let job_gate = Arc::clone(&gate);
                 let submitted = self
                     .queue
                     .try_submit(move || match backend.compile(&normalized) {
                         Ok(manifest) => {
                             let manifest = Arc::new(manifest);
+                            if let Some(store) = &store {
+                                // Best-effort: a full disk must not fail
+                                // the compile the client is waiting on.
+                                let _ = store.put(key.0, manifest.as_bytes());
+                            }
                             cache.complete(key, Arc::clone(&manifest));
                             job_gate.fill(Ok(manifest));
                         }
@@ -353,6 +413,26 @@ impl<B: CompileBackend> Service<B> {
                         ),
                     ),
                 )
+            }
+        }
+    }
+
+    /// Looks `key` up in the persistent store and verifies the stored
+    /// body (UTF-8, then the backend's semantic check) before trusting
+    /// it. Anything that fails verification is quarantined so the slot
+    /// recompiles — a corrupt store degrades to a cold cache, never to a
+    /// wrong answer.
+    fn store_fetch(&self, key: CacheKey) -> Option<Arc<String>> {
+        let store = self.store.as_ref()?;
+        let bytes = store.get(key.0)?;
+        let verified = String::from_utf8(bytes)
+            .ok()
+            .filter(|body| self.backend.verify_stored(body).is_ok());
+        match verified {
+            Some(body) => Some(Arc::new(body)),
+            None => {
+                store.quarantine(key.0);
+                None
             }
         }
     }
@@ -538,6 +618,169 @@ mod tests {
         assert!(metrics.contains("serve.cache_misses 1\n"), "{metrics}");
         handle.shutdown();
         join.join().unwrap();
+    }
+
+    /// A backend whose first `fail_times` compiles error, then succeed —
+    /// for exercising the no-poisoning contract.
+    struct FlakyBackend {
+        inner: EchoBackend,
+        fail_times: AtomicU64,
+    }
+
+    impl CompileBackend for FlakyBackend {
+        fn normalize(&self, request: &CompileRequest) -> Result<NormalizedRequest, BackendError> {
+            self.inner.normalize(request)
+        }
+
+        fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError> {
+            if self.fail_times.fetch_sub(1, Ordering::SeqCst) > 0 {
+                return Err(BackendError::new("compile", "transient failure"));
+            }
+            self.inner.compile(normalized)
+        }
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ppet-serve-store-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Satellite contract: a client that gave up with 408 has not burned
+    /// the slot — the compile finishes in the background and the next
+    /// identical request is a cache hit.
+    #[test]
+    fn timed_out_compile_still_lands_in_the_cache() {
+        let config = ServeConfig {
+            timeout: Duration::from_millis(20),
+            ..ServeConfig::default()
+        };
+        let (addr, handle, join) = start(Duration::from_millis(150), config);
+        let req = CompileRequest::bench(BENCH).with_seed(11).to_json();
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 408, "{body}");
+        // Let the abandoned compile finish.
+        thread::sleep(Duration::from_millis(400));
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200, "{body}");
+        let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+        assert!(metrics.contains("serve.cache_hits 1\n"), "{metrics}");
+        assert!(
+            metrics.contains("serve.cache_misses 1\n"),
+            "compile must have run exactly once: {metrics}"
+        );
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// Satellite contract: a failed compile never poisons its slot — the
+    /// next identical request recompiles and succeeds.
+    #[test]
+    fn failed_compile_does_not_poison_the_slot() {
+        let backend = FlakyBackend {
+            inner: EchoBackend::new(Duration::ZERO),
+            fail_times: AtomicU64::new(1),
+        };
+        let server = Server::bind("127.0.0.1:0", backend, ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run());
+        let req = CompileRequest::bench(BENCH).with_seed(13).to_json();
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("transient failure"), "{body}");
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(
+            status, 200,
+            "retry must recompile, not replay the error: {body}"
+        );
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// The persistent tier: a manifest compiled before shutdown is served
+    /// from the store after restart, without recompiling.
+    #[test]
+    fn store_survives_restart_and_answers_without_recompiling() {
+        let dir = temp_store_dir("restart");
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let req = CompileRequest::bench(BENCH).with_seed(21).to_json();
+
+        let (addr, handle, join) = start(Duration::ZERO, config.clone());
+        let (status, first) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200, "{first}");
+        handle.shutdown();
+        join.join().unwrap();
+
+        // Fresh server, fresh (empty) hot cache, same store directory.
+        let (addr, handle, join) = start(Duration::ZERO, config);
+        let (status, second) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200, "{second}");
+        assert_eq!(first, second, "stored manifest is byte-identical");
+        let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+        assert!(metrics.contains("store.hits 1\n"), "{metrics}");
+        assert!(
+            metrics.contains("serve.cache_misses 0\n") || !metrics.contains("serve.cache_misses"),
+            "store hit must not count as a compile miss: {metrics}"
+        );
+        handle.shutdown();
+        join.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A stored body the backend refuses to verify is quarantined and
+    /// recompiled instead of served.
+    #[test]
+    fn unverifiable_store_entries_are_quarantined_and_recompiled() {
+        struct Paranoid(EchoBackend);
+        impl CompileBackend for Paranoid {
+            fn normalize(
+                &self,
+                request: &CompileRequest,
+            ) -> Result<NormalizedRequest, BackendError> {
+                self.0.normalize(request)
+            }
+            fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError> {
+                self.0.compile(normalized)
+            }
+            fn verify_stored(&self, _stored: &str) -> Result<(), BackendError> {
+                Err(BackendError::new("audit", "refused on principle"))
+            }
+        }
+
+        let dir = temp_store_dir("paranoid");
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let req = CompileRequest::bench(BENCH).with_seed(23).to_json();
+        for round in 0..2 {
+            let backend = Paranoid(EchoBackend::new(Duration::ZERO));
+            let server = Server::bind("127.0.0.1:0", backend, config.clone()).unwrap();
+            let addr = server.local_addr();
+            let handle = server.handle();
+            let join = thread::spawn(move || server.run());
+            let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+            assert_eq!(status, 200, "round {round}: {body}");
+            let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+            if round == 1 {
+                // The restart found the stored entry, refused it, and
+                // recompiled.
+                assert!(metrics.contains("store.quarantined 1\n"), "{metrics}");
+                assert!(metrics.contains("serve.cache_misses 1\n"), "{metrics}");
+            }
+            handle.shutdown();
+            join.join().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

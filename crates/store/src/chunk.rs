@@ -1,0 +1,94 @@
+//! Chunk signatures for similarity matching.
+//!
+//! Similar artifacts (manifests of near-identical netlists, re-audited
+//! golden entries) share most of their bytes. To find the best delta base
+//! without comparing against every stored artifact, each raw artifact
+//! gets a *signature*: the FNV-1a hash of every fixed-size chunk. Two
+//! artifacts with many common chunks are likely near-duplicates, and the
+//! stored artifact sharing the most chunk hashes with an incoming one is
+//! the delta-base candidate (the SBC "similarity-based chunking" idea,
+//! reduced to fixed windows — alignment shifts are handled later by the
+//! byte-granular delta encoder, so the signature only has to *rank*
+//! candidates, not find exact matches).
+
+/// Fixed chunk width the signature hashes over.
+pub const CHUNK_SIZE: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a of one byte slice.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The chunk signature of `data`: one hash per [`CHUNK_SIZE`] window,
+/// including the (possibly short) tail chunk. Empty data has an empty
+/// signature.
+#[must_use]
+pub fn signature(data: &[u8]) -> Vec<u64> {
+    data.chunks(CHUNK_SIZE).map(fnv1a).collect()
+}
+
+/// How many chunk hashes `probe` shares with `base` (multiset
+/// intersection size). Both inputs may be unsorted.
+#[must_use]
+pub fn overlap(probe: &[u64], base: &[u64]) -> usize {
+    let mut counts = std::collections::HashMap::with_capacity(base.len());
+    for &h in base {
+        *counts.entry(h).or_insert(0usize) += 1;
+    }
+    let mut shared = 0;
+    for h in probe {
+        if let Some(n) = counts.get_mut(h) {
+            if *n > 0 {
+                *n -= 1;
+                shared += 1;
+            }
+        }
+    }
+    shared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_data_overlaps_fully() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let sig = signature(&data);
+        assert_eq!(sig.len(), data.len().div_ceil(CHUNK_SIZE));
+        assert_eq!(overlap(&sig, &sig), sig.len());
+    }
+
+    #[test]
+    fn disjoint_data_overlaps_nowhere() {
+        let a: Vec<u8> = std::iter::repeat_n(b'a', 512).collect();
+        let b: Vec<u8> = std::iter::repeat_n(b'b', 512).collect();
+        // All-'a' chunks repeat, so the signature is a multiset of one
+        // hash; overlap with all-'b' must still be zero.
+        assert_eq!(overlap(&signature(&a), &signature(&b)), 0);
+    }
+
+    #[test]
+    fn near_duplicates_overlap_mostly() {
+        let base: Vec<u8> = (0..4096u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut edited = base.clone();
+        edited[100] ^= 0xFF; // one chunk differs
+        let (s1, s2) = (signature(&base), signature(&edited));
+        assert_eq!(overlap(&s1, &s2), s1.len() - 1);
+    }
+
+    #[test]
+    fn empty_signature_is_empty() {
+        assert!(signature(&[]).is_empty());
+        assert_eq!(overlap(&[], &[1, 2, 3]), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Byte-granular delta encoding against a base artifact.
+//!
+//! The op stream is the classic copy/insert vocabulary (the shape of
+//! xdelta/gdelta, reduced to two ops):
+//!
+//! ```text
+//! 0x00  copy    base_off: u32, len: u32     — copy len bytes of the base
+//! 0x01  literal len: u32, bytes             — insert len new bytes
+//! ```
+//!
+//! Encoding is greedy: every offset of the base is indexed by the FNV
+//! hash of its [`WINDOW`]-byte window; the scan over the new data looks
+//! its current window up, verifies candidates byte-for-byte, extends the
+//! longest true match as far as it goes, and falls back to literal bytes
+//! between matches. Byte-granular matching (rather than chunk-aligned)
+//! is what makes insertions cheap: one inserted byte shifts every later
+//! offset, which chunk alignment would turn into "everything differs".
+//!
+//! [`decode`] is bounds-checked everywhere — a corrupt delta yields
+//! [`DeltaError`], never a panic or a wrong artifact (the caller also
+//! CRC-checks the record and length-checks the result).
+
+use crate::chunk::fnv1a;
+
+/// Match window width; also the minimum useful copy length (a copy op
+/// costs 9 bytes, so shorter matches are stored as literals).
+pub const WINDOW: usize = 16;
+
+/// Max base offsets remembered per window hash. Bounds worst-case
+/// encoding time on pathological (highly repetitive) bases.
+const MAX_CANDIDATES: usize = 8;
+
+/// Why a delta op stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The op stream ended mid-op.
+    Truncated,
+    /// An op tag is not `copy`/`literal`.
+    UnknownOp(u8),
+    /// A copy op points outside the base.
+    CopyOutOfRange,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Truncated => write!(f, "delta op stream truncated"),
+            DeltaError::UnknownOp(op) => write!(f, "unknown delta op {op}"),
+            DeltaError::CopyOutOfRange => write!(f, "copy op exceeds base bounds"),
+        }
+    }
+}
+
+/// Encodes `data` as a delta against `base`.
+///
+/// The result always decodes back to `data` exactly; it is only *useful*
+/// (smaller than `data`) when the two share long byte runs — the caller
+/// compares sizes and keeps the raw bytes otherwise.
+#[must_use]
+pub fn encode(base: &[u8], data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    if base.len() < WINDOW || data.len() < WINDOW {
+        push_literal(&mut out, data);
+        return out;
+    }
+
+    // Index every base window by hash.
+    let mut index: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+    for off in 0..=base.len() - WINDOW {
+        let h = fnv1a(&base[off..off + WINDOW]);
+        let slots = index.entry(h).or_default();
+        if slots.len() < MAX_CANDIDATES {
+            slots.push(off as u32);
+        }
+    }
+
+    let mut pos = 0usize;
+    let mut lit_start = 0usize;
+    while pos + WINDOW <= data.len() {
+        let h = fnv1a(&data[pos..pos + WINDOW]);
+        let mut best: Option<(usize, usize)> = None; // (base_off, len)
+        if let Some(cands) = index.get(&h) {
+            for &cand in cands {
+                let cand = cand as usize;
+                if base[cand..cand + WINDOW] != data[pos..pos + WINDOW] {
+                    continue; // hash collision
+                }
+                let mut len = WINDOW;
+                while cand + len < base.len()
+                    && pos + len < data.len()
+                    && base[cand + len] == data[pos + len]
+                {
+                    len += 1;
+                }
+                if best.map_or(true, |(_, b)| len > b) {
+                    best = Some((cand, len));
+                }
+            }
+        }
+        match best {
+            Some((off, len)) => {
+                push_literal(&mut out, &data[lit_start..pos]);
+                out.push(0x00);
+                out.extend_from_slice(&(off as u32).to_le_bytes());
+                out.extend_from_slice(&(len as u32).to_le_bytes());
+                pos += len;
+                lit_start = pos;
+            }
+            None => pos += 1,
+        }
+    }
+    push_literal(&mut out, &data[lit_start..]);
+    out
+}
+
+fn push_literal(out: &mut Vec<u8>, bytes: &[u8]) {
+    if bytes.is_empty() {
+        return;
+    }
+    out.push(0x01);
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Applies a delta op stream to `base`, reproducing the encoded artifact.
+///
+/// # Errors
+///
+/// [`DeltaError`] when the op stream is truncated, carries an unknown op,
+/// or copies outside the base.
+pub fn decode(base: &[u8], delta: &[u8]) -> Result<Vec<u8>, DeltaError> {
+    let mut out = Vec::with_capacity(delta.len());
+    let mut pos = 0usize;
+    while pos < delta.len() {
+        let op = delta[pos];
+        pos += 1;
+        match op {
+            0x00 => {
+                let off = read_u32(delta, pos)? as usize;
+                let len = read_u32(delta, pos + 4)? as usize;
+                pos += 8;
+                let slice = base
+                    .get(off..off.checked_add(len).ok_or(DeltaError::CopyOutOfRange)?)
+                    .ok_or(DeltaError::CopyOutOfRange)?;
+                out.extend_from_slice(slice);
+            }
+            0x01 => {
+                let len = read_u32(delta, pos)? as usize;
+                pos += 4;
+                let slice = delta
+                    .get(pos..pos.checked_add(len).ok_or(DeltaError::Truncated)?)
+                    .ok_or(DeltaError::Truncated)?;
+                out.extend_from_slice(slice);
+                pos += len;
+            }
+            other => return Err(DeltaError::UnknownOp(other)),
+        }
+    }
+    Ok(out)
+}
+
+fn read_u32(delta: &[u8], at: usize) -> Result<u32, DeltaError> {
+    delta
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        .ok_or(DeltaError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(base: &[u8], data: &[u8]) -> usize {
+        let delta = encode(base, data);
+        assert_eq!(decode(base, &delta).expect("decodes"), data);
+        delta.len()
+    }
+
+    #[test]
+    fn identical_data_collapses_to_one_copy() {
+        let data: Vec<u8> = (0..2048u32).flat_map(|i| i.to_le_bytes()).collect();
+        let len = round_trip(&data, &data);
+        assert_eq!(len, 9, "one copy op: {len} bytes");
+    }
+
+    #[test]
+    fn insertion_in_the_middle_stays_small() {
+        let base: Vec<u8> = (0..2048u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut data = base.clone();
+        data.splice(4096..4096, b"INSERTED PAYLOAD".iter().copied());
+        let len = round_trip(&base, &data);
+        assert!(len < 60, "copy + literal + copy, got {len} bytes");
+        assert!(len < data.len() / 10);
+    }
+
+    #[test]
+    fn unrelated_data_degenerates_to_a_literal() {
+        let base = vec![0xAAu8; 500];
+        let data: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        let delta = encode(&base, &data);
+        assert_eq!(decode(&base, &delta).unwrap(), data);
+        // Never catastrophically larger than raw.
+        assert!(delta.len() <= data.len() + 5 + 13 * (data.len() / WINDOW + 1));
+    }
+
+    #[test]
+    fn short_inputs_are_pure_literals() {
+        assert_eq!(round_trip(b"abc", b"abc"), 8);
+        assert_eq!(round_trip(&[], b"xyz"), 8);
+        assert_eq!(round_trip(b"base", &[]), 0);
+    }
+
+    #[test]
+    fn corrupt_deltas_error_instead_of_panicking() {
+        let base = b"0123456789abcdef0123456789abcdef".to_vec();
+        let good = encode(&base, &base);
+        assert_eq!(decode(&base, &[0x02]), Err(DeltaError::UnknownOp(2)));
+        assert_eq!(decode(&base, &good[..5]), Err(DeltaError::Truncated));
+        let mut bad_copy = vec![0x00];
+        bad_copy.extend_from_slice(&u32::MAX.to_le_bytes());
+        bad_copy.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&base, &bad_copy), Err(DeltaError::CopyOutOfRange));
+    }
+
+    proptest! {
+        #[test]
+        fn random_edits_round_trip(
+            seedlen in 64usize..512,
+            cut in 0usize..64,
+            insert in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..64),
+        ) {
+            let base: Vec<u8> = (0..seedlen as u32).flat_map(|i| i.to_le_bytes()).collect();
+            let mut data = base.clone();
+            let cut = cut.min(data.len());
+            data.drain(..cut);
+            let at = data.len() / 2;
+            data.splice(at..at, insert.iter().copied());
+            let delta = encode(&base, &data);
+            prop_assert_eq!(decode(&base, &delta).unwrap(), data);
+        }
+
+        #[test]
+        fn arbitrary_pairs_round_trip(
+            base in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..300),
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..300),
+        ) {
+            let delta = encode(&base, &data);
+            prop_assert_eq!(decode(&base, &delta).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The on-disk record vocabulary of the segment log.
+//!
+//! A segment file is a sequence of *frames*:
+//!
+//! ```text
+//! +----------+----------+------------------+
+//! | len: u32 | crc: u32 | payload (len B)  |
+//! +----------+----------+------------------+
+//! ```
+//!
+//! both integers little-endian, `crc` the CRC-32 of the payload. The
+//! payload starts with a one-byte kind tag followed by the 16-byte key:
+//!
+//! | kind | record | payload after the key |
+//! |---|---|---|
+//! | `1` | [`Record::PutRaw`] | `data_len: u32`, data bytes |
+//! | `2` | [`Record::PutDelta`] | `base: u128`, `logical_len: u32`, `delta_len: u32`, delta ops |
+//! | `3` | [`Record::Evict`] | — |
+//! | `4` | [`Record::Pin`] | — |
+//! | `5` | [`Record::Unpin`] | — |
+//!
+//! Recovery replays frames in order; the index is whatever the replay
+//! leaves live. A frame that fails its CRC, declares an impossible
+//! length, or carries an unknown kind is *quarantined* (counted and
+//! skipped — or truncated when it is the torn tail of the final segment).
+
+/// Bytes of frame header preceding every payload (`len` + `crc`).
+pub const FRAME_HEADER: u64 = 8;
+
+/// Upper bound a frame may declare for its payload; anything larger is
+/// treated as corruption (protects recovery from a trashed length field).
+pub const MAX_PAYLOAD: u32 = 1 << 28;
+
+/// One logical record in the append-only log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A full artifact stored verbatim.
+    PutRaw {
+        /// Content-address of the artifact.
+        key: u128,
+        /// The artifact bytes.
+        data: Vec<u8>,
+    },
+    /// An artifact stored as a delta against a raw base artifact.
+    PutDelta {
+        /// Content-address of the artifact.
+        key: u128,
+        /// Key of the raw base artifact the delta decodes against.
+        base: u128,
+        /// Decoded artifact length (recorded so stats and budget checks
+        /// never need to decode).
+        logical_len: u32,
+        /// The delta op stream ([`crate::delta`] format).
+        delta: Vec<u8>,
+    },
+    /// Tombstone: the key is no longer live.
+    Evict {
+        /// Key being removed.
+        key: u128,
+    },
+    /// The key is pinned: the eviction policy must never remove it.
+    Pin {
+        /// Key being pinned.
+        key: u128,
+    },
+    /// The key is no longer pinned.
+    Unpin {
+        /// Key being unpinned.
+        key: u128,
+    },
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The payload was shorter than its fixed fields require.
+    Truncated,
+    /// The kind byte is not in the vocabulary.
+    UnknownKind(u8),
+    /// An embedded length disagrees with the payload size.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "payload truncated"),
+            RecordError::UnknownKind(k) => write!(f, "unknown record kind {k}"),
+            RecordError::LengthMismatch => write!(f, "embedded length disagrees with payload"),
+        }
+    }
+}
+
+impl Record {
+    /// The record's key.
+    #[must_use]
+    pub fn key(&self) -> u128 {
+        match self {
+            Record::PutRaw { key, .. }
+            | Record::PutDelta { key, .. }
+            | Record::Evict { key }
+            | Record::Pin { key }
+            | Record::Unpin { key } => *key,
+        }
+    }
+
+    /// Serializes the payload (frame header excluded — the segment log
+    /// adds `len`/`crc` when appending).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Record::PutRaw { key, data } => {
+                out.push(1);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            Record::PutDelta {
+                key,
+                base,
+                logical_len,
+                delta,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&base.to_le_bytes());
+                out.extend_from_slice(&logical_len.to_le_bytes());
+                out.extend_from_slice(&(delta.len() as u32).to_le_bytes());
+                out.extend_from_slice(delta);
+            }
+            Record::Evict { key } => {
+                out.push(3);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            Record::Pin { key } => {
+                out.push(4);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            Record::Unpin { key } => {
+                out.push(5);
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a payload produced by [`Record::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`RecordError`] when the payload is truncated, carries an unknown
+    /// kind, or its embedded lengths disagree with the payload size.
+    pub fn decode(payload: &[u8]) -> Result<Record, RecordError> {
+        let kind = *payload.first().ok_or(RecordError::Truncated)?;
+        let key = read_u128(payload, 1)?;
+        let rest = 17usize;
+        match kind {
+            1 => {
+                let data_len = read_u32(payload, rest)? as usize;
+                let data = payload.get(rest + 4..).ok_or(RecordError::Truncated)?;
+                if data.len() != data_len {
+                    return Err(RecordError::LengthMismatch);
+                }
+                Ok(Record::PutRaw {
+                    key,
+                    data: data.to_vec(),
+                })
+            }
+            2 => {
+                let base = read_u128(payload, rest)?;
+                let logical_len = read_u32(payload, rest + 16)?;
+                let delta_len = read_u32(payload, rest + 20)? as usize;
+                let delta = payload.get(rest + 24..).ok_or(RecordError::Truncated)?;
+                if delta.len() != delta_len {
+                    return Err(RecordError::LengthMismatch);
+                }
+                Ok(Record::PutDelta {
+                    key,
+                    base,
+                    logical_len,
+                    delta: delta.to_vec(),
+                })
+            }
+            3..=5 => {
+                if payload.len() != rest {
+                    return Err(RecordError::LengthMismatch);
+                }
+                Ok(match kind {
+                    3 => Record::Evict { key },
+                    4 => Record::Pin { key },
+                    _ => Record::Unpin { key },
+                })
+            }
+            other => Err(RecordError::UnknownKind(other)),
+        }
+    }
+}
+
+fn read_u32(payload: &[u8], at: usize) -> Result<u32, RecordError> {
+    payload
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        .ok_or(RecordError::Truncated)
+}
+
+fn read_u128(payload: &[u8], at: usize) -> Result<u128, RecordError> {
+    payload
+        .get(at..at + 16)
+        .map(|b| u128::from_le_bytes(b.try_into().expect("16-byte slice")))
+        .ok_or(RecordError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Record> {
+        vec![
+            Record::PutRaw {
+                key: 0xDEAD_BEEF,
+                data: b"artifact bytes".to_vec(),
+            },
+            Record::PutRaw {
+                key: 7,
+                data: Vec::new(),
+            },
+            Record::PutDelta {
+                key: u128::MAX,
+                base: 42,
+                logical_len: 1_000_000,
+                delta: vec![0, 1, 2, 3],
+            },
+            Record::Evict { key: 9 },
+            Record::Pin { key: 1 },
+            Record::Unpin { key: 1 },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for record in samples() {
+            let payload = record.encode();
+            assert_eq!(Record::decode(&payload).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        for record in samples() {
+            let payload = record.encode();
+            for cut in 0..payload.len() {
+                assert!(
+                    Record::decode(&payload[..cut]).is_err(),
+                    "{record:?} cut at {cut} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_trailing_garbage_rejected() {
+        let mut payload = Record::Evict { key: 3 }.encode();
+        payload[0] = 99;
+        assert_eq!(Record::decode(&payload), Err(RecordError::UnknownKind(99)));
+
+        let mut payload = Record::Evict { key: 3 }.encode();
+        payload.push(0);
+        assert_eq!(Record::decode(&payload), Err(RecordError::LengthMismatch));
+    }
+}

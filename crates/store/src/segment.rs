@@ -1,0 +1,483 @@
+//! The append-only segment log and its crash-safe recovery path.
+//!
+//! A store directory holds numbered segment files (`seg-00000000.log`,
+//! `seg-00000001.log`, …). Records append to the highest-numbered
+//! segment; when it exceeds the configured size the log *rolls*: the
+//! active file is fsynced and a new segment starts. Appends themselves
+//! are buffered writes without fsync — a `kill -9` of the process cannot
+//! lose them (the OS flushes the page cache), only a machine crash can,
+//! and [`SegmentLog::flush`] is the explicit durability point for that.
+//!
+//! # Recovery state machine (per segment, frames scanned in order)
+//!
+//! 1. **clean frame** — header complete, declared length plausible,
+//!    payload present, CRC matches, record decodes → replay it.
+//! 2. **torn tail** — header or payload runs past end-of-file. In the
+//!    *final* segment this is the expected `kill -9` shape: the file is
+//!    truncated at the frame start (quarantining the torn record) and the
+//!    log continues appending there. In an earlier segment the rest of
+//!    that segment is quarantined as one unit (lengths can no longer be
+//!    trusted) and scanning moves to the next segment.
+//! 3. **corrupt frame** — header and payload are fully present but the
+//!    CRC or record decoding fails. The frame boundary is still trusted
+//!    (the declared length was self-consistent), so the single record is
+//!    quarantined and scanning resumes at the next frame.
+//! 4. **implausible length** — a declared payload length above
+//!    [`MAX_PAYLOAD`]. Treated like a torn tail: nothing after it can be
+//!    framed.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::record::{Record, FRAME_HEADER, MAX_PAYLOAD};
+
+/// Where one record's frame lives on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Segment number (`seg-<n>.log`).
+    pub segment: u32,
+    /// Byte offset of the frame header within the segment.
+    pub offset: u64,
+    /// Payload length (frame is `FRAME_HEADER + payload_len` bytes).
+    pub payload_len: u32,
+}
+
+impl Location {
+    /// Total on-disk footprint of the frame.
+    #[must_use]
+    pub fn frame_len(&self) -> u64 {
+        FRAME_HEADER + u64::from(self.payload_len)
+    }
+}
+
+/// The records that survived replay, in log order, with their locations.
+pub type Replay = Vec<(Location, Record)>;
+
+/// What recovery observed while replaying the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Valid records replayed into the index.
+    pub recovered: u64,
+    /// Torn or corrupt records dropped (truncated tails count once).
+    pub quarantined: u64,
+    /// Whether the final segment was truncated to drop a torn tail.
+    pub truncated_tail: bool,
+}
+
+/// The append-only log over one directory.
+#[derive(Debug)]
+pub struct SegmentLog {
+    dir: PathBuf,
+    active: File,
+    active_id: u32,
+    active_len: u64,
+    segment_bytes: u64,
+}
+
+fn segment_path(dir: &Path, id: u32) -> PathBuf {
+    dir.join(format!("seg-{id:08}.log"))
+}
+
+fn list_segments(dir: &Path) -> std::io::Result<Vec<u32>> {
+    let mut ids = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(id) = name
+            .strip_prefix("seg-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u32>().ok())
+        {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+impl SegmentLog {
+    /// Opens (creating if needed) the log in `dir`, replaying every
+    /// segment through the recovery state machine. Returns the log
+    /// positioned for appending, the surviving records in log order with
+    /// their locations, and the recovery tally.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from directory creation, listing, reads, or the torn
+    /// tail truncation. Corrupt *content* never errors — it quarantines.
+    pub fn open(dir: &Path, segment_bytes: u64) -> std::io::Result<(Self, Replay, RecoveryStats)> {
+        std::fs::create_dir_all(dir)?;
+        let ids = list_segments(dir)?;
+        let mut records = Vec::new();
+        let mut stats = RecoveryStats::default();
+
+        for (pos, &id) in ids.iter().enumerate() {
+            let is_last = pos + 1 == ids.len();
+            let path = segment_path(dir, id);
+            let bytes = std::fs::read(&path)?;
+            let keep = Self::scan_segment(id, &bytes, &mut records, &mut stats);
+            if is_last && keep < bytes.len() as u64 {
+                // Torn tail: drop it so the next append starts at a clean
+                // frame boundary.
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(keep)?;
+                file.sync_all()?;
+                stats.truncated_tail = true;
+            }
+        }
+
+        let active_id = ids.last().copied().unwrap_or(0);
+        let path = segment_path(dir, active_id);
+        let mut active = OpenOptions::new().create(true).append(true).open(&path)?;
+        let active_len = active.seek(SeekFrom::End(0))?;
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+                active,
+                active_id,
+                active_len,
+                segment_bytes,
+            },
+            records,
+            stats,
+        ))
+    }
+
+    /// Scans one segment's bytes, pushing valid records and tallying
+    /// quarantines. Returns the byte length of the trusted prefix (only
+    /// meaningful for the final segment, where the caller truncates).
+    fn scan_segment(
+        id: u32,
+        bytes: &[u8],
+        records: &mut Vec<(Location, Record)>,
+        stats: &mut RecoveryStats,
+    ) -> u64 {
+        let mut pos = 0usize;
+        loop {
+            let remaining = bytes.len() - pos;
+            if remaining == 0 {
+                return pos as u64;
+            }
+            if remaining < FRAME_HEADER as usize {
+                // Torn mid-header.
+                stats.quarantined += 1;
+                return pos as u64;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if len > MAX_PAYLOAD {
+                // Trashed length field: nothing after this can be framed.
+                stats.quarantined += 1;
+                return pos as u64;
+            }
+            let frame_end = pos + FRAME_HEADER as usize + len as usize;
+            if frame_end > bytes.len() {
+                // Torn mid-payload.
+                stats.quarantined += 1;
+                return pos as u64;
+            }
+            let payload = &bytes[pos + FRAME_HEADER as usize..frame_end];
+            if crc32(payload) != crc {
+                // Content corrupt, boundary trusted: skip this record only.
+                stats.quarantined += 1;
+                pos = frame_end;
+                continue;
+            }
+            match Record::decode(payload) {
+                Ok(record) => {
+                    records.push((
+                        Location {
+                            segment: id,
+                            offset: pos as u64,
+                            payload_len: len,
+                        },
+                        record,
+                    ));
+                    stats.recovered += 1;
+                }
+                Err(_) => stats.quarantined += 1,
+            }
+            pos = frame_end;
+        }
+    }
+
+    /// Appends one record, rolling to a new fsynced segment when the
+    /// active one is full. Returns where the frame landed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the write or the roll.
+    pub fn append(&mut self, record: &Record) -> std::io::Result<Location> {
+        let payload = record.encode();
+        if self.active_len >= self.segment_bytes && self.active_len > 0 {
+            self.roll()?;
+        }
+        let location = Location {
+            segment: self.active_id,
+            offset: self.active_len,
+            payload_len: payload.len() as u32,
+        };
+        let mut frame = Vec::with_capacity(FRAME_HEADER as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.active.write_all(&frame)?;
+        self.active_len += frame.len() as u64;
+        Ok(location)
+    }
+
+    fn roll(&mut self) -> std::io::Result<()> {
+        self.active.sync_all()?;
+        self.active_id += 1;
+        let path = segment_path(&self.dir, self.active_id);
+        self.active = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.active_len = 0;
+        Ok(())
+    }
+
+    /// Fsyncs the active segment — the explicit durability point.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `fsync` failure.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.active.sync_all()
+    }
+
+    /// Reads and re-verifies one record. The CRC is checked again on
+    /// every read, so corruption that happened *after* recovery (bit rot,
+    /// a hostile edit) is still caught.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for CRC/decoding failures, plus ordinary I/O errors.
+    pub fn read(&self, location: Location) -> std::io::Result<Record> {
+        let path = segment_path(&self.dir, location.segment);
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(location.offset))?;
+        let mut header = [0u8; FRAME_HEADER as usize];
+        file.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len != location.payload_len {
+            return Err(corrupt("frame length changed since indexing"));
+        }
+        let mut payload = vec![0u8; len as usize];
+        file.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
+            return Err(corrupt("payload CRC mismatch"));
+        }
+        Record::decode(&payload).map_err(|e| corrupt(&e.to_string()))
+    }
+
+    /// Total bytes across all segment files.
+    ///
+    /// # Errors
+    ///
+    /// Directory listing / metadata I/O errors.
+    pub fn file_bytes(&self) -> std::io::Result<u64> {
+        let mut total = 0;
+        for id in list_segments(&self.dir)? {
+            total += std::fs::metadata(segment_path(&self.dir, id))?.len();
+        }
+        Ok(total)
+    }
+
+    /// Rewrites the log to contain exactly `records`, in order, in fresh
+    /// segments, then deletes the old ones. Crash-safe: new segments are
+    /// fully written and fsynced before any old segment is removed, and
+    /// replay order makes re-put records win, so a crash at any point
+    /// recovers either the old log, the merged view, or the compacted log
+    /// — never a partial artifact.
+    ///
+    /// Returns the new locations, parallel to `records`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from writes, fsyncs, or removals.
+    pub fn compact(&mut self, records: &[Record]) -> std::io::Result<Vec<Location>> {
+        let old_ids = list_segments(&self.dir)?;
+        // Continue numbering after the current active segment so replay
+        // order puts compacted copies last (they win).
+        self.roll()?;
+        let mut locations = Vec::with_capacity(records.len());
+        for record in records {
+            locations.push(self.append(record)?);
+        }
+        self.flush()?;
+        for id in old_ids {
+            if id != self.active_id && locations.iter().all(|l| l.segment != id) {
+                std::fs::remove_file(segment_path(&self.dir, id))?;
+            }
+        }
+        Ok(locations)
+    }
+}
+
+fn corrupt(message: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppet-store-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn put(key: u128, payload: &[u8]) -> Record {
+        Record::PutRaw {
+            key,
+            data: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn append_read_reopen_round_trip() {
+        let dir = tmpdir("round");
+        let (mut log, records, stats) = SegmentLog::open(&dir, 1 << 20).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(stats, RecoveryStats::default());
+
+        let a = log.append(&put(1, b"alpha")).unwrap();
+        let b = log.append(&put(2, b"beta")).unwrap();
+        log.flush().unwrap();
+        assert_eq!(log.read(a).unwrap(), put(1, b"alpha"));
+        assert_eq!(log.read(b).unwrap(), put(2, b"beta"));
+
+        drop(log);
+        let (_log, records, stats) = SegmentLog::open(&dir, 1 << 20).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(stats.recovered, 2);
+        assert_eq!(stats.quarantined, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn log_rolls_into_new_segments() {
+        let dir = tmpdir("roll");
+        let (mut log, _, _) = SegmentLog::open(&dir, 64).unwrap();
+        let mut locations = Vec::new();
+        for i in 0..10u128 {
+            locations.push(log.append(&put(i, &[i as u8; 40])).unwrap());
+        }
+        assert!(
+            locations.iter().any(|l| l.segment > 0),
+            "64-byte segments must roll"
+        );
+        for (i, l) in locations.iter().enumerate() {
+            assert_eq!(log.read(*l).unwrap(), put(i as u128, &[i as u8; 40]));
+        }
+        drop(log);
+        let (_log, records, stats) = SegmentLog::open(&dir, 64).unwrap();
+        assert_eq!(records.len(), 10);
+        assert_eq!(stats.recovered, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_quarantined() {
+        let dir = tmpdir("torn");
+        let (mut log, _, _) = SegmentLog::open(&dir, 1 << 20).unwrap();
+        log.append(&put(1, b"keep me")).unwrap();
+        let whole = log.append(&put(2, b"tear me apart")).unwrap();
+        log.flush().unwrap();
+        drop(log);
+
+        let path = segment_path(&dir, 0);
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Tear mid-payload of the final record.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 4).unwrap();
+        drop(f);
+
+        let (mut log, records, stats) = SegmentLog::open(&dir, 1 << 20).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].1, put(1, b"keep me"));
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.quarantined, 1);
+        assert!(stats.truncated_tail);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), whole.offset);
+
+        // The log keeps working at the truncated boundary.
+        let c = log.append(&put(3, b"after recovery")).unwrap();
+        assert_eq!(c.offset, whole.offset);
+        assert_eq!(log.read(c).unwrap(), put(3, b"after recovery"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_log_bitflip_quarantines_one_record() {
+        let dir = tmpdir("flip");
+        let (mut log, _, _) = SegmentLog::open(&dir, 1 << 20).unwrap();
+        log.append(&put(1, b"first")).unwrap();
+        let victim = log.append(&put(2, b"second")).unwrap();
+        log.append(&put(3, b"third")).unwrap();
+        log.flush().unwrap();
+        drop(log);
+
+        let path = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip = (victim.offset + FRAME_HEADER + 2) as usize;
+        bytes[flip] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_log, records, stats) = SegmentLog::open(&dir, 1 << 20).unwrap();
+        let keys: Vec<u128> = records.iter().map(|(_, r)| r.key()).collect();
+        assert_eq!(keys, vec![1, 3], "middle record skipped, not fatal");
+        assert_eq!(stats.recovered, 2);
+        assert_eq!(stats.quarantined, 1);
+        assert!(!stats.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_reverifies_crc() {
+        let dir = tmpdir("reread");
+        let (mut log, _, _) = SegmentLog::open(&dir, 1 << 20).unwrap();
+        let loc = log.append(&put(1, b"will rot")).unwrap();
+        log.flush().unwrap();
+
+        let path = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = (loc.offset + FRAME_HEADER + 1) as usize;
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = log.read(loc).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_old_segments_and_preserves_records() {
+        let dir = tmpdir("compact");
+        let (mut log, _, _) = SegmentLog::open(&dir, 128).unwrap();
+        for i in 0..20u128 {
+            log.append(&put(i, &[i as u8; 50])).unwrap();
+        }
+        let before = log.file_bytes().unwrap();
+
+        // Keep only the even keys.
+        let live: Vec<Record> = (0..20u128)
+            .filter(|i| i % 2 == 0)
+            .map(|i| put(i, &[i as u8; 50]))
+            .collect();
+        let locations = log.compact(&live).unwrap();
+        assert!(log.file_bytes().unwrap() < before);
+        for (record, loc) in live.iter().zip(&locations) {
+            assert_eq!(&log.read(*loc).unwrap(), record);
+        }
+
+        drop(log);
+        let (_log, records, stats) = SegmentLog::open(&dir, 128).unwrap();
+        assert_eq!(records.len(), live.len());
+        assert_eq!(stats.quarantined, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,927 @@
+//! The store proper: index, similarity dedup, budget eviction, recovery.
+//!
+//! One [`Store`] owns a [`SegmentLog`] plus
+//! the in-memory state recovery rebuilds from it: the key index, the
+//! chunk-signature index for similarity matching, delta base reference
+//! counts, LRU ticks, and byte accounting. All mutation happens under one
+//! mutex — the store is shared behind an `Arc` by the compile service and
+//! its workers.
+//!
+//! # Decision rule: delta vs raw
+//!
+//! An incoming artifact is chunk-signed ([`crate::chunk`]); the *raw*
+//! stored artifact sharing the most chunk hashes (at least
+//! [`StoreConfig::min_overlap_chunks`]) is the delta-base candidate. The
+//! artifact is stored as base-ref + delta iff the encoded delta frame is
+//! strictly smaller than the raw frame would be; otherwise raw. Deltas
+//! never chain: a delta's base is always a raw artifact, so every read
+//! resolves in at most two frames.
+//!
+//! # Eviction and pinning
+//!
+//! When live bytes exceed the budget, the least-recently-used unpinned
+//! entry that no live delta references is evicted (a tombstone is
+//! appended; the frame becomes dead). A base still referenced by deltas
+//! is never evicted directly: if only such bases remain, the policy
+//! *rewrites on evict* — each dependent delta is re-stored raw, then the
+//! base goes. Pinned entries are never evicted; if pinned entries alone
+//! exceed the budget, the store runs over budget rather than break the
+//! pin contract. Dead bytes are reclaimed by compaction
+//! ([`Store::gc`]), which also runs automatically once dead bytes exceed
+//! live bytes plus one segment.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ppet_trace::{Counter, Gauge, Metrics};
+
+use crate::chunk;
+use crate::delta;
+use crate::record::Record;
+use crate::segment::{Location, SegmentLog};
+
+/// Tunables for one store.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Live-byte budget; `None` disables eviction.
+    pub budget: Option<u64>,
+    /// Segment roll threshold.
+    pub segment_bytes: u64,
+    /// Minimum chunk-signature overlap before an artifact is considered
+    /// as a delta base.
+    pub min_overlap_chunks: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            budget: None,
+            segment_bytes: 4 << 20,
+            min_overlap_chunks: 1,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Sets the live-byte budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the segment roll threshold.
+    #[must_use]
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(1);
+        self
+    }
+}
+
+/// What [`Store::put`] did with the artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// Stored as a full artifact.
+    InsertedRaw {
+        /// On-disk frame bytes.
+        stored_bytes: u64,
+    },
+    /// Stored as a delta against a similar base.
+    InsertedDelta {
+        /// On-disk frame bytes (the delta, not the artifact).
+        stored_bytes: u64,
+        /// The base artifact's key.
+        base: u128,
+    },
+    /// The key was already live — content-addressed stores are
+    /// write-once per key, so the bytes were not rewritten (the entry's
+    /// LRU position was refreshed).
+    AlreadyPresent,
+}
+
+/// Point-in-time store statistics (index state plus counter values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStats {
+    /// Live artifacts.
+    pub entries: usize,
+    /// Live pinned artifacts.
+    pub pinned: usize,
+    /// Live artifacts stored as deltas.
+    pub delta_entries: usize,
+    /// On-disk bytes of live frames.
+    pub live_bytes: u64,
+    /// Decoded bytes the live artifacts represent.
+    pub logical_bytes: u64,
+    /// Total segment file bytes (live + dead awaiting compaction).
+    pub file_bytes: u64,
+    /// Configured budget.
+    pub budget: Option<u64>,
+    /// Reads answered from the store.
+    pub hits: u64,
+    /// Reads that found no live entry.
+    pub misses: u64,
+    /// Entries evicted by the budget policy.
+    pub evictions: u64,
+    /// Valid records replayed at open.
+    pub recovered: u64,
+    /// Torn/corrupt records dropped (at open or on read).
+    pub quarantined: u64,
+    /// Delta stored bytes over delta logical bytes (1.0 when no deltas).
+    pub delta_ratio: f64,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "entries        {} ({} pinned, {} delta)",
+            self.entries, self.pinned, self.delta_entries
+        )?;
+        writeln!(
+            f,
+            "live_bytes     {} (logical {}, files {})",
+            self.live_bytes, self.logical_bytes, self.file_bytes
+        )?;
+        match self.budget {
+            Some(b) => writeln!(f, "budget         {b}")?,
+            None => writeln!(f, "budget         unlimited")?,
+        }
+        writeln!(f, "delta_ratio    {:.3}", self.delta_ratio)?;
+        writeln!(f, "hits/misses    {}/{}", self.hits, self.misses)?;
+        writeln!(f, "evictions      {}", self.evictions)?;
+        write!(
+            f,
+            "recovered      {} (quarantined {})",
+            self.recovered, self.quarantined
+        )
+    }
+}
+
+/// Result of one [`Store::verify`] sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Entries read and decoded successfully.
+    pub ok: usize,
+    /// Entries that failed, with the failure description.
+    pub corrupt: Vec<(u128, String)>,
+}
+
+impl VerifyReport {
+    /// Whether every live entry verified.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.corrupt.is_empty()
+    }
+}
+
+/// Result of one compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Segment-file bytes before compaction.
+    pub before_bytes: u64,
+    /// Segment-file bytes after compaction.
+    pub after_bytes: u64,
+    /// Live entries carried over.
+    pub live_entries: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    loc: Location,
+    /// `Some(base)` for delta entries; `None` for raw.
+    base: Option<u128>,
+    logical_len: u32,
+    pinned: bool,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    log: SegmentLog,
+    index: HashMap<u128, Entry>,
+    /// Chunk signatures of raw entries (delta-base candidates).
+    signatures: HashMap<u128, Vec<u64>>,
+    /// Inverted chunk index: chunk hash → raw keys containing it.
+    chunk_index: HashMap<u64, Vec<u128>>,
+    /// Live delta count per base key.
+    refs: HashMap<u128, u32>,
+    live_bytes: u64,
+    file_bytes: u64,
+    delta_stored: u64,
+    delta_logical: u64,
+    tick: u64,
+}
+
+/// The persistent content-addressed artifact store.
+#[derive(Debug)]
+pub struct Store {
+    inner: Mutex<Inner>,
+    dir: PathBuf,
+    config: StoreConfig,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    recovered: Counter,
+    quarantined: Counter,
+    delta_ratio: Gauge,
+    live_bytes_gauge: Gauge,
+    entries_gauge: Gauge,
+}
+
+impl Store {
+    /// Opens the store in `dir` with a private metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the segment log (corrupt content never errors —
+    /// it is quarantined and counted).
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> std::io::Result<Self> {
+        Self::open_with_metrics(dir, config, &Metrics::new())
+    }
+
+    /// Opens the store, registering its `store.*` counters and gauges in
+    /// `metrics` (the compile service passes its own registry so the
+    /// counters surface on `/metrics`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the segment log.
+    pub fn open_with_metrics(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+        metrics: &Metrics,
+    ) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let (log, records, recovery) = SegmentLog::open(&dir, config.segment_bytes)?;
+
+        let mut inner = Inner {
+            log,
+            index: HashMap::new(),
+            signatures: HashMap::new(),
+            chunk_index: HashMap::new(),
+            refs: HashMap::new(),
+            live_bytes: 0,
+            file_bytes: 0,
+            delta_stored: 0,
+            delta_logical: 0,
+            tick: 0,
+        };
+
+        let mut replay_quarantined = 0u64;
+        for (loc, record) in records {
+            inner.replay(loc, record);
+        }
+        // Counted from disk, not from replay: quarantined mid-log frames
+        // still occupy file bytes.
+        inner.file_bytes = inner.log.file_bytes()?;
+        // Deltas whose base did not survive (quarantined, or the victim
+        // of a corrupt eviction interleaving) are unreadable: drop them.
+        let orphans: Vec<u128> = inner
+            .index
+            .iter()
+            .filter(|(_, e)| {
+                e.base
+                    .is_some_and(|b| !inner.index.get(&b).is_some_and(|base| base.base.is_none()))
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for key in orphans {
+            inner.remove_entry(key);
+            replay_quarantined += 1;
+        }
+
+        let store = Self {
+            inner: Mutex::new(inner),
+            dir,
+            config,
+            hits: metrics.counter("store.hits"),
+            misses: metrics.counter("store.misses"),
+            evictions: metrics.counter("store.evictions"),
+            recovered: metrics.counter("store.recovered"),
+            quarantined: metrics.counter("store.quarantined"),
+            delta_ratio: metrics.gauge("store.delta_ratio"),
+            live_bytes_gauge: metrics.gauge("store.live_bytes"),
+            entries_gauge: metrics.gauge("store.entries"),
+        };
+        store.recovered.add(recovery.recovered);
+        store
+            .quarantined
+            .add(recovery.quarantined + replay_quarantined);
+        {
+            let mut inner = store.inner.lock().unwrap();
+            store.enforce_budget(&mut inner)?;
+            store.publish_gauges(&inner);
+        }
+        Ok(store)
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Stores `data` under `key`. Content-addressed keys are write-once:
+    /// a live key is refreshed (LRU), not rewritten.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the append or from budget enforcement.
+    pub fn put(&self, key: u128, data: &[u8]) -> std::io::Result<PutOutcome> {
+        self.put_inner(key, data, false)
+    }
+
+    /// Stores `data` under `key` and pins it: the eviction policy will
+    /// never remove it. Pinning an already-live key just sets the pin.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the append or from budget enforcement.
+    pub fn put_pinned(&self, key: u128, data: &[u8]) -> std::io::Result<PutOutcome> {
+        self.put_inner(key, data, true)
+    }
+
+    fn put_inner(&self, key: u128, data: &[u8], pin: bool) -> std::io::Result<PutOutcome> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.index.get_mut(&key) {
+            entry.tick = tick;
+            let was_pinned = entry.pinned;
+            entry.pinned = entry.pinned || pin;
+            if pin && !was_pinned {
+                inner.append(&Record::Pin { key })?;
+            }
+            return Ok(PutOutcome::AlreadyPresent);
+        }
+
+        // Similarity: the raw entry sharing the most chunk hashes.
+        let sig = chunk::signature(data);
+        let candidate = self.best_base(&inner, key, &sig);
+        let mut outcome = None;
+        if let Some(base_key) = candidate {
+            if let Ok(base_data) = self.read_artifact(&inner, base_key) {
+                let encoded = delta::encode(&base_data, data);
+                // The decision rule: delta wins iff its frame is strictly
+                // smaller than the raw frame (both share FRAME_HEADER, so
+                // compare payloads: delta carries 24 extra header bytes).
+                if encoded.len() + 24 < data.len() {
+                    let record = Record::PutDelta {
+                        key,
+                        base: base_key,
+                        logical_len: data.len() as u32,
+                        delta: encoded,
+                    };
+                    let loc = inner.append(&record)?;
+                    inner.live_bytes += loc.frame_len();
+                    inner.delta_stored += loc.frame_len();
+                    inner.delta_logical += data.len() as u64;
+                    *inner.refs.entry(base_key).or_insert(0) += 1;
+                    inner.index.insert(
+                        key,
+                        Entry {
+                            loc,
+                            base: Some(base_key),
+                            logical_len: data.len() as u32,
+                            pinned: pin,
+                            tick,
+                        },
+                    );
+                    outcome = Some(PutOutcome::InsertedDelta {
+                        stored_bytes: loc.frame_len(),
+                        base: base_key,
+                    });
+                }
+            }
+        }
+        if outcome.is_none() {
+            let record = Record::PutRaw {
+                key,
+                data: data.to_vec(),
+            };
+            let loc = inner.append(&record)?;
+            inner.live_bytes += loc.frame_len();
+            inner.index.insert(
+                key,
+                Entry {
+                    loc,
+                    base: None,
+                    logical_len: data.len() as u32,
+                    pinned: pin,
+                    tick,
+                },
+            );
+            inner.add_signature(key, sig);
+            outcome = Some(PutOutcome::InsertedRaw {
+                stored_bytes: loc.frame_len(),
+            });
+        }
+        if pin {
+            inner.append(&Record::Pin { key })?;
+        }
+        self.enforce_budget(&mut inner)?;
+        self.maybe_compact(&mut inner)?;
+        self.publish_gauges(&inner);
+        Ok(outcome.expect("outcome set above"))
+    }
+
+    fn best_base(&self, inner: &Inner, key: u128, sig: &[u64]) -> Option<u128> {
+        let mut tally: HashMap<u128, usize> = HashMap::new();
+        for h in sig {
+            if let Some(keys) = inner.chunk_index.get(h) {
+                for &k in keys {
+                    if k != key {
+                        *tally.entry(k).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        tally
+            .into_iter()
+            .filter(|(_, n)| *n >= self.config.min_overlap_chunks.max(1))
+            // Deterministic tie-break on the key.
+            .max_by_key(|(k, n)| (*n, *k))
+            .map(|(k, _)| k)
+    }
+
+    /// Fetches the artifact stored under `key`. Corrupt records are
+    /// quarantined (removed, tombstoned, counted) and reported as a miss
+    /// — the caller recomputes and re-puts.
+    pub fn get(&self, key: u128) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.index.contains_key(&key) {
+            self.misses.inc();
+            return None;
+        }
+        match self.read_artifact(&inner, key) {
+            Ok(data) => {
+                inner.tick += 1;
+                let tick = inner.tick;
+                if let Some(entry) = inner.index.get_mut(&key) {
+                    entry.tick = tick;
+                }
+                self.hits.inc();
+                Some(data)
+            }
+            Err(_) => {
+                self.quarantine_locked(&mut inner, key);
+                self.publish_gauges(&inner);
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is live (no counters, no LRU touch).
+    #[must_use]
+    pub fn contains(&self, key: u128) -> bool {
+        self.inner.lock().unwrap().index.contains_key(&key)
+    }
+
+    /// Live keys, ascending.
+    #[must_use]
+    pub fn keys(&self) -> Vec<u128> {
+        let inner = self.inner.lock().unwrap();
+        let mut keys: Vec<u128> = inner.index.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Pins `key` (never evicted). No-op if the key is not live.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending the pin record.
+    pub fn pin(&self, key: u128) -> std::io::Result<bool> {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.index.get_mut(&key) else {
+            return Ok(false);
+        };
+        if !entry.pinned {
+            entry.pinned = true;
+            inner.append(&Record::Pin { key })?;
+        }
+        Ok(true)
+    }
+
+    /// Unpins `key`. No-op if the key is not live.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending the unpin record or enforcing the budget.
+    pub fn unpin(&self, key: u128) -> std::io::Result<bool> {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.index.get_mut(&key) else {
+            return Ok(false);
+        };
+        if entry.pinned {
+            entry.pinned = false;
+            inner.append(&Record::Unpin { key })?;
+            self.enforce_budget(&mut inner)?;
+            self.publish_gauges(&inner);
+        }
+        Ok(true)
+    }
+
+    /// Drops `key` from the store because a *caller-level* integrity
+    /// check failed (e.g. the compile service could not re-verify a
+    /// stored manifest). Counted under `store.quarantined`.
+    pub fn quarantine(&self, key: u128) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.index.contains_key(&key) {
+            self.quarantine_locked(&mut inner, key);
+            self.publish_gauges(&inner);
+        }
+    }
+
+    /// Fsyncs the log — the explicit durability point.
+    ///
+    /// # Errors
+    ///
+    /// The underlying fsync failure.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.inner.lock().unwrap().log.flush()
+    }
+
+    /// Reads and decodes every live entry, without touching LRU state or
+    /// hit/miss counters. Corrupt entries are reported, not removed (use
+    /// [`Store::get`]/[`Store::quarantine`] to act on them).
+    #[must_use]
+    pub fn verify(&self) -> VerifyReport {
+        let inner = self.inner.lock().unwrap();
+        let mut report = VerifyReport::default();
+        let mut keys: Vec<u128> = inner.index.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            match self.read_artifact(&inner, key) {
+                Ok(data) => {
+                    let expected = inner.index[&key].logical_len as usize;
+                    if data.len() == expected {
+                        report.ok += 1;
+                    } else {
+                        report.corrupt.push((
+                            key,
+                            format!("decoded {} bytes, expected {expected}", data.len()),
+                        ));
+                    }
+                }
+                Err(e) => report.corrupt.push((key, e.to_string())),
+            }
+        }
+        report
+    }
+
+    /// Compacts the log: live records are rewritten into fresh segments
+    /// and dead bytes are reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the rewrite.
+    pub fn gc(&self) -> std::io::Result<GcOutcome> {
+        let mut inner = self.inner.lock().unwrap();
+        let outcome = self.gc_locked(&mut inner)?;
+        self.publish_gauges(&inner);
+        Ok(outcome)
+    }
+
+    fn gc_locked(&self, inner: &mut Inner) -> std::io::Result<GcOutcome> {
+        let before_bytes = inner.log.file_bytes()?;
+        // Bases first so a half-compacted log never holds a delta whose
+        // base only exists in a to-be-deleted segment... it would anyway
+        // (old segments survive until the new ones are fsynced), but the
+        // ordering also keeps the replay post-pass trivially satisfied.
+        let mut keys: Vec<u128> = inner.index.keys().copied().collect();
+        keys.sort_unstable_by_key(|k| (inner.index[k].base.is_some(), *k));
+        let mut records = Vec::with_capacity(keys.len());
+        for &key in &keys {
+            records.push(inner.log.read(inner.index[&key].loc)?);
+        }
+        for &key in &keys {
+            if inner.index[&key].pinned {
+                records.push(Record::Pin { key });
+            }
+        }
+        let locations = inner.log.compact(&records)?;
+        let mut live = 0u64;
+        for (key, loc) in keys.iter().zip(&locations) {
+            inner.index.get_mut(key).expect("live key").loc = *loc;
+            live += loc.frame_len();
+        }
+        inner.live_bytes = live;
+        inner.file_bytes = inner.log.file_bytes()?;
+        Ok(GcOutcome {
+            before_bytes,
+            after_bytes: inner.file_bytes,
+            live_entries: keys.len(),
+        })
+    }
+
+    /// Point-in-time statistics.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().unwrap();
+        let logical: u64 = inner.index.values().map(|e| u64::from(e.logical_len)).sum();
+        StoreStats {
+            entries: inner.index.len(),
+            pinned: inner.index.values().filter(|e| e.pinned).count(),
+            delta_entries: inner.index.values().filter(|e| e.base.is_some()).count(),
+            live_bytes: inner.live_bytes,
+            logical_bytes: logical,
+            file_bytes: inner.file_bytes,
+            budget: self.config.budget,
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            recovered: self.recovered.get(),
+            quarantined: self.quarantined.get(),
+            delta_ratio: ratio(inner.delta_stored, inner.delta_logical),
+        }
+    }
+
+    /// Reads the decoded bytes of a live entry (raw directly, delta via
+    /// its base), re-verifying CRCs along the way.
+    fn read_artifact(&self, inner: &Inner, key: u128) -> std::io::Result<Vec<u8>> {
+        let entry = inner
+            .index
+            .get(&key)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "not live"))?;
+        match inner.log.read(entry.loc)? {
+            Record::PutRaw { key: k, data } if k == key => Ok(data),
+            Record::PutDelta {
+                key: k,
+                base,
+                logical_len,
+                delta,
+            } if k == key => {
+                let base_entry = inner.index.get(&base).ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "delta base not live")
+                })?;
+                let base_data = match inner.log.read(base_entry.loc)? {
+                    Record::PutRaw { data, .. } => data,
+                    _ => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "delta base is not a raw record",
+                        ))
+                    }
+                };
+                let data = delta::decode(&base_data, &delta).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                if data.len() != logical_len as usize {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "decoded length disagrees with record",
+                    ));
+                }
+                Ok(data)
+            }
+            _ => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "frame key changed since indexing",
+            )),
+        }
+    }
+
+    /// Removes `key` and (if it was a delta base) every dependent delta —
+    /// none of them can decode without it. Tombstones are appended
+    /// best-effort so the quarantine survives restart.
+    fn quarantine_locked(&self, inner: &mut Inner, key: u128) {
+        let mut doomed = vec![key];
+        if inner.refs.get(&key).copied().unwrap_or(0) > 0 {
+            doomed.extend(
+                inner
+                    .index
+                    .iter()
+                    .filter(|(_, e)| e.base == Some(key))
+                    .map(|(k, _)| *k),
+            );
+        }
+        for k in doomed {
+            if inner.remove_entry(k) {
+                let _ = inner.append(&Record::Evict { key: k });
+                self.quarantined.inc();
+            }
+        }
+    }
+
+    /// Evicts least-recently-used unpinned entries until live bytes fit
+    /// the budget. Bases with live delta references are rewritten on
+    /// evict: dependents are re-stored raw first.
+    fn enforce_budget(&self, inner: &mut Inner) -> std::io::Result<()> {
+        let Some(budget) = self.config.budget else {
+            return Ok(());
+        };
+        while inner.live_bytes > budget {
+            // Preferred victim: LRU among unpinned entries nothing
+            // references.
+            let victim = inner
+                .index
+                .iter()
+                .filter(|(k, e)| !e.pinned && inner.refs.get(k).copied().unwrap_or(0) == 0)
+                .min_by_key(|(k, e)| (e.tick, **k))
+                .map(|(k, _)| *k);
+            let victim = match victim {
+                Some(v) => v,
+                None => {
+                    // Only referenced bases (or nothing) left unpinned:
+                    // rewrite the LRU base's dependents raw, then retry.
+                    let Some(base) = inner
+                        .index
+                        .iter()
+                        .filter(|(_, e)| !e.pinned)
+                        .min_by_key(|(k, e)| (e.tick, **k))
+                        .map(|(k, _)| *k)
+                    else {
+                        break; // everything live is pinned
+                    };
+                    self.rewrite_dependents_raw(inner, base)?;
+                    continue;
+                }
+            };
+            let removed = inner.remove_entry(victim);
+            debug_assert!(removed);
+            inner.append(&Record::Evict { key: victim })?;
+            self.evictions.inc();
+        }
+        Ok(())
+    }
+
+    /// Re-stores every delta that references `base` as a raw record,
+    /// dropping the reference count to zero so `base` becomes evictable.
+    fn rewrite_dependents_raw(&self, inner: &mut Inner, base: u128) -> std::io::Result<()> {
+        let dependents: Vec<u128> = inner
+            .index
+            .iter()
+            .filter(|(_, e)| e.base == Some(base))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in dependents {
+            let data = self.read_artifact(inner, key)?;
+            let entry = inner.index.get(&key).expect("dependent is live").clone();
+            let loc = inner.append(&Record::PutRaw {
+                key,
+                data: data.clone(),
+            })?;
+            inner.live_bytes = inner.live_bytes - entry.loc.frame_len() + loc.frame_len();
+            inner.delta_stored -= entry.loc.frame_len();
+            inner.delta_logical -= u64::from(entry.logical_len);
+            if let Some(n) = inner.refs.get_mut(&base) {
+                *n = n.saturating_sub(1);
+            }
+            let e = inner.index.get_mut(&key).expect("dependent is live");
+            e.loc = loc;
+            e.base = None;
+            inner.add_signature(key, chunk::signature(&data));
+        }
+        inner.refs.remove(&base);
+        Ok(())
+    }
+
+    /// Auto-compaction: reclaim disk once dead bytes exceed live bytes
+    /// plus one segment (so small stores never churn).
+    fn maybe_compact(&self, inner: &mut Inner) -> std::io::Result<()> {
+        let dead = inner.file_bytes.saturating_sub(inner.live_bytes);
+        if dead > inner.live_bytes + self.config.segment_bytes {
+            self.gc_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    fn publish_gauges(&self, inner: &Inner) {
+        self.delta_ratio
+            .set(ratio(inner.delta_stored, inner.delta_logical));
+        self.live_bytes_gauge.set(inner.live_bytes as f64);
+        self.entries_gauge.set(inner.index.len() as f64);
+    }
+}
+
+fn ratio(stored: u64, logical: u64) -> f64 {
+    if logical == 0 {
+        1.0
+    } else {
+        stored as f64 / logical as f64
+    }
+}
+
+impl Inner {
+    fn append(&mut self, record: &Record) -> std::io::Result<Location> {
+        let loc = self.log.append(record)?;
+        self.file_bytes += loc.frame_len();
+        Ok(loc)
+    }
+
+    /// Replays one recovered record into the index (log order).
+    fn replay(&mut self, loc: Location, record: Record) {
+        self.tick += 1;
+        let tick = self.tick;
+        match record {
+            Record::PutRaw { key, data } => {
+                // A repeated put for a live key is an internal rewrite
+                // (rewrite-on-evict / compaction): the pin state carries
+                // over, even though the pin record precedes this frame.
+                let pinned = self.index.get(&key).is_some_and(|e| e.pinned);
+                self.displace(key);
+                self.live_bytes += loc.frame_len();
+                self.index.insert(
+                    key,
+                    Entry {
+                        loc,
+                        base: None,
+                        logical_len: data.len() as u32,
+                        pinned,
+                        tick,
+                    },
+                );
+                self.add_signature(key, chunk::signature(&data));
+            }
+            Record::PutDelta {
+                key,
+                base,
+                logical_len,
+                ..
+            } => {
+                let pinned = self.index.get(&key).is_some_and(|e| e.pinned);
+                self.displace(key);
+                self.live_bytes += loc.frame_len();
+                self.delta_stored += loc.frame_len();
+                self.delta_logical += u64::from(logical_len);
+                *self.refs.entry(base).or_insert(0) += 1;
+                self.index.insert(
+                    key,
+                    Entry {
+                        loc,
+                        base: Some(base),
+                        logical_len,
+                        pinned,
+                        tick,
+                    },
+                );
+            }
+            Record::Evict { key } => {
+                self.displace(key);
+            }
+            Record::Pin { key } => {
+                if let Some(entry) = self.index.get_mut(&key) {
+                    entry.pinned = true;
+                }
+            }
+            Record::Unpin { key } => {
+                if let Some(entry) = self.index.get_mut(&key) {
+                    entry.pinned = false;
+                }
+            }
+        }
+    }
+
+    /// Removes any live entry for `key` (replay-time overwrite/evict).
+    fn displace(&mut self, key: u128) {
+        self.remove_entry(key);
+    }
+
+    /// Removes `key` from every in-memory structure. Returns whether it
+    /// was live. (The on-disk frame becomes dead bytes.)
+    fn remove_entry(&mut self, key: u128) -> bool {
+        let Some(entry) = self.index.remove(&key) else {
+            return false;
+        };
+        self.live_bytes = self.live_bytes.saturating_sub(entry.loc.frame_len());
+        match entry.base {
+            Some(base) => {
+                self.delta_stored = self.delta_stored.saturating_sub(entry.loc.frame_len());
+                self.delta_logical = self
+                    .delta_logical
+                    .saturating_sub(u64::from(entry.logical_len));
+                if let Some(n) = self.refs.get_mut(&base) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        self.refs.remove(&base);
+                    }
+                }
+            }
+            None => self.drop_signature(key),
+        }
+        true
+    }
+
+    fn add_signature(&mut self, key: u128, sig: Vec<u64>) {
+        for &h in &sig {
+            self.chunk_index.entry(h).or_default().push(key);
+        }
+        self.signatures.insert(key, sig);
+    }
+
+    fn drop_signature(&mut self, key: u128) {
+        if let Some(sig) = self.signatures.remove(&key) {
+            for h in sig {
+                if let Some(keys) = self.chunk_index.get_mut(&h) {
+                    keys.retain(|&k| k != key);
+                    if keys.is_empty() {
+                        self.chunk_index.remove(&h);
+                    }
+                }
+            }
+        }
+    }
+}

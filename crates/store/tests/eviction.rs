@@ -1,0 +1,217 @@
+//! Budget eviction under pressure: pinned entries survive, delta chains
+//! stay resolvable, live bytes stay within budget, and the store remains
+//! consistent across restart.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ppet_store::{PutOutcome, Store, StoreConfig};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ppet-store-eviction-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic ~2 KiB artifact. Seeds in the same *family*
+/// (`seed / 4`) share their body — variants delta against each other —
+/// while different families are unrelated, so a run of distinct families
+/// produces genuine byte pressure the dedup cannot absorb.
+fn artifact(seed: u32) -> Vec<u8> {
+    let family = u64::from(seed / 4);
+    let mut state = family.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut out = Vec::with_capacity(2100);
+    for _ in 0..256 {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend((0..seed % 97).map(|i| (i % 251) as u8));
+    out
+}
+
+#[test]
+fn workload_three_times_budget_stays_within_budget() {
+    let dir = fresh_dir("pressure");
+    let budget = 8 << 10;
+    let config = StoreConfig::default().with_budget(budget);
+    let store = Store::open(&dir, config.clone()).expect("open");
+
+    let pinned: Vec<u128> = vec![1, 2, 3];
+    for &key in &pinned {
+        store
+            .put_pinned(key, &artifact(key as u32))
+            .expect("put pinned");
+    }
+    // Push ≥3× the budget through the store, one family per artifact so
+    // the dedup cannot shrink the workload.
+    let mut total = 0u64;
+    let mut key = 100u128;
+    while total < 3 * budget {
+        let data = artifact(key as u32);
+        total += data.len() as u64;
+        store.put(key, &data).expect("put");
+        key += 4;
+    }
+
+    let stats = store.stats();
+    assert!(
+        stats.live_bytes <= budget,
+        "live {} exceeds budget {budget}",
+        stats.live_bytes
+    );
+    assert!(stats.evictions > 0, "pressure must evict");
+    // Pinned entries never evicted, bytes exact.
+    for &k in &pinned {
+        assert_eq!(store.get(k), Some(artifact(k as u32)), "pinned {k} lost");
+    }
+    // Every surviving entry (delta or raw) must decode exactly.
+    for k in store.keys() {
+        assert_eq!(store.get(k), Some(artifact(k as u32)), "live {k} corrupt");
+    }
+    let report = store.verify();
+    assert!(report.pass(), "verify failed: {:?}", report.corrupt);
+    store.flush().expect("flush");
+    drop(store);
+
+    // Restart: same invariants hold after replaying the evict tombstones.
+    let store = Store::open(&dir, config).expect("reopen");
+    let stats = store.stats();
+    assert!(stats.live_bytes <= budget);
+    assert_eq!(stats.pinned, pinned.len());
+    for &k in &pinned {
+        assert_eq!(store.get(k), Some(artifact(k as u32)));
+    }
+    for k in store.keys() {
+        assert_eq!(store.get(k), Some(artifact(k as u32)));
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Evicting a delta base first rewrites its dependents raw — the
+/// dependents stay readable after the base is gone.
+#[test]
+fn evicting_a_base_rewrites_dependents_raw() {
+    let dir = fresh_dir("rewrite");
+    // No budget yet: build the chain freely.
+    let store = Store::open(&dir, StoreConfig::default()).expect("open");
+    let base = artifact(7);
+    let mut edited = base.clone();
+    edited.extend_from_slice(b"dependent edit");
+    store.put(10, &base).expect("put base");
+    let outcome = store.put(11, &edited).expect("put delta");
+    assert!(
+        matches!(outcome, PutOutcome::InsertedDelta { base: 10, .. }),
+        "expected delta, got {outcome:?}"
+    );
+    store.pin(11).expect("pin dependent");
+    store.flush().expect("flush");
+    drop(store);
+
+    // Reopen with a budget only the dependent fits in: the base must be
+    // evicted, but only after the dependent is rewritten raw.
+    let config = StoreConfig::default().with_budget(edited.len() as u64 + 64);
+    let store = Store::open(&dir, config).expect("reopen under budget");
+    assert!(!store.contains(10), "base should be evicted");
+    assert_eq!(
+        store.get(11),
+        Some(edited.clone()),
+        "dependent must survive"
+    );
+    let stats = store.stats();
+    assert_eq!(stats.delta_entries, 0, "dependent was rewritten raw");
+    assert!(stats.evictions >= 1);
+
+    // And the rewrite is durable.
+    store.flush().expect("flush");
+    drop(store);
+    let store = Store::open(&dir, StoreConfig::default()).expect("final reopen");
+    assert_eq!(store.get(11), Some(edited));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Pinned entries exceeding the budget are kept (the pin contract wins);
+/// everything unpinned goes.
+#[test]
+fn pins_win_over_budget() {
+    let dir = fresh_dir("pinwin");
+    let config = StoreConfig::default().with_budget(512);
+    let store = Store::open(&dir, config).expect("open");
+    for key in 0..4u128 {
+        store
+            .put_pinned(key, &artifact(1000 + key as u32))
+            .expect("put pinned");
+    }
+    store.put(99, &artifact(5000)).expect("put unpinned");
+    let stats = store.stats();
+    assert_eq!(stats.entries, 4, "only the pinned entries remain");
+    assert_eq!(stats.pinned, 4);
+    for key in 0..4u128 {
+        assert_eq!(store.get(key), Some(artifact(1000 + key as u32)));
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random put/pin workloads never lose a pinned artifact, never
+    /// serve wrong bytes, and never exceed the budget.
+    #[test]
+    fn random_workload_keeps_invariants(
+        seeds in proptest::collection::vec(0u32..48, 8..40),
+        pin_every in 3usize..8,
+        budget_kib in 4u64..16,
+    ) {
+        let dir = fresh_dir("prop");
+        let budget = budget_kib << 10;
+        let config = StoreConfig::default().with_budget(budget);
+        let store = Store::open(&dir, config.clone()).expect("open");
+        let mut pinned = Vec::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let key = 1000 + seed as u128; // duplicate seeds → repeat puts
+            if i % pin_every == 0 {
+                store.put_pinned(key, &artifact(seed)).expect("put pinned");
+                pinned.push((key, seed));
+            } else {
+                store.put(key, &artifact(seed)).expect("put");
+            }
+        }
+        let pinned_bytes: u64 = {
+            let mut uniq: Vec<u128> = pinned.iter().map(|&(k, _)| k).collect();
+            uniq.sort_unstable();
+            uniq.dedup();
+            uniq.iter().map(|&k| artifact((k - 1000) as u32).len() as u64).collect::<Vec<_>>().iter().sum()
+        };
+        let stats = store.stats();
+        if pinned_bytes <= budget / 2 {
+            prop_assert!(stats.live_bytes <= budget,
+                "live {} > budget {budget}", stats.live_bytes);
+        }
+        for &(key, seed) in &pinned {
+            prop_assert_eq!(store.get(key), Some(artifact(seed)));
+        }
+        for k in store.keys() {
+            prop_assert_eq!(store.get(k), Some(artifact((k - 1000) as u32)));
+        }
+        store.flush().expect("flush");
+        drop(store);
+        let store = Store::open(&dir, config).expect("reopen");
+        for &(key, seed) in &pinned {
+            prop_assert_eq!(store.get(key), Some(artifact(seed)));
+        }
+        for k in store.keys() {
+            prop_assert_eq!(store.get(k), Some(artifact((k - 1000) as u32)));
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

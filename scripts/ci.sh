@@ -48,4 +48,8 @@ scripts/golden.sh --check
 echo "==> serve smoke: compile service round-trip, cache hit, drain"
 scripts/serve_smoke.sh
 
+echo "==> store: crash recovery + eviction invariants"
+cargo test -q -p ppet-store --test recovery --test eviction
+scripts/store_smoke.sh
+
 echo "==> ci: all green"

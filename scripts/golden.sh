@@ -75,6 +75,58 @@ check() {
         exit 1
     fi
     echo "golden: all recordings re-verified"
+    store_roundtrip
+}
+
+# The corpus through the persistent store: import every recording pinned
+# into a byte-budgeted store, pile on enough unpinned filler to force
+# eviction well past the budget, compact, then export each recording and
+# require it byte-identical to the original *and* still audit-clean. This
+# is the pinning contract under fire: golden entries must survive
+# arbitrary eviction pressure and come back bit-exact.
+store_roundtrip() {
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT INT TERM
+    store="$tmp/store"
+
+    # Budget: the pinned corpus plus one filler's worth of slack — tight
+    # enough that the filler loop must evict.
+    corpus_bytes="$(cat "$GOLDEN_DIR"/*.json | wc -c | tr -d ' ')"
+    budget=$((corpus_bytes * 2))
+
+    : >"$tmp/keys"
+    for manifest in "$GOLDEN_DIR"/*.json; do
+        key="$("$MERCED" store "$store" import "$manifest" --pin --store-budget "$budget")"
+        printf '%s %s\n' "$key" "$manifest" >>"$tmp/keys"
+    done
+
+    # Eviction pressure: distinct unpinned artifacts totalling several
+    # budgets' worth of bytes.
+    i=0
+    while [ $i -lt 8 ]; do
+        { echo "filler $i"; cat "$GOLDEN_DIR"/*.json; } >"$tmp/filler"
+        "$MERCED" store "$store" import "$tmp/filler" --store-budget "$budget" >/dev/null
+        i=$((i + 1))
+    done
+
+    "$MERCED" store "$store" gc >/dev/null
+    "$MERCED" store "$store" verify >/dev/null || {
+        echo "golden: store verify failed after eviction pressure" >&2
+        exit 1
+    }
+
+    while read -r key manifest; do
+        "$MERCED" store "$store" export "$key" >"$tmp/exported.json"
+        if ! cmp -s "$manifest" "$tmp/exported.json"; then
+            echo "golden: $manifest diverged through the store round-trip" >&2
+            exit 1
+        fi
+        "$MERCED" audit "$tmp/exported.json" --quiet || {
+            echo "golden: exported $manifest failed re-audit" >&2
+            exit 1
+        }
+    done <"$tmp/keys"
+    echo "golden: corpus survived store round-trip under eviction pressure"
 }
 
 case "${1:-}" in

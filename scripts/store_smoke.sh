@@ -1,0 +1,100 @@
+#!/usr/bin/env sh
+# Smoke test of the persistent artifact store under a hard crash: start
+# `merced serve --store`, compile a builtin twice (cold, then cached),
+# kill the server with SIGKILL — no drain, no flush — restart it over the
+# same directory, and require the identical request to come back from
+# disk byte-for-byte modulo wall_ns/jobs (same normalization as
+# scripts/parity.sh). Shared by scripts/ci.sh and the workflow so the two
+# entry points cannot drift.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p ppet-core --bin merced
+
+out="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$out"
+}
+trap cleanup EXIT INT TERM
+
+start_server() {
+    : >"$out/stdout"
+    target/release/merced serve --addr 127.0.0.1:0 --store "$out/store" --quiet >"$out/stdout" &
+    pid=$!
+    addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        addr="$(sed -n 's/^merced serve listening on //p' "$out/stdout")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "store_smoke: server did not announce an address" >&2
+        exit 1
+    fi
+}
+
+compile_to() {
+    python3 - "$addr" "$1" <<'EOF'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+with socket.create_connection((host, int(port)), timeout=60) as s:
+    body = json.dumps({"schema": "ppet-serve/v1", "builtin": "s27", "seed": 7}).encode()
+    s.sendall((f"POST /compile HTTP/1.1\r\nHost: smoke\r\n"
+               f"Content-Length: {len(body)}\r\n\r\n").encode() + body)
+    data = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+header, _, payload = data.partition(b"\r\n\r\n")
+status = int(header.split()[1])
+assert status == 200, (status, payload[:200])
+assert b'"schema": "ppet-trace/v1"' in payload, payload[:200]
+with open(sys.argv[2], "wb") as f:
+    f.write(payload)
+EOF
+}
+
+# The result, not the run: wall-clock and worker count may differ between
+# processes without the artifact differing.
+normalize() {
+    grep -v '"wall_ns"' "$1" | grep -v '"jobs"'
+}
+
+start_server
+compile_to "$out/first.json"
+compile_to "$out/again.json"
+cmp -s "$out/first.json" "$out/again.json" || {
+    echo "store_smoke: in-process repeat must be byte-identical" >&2
+    exit 1
+}
+
+# Hard crash: SIGKILL, mid-run, no drain. The store's durability contract
+# (append-only log, fsync on roll/flush, torn-tail truncation on open)
+# must still produce the same answer after restart.
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+start_server
+compile_to "$out/revived.json"
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pid=""
+
+normalize "$out/first.json" >"$out/first.norm"
+normalize "$out/revived.json" >"$out/revived.norm"
+if ! cmp -s "$out/first.norm" "$out/revived.norm"; then
+    echo "store_smoke: post-crash answer diverged from the original" >&2
+    diff "$out/first.norm" "$out/revived.norm" >&2 || true
+    exit 1
+fi
+
+echo "store_smoke: compile + SIGKILL + restart answered identically (modulo wall_ns/jobs) OK"

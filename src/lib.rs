@@ -25,6 +25,9 @@
 //!   JSON run manifest (`merced --trace-json`);
 //! * [`audit`] — independent verification: re-derives every paper
 //!   invariant from the netlist and partition alone (`merced audit`);
+//! * [`store`] — persistent content-addressed artifact store: append-only
+//!   segment log, similarity-based delta encoding, byte-budget LRU
+//!   eviction with pinning, crash-safe recovery (`merced store`);
 //! * [`serve`] — the long-running compile service: HTTP front end,
 //!   content-addressed result cache, bounded-queue backpressure
 //!   (`merced serve`);
@@ -57,4 +60,5 @@ pub use ppet_partition as partition;
 pub use ppet_prng as prng;
 pub use ppet_serve as serve;
 pub use ppet_sim as sim;
+pub use ppet_store as store;
 pub use ppet_trace as trace;
