@@ -6,8 +6,9 @@
 //! merced audit <manifest.json> [--bench netlist.bench] [options]
 //! merced serve --addr <host:port> [--workers N] [--queue N]
 //!              [--timeout-ms N] [--store DIR] [--store-budget BYTES]
-//!              [--cache-cap N] [options]
+//!              [--cache-cap N] [--trace-ring N] [--slow-ms N] [options]
 //! merced store <dir> <stats | gc | verify | export KEY | import FILE [--pin]>
+//! merced stat <host:port> [--watch SECS] [--json]
 //!
 //! Options:
 //!   --lk <N>           CBIT length / input constraint (default 16)
@@ -53,6 +54,11 @@
 //!                      (default unbounded; pinned entries never evicted)
 //!   --cache-cap <N>    max completed entries in the in-memory hot cache
 //!                      (default 1024, LRU beyond it)
+//!   --trace-ring <N>   completed request traces kept for GET
+//!                      /debug/requests and /debug/trace/<id>
+//!                      (default 256; 0 disables tracing)
+//!   --slow-ms <N>      requests at least this slow are pinned in the
+//!                      trace ring, so churn cannot evict them
 //!
 //! Store maintenance (`merced store <dir> <action>`):
 //!   stats              print entry/byte/hit/eviction statistics
@@ -65,6 +71,13 @@
 //!                      stdout); --pin protects it from eviction
 //!   (--store-budget applies here too: imports then enforce the byte
 //!   budget, evicting unpinned LRU entries)
+//!
+//! Service status (`merced stat <host:port>`):
+//!   scrapes GET /metrics and GET /debug/requests from a running
+//!   `merced serve` and renders a one-screen summary: request and cache
+//!   counters, per-outcome latency quantiles (p50/p95/p99), and the
+//!   most recent request traces. --watch SECS redraws every SECS
+//!   seconds; --json emits the summary as one machine-readable object.
 //! ```
 //!
 //! `merced serve` keeps the compiler resident: requests hit a
@@ -149,6 +162,7 @@ enum Mode {
     Audit,
     Serve,
     Store,
+    Stat,
 }
 
 struct Options {
@@ -175,7 +189,11 @@ struct Options {
     store: Option<String>,
     store_budget: Option<u64>,
     cache_cap: Option<usize>,
+    trace_ring: Option<usize>,
+    slow_ms: Option<u64>,
     pin: bool,
+    watch: Option<u64>,
+    json: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -204,7 +222,11 @@ fn parse_args() -> Result<Options, String> {
         store: None,
         store_budget: None,
         cache_cap: None,
+        trace_ring: None,
+        slow_ms: None,
         pin: false,
+        watch: None,
+        json: false,
     };
     let mut positionals = 0usize;
     while let Some(arg) = args.next() {
@@ -259,12 +281,17 @@ fn parse_args() -> Result<Options, String> {
             }
             "--store-budget" => opts.store_budget = Some(next_value(&mut args, "--store-budget")?),
             "--cache-cap" => opts.cache_cap = Some(next_value(&mut args, "--cache-cap")?),
+            "--trace-ring" => opts.trace_ring = Some(next_value(&mut args, "--trace-ring")?),
+            "--slow-ms" => opts.slow_ms = Some(next_value(&mut args, "--slow-ms")?),
             "--pin" => opts.pin = true,
+            "--watch" => opts.watch = Some(next_value(&mut args, "--watch")?),
+            "--json" => opts.json = true,
             "--help" | "-h" => return Err(usage()),
             "batch" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Batch,
             "audit" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Audit,
             "serve" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Serve,
             "store" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Store,
+            "stat" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Stat,
             _ if !arg.starts_with('-') => {
                 opts.inputs.push(arg);
                 positionals += 1;
@@ -282,6 +309,9 @@ fn parse_args() -> Result<Options, String> {
         if opts.pin {
             return Err("--pin only applies to `merced store <dir> import`".to_string());
         }
+        if opts.watch.is_some() || opts.json {
+            return Err("--watch/--json only apply to `merced stat`".to_string());
+        }
         return Ok(opts);
     }
     if opts.mode == Mode::Store {
@@ -293,11 +323,26 @@ fn parse_args() -> Result<Options, String> {
         }
         return Ok(opts);
     }
+    if opts.mode == Mode::Stat {
+        if opts.inputs.len() != 1 {
+            return Err(format!("stat expects one <host:port> address\n{}", usage()));
+        }
+        if opts.watch == Some(0) {
+            return Err("--watch expects a positive number of seconds".to_string());
+        }
+        return Ok(opts);
+    }
+    if opts.watch.is_some() || opts.json {
+        return Err("--watch/--json only apply to `merced stat`".to_string());
+    }
     if opts.addr.is_some() {
         return Err("--addr only applies to `merced serve`".to_string());
     }
     if opts.store.is_some() || opts.cache_cap.is_some() {
         return Err("--store/--cache-cap only apply to `merced serve`".to_string());
+    }
+    if opts.trace_ring.is_some() || opts.slow_ms.is_some() {
+        return Err("--trace-ring/--slow-ms only apply to `merced serve`".to_string());
     }
     if opts.store_budget.is_some() {
         return Err("--store-budget only applies to `merced serve` or `merced store`".to_string());
@@ -348,8 +393,10 @@ fn usage() -> String {
      \x20      merced serve --addr <host:port> [--workers N] [--queue N] \
      [--timeout-ms N] [--jobs N|max] [--store DIR] [--store-budget BYTES] \
      [--cache-cap N] [same compile options as defaults]\n\
+     \x20      merced serve extras: [--trace-ring N] [--slow-ms N]\n\
      \x20      merced store <dir> <stats | gc | verify | export KEY | \
-     import FILE [--pin]>"
+     import FILE [--pin]>\n\
+     \x20      merced stat <host:port> [--watch SECS] [--json]"
         .to_string()
 }
 
@@ -480,6 +527,11 @@ fn run_serve(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
         cache_capacity: opts.cache_cap.unwrap_or(ppet_serve::DEFAULT_CACHE_CAPACITY),
         store_dir: opts.store.as_ref().map(std::path::PathBuf::from),
         store_budget: opts.store_budget,
+        trace_ring: opts.trace_ring.unwrap_or(ppet_serve::DEFAULT_TRACE_RING),
+        slow_ms: opts.slow_ms,
+        // Request IDs come from the same deterministic substrate as the
+        // flow seed, so two servers started alike mint the same IDs.
+        id_seed: opts.seed,
         ..ServeConfig::default()
     };
     let server = Server::bind(addr, backend, config)
@@ -493,6 +545,31 @@ fn run_serve(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
         println!("merced serve drained");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `merced stat <host:port>`: scrape a running server's `/metrics` and
+/// `/debug/requests` and render a one-screen summary. `--watch SECS`
+/// clears the screen and redraws until interrupted.
+fn run_stat(opts: &Options) -> Result<ExitCode, CliError> {
+    let addr = opts.inputs[0].as_str();
+    loop {
+        let sample = ppet_core::stat::scrape(addr).map_err(|e| CliError::new("io", e))?;
+        let screen = if opts.json {
+            sample.render_json(addr)
+        } else {
+            sample.render_text(addr)
+        };
+        let Some(secs) = opts.watch else {
+            print!("{screen}");
+            return Ok(ExitCode::SUCCESS);
+        };
+        // ANSI clear + home keeps the redraw flicker-free on a live
+        // terminal; piped output just sees successive frames.
+        print!("\x1b[2J\x1b[H{screen}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
 }
 
 /// `merced store <dir> <action>`: maintenance operations on a persistent
@@ -748,6 +825,7 @@ fn main() -> ExitCode {
         Mode::Audit => run_audit(&opts, jobs),
         Mode::Serve => run_serve(&opts, jobs),
         Mode::Store => run_store(&opts),
+        Mode::Stat => run_stat(&opts),
         Mode::Single => {
             let (tracer, sink) = if opts.trace {
                 let (tracer, sink) = Tracer::collecting();

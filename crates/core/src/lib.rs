@@ -46,6 +46,7 @@ pub mod instrument;
 mod merced;
 pub mod report;
 pub mod serve_backend;
+pub mod stat;
 
 pub use batch::{compile_batch, BatchOutcome};
 pub use builtin::resolve_builtin;

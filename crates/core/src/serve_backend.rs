@@ -88,9 +88,21 @@ impl CompileBackend for MercedBackend {
     }
 
     fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError> {
+        self.compile_traced(normalized, &ppet_trace::Tracer::noop())
+    }
+
+    /// The traced compile path behind the service's request
+    /// observability: pipeline phases land as spans on `tracer` (one
+    /// span tree per physical compile, shared by coalesced requests)
+    /// while the manifest stays bit-identical to the untraced call.
+    fn compile_traced(
+        &self,
+        normalized: &NormalizedRequest,
+        tracer: &ppet_trace::Tracer,
+    ) -> Result<String, BackendError> {
         let config = self.effective_config(normalized)?;
         let report = Merced::new(config)
-            .compile(&normalized.circuit)
+            .compile_traced(&normalized.circuit, tracer)
             .map_err(|e| BackendError::new("compile", e.to_string()))?;
         Ok(report.run_manifest().to_json())
     }

@@ -1,0 +1,561 @@
+//! `merced stat <addr>` — a one-screen health summary of a running
+//! `merced serve` instance.
+//!
+//! The subcommand is a plain observability *client*: it scrapes the
+//! server's `GET /metrics` (Prometheus text exposition 0.0.4) and
+//! `GET /debug/requests` endpoints over a short-lived TCP connection,
+//! reconstructs the per-outcome latency histograms from the exposed
+//! `_bucket` series, and renders counters, queue gauges, latency
+//! quantiles (p50/p95/p99 via [`HistogramSnapshot::quantile`]), and the
+//! most recent request traces as one screen of text. `--watch SECS`
+//! redraws in place; `--json` emits the same summary as a machine-
+//! readable object.
+//!
+//! Parsing the exposition text back into [`HistogramSnapshot`]s (rather
+//! than adding a private side channel) keeps the subcommand honest: it
+//! sees exactly what any Prometheus scraper would see, so a rendering
+//! bug in the server surfaces here first.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ppet_trace::json::{self, Value};
+use ppet_trace::HistogramSnapshot;
+
+/// Everything one `merced stat` sample needs, scraped from a server.
+#[derive(Debug, Default)]
+pub struct StatSample {
+    /// Counter samples keyed by exposition name + label block
+    /// (`serve_requests`, `serve_latency_us{outcome="hit"}` …).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge samples, keyed like counters.
+    pub gauges: BTreeMap<String, f64>,
+    /// Latency histograms reconstructed per series key.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Recent request summaries from `GET /debug/requests`, newest
+    /// first (empty when the trace ring is disabled).
+    pub requests: Vec<RequestSummary>,
+}
+
+/// One row of `GET /debug/requests`.
+#[derive(Debug, Clone)]
+pub struct RequestSummary {
+    /// The request ID.
+    pub id: String,
+    /// Outcome class (`hit`, `store_hit`, `miss`, `timeout`, `error`,
+    /// `shed`).
+    pub outcome: String,
+    /// HTTP status the request was answered with.
+    pub status: u64,
+    /// Circuit name (empty when the request never normalized).
+    pub circuit: String,
+    /// Effective seed.
+    pub seed: u64,
+    /// End-to-end wall time in microseconds.
+    pub wall_us: u64,
+    /// Whether the request coalesced onto another compile.
+    pub coalesced: bool,
+    /// Whether the ring pinned it as a slow request.
+    pub pinned: bool,
+}
+
+/// Issues a minimal `GET` and returns the response body.
+///
+/// # Errors
+///
+/// A description of the first connection, I/O, or HTTP-status problem.
+pub fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("cannot set timeout: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: stat\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    if status != "200" {
+        return Err(format!("GET {path}: HTTP {status}"));
+    }
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .ok_or_else(|| format!("no body in response to GET {path}"))
+}
+
+/// Scrapes one sample from a running server.
+///
+/// # Errors
+///
+/// The first scrape or parse failure, as prose.
+pub fn scrape(addr: &str) -> Result<StatSample, String> {
+    let mut sample = parse_prometheus(&http_get(addr, "/metrics")?)?;
+    sample.requests = parse_requests(&http_get(addr, "/debug/requests")?)?;
+    Ok(sample)
+}
+
+/// Splits a sample line into `(series key, value)` where the key keeps
+/// its label block verbatim: `a_bucket{le="3"} 7` → (`a_bucket{le="3"}`,
+/// `7`). The value is whatever follows the last space.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let (name, value) = line.rsplit_once(' ')?;
+    Some((name.trim(), value.trim()))
+}
+
+/// Pulls one label's value out of a `{k="v",…}` block.
+fn label_value<'a>(series: &'a str, label: &str) -> Option<&'a str> {
+    let block = series.split_once('{')?.1.strip_suffix('}')?;
+    for pair in block.split(',') {
+        let (key, value) = pair.split_once('=')?;
+        if key == label {
+            return Some(value.trim_matches('"'));
+        }
+    }
+    None
+}
+
+/// Drops one label (and its separator) from a series key, so bucket
+/// samples regroup under their parent histogram series.
+fn strip_label(series: &str, label: &str) -> String {
+    let Some((base, block)) = series.split_once('{') else {
+        return series.to_owned();
+    };
+    let block = block.strip_suffix('}').unwrap_or(block);
+    let kept: Vec<&str> = block
+        .split(',')
+        .filter(|pair| pair.split_once('=').map_or(true, |(k, _)| k != label))
+        .collect();
+    if kept.is_empty() {
+        base.to_owned()
+    } else {
+        format!("{base}{{{}}}", kept.join(","))
+    }
+}
+
+/// The inclusive lower bound of the log bucket whose `le` label is
+/// `le` — the inverse of the server's `bucket_le` rendering.
+fn bucket_lower(le: u64) -> u64 {
+    if le == 0 {
+        0
+    } else if le == u64::MAX {
+        1 << 63
+    } else {
+        le.div_ceil(2)
+    }
+}
+
+/// Parses a Prometheus text exposition back into counters, gauges, and
+/// reconstructed histogram snapshots.
+///
+/// # Errors
+///
+/// Malformed sample lines or non-monotone bucket series.
+pub fn parse_prometheus(text: &str) -> Result<StatSample, String> {
+    let mut sample = StatSample::default();
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    // Per histogram series: ascending (le, cumulative) pairs.
+    let mut buckets: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, kind)) = rest.split_once(' ') {
+                kinds.insert(name.to_owned(), kind.trim().to_owned());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = split_sample(line).ok_or_else(|| format!("bad sample: {line}"))?;
+        let base = series.split('{').next().unwrap_or(series);
+        let kind = kinds.get(base).map_or("counter", String::as_str);
+        // Histogram families expose their samples under suffixed names.
+        let histogram_of = |suffix: &str| {
+            base.strip_suffix(suffix)
+                .filter(|b| kinds.get(*b).map(String::as_str) == Some("histogram"))
+                .map(str::to_owned)
+        };
+        if let Some(hist) = histogram_of("_bucket") {
+            let Some(le) = label_value(series, "le") else {
+                return Err(format!("bucket sample without le: {line}"));
+            };
+            if le == "+Inf" {
+                continue; // implied by _count
+            }
+            let le: u64 = le.parse().map_err(|e| format!("bad le {le:?}: {e}"))?;
+            let cumulative: u64 = value
+                .parse()
+                .map_err(|e| format!("bad sample {line}: {e}"))?;
+            let without_le = strip_label(series, "le");
+            let key = format!(
+                "{hist}{}",
+                without_le.strip_prefix(base).unwrap_or_default()
+            );
+            buckets.entry(key).or_default().push((le, cumulative));
+        } else if let Some(hist) = histogram_of("_sum") {
+            let key = format!("{hist}{}", series.strip_prefix(base).unwrap_or_default());
+            sums.insert(key, value.parse().map_err(|e| format!("{line}: {e}"))?);
+        } else if let Some(hist) = histogram_of("_count") {
+            let key = format!("{hist}{}", series.strip_prefix(base).unwrap_or_default());
+            counts.insert(key, value.parse().map_err(|e| format!("{line}: {e}"))?);
+        } else if kind == "gauge" {
+            let v: f64 = value.parse().map_err(|e| format!("{line}: {e}"))?;
+            sample.gauges.insert(series.to_owned(), v);
+        } else {
+            let v: u64 = value.parse().map_err(|e| format!("{line}: {e}"))?;
+            sample.counters.insert(series.to_owned(), v);
+        }
+    }
+
+    for (key, mut series) in buckets {
+        series.sort_by_key(|&(le, _)| le);
+        let mut snapshot = HistogramSnapshot {
+            count: counts.get(&key).copied().unwrap_or_default(),
+            sum: sums.get(&key).copied().unwrap_or_default(),
+            buckets: Vec::with_capacity(series.len()),
+        };
+        let mut previous = 0u64;
+        for (le, cumulative) in series {
+            let delta = cumulative
+                .checked_sub(previous)
+                .ok_or_else(|| format!("non-monotone buckets in {key}"))?;
+            previous = cumulative;
+            if delta > 0 {
+                snapshot.buckets.push((bucket_lower(le), delta));
+            }
+        }
+        sample.histograms.insert(key, snapshot);
+    }
+    // _count without any finite bucket still yields a snapshot (so the
+    // quantile degrades to 0 rather than the series vanishing).
+    for (key, count) in counts {
+        sample.histograms.entry(key.clone()).or_insert_with(|| {
+            let sum = sums.get(&key).copied().unwrap_or_default();
+            HistogramSnapshot {
+                count,
+                sum,
+                buckets: Vec::new(),
+            }
+        });
+    }
+    Ok(sample)
+}
+
+/// Parses the `GET /debug/requests` body.
+///
+/// # Errors
+///
+/// Malformed JSON or a body that is not a `requests` array.
+pub fn parse_requests(body: &str) -> Result<Vec<RequestSummary>, String> {
+    let value = json::parse(body).map_err(|e| format!("/debug/requests: {e}"))?;
+    let rows = value
+        .get("requests")
+        .and_then(Value::as_arr)
+        .ok_or("/debug/requests: missing requests array")?;
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let text = |key: &str| {
+            row.get(key)
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned()
+        };
+        let num = |key: &str| row.get(key).and_then(Value::as_u64).unwrap_or_default();
+        let flag = |key: &str| matches!(row.get(key), Some(Value::Bool(true)));
+        out.push(RequestSummary {
+            id: text("id"),
+            outcome: text("outcome"),
+            status: num("status"),
+            circuit: text("circuit"),
+            seed: num("seed"),
+            wall_us: num("wall_us"),
+            coalesced: flag("coalesced"),
+            pinned: flag("pinned"),
+        });
+    }
+    Ok(out)
+}
+
+/// The outcome classes `merced stat` tabulates, in display order.
+pub const OUTCOMES: [&str; 6] = ["hit", "store_hit", "miss", "timeout", "error", "shed"];
+
+impl StatSample {
+    /// A counter by exposition name (0 when the server has not minted
+    /// it yet).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or_default()
+    }
+
+    /// The latency histogram for one outcome class, if any requests of
+    /// that class completed.
+    #[must_use]
+    pub fn latency(&self, outcome: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .get(&format!("serve_latency_us{{outcome=\"{outcome}\"}}"))
+    }
+
+    /// Renders the one-screen text summary.
+    #[must_use]
+    pub fn render_text(&self, addr: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "merced stat {addr}");
+        let _ = writeln!(
+            out,
+            "requests {}   cache hits {}   misses {}   coalesced {}   store hits {}",
+            self.counter("serve_requests"),
+            self.counter("serve_cache_hits"),
+            self.counter("serve_cache_misses"),
+            self.counter("serve_coalesced"),
+            self.counter("store_hits"),
+        );
+        let _ = writeln!(
+            out,
+            "timeouts {}   shed {}   queue depth {}   trace ring {}",
+            self.counter("serve_timeouts"),
+            self.counter("serve_shed"),
+            self.gauges
+                .get("serve_queue_depth")
+                .copied()
+                .unwrap_or_default(),
+            self.gauges
+                .get("serve_trace_ring_entries")
+                .copied()
+                .unwrap_or_default(),
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "latency_us", "count", "p50", "p95", "p99", "mean"
+        );
+        for outcome in OUTCOMES {
+            let Some(snapshot) = self.latency(outcome) else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                outcome,
+                snapshot.count,
+                snapshot.quantile(0.50),
+                snapshot.quantile(0.95),
+                snapshot.quantile(0.99),
+                snapshot.mean(),
+            );
+        }
+        if !self.requests.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "{:<32} {:<9} {:>6} {:>10}  circuit",
+                "recent id", "outcome", "status", "wall_us"
+            );
+            for req in self.requests.iter().take(10) {
+                let mut notes = String::new();
+                if req.coalesced {
+                    notes.push_str(" coalesced");
+                }
+                if req.pinned {
+                    notes.push_str(" pinned");
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:<9} {:>6} {:>10}  {}#{}{notes}",
+                    req.id, req.outcome, req.status, req.wall_us, req.circuit, req.seed
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the summary as one JSON object (`--json`).
+    #[must_use]
+    pub fn render_json(&self, addr: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(out, "\"addr\":{}", json::escaped(addr));
+        out.push_str(",\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", json::escaped(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", json::escaped(name));
+        }
+        out.push_str("},\"latency_us\":{");
+        let mut first = true;
+        for outcome in OUTCOMES {
+            let Some(snapshot) = self.latency(outcome) else {
+                continue;
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}}",
+                json::escaped(outcome),
+                snapshot.count,
+                snapshot.sum,
+                snapshot.quantile(0.50),
+                snapshot.quantile(0.95),
+                snapshot.quantile(0.99),
+            );
+        }
+        out.push_str("},\"requests\":[");
+        for (i, req) in self.requests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"outcome\":{},\"status\":{},\"circuit\":{},\"seed\":{},\
+                 \"wall_us\":{},\"coalesced\":{},\"pinned\":{}}}",
+                json::escaped(&req.id),
+                json::escaped(&req.outcome),
+                req.status,
+                json::escaped(&req.circuit),
+                req.seed,
+                req.wall_us,
+                req.coalesced,
+                req.pinned,
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXPOSITION: &str = "\
+# HELP serve_requests ppet counter `serve.requests`
+# TYPE serve_requests counter
+serve_requests 5
+# HELP serve_queue_depth ppet gauge `serve.queue_depth`
+# TYPE serve_queue_depth gauge
+serve_queue_depth 2
+# HELP serve_latency_us ppet histogram `serve.latency_us`
+# TYPE serve_latency_us histogram
+serve_latency_us_bucket{outcome=\"hit\",le=\"127\"} 3
+serve_latency_us_bucket{outcome=\"hit\",le=\"255\"} 4
+serve_latency_us_bucket{outcome=\"hit\",le=\"+Inf\"} 4
+serve_latency_us_sum{outcome=\"hit\"} 500
+serve_latency_us_count{outcome=\"hit\"} 4
+";
+
+    #[test]
+    fn parses_counters_gauges_and_histograms() {
+        let sample = parse_prometheus(EXPOSITION).unwrap();
+        assert_eq!(sample.counter("serve_requests"), 5);
+        assert_eq!(sample.gauges["serve_queue_depth"], 2.0);
+        let hist = sample.latency("hit").expect("hit histogram");
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.sum, 500);
+        assert_eq!(hist.buckets, vec![(64, 3), (128, 1)]);
+        // The reconstructed snapshot supports quantiles directly.
+        assert!(hist.quantile(0.5) <= 128.0);
+        assert!(hist.quantile(0.99) <= 256.0);
+    }
+
+    #[test]
+    fn rejects_non_monotone_buckets() {
+        let bad = "\
+# TYPE h histogram
+h_bucket{le=\"127\"} 5
+h_bucket{le=\"255\"} 3
+h_count 5
+h_sum 9
+";
+        let err = parse_prometheus(bad).unwrap_err();
+        assert!(err.contains("non-monotone"), "{err}");
+    }
+
+    #[test]
+    fn round_trips_the_server_renderer() {
+        // Render a histogram through the real exposition code and read
+        // it back: the snapshot must survive exactly.
+        let metrics = ppet_trace::Metrics::new();
+        metrics.counter("serve.requests").add(7);
+        let hist = metrics.histogram("serve.latency_us{outcome=\"miss\"}");
+        for value in [0, 1, 3, 200, 999, 70_000] {
+            hist.record(value);
+        }
+        let sample = parse_prometheus(&metrics.render_prometheus()).unwrap();
+        assert_eq!(sample.counter("serve_requests"), 7);
+        let back = sample.latency("miss").expect("miss histogram");
+        assert_eq!(*back, hist.snapshot());
+    }
+
+    #[test]
+    fn parses_request_summaries() {
+        let body = "{\"requests\":[{\"id\":\"abc\",\"outcome\":\"miss\",\"status\":200,\
+                     \"circuit\":\"s27\",\"seed\":7,\"wall_us\":1234,\"coalesced\":false,\
+                     \"pinned\":true,\"phases\":{\"normalize\":10}}]}\n";
+        let rows = parse_requests(body).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].id, "abc");
+        assert_eq!(rows[0].outcome, "miss");
+        assert_eq!(rows[0].status, 200);
+        assert_eq!(rows[0].wall_us, 1234);
+        assert!(rows[0].pinned);
+        assert!(!rows[0].coalesced);
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let mut sample = parse_prometheus(EXPOSITION).unwrap();
+        sample.requests = parse_requests(
+            "{\"requests\":[{\"id\":\"r1\",\"outcome\":\"hit\",\"status\":200,\
+             \"circuit\":\"s27\",\"seed\":1,\"wall_us\":88,\"coalesced\":true,\
+             \"pinned\":false,\"phases\":{}}]}",
+        )
+        .unwrap();
+        let text = sample.render_text("127.0.0.1:9");
+        assert!(text.contains("requests 5"), "{text}");
+        assert!(text.contains("hit"), "{text}");
+        assert!(text.contains("r1"), "{text}");
+        assert!(text.contains("coalesced"), "{text}");
+        let json_out = sample.render_json("127.0.0.1:9");
+        let value = json::parse(&json_out).unwrap();
+        assert_eq!(
+            value.get("counters").and_then(|c| c.get("serve_requests")),
+            Some(&Value::Int(5))
+        );
+        assert!(value.get("latency_us").and_then(|l| l.get("hit")).is_some());
+        assert_eq!(
+            value
+                .get("requests")
+                .and_then(Value::as_arr)
+                .map(<[_]>::len),
+            Some(1)
+        );
+    }
+}

@@ -102,8 +102,8 @@ fn serve_compiles_caches_and_drains() {
     assert_eq!(status, 200);
     assert_eq!(first, second);
     let (_, metrics) = server.request("GET", "/metrics", "");
-    assert!(metrics.contains("serve.cache_hits 1\n"), "{metrics}");
-    assert!(metrics.contains("serve.cache_misses 1\n"), "{metrics}");
+    assert!(metrics.contains("serve_cache_hits 1\n"), "{metrics}");
+    assert!(metrics.contains("serve_cache_misses 1\n"), "{metrics}");
 
     // Malformed request: structured error, server stays up.
     let (status, err) = server.request("POST", "/compile", "{nope");

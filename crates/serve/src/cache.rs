@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use ppet_netlist::canonical::{canonical_bytes, Fnv128};
 use ppet_netlist::Circuit;
+use ppet_trace::SpanData;
 
 use crate::request::{BackendError, NormalizedRequest};
 
@@ -67,6 +68,10 @@ pub type CompileResult = Result<Arc<String>, BackendError>;
 pub struct Gate {
     slot: Mutex<Option<CompileResult>>,
     ready: Condvar,
+    /// The compile's span tree, published by the compiling thread before
+    /// it fills the gate so every coalesced waiter can graft the *same*
+    /// tree into its own request trace.
+    trace: Mutex<Option<Arc<Vec<SpanData>>>>,
 }
 
 impl Gate {
@@ -79,6 +84,21 @@ impl Gate {
         }
         drop(slot);
         self.ready.notify_all();
+    }
+
+    /// Publishes the compile's span tree. First write wins; call before
+    /// [`Gate::fill`] so waiters observe it once the result is visible.
+    pub fn set_trace(&self, spans: Arc<Vec<SpanData>>) {
+        let mut trace = self.trace.lock().unwrap();
+        if trace.is_none() {
+            *trace = Some(spans);
+        }
+    }
+
+    /// The compile's span tree, shared by every waiter on this gate.
+    #[must_use]
+    pub fn trace(&self) -> Option<Arc<Vec<SpanData>>> {
+        self.trace.lock().unwrap().clone()
     }
 
     /// Waits up to `timeout` for the result. `None` means the deadline

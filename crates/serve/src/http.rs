@@ -8,7 +8,8 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 
-/// A parsed request: method, path, and body.
+/// A parsed request: method, path, body, and the client-supplied
+/// request ID, if any.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Request method (`GET`, `POST`, …), uppercased by the client.
@@ -17,6 +18,8 @@ pub struct Request {
     pub path: String,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: String,
+    /// Raw `X-Ppet-Request-Id` header value, unsanitized.
+    pub request_id: Option<String>,
 }
 
 /// A protocol-level failure while reading a request.
@@ -85,6 +88,7 @@ pub fn read_request<S: Read>(stream: S, max_body_bytes: usize) -> Result<Request
     }
 
     let mut content_length = 0usize;
+    let mut request_id = None;
     loop {
         let mut header = String::new();
         reader
@@ -97,11 +101,14 @@ pub fn read_request<S: Read>(stream: S, max_body_bytes: usize) -> Result<Request
         let Some((name, value)) = header.split_once(':') else {
             return Err(HttpError::Malformed(format!("header {header:?}")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse()
                 .map_err(|_| HttpError::Malformed(format!("content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("x-ppet-request-id") {
+            request_id = Some(value.trim().to_owned());
         }
     }
 
@@ -120,7 +127,12 @@ pub fn read_request<S: Read>(stream: S, max_body_bytes: usize) -> Result<Request
 
     // Strip any query string: the service routes on the bare path.
     let path = path.split('?').next().unwrap_or(&path).to_owned();
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        request_id,
+    })
 }
 
 /// Writes one response and flushes. `Connection: close` is always sent —
@@ -130,9 +142,27 @@ pub fn read_request<S: Read>(stream: S, max_body_bytes: usize) -> Result<Request
 ///
 /// Propagates the underlying I/O error.
 pub fn write_response<S: Write>(
+    stream: S,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (name, value) — the
+/// compile routes use it to echo `X-Ppet-Request-Id`. Header values must
+/// already be header-safe (no CR/LF); the request-ID sanitizer
+/// guarantees that for IDs.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_response_with<S: Write>(
     mut stream: S,
     status: u16,
     content_type: &str,
+    extra_headers: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
     let reason = match status {
@@ -148,11 +178,17 @@ pub fn write_response<S: Write>(
         503 => "Service Unavailable",
         _ => "Unknown",
     };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len(),
-    )?;
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    write!(stream, "{head}\r\n{body}")?;
     stream.flush()
 }
 
@@ -212,6 +248,36 @@ mod tests {
             read_request("".as_bytes(), 16),
             Err(HttpError::Io(_))
         ));
+    }
+
+    #[test]
+    fn captures_the_request_id_header() {
+        let raw =
+            "POST /compile HTTP/1.1\r\nX-Ppet-Request-Id: abc-123\r\nContent-Length: 0\r\n\r\n";
+        let req = read_request(raw.as_bytes(), 1024).unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("abc-123"));
+        // Header names are case-insensitive.
+        let raw = "GET /metrics HTTP/1.1\r\nx-ppet-request-id:  zz \r\n\r\n";
+        let req = read_request(raw.as_bytes(), 1024).unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("zz"));
+        let raw = "GET /metrics HTTP/1.1\r\n\r\n";
+        assert_eq!(read_request(raw.as_bytes(), 1024).unwrap().request_id, None);
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            200,
+            "application/json",
+            &[("X-Ppet-Request-Id", "deadbeef")],
+            "{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Ppet-Request-Id: deadbeef\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

@@ -24,8 +24,22 @@
 //! |---|---|
 //! | `POST /compile` | compile a [`CompileRequest`]; returns the run manifest |
 //! | `GET /healthz` | liveness probe |
-//! | `GET /metrics` | plain-text counters/gauges ([`ppet_trace::Metrics::render_text`]) |
+//! | `GET /metrics` | Prometheus text exposition 0.0.4 ([`ppet_trace::Metrics::render_prometheus`]) |
+//! | `GET /debug/requests` | summary of recent request traces, newest first |
+//! | `GET /debug/trace/<id>` | full span tree of one request (`ppet-trace/v1`-compatible) |
 //! | `POST /shutdown` | begin graceful drain |
+//!
+//! # Request observability
+//!
+//! Every `POST /compile` carries a request ID — client-supplied via the
+//! `X-Ppet-Request-Id` header or generated from the deterministic PRNG
+//! substrate — echoed back in the response header. With the trace ring
+//! enabled ([`ServeConfig::trace_ring`], default 256) each completed
+//! request leaves a span tree (serve phases plus the backend's compile
+//! spans, shared across coalesced requests) in a bounded ring; requests
+//! slower than [`ServeConfig::slow_ms`] are pinned so churn cannot evict
+//! them. Latency is recorded per outcome
+//! (`hit|store_hit|miss|timeout|error|shed`) into separate histograms.
 //!
 //! Failure surface, all as structured `ppet-error/v1` JSON bodies:
 //! `429 backpressure` when the bounded queue is full, `408 timeout` when
@@ -48,12 +62,14 @@
 
 pub mod cache;
 pub mod http;
+pub mod obs;
 mod request;
 pub mod server;
 pub mod signal;
 
 pub use cache::{CacheKey, ResultCache, DEFAULT_CACHE_CAPACITY};
+pub use obs::{PhaseRecorder, RequestIds, RequestTrace, TraceRing, REQUEST_ID_HEADER};
 pub use request::{
     BackendError, CompileBackend, CompileRequest, NormalizedRequest, REQUEST_SCHEMA,
 };
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, Server, ServerHandle, DEFAULT_TRACE_RING};

@@ -1,0 +1,554 @@
+//! Per-request observability: request IDs, the phase recorder, and the
+//! bounded ring of recent request traces behind `GET /debug/requests`
+//! and `GET /debug/trace/<id>`.
+//!
+//! Every `POST /compile` gets a request ID — client-supplied via the
+//! `X-Ppet-Request-Id` header (sanitized) or generated from the
+//! deterministic PRNG substrate — and, when the ring is enabled, a
+//! [`PhaseRecorder`] that measures the request's serve-side phases
+//! (`normalize`, `cache_lookup`, `store_fetch`, `compile`). The compile
+//! phase grafts the backend's shared span tree (one tree per physical
+//! compile, shared by every coalesced waiter through the gate), so the
+//! full document correlates one request across serve, cache, store, and
+//! compiler.
+//!
+//! The ring is bounded: beyond `capacity` entries the oldest *unpinned*
+//! entry is evicted first, and a request slower than the `slow_ms`
+//! threshold is pinned so churn cannot push it out (only newer pinned
+//! entries can, keeping the ring bounded under pathological load).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ppet_prng::{Rng, Xoshiro256PlusPlus};
+use ppet_trace::json::escaped;
+use ppet_trace::{PhaseManifest, RunManifest, SpanData};
+
+/// Response/request header carrying the request ID.
+pub const REQUEST_ID_HEADER: &str = "X-Ppet-Request-Id";
+
+/// Longest accepted client-supplied request ID.
+const MAX_ID_LEN: usize = 64;
+
+/// Deterministic request-ID generator: a seeded xoshiro stream rendered
+/// as 32 hex digits per ID. Seeded generators make service logs
+/// reproducible in tests and replay harnesses.
+#[derive(Debug)]
+pub struct RequestIds {
+    rng: Mutex<Xoshiro256PlusPlus>,
+}
+
+impl RequestIds {
+    /// A generator over the deterministic PRNG substrate.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Mutex::new(Xoshiro256PlusPlus::seed_from(seed)),
+        }
+    }
+
+    /// The next generated ID: 32 lowercase hex digits.
+    #[must_use]
+    pub fn fresh(&self) -> String {
+        let mut rng = self.rng.lock().unwrap();
+        let id = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        format!("{id:032x}")
+    }
+
+    /// Accepts a client-supplied ID when it is non-empty, at most 64
+    /// bytes, and uses only `[A-Za-z0-9._:-]` (safe to echo into headers
+    /// and JSON verbatim); anything else is discarded in favor of a
+    /// generated ID.
+    #[must_use]
+    pub fn sanitize(client: &str) -> Option<&str> {
+        let client = client.trim();
+        let ok = !client.is_empty()
+            && client.len() <= MAX_ID_LEN
+            && client
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'-'));
+        ok.then_some(client)
+    }
+
+    /// The effective request ID: the sanitized client ID or a fresh one.
+    #[must_use]
+    pub fn resolve(&self, client: Option<&str>) -> String {
+        match client.and_then(Self::sanitize) {
+            Some(id) => id.to_owned(),
+            None => self.fresh(),
+        }
+    }
+}
+
+/// Records the serve-side phases of one request as a flat list of spans.
+///
+/// Disabled recorders (ring capacity 0) are free: no clock reads, no
+/// allocation — the same contract as [`ppet_trace::Tracer::noop`],
+/// enforced by `tests/noop_overhead.rs`.
+#[derive(Debug)]
+pub struct PhaseRecorder {
+    enabled: bool,
+    phases: Vec<SpanData>,
+    current: Option<(&'static str, Instant)>,
+}
+
+impl PhaseRecorder {
+    /// A recorder; `enabled = false` makes every method a no-op.
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            phases: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Whether the recorder records anything.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Closes the open phase (if any) and opens `name`.
+    pub fn begin(&mut self, name: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        self.end();
+        self.current = Some((name, Instant::now()));
+    }
+
+    /// Closes the open phase (if any).
+    pub fn end(&mut self) {
+        if let Some((name, started)) = self.current.take() {
+            self.phases.push(SpanData {
+                name: name.to_owned(),
+                wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                closed: true,
+                counter_deltas: Vec::new(),
+                children: Vec::new(),
+            });
+        }
+    }
+
+    /// Attaches `children` (the backend's shared compile span tree) to
+    /// the phase that is currently open, which stays open.
+    pub fn graft(&mut self, children: &[SpanData]) {
+        if !self.enabled || children.is_empty() {
+            return;
+        }
+        // Close the open phase to materialize it, then reopen nothing —
+        // instead attach to the just-closed phase.
+        self.end();
+        if let Some(last) = self.phases.last_mut() {
+            last.children = children.to_vec();
+        }
+    }
+
+    /// Closes everything and returns the recorded phases in order.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<SpanData> {
+        self.end();
+        self.phases
+    }
+}
+
+/// One completed request in the ring.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// The request ID (client-supplied or generated).
+    pub id: String,
+    /// Terminal outcome: `hit|store_hit|miss|timeout|error|shed`.
+    pub outcome: &'static str,
+    /// HTTP status answered.
+    pub status: u16,
+    /// Resolved circuit name (empty when normalization failed).
+    pub circuit: String,
+    /// Effective seed (0 when normalization failed).
+    pub seed: u64,
+    /// End-to-end request wall time in microseconds.
+    pub wall_us: u64,
+    /// Whether this request coalesced onto another request's compile.
+    pub coalesced: bool,
+    /// Whether the slow-request threshold pinned this entry.
+    pub pinned: bool,
+    /// The request's span tree: one root (`request`) whose children are
+    /// the serve-side phases; the compile phase carries the backend's
+    /// span tree.
+    pub root: SpanData,
+}
+
+impl RequestTrace {
+    /// The manifest-like phase list for this request: the backend's
+    /// compile phases when a compile ran (matching `run_manifest()` of
+    /// the same compile), otherwise the serve-side phases.
+    fn manifest_phases(&self) -> &[SpanData] {
+        for phase in &self.root.children {
+            // A grafted compile tree is a single backend root (`merced`)
+            // whose children are the pipeline phases; fall back to the
+            // root itself if the backend emitted a flat tree.
+            if let [root] = phase.children.as_slice() {
+                if !root.children.is_empty() {
+                    return &root.children;
+                }
+            }
+            if !phase.children.is_empty() {
+                return &phase.children;
+            }
+        }
+        &self.root.children
+    }
+
+    /// Renders the full `ppet-trace/v1`-compatible trace document: a
+    /// [`RunManifest`] (schema, circuit, seed, request metadata as
+    /// config entries, the compile's phases with counters, totals)
+    /// extended with a `spans` key holding the complete request span
+    /// tree. [`RunManifest::from_json`] parses it — unknown keys are
+    /// ignored by design.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut manifest = RunManifest::new(&self.circuit, self.seed);
+        manifest.config = vec![
+            ("request_id".to_owned(), self.id.clone()),
+            ("outcome".to_owned(), self.outcome.to_owned()),
+            ("status".to_owned(), self.status.to_string()),
+            ("coalesced".to_owned(), self.coalesced.to_string()),
+            ("pinned".to_owned(), self.pinned.to_string()),
+            ("wall_us".to_owned(), self.wall_us.to_string()),
+        ];
+        for span in self.manifest_phases() {
+            manifest.phases.push(PhaseManifest {
+                name: span.name.clone(),
+                wall_ns: span.wall_ns,
+                counters: span.counter_deltas.clone(),
+            });
+        }
+        manifest.compute_totals();
+        let json = manifest.to_json();
+        // Splice the extra `spans` key in front of the closing brace; the
+        // manifest grammar ignores unknown keys, so the document stays
+        // schema-compatible.
+        let head = json.trim_end().strip_suffix('}').unwrap_or(&json);
+        let mut out = String::with_capacity(json.len() + 256);
+        out.push_str(head);
+        out.push_str(",\n  \"spans\": [");
+        span_json(&mut out, &self.root);
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// One summary line for `GET /debug/requests`.
+    fn summary_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"outcome\":{},\"status\":{},\"circuit\":{},\"seed\":{},\
+             \"wall_us\":{},\"coalesced\":{},\"pinned\":{},\"phases\":{{",
+            escaped(&self.id),
+            escaped(self.outcome),
+            self.status,
+            escaped(&self.circuit),
+            self.seed,
+            self.wall_us,
+            self.coalesced,
+            self.pinned,
+        );
+        for (i, phase) in self.root.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", escaped(&phase.name), phase.wall_ns);
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Renders one span subtree as compact JSON.
+fn span_json(out: &mut String, span: &SpanData) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"name\":{},\"wall_ns\":{},\"closed\":{},\"counters\":{{",
+        escaped(&span.name),
+        span.wall_ns,
+        span.closed
+    );
+    for (i, (name, delta)) in span.counter_deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{delta}", escaped(name));
+    }
+    out.push_str("},\"children\":[");
+    for (i, child) in span.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        span_json(out, child);
+    }
+    out.push_str("]}");
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    entries: VecDeque<Arc<RequestTrace>>,
+}
+
+/// The bounded ring of recent completed request traces.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    slow_us: Option<u64>,
+    inner: Mutex<RingInner>,
+}
+
+impl TraceRing {
+    /// A ring keeping at most `capacity` traces (0 disables tracing
+    /// entirely); requests at or above `slow_ms` milliseconds are pinned.
+    #[must_use]
+    pub fn new(capacity: usize, slow_ms: Option<u64>) -> Self {
+        Self {
+            capacity,
+            slow_us: slow_ms.map(|ms| ms.saturating_mul(1000)),
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    /// Whether traces are being kept at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of traces currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// Whether the ring holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records one completed request. Eviction is oldest-unpinned-first;
+    /// when every entry is pinned the oldest pinned entry goes, keeping
+    /// the ring bounded.
+    pub fn record(&self, mut trace: RequestTrace) {
+        if !self.enabled() {
+            return;
+        }
+        trace.pinned = self.slow_us.is_some_and(|slow| trace.wall_us >= slow);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.entries.len() >= self.capacity {
+            match inner.entries.iter().position(|e| !e.pinned) {
+                Some(oldest_unpinned) => {
+                    inner.entries.remove(oldest_unpinned);
+                }
+                None => {
+                    inner.entries.pop_front();
+                }
+            }
+        }
+        inner.entries.push_back(Arc::new(trace));
+    }
+
+    /// The trace with request ID `id`, if still in the ring. The newest
+    /// entry wins when a client reused an ID.
+    #[must_use]
+    pub fn find(&self, id: &str) -> Option<Arc<RequestTrace>> {
+        let inner = self.inner.lock().unwrap();
+        inner.entries.iter().rev().find(|e| e.id == id).cloned()
+    }
+
+    /// The `GET /debug/requests` body: a summary of every held trace,
+    /// newest first.
+    #[must_use]
+    pub fn summary_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from("{\"requests\":[");
+        for (i, entry) in inner.entries.iter().rev().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            entry.summary_json(&mut out);
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: &str, wall_us: u64) -> RequestTrace {
+        RequestTrace {
+            id: id.to_owned(),
+            outcome: "hit",
+            status: 200,
+            circuit: "s27".to_owned(),
+            seed: 7,
+            wall_us,
+            coalesced: false,
+            pinned: false,
+            root: SpanData {
+                name: "request".to_owned(),
+                wall_ns: wall_us * 1000,
+                closed: true,
+                counter_deltas: Vec::new(),
+                children: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn ids_are_deterministic_per_seed_and_distinct() {
+        let a = RequestIds::new(7);
+        let b = RequestIds::new(7);
+        let first = a.fresh();
+        assert_eq!(first, b.fresh(), "same seed, same stream");
+        assert_ne!(first, a.fresh(), "stream advances");
+        assert_eq!(first.len(), 32);
+        assert!(first.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn client_ids_are_sanitized() {
+        assert_eq!(RequestIds::sanitize(" abc-123 "), Some("abc-123"));
+        assert_eq!(RequestIds::sanitize("A.b:c_d"), Some("A.b:c_d"));
+        assert_eq!(RequestIds::sanitize(""), None);
+        assert_eq!(RequestIds::sanitize("has space"), None);
+        assert_eq!(RequestIds::sanitize("quote\"d"), None);
+        assert_eq!(RequestIds::sanitize(&"x".repeat(65)), None);
+        let ids = RequestIds::new(1);
+        assert_eq!(ids.resolve(Some("client-id")), "client-id");
+        assert_eq!(ids.resolve(Some("bad id")).len(), 32, "falls back");
+    }
+
+    #[test]
+    fn recorder_measures_phases_in_order() {
+        let mut rec = PhaseRecorder::new(true);
+        rec.begin("normalize");
+        rec.begin("cache_lookup");
+        let phases = rec.finish();
+        let names: Vec<&str> = phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["normalize", "cache_lookup"]);
+        assert!(phases.iter().all(|p| p.closed));
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut rec = PhaseRecorder::new(false);
+        rec.begin("normalize");
+        rec.graft(&[SpanData {
+            name: "merced".to_owned(),
+            wall_ns: 1,
+            closed: true,
+            counter_deltas: Vec::new(),
+            children: Vec::new(),
+        }]);
+        assert!(rec.finish().is_empty());
+    }
+
+    #[test]
+    fn graft_attaches_the_compile_tree_to_the_open_phase() {
+        let mut rec = PhaseRecorder::new(true);
+        rec.begin("compile");
+        rec.graft(&[SpanData {
+            name: "merced".to_owned(),
+            wall_ns: 42,
+            closed: true,
+            counter_deltas: vec![("flow.trees_built".to_owned(), 3)],
+            children: Vec::new(),
+        }]);
+        let phases = rec.finish();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].children.len(), 1);
+        assert_eq!(phases[0].children[0].name, "merced");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_unpinned_first() {
+        let ring = TraceRing::new(3, Some(1));
+        ring.record(trace("slow", 5_000)); // 5 ms >= 1 ms: pinned
+        ring.record(trace("a", 10));
+        ring.record(trace("b", 10));
+        ring.record(trace("c", 10)); // evicts `a`, not `slow`
+        assert_eq!(ring.len(), 3);
+        assert!(ring.find("slow").is_some(), "pinned entry survives churn");
+        assert!(ring.find("a").is_none(), "oldest unpinned evicted");
+        assert!(ring.find("b").is_some() && ring.find("c").is_some());
+    }
+
+    #[test]
+    fn all_pinned_ring_stays_bounded() {
+        let ring = TraceRing::new(2, Some(0));
+        for id in ["a", "b", "c"] {
+            ring.record(trace(id, 10));
+        }
+        assert_eq!(ring.len(), 2, "bounded even when everything is pinned");
+        assert!(ring.find("a").is_none(), "oldest pinned goes last-resort");
+    }
+
+    #[test]
+    fn disabled_ring_keeps_nothing() {
+        let ring = TraceRing::new(0, None);
+        assert!(!ring.enabled());
+        ring.record(trace("x", 10));
+        assert!(ring.is_empty());
+        assert!(ring.find("x").is_none());
+    }
+
+    #[test]
+    fn trace_document_parses_as_a_run_manifest() {
+        let mut t = trace("req-1", 1234);
+        t.root.children = vec![SpanData {
+            name: "compile".to_owned(),
+            wall_ns: 900,
+            closed: true,
+            counter_deltas: Vec::new(),
+            children: vec![SpanData {
+                name: "merced".to_owned(),
+                wall_ns: 800,
+                closed: true,
+                counter_deltas: Vec::new(),
+                children: vec![SpanData {
+                    name: "scc".to_owned(),
+                    wall_ns: 500,
+                    closed: true,
+                    counter_deltas: vec![("scc.components".to_owned(), 4)],
+                    children: Vec::new(),
+                }],
+            }],
+        }];
+        let json = t.to_json();
+        let manifest = RunManifest::from_json(&json).expect("schema-compatible");
+        assert_eq!(manifest.circuit, "s27");
+        assert_eq!(manifest.seed, 7);
+        assert_eq!(manifest.phases.len(), 1);
+        assert_eq!(manifest.phases[0].name, "scc");
+        assert_eq!(
+            manifest.phases[0].counters,
+            vec![("scc.components".to_owned(), 4)]
+        );
+        let config: std::collections::BTreeMap<_, _> = manifest.config.into_iter().collect();
+        assert_eq!(config["request_id"], "req-1");
+        assert_eq!(config["outcome"], "hit");
+        assert!(json.contains("\"spans\""));
+    }
+
+    #[test]
+    fn summary_lists_newest_first() {
+        let ring = TraceRing::new(8, None);
+        ring.record(trace("first", 1));
+        ring.record(trace("second", 2));
+        let summary = ring.summary_json();
+        let first = summary.find("\"first\"").unwrap();
+        let second = summary.find("\"second\"").unwrap();
+        assert!(second < first, "newest first: {summary}");
+        assert!(summary.contains("\"outcome\":\"hit\""));
+    }
+}

@@ -11,6 +11,7 @@
 
 use ppet_netlist::Circuit;
 use ppet_trace::json::{self, Value};
+use ppet_trace::Tracer;
 
 /// The request schema identifier.
 pub const REQUEST_SCHEMA: &str = "ppet-serve/v1";
@@ -221,6 +222,25 @@ pub trait CompileBackend: Send + Sync + 'static {
     ///
     /// [`BackendError`] for compile failures.
     fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError>;
+
+    /// [`CompileBackend::compile`] with observability: the backend wraps
+    /// its pipeline phases in spans on `tracer` so the service can
+    /// attach the compile's span tree to the request trace. The manifest
+    /// must be identical to the untraced call. The default ignores the
+    /// tracer, so backends without internal instrumentation still work —
+    /// their requests simply trace as a single opaque compile phase.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompileBackend::compile`].
+    fn compile_traced(
+        &self,
+        normalized: &NormalizedRequest,
+        tracer: &Tracer,
+    ) -> Result<String, BackendError> {
+        let _ = tracer;
+        self.compile(normalized)
+    }
 
     /// Re-verifies a body fetched from the persistent store before it is
     /// served. The store already CRC-checks every record; this hook is

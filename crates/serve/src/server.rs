@@ -21,10 +21,11 @@ use std::time::{Duration, Instant};
 
 use ppet_exec::WorkQueue;
 use ppet_store::{Store, StoreConfig};
-use ppet_trace::Metrics;
+use ppet_trace::{Metrics, SpanData, Tracer};
 
 use crate::cache::{CacheKey, Claim, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::http::{self, HttpError, Request};
+use crate::obs::{PhaseRecorder, RequestIds, RequestTrace, TraceRing, REQUEST_ID_HEADER};
 use crate::request::{CompileBackend, CompileRequest};
 use crate::signal;
 
@@ -59,7 +60,20 @@ pub struct ServeConfig {
     /// Byte budget for the persistent store's LRU eviction; `None`
     /// means unbounded.
     pub store_budget: Option<u64>,
+    /// Completed request traces kept for `GET /debug/requests` and
+    /// `GET /debug/trace/<id>`; 0 disables per-request tracing entirely
+    /// (requests still get IDs, but no phases are recorded).
+    pub trace_ring: usize,
+    /// Requests at or above this many milliseconds of wall time are
+    /// pinned into the trace ring so churn cannot evict them; `None`
+    /// pins nothing.
+    pub slow_ms: Option<u64>,
+    /// Seed of the deterministic request-ID generator.
+    pub id_seed: u64,
 }
+
+/// Default bound on the request trace ring.
+pub const DEFAULT_TRACE_RING: usize = 256;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -71,6 +85,9 @@ impl Default for ServeConfig {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             store_dir: None,
             store_budget: None,
+            trace_ring: DEFAULT_TRACE_RING,
+            slow_ms: None,
+            id_seed: 0,
         }
     }
 }
@@ -82,6 +99,8 @@ struct Service<B> {
     queue: WorkQueue,
     metrics: Metrics,
     config: ServeConfig,
+    ids: RequestIds,
+    ring: TraceRing,
     shutdown: AtomicBool,
 }
 
@@ -157,6 +176,8 @@ impl<B: CompileBackend> Server<B> {
             store,
             queue,
             metrics,
+            ids: RequestIds::new(config.id_seed),
+            ring: TraceRing::new(config.trace_ring, config.slow_ms),
             config,
             shutdown: AtomicBool::new(false),
         });
@@ -252,7 +273,10 @@ impl<B: CompileBackend> Service<B> {
         self.metrics
             .gauge("serve.cache_entries")
             .set(self.cache.len() as f64);
-        self.metrics.render_text()
+        self.metrics
+            .gauge("serve.trace_ring_entries")
+            .set(self.ring.len() as f64);
+        self.metrics.render_prometheus()
     }
 
     fn handle_connection(&self, stream: TcpStream) {
@@ -274,20 +298,46 @@ impl<B: CompileBackend> Service<B> {
                 return;
             }
         };
-        let (status, content_type, body) = self.route(&request);
-        let _ = http::write_response(&stream, status, content_type, &body);
+        // Compile requests carry a request ID: the sanitized client one
+        // or a generated one, echoed back in the response header either
+        // way.
+        let request_id = (request.method == "POST" && request.path == "/compile")
+            .then(|| self.ids.resolve(request.request_id.as_deref()));
+        let (status, content_type, body) = self.route(&request, request_id.as_deref());
+        let mut headers: Vec<(&str, &str)> = Vec::new();
+        if let Some(id) = &request_id {
+            headers.push((REQUEST_ID_HEADER, id));
+        }
+        let _ = http::write_response_with(&stream, status, content_type, &headers, &body);
     }
 
-    fn route(&self, request: &Request) -> (u16, &'static str, String) {
+    fn route(&self, request: &Request, request_id: Option<&str>) -> (u16, &'static str, String) {
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => (200, "text/plain", "ok\n".to_owned()),
             ("GET", "/metrics") => (200, "text/plain", self.render_metrics()),
+            ("GET", "/debug/requests") => (200, "application/json", self.ring.summary_json()),
+            ("GET", path) if path.strip_prefix("/debug/trace/").is_some() => {
+                let id = path.strip_prefix("/debug/trace/").unwrap_or_default();
+                match self.ring.find(id) {
+                    Some(trace) => (200, "application/json", trace.to_json()),
+                    None => (
+                        404,
+                        "application/json",
+                        http::error_body("usage", &format!("no trace for request id {id:?}")),
+                    ),
+                }
+            }
             ("POST", "/shutdown") => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 (202, "text/plain", "draining\n".to_owned())
             }
-            ("POST", "/compile") => self.compile(&request.body),
-            (_, "/healthz" | "/metrics" | "/shutdown" | "/compile") => (
+            ("POST", "/compile") => self.compile(&request.body, request_id.unwrap_or_default()),
+            (_, "/healthz" | "/metrics" | "/shutdown" | "/compile" | "/debug/requests") => (
+                405,
+                "application/json",
+                http::error_body("usage", &format!("{} not allowed here", request.method)),
+            ),
+            (_, path) if path.starts_with("/debug/trace/") => (
                 405,
                 "application/json",
                 http::error_body("usage", &format!("{} not allowed here", request.method)),
@@ -300,40 +350,80 @@ impl<B: CompileBackend> Service<B> {
         }
     }
 
-    fn compile(&self, body: &str) -> (u16, &'static str, String) {
+    /// The `POST /compile` entry point: wraps [`Service::compile_inner`]
+    /// with per-outcome latency accounting and trace-ring recording.
+    fn compile(&self, body: &str, request_id: &str) -> (u16, &'static str, String) {
         self.metrics.counter("serve.requests").inc();
+        let started = Instant::now();
+        let mut recorder = PhaseRecorder::new(self.ring.enabled());
+        let mut ctx = RequestContext::default();
+        let (status, outcome, response) = self.compile_inner(body, &mut recorder, &mut ctx);
+        let wall = started.elapsed();
+        self.record_latency(outcome, &wall);
+        if self.ring.enabled() {
+            let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+            self.ring.record(RequestTrace {
+                id: request_id.to_owned(),
+                outcome,
+                status,
+                circuit: ctx.circuit,
+                seed: ctx.seed,
+                wall_us: wall_ns / 1000,
+                coalesced: ctx.coalesced,
+                pinned: false, // the ring decides from wall_us
+                root: SpanData {
+                    name: "request".to_owned(),
+                    wall_ns,
+                    closed: true,
+                    counter_deltas: Vec::new(),
+                    children: recorder.finish(),
+                },
+            });
+        }
+        (status, "application/json", response)
+    }
+
+    /// The compile state machine. Returns `(status, outcome, body)`
+    /// where `outcome` is the latency-histogram label:
+    /// `hit` (hot cache), `store_hit` (persistent store), `miss` (waited
+    /// on a compile, own or coalesced), `timeout` (408), `error`
+    /// (400/500), `shed` (backpressure or drain).
+    fn compile_inner(
+        &self,
+        body: &str,
+        recorder: &mut PhaseRecorder,
+        ctx: &mut RequestContext,
+    ) -> (u16, &'static str, String) {
         if self.shutting_down() {
             return (
                 503,
-                "application/json",
+                "shed",
                 http::error_body("shutdown", "server is draining"),
             );
         }
-        let started = Instant::now();
+        recorder.begin("normalize");
         let request = match CompileRequest::from_json(body) {
             Ok(request) => request,
-            Err(e) => return (400, "application/json", http::error_body("parse", &e)),
+            Err(e) => return (400, "error", http::error_body("parse", &e)),
         };
         let normalized = match self.backend.normalize(&request) {
             Ok(normalized) => normalized,
-            Err(e) => {
-                return (
-                    400,
-                    "application/json",
-                    http::error_body(e.kind, &e.message),
-                );
-            }
+            Err(e) => return (400, "error", http::error_body(e.kind, &e.message)),
         };
+        ctx.circuit = normalized.circuit.name().to_owned();
+        ctx.seed = normalized.seed;
         let key = CacheKey::of(&normalized);
 
+        recorder.begin("cache_lookup");
         let gate = match self.cache.claim(key) {
             Claim::Hit(manifest) => {
                 self.metrics.counter("serve.cache_hits").inc();
-                self.record_latency(started);
-                return (200, "application/json", manifest.as_ref().clone());
+                recorder.end();
+                return (200, "hit", manifest.as_ref().clone());
             }
             Claim::Wait(gate) => {
                 self.metrics.counter("serve.coalesced").inc();
+                ctx.coalesced = true;
                 gate
             }
             Claim::Compute(gate) => {
@@ -341,20 +431,27 @@ impl<B: CompileBackend> Service<B> {
                 // manifest is promoted into the hot cache and served
                 // without compiling; a corrupt or unverifiable one is
                 // quarantined and recompiled.
+                recorder.begin("store_fetch");
                 if let Some(body) = self.store_fetch(key) {
                     self.cache.complete(key, Arc::clone(&body));
                     gate.fill(Ok(Arc::clone(&body)));
-                    self.record_latency(started);
-                    return (200, "application/json", body.as_ref().clone());
+                    recorder.end();
+                    return (200, "store_hit", body.as_ref().clone());
                 }
                 self.metrics.counter("serve.cache_misses").inc();
+                let traced = self.ring.enabled();
                 let backend = Arc::clone(&self.backend);
                 let cache = Arc::clone(&self.cache);
                 let store = self.store.clone();
                 let job_gate = Arc::clone(&gate);
-                let submitted = self
-                    .queue
-                    .try_submit(move || match backend.compile(&normalized) {
+                let submitted = self.queue.try_submit(move || {
+                    let (tracer, sink) = if traced {
+                        let (tracer, sink) = Tracer::collecting();
+                        (tracer, Some(sink))
+                    } else {
+                        (Tracer::noop(), None)
+                    };
+                    match backend.compile_traced(&normalized, &tracer) {
                         Ok(manifest) => {
                             let manifest = Arc::new(manifest);
                             if let Some(store) = &store {
@@ -363,13 +460,20 @@ impl<B: CompileBackend> Service<B> {
                                 let _ = store.put(key.0, manifest.as_bytes());
                             }
                             cache.complete(key, Arc::clone(&manifest));
+                            // Publish the span tree before the result so
+                            // every waiter that sees Ok also sees the
+                            // trace.
+                            if let Some(sink) = sink {
+                                job_gate.set_trace(Arc::new(sink.report().spans));
+                            }
                             job_gate.fill(Ok(manifest));
                         }
                         Err(e) => {
                             cache.abandon(key);
                             job_gate.fill(Err(e));
                         }
-                    });
+                    }
+                });
                 if let Err(full) = submitted {
                     self.metrics.counter("serve.rejected").inc();
                     self.cache.abandon(key);
@@ -379,7 +483,7 @@ impl<B: CompileBackend> Service<B> {
                     )));
                     return (
                         429,
-                        "application/json",
+                        "shed",
                         http::error_body("backpressure", &full.to_string()),
                     );
                 }
@@ -387,24 +491,28 @@ impl<B: CompileBackend> Service<B> {
             }
         };
 
+        recorder.begin("compile");
         match gate.wait(self.config.timeout) {
             Some(Ok(manifest)) => {
-                self.record_latency(started);
-                (200, "application/json", manifest.as_ref().clone())
+                if let Some(spans) = gate.trace() {
+                    recorder.graft(&spans);
+                }
+                recorder.end();
+                (200, "miss", manifest.as_ref().clone())
             }
             Some(Err(e)) => {
-                let status = if e.kind == "backpressure" { 429 } else { 500 };
-                (
-                    status,
-                    "application/json",
-                    http::error_body(e.kind, &e.message),
-                )
+                let (status, outcome) = if e.kind == "backpressure" {
+                    (429, "shed")
+                } else {
+                    (500, "error")
+                };
+                (status, outcome, http::error_body(e.kind, &e.message))
             }
             None => {
                 self.metrics.counter("serve.timeouts").inc();
                 (
                     408,
-                    "application/json",
+                    "timeout",
                     http::error_body(
                         "timeout",
                         &format!(
@@ -437,11 +545,32 @@ impl<B: CompileBackend> Service<B> {
         }
     }
 
-    fn record_latency(&self, started: Instant) {
+    /// Records end-to-end request latency into the per-outcome
+    /// histogram. One histogram per outcome (static names with embedded
+    /// Prometheus labels) instead of one aggregate, so a cache hit's
+    /// microseconds never blur a cold compile's milliseconds.
+    fn record_latency(&self, outcome: &'static str, wall: &Duration) {
+        let name = match outcome {
+            "hit" => "serve.latency_us{outcome=\"hit\"}",
+            "store_hit" => "serve.latency_us{outcome=\"store_hit\"}",
+            "miss" => "serve.latency_us{outcome=\"miss\"}",
+            "timeout" => "serve.latency_us{outcome=\"timeout\"}",
+            "shed" => "serve.latency_us{outcome=\"shed\"}",
+            _ => "serve.latency_us{outcome=\"error\"}",
+        };
         self.metrics
-            .histogram("serve.latency_us")
-            .record(started.elapsed().as_micros().try_into().unwrap_or(u64::MAX));
+            .histogram(name)
+            .record(wall.as_micros().try_into().unwrap_or(u64::MAX));
     }
+}
+
+/// Per-request bookkeeping threaded through the compile state machine
+/// into the trace ring.
+#[derive(Debug, Default)]
+struct RequestContext {
+    circuit: String,
+    seed: u64,
+    coalesced: bool,
 }
 
 #[cfg(test)]
@@ -529,6 +658,34 @@ mod tests {
         (status, body)
     }
 
+    /// Like `roundtrip` but returns the raw response (status line,
+    /// headers, body) and lets the caller add request headers.
+    fn raw_roundtrip(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        extra: &str,
+        body: &str,
+    ) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\n{extra}Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn header_value<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+        response.lines().find_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            n.eq_ignore_ascii_case(name).then(|| v.trim())
+        })
+    }
+
     const BENCH: &str = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
 
     #[test]
@@ -538,7 +695,7 @@ mod tests {
         assert_eq!((status, body.as_str()), (200, "ok\n"));
         let (status, body) = roundtrip(addr, "GET", "/metrics", "");
         assert_eq!(status, 200);
-        assert!(body.contains("serve.queue_depth 0\n"), "{body}");
+        assert!(body.contains("serve_queue_depth 0\n"), "{body}");
         let (status, _) = roundtrip(addr, "GET", "/nope", "");
         assert_eq!(status, 404);
         let (status, _) = roundtrip(addr, "GET", "/compile", "");
@@ -557,9 +714,9 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(first, second);
         let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
-        assert!(metrics.contains("serve.cache_hits 1\n"), "{metrics}");
-        assert!(metrics.contains("serve.cache_misses 1\n"), "{metrics}");
-        assert!(metrics.contains("serve.requests 2\n"), "{metrics}");
+        assert!(metrics.contains("serve_cache_hits 1\n"), "{metrics}");
+        assert!(metrics.contains("serve_cache_misses 1\n"), "{metrics}");
+        assert!(metrics.contains("serve_requests 2\n"), "{metrics}");
         handle.shutdown();
         join.join().unwrap();
     }
@@ -587,7 +744,7 @@ mod tests {
         assert_eq!(status, 408, "{body}");
         assert!(body.contains("\"kind\":\"timeout\""), "{body}");
         let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
-        assert!(metrics.contains("serve.timeouts 1\n"), "{metrics}");
+        assert!(metrics.contains("serve_timeouts 1\n"), "{metrics}");
         handle.shutdown();
         join.join().unwrap();
     }
@@ -615,7 +772,7 @@ mod tests {
         bodies.dedup();
         assert_eq!(bodies.len(), 1, "all clients see the same manifest");
         let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
-        assert!(metrics.contains("serve.cache_misses 1\n"), "{metrics}");
+        assert!(metrics.contains("serve_cache_misses 1\n"), "{metrics}");
         handle.shutdown();
         join.join().unwrap();
     }
@@ -669,9 +826,9 @@ mod tests {
         let (status, body) = roundtrip(addr, "POST", "/compile", &req);
         assert_eq!(status, 200, "{body}");
         let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
-        assert!(metrics.contains("serve.cache_hits 1\n"), "{metrics}");
+        assert!(metrics.contains("serve_cache_hits 1\n"), "{metrics}");
         assert!(
-            metrics.contains("serve.cache_misses 1\n"),
+            metrics.contains("serve_cache_misses 1\n"),
             "compile must have run exactly once: {metrics}"
         );
         handle.shutdown();
@@ -726,9 +883,9 @@ mod tests {
         assert_eq!(status, 200, "{second}");
         assert_eq!(first, second, "stored manifest is byte-identical");
         let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
-        assert!(metrics.contains("store.hits 1\n"), "{metrics}");
+        assert!(metrics.contains("store_hits 1\n"), "{metrics}");
         assert!(
-            metrics.contains("serve.cache_misses 0\n") || !metrics.contains("serve.cache_misses"),
+            metrics.contains("serve_cache_misses 0\n") || !metrics.contains("serve_cache_misses"),
             "store hit must not count as a compile miss: {metrics}"
         );
         handle.shutdown();
@@ -774,13 +931,125 @@ mod tests {
             if round == 1 {
                 // The restart found the stored entry, refused it, and
                 // recompiled.
-                assert!(metrics.contains("store.quarantined 1\n"), "{metrics}");
-                assert!(metrics.contains("serve.cache_misses 1\n"), "{metrics}");
+                assert!(metrics.contains("store_quarantined 1\n"), "{metrics}");
+                assert!(metrics.contains("serve_cache_misses 1\n"), "{metrics}");
             }
             handle.shutdown();
             join.join().unwrap();
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite regression: latency is accounted per outcome — a cache
+    /// hit must never land in the cold-compile (`miss`) histogram.
+    #[test]
+    fn cache_hits_never_land_in_the_cold_compile_histogram() {
+        let (addr, handle, join) = start(Duration::ZERO, ServeConfig::default());
+        let req = CompileRequest::bench(BENCH).with_seed(5).to_json();
+        let (status, _) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200);
+        let (status, _) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200);
+        let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+        assert!(
+            metrics.contains("serve_latency_us_count{outcome=\"miss\"} 1\n"),
+            "exactly the cold compile: {metrics}"
+        );
+        assert!(
+            metrics.contains("serve_latency_us_count{outcome=\"hit\"} 1\n"),
+            "exactly the cache hit: {metrics}"
+        );
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn request_ids_are_generated_and_client_ids_echoed() {
+        let (addr, handle, join) = start(Duration::ZERO, ServeConfig::default());
+        let req = CompileRequest::bench(BENCH).with_seed(6).to_json();
+        let response = raw_roundtrip(addr, "POST", "/compile", "", &req);
+        let generated = header_value(&response, "X-Ppet-Request-Id").expect("generated id");
+        assert_eq!(generated.len(), 32, "{response}");
+
+        let response = raw_roundtrip(
+            addr,
+            "POST",
+            "/compile",
+            "X-Ppet-Request-Id: my-req-1\r\n",
+            &req,
+        );
+        assert_eq!(
+            header_value(&response, "X-Ppet-Request-Id"),
+            Some("my-req-1"),
+            "client id echoed: {response}"
+        );
+        // An unusable client ID falls back to a generated one.
+        let response = raw_roundtrip(
+            addr,
+            "POST",
+            "/compile",
+            "X-Ppet-Request-Id: not a valid id!\r\n",
+            &req,
+        );
+        assert_eq!(
+            header_value(&response, "X-Ppet-Request-Id").map(str::len),
+            Some(32),
+            "{response}"
+        );
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn debug_endpoints_expose_recent_request_traces() {
+        let (addr, handle, join) = start(Duration::ZERO, ServeConfig::default());
+        let req = CompileRequest::bench(BENCH).with_seed(8).to_json();
+        let response = raw_roundtrip(
+            addr,
+            "POST",
+            "/compile",
+            "X-Ppet-Request-Id: dbg-1\r\n",
+            &req,
+        );
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+        let (status, summary) = roundtrip(addr, "GET", "/debug/requests", "");
+        assert_eq!(status, 200);
+        assert!(summary.contains("\"id\":\"dbg-1\""), "{summary}");
+        assert!(summary.contains("\"outcome\":\"miss\""), "{summary}");
+        assert!(summary.contains("\"normalize\""), "{summary}");
+
+        let (status, trace) = roundtrip(addr, "GET", "/debug/trace/dbg-1", "");
+        assert_eq!(status, 200, "{trace}");
+        assert!(trace.contains("\"schema\": \"ppet-trace/v1\""), "{trace}");
+        assert!(trace.contains("\"request_id\": \"dbg-1\""), "{trace}");
+        assert!(trace.contains("\"spans\""), "{trace}");
+
+        let (status, missing) = roundtrip(addr, "GET", "/debug/trace/nope", "");
+        assert_eq!(status, 404, "{missing}");
+        assert!(missing.contains("\"ppet-error/v1\""), "{missing}");
+
+        let (status, _) = roundtrip(addr, "POST", "/debug/requests", "");
+        assert_eq!(status, 405);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn a_disabled_ring_still_answers_the_debug_routes() {
+        let config = ServeConfig {
+            trace_ring: 0,
+            ..ServeConfig::default()
+        };
+        let (addr, handle, join) = start(Duration::ZERO, config);
+        let req = CompileRequest::bench(BENCH).with_seed(9).to_json();
+        let (status, _) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200);
+        let (status, summary) = roundtrip(addr, "GET", "/debug/requests", "");
+        assert_eq!(status, 200);
+        assert!(summary.contains("\"requests\":[]"), "{summary}");
+        handle.shutdown();
+        join.join().unwrap();
     }
 
     #[test]

@@ -142,6 +142,59 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The exclusive upper bound of the bucket whose inclusive lower
+    /// bound is `lower`, as `f64` (the top bucket saturates at
+    /// `u64::MAX`).
+    fn bucket_upper(lower: u64) -> f64 {
+        if lower == 0 {
+            // The zero bucket holds exactly the value 0.
+            0.0
+        } else if lower >= 1 << 63 {
+            u64::MAX as f64
+        } else {
+            (lower << 1) as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) estimated by linear
+    /// interpolation inside the log bucket the rank falls in — the same
+    /// estimate Prometheus' `histogram_quantile` would compute over the
+    /// exposed `_bucket` series. Returns `0.0` for an empty histogram.
+    ///
+    /// Buckets are coarse (powers of two), so the estimate is exact only
+    /// at bucket boundaries; within a bucket it assumes a uniform spread.
+    /// The top bucket (`[2^63, u64::MAX]`) saturates rather than
+    /// extrapolating, so the result never exceeds `u64::MAX`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut below = 0u64;
+        for &(lower, count) in &self.buckets {
+            let through = below + count;
+            if through as f64 >= target {
+                if lower == 0 {
+                    return 0.0;
+                }
+                let fraction = if count == 0 {
+                    0.0
+                } else {
+                    ((target - below as f64) / count as f64).clamp(0.0, 1.0)
+                };
+                let lo = lower as f64;
+                return lo + fraction * (Self::bucket_upper(lower) - lo);
+            }
+            below = through;
+        }
+        // Unreachable when count == Σ bucket counts; be safe anyway.
+        self.buckets
+            .last()
+            .map_or(0.0, |&(lower, _)| Self::bucket_upper(lower))
+    }
 }
 
 #[derive(Debug, Default)]
@@ -260,6 +313,174 @@ impl Metrics {
         }
         out
     }
+
+    /// Renders every metric in Prometheus text exposition format 0.0.4:
+    /// one `# HELP` / `# TYPE` header per family followed by its sample
+    /// lines, with histograms expanded into cumulative `_bucket{le=...}`
+    /// series plus `_sum` and `_count`.
+    ///
+    /// Metric names stay `&'static str` literals at the recording site; a
+    /// site that wants labels embeds them in the literal using the normal
+    /// Prometheus syntax, e.g. `serve.latency_us{outcome="hit"}`. The
+    /// renderer splits the label block off, mangles the base name to the
+    /// Prometheus charset (`.` and other invalid characters become `_`),
+    /// and groups every labelled series under one family header.
+    ///
+    /// Log-bucket histograms expose exact integer `le` bounds: the bucket
+    /// holding bit-length `i` values (`[2^(i-1), 2^i)`) becomes
+    /// `le="2^i - 1"`, the zero bucket `le="0"`, and the top bucket
+    /// `le="18446744073709551615"`. Empty buckets are elided — cumulative
+    /// counts stay monotone without them — and the mandatory `+Inf` bucket
+    /// always equals `_count`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let m = ppet_trace::Metrics::new();
+    /// m.counter("serve.requests").add(2);
+    /// m.histogram("serve.latency_us{outcome=\"hit\"}").record(100);
+    /// let text = m.render_prometheus();
+    /// assert!(text.contains("# TYPE serve_requests counter\n"));
+    /// assert!(text.contains("serve_latency_us_bucket{outcome=\"hit\",le=\"127\"} 1\n"));
+    /// ```
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+
+        let counters = group_families(self.counters_snapshot());
+        for (base, family) in &counters {
+            family_header(&mut out, base, &family.source, "counter");
+            for (labels, value) in &family.series {
+                let _ = writeln!(out, "{base}{} {value}", label_block(labels, None));
+            }
+        }
+
+        let gauges = group_families(self.gauges_snapshot());
+        for (base, family) in &gauges {
+            family_header(&mut out, base, &family.source, "gauge");
+            for (labels, value) in &family.series {
+                let _ = write!(out, "{base}{} ", label_block(labels, None));
+                if value.fract() == 0.0 && value.abs() < 1e15 {
+                    let _ = writeln!(out, "{}", *value as i64);
+                } else {
+                    let _ = writeln!(out, "{value}");
+                }
+            }
+        }
+
+        let histograms = group_families(self.histograms_snapshot());
+        for (base, family) in &histograms {
+            family_header(&mut out, base, &family.source, "histogram");
+            for (labels, snap) in &family.series {
+                let mut cumulative = 0u64;
+                for &(lower, count) in &snap.buckets {
+                    cumulative += count;
+                    let le = bucket_le(lower);
+                    let _ = writeln!(
+                        out,
+                        "{base}_bucket{} {cumulative}",
+                        label_block(labels, Some(&le))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{} {}",
+                    label_block(labels, Some("+Inf")),
+                    snap.count
+                );
+                let _ = writeln!(out, "{base}_sum{} {}", label_block(labels, None), snap.sum);
+                let _ = writeln!(
+                    out,
+                    "{base}_count{} {}",
+                    label_block(labels, None),
+                    snap.count
+                );
+            }
+        }
+        out
+    }
+}
+
+/// One exposition family: every series sharing a mangled base name.
+struct Family<V> {
+    /// The original (dotted) base name of the first series seen, for HELP.
+    source: String,
+    /// `(label-pairs, value)` in registry order.
+    series: Vec<(String, V)>,
+}
+
+/// Splits `serve.latency_us{outcome="hit"}` into the base name and the
+/// raw label pairs (empty when the name carries no labels).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.strip_suffix('}').unwrap_or(rest)),
+        None => (name, ""),
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus name charset
+/// `[a-zA-Z0-9_:]` (anything else becomes `_`).
+fn mangle(base: &str) -> String {
+    base.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Groups snapshot entries into families keyed by mangled base name.
+/// Grouping by map (rather than relying on sort order) keeps a family
+/// contiguous even when label blocks interleave lexically with other
+/// metric names.
+fn group_families<V>(snapshot: BTreeMap<String, V>) -> BTreeMap<String, Family<V>> {
+    let mut families: BTreeMap<String, Family<V>> = BTreeMap::new();
+    for (name, value) in snapshot {
+        let (base, labels) = split_labels(&name);
+        families
+            .entry(mangle(base))
+            .or_insert_with(|| Family {
+                source: base.to_owned(),
+                series: Vec::new(),
+            })
+            .series
+            .push((labels.to_owned(), value));
+    }
+    families
+}
+
+/// Writes the `# HELP` / `# TYPE` header for one family.
+fn family_header(out: &mut String, base: &str, source: &str, kind: &str) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {base} ppet {kind} `{source}`");
+    let _ = writeln!(out, "# TYPE {base} {kind}");
+}
+
+/// Renders a label block from stored pairs plus an optional `le` label;
+/// empty when there are no labels at all.
+fn label_block(labels: &str, le: Option<&str>) -> String {
+    match (labels.is_empty(), le) {
+        (true, None) => String::new(),
+        (true, Some(le)) => format!("{{le=\"{le}\"}}"),
+        (false, None) => format!("{{{labels}}}"),
+        (false, Some(le)) => format!("{{{labels},le=\"{le}\"}}"),
+    }
+}
+
+/// The inclusive integer upper bound of the log bucket whose lower bound
+/// is `lower`, as a decimal string for the `le` label.
+fn bucket_le(lower: u64) -> String {
+    if lower == 0 {
+        "0".to_owned()
+    } else if lower >= 1 << 63 {
+        u64::MAX.to_string()
+    } else {
+        (2 * lower - 1).to_string()
+    }
 }
 
 #[cfg(test)]
@@ -342,5 +563,136 @@ mod tests {
             ]
         );
         assert!(snap.mean() > 0.0);
+    }
+
+    #[test]
+    fn quantile_of_an_empty_histogram_is_zero() {
+        let snap = Histogram::default().snapshot();
+        assert_eq!(snap.quantile(0.0), 0.0);
+        assert_eq!(snap.quantile(0.5), 0.0);
+        assert_eq!(snap.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_a_single_sample_stays_inside_its_bucket() {
+        let h = Histogram::default();
+        h.record(100);
+        let snap = h.snapshot();
+        // 100 lives in [64, 128); every quantile interpolates inside it.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = snap.quantile(q);
+            assert!((64.0..=128.0).contains(&v), "q={q} -> {v}");
+        }
+        assert_eq!(snap.quantile(1.0), 128.0);
+        // Out-of-range q clamps instead of extrapolating.
+        assert_eq!(snap.quantile(2.0), snap.quantile(1.0));
+        assert_eq!(snap.quantile(-1.0), snap.quantile(0.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly_within_a_bucket() {
+        let h = Histogram::default();
+        for v in [4, 5, 6, 7] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // All four samples share bucket [4, 8): the median sits halfway.
+        assert_eq!(snap.quantile(0.5), 6.0);
+        assert_eq!(snap.quantile(0.25), 5.0);
+        assert_eq!(snap.quantile(1.0), 8.0);
+    }
+
+    #[test]
+    fn quantile_saturates_at_the_top_bucket() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        let snap = h.snapshot();
+        let top = snap.quantile(1.0);
+        assert!(top <= u64::MAX as f64, "no extrapolation past u64::MAX");
+        assert!(top >= (1u64 << 63) as f64);
+    }
+
+    #[test]
+    fn quantile_crosses_buckets_at_the_right_rank() {
+        let h = Histogram::default();
+        h.record(0); // zero bucket
+        for v in [10, 11, 12] {
+            h.record(v); // [8, 16)
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.1), 0.0, "rank 0.4 is in the zero bucket");
+        let p75 = snap.quantile(0.75);
+        assert!(
+            (8.0..=16.0).contains(&p75),
+            "rank 3 of 4 -> [8,16), got {p75}"
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_families_and_mangles_names() {
+        let m = Metrics::new();
+        m.counter("serve.requests").add(3);
+        m.gauge("serve.queue_depth").set(2.0);
+        m.histogram("serve.latency_us{outcome=\"hit\"}").record(100);
+        m.histogram("serve.latency_us{outcome=\"miss\"}").record(3);
+        let text = m.render_prometheus();
+
+        assert!(text.contains("# HELP serve_requests "), "{text}");
+        assert!(text.contains("# TYPE serve_requests counter\n"), "{text}");
+        assert!(text.contains("serve_requests 3\n"), "{text}");
+        assert!(text.contains("# TYPE serve_queue_depth gauge\n"), "{text}");
+        assert!(text.contains("serve_queue_depth 2\n"), "{text}");
+
+        // One family header covers both labelled series.
+        assert_eq!(
+            text.matches("# TYPE serve_latency_us histogram\n").count(),
+            1,
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency_us_bucket{outcome=\"hit\",le=\"127\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency_us_bucket{outcome=\"hit\",le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency_us_sum{outcome=\"hit\"} 100\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency_us_bucket{outcome=\"miss\",le=\"3\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency_us_count{outcome=\"miss\"} 1\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_count() {
+        let m = Metrics::new();
+        let h = m.histogram("lat");
+        for v in [0, 1, 5, 5, 900, u64::MAX] {
+            h.record(v);
+        }
+        let text = m.render_prometheus();
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!buckets.is_empty());
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+        assert_eq!(*buckets.last().unwrap(), 6, "+Inf bucket equals count");
+        assert!(text.contains("lat_bucket{le=\"0\"} 1\n"), "{text}");
+        assert!(
+            text.contains(&format!("lat_bucket{{le=\"{}\"}} 6\n", u64::MAX)),
+            "{text}"
+        );
+        assert!(text.contains("lat_count 6\n"), "{text}");
     }
 }

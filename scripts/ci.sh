@@ -48,6 +48,9 @@ scripts/golden.sh --check
 echo "==> serve smoke: compile service round-trip, cache hit, drain"
 scripts/serve_smoke.sh
 
+echo "==> metrics lint: Prometheus exposition structure"
+scripts/metrics_lint.sh
+
 echo "==> store: crash recovery + eviction invariants"
 cargo test -q -p ppet-store --test recovery --test eviction
 scripts/store_smoke.sh

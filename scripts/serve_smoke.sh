@@ -68,10 +68,12 @@ assert status == 200, (status, second)
 assert second == first, "cache hit must be byte-identical"
 
 status, metrics = request("GET", "/metrics")
-values = dict(line.rsplit(" ", 1) for line in metrics.strip().splitlines())
-assert values["serve.cache_hits"] == "1", metrics
-assert values["serve.cache_misses"] == "1", metrics
-assert values["serve.requests"] == "2", metrics
+values = dict(line.rsplit(" ", 1)
+              for line in metrics.strip().splitlines()
+              if not line.startswith("#"))
+assert values["serve_cache_hits"] == "1", metrics
+assert values["serve_cache_misses"] == "1", metrics
+assert values["serve_requests"] == "2", metrics
 
 status, err = request("POST", "/compile", '{"schema":"ppet-serve/v1"}')
 assert status == 400 and '"ppet-error/v1"' in err, (status, err)

@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ppet::flow::{saturate_network, saturate_network_traced, FlowParams};
 use ppet::graph::CircuitGraph;
 use ppet::netlist::data;
+use ppet::serve::PhaseRecorder;
 use ppet::trace::Tracer;
 
 struct CountingAllocator;
@@ -64,5 +65,30 @@ fn noop_tracing_allocates_nothing_extra_in_saturation() {
     assert_eq!(
         traced, plain,
         "a disabled tracer must not allocate on the hot path"
+    );
+}
+
+#[test]
+fn a_disabled_phase_recorder_allocates_nothing() {
+    // With the trace ring off (`--trace-ring 0`) the request-ID and
+    // phase plumbing is still compiled into every `POST /compile`; the
+    // disabled recorder must stay allocation-free end to end.
+    let mut warm = PhaseRecorder::new(false);
+    warm.begin("normalize");
+    warm.end();
+    assert!(warm.finish().is_empty());
+
+    let allocations = allocations_during(|| {
+        let mut recorder = PhaseRecorder::new(false);
+        recorder.begin("normalize");
+        recorder.begin("cache_lookup");
+        recorder.begin("store_fetch");
+        recorder.begin("compile");
+        recorder.end();
+        assert!(recorder.finish().is_empty());
+    });
+    assert_eq!(
+        allocations, 0,
+        "a disabled PhaseRecorder must not allocate per request"
     );
 }

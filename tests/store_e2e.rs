@@ -83,16 +83,16 @@ fn restart_answers_byte_identically_from_disk() {
     assert_eq!(first, second);
 
     let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
-    assert_eq!(metric(&metrics, "store.hits "), 1, "{metrics}");
-    assert_eq!(metric(&metrics, "serve.cache_misses "), 0, "{metrics}");
+    assert_eq!(metric(&metrics, "store_hits "), 1, "{metrics}");
+    assert_eq!(metric(&metrics, "serve_cache_misses "), 0, "{metrics}");
 
     // A repeat within the same process is a hot-tier hit, not a second
     // disk read.
     let (_, third) = roundtrip(addr, "POST", "/compile", &req);
     assert_eq!(first, third);
     let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
-    assert_eq!(metric(&metrics, "store.hits "), 1, "{metrics}");
-    assert!(metric(&metrics, "serve.cache_hits ") >= 1, "{metrics}");
+    assert_eq!(metric(&metrics, "store_hits "), 1, "{metrics}");
+    assert!(metric(&metrics, "serve_cache_hits ") >= 1, "{metrics}");
 
     handle.shutdown();
     join.join().unwrap();
@@ -129,8 +129,8 @@ fn corrupted_stored_manifest_is_quarantined_and_recompiled() {
     let (status, recompiled) = roundtrip(addr, "POST", "/compile", &req);
     assert_eq!(status, 200, "{recompiled}");
     let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
-    assert_eq!(metric(&metrics, "store.quarantined "), 1, "{metrics}");
-    assert_eq!(metric(&metrics, "serve.cache_misses "), 1, "{metrics}");
+    assert_eq!(metric(&metrics, "store_quarantined "), 1, "{metrics}");
+    assert_eq!(metric(&metrics, "serve_cache_misses "), 1, "{metrics}");
 
     handle.shutdown();
     join.join().unwrap();
