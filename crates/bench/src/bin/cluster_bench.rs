@@ -1,0 +1,139 @@
+//! Measures what the shard router costs on top of a direct backend:
+//! cached-read latency straight at a `merced serve` instance versus the
+//! same read proxied through a `merced cluster` router fronting three
+//! shards. Writes the results to `BENCH_cluster.json`.
+//!
+//! The interesting number is `router_over_direct`: the router adds one
+//! request parse, one content-key derivation, a ring lookup, and a
+//! second TCP round-trip — on a cached read all of that should stay
+//! within a small constant factor of the direct path (the acceptance
+//! bar is ≤ 1.2× on the mean).
+//!
+//! Usage: `cluster_bench [out.json]` (default `BENCH_cluster.json`).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Instant;
+
+use ppet_cluster::{ClusterConfig, Router};
+use ppet_core::{MercedBackend, MercedConfig};
+use ppet_serve::{CompileRequest, ServeConfig, Server};
+
+const SHARDS: usize = 3;
+const WARMUP: usize = 8;
+const REPS: usize = 128;
+
+fn request(addr: SocketAddr, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /compile HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "unexpected response: {}",
+        response.lines().next().unwrap_or("")
+    );
+    response
+}
+
+fn timed(addr: SocketAddr, body: &str, reps: usize) -> Vec<u64> {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            request(addr, body);
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    let circuit = "s641";
+    let config = || MercedConfig::default();
+
+    let mut shard_addrs = Vec::new();
+    let mut shards = Vec::new();
+    for _ in 0..SHARDS {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            MercedBackend::new(config()),
+            ServeConfig::default(),
+        )
+        .expect("bind shard");
+        shard_addrs.push(server.local_addr());
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run());
+        shards.push((handle, join));
+    }
+    let router = Router::bind(
+        "127.0.0.1:0",
+        MercedBackend::new(config()),
+        shard_addrs.iter().map(ToString::to_string).collect(),
+        ClusterConfig::default(),
+    )
+    .expect("bind router");
+    let router_addr = router.local_addr();
+    let router_handle = router.handle();
+    let router_join = thread::spawn(move || router.run());
+
+    // One compile through the router seeds the owning shard (and, via
+    // replication, its ring successor); everything after is cached.
+    let body = CompileRequest::builtin(circuit).with_seed(0).to_json();
+    request(router_addr, &body);
+    // The shard that owns the key answers directly; find it by asking
+    // each shard and keeping whichever already has the result cached —
+    // all of them answer, so just use the router's primary via a probe
+    // of each direct address (a cache hit everywhere it is stored).
+    for addr in &shard_addrs {
+        // Warm every shard so the direct path is a cache hit no matter
+        // which shard the ring picked (shards not holding the key
+        // compile it once here, outside the timed window).
+        request(*addr, &body);
+    }
+
+    for _ in 0..WARMUP {
+        request(router_addr, &body);
+        request(shard_addrs[0], &body);
+    }
+
+    let direct_ns = timed(shard_addrs[0], &body, REPS);
+    let router_ns = timed(router_addr, &body, REPS);
+
+    router_handle.shutdown();
+    router_join.join().expect("router thread");
+    for (handle, join) in shards {
+        handle.shutdown();
+        join.join().expect("shard thread");
+    }
+
+    let mean = |ns: &[u64]| ns.iter().sum::<u64>() / ns.len().max(1) as u64;
+    let min = |ns: &[u64]| ns.iter().copied().min().unwrap_or(0);
+    let direct_mean = mean(&direct_ns);
+    let router_mean = mean(&router_ns);
+    let ratio = router_mean as f64 / direct_mean.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"schema\": \"ppet-bench-cluster/v1\",\n  \"circuit\": \"{circuit}\",\n  \
+         \"shards\": {SHARDS},\n  \"cached_requests\": {REPS},\n  \
+         \"direct_ns_mean\": {direct_mean},\n  \"direct_ns_min\": {},\n  \
+         \"router_ns_mean\": {router_mean},\n  \"router_ns_min\": {},\n  \
+         \"router_over_direct\": {ratio:.3}\n}}\n",
+        min(&direct_ns),
+        min(&router_ns),
+    );
+    std::fs::write(&out_path, &json).expect("write output");
+    print!("{json}");
+    assert!(
+        ratio <= 1.2,
+        "router cached-read overhead {ratio:.3} exceeds the 1.2x budget"
+    );
+    eprintln!("wrote {out_path}");
+}

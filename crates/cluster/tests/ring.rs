@@ -1,0 +1,117 @@
+//! Property tests for the consistent-hash ring: load uniformity with
+//! virtual nodes, and the bounded-remap invariant that justifies
+//! consistent hashing in the first place.
+
+use ppet_cluster::{Ring, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+/// Spreads one drawn seed into a deterministic stream of 128-bit keys
+/// (SplitMix64 on both halves) — cheap stand-ins for cache keys, which
+/// are themselves uniform FNV-1a-128 hashes.
+fn keys(seed: u64, count: usize) -> Vec<u128> {
+    let mix = |mut z: u64| {
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..count as u64)
+        .map(|i| {
+            let lo = mix(seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            let hi = mix(lo ^ i);
+            (u128::from(hi) << 64) | u128::from(lo)
+        })
+        .collect()
+}
+
+const KEYS: usize = 10_000;
+
+proptest! {
+    /// With ≥64 vnodes, every backend's share of keys stays within 15%
+    /// (relative) of the uniform share `1/N`.
+    #[test]
+    fn load_is_within_15_percent_of_uniform(
+        backends in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let ring = Ring::new(backends, DEFAULT_VNODES);
+        let mut counts = vec![0usize; backends];
+        for key in keys(seed, KEYS) {
+            let primary = ring.primary(key, |_| true).unwrap();
+            counts[primary] += 1;
+        }
+        let uniform = KEYS as f64 / backends as f64;
+        for (backend, &count) in counts.iter().enumerate() {
+            let deviation = (count as f64 - uniform).abs() / uniform;
+            prop_assert!(
+                deviation <= 0.15,
+                "backend {backend} of {backends} holds {count}/{KEYS} keys \
+                 ({:.1}% off uniform {uniform:.0})",
+                deviation * 100.0
+            );
+        }
+    }
+
+    /// Bounded remap, exact form: marking one backend down remaps a key
+    /// if and only if that backend was the key's primary — every other
+    /// key keeps its primary untouched.
+    #[test]
+    fn removal_remaps_exactly_the_removed_backends_keys(
+        backends in 2usize..=8,
+        removed_pick in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ring = Ring::new(backends, DEFAULT_VNODES);
+        let removed = (removed_pick % backends as u64) as usize;
+        let mut remapped = 0usize;
+        for key in keys(seed, KEYS) {
+            let before = ring.primary(key, |_| true).unwrap();
+            let after = ring.primary(key, |b| b != removed).unwrap();
+            if before == removed {
+                prop_assert_ne!(after, removed);
+                remapped += 1;
+            } else {
+                prop_assert_eq!(
+                    after, before,
+                    "key {:032x} moved although backend {} was not its primary",
+                    key, removed
+                );
+            }
+        }
+        // The remapped fraction is the removed backend's share: ~1/N,
+        // bounded by the uniformity guarantee above.
+        let share = remapped as f64 / KEYS as f64;
+        let uniform = 1.0 / backends as f64;
+        prop_assert!(
+            share <= uniform * 1.15,
+            "removal remapped {:.1}% of keys; uniform share is {:.1}%",
+            share * 100.0,
+            uniform * 100.0
+        );
+    }
+
+    /// The failover order is stable under unrelated failures: the
+    /// preference list with one non-member down is the original list
+    /// with that backend deleted.
+    #[test]
+    fn preference_order_is_stable_under_unrelated_failures(
+        backends in 3usize..=8,
+        down_pick in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ring = Ring::new(backends, DEFAULT_VNODES);
+        let down = (down_pick % backends as u64) as usize;
+        for key in keys(seed, 300) {
+            let full = ring.route(key, backends, |_| true);
+            let survivors = ring.route(key, backends, |b| b != down);
+            let expected: Vec<usize> =
+                full.iter().copied().filter(|&b| b != down).collect();
+            prop_assert_eq!(
+                &survivors, &expected,
+                "key {:032x}: down={} full={:?}",
+                key, down, &full
+            );
+        }
+    }
+}

@@ -8,7 +8,10 @@
 //!              [--timeout-ms N] [--store DIR] [--store-budget BYTES]
 //!              [--cache-cap N] [--trace-ring N] [--slow-ms N] [options]
 //! merced store <dir> <stats | gc | verify | export KEY | import FILE [--pin]>
-//! merced stat <host:port> [--watch SECS] [--json]
+//! merced stat <host:port>... [--watch SECS] [--json]
+//! merced cluster --addr <host:port> --backend <host:port>...
+//!                [--replication N] [--vnodes N] [--hedge-ms N]
+//!                [--probe-ms N] [--timeout-ms N] [options]
 //!
 //! Options:
 //!   --lk <N>           CBIT length / input constraint (default 16)
@@ -72,12 +75,33 @@
 //!   (--store-budget applies here too: imports then enforce the byte
 //!   budget, evicting unpinned LRU entries)
 //!
-//! Service status (`merced stat <host:port>`):
+//! Service status (`merced stat <host:port>...`):
 //!   scrapes GET /metrics and GET /debug/requests from a running
 //!   `merced serve` and renders a one-screen summary: request and cache
 //!   counters, per-outcome latency quantiles (p50/p95/p99), and the
 //!   most recent request traces. --watch SECS redraws every SECS
 //!   seconds; --json emits the summary as one machine-readable object.
+//!   With several addresses, each server gets its own section followed
+//!   by a cluster-wide merged rollup (counters and gauges summed,
+//!   histograms merged); --json then emits
+//!   `{"addrs":[<per-server objects>],"merged":<rollup>}`. The
+//!   single-address output shape is unchanged.
+//!
+//! Cluster options (`merced cluster`):
+//!   --addr <host:port>   router listen address (port 0 works as in serve)
+//!   --backend <addr>     one running `merced serve` shard; repeat for
+//!                        each member (at least one required)
+//!   --replication <N>    ring replicas each fresh result is pushed to,
+//!                        primary included (default 2; 1 disables)
+//!   --vnodes <N>         virtual nodes per backend (default 64)
+//!   --hedge-ms <N>       hedge a slow request to the next replica after
+//!                        this long (default 250)
+//!   --probe-ms <N>       health-probe interval for down backends
+//!                        (default 500)
+//!   --timeout-ms <N>     end-to-end request deadline (default 60000)
+//!   The compile options (--lk, --beta, --seed, ...) set the router's
+//!   *keying* defaults and must match the backends', so the router
+//!   derives the same content key a shard would.
 //! ```
 //!
 //! `merced serve` keeps the compiler resident: requests hit a
@@ -163,6 +187,7 @@ enum Mode {
     Serve,
     Store,
     Stat,
+    Cluster,
 }
 
 struct Options {
@@ -194,6 +219,11 @@ struct Options {
     pin: bool,
     watch: Option<u64>,
     json: bool,
+    backends: Vec<String>,
+    replication: usize,
+    vnodes: usize,
+    hedge_ms: u64,
+    probe_ms: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -227,6 +257,11 @@ fn parse_args() -> Result<Options, String> {
         pin: false,
         watch: None,
         json: false,
+        backends: Vec::new(),
+        replication: 2,
+        vnodes: ppet_cluster::DEFAULT_VNODES,
+        hedge_ms: 250,
+        probe_ms: 500,
     };
     let mut positionals = 0usize;
     while let Some(arg) = args.next() {
@@ -286,18 +321,59 @@ fn parse_args() -> Result<Options, String> {
             "--pin" => opts.pin = true,
             "--watch" => opts.watch = Some(next_value(&mut args, "--watch")?),
             "--json" => opts.json = true,
+            "--backend" => opts.backends.push(
+                args.next()
+                    .ok_or("--backend expects host:port".to_string())?,
+            ),
+            "--replication" => opts.replication = next_value(&mut args, "--replication")?,
+            "--vnodes" => opts.vnodes = next_value(&mut args, "--vnodes")?,
+            "--hedge-ms" => opts.hedge_ms = next_value(&mut args, "--hedge-ms")?,
+            "--probe-ms" => opts.probe_ms = next_value(&mut args, "--probe-ms")?,
             "--help" | "-h" => return Err(usage()),
             "batch" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Batch,
             "audit" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Audit,
             "serve" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Serve,
             "store" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Store,
             "stat" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Stat,
+            "cluster" if positionals == 0 && opts.mode == Mode::Single => {
+                opts.mode = Mode::Cluster;
+            }
             _ if !arg.starts_with('-') => {
                 opts.inputs.push(arg);
                 positionals += 1;
             }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
+    }
+    if !opts.backends.is_empty() && opts.mode != Mode::Cluster {
+        return Err("--backend only applies to `merced cluster`".to_string());
+    }
+    if opts.mode == Mode::Cluster {
+        if opts.addr.is_none() {
+            return Err(format!("cluster requires --addr <host:port>\n{}", usage()));
+        }
+        if opts.backends.is_empty() {
+            return Err(format!(
+                "cluster requires at least one --backend <host:port>\n{}",
+                usage()
+            ));
+        }
+        if !opts.inputs.is_empty() {
+            return Err("cluster takes no circuit inputs; clients post them".to_string());
+        }
+        if opts.replication == 0 {
+            return Err("--replication expects at least 1".to_string());
+        }
+        if opts.store.is_some() || opts.cache_cap.is_some() {
+            return Err("--store/--cache-cap only apply to `merced serve`".to_string());
+        }
+        if opts.watch.is_some() || opts.json {
+            return Err("--watch/--json only apply to `merced stat`".to_string());
+        }
+        if opts.pin {
+            return Err("--pin only applies to `merced store <dir> import`".to_string());
+        }
+        return Ok(opts);
     }
     if opts.mode == Mode::Serve {
         if opts.addr.is_none() {
@@ -324,8 +400,11 @@ fn parse_args() -> Result<Options, String> {
         return Ok(opts);
     }
     if opts.mode == Mode::Stat {
-        if opts.inputs.len() != 1 {
-            return Err(format!("stat expects one <host:port> address\n{}", usage()));
+        if opts.inputs.is_empty() {
+            return Err(format!(
+                "stat expects at least one <host:port> address\n{}",
+                usage()
+            ));
         }
         if opts.watch == Some(0) {
             return Err("--watch expects a positive number of seconds".to_string());
@@ -396,7 +475,10 @@ fn usage() -> String {
      \x20      merced serve extras: [--trace-ring N] [--slow-ms N]\n\
      \x20      merced store <dir> <stats | gc | verify | export KEY | \
      import FILE [--pin]>\n\
-     \x20      merced stat <host:port> [--watch SECS] [--json]"
+     \x20      merced stat <host:port>... [--watch SECS] [--json]\n\
+     \x20      merced cluster --addr <host:port> --backend <host:port>... \
+     [--replication N] [--vnodes N] [--hedge-ms N] [--probe-ms N] \
+     [--timeout-ms N] [same compile options as keying defaults]"
         .to_string()
 }
 
@@ -547,17 +629,80 @@ fn run_serve(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `merced stat <host:port>`: scrape a running server's `/metrics` and
-/// `/debug/requests` and render a one-screen summary. `--watch SECS`
-/// clears the screen and redraws until interrupted.
+/// `merced cluster --addr <host:port> --backend <addr>...`: the
+/// consistent-hash shard router. Blocks until `POST /shutdown`, SIGINT,
+/// or SIGTERM, then drains.
+fn run_cluster(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
+    ppet_serve::signal::install();
+    let addr = opts.addr.as_deref().expect("parse_args enforces --addr");
+    // The router never compiles; the backend only derives content keys,
+    // so its config must match what the shards were started with.
+    let backend = MercedBackend::new(build_config(opts, jobs));
+    let config = ppet_cluster::ClusterConfig {
+        replication: opts.replication,
+        vnodes: opts.vnodes.max(1),
+        hedge: std::time::Duration::from_millis(opts.hedge_ms.max(1)),
+        probe: std::time::Duration::from_millis(opts.probe_ms.max(1)),
+        timeout: std::time::Duration::from_millis(opts.timeout_ms.max(1)),
+        id_seed: opts.seed,
+        ..ppet_cluster::ClusterConfig::default()
+    };
+    let router = ppet_cluster::Router::bind(addr, backend, opts.backends.clone(), config)
+        .map_err(|e| CliError::new("io", format!("cannot bind {addr}: {e}")))?;
+    println!("merced cluster listening on {}", router.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    router.run();
+    if !opts.quiet {
+        println!("merced cluster drained");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `merced stat <host:port>...`: scrape each server's `/metrics` and
+/// `/debug/requests` and render a one-screen summary; several addresses
+/// additionally get a merged cluster-wide rollup. `--watch SECS` clears
+/// the screen and redraws until interrupted.
 fn run_stat(opts: &Options) -> Result<ExitCode, CliError> {
-    let addr = opts.inputs[0].as_str();
+    let addrs = &opts.inputs;
     loop {
-        let sample = ppet_core::stat::scrape(addr).map_err(|e| CliError::new("io", e))?;
-        let screen = if opts.json {
-            sample.render_json(addr)
+        let samples: Vec<ppet_core::stat::StatSample> = addrs
+            .iter()
+            .map(|addr| ppet_core::stat::scrape(addr).map_err(|e| CliError::new("io", e)))
+            .collect::<Result<_, _>>()?;
+        let screen = if addrs.len() == 1 {
+            // One address keeps the historical output shape exactly.
+            if opts.json {
+                samples[0].render_json(&addrs[0])
+            } else {
+                samples[0].render_text(&addrs[0])
+            }
         } else {
-            sample.render_text(addr)
+            let mut merged = ppet_core::stat::StatSample::default();
+            for sample in &samples {
+                merged.merge(sample);
+            }
+            let label = format!("merged({} servers)", addrs.len());
+            if opts.json {
+                let per_addr: Vec<String> = samples
+                    .iter()
+                    .zip(addrs)
+                    .map(|(sample, addr)| sample.render_json(addr).trim_end().to_owned())
+                    .collect();
+                format!(
+                    "{{\"addrs\":[{}],\"merged\":{}}}\n",
+                    per_addr.join(","),
+                    merged.render_json(&label).trim_end()
+                )
+            } else {
+                let mut out = String::new();
+                for (sample, addr) in samples.iter().zip(addrs) {
+                    out.push_str(&sample.render_text(addr));
+                    out.push('\n');
+                }
+                out.push_str(&merged.render_text(&label));
+                out
+            }
         };
         let Some(secs) = opts.watch else {
             print!("{screen}");
@@ -824,6 +969,7 @@ fn main() -> ExitCode {
         Mode::Batch => run_batch(&opts, jobs),
         Mode::Audit => run_audit(&opts, jobs),
         Mode::Serve => run_serve(&opts, jobs),
+        Mode::Cluster => run_cluster(&opts, jobs),
         Mode::Store => run_store(&opts),
         Mode::Stat => run_stat(&opts),
         Mode::Single => {

@@ -14,7 +14,14 @@
 //! Parsing the exposition text back into [`HistogramSnapshot`]s (rather
 //! than adding a private side channel) keeps the subcommand honest: it
 //! sees exactly what any Prometheus scraper would see, so a rendering
-//! bug in the server surfaces here first.
+//! bug in the server surfaces here first. The parser itself lives in
+//! [`ppet_trace::expo`], shared with the cluster router's metric
+//! aggregation; this module keeps the stat-specific model on top.
+//!
+//! With several addresses, one sample is scraped per server and
+//! [`StatSample::merge`] folds them into a cluster-wide rollup:
+//! counters and gauges sum, latency histograms merge bucket-wise, and
+//! recent requests concatenate.
 
 use std::collections::BTreeMap;
 use std::io::{Read as _, Write as _};
@@ -104,157 +111,20 @@ pub fn scrape(addr: &str) -> Result<StatSample, String> {
     Ok(sample)
 }
 
-/// Splits a sample line into `(series key, value)` where the key keeps
-/// its label block verbatim: `a_bucket{le="3"} 7` → (`a_bucket{le="3"}`,
-/// `7`). The value is whatever follows the last space.
-fn split_sample(line: &str) -> Option<(&str, &str)> {
-    let (name, value) = line.rsplit_once(' ')?;
-    Some((name.trim(), value.trim()))
-}
-
-/// Pulls one label's value out of a `{k="v",…}` block.
-fn label_value<'a>(series: &'a str, label: &str) -> Option<&'a str> {
-    let block = series.split_once('{')?.1.strip_suffix('}')?;
-    for pair in block.split(',') {
-        let (key, value) = pair.split_once('=')?;
-        if key == label {
-            return Some(value.trim_matches('"'));
-        }
-    }
-    None
-}
-
-/// Drops one label (and its separator) from a series key, so bucket
-/// samples regroup under their parent histogram series.
-fn strip_label(series: &str, label: &str) -> String {
-    let Some((base, block)) = series.split_once('{') else {
-        return series.to_owned();
-    };
-    let block = block.strip_suffix('}').unwrap_or(block);
-    let kept: Vec<&str> = block
-        .split(',')
-        .filter(|pair| pair.split_once('=').map_or(true, |(k, _)| k != label))
-        .collect();
-    if kept.is_empty() {
-        base.to_owned()
-    } else {
-        format!("{base}{{{}}}", kept.join(","))
-    }
-}
-
-/// The inclusive lower bound of the log bucket whose `le` label is
-/// `le` — the inverse of the server's `bucket_le` rendering.
-fn bucket_lower(le: u64) -> u64 {
-    if le == 0 {
-        0
-    } else if le == u64::MAX {
-        1 << 63
-    } else {
-        le.div_ceil(2)
-    }
-}
-
 /// Parses a Prometheus text exposition back into counters, gauges, and
-/// reconstructed histogram snapshots.
+/// reconstructed histogram snapshots (via [`ppet_trace::expo::parse`]).
 ///
 /// # Errors
 ///
 /// Malformed sample lines or non-monotone bucket series.
 pub fn parse_prometheus(text: &str) -> Result<StatSample, String> {
-    let mut sample = StatSample::default();
-    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
-    // Per histogram series: ascending (le, cumulative) pairs.
-    let mut buckets: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
-    let mut sums: BTreeMap<String, u64> = BTreeMap::new();
-    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
-
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("# TYPE ") {
-            if let Some((name, kind)) = rest.split_once(' ') {
-                kinds.insert(name.to_owned(), kind.trim().to_owned());
-            }
-            continue;
-        }
-        if line.starts_with('#') {
-            continue;
-        }
-        let (series, value) = split_sample(line).ok_or_else(|| format!("bad sample: {line}"))?;
-        let base = series.split('{').next().unwrap_or(series);
-        let kind = kinds.get(base).map_or("counter", String::as_str);
-        // Histogram families expose their samples under suffixed names.
-        let histogram_of = |suffix: &str| {
-            base.strip_suffix(suffix)
-                .filter(|b| kinds.get(*b).map(String::as_str) == Some("histogram"))
-                .map(str::to_owned)
-        };
-        if let Some(hist) = histogram_of("_bucket") {
-            let Some(le) = label_value(series, "le") else {
-                return Err(format!("bucket sample without le: {line}"));
-            };
-            if le == "+Inf" {
-                continue; // implied by _count
-            }
-            let le: u64 = le.parse().map_err(|e| format!("bad le {le:?}: {e}"))?;
-            let cumulative: u64 = value
-                .parse()
-                .map_err(|e| format!("bad sample {line}: {e}"))?;
-            let without_le = strip_label(series, "le");
-            let key = format!(
-                "{hist}{}",
-                without_le.strip_prefix(base).unwrap_or_default()
-            );
-            buckets.entry(key).or_default().push((le, cumulative));
-        } else if let Some(hist) = histogram_of("_sum") {
-            let key = format!("{hist}{}", series.strip_prefix(base).unwrap_or_default());
-            sums.insert(key, value.parse().map_err(|e| format!("{line}: {e}"))?);
-        } else if let Some(hist) = histogram_of("_count") {
-            let key = format!("{hist}{}", series.strip_prefix(base).unwrap_or_default());
-            counts.insert(key, value.parse().map_err(|e| format!("{line}: {e}"))?);
-        } else if kind == "gauge" {
-            let v: f64 = value.parse().map_err(|e| format!("{line}: {e}"))?;
-            sample.gauges.insert(series.to_owned(), v);
-        } else {
-            let v: u64 = value.parse().map_err(|e| format!("{line}: {e}"))?;
-            sample.counters.insert(series.to_owned(), v);
-        }
-    }
-
-    for (key, mut series) in buckets {
-        series.sort_by_key(|&(le, _)| le);
-        let mut snapshot = HistogramSnapshot {
-            count: counts.get(&key).copied().unwrap_or_default(),
-            sum: sums.get(&key).copied().unwrap_or_default(),
-            buckets: Vec::with_capacity(series.len()),
-        };
-        let mut previous = 0u64;
-        for (le, cumulative) in series {
-            let delta = cumulative
-                .checked_sub(previous)
-                .ok_or_else(|| format!("non-monotone buckets in {key}"))?;
-            previous = cumulative;
-            if delta > 0 {
-                snapshot.buckets.push((bucket_lower(le), delta));
-            }
-        }
-        sample.histograms.insert(key, snapshot);
-    }
-    // _count without any finite bucket still yields a snapshot (so the
-    // quantile degrades to 0 rather than the series vanishing).
-    for (key, count) in counts {
-        sample.histograms.entry(key.clone()).or_insert_with(|| {
-            let sum = sums.get(&key).copied().unwrap_or_default();
-            HistogramSnapshot {
-                count,
-                sum,
-                buckets: Vec::new(),
-            }
-        });
-    }
-    Ok(sample)
+    let expo = ppet_trace::expo::parse(text)?;
+    Ok(StatSample {
+        counters: expo.counters,
+        gauges: expo.gauges,
+        histograms: expo.histograms,
+        requests: Vec::new(),
+    })
 }
 
 /// Parses the `GET /debug/requests` body.
@@ -296,6 +166,26 @@ pub fn parse_requests(body: &str) -> Result<Vec<RequestSummary>, String> {
 pub const OUTCOMES: [&str; 6] = ["hit", "store_hit", "miss", "timeout", "error", "shed"];
 
 impl StatSample {
+    /// Folds another server's sample into this one: counters and gauges
+    /// sum, histograms merge bucket-wise, and request rows concatenate
+    /// (each scrape's rows stay newest-first within their run).
+    pub fn merge(&mut self, other: &StatSample) {
+        for (name, value) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*value);
+        }
+        for (name, value) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0.0) += value;
+        }
+        for (name, snapshot) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(snapshot);
+        }
+        self.requests.extend(other.requests.iter().cloned());
+    }
+
     /// A counter by exposition name (0 when the server has not minted
     /// it yet).
     #[must_use]
@@ -512,6 +402,23 @@ h_sum 9
         assert_eq!(sample.counter("serve_requests"), 7);
         let back = sample.latency("miss").expect("miss histogram");
         assert_eq!(*back, hist.snapshot());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut merged = parse_prometheus(EXPOSITION).unwrap();
+        let other = parse_prometheus(EXPOSITION).unwrap();
+        merged.merge(&other);
+        assert_eq!(merged.counter("serve_requests"), 10);
+        assert_eq!(merged.gauges["serve_queue_depth"], 4.0);
+        let hist = merged.latency("hit").expect("hit histogram");
+        assert_eq!(hist.count, 8);
+        assert_eq!(hist.sum, 1000);
+        // A series only one side has passes through unchanged.
+        let mut lone = StatSample::default();
+        lone.merge(&other);
+        assert_eq!(lone.counter("serve_requests"), 5);
+        assert_eq!(lone.latency("hit").unwrap().count, 4);
     }
 
     #[test]

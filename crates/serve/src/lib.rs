@@ -23,6 +23,7 @@
 //! | Route | Meaning |
 //! |---|---|
 //! | `POST /compile` | compile a [`CompileRequest`]; returns the run manifest |
+//! | `PUT /cache/<32-hex-key>` | replication ingest: seed the cache with an already-compiled, verified manifest |
 //! | `GET /healthz` | liveness probe |
 //! | `GET /metrics` | Prometheus text exposition 0.0.4 ([`ppet_trace::Metrics::render_prometheus`]) |
 //! | `GET /debug/requests` | summary of recent request traces, newest first |
@@ -67,7 +68,7 @@ mod request;
 pub mod server;
 pub mod signal;
 
-pub use cache::{CacheKey, ResultCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{CacheKey, Claim, CompileResult, Gate, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use obs::{PhaseRecorder, RequestIds, RequestTrace, TraceRing, REQUEST_ID_HEADER};
 pub use request::{
     BackendError, CompileBackend, CompileRequest, NormalizedRequest, REQUEST_SCHEMA,

@@ -23,7 +23,7 @@ use ppet_exec::WorkQueue;
 use ppet_store::{Store, StoreConfig};
 use ppet_trace::{Metrics, SpanData, Tracer};
 
-use crate::cache::{CacheKey, Claim, ResultCache, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{CacheKey, Claim, Gate, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::http::{self, HttpError, Request};
 use crate::obs::{PhaseRecorder, RequestIds, RequestTrace, TraceRing, REQUEST_ID_HEADER};
 use crate::request::{CompileBackend, CompileRequest};
@@ -332,6 +332,15 @@ impl<B: CompileBackend> Service<B> {
                 (202, "text/plain", "draining\n".to_owned())
             }
             ("POST", "/compile") => self.compile(&request.body, request_id.unwrap_or_default()),
+            ("PUT", path) if path.starts_with("/cache/") => {
+                let hex = path.strip_prefix("/cache/").unwrap_or_default();
+                self.cache_put(hex, &request.body)
+            }
+            (_, path) if path.starts_with("/cache/") => (
+                405,
+                "application/json",
+                http::error_body("usage", &format!("{} not allowed here", request.method)),
+            ),
             (_, "/healthz" | "/metrics" | "/shutdown" | "/compile" | "/debug/requests") => (
                 405,
                 "application/json",
@@ -445,6 +454,19 @@ impl<B: CompileBackend> Service<B> {
                 let store = self.store.clone();
                 let job_gate = Arc::clone(&gate);
                 let submitted = self.queue.try_submit(move || {
+                    // The worker pool survives a panicking job via
+                    // catch_unwind, but on its own that would leave this
+                    // key's Pending slot and unfilled gate behind: the
+                    // owner and every waiter would hang to 408, and all
+                    // future requests for the key would coalesce onto the
+                    // dead gate forever. The guard converts an unwind
+                    // into an abandoned slot plus a structured error.
+                    let guard = PanicGuard {
+                        cache: Arc::clone(&cache),
+                        gate: Arc::clone(&job_gate),
+                        key,
+                        armed: true,
+                    };
                     let (tracer, sink) = if traced {
                         let (tracer, sink) = Tracer::collecting();
                         (tracer, Some(sink))
@@ -473,6 +495,7 @@ impl<B: CompileBackend> Service<B> {
                             job_gate.fill(Err(e));
                         }
                     }
+                    guard.disarm();
                 });
                 if let Err(full) = submitted {
                     self.metrics.counter("serve.rejected").inc();
@@ -525,6 +548,52 @@ impl<B: CompileBackend> Service<B> {
         }
     }
 
+    /// `PUT /cache/<32-hex-key>`: replication ingest. A cluster router
+    /// pushes an already-compiled manifest so this shard can answer the
+    /// key without ever compiling it (`serve.cache_misses` stays flat).
+    /// The body is verified exactly like a stored manifest before being
+    /// trusted; the key↔body binding is the pusher's responsibility —
+    /// the router derives the key the same way this server would.
+    fn cache_put(&self, hex: &str, body: &str) -> (u16, &'static str, String) {
+        if self.shutting_down() {
+            return (
+                503,
+                "application/json",
+                http::error_body("shutdown", "server is draining"),
+            );
+        }
+        let key = (hex.len() == 32)
+            .then(|| u128::from_str_radix(hex, 16).ok())
+            .flatten();
+        let Some(key) = key else {
+            return (
+                400,
+                "application/json",
+                http::error_body(
+                    "usage",
+                    &format!("cache key must be 32 hex digits, got {hex:?}"),
+                ),
+            );
+        };
+        if let Err(e) = self.backend.verify_stored(body) {
+            return (
+                400,
+                "application/json",
+                http::error_body(e.kind, &e.message),
+            );
+        }
+        let key = CacheKey(key);
+        let manifest = Arc::new(body.to_owned());
+        if let Some(store) = &self.store {
+            // Best-effort, like the compile path: a full disk degrades
+            // replication to memory-only, it does not fail the push.
+            let _ = store.put(key.0, manifest.as_bytes());
+        }
+        self.cache.complete(key, manifest);
+        self.metrics.counter("serve.replicated").inc();
+        (200, "text/plain", "replicated\n".to_owned())
+    }
+
     /// Looks `key` up in the persistent store and verifies the stored
     /// body (UTF-8, then the backend's semantic check) before trusting
     /// it. Anything that fails verification is quarantined so the slot
@@ -571,6 +640,38 @@ struct RequestContext {
     circuit: String,
     seed: u64,
     coalesced: bool,
+}
+
+/// Armed across a compile job; dropping it still armed (i.e. during an
+/// unwind out of the backend) abandons the pending cache slot and fills
+/// the gate with a structured `compile` error, so waiters fail fast and
+/// the next request for the key recompiles instead of coalescing onto a
+/// gate nobody will ever fill.
+struct PanicGuard {
+    cache: Arc<ResultCache>,
+    gate: Arc<Gate>,
+    key: CacheKey,
+    armed: bool,
+}
+
+impl PanicGuard {
+    /// Consumes the guard on the job's normal exit paths, where the
+    /// match above has already settled the slot and the gate.
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.abandon(self.key);
+            self.gate.fill(Err(crate::request::BackendError::new(
+                "compile",
+                "compile worker panicked; nothing was cached — retrying recompiles",
+            )));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -856,6 +957,92 @@ mod tests {
             status, 200,
             "retry must recompile, not replay the error: {body}"
         );
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// Satellite regression: a *panicking* compile must not poison the
+    /// coalescing gate. The worker pool's `catch_unwind` keeps the
+    /// worker alive, but before the job-level guard the gate was never
+    /// filled — the owner hung to 408 and every later request for the
+    /// key coalesced onto the dead gate forever.
+    #[test]
+    fn panicking_compile_fails_fast_and_does_not_poison_the_slot() {
+        struct Grenade {
+            inner: EchoBackend,
+            blasts: AtomicU64,
+        }
+        impl CompileBackend for Grenade {
+            fn normalize(
+                &self,
+                request: &CompileRequest,
+            ) -> Result<NormalizedRequest, BackendError> {
+                self.inner.normalize(request)
+            }
+            fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError> {
+                if self.blasts.fetch_sub(1, Ordering::SeqCst) > 0 {
+                    panic!("kaboom");
+                }
+                self.inner.compile(normalized)
+            }
+        }
+
+        let backend = Grenade {
+            inner: EchoBackend::new(Duration::ZERO),
+            blasts: AtomicU64::new(1),
+        };
+        // Short deadline: pre-fix this test failed by timing out to 408
+        // instead of returning the structured 500.
+        let config = ServeConfig {
+            timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", backend, config).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run());
+        let req = CompileRequest::bench(BENCH).with_seed(17).to_json();
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 500, "panic surfaces as a structured error: {body}");
+        assert!(body.contains("\"kind\":\"compile\""), "{body}");
+        assert!(body.contains("panicked"), "{body}");
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200, "retry recompiles on a live worker: {body}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// Replication ingest: `PUT /cache/<key>` seeds the hot cache so the
+    /// next identical compile request is a hit, with zero compiles.
+    #[test]
+    fn replication_put_seeds_the_cache_without_compiling() {
+        let request = CompileRequest::bench(BENCH).with_seed(31);
+        // Derive the key and manifest out of band, exactly as the
+        // cluster router would (same normalize, same key derivation).
+        let oracle = EchoBackend::new(Duration::ZERO);
+        let normalized = oracle.normalize(&request).unwrap();
+        let key = CacheKey::of(&normalized);
+        let manifest = oracle.compile(&normalized).unwrap();
+
+        let (addr, handle, join) = start(Duration::ZERO, ServeConfig::default());
+        let (status, body) = roundtrip(addr, "PUT", &format!("/cache/{key}"), &manifest);
+        assert_eq!((status, body.as_str()), (200, "replicated\n"));
+        let (status, body) = roundtrip(addr, "POST", "/compile", &request.to_json());
+        assert_eq!(status, 200);
+        assert_eq!(body, manifest, "served byte-identical from the push");
+        let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+        assert!(metrics.contains("serve_replicated 1\n"), "{metrics}");
+        assert!(metrics.contains("serve_cache_hits 1\n"), "{metrics}");
+        assert!(
+            !metrics.contains("serve_cache_misses"),
+            "no compile ever ran: {metrics}"
+        );
+
+        let (status, body) = roundtrip(addr, "PUT", "/cache/not-a-key", &manifest);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("\"kind\":\"usage\""), "{body}");
+        let (status, _) = roundtrip(addr, "GET", &format!("/cache/{key}"), "");
+        assert_eq!(status, 405);
         handle.shutdown();
         join.join().unwrap();
     }

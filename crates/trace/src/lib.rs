@@ -15,6 +15,9 @@
 //!   reads).
 //! - [`Metrics`] — the registry behind an enabled sink: monotonic
 //!   [`Counter`]s, [`Gauge`]s, and fixed log-bucket u64 [`Histogram`]s.
+//! - [`expo`] — Prometheus text-exposition parsing, relabeling, merging,
+//!   and re-rendering, so aggregators (`merced stat`, the cluster
+//!   router) can fold many scrapes into one rollup.
 //! - [`CollectingSink`] / [`TraceReport`] — in-memory collection and the
 //!   human-readable indented tree summary (spans with durations and
 //!   counter deltas).
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod collect;
+pub mod expo;
 pub mod json;
 mod manifest;
 mod metrics;

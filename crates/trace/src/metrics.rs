@@ -122,7 +122,7 @@ impl Histogram {
 
 /// A copy of a [`Histogram`]'s state: total count, total sum, and the
 /// non-empty buckets as `(lower_bound, count)` pairs in ascending order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Number of recorded samples.
     pub count: u64,
@@ -155,6 +155,49 @@ impl HistogramSnapshot {
         } else {
             (lower << 1) as f64
         }
+    }
+
+    /// Folds another snapshot into this one: counts and sums add
+    /// (saturating), buckets merge by lower bound and stay ascending.
+    /// This is how `merced stat` and the cluster router aggregate
+    /// latency distributions across processes — the merged snapshot is
+    /// exactly what one process would have recorded had it seen every
+    /// sample.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(la, ca)), Some(&&(lb, cb))) => match la.cmp(&lb) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((la, ca));
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((lb, cb));
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push((la, ca.saturating_add(cb)));
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(_), None) => {
+                    merged.extend(a.by_ref().copied());
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.by_ref().copied());
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
     }
 
     /// The `q`-quantile (`q` clamped to `[0, 1]`) estimated by linear
@@ -563,6 +606,29 @@ mod tests {
             ]
         );
         assert!(snap.mean() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_merge_is_sample_union() {
+        let (a, b, c) = (
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        );
+        for v in [0u64, 3, 100] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [3u64, 9000, u64::MAX] {
+            b.record(v);
+            c.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, c.snapshot(), "merge == recording every sample");
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&a.snapshot());
+        assert_eq!(empty, a.snapshot());
     }
 
     #[test]

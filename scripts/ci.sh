@@ -51,6 +51,12 @@ scripts/serve_smoke.sh
 echo "==> metrics lint: Prometheus exposition structure"
 scripts/metrics_lint.sh
 
+echo "==> cluster smoke: shard loss under load, zero recompiles"
+scripts/cluster_smoke.sh
+
+echo "==> metrics lint (cluster): aggregated router exposition"
+scripts/metrics_lint.sh --cluster
+
 echo "==> store: crash recovery + eviction invariants"
 cargo test -q -p ppet-store --test recovery --test eviction
 scripts/store_smoke.sh

@@ -4,39 +4,63 @@
 # scrape /metrics, and validate the exposition structurally — every
 # sample belongs to a family with # HELP and # TYPE lines, histogram
 # bucket series are cumulative (monotone non-decreasing in le), and the
-# +Inf bucket of every series equals its _count. Shared by
+# +Inf bucket of every series equals its _count. With --cluster the
+# scraped endpoint is instead a `merced cluster` router fronting two
+# shards, so the *aggregated* exposition (backend-labelled series merged
+# with cluster rollups) passes the same structural checks. Shared by
 # scripts/ci.sh and the workflow so the two entry points cannot drift.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+mode="serve"
+[ "${1:-}" = "--cluster" ] && mode="cluster"
+
 cargo build --release -q -p ppet-core --bin merced
 
 out="$(mktemp -d)"
-pid=""
+pids=""
 cleanup() {
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
     rm -rf "$out"
 }
 trap cleanup EXIT INT TERM
 
-target/release/merced serve --addr 127.0.0.1:0 --quiet >"$out/stdout" &
-pid=$!
+await_addr() { # file what -> prints addr
+    i=0
+    while [ $i -lt 100 ]; do
+        a="$(sed -n "s/^merced $2 listening on //p" "$1")"
+        if [ -n "$a" ]; then
+            printf '%s' "$a"
+            return 0
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo "metrics_lint: no address announced in $1" >&2
+    return 1
+}
 
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-    addr="$(sed -n 's/^merced serve listening on //p' "$out/stdout")"
-    [ -n "$addr" ] && break
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-    echo "metrics_lint: server did not announce an address" >&2
-    exit 1
+extra_addrs=""
+if [ "$mode" = "cluster" ]; then
+    target/release/merced serve --addr 127.0.0.1:0 --quiet >"$out/b1" &
+    pids="$pids $!"
+    target/release/merced serve --addr 127.0.0.1:0 --quiet >"$out/b2" &
+    pids="$pids $!"
+    b1="$(await_addr "$out/b1" serve)"
+    b2="$(await_addr "$out/b2" serve)"
+    target/release/merced cluster --addr 127.0.0.1:0 \
+        --backend "$b1" --backend "$b2" --quiet >"$out/stdout" &
+    pids="$pids $!"
+    addr="$(await_addr "$out/stdout" cluster)"
+    extra_addrs="$b1 $b2"
+else
+    target/release/merced serve --addr 127.0.0.1:0 --quiet >"$out/stdout" &
+    pids="$pids $!"
+    addr="$(await_addr "$out/stdout" serve)"
 fi
 
-python3 - "$addr" <<'EOF'
+python3 - "$addr" "$mode" <<'EOF'
 import json, socket, sys
 
 host, port = sys.argv[1].rsplit(":", 1)
@@ -129,13 +153,23 @@ for key, series in buckets.items():
 
 labelled = [k for k in buckets if "outcome=" in k[1]]
 assert labelled, "expected outcome-labelled latency histograms"
-print(f"metrics_lint: {len(samples)} samples, "
+if sys.argv[2] == "cluster":
+    # The aggregated exposition carries both the per-backend labelled
+    # series and the unlabelled cluster-wide rollups, under one family
+    # header each.
+    backend_series = [s for s, _ in samples if 'backend="' in s]
+    assert backend_series, "expected backend-labelled series"
+    rollups = [s for s, _ in samples
+               if s.split("{", 1)[0].startswith("serve_") and "{" not in s]
+    assert rollups, "expected unlabelled serve rollups"
+    assert any(s.startswith("cluster_") for s, _ in samples), \
+        "expected cluster_* router series"
+print(f"metrics_lint[{sys.argv[2]}]: {len(samples)} samples, "
       f"{len(buckets)} histogram series, all structural checks OK")
 EOF
 
-status=0
 request_shutdown() {
-    python3 - "$addr" <<'EOF'
+    python3 - "$1" <<'EOF'
 import socket, sys
 host, port = sys.argv[1].rsplit(":", 1)
 with socket.create_connection((host, int(port)), timeout=60) as s:
@@ -144,7 +178,11 @@ with socket.create_connection((host, int(port)), timeout=60) as s:
         pass
 EOF
 }
-request_shutdown
-wait "$pid"
-pid=""
+for a in "$addr" $extra_addrs; do
+    request_shutdown "$a"
+done
+for p in $pids; do
+    wait "$p"
+done
+pids=""
 echo "metrics_lint: clean exit"

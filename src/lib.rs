@@ -31,6 +31,9 @@
 //! * [`serve`] — the long-running compile service: HTTP front end,
 //!   content-addressed result cache, bounded-queue backpressure
 //!   (`merced serve`);
+//! * [`cluster`] — the consistent-hash shard router in front of N
+//!   compile services: hedged reads, result replication, aggregated
+//!   metrics (`merced cluster`);
 //! * [`core`] — **Merced**, the end-to-end BIST compiler.
 //!
 //! # Quick start
@@ -51,6 +54,7 @@
 
 pub use ppet_audit as audit;
 pub use ppet_cbit as cbit;
+pub use ppet_cluster as cluster;
 pub use ppet_core as core;
 pub use ppet_exec as exec;
 pub use ppet_flow as flow;

@@ -1,0 +1,346 @@
+//! End-to-end tests of the shard router in front of real `ppet-serve`
+//! instances: responses through the router must be byte-identical to
+//! direct backend responses, duplicate keys must coalesce at the router,
+//! structured errors must keep the `ppet-error/v1` shape, and killing a
+//! shard at `--replication 2` must never force a recompile.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ppet::cluster::{ClusterConfig, Router, RouterHandle};
+use ppet::core::{MercedBackend, MercedConfig};
+use ppet::serve::{
+    BackendError, CompileBackend, CompileRequest, NormalizedRequest, ServeConfig, Server,
+    ServerHandle, REQUEST_ID_HEADER,
+};
+use ppet::trace::{RunManifest, Tracer};
+
+fn start_backend<B: CompileBackend>(
+    backend: B,
+) -> (SocketAddr, ServerHandle, thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", backend, ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn start_router<B: CompileBackend>(
+    backend: B,
+    backends: Vec<String>,
+    config: ClusterConfig,
+) -> (SocketAddr, RouterHandle, thread::JoinHandle<()>) {
+    let router = Router::bind("127.0.0.1:0", backend, backends, config).unwrap();
+    let addr = router.local_addr();
+    let handle = router.handle();
+    let join = thread::spawn(move || router.run());
+    (addr, handle, join)
+}
+
+fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .unwrap();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// A metric sample value from an exposition body (0 when absent). The
+/// `name` must include any label block, e.g. `serve_replicated `.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+        .unwrap_or(0)
+}
+
+#[test]
+fn routed_responses_are_byte_identical_to_direct_backend_responses() {
+    let make = || MercedBackend::new(MercedConfig::default().with_cbit_length(4));
+    let (shard, shard_handle, shard_join) = start_backend(make());
+    let (router, router_handle, router_join) =
+        start_router(make(), vec![shard.to_string()], ClusterConfig::default());
+
+    let req = CompileRequest::builtin("s27").with_seed(7).to_json();
+    let (status, via_router) = roundtrip(router, "POST", "/compile", &req);
+    assert_eq!(status, 200, "{via_router}");
+    // The shard now holds the result; a direct request is a cache hit
+    // and must serve the same bytes the router proxied.
+    let (status, direct) = roundtrip(shard, "POST", "/compile", &req);
+    assert_eq!(status, 200, "{direct}");
+    assert_eq!(via_router, direct, "router must not rewrite bodies");
+
+    // Malformed requests fail at the router with the same structured
+    // body a shard would produce — the router shares the parser.
+    let (status, router_err) = roundtrip(router, "POST", "/compile", "{not json");
+    let (direct_status, direct_err) = roundtrip(shard, "POST", "/compile", "{not json");
+    assert_eq!((status, &router_err), (direct_status, &direct_err));
+    assert!(
+        router_err.contains("\"schema\":\"ppet-error/v1\""),
+        "{router_err}"
+    );
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    shard_handle.shutdown();
+    shard_join.join().unwrap();
+}
+
+/// A deterministic instant backend whose compile count is observable
+/// from the test, so "zero recompiles" is a direct assertion rather
+/// than a metrics inference.
+#[derive(Clone)]
+struct CountingBackend {
+    compiles: Arc<AtomicU64>,
+    delay: Duration,
+}
+
+impl CompileBackend for CountingBackend {
+    fn normalize(&self, request: &CompileRequest) -> Result<NormalizedRequest, BackendError> {
+        Ok(NormalizedRequest {
+            circuit: ppet::netlist::data::s27(),
+            config_entries: Vec::new(),
+            seed: request.seed.unwrap_or(0),
+        })
+    }
+
+    fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError> {
+        self.compile_traced(normalized, &Tracer::noop())
+    }
+
+    fn compile_traced(
+        &self,
+        normalized: &NormalizedRequest,
+        _tracer: &Tracer,
+    ) -> Result<String, BackendError> {
+        self.compiles.fetch_add(1, Ordering::SeqCst);
+        thread::sleep(self.delay);
+        Ok(RunManifest::new("s27", normalized.seed).to_json())
+    }
+}
+
+fn counting(delay: Duration) -> (CountingBackend, Arc<AtomicU64>) {
+    let compiles = Arc::new(AtomicU64::new(0));
+    (
+        CountingBackend {
+            compiles: Arc::clone(&compiles),
+            delay,
+        },
+        compiles,
+    )
+}
+
+#[test]
+fn duplicate_keys_coalesce_at_the_router() {
+    let (backend, compiles) = counting(Duration::from_millis(150));
+    let (shard, shard_handle, shard_join) = start_backend(backend.clone());
+    let config = ClusterConfig {
+        // A single backend has no hedge target, but keep the hedge far
+        // away from the compile delay anyway.
+        hedge: Duration::from_secs(5),
+        ..ClusterConfig::default()
+    };
+    let (router, router_handle, router_join) =
+        start_router(backend, vec![shard.to_string()], config);
+
+    let req = CompileRequest::builtin("s27").with_seed(3).to_json();
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let req = req.clone();
+            thread::spawn(move || roundtrip(router, "POST", "/compile", &req))
+        })
+        .collect();
+    let mut bodies: Vec<String> = clients
+        .into_iter()
+        .map(|c| {
+            let (status, body) = c.join().unwrap();
+            assert_eq!(status, 200, "{body}");
+            body
+        })
+        .collect();
+    bodies.dedup();
+    assert_eq!(bodies.len(), 1, "coalesced clients see identical bytes");
+    assert_eq!(compiles.load(Ordering::SeqCst), 1, "one physical compile");
+
+    let (_, metrics) = roundtrip(router, "GET", "/metrics", "");
+    assert_eq!(metric(&metrics, "cluster_coalesced "), 2, "{metrics}");
+    assert_eq!(metric(&metrics, "cluster_requests "), 3, "{metrics}");
+    // The shard saw exactly the owner's proxied request.
+    let (_, shard_metrics) = roundtrip(shard, "GET", "/metrics", "");
+    assert_eq!(
+        metric(&shard_metrics, "serve_requests "),
+        1,
+        "{shard_metrics}"
+    );
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    shard_handle.shutdown();
+    shard_join.join().unwrap();
+}
+
+#[test]
+fn request_ids_are_forwarded_and_echoed_end_to_end() {
+    let (backend, _compiles) = counting(Duration::ZERO);
+    let (shard, shard_handle, shard_join) = start_backend(backend.clone());
+    let (router, router_handle, router_join) =
+        start_router(backend, vec![shard.to_string()], ClusterConfig::default());
+
+    let req = CompileRequest::builtin("s27").with_seed(1).to_json();
+    let mut stream = TcpStream::connect(router).unwrap();
+    write!(
+        stream,
+        "POST /compile HTTP/1.1\r\nHost: t\r\n{REQUEST_ID_HEADER}: cl-e2e-1\r\n\
+         Content-Length: {}\r\n\r\n{req}",
+        req.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(
+        response.contains("cl-e2e-1"),
+        "router echoes the id: {response}"
+    );
+    // The shard's trace ring indexed the same id: the id travelled with
+    // the proxied request.
+    let (status, _) = roundtrip(shard, "GET", "/debug/trace/cl-e2e-1", "");
+    assert_eq!(status, 200, "shard must know the forwarded id");
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    shard_handle.shutdown();
+    shard_join.join().unwrap();
+}
+
+#[test]
+fn killing_a_shard_at_replication_two_never_forces_a_recompile() {
+    let (backend, compiles) = counting(Duration::ZERO);
+    let mut shards = Vec::new();
+    for _ in 0..3 {
+        shards.push(start_backend(backend.clone()));
+    }
+    let addrs: Vec<String> = shards.iter().map(|(a, _, _)| a.to_string()).collect();
+    let config = ClusterConfig {
+        replication: 2,
+        probe: Duration::from_millis(50),
+        ..ClusterConfig::default()
+    };
+    let (router, router_handle, router_join) = start_router(backend, addrs, config);
+
+    const SEEDS: u64 = 6;
+    let request = |seed: u64| CompileRequest::builtin("s27").with_seed(seed).to_json();
+    let mut first_pass = Vec::new();
+    for seed in 0..SEEDS {
+        let (status, body) = roundtrip(router, "POST", "/compile", &request(seed));
+        assert_eq!(status, 200, "{body}");
+        first_pass.push(body);
+    }
+    assert_eq!(compiles.load(Ordering::SeqCst), SEEDS);
+
+    // Replication runs in the background; wait for every key to land on
+    // its second replica before pulling a shard out.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let replicated: u64 = shards
+            .iter()
+            .map(|(addr, _, _)| {
+                let (_, metrics) = roundtrip(*addr, "GET", "/metrics", "");
+                metric(&metrics, "serve_replicated ")
+            })
+            .sum();
+        if replicated >= SEEDS {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replication never landed: {replicated}/{SEEDS}"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    // Kill one shard. Every key now has exactly one surviving copy.
+    let (_dead_addr, dead_handle, dead_join) = shards.remove(0);
+    dead_handle.shutdown();
+    dead_join.join().unwrap();
+
+    // Every key must still answer — served from the surviving replica,
+    // byte-identical, with zero fresh compiles.
+    for (seed, first) in (0..SEEDS).zip(&first_pass) {
+        let (status, body) = roundtrip(router, "POST", "/compile", &request(seed));
+        assert_eq!(status, 200, "seed {seed} after shard loss: {body}");
+        assert_eq!(&body, first, "seed {seed} must come from cache");
+    }
+    assert_eq!(
+        compiles.load(Ordering::SeqCst),
+        SEEDS,
+        "shard loss must not recompile anything"
+    );
+
+    // The router noticed: the dead backend is marked down and the
+    // cluster still reports quorum (2 of 3 up).
+    let (_, metrics) = roundtrip(router, "GET", "/metrics", "");
+    assert!(metric(&metrics, "cluster_backend_down ") >= 1, "{metrics}");
+    assert_eq!(metric(&metrics, "cluster_backends_up "), 2, "{metrics}");
+    let (status, health) = roundtrip(router, "GET", "/healthz", "");
+    assert_eq!((status, health.as_str()), (200, "ok\n"));
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+    for (_, handle, join) in shards {
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}
+
+#[test]
+fn losing_every_backend_degrades_to_structured_errors_and_quorum_loss() {
+    let (backend, _compiles) = counting(Duration::ZERO);
+    // Bind-then-drop: a real address nobody is listening on.
+    let ghost = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let config = ClusterConfig {
+        probe: Duration::from_secs(3600),
+        ..ClusterConfig::default()
+    };
+    let (router, router_handle, router_join) = start_router(backend, vec![ghost], config);
+
+    let req = CompileRequest::builtin("s27").with_seed(1).to_json();
+    // First request: the candidate is still presumed up, fails at
+    // transport, and is marked down → 502 upstream.
+    let (status, body) = roundtrip(router, "POST", "/compile", &req);
+    assert_eq!(status, 502, "{body}");
+    assert!(body.contains("\"schema\":\"ppet-error/v1\""), "{body}");
+    assert!(body.contains("\"kind\":\"upstream\""), "{body}");
+    // Second request: no live candidates at all → 503 unavailable.
+    let (status, body) = roundtrip(router, "POST", "/compile", &req);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"kind\":\"unavailable\""), "{body}");
+    // Quorum is lost (0 of 1 up).
+    let (status, health) = roundtrip(router, "GET", "/healthz", "");
+    assert_eq!(status, 503, "{health}");
+    assert!(health.contains("\"kind\":\"unavailable\""), "{health}");
+
+    router_handle.shutdown();
+    router_join.join().unwrap();
+}
