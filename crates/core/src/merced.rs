@@ -185,10 +185,14 @@ impl Merced {
             name: "saturate_network",
             wall_ns: phase_ns(phase_start),
             counters: vec![
+                ("flow.csr.branches", graph.csr().num_branches() as u64),
+                ("flow.csr.nodes", graph.csr().num_nodes() as u64),
                 ("flow.heap_pops", search.heap_pops),
                 ("flow.nodes_settled", search.settled),
                 ("flow.relaxations", search.relaxations),
                 ("flow.replicas", u64::from(self.config.flow.replicas)),
+                ("flow.requeue", search.requeued),
+                ("flow.reused", search.reused),
                 ("flow.shortfall_nodes", flow_shortfall_nodes as u64),
                 ("flow.trees_built", profile.num_trees() as u64),
             ],

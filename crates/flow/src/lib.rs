@@ -51,4 +51,4 @@ mod saturate;
 pub use par::{saturate_network_par, saturate_network_par_traced};
 pub use params::FlowParams;
 pub use profile::CongestionProfile;
-pub use saturate::{saturate_network, saturate_network_traced};
+pub use saturate::{saturate_network, saturate_network_reference, saturate_network_traced};

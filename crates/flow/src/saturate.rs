@@ -1,6 +1,7 @@
 //! The `Saturate_Network` procedure (paper Table 3).
 
 use ppet_graph::{dijkstra, CircuitGraph};
+use ppet_netlist::CellId;
 use ppet_prng::{Rng, Xoshiro256PlusPlus};
 use ppet_trace::Tracer;
 
@@ -25,6 +26,13 @@ use crate::profile::CongestionProfile;
 /// so the whole process is reproducible. Termination is guaranteed: every
 /// draw increments one visit counter and draws are uniform over all nodes.
 ///
+/// The inner loop runs over the graph's packed [`Csr`](ppet_graph::Csr)
+/// view with a fixed-slot bucket-queue Dijkstra
+/// ([`dijkstra::DijkstraScratch::run_fast`]) and an incremental tree
+/// cache ([`dijkstra::SsspCache`]); the congestion result is bit-identical
+/// to the pre-rewrite implementation, which is retained as
+/// [`saturate_network_reference`] and property-tested against.
+///
 /// # Panics
 ///
 /// Panics if `params` fail [`FlowParams::validate`].
@@ -47,8 +55,9 @@ pub fn saturate_network(graph: &CircuitGraph, params: &FlowParams, seed: u64) ->
 }
 
 /// [`saturate_network`] with observability: reports trees built, heap
-/// pops, relaxations, and settled nodes as `flow.*` counters, and each
-/// tree's size into the `flow.tree_nodes` histogram.
+/// pops, relaxations, settled/reused/requeued nodes and the CSR shape as
+/// `flow.*` counters, and each tree's size into the `flow.tree_nodes`
+/// histogram.
 ///
 /// The congestion result is bit-identical to the untraced call — tracing
 /// never perturbs the PRNG stream or the flow arithmetic — and with a
@@ -92,10 +101,14 @@ pub fn saturate_network_traced(
         for &size in &outcome.tree_sizes {
             tracer.record("flow.tree_nodes", size);
         }
+        tracer.add("flow.csr.nodes", graph.csr().num_nodes() as u64);
+        tracer.add("flow.csr.branches", graph.csr().num_branches() as u64);
         tracer.add("flow.trees_built", outcome.trees as u64);
         tracer.add("flow.heap_pops", outcome.search.heap_pops);
         tracer.add("flow.relaxations", outcome.search.relaxations);
         tracer.add("flow.nodes_settled", outcome.search.settled);
+        tracer.add("flow.reused", outcome.search.reused);
+        tracer.add("flow.requeue", outcome.search.requeued);
     }
 
     let saturated = outcome.shortfall.iter().all(|&s| s == 0);
@@ -132,6 +145,39 @@ pub(crate) struct ReplicaOutcome {
     pub(crate) shortfall: Vec<u32>,
 }
 
+/// Memoized congestion-distance ladder for per-net flow accounting.
+///
+/// In per-net mode (the paper default) a net that has appeared in `k`
+/// trees has flow `((0 + Δ) + Δ) + …` — the same left-fold for every net
+/// — so `flow_of[k]` and `dist_of[k] = exp(α·flow_of[k]/cap)` can be
+/// computed once and shared. This removes essentially every `exp` call
+/// from the hot loop and is bit-identical to the incremental
+/// `flow[i] += Δ; d = exp(…)` updates it replaces, because the shared
+/// fold performs the identical sequence of additions.
+struct DistTable {
+    flow_of: Vec<f64>,
+    dist_of: Vec<f64>,
+}
+
+impl DistTable {
+    fn new() -> Self {
+        // k = 0: zero flow, unit distance — exactly congestion_distance(0).
+        Self {
+            flow_of: vec![0.0],
+            dist_of: vec![1.0],
+        }
+    }
+
+    /// Extends the ladder to cover `k` tree memberships.
+    fn ensure(&mut self, k: usize, params: &FlowParams) {
+        while self.flow_of.len() <= k {
+            let f = self.flow_of.last().expect("never empty") + params.delta;
+            self.flow_of.push(f);
+            self.dist_of.push(params.congestion_distance(f));
+        }
+    }
+}
+
 /// One run of the paper's Table 3 loop: `quota` is this replica's
 /// `min_visit` share, `tree_cap` its share of `FlowParams::max_trees`, and
 /// `rng` its private PRNG stream. The sequential algorithm is exactly one
@@ -139,7 +185,9 @@ pub(crate) struct ReplicaOutcome {
 ///
 /// Determinism: the outcome is a pure function of
 /// `(graph, params, quota, tree_cap, rng)` — no shared mutable state — so
-/// replicas may execute on any worker in any order.
+/// replicas may execute on any worker in any order. The per-replica
+/// [`dijkstra::SsspCache`] preserves this: cache state is private to the
+/// replica and only ever changes *work counters*, never results.
 pub(crate) fn run_replica(
     graph: &CircuitGraph,
     params: &FlowParams,
@@ -149,14 +197,18 @@ pub(crate) fn run_replica(
     collect_tree_sizes: bool,
 ) -> ReplicaOutcome {
     let n = graph.num_nodes();
+    let csr = graph.csr();
     let mut distance = vec![1.0f64; n];
     let mut flow = vec![0.0f64; n];
     let mut visits = vec![0u32; n];
     let mut trees = 0usize;
     let mut tree_sizes = Vec::new();
-    let nodes: Vec<_> = graph.nodes().collect();
     let mut scratch = dijkstra::DijkstraScratch::new(n);
-
+    let mut cache = dijkstra::SsspCache::new(n, FlowParams::SSSP_CACHE_NODES);
+    let mut table = DistTable::new();
+    // Per-net tree-membership count: `flow[i]` is always `flow_of[hits[i]]`
+    // in per-net mode.
+    let mut hits = vec![0u32; n];
     // STEP 3: continue until every node has been visited more than
     // `quota` times (the paper's loop condition is
     // `∃v: visit(v) <= min_visit`).
@@ -165,6 +217,101 @@ pub(crate) fn run_replica(
         if tree_cap.is_some_and(|cap| trees as u64 >= cap) {
             break; // tree budget exhausted (see FlowParams::max_trees)
         }
+        let v = CellId::from_index(rng.gen_index(n));
+        visits[v.index()] += 1;
+        if visits[v.index()] == quota + 1 {
+            below_count -= 1;
+        }
+        cache.run(&mut scratch, csr, v, &distance);
+        trees += 1;
+        if collect_tree_sizes {
+            tree_sizes.push(scratch.visited_order().len() as u64);
+        }
+        if params.per_branch {
+            for (net, count) in scratch.tree_net_counts() {
+                let i = net.index();
+                flow[i] += params.delta * f64::from(count);
+                let nd = params.congestion_distance(flow[i]);
+                if nd.to_bits() != distance[i].to_bits() {
+                    distance[i] = nd;
+                    cache.note_changed(net);
+                }
+            }
+        } else {
+            for (net, _) in scratch.tree_net_counts() {
+                let i = net.index();
+                hits[i] += 1;
+                let k = hits[i] as usize;
+                table.ensure(k, params);
+                flow[i] = table.flow_of[k];
+                let nd = table.dist_of[k];
+                if nd.to_bits() != distance[i].to_bits() {
+                    distance[i] = nd;
+                    cache.note_changed(net);
+                }
+            }
+        }
+    }
+
+    let shortfall: Vec<u32> = visits
+        .iter()
+        .map(|&v| (quota + 1).saturating_sub(v))
+        .collect();
+    ReplicaOutcome {
+        distance,
+        flow,
+        visits,
+        trees,
+        search: scratch.stats(),
+        tree_sizes,
+        shortfall,
+    }
+}
+
+/// The pre-rewrite `Saturate_Network` implementation: binary-heap Dijkstra
+/// over the pointer-rich adjacency, per-tree sorted net lists, one `exp`
+/// per touched net, no caching.
+///
+/// Retained on purpose as the executable baseline: the `saturate` bench
+/// bin times it against the production path to measure the rewrite's
+/// speedup, and the equivalence tests assert the two agree on every
+/// algorithmic output ([`CongestionProfile::result_eq`] — work counters
+/// legitimately differ once the cache starts reusing trees).
+#[must_use]
+pub fn saturate_network_reference(
+    graph: &CircuitGraph,
+    params: &FlowParams,
+    seed: u64,
+) -> CongestionProfile {
+    if let Some(problem) = params.validate() {
+        panic!("invalid flow parameters: {problem}");
+    }
+    let n = graph.num_nodes();
+    if n == 0 {
+        return CongestionProfile {
+            distance: Vec::new(),
+            flow: Vec::new(),
+            visits: Vec::new(),
+            trees: 0,
+            search: dijkstra::DijkstraStats::default(),
+            saturated: true,
+            shortfall: Vec::new(),
+        };
+    }
+    let mut rng = Xoshiro256PlusPlus::seed_from(seed ^ SATURATE_SALT);
+    let quota = params.min_visit;
+    let mut distance = vec![1.0f64; n];
+    let mut flow = vec![0.0f64; n];
+    let mut visits = vec![0u32; n];
+    let mut trees = 0usize;
+    let nodes: Vec<_> = graph.nodes().collect();
+    let mut scratch = dijkstra::DijkstraScratch::new(n);
+
+    let mut below_count = n;
+    while below_count > 0 {
+        if params.max_trees.is_some_and(|cap| trees as u64 >= cap) {
+            break;
+        }
         let v = nodes[rng.gen_index(n)];
         visits[v.index()] += 1;
         if visits[v.index()] == quota + 1 {
@@ -172,9 +319,6 @@ pub(crate) fn run_replica(
         }
         scratch.run(graph, v, &distance);
         trees += 1;
-        if collect_tree_sizes {
-            tree_sizes.push(scratch.visited_order().len() as u64);
-        }
         if params.per_branch {
             for (net, count) in scratch.tree_net_branch_counts() {
                 let i = net.index();
@@ -194,13 +338,14 @@ pub(crate) fn run_replica(
         .iter()
         .map(|&v| (quota + 1).saturating_sub(v))
         .collect();
-    ReplicaOutcome {
+    let saturated = shortfall.iter().all(|&s| s == 0);
+    CongestionProfile {
         distance,
         flow,
         visits,
         trees,
         search: scratch.stats(),
-        tree_sizes,
+        saturated,
         shortfall,
     }
 }
@@ -240,6 +385,56 @@ mod tests {
                 assert!((got - expected).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn matches_the_reference_implementation_bit_for_bit() {
+        // The rewrite contract: CSR + radix heap + SSSP cache + the
+        // memoized distance ladder change *work*, never *results*. The
+        // distance/flow vectors must agree to the last bit, in both
+        // accounting modes, across seeds.
+        let g = s27();
+        for seed in [0, 1, 7, 42] {
+            for per_branch in [false, true] {
+                let mut p = FlowParams::quick();
+                p.per_branch = per_branch;
+                let fast = saturate_network(&g, &p, seed);
+                let slow = saturate_network_reference(&g, &p, seed);
+                assert!(fast.result_eq(&slow), "seed {seed} per_branch {per_branch}");
+                for (net, _) in g.nets() {
+                    assert_eq!(
+                        fast.distance(net).to_bits(),
+                        slow.distance(net).to_bits(),
+                        "seed {seed} per_branch {per_branch} net {net}"
+                    );
+                    assert_eq!(fast.flow(net).to_bits(), slow.flow(net).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_reuse_shows_up_in_the_work_counters() {
+        // Peripheral sources (tiny trees whose parent nets rarely change)
+        // recur min_visit+ times; at least some of those recurrences must
+        // hit the cache, and the counters must stay internally consistent:
+        // every settled node was either reused, requeued, or found by a
+        // fresh search.
+        let g = s27();
+        let prof = saturate_network(&g, &FlowParams::quick(), 1);
+        let s = prof.search_stats();
+        assert!(s.reused > 0, "cache never reused a tree: {s:?}");
+        assert!(s.settled >= s.reused + s.requeued);
+        // The reference does strictly more heap work.
+        let r = saturate_network_reference(&g, &FlowParams::quick(), 1).search_stats();
+        assert!(
+            s.heap_pops < r.heap_pops,
+            "{} vs {}",
+            s.heap_pops,
+            r.heap_pops
+        );
+        assert_eq!(r.reused, 0);
+        assert_eq!(r.requeued, 0);
     }
 
     #[test]
@@ -330,6 +525,13 @@ mod tests {
         assert_eq!(report.counters["flow.heap_pops"], stats.heap_pops);
         assert_eq!(report.counters["flow.relaxations"], stats.relaxations);
         assert_eq!(report.counters["flow.nodes_settled"], stats.settled);
+        assert_eq!(report.counters["flow.reused"], stats.reused);
+        assert_eq!(report.counters["flow.requeue"], stats.requeued);
+        assert_eq!(report.counters["flow.csr.nodes"], g.num_nodes() as u64);
+        assert_eq!(
+            report.counters["flow.csr.branches"],
+            g.num_branches() as u64
+        );
         let hist = &report.histograms["flow.tree_nodes"];
         assert_eq!(hist.count, traced.num_trees() as u64);
         assert_eq!(hist.sum, stats.settled);
@@ -375,6 +577,19 @@ mod tests {
                 assert_eq!(d, p.congestion_distance(prof.flow(net)));
             }
         }
+    }
+
+    #[test]
+    fn extreme_congestion_matches_the_reference_too() {
+        // In the clamped region the distance stops changing, which is
+        // exactly where the `note_changed` skip keeps cached trees alive —
+        // the results must still be bit-identical to the reference.
+        let g = tiny();
+        let mut p = FlowParams::quick();
+        p.alpha = 1e6;
+        let fast = saturate_network(&g, &p, 1);
+        let slow = saturate_network_reference(&g, &p, 1);
+        assert!(fast.result_eq(&slow));
     }
 
     #[test]

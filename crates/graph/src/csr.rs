@@ -1,0 +1,183 @@
+//! Flat compressed-sparse-row (CSR) view of a [`CircuitGraph`].
+//!
+//! `Saturate_Network` runs tens of thousands of shortest-path trees over
+//! one immutable graph. The pointer-rich [`CircuitGraph`] representation
+//! (`Vec<Net>` with one sink `Vec` per net) is convenient to build and
+//! mutate-adjacent, but every tree walk chases one heap allocation per
+//! visited node. The [`Csr`] packs all three adjacencies the workspace
+//! uses — net sinks (forward), fan-ins (backward), and the distinct
+//! undirected neighbourhood — into `u32` offset arrays over single packed
+//! node arrays, built once per graph and shared by every tree.
+//!
+//! Layout, per adjacency: `off` has `n + 1` entries and the neighbours of
+//! node `v` are `adj[off[v] .. off[v + 1]]`, in a pinned order:
+//!
+//! * **sinks** — pin order of the consuming cells, exactly the order
+//!   [`Net::sinks`](crate::Net::sinks) reports (a node reading the net on
+//!   two pins appears twice);
+//! * **fanin** — pin order of the drivers, exactly
+//!   [`CircuitGraph::fanin`](crate::CircuitGraph::fanin);
+//! * **undirected** — ascending node id, deduplicated, self-loops
+//!   removed: the adjacency clusters are grown over, byte-for-byte the
+//!   order the old per-call `undirected_neighbors` `Vec` used.
+//!
+//! [`CircuitGraph`]: crate::CircuitGraph
+
+use ppet_netlist::CellId;
+
+/// Packed struct-of-arrays adjacency of a circuit graph.
+///
+/// Built once by [`CircuitGraph::from_circuit`](crate::CircuitGraph) and
+/// exposed via [`CircuitGraph::csr`](crate::CircuitGraph::csr); all three
+/// views borrow into the same contiguous buffers, so iterating a
+/// neighbourhood is a bounds-checked slice, never an allocation.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::CircuitGraph;
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let csr = g.csr();
+/// let g11 = g.find("G11").unwrap();
+/// // The CSR sink row is the net's sink list, as a packed slice.
+/// assert_eq!(csr.sinks(g11), g.net(g11).sinks());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    n: usize,
+    sink_off: Vec<u32>,
+    sink_adj: Vec<CellId>,
+    fanin_off: Vec<u32>,
+    fanin_adj: Vec<CellId>,
+    undir_off: Vec<u32>,
+    undir_adj: Vec<CellId>,
+}
+
+/// Builds one `off`/`adj` pair from per-node neighbour lists.
+fn pack<'a>(rows: impl Iterator<Item = &'a [CellId]>, n: usize) -> (Vec<u32>, Vec<CellId>) {
+    let mut off = Vec::with_capacity(n + 1);
+    let mut adj = Vec::new();
+    off.push(0);
+    for row in rows {
+        adj.extend_from_slice(row);
+        off.push(u32::try_from(adj.len()).expect("adjacency exceeds u32 range"));
+    }
+    (off, adj)
+}
+
+impl Csr {
+    /// Packs the three adjacencies. `sinks[v]` are the sinks of the net
+    /// driven by `v` (pin order), `fanin[v]` the drivers of `v` (pin
+    /// order). The undirected rows are derived: sorted, deduplicated,
+    /// self-removed union of the two.
+    pub(crate) fn build(sinks: &[Vec<CellId>], fanin: &[Vec<CellId>]) -> Self {
+        assert_eq!(sinks.len(), fanin.len());
+        let n = sinks.len();
+        let (sink_off, sink_adj) = pack(sinks.iter().map(Vec::as_slice), n);
+        let (fanin_off, fanin_adj) = pack(fanin.iter().map(Vec::as_slice), n);
+
+        let mut undir_off = Vec::with_capacity(n + 1);
+        let mut undir_adj: Vec<CellId> = Vec::new();
+        undir_off.push(0);
+        let mut row: Vec<CellId> = Vec::new();
+        for v in 0..n {
+            row.clear();
+            row.extend_from_slice(&fanin[v]);
+            row.extend_from_slice(&sinks[v]);
+            row.sort_unstable();
+            row.dedup();
+            row.retain(|&x| x.index() != v);
+            undir_adj.extend_from_slice(&row);
+            undir_off.push(u32::try_from(undir_adj.len()).expect("adjacency exceeds u32 range"));
+        }
+        Self {
+            n,
+            sink_off,
+            sink_adj,
+            fanin_off,
+            fanin_adj,
+            undir_off,
+            undir_adj,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of directed branches (sum of net degrees).
+    #[must_use]
+    pub fn num_branches(&self) -> usize {
+        self.sink_adj.len()
+    }
+
+    /// The sinks of the net driven by `v`, in pin order.
+    #[inline]
+    #[must_use]
+    pub fn sinks(&self, v: CellId) -> &[CellId] {
+        let i = v.index();
+        &self.sink_adj[self.sink_off[i] as usize..self.sink_off[i + 1] as usize]
+    }
+
+    /// The fan-in drivers of `v`, in pin order.
+    #[inline]
+    #[must_use]
+    pub fn fanin(&self, v: CellId) -> &[CellId] {
+        let i = v.index();
+        &self.fanin_adj[self.fanin_off[i] as usize..self.fanin_off[i + 1] as usize]
+    }
+
+    /// The distinct undirected neighbours of `v` (ascending id, no
+    /// self-loops).
+    #[inline]
+    #[must_use]
+    pub fn undirected(&self, v: CellId) -> &[CellId] {
+        let i = v.index();
+        &self.undir_adj[self.undir_off[i] as usize..self.undir_off[i + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CircuitGraph;
+    use ppet_netlist::data;
+
+    #[test]
+    fn csr_rows_match_the_pointer_representation() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let csr = g.csr();
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        assert_eq!(csr.num_branches(), g.num_branches());
+        for v in g.nodes() {
+            assert_eq!(csr.sinks(v), g.net(v).sinks(), "sinks of {v}");
+            assert_eq!(csr.fanin(v), g.fanin(v), "fanin of {v}");
+            assert_eq!(csr.undirected(v), g.undirected_neighbors(v), "undir of {v}");
+        }
+    }
+
+    #[test]
+    fn undirected_rows_are_sorted_dedup_no_self() {
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let csr = g.csr();
+        for v in g.nodes() {
+            let row = csr.undirected(v);
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row of {v} not strictly ascending"
+            );
+            assert!(!row.contains(&v), "row of {v} contains itself");
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_rows() {
+        let c = ppet_netlist::Circuit::new("empty");
+        let g = CircuitGraph::from_circuit(&c);
+        assert_eq!(g.csr().num_nodes(), 0);
+        assert_eq!(g.csr().num_branches(), 0);
+    }
+}

@@ -5,12 +5,40 @@
 //! reachable sinks, where the length of every branch of a net is that net's
 //! congestion distance `d(e)`. Ties are broken by node id so the tree — and
 //! therefore the whole stochastic flow process — is reproducible.
+//!
+//! Three interchangeable engines compute the tree:
+//!
+//! * [`DijkstraScratch::run`] — the **reference**: a `BinaryHeap` over the
+//!   pointer-rich [`CircuitGraph`] adjacency. Kept as the executable
+//!   specification the property tests compare against.
+//! * [`DijkstraScratch::run_csr`] — a monotone radix (bucket) heap over
+//!   the packed [`Csr`] adjacency. Distances are quantized onto the
+//!   2⁶⁴-point grid of their IEEE-754 bit patterns — for non-negative
+//!   doubles the bit pattern is a monotone fixed-point encoding, so bucket
+//!   order is *exact* and the results (distances, parents, settle order,
+//!   even the work counters) are bit-identical to the reference. See
+//!   `DESIGN.md` §13.
+//! * [`DijkstraScratch::run_fast`] — the **saturation hot path**: a
+//!   fixed-slot bucket queue (`SlotQueue`) keyed by the top 16 bits of
+//!   the distance bit pattern. The slots cover the entire non-negative
+//!   `f64` range (saturation's clamped-exponential weights span
+//!   `[1, e^700]`, far beyond any bounded calendar), entries never
+//!   migrate between slots, and the drain order reproduces the binary
+//!   heap's `(distance, node)` order exactly — so *everything* observable
+//!   (distances, parents, settle order, work counters) is bit-identical
+//!   to the reference, at a fraction of the per-settle cost of either
+//!   heap.
+//!
+//! [`SsspCache`] adds an incremental layer for the saturation loop: when
+//! the congestion weights a cached tree depends on did not change between
+//! trees, the unchanged part is reused instead of re-relaxed.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use ppet_netlist::{CellId, NetId};
 
+use crate::csr::Csr;
 use crate::graph::CircuitGraph;
 
 /// The result of a shortest-path-tree computation.
@@ -81,6 +109,231 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// A monotone radix heap over `(f64-bit key, node)` pairs.
+///
+/// Keys are the raw bit patterns of non-negative `f64` distances — a
+/// monotone 64-bit fixed-point quantization, so comparing keys compares
+/// distances exactly. Entries live in 65 buckets indexed by the highest
+/// bit in which the key differs from the last extracted minimum; bucket 0
+/// holds keys *equal* to that minimum and is kept sorted by node id
+/// (descending, so popping from the back yields the smallest node).
+/// Because Dijkstra only inserts keys ≥ the current minimum, every entry
+/// moves to a strictly lower bucket each redistribution, giving amortized
+/// O(64) per operation — and pops leave in exactly the `(distance, node)`
+/// order a tie-broken binary heap produces, which is what makes
+/// [`DijkstraScratch::run_csr`] bit-identical to the reference.
+#[derive(Debug, Clone, Default)]
+struct RadixHeap {
+    buckets: Vec<Vec<(u64, u32)>>,
+    last: u64,
+    len: usize,
+}
+
+impl RadixHeap {
+    fn new() -> Self {
+        Self {
+            buckets: vec![Vec::new(); 65],
+            last: 0,
+            len: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.last = 0;
+        self.len = 0;
+    }
+
+    fn bucket_of(last: u64, key: u64) -> usize {
+        if key == last {
+            0
+        } else {
+            64 - (key ^ last).leading_zeros() as usize
+        }
+    }
+
+    fn push(&mut self, key: u64, node: u32) {
+        debug_assert!(key >= self.last, "radix heap requires monotone keys");
+        let i = Self::bucket_of(self.last, key);
+        if i == 0 {
+            // Keep bucket 0 sorted by node id descending: O(1) pops in
+            // ascending node order, the binary heap's tie order.
+            let b = &mut self.buckets[0];
+            let pos = b.partition_point(|&(_, n)| n > node);
+            b.insert(pos, (key, node));
+        } else {
+            self.buckets[i].push((key, node));
+        }
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.buckets[0].is_empty() {
+            let i = (1..=64)
+                .find(|&i| !self.buckets[i].is_empty())
+                .expect("len > 0 but all buckets empty");
+            let min = self.buckets[i].iter().copied().min().expect("nonempty");
+            self.last = min.0;
+            let drained = std::mem::take(&mut self.buckets[i]);
+            for (key, node) in drained {
+                let j = Self::bucket_of(self.last, key);
+                debug_assert!(j < i, "redistribution must strictly descend");
+                self.buckets[j].push((key, node));
+            }
+            self.buckets[0].sort_unstable_by_key(|b| std::cmp::Reverse(b.1));
+        }
+        self.len -= 1;
+        self.buckets[0].pop()
+    }
+}
+
+/// A monotone fixed-slot bucket queue over `(f64-bit key, node)` pairs —
+/// the engine behind [`DijkstraScratch::run_fast`].
+///
+/// The slot of a key is its top 16 bits (sign, the 11 exponent bits, and
+/// the 4 leading mantissa bits): a monotone index for non-negative
+/// doubles, so [`NUM_SLOTS`] = 2¹⁵ slots cover the entire
+/// non-negative `f64` range — including `+inf` — with an exponentially
+/// scaled grid whose slot width is a fixed ×(1 + 2⁻⁴) distance band.
+/// Unlike a radix heap, entries never migrate: a push lands in its final
+/// slot, and a two-level occupancy bitmap finds the next occupied slot in
+/// a handful of word scans. The slot being drained is sorted descending
+/// by `(key, node)` once, and same-slot arrivals (Dijkstra pushes keys ≥
+/// the minimum, so they can land in the cursor slot but never before it)
+/// are inserted in order — pops therefore leave in exactly the
+/// `(distance, node)` order of a tie-broken binary heap, which is what
+/// makes `run_fast` bit-identical to the reference.
+#[derive(Debug, Clone, Default)]
+struct SlotQueue {
+    /// Lazily sized to [`NUM_SLOTS`] on first use, so scratch
+    /// areas that never call `run_fast` stay small.
+    slots: Vec<Vec<(u64, u32)>>,
+    /// One occupancy bit per slot.
+    occ1: Vec<u64>,
+    /// One occupancy bit per `occ1` word.
+    occ2: [u64; SLOT_SUMMARY_WORDS],
+    /// Slot currently being drained.
+    cur: usize,
+    /// The drained slot's entries, sorted descending (pop from the back).
+    cur_vec: Vec<(u64, u32)>,
+    len: usize,
+}
+
+/// `f64::to_bits() >> 48` of any non-negative double (`+inf` included) is
+/// below this.
+const NUM_SLOTS: usize = 1 << 15;
+/// Words of the second-level occupancy bitmap: one bit per `occ1` word.
+const SLOT_SUMMARY_WORDS: usize = NUM_SLOTS / 64 / 64;
+
+impl SlotQueue {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the slot array (~0.75 MiB of empty `Vec` headers) on
+    /// first use.
+    fn ensure(&mut self) {
+        if self.slots.is_empty() {
+            self.slots = vec![Vec::new(); NUM_SLOTS];
+            self.occ1 = vec![0; NUM_SLOTS / 64];
+        }
+    }
+
+    /// Prepares for a new run. A completed run drains every slot, so this
+    /// is O(1) then; after an abandoned run (caller panicked mid-search)
+    /// it sweeps the occupied slots clean.
+    fn reset(&mut self) {
+        if self.len != 0 {
+            for w in 0..self.occ1.len() {
+                let mut bits = self.occ1[w];
+                while bits != 0 {
+                    let s = (w << 6) + bits.trailing_zeros() as usize;
+                    self.slots[s].clear();
+                    bits &= bits - 1;
+                }
+                self.occ1[w] = 0;
+            }
+            self.occ2 = [0; SLOT_SUMMARY_WORDS];
+            self.len = 0;
+        }
+        self.cur = 0;
+        self.cur_vec.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, key: u64, node: u32) {
+        self.len += 1;
+        let s = (key >> 48) as usize;
+        if s == self.cur {
+            // A same-slot arrival while the slot drains: keep it sorted.
+            let pos = self.cur_vec.partition_point(|&e| e > (key, node));
+            self.cur_vec.insert(pos, (key, node));
+            return;
+        }
+        let sv = &mut self.slots[s];
+        if sv.is_empty() {
+            self.occ1[s >> 6] |= 1u64 << (s & 63);
+            self.occ2[s >> 12] |= 1u64 << ((s >> 6) & 63);
+        }
+        sv.push((key, node));
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        if let Some(e) = self.cur_vec.pop() {
+            self.len -= 1;
+            return Some(e);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        // Find the next occupied slot strictly after `cur` via the
+        // two-level bitmap.
+        let mut w = self.cur >> 6;
+        let rest = if (self.cur & 63) == 63 {
+            0
+        } else {
+            !0u64 << ((self.cur & 63) + 1)
+        };
+        let mut bits = self.occ1[w] & rest;
+        if bits == 0 {
+            let mut w2 = w >> 6;
+            let rest2 = if (w & 63) == 63 {
+                0
+            } else {
+                !0u64 << ((w & 63) + 1)
+            };
+            let mut bits2 = self.occ2[w2] & rest2;
+            while bits2 == 0 {
+                w2 += 1;
+                bits2 = self.occ2[w2];
+            }
+            w = (w2 << 6) + bits2.trailing_zeros() as usize;
+            bits = self.occ1[w];
+        }
+        let s = (w << 6) + bits.trailing_zeros() as usize;
+        self.cur = s;
+        self.occ1[w] &= !(1u64 << (s & 63));
+        if self.occ1[w] == 0 {
+            self.occ2[w >> 6] &= !(1u64 << (w & 63));
+        }
+        self.len -= 1;
+        if self.slots[s].len() == 1 {
+            // The common late-saturation case: distances span a huge
+            // dynamic range, one entry per slot — skip the swap and sort.
+            return self.slots[s].pop();
+        }
+        std::mem::swap(&mut self.cur_vec, &mut self.slots[s]);
+        self.cur_vec.sort_unstable_by(|a, b| b.cmp(a));
+        self.cur_vec.pop()
+    }
+}
+
 /// Computes the shortest-path tree from `source`, where every branch of net
 /// `e` has length `length[e]`.
 ///
@@ -109,7 +362,7 @@ pub fn shortest_path_tree(
     length: &[f64],
 ) -> ShortestPathTree {
     let mut scratch = DijkstraScratch::new(graph.num_nodes());
-    scratch.run(graph, source, length);
+    scratch.run_csr(graph.csr(), source, length);
     ShortestPathTree {
         dist: scratch.dist.clone(),
         parent_net: scratch.parent_net.clone(),
@@ -123,7 +376,9 @@ pub fn shortest_path_tree(
 /// same graph; reallocating and re-initializing the distance/parent/done
 /// arrays every time dominates small-tree runs. The scratch keeps the
 /// arrays alive and resets them lazily through a visitation stamp, so a run
-/// touching `k` nodes costs `O(k log k)` regardless of `|V|`.
+/// touching `k` nodes costs `O(k)`-ish regardless of `|V|`, and the tree's
+/// per-net branch counts are accumulated *while nodes settle* — no
+/// post-pass allocation or sort on the hot path.
 ///
 /// # Examples
 ///
@@ -134,7 +389,7 @@ pub fn shortest_path_tree(
 /// let g = CircuitGraph::from_circuit(&data::s27());
 /// let unit = vec![1.0; g.num_nodes()];
 /// let mut scratch = DijkstraScratch::new(g.num_nodes());
-/// scratch.run(&g, g.find("G0").unwrap(), &unit);
+/// scratch.run_csr(g.csr(), g.find("G0").unwrap(), &unit);
 /// let visited = scratch.visited_order().len();
 /// assert!(visited >= 2);
 /// ```
@@ -146,12 +401,17 @@ pub struct DijkstraScratch {
     done: Vec<bool>,
     epoch: u32,
     heap: BinaryHeap<HeapEntry>,
+    radix: RadixHeap,
+    slot_queue: SlotQueue,
     visited: Vec<CellId>,
+    net_stamp: Vec<u32>,
+    net_count: Vec<u32>,
+    tree_list: Vec<NetId>,
     stats: DijkstraStats,
 }
 
-/// Work counters accumulated across every [`DijkstraScratch::run`] call
-/// since creation (or [`DijkstraScratch::take_stats`]). Plain integers —
+/// Work counters accumulated across every [`DijkstraScratch`] run since
+/// creation (or [`DijkstraScratch::take_stats`]). Plain integers —
 /// always maintained, cheap enough to never need a feature gate — so the
 /// flow phase can report how much search work its trees cost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -160,8 +420,26 @@ pub struct DijkstraStats {
     pub heap_pops: u64,
     /// Successful relaxations (`dist` improvements pushed to the heap).
     pub relaxations: u64,
-    /// Nodes settled (popped with their final distance).
+    /// Nodes settled (final distance fixed) — restored-from-cache nodes
+    /// count too, so this always equals the total tree size.
     pub settled: u64,
+    /// Nodes whose `(distance, parent)` were reused verbatim from a
+    /// cached tree by the incremental path ([`SsspCache`]); zero for
+    /// fresh runs.
+    pub reused: u64,
+    /// Nodes an incremental run had to requeue and re-relax because a
+    /// congestion weight on their cached tree path changed; zero for
+    /// fresh runs.
+    pub requeued: u64,
+}
+
+/// One node of a cached shortest-path tree, in settle order.
+#[derive(Debug, Clone, Copy)]
+struct CacheNode {
+    node: u32,
+    /// Parent net id, `u32::MAX` for the source.
+    parent: u32,
+    dist: f64,
 }
 
 impl DijkstraScratch {
@@ -175,7 +453,12 @@ impl DijkstraScratch {
             done: vec![false; n],
             epoch: 0,
             heap: BinaryHeap::new(),
+            radix: RadixHeap::new(),
+            slot_queue: SlotQueue::new(),
             visited: Vec::new(),
+            net_stamp: vec![0; n],
+            net_count: vec![0; n],
+            tree_list: Vec::new(),
             stats: DijkstraStats::default(),
         }
     }
@@ -191,6 +474,21 @@ impl DijkstraScratch {
         std::mem::take(&mut self.stats)
     }
 
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: force full reset.
+            self.stamp.fill(u32::MAX);
+            self.net_stamp.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+        self.radix.clear();
+        self.slot_queue.reset();
+        self.visited.clear();
+        self.tree_list.clear();
+    }
+
     fn fresh(&mut self, v: usize) -> bool {
         if self.stamp[v] != self.epoch {
             self.stamp[v] = self.epoch;
@@ -203,9 +501,31 @@ impl DijkstraScratch {
         }
     }
 
-    /// Runs Dijkstra from `source`; results are readable until the next
-    /// `run` via [`DijkstraScratch::distance`],
+    /// Marks `v` settled: final distance fixed, parent final, tree-net
+    /// branch accounting updated.
+    fn settle(&mut self, v: usize) {
+        self.done[v] = true;
+        self.stats.settled += 1;
+        self.visited.push(CellId::from_index(v));
+        if let Some(p) = self.parent_net[v] {
+            let pi = p.index();
+            if self.net_stamp[pi] == self.epoch {
+                self.net_count[pi] += 1;
+            } else {
+                self.net_stamp[pi] = self.epoch;
+                self.net_count[pi] = 1;
+                self.tree_list.push(p);
+            }
+        }
+    }
+
+    /// Runs the reference binary-heap Dijkstra from `source`; results are
+    /// readable until the next run via [`DijkstraScratch::distance`],
     /// [`DijkstraScratch::parent`], and [`DijkstraScratch::visited_order`].
+    ///
+    /// This is the executable specification [`DijkstraScratch::run_csr`]
+    /// is property-tested against; the hot saturation loop uses the CSR
+    /// variant.
     ///
     /// # Panics
     ///
@@ -222,14 +542,7 @@ impl DijkstraScratch {
             graph.num_nodes(),
             "one length per net slot required"
         );
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // Stamp wrap-around: force full reset.
-            self.stamp.fill(u32::MAX);
-            self.epoch = 1;
-        }
-        self.heap.clear();
-        self.visited.clear();
+        self.begin();
         let s = source.index();
         self.fresh(s);
         self.dist[s] = 0.0;
@@ -243,9 +556,7 @@ impl DijkstraScratch {
             if self.done[v] {
                 continue;
             }
-            self.done[v] = true;
-            self.stats.settled += 1;
-            self.visited.push(CellId::from_index(v));
+            self.settle(v);
             let net = CellId::from_index(v);
             let l = length[v];
             assert!(
@@ -276,6 +587,259 @@ impl DijkstraScratch {
         }
     }
 
+    /// Runs the radix-heap Dijkstra over the packed [`Csr`] adjacency —
+    /// the production engine of `Saturate_Network`.
+    ///
+    /// Bit-identical to [`DijkstraScratch::run`] in every observable:
+    /// distances, parents, settle order, and work counters. The heap keys
+    /// are the distances' IEEE-754 bit patterns (an exact monotone
+    /// quantization for non-negative doubles) and bucket 0 pops in node-id
+    /// order, reproducing the reference's `(distance, node)` tie-break.
+    ///
+    /// # Panics
+    ///
+    /// As [`DijkstraScratch::run`]: length-vector size mismatch, or a
+    /// negative/NaN length consumed by the search.
+    pub fn run_csr(&mut self, csr: &Csr, source: CellId, length: &[f64]) {
+        assert_eq!(
+            length.len(),
+            csr.num_nodes(),
+            "one length per net slot required"
+        );
+        self.begin();
+        let s = source.index();
+        self.fresh(s);
+        self.dist[s] = 0.0;
+        self.radix.push(0, s as u32); // 0.0f64.to_bits() == 0
+        while let Some((key, node)) = self.radix.pop() {
+            self.stats.heap_pops += 1;
+            let v = node as usize;
+            if self.done[v] {
+                continue;
+            }
+            let d = f64::from_bits(key);
+            self.settle(v);
+            let net = CellId::from_index(v);
+            let l = length[v];
+            assert!(
+                l >= 0.0,
+                "net length of node {v} must be non-negative and not NaN, got {l}"
+            );
+            for &w in csr.sinks(net) {
+                let wi = w.index();
+                self.fresh(wi);
+                let nd = d + l;
+                if nd < self.dist[wi] {
+                    self.dist[wi] = nd;
+                    self.parent_net[wi] = Some(net);
+                    self.stats.relaxations += 1;
+                    self.radix.push(nd.to_bits(), wi as u32);
+                } else if nd == self.dist[wi]
+                    && !self.done[wi]
+                    && should_replace(self.parent_net[wi], net)
+                {
+                    self.parent_net[wi] = Some(net);
+                }
+            }
+        }
+    }
+
+    /// Runs the fixed-slot bucket-queue Dijkstra over the packed [`Csr`]
+    /// adjacency — the `Saturate_Network` hot path.
+    ///
+    /// The queue keys are the distances' IEEE-754 bit patterns (an exact
+    /// monotone quantization for non-negative doubles), bucketed by their
+    /// top 16 bits into a fixed array of 2¹⁵ slots
+    /// that covers the *entire* non-negative `f64` range — saturation's
+    /// clamped-exponential congestion distances span `[1, e^700]`, so no
+    /// bounded-range calendar works. Entries never migrate between slots
+    /// and the slot being drained is kept sorted, so pops come out in
+    /// exactly the `(distance, node)` order of the binary-heap reference:
+    /// distances, parents, settle order, and work counters are all
+    /// bit-identical to [`DijkstraScratch::run`]. See `DESIGN.md` §13.
+    ///
+    /// # Panics
+    ///
+    /// As [`DijkstraScratch::run`]: length-vector size mismatch, or a
+    /// negative/NaN length consumed by the search.
+    pub fn run_fast(&mut self, csr: &Csr, source: CellId, length: &[f64]) {
+        assert_eq!(
+            length.len(),
+            csr.num_nodes(),
+            "one length per net slot required"
+        );
+        self.begin();
+        self.slot_queue.ensure();
+        // Bulk-initialize instead of the per-touch lazy `fresh()`: four
+        // vectorized fills per tree cost far less than a stamp check and
+        // three conditional stores on every edge scanned. Stamping every
+        // node keeps the accessor contract: unreached nodes read
+        // `INFINITY`/`None` through the now-valid stamp.
+        self.stamp.fill(self.epoch);
+        self.dist.fill(f64::INFINITY);
+        self.parent_net.fill(None);
+        self.done.fill(false);
+        let s = source.index();
+        self.dist[s] = 0.0;
+        let mut pops = 0u64;
+        let mut relaxations = 0u64;
+        self.slot_queue.push(0, s as u32); // 0.0f64.to_bits() == 0
+        while let Some((key, node)) = self.slot_queue.pop() {
+            pops += 1;
+            let v = node as usize;
+            if self.done[v] {
+                continue;
+            }
+            let d = f64::from_bits(key);
+            self.settle(v);
+            let net = CellId::from_index(v);
+            let l = length[v];
+            assert!(
+                l >= 0.0,
+                "net length of node {v} must be non-negative and not NaN, got {l}"
+            );
+            let nd = d + l;
+            let bits = nd.to_bits();
+            for &w in csr.sinks(net) {
+                let wi = w.index();
+                if nd < self.dist[wi] {
+                    self.dist[wi] = nd;
+                    self.parent_net[wi] = Some(net);
+                    relaxations += 1;
+                    self.slot_queue.push(bits, wi as u32);
+                } else if nd == self.dist[wi]
+                    && !self.done[wi]
+                    && should_replace(self.parent_net[wi], net)
+                {
+                    self.parent_net[wi] = Some(net);
+                }
+            }
+        }
+        self.stats.heap_pops += pops;
+        self.stats.relaxations += relaxations;
+    }
+
+    /// Restores a cached tree verbatim: every node settles with its
+    /// cached distance and parent, no search work at all.
+    fn restore_tree(&mut self, nodes: &[CacheNode]) {
+        self.begin();
+        for e in nodes {
+            let v = e.node as usize;
+            self.fresh(v);
+            self.dist[v] = e.dist;
+            self.parent_net[v] = cached_parent(e.parent);
+            self.settle(v);
+            self.stats.reused += 1;
+        }
+    }
+
+    /// Incremental run: restores the `valid` subset of a cached tree and
+    /// re-searches only the invalidated remainder, seeded by relaxing
+    /// every branch from a restored node into the non-restored region.
+    ///
+    /// Soundness (see `DESIGN.md` §13): congestion weights only ever
+    /// increase, so a node whose cached tree path avoids every changed
+    /// net keeps its exact distance *and* — because the tie rule picks the
+    /// smallest net id among minimal candidates, and non-minimal
+    /// candidates only move further from the minimum — its exact parent.
+    /// Strictly positive lengths are required (saturation's congestion
+    /// distances are ≥ 1): a zero-length branch could tie a node to a
+    /// predecessor that a fresh run would settle *after* it, where the
+    /// reference blocks the equal-distance parent swap.
+    fn run_seeded(
+        &mut self,
+        csr: &Csr,
+        source: CellId,
+        length: &[f64],
+        cached: &[CacheNode],
+        valid: &[bool],
+    ) {
+        assert_eq!(
+            length.len(),
+            csr.num_nodes(),
+            "one length per net slot required"
+        );
+        debug_assert_eq!(cached.first().map(|e| e.node), Some(source.index() as u32));
+        let _ = source;
+        self.begin();
+        // 1. Restore the still-valid nodes, preserving their relative
+        //    settle order (a parent always precedes its children).
+        for (e, &ok) in cached.iter().zip(valid) {
+            if !ok {
+                continue;
+            }
+            let v = e.node as usize;
+            self.fresh(v);
+            self.dist[v] = e.dist;
+            self.parent_net[v] = cached_parent(e.parent);
+            self.settle(v);
+            self.stats.reused += 1;
+        }
+        // 2. Seed: relax every branch leaving a restored node into the
+        //    not-yet-settled region. Order does not matter — the improve /
+        //    equal-min-net rules make the outcome order-independent.
+        let restored = self.visited.len();
+        for idx in 0..restored {
+            let u = self.visited[idx];
+            let ui = u.index();
+            let d = self.dist[ui];
+            let l = length[ui];
+            assert!(
+                l > 0.0,
+                "incremental SSSP requires strictly positive lengths, got {l} at node {ui}"
+            );
+            for &w in csr.sinks(u) {
+                let wi = w.index();
+                self.fresh(wi);
+                if self.done[wi] {
+                    continue;
+                }
+                let nd = d + l;
+                if nd < self.dist[wi] {
+                    self.dist[wi] = nd;
+                    self.parent_net[wi] = Some(u);
+                    self.stats.relaxations += 1;
+                    self.radix.push(nd.to_bits(), wi as u32);
+                } else if nd == self.dist[wi] && should_replace(self.parent_net[wi], u) {
+                    self.parent_net[wi] = Some(u);
+                }
+            }
+        }
+        // 3. Search the invalidated region, exactly the run_csr main loop.
+        while let Some((key, node)) = self.radix.pop() {
+            self.stats.heap_pops += 1;
+            let v = node as usize;
+            if self.done[v] {
+                continue;
+            }
+            let d = f64::from_bits(key);
+            self.settle(v);
+            self.stats.requeued += 1;
+            let net = CellId::from_index(v);
+            let l = length[v];
+            assert!(
+                l > 0.0,
+                "incremental SSSP requires strictly positive lengths, got {l} at node {v}"
+            );
+            for &w in csr.sinks(net) {
+                let wi = w.index();
+                self.fresh(wi);
+                if self.done[wi] {
+                    continue;
+                }
+                let nd = d + l;
+                if nd < self.dist[wi] {
+                    self.dist[wi] = nd;
+                    self.parent_net[wi] = Some(net);
+                    self.stats.relaxations += 1;
+                    self.radix.push(nd.to_bits(), wi as u32);
+                } else if nd == self.dist[wi] && should_replace(self.parent_net[wi], net) {
+                    self.parent_net[wi] = Some(net);
+                }
+            }
+        }
+    }
+
     /// Distance of `node` from the last run's source (`INFINITY` when
     /// unreached).
     #[must_use]
@@ -297,49 +861,256 @@ impl DijkstraScratch {
         }
     }
 
-    /// Nodes settled by the last run, in settle order (source first).
+    /// Nodes settled by the last run, in settle order (source first). An
+    /// incremental run lists the restored nodes first (in their cached
+    /// relative order), then the re-searched ones.
     #[must_use]
     pub fn visited_order(&self) -> &[CellId] {
         &self.visited
     }
 
-    /// The distinct nets used by the last run's tree (each net once).
+    /// The distinct nets of the last run's tree with their branch counts,
+    /// in first-settled order — the allocation-free view the saturation
+    /// loop folds its flow updates over. The order is deterministic; use
+    /// [`DijkstraScratch::tree_nets`] for the sorted view.
+    pub fn tree_net_counts(&self) -> impl Iterator<Item = (NetId, u32)> + '_ {
+        self.tree_list
+            .iter()
+            .map(move |&n| (n, self.net_count[n.index()]))
+    }
+
+    /// The distinct nets used by the last run's tree (each net once,
+    /// ascending id).
     #[must_use]
     pub fn tree_nets(&self) -> Vec<NetId> {
-        let mut nets: Vec<NetId> = self
-            .visited
-            .iter()
-            .filter_map(|&v| self.parent(v))
-            .collect();
+        let mut nets = self.tree_list.clone();
         nets.sort_unstable();
-        nets.dedup();
         nets
     }
 
-    /// Per-net branch counts of the last run's tree.
+    /// Per-net branch counts of the last run's tree, ascending net id.
     #[must_use]
     pub fn tree_net_branch_counts(&self) -> Vec<(NetId, usize)> {
-        let mut nets: Vec<NetId> = self
-            .visited
+        let mut out: Vec<(NetId, usize)> = self
+            .tree_list
             .iter()
-            .filter_map(|&v| self.parent(v))
+            .map(|&n| (n, self.net_count[n.index()] as usize))
             .collect();
-        nets.sort_unstable();
-        let mut out: Vec<(NetId, usize)> = Vec::new();
-        for n in nets {
-            match out.last_mut() {
-                Some((last, count)) if *last == n => *count += 1,
-                _ => out.push((n, 1)),
-            }
-        }
+        out.sort_unstable();
         out
     }
+}
+
+fn cached_parent(raw: u32) -> Option<NetId> {
+    (raw != u32::MAX).then(|| CellId::from_index(raw as usize))
 }
 
 fn should_replace(current: Option<NetId>, candidate: NetId) -> bool {
     match current {
         None => true,
         Some(c) => candidate < c,
+    }
+}
+
+/// One cached shortest-path tree plus the clock tick it was built at.
+#[derive(Debug, Clone)]
+struct CachedTree {
+    built_at: u64,
+    /// [`SsspCache::note_changed`] total at build time, for the O(1)
+    /// nothing-changed and hopeless fast paths.
+    changes_at_build: u64,
+    nodes: Vec<CacheNode>,
+}
+
+/// Incremental single-source shortest-path cache for the saturation loop.
+///
+/// `Saturate_Network` redraws every source ≥ `min_visit` times while the
+/// congestion weights *only ever increase* (flow is only added). Under
+/// monotone weight increases a cached tree node stays exact as long as no
+/// net on its root path changed — so when a source recurs, the cache
+/// revalidates its previous tree with one linear walk and either reuses
+/// it wholly (no search at all), reuses the unchanged part and re-relaxes
+/// only the invalidated subtrees ([`DijkstraScratch`] seeded run — only
+/// worth it when at least half the tree survives), or falls back to a
+/// fresh [`DijkstraScratch::run_fast`].
+///
+/// # Contract
+///
+/// * Between two [`SsspCache::run`] calls, weights may only **increase**,
+///   and every net whose weight changed must be reported via
+///   [`SsspCache::note_changed`]. Violating this silently yields stale
+///   distances.
+/// * Lengths must be ≥ 1 (congestion distances are `exp(non-negative)`):
+///   the seeded partial re-search is unsound for zero-length branches.
+///
+/// Results are bit-identical to fresh runs regardless of cache hits; only
+/// the [`DijkstraStats`] work counters (`reused`, `requeued`, and the
+/// reduced `heap_pops`/`relaxations`) reveal the shortcut. The cache
+/// bounds its memory by `budget_nodes` total cached tree nodes; sources
+/// past the budget simply run fresh, which cannot change any result.
+///
+/// Because any heuristic here is result-invisible, the cache also defends
+/// its own overhead: a global change counter gives an O(1) "nothing
+/// changed at all" restore that skips the validity walk, and after
+/// [`SsspCache::MISS_STREAK_OFF`] consecutive failed reuses it stops
+/// *storing* trees until the weights freeze (mid-saturation on a large
+/// circuit every tree invalidates everything, so storing is pure waste;
+/// once congestion clamps and distances stop moving, storing resumes and
+/// full-tree restores kick in).
+///
+/// # Examples
+///
+/// ```
+/// use ppet_graph::{dijkstra::{DijkstraScratch, SsspCache}, CircuitGraph};
+/// use ppet_netlist::data;
+///
+/// let g = CircuitGraph::from_circuit(&data::s27());
+/// let unit = vec![1.0; g.num_nodes()];
+/// let mut scratch = DijkstraScratch::new(g.num_nodes());
+/// let mut cache = SsspCache::new(g.num_nodes(), 1 << 16);
+/// let src = g.find("G0").unwrap();
+/// cache.run(&mut scratch, g.csr(), src, &unit);
+/// let first: Vec<f64> = g.nodes().map(|v| scratch.distance(v)).collect();
+/// // No weight changed: the second run reuses the whole tree.
+/// cache.run(&mut scratch, g.csr(), src, &unit);
+/// let second: Vec<f64> = g.nodes().map(|v| scratch.distance(v)).collect();
+/// assert_eq!(first, second);
+/// assert!(scratch.stats().reused > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsspCache {
+    trees: Vec<Option<CachedTree>>,
+    last_changed: Vec<u64>,
+    clock: u64,
+    budget: usize,
+    used: usize,
+    valid_stamp: Vec<u32>,
+    valid_epoch: u32,
+    valid_flags: Vec<bool>,
+    /// Total [`SsspCache::note_changed`] calls ever; a cached tree built
+    /// when this had the same value is trivially fully valid.
+    changes: u64,
+    /// `changes` as of the previous [`SsspCache::run`] — equal to
+    /// `changes` when the weights have frozen.
+    changes_at_prev_run: u64,
+    /// Consecutive runs that found a cached tree but could not restore
+    /// it whole.
+    miss_streak: u32,
+}
+
+impl SsspCache {
+    /// After this many consecutive failed full-tree reuses the cache
+    /// stops storing trees (each store copies the whole tree for
+    /// nothing) until a run observes zero weight changes — the signal
+    /// that congestion has clamped and reuse can start paying again.
+    pub const MISS_STREAK_OFF: u32 = 64;
+
+    /// Creates a cache for graphs of `n` nodes holding at most
+    /// `budget_nodes` cached tree nodes across all sources.
+    #[must_use]
+    pub fn new(n: usize, budget_nodes: usize) -> Self {
+        Self {
+            trees: vec![None; n],
+            last_changed: vec![0; n],
+            clock: 0,
+            budget: budget_nodes,
+            used: 0,
+            valid_stamp: vec![0; n],
+            valid_epoch: 0,
+            valid_flags: Vec::new(),
+            changes: 0,
+            changes_at_prev_run: 0,
+            miss_streak: 0,
+        }
+    }
+
+    /// Records that `net`'s weight changed after the most recent
+    /// [`SsspCache::run`]. Call once per changed net per tree.
+    pub fn note_changed(&mut self, net: NetId) {
+        self.last_changed[net.index()] = self.clock;
+        self.changes += 1;
+    }
+
+    /// Computes the shortest-path tree from `source` into `scratch`,
+    /// reusing whatever the cache proves unchanged. Results in `scratch`
+    /// are bit-identical to `scratch.run_fast(csr, source, length)`.
+    pub fn run(
+        &mut self,
+        scratch: &mut DijkstraScratch,
+        csr: &Csr,
+        source: CellId,
+        length: &[f64],
+    ) {
+        self.clock += 1;
+        let frozen = self.changes == self.changes_at_prev_run;
+        self.changes_at_prev_run = self.changes;
+        let s = source.index();
+        match self.trees[s].take() {
+            None => scratch.run_fast(csr, source, length),
+            Some(tree) => {
+                let changes_since = self.changes - tree.changes_at_build;
+                if changes_since == 0 {
+                    // Nothing anywhere changed since this tree was built.
+                    self.miss_streak = 0;
+                    scratch.restore_tree(&tree.nodes);
+                    self.trees[s] = Some(tree);
+                    return;
+                }
+                self.valid_epoch = self.valid_epoch.wrapping_add(1);
+                if self.valid_epoch == 0 {
+                    self.valid_stamp.fill(u32::MAX);
+                    self.valid_epoch = 1;
+                }
+                self.valid_flags.clear();
+                let mut valid_count = 0usize;
+                for e in &tree.nodes {
+                    let ok = e.parent == u32::MAX
+                        || (self.valid_stamp[e.parent as usize] == self.valid_epoch
+                            && self.last_changed[e.parent as usize] < tree.built_at);
+                    if ok {
+                        self.valid_stamp[e.node as usize] = self.valid_epoch;
+                        valid_count += 1;
+                    }
+                    self.valid_flags.push(ok);
+                }
+                if valid_count == tree.nodes.len() {
+                    self.miss_streak = 0;
+                    scratch.restore_tree(&tree.nodes);
+                    self.trees[s] = Some(tree);
+                    return;
+                }
+                self.miss_streak = self.miss_streak.saturating_add(1);
+                self.used -= tree.nodes.len();
+                if 2 * valid_count >= tree.nodes.len() {
+                    // Enough survives for the seeded re-search to beat a
+                    // fresh run.
+                    scratch.run_seeded(csr, source, length, &tree.nodes, &self.valid_flags);
+                } else {
+                    scratch.run_fast(csr, source, length);
+                }
+            }
+        }
+        if self.miss_streak >= Self::MISS_STREAK_OFF && !frozen {
+            return;
+        }
+        let len = scratch.visited_order().len();
+        if self.used + len <= self.budget {
+            let nodes: Vec<CacheNode> = scratch
+                .visited_order()
+                .iter()
+                .map(|&v| CacheNode {
+                    node: v.index() as u32,
+                    parent: scratch.parent(v).map_or(u32::MAX, |p| p.index() as u32),
+                    dist: scratch.distance(v),
+                })
+                .collect();
+            self.used += len;
+            self.trees[s] = Some(CachedTree {
+                built_at: self.clock,
+                changes_at_build: self.changes,
+                nodes,
+            });
+        }
     }
 }
 
@@ -433,6 +1204,175 @@ mod tests {
     }
 
     #[test]
+    fn csr_run_matches_reference_exactly() {
+        let g = s27_graph();
+        let lengths: Vec<f64> = (0..g.num_nodes()).map(|i| (i % 7) as f64 * 0.5).collect();
+        for src in g.nodes() {
+            let mut a = DijkstraScratch::new(g.num_nodes());
+            a.run(&g, src, &lengths);
+            let mut b = DijkstraScratch::new(g.num_nodes());
+            b.run_csr(g.csr(), src, &lengths);
+            assert_eq!(a.visited_order(), b.visited_order(), "src {src}");
+            assert_eq!(a.stats(), b.stats(), "src {src}");
+            for v in g.nodes() {
+                assert_eq!(a.distance(v).to_bits(), b.distance(v).to_bits());
+                assert_eq!(a.parent(v), b.parent(v));
+            }
+            assert_eq!(a.tree_nets(), b.tree_nets());
+            assert_eq!(a.tree_net_branch_counts(), b.tree_net_branch_counts());
+        }
+    }
+
+    #[test]
+    fn tree_net_counts_agree_with_sorted_views() {
+        let g = s27_graph();
+        let unit = vec![1.0; g.num_nodes()];
+        let mut scratch = DijkstraScratch::new(g.num_nodes());
+        scratch.run_csr(g.csr(), g.find("G0").unwrap(), &unit);
+        let mut from_iter: Vec<(NetId, usize)> = scratch
+            .tree_net_counts()
+            .map(|(n, c)| (n, c as usize))
+            .collect();
+        from_iter.sort_unstable();
+        assert_eq!(from_iter, scratch.tree_net_branch_counts());
+    }
+
+    #[test]
+    fn sssp_cache_reuses_and_invalidates_correctly() {
+        let g = s27_graph();
+        let n = g.num_nodes();
+        let mut lengths = vec![1.0; n];
+        let src = g.find("G9").unwrap();
+
+        let mut scratch = DijkstraScratch::new(n);
+        let mut cache = SsspCache::new(n, 1 << 16);
+        cache.run(&mut scratch, g.csr(), src, &lengths);
+        let baseline: Vec<u64> = g.nodes().map(|v| scratch.distance(v).to_bits()).collect();
+
+        // Unchanged weights: full reuse, identical results.
+        cache.run(&mut scratch, g.csr(), src, &lengths);
+        assert!(scratch.stats().reused > 0);
+        assert_eq!(scratch.stats().requeued, 0);
+        let again: Vec<u64> = g.nodes().map(|v| scratch.distance(v).to_bits()).collect();
+        assert_eq!(baseline, again);
+
+        // Increase a weight on the tree: the invalidated part is re-run
+        // and the result matches a fresh run bit for bit.
+        let changed = scratch.tree_nets()[0];
+        lengths[changed.index()] += 2.5;
+        cache.note_changed(changed);
+        cache.run(&mut scratch, g.csr(), src, &lengths);
+        let incremental: Vec<u64> = g.nodes().map(|v| scratch.distance(v).to_bits()).collect();
+        let inc_parents: Vec<Option<NetId>> = g.nodes().map(|v| scratch.parent(v)).collect();
+
+        let mut fresh = DijkstraScratch::new(n);
+        fresh.run_csr(g.csr(), src, &lengths);
+        let want: Vec<u64> = g.nodes().map(|v| fresh.distance(v).to_bits()).collect();
+        let want_parents: Vec<Option<NetId>> = g.nodes().map(|v| fresh.parent(v)).collect();
+        assert_eq!(incremental, want);
+        assert_eq!(inc_parents, want_parents);
+    }
+
+    #[test]
+    fn sssp_cache_with_zero_budget_always_runs_fresh() {
+        let g = s27_graph();
+        let n = g.num_nodes();
+        let unit = vec![1.0; n];
+        let src = g.find("G0").unwrap();
+        let mut scratch = DijkstraScratch::new(n);
+        let mut cache = SsspCache::new(n, 0);
+        cache.run(&mut scratch, g.csr(), src, &unit);
+        cache.run(&mut scratch, g.csr(), src, &unit);
+        assert_eq!(scratch.stats().reused, 0);
+        assert_eq!(scratch.stats().requeued, 0);
+    }
+
+    #[test]
+    fn slot_queue_run_matches_reference_exactly() {
+        let g = s27_graph();
+        // A coarse grid with zeros to force distance ties and absorption-
+        // style equal keys — the cases a sloppy drain order would break.
+        let lengths: Vec<f64> = (0..g.num_nodes()).map(|i| (i % 4) as f64 * 0.5).collect();
+        for src in g.nodes() {
+            let mut a = DijkstraScratch::new(g.num_nodes());
+            a.run(&g, src, &lengths);
+            let mut b = DijkstraScratch::new(g.num_nodes());
+            b.run_fast(g.csr(), src, &lengths);
+            // Bit-identical in every observable, settle order and work
+            // counters included: the slot queue reproduces the binary
+            // heap's (distance, node) pop order exactly.
+            assert_eq!(a.visited_order(), b.visited_order(), "src {src}");
+            assert_eq!(a.stats(), b.stats(), "src {src}");
+            for v in g.nodes() {
+                assert_eq!(
+                    a.distance(v).to_bits(),
+                    b.distance(v).to_bits(),
+                    "src {src}"
+                );
+                assert_eq!(a.parent(v), b.parent(v), "src {src}");
+            }
+            assert_eq!(a.tree_nets(), b.tree_nets());
+            assert_eq!(a.tree_net_branch_counts(), b.tree_net_branch_counts());
+        }
+    }
+
+    #[test]
+    fn slot_queue_handles_clamped_congestion_range() {
+        let g = s27_graph();
+        // Clamped-congestion-sized lengths span the whole f64 exponent
+        // range; the fixed slots must cover it without any fallback.
+        let mut lengths = vec![1.0; g.num_nodes()];
+        let src = g.find("G9").unwrap();
+        lengths[src.index()] = 1e300;
+        lengths[g.find("G0").unwrap().index()] = 1e-12;
+        let mut a = DijkstraScratch::new(g.num_nodes());
+        a.run(&g, src, &lengths);
+        let mut b = DijkstraScratch::new(g.num_nodes());
+        b.run_fast(g.csr(), src, &lengths);
+        assert_eq!(a.visited_order(), b.visited_order());
+        assert_eq!(a.stats(), b.stats());
+        for v in g.nodes() {
+            assert_eq!(a.distance(v).to_bits(), b.distance(v).to_bits());
+            assert_eq!(a.parent(v), b.parent(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn slot_queue_rejects_negative_lengths() {
+        let g = s27_graph();
+        let src = g.find("G0").unwrap();
+        let mut lengths = vec![1.0; g.num_nodes()];
+        lengths[src.index()] = -0.5; // the source always settles first
+        let mut scratch = DijkstraScratch::new(g.num_nodes());
+        scratch.run_fast(g.csr(), src, &lengths);
+    }
+
+    #[test]
+    fn radix_heap_pops_in_distance_then_node_order() {
+        let mut h = RadixHeap::new();
+        let keys = [5.0f64, 1.25, 5.0, 0.0, 1.25, 9.75];
+        for (i, k) in keys.iter().enumerate() {
+            h.push(k.to_bits(), i as u32);
+        }
+        let mut popped = Vec::new();
+        while let Some((k, n)) = h.pop() {
+            popped.push((f64::from_bits(k), n));
+        }
+        assert_eq!(
+            popped,
+            vec![
+                (0.0, 3),
+                (1.25, 1),
+                (1.25, 4),
+                (5.0, 0),
+                (5.0, 2),
+                (9.75, 5)
+            ]
+        );
+    }
+
+    #[test]
     fn stats_accumulate_and_reset() {
         let g = s27_graph();
         let unit = vec![1.0; g.num_nodes()];
@@ -468,12 +1408,34 @@ mod tests {
         let src = g.find("G0").unwrap();
         let mut lengths = vec![1.0; g.num_nodes()];
         lengths[src.index()] = -1.0; // the source always settles first
-        let _ = shortest_path_tree(&g, src, &lengths);
+        let mut scratch = DijkstraScratch::new(g.num_nodes());
+        scratch.run(&g, src, &lengths);
     }
 
     #[test]
     #[should_panic(expected = "not NaN")]
     fn nan_length_rejected() {
+        let g = s27_graph();
+        let src = g.find("G0").unwrap();
+        let mut lengths = vec![1.0; g.num_nodes()];
+        lengths[src.index()] = f64::NAN;
+        let mut scratch = DijkstraScratch::new(g.num_nodes());
+        scratch.run(&g, src, &lengths);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_rejected_by_csr_run() {
+        let g = s27_graph();
+        let src = g.find("G0").unwrap();
+        let mut lengths = vec![1.0; g.num_nodes()];
+        lengths[src.index()] = -1.0;
+        let _ = shortest_path_tree(&g, src, &lengths);
+    }
+
+    #[test]
+    #[should_panic(expected = "not NaN")]
+    fn nan_length_rejected_by_csr_run() {
         let g = s27_graph();
         let src = g.find("G0").unwrap();
         let mut lengths = vec![1.0; g.num_nodes()];

@@ -2,6 +2,8 @@
 
 use ppet_netlist::{CellId, CellKind, Circuit, NetId};
 
+use crate::csr::Csr;
+
 /// One net of the multi-pin model: a single driver with explicit fan-out
 /// branches. The net's identifier equals its driver's [`CellId`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,9 +69,9 @@ pub struct CircuitGraph {
     name: String,
     kinds: Vec<CellKind>,
     names: Vec<String>,
-    fanin: Vec<Vec<CellId>>,
     nets: Vec<Net>,
     outputs: Vec<NetId>,
+    csr: Csr,
 }
 
 impl CircuitGraph {
@@ -94,14 +96,23 @@ impl CircuitGraph {
                 nets[f.index()].sinks.push(id);
             }
         }
+        let sinks: Vec<Vec<CellId>> = nets.iter().map(|n| n.sinks.clone()).collect();
+        let csr = Csr::build(&sinks, &fanin);
         Self {
             name: circuit.name().to_string(),
             kinds,
             names,
-            fanin,
             nets,
             outputs: circuit.outputs().to_vec(),
+            csr,
         }
+    }
+
+    /// The packed struct-of-arrays view of this graph (see [`Csr`]),
+    /// built once at construction and shared by every shortest-path tree.
+    #[must_use]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
     }
 
     /// The source circuit's name.
@@ -175,7 +186,7 @@ impl CircuitGraph {
     /// The fan-in drivers of a node, in pin order.
     #[must_use]
     pub fn fanin(&self, id: CellId) -> &[CellId] {
-        &self.fanin[id.index()]
+        self.csr.fanin(id)
     }
 
     /// The net driven by `id` (may have zero sinks).
@@ -213,14 +224,15 @@ impl CircuitGraph {
     /// The distinct undirected neighbours of a node (sources of its fan-in
     /// nets and sinks of its own net) — the adjacency used when clusters are
     /// grown over uncut nets.
+    ///
+    /// Returned in ascending node-id order with duplicates and self-loops
+    /// removed, as a borrowed slice of the precomputed [`Csr`] row: the
+    /// old implementation cloned the fan-in `Vec`, extended, sorted and
+    /// deduplicated on **every call**, which made the annealer and refiner
+    /// allocate inside their innermost move loops.
     #[must_use]
-    pub fn undirected_neighbors(&self, id: CellId) -> Vec<CellId> {
-        let mut out: Vec<CellId> = self.fanin[id.index()].clone();
-        out.extend_from_slice(&self.nets[id.index()].sinks);
-        out.sort_unstable();
-        out.dedup();
-        out.retain(|&x| x != id);
-        out
+    pub fn undirected_neighbors(&self, id: CellId) -> &[CellId] {
+        self.csr.undirected(id)
     }
 }
 
@@ -262,7 +274,7 @@ mod tests {
     fn undirected_neighbors_are_symmetric() {
         let g = CircuitGraph::from_circuit(&data::s27());
         for a in g.nodes() {
-            for b in g.undirected_neighbors(a) {
+            for &b in g.undirected_neighbors(a) {
                 assert!(
                     g.undirected_neighbors(b).contains(&a),
                     "{} <-> {}",
@@ -270,6 +282,31 @@ mod tests {
                     g.node_name(b)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn undirected_neighbor_order_is_pinned() {
+        // The adjacency the partitioners iterate is a contract: ascending
+        // node id, deduplicated, no self-loops. G11 drives G17, G10 and
+        // DFF G6 and is driven by G5 and G9.
+        let g = CircuitGraph::from_circuit(&data::s27());
+        let g11 = g.find("G11").unwrap();
+        let expected: Vec<CellId> = ["G5", "G6", "G9", "G10", "G17"]
+            .iter()
+            .map(|n| g.find(n).unwrap())
+            .collect();
+        let mut sorted = expected.clone();
+        sorted.sort_unstable();
+        assert_eq!(g.undirected_neighbors(g11), &sorted[..]);
+        // And on every node the row equals the old per-call derivation.
+        for v in g.nodes() {
+            let mut reference: Vec<CellId> = g.fanin(v).to_vec();
+            reference.extend_from_slice(g.net(v).sinks());
+            reference.sort_unstable();
+            reference.dedup();
+            reference.retain(|&x| x != v);
+            assert_eq!(g.undirected_neighbors(v), &reference[..], "node {v}");
         }
     }
 

@@ -5,6 +5,9 @@
 //! * [`CircuitGraph`] — the directed **multi-pin model** of §2.1: one node
 //!   per cell (registers `R` and combinational components `C`), one net per
 //!   driver with explicit fan-out branches;
+//! * [`csr`] — the packed struct-of-arrays (CSR) view of the graph, built
+//!   once per compile and shared by every shortest-path tree of
+//!   `Saturate_Network`;
 //! * [`scc`] — Tarjan's strongly-connected-components algorithm (the paper's
 //!   STEP 2, used to bound what legal retiming can do on loops);
 //! * [`dijkstra`] — deterministic shortest-path trees over real-valued net
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod bellman;
+pub mod csr;
 pub mod dfs;
 pub mod dijkstra;
 mod graph;
@@ -42,5 +46,6 @@ pub mod retime;
 pub mod scc;
 pub mod topo;
 
+pub use csr::Csr;
 pub use graph::{Branch, CircuitGraph, Net};
 pub use ppet_netlist::{CellId as NodeId, NetId};

@@ -93,6 +93,117 @@ proptest! {
         }
     }
 
+    /// The radix-heap CSR engine is bit-identical to the binary-heap
+    /// reference: same settle order, same work counters, same distance
+    /// bits, same parents — on lengths drawn from a coarse grid that
+    /// forces zero lengths and distance ties (the cases where a sloppy
+    /// tie-break would diverge first).
+    #[test]
+    fn radix_heap_dijkstra_matches_binary_reference(g in arb_graph(), len_seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(len_seed);
+        let lengths: Vec<f64> = (0..g.num_nodes())
+            .map(|_| 0.5 * rng.gen_index(5) as f64) // {0, 0.5, 1, 1.5, 2}
+            .collect();
+        let mut reference = dijkstra::DijkstraScratch::new(g.num_nodes());
+        let mut csr = dijkstra::DijkstraScratch::new(g.num_nodes());
+        for src in g.nodes() {
+            reference.run(&g, src, &lengths);
+            csr.run_csr(g.csr(), src, &lengths);
+            prop_assert_eq!(reference.visited_order(), csr.visited_order(), "src {}", src);
+            prop_assert_eq!(reference.stats(), csr.stats(), "src {}", src);
+            for v in g.nodes() {
+                prop_assert_eq!(reference.distance(v).to_bits(), csr.distance(v).to_bits());
+                prop_assert_eq!(reference.parent(v), csr.parent(v));
+            }
+            prop_assert_eq!(reference.tree_nets(), csr.tree_nets());
+            prop_assert_eq!(
+                reference.tree_net_branch_counts(),
+                csr.tree_net_branch_counts()
+            );
+        }
+    }
+
+    /// The fixed-slot bucket-queue engine is bit-identical to the
+    /// binary-heap reference — settle order and work counters included —
+    /// on lengths drawn from a coarse grid that forces zero lengths and
+    /// distance ties (the cases where a sloppy drain order would diverge
+    /// first).
+    #[test]
+    fn slot_queue_dijkstra_matches_binary_reference(
+        g in arb_graph(),
+        len_seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(len_seed);
+        let lengths: Vec<f64> = (0..g.num_nodes())
+            .map(|_| 0.5 * rng.gen_index(5) as f64) // {0, 0.5, 1, 1.5, 2}
+            .collect();
+        let mut reference = dijkstra::DijkstraScratch::new(g.num_nodes());
+        let mut fast = dijkstra::DijkstraScratch::new(g.num_nodes());
+        for src in g.nodes() {
+            reference.run(&g, src, &lengths);
+            fast.run_fast(g.csr(), src, &lengths);
+            prop_assert_eq!(reference.visited_order(), fast.visited_order(), "src {}", src);
+            prop_assert_eq!(reference.stats(), fast.stats(), "src {}", src);
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    reference.distance(v).to_bits(), fast.distance(v).to_bits(),
+                    "src {} node {}", src, v
+                );
+                prop_assert_eq!(reference.parent(v), fast.parent(v), "src {} node {}", src, v);
+            }
+            prop_assert_eq!(reference.tree_nets(), fast.tree_nets());
+            prop_assert_eq!(
+                reference.tree_net_branch_counts(),
+                fast.tree_net_branch_counts()
+            );
+        }
+    }
+
+    /// The incremental SSSP cache is result-invisible across monotone
+    /// congestion updates: a saturation-shaped sequence of runs with
+    /// weights that only ever increase produces, at every step, exactly
+    /// the distances/parents/tree a fresh search over the current weights
+    /// produces.
+    #[test]
+    fn incremental_sssp_matches_fresh_across_congestion_updates(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let n = g.num_nodes();
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        // Strictly positive lengths, as the SsspCache contract requires
+        // (congestion distances are always >= 1).
+        let mut lengths: Vec<f64> = (0..n).map(|_| 1.0 + rng.gen_f64() * 3.0).collect();
+        let nodes: Vec<_> = g.nodes().collect();
+        let mut cache = dijkstra::SsspCache::new(n, 1 << 16);
+        let mut inc = dijkstra::DijkstraScratch::new(n);
+        let mut fresh = dijkstra::DijkstraScratch::new(n);
+        for round in 0..12 {
+            let src = nodes[rng.gen_index(nodes.len())];
+            cache.run(&mut inc, g.csr(), src, &lengths);
+            fresh.run_csr(g.csr(), src, &lengths);
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    inc.distance(v).to_bits(), fresh.distance(v).to_bits(),
+                    "round {} src {} node {}", round, src, v
+                );
+                prop_assert_eq!(inc.parent(v), fresh.parent(v), "round {} src {} node {}", round, src, v);
+            }
+            // Settle order may differ (restored prefix first), but the
+            // tree itself may not.
+            prop_assert_eq!(inc.visited_order().len(), fresh.visited_order().len());
+            prop_assert_eq!(inc.tree_nets(), fresh.tree_nets());
+            prop_assert_eq!(inc.tree_net_branch_counts(), fresh.tree_net_branch_counts());
+            // Monotone congestion update: bump a few random nets and
+            // report every change, like the saturation loop does.
+            for _ in 0..rng.gen_index(4) {
+                let net = nodes[rng.gen_index(nodes.len())];
+                lengths[net.index()] += rng.gen_f64() * 2.0;
+                cache.note_changed(net);
+            }
+        }
+    }
+
     /// Forward reachability from PIs plus registers covers every gate
     /// (generator invariant: no floating logic).
     #[test]

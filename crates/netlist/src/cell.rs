@@ -13,6 +13,7 @@ pub struct CellId(pub(crate) u32);
 
 impl CellId {
     /// Returns the dense index of this cell (0-based insertion order).
+    #[inline]
     #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -22,6 +23,7 @@ impl CellId {
     ///
     /// Intended for graph code that stores per-cell data in flat vectors;
     /// an out-of-range index is caught on the next circuit access.
+    #[inline]
     #[must_use]
     pub fn from_index(index: usize) -> Self {
         Self(u32::try_from(index).expect("cell index exceeds u32 range"))

@@ -76,8 +76,8 @@ pub fn greedy_refine(
             // Candidate targets: partitions of the cell's neighbours.
             let mut targets: Vec<ClusterId> = graph
                 .undirected_neighbors(cell)
-                .into_iter()
-                .map(|w| clustering.cluster_of(w))
+                .iter()
+                .map(|&w| clustering.cluster_of(w))
                 .filter(|&t| t != home)
                 .collect();
             targets.sort_unstable();

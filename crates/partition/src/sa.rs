@@ -125,7 +125,7 @@ pub fn anneal(graph: &CircuitGraph, params: &SaParams, seed: u64) -> SaResult {
             }
             assignment[v.index()] = c as u32;
             remaining -= 1;
-            for w in graph.undirected_neighbors(v) {
+            for &w in graph.undirected_neighbors(v) {
                 if assignment[w.index()] == u32::MAX {
                     queue.push(w);
                 }

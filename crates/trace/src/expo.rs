@@ -257,10 +257,7 @@ impl Exposition {
             *self.gauges.entry(key.clone()).or_insert(0.0) += value;
         }
         for (key, value) in &other.histograms {
-            self.histograms
-                .entry(key.clone())
-                .or_default()
-                .merge(value);
+            self.histograms.entry(key.clone()).or_default().merge(value);
         }
     }
 

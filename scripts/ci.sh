@@ -45,6 +45,9 @@ scripts/parity.sh
 echo "==> audit golden corpus"
 scripts/golden.sh --check
 
+echo "==> perf gate: saturation hot path vs recorded floor"
+scripts/perf_gate.sh
+
 echo "==> serve smoke: compile service round-trip, cache hit, drain"
 scripts/serve_smoke.sh
 

@@ -42,16 +42,31 @@ build() {
     cargo build -q --release -p ppet-core --bin merced
 }
 
+# Bless stages every fresh recording in a temp directory and requires a
+# clean `merced audit` on each BEFORE anything moves into recorded/ — a
+# recording that cannot re-verify must never become the corpus, even
+# transiently (an interrupted bless would otherwise leave a half-written
+# golden directory that --check then enshrines).
 bless() {
     build
-    mkdir -p "$GOLDEN_DIR"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT INT TERM
     corpus | while read -r name flags; do
         echo "==> bless $name"
         # shellcheck disable=SC2086
         "$MERCED" --builtin "$name" $flags --audit --quiet \
-            --trace-json "$GOLDEN_DIR/$name.json" > /dev/null
+            --trace-json "$tmp/$name.json" > /dev/null
+        "$MERCED" audit "$tmp/$name.json" --quiet || {
+            echo "golden: fresh $name recording failed its own audit;" >&2
+            echo "golden: refusing to bless — nothing was overwritten" >&2
+            exit 1
+        }
     done
-    echo "golden: blessed $(corpus | wc -l | tr -d ' ') recordings in $GOLDEN_DIR"
+    mkdir -p "$GOLDEN_DIR"
+    corpus | while read -r name _flags; do
+        mv "$tmp/$name.json" "$GOLDEN_DIR/$name.json"
+    done
+    echo "golden: blessed $(corpus | wc -l | tr -d ' ') audited recordings in $GOLDEN_DIR"
 }
 
 check() {

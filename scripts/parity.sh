@@ -51,4 +51,19 @@ for name in s27.json batch.json; do
         exit 1
     fi
 done
-echo "manifests identical modulo wall_ns/jobs"
+
+# The diff above only proves parity for counters that are actually in the
+# manifests. The saturation-rewrite counters (CSR shape, bucket-queue
+# requeues, SSSP-cache reuses) are exactly the ones a parallel merge could
+# get wrong, so require their presence explicitly — silently dropping one
+# from the manifest must fail here, not pass vacuously.
+for counter in flow.csr.nodes flow.csr.branches flow.requeue flow.reused \
+               flow.heap_pops flow.nodes_settled flow.relaxations; do
+    for side in seq par; do
+        grep -q "\"$counter\"" "$tmp/$side/s27.json" || {
+            echo "parity: counter $counter missing from the $side manifest" >&2
+            exit 1
+        }
+    done
+done
+echo "manifests identical modulo wall_ns/jobs (saturation counters covered)"

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Perf-regression gate for the saturation hot path.
+#
+#   scripts/perf_gate.sh           build the release bench harness and fail
+#                                  if the fresh optimized median on any gate
+#                                  circuit is more than the tolerance (1.3x,
+#                                  recorded in the floor file) slower than
+#                                  the checked-in floor
+#   scripts/perf_gate.sh --bless   re-measure and overwrite the floor (run
+#                                  after an intentional perf-relevant change
+#                                  on the reference machine, then commit)
+#
+# The floor lives in recorded/BENCH_saturate.json (schema
+# ppet-bench-saturate/v1). Only the `optimized_ns` column gates; the
+# reference column documents the speedup the rewrite bought. Before any
+# timing the harness asserts the optimized engine is result-identical to
+# the retained pre-rewrite reference, so a "fast but wrong" engine can
+# never pass. Run from the repository root. Fully offline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FLOOR=recorded/BENCH_saturate.json
+SATURATE=target/release/saturate
+
+echo "==> cargo build --release -p ppet-bench --bin saturate"
+cargo build -q --release -p ppet-bench --bin saturate
+
+case "${1:-}" in
+    "")
+        "$SATURATE" --gate "$FLOOR"
+        ;;
+    --bless)
+        "$SATURATE" --bless "$FLOOR"
+        echo "perf_gate: blessed $FLOOR — review and commit the diff"
+        ;;
+    *)
+        echo "usage: scripts/perf_gate.sh [--bless]" >&2
+        exit 2
+        ;;
+esac
