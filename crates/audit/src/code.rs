@@ -81,6 +81,17 @@ pub enum AuditCode {
     /// The recorded test schedule disagrees with a rebuilt Fig. 1
     /// schedule (pipes or cycle counts).
     ScheduleCycles,
+    /// The power schedule does not test every partition block exactly
+    /// once.
+    SchedCoverage,
+    /// A power-schedule step exceeds the recorded budget, or a step's
+    /// recorded power/duration disagrees with a recount from the
+    /// re-derived block rates.
+    SchedPowerBudget,
+    /// The recorded power schedule differs from an independent rebuild
+    /// with the deterministic list scheduler (steps, total time, or peak
+    /// power).
+    SchedRebuild,
     /// The recorded manifest could not be interpreted (schema, missing
     /// fields, unknown circuit).
     ManifestSchema,
@@ -116,6 +127,9 @@ impl AuditCode {
             Self::CostDeciDff => "cost-deci-dff",
             Self::CostSaving => "cost-saving",
             Self::ScheduleCycles => "schedule-cycles",
+            Self::SchedCoverage => "sched-coverage",
+            Self::SchedPowerBudget => "sched-power-budget",
+            Self::SchedRebuild => "sched-rebuild",
             Self::ManifestSchema => "manifest-schema",
             Self::ManifestMismatch => "manifest-mismatch",
         }
@@ -158,6 +172,9 @@ mod tests {
             AuditCode::CostDeciDff,
             AuditCode::CostSaving,
             AuditCode::ScheduleCycles,
+            AuditCode::SchedCoverage,
+            AuditCode::SchedPowerBudget,
+            AuditCode::SchedRebuild,
             AuditCode::ManifestSchema,
             AuditCode::ManifestMismatch,
         ];

@@ -19,7 +19,11 @@
 //!   proof of every feedback polynomial ([`gf2`]), MISR widths and
 //!   maximal periods, and the Fig. 1 cascade wiring / test schedule;
 //! * **cost accounting** — Eq. (4) totals, the 0.9 / 2.3 DFF breakdown
-//!   with and without retiming, and the headline saving.
+//!   with and without retiming, and the headline saving;
+//! * **power scheduling** — every partition block tested exactly once,
+//!   every step within the recorded peak-power budget (rates re-derived
+//!   from the input cones, never from the claimed CBIT lengths), and an
+//!   exact rebuild with `ppet-sched`'s deterministic list scheduler.
 //!
 //! Every verdict carries a stable kebab-case [`AuditCode`] so CI names
 //! the violated paper property directly. [`manifest::cross_check`]
@@ -28,8 +32,8 @@
 //! recorded lag witness against the netlist.
 //!
 //! The crate deliberately depends only on the substrate crates (netlist,
-//! graph, partition, cbit, trace) — never on `ppet-core` — so the checker
-//! and the compiler share no accounting code.
+//! graph, partition, cbit, sched, trace) — never on `ppet-core` — so the
+//! checker and the compiler share no accounting code.
 
 mod code;
 mod ctx;
@@ -40,6 +44,7 @@ mod cbit;
 mod cost;
 mod partition;
 mod retime;
+mod sched;
 
 pub mod gf2;
 pub mod manifest;
@@ -47,7 +52,9 @@ pub mod manifest;
 pub use code::AuditCode;
 pub use report::{AuditCheck, AuditReport};
 pub use retime::{serialize_witness, verify_recorded_witness};
-pub use subject::{AuditSubject, ClaimedBreakdown, ClaimedPartition, Claims, RetimingPolicy};
+pub use subject::{
+    AuditSubject, ClaimedBreakdown, ClaimedPartition, ClaimedPowerStep, Claims, RetimingPolicy,
+};
 
 use ctx::Ctx;
 
@@ -56,8 +63,8 @@ use ctx::Ctx;
 /// # Examples
 ///
 /// ```
-/// use ppet_audit::{audit, AuditSubject, ClaimedBreakdown, ClaimedPartition, Claims,
-///                  RetimingPolicy};
+/// use ppet_audit::{audit, AuditSubject, ClaimedBreakdown, ClaimedPartition,
+///                  ClaimedPowerStep, Claims, RetimingPolicy};
 /// use ppet_cbit::cost::CostSource;
 /// use ppet_netlist::data;
 /// use ppet_partition::Partition;
@@ -95,6 +102,8 @@ use ctx::Ctx;
 ///         schedule_pipes: 1,
 ///         schedule_total_cycles: 16,
 ///         schedule_sequential_cycles: 16,
+///         power_budget_cdf: 814,
+///         power_steps: vec![ClaimedPowerStep { blocks: vec![0], cycles: 16, power_cdf: 814 }],
 ///     },
 /// };
 /// let report = audit(&subject);
@@ -123,5 +132,6 @@ pub fn audit(subject: &AuditSubject<'_>) -> AuditReport {
     let realization = retime::check(&ctx, &mut report);
     cbit::check(&ctx, &mut report);
     cost::check(&ctx, realization.as_ref(), &mut report);
+    sched::check(&ctx, &mut report);
     report
 }

@@ -1,0 +1,161 @@
+//! Power-schedule checks: block coverage, the peak-power budget, and an
+//! independent rebuild with the deterministic list scheduler.
+//!
+//! Block power rates are re-derived from the *re-derived* input cones —
+//! never from the claimed CBIT lengths — through the same `ppet-sched`
+//! power model the compiler used (Table 1 switched register + XOR area in
+//! centi-DFF), so a compiler that mis-sized a CBIT cannot vouch for its
+//! own schedule.
+
+use ppet_sched::{schedule, PowerModel, SchedBlock};
+
+use crate::code::AuditCode;
+use crate::ctx::Ctx;
+use crate::report::AuditReport;
+
+/// The paper's standard CBIT lengths (the auditor's own copy).
+const STANDARD_LENGTHS: [u32; 6] = [4, 8, 12, 16, 24, 32];
+
+pub(crate) fn check(ctx: &Ctx<'_>, report: &mut AuditReport) {
+    let claims = &ctx.subject.claims;
+    let n = ctx.subject.partitions.len();
+
+    // Coverage: every partition block scheduled exactly once.
+    let mut seen = vec![0usize; n];
+    let mut bad = Vec::new();
+    for (s, step) in claims.power_steps.iter().enumerate() {
+        for &b in &step.blocks {
+            match seen.get_mut(b) {
+                Some(count) => *count += 1,
+                None => bad.push(format!("step {s}: block {b} out of range")),
+            }
+        }
+    }
+    for (b, &count) in seen.iter().enumerate() {
+        if count != 1 {
+            bad.push(format!("block {b} scheduled {count} times"));
+        }
+    }
+    if bad.is_empty() {
+        report.ok(
+            AuditCode::SchedCoverage,
+            format!(
+                "{n} blocks tested exactly once across {} steps",
+                claims.power_steps.len()
+            ),
+        );
+    } else {
+        bad.truncate(3);
+        report.fail(AuditCode::SchedCoverage, bad.join("; "));
+    }
+
+    // Independent block rates from the re-derived input cones.
+    let model = PowerModel::new(ctx.subject.cost_source);
+    let blocks: Vec<SchedBlock> = (0..n)
+        .map(|k| {
+            let width = ctx.derived_inputs.get(k).map_or(0, Vec::len) as u32;
+            let lk = if width == 0 {
+                0
+            } else {
+                STANDARD_LENGTHS
+                    .iter()
+                    .copied()
+                    .find(|&l| l >= width)
+                    .unwrap_or(width)
+            };
+            model.block(k, lk)
+        })
+        .collect();
+
+    // Budget: recount every step's power and duration from the derived
+    // rates; no step may exceed the claimed budget.
+    let mut bad = Vec::new();
+    for (s, step) in claims.power_steps.iter().enumerate() {
+        let power: u64 = step
+            .blocks
+            .iter()
+            .filter_map(|&b| blocks.get(b))
+            .map(|blk| blk.power_cdf)
+            .sum();
+        let cycles: u128 = step
+            .blocks
+            .iter()
+            .filter_map(|&b| blocks.get(b))
+            .map(|blk| blk.session_cycles)
+            .max()
+            .unwrap_or(0);
+        if step.power_cdf != power {
+            bad.push(format!(
+                "step {s}: claimed {} cdf, derived rates sum to {power}",
+                step.power_cdf
+            ));
+        }
+        if step.cycles != cycles {
+            bad.push(format!(
+                "step {s}: claimed {} cycles, longest member session is {cycles}",
+                step.cycles
+            ));
+        }
+        if step.power_cdf > claims.power_budget_cdf {
+            bad.push(format!(
+                "step {s}: {} cdf exceeds the budget {}",
+                step.power_cdf, claims.power_budget_cdf
+            ));
+        }
+    }
+    if bad.is_empty() {
+        report.ok(
+            AuditCode::SchedPowerBudget,
+            format!(
+                "every step within budget {} cdf (peak {})",
+                claims.power_budget_cdf,
+                claims
+                    .power_steps
+                    .iter()
+                    .map(|s| s.power_cdf)
+                    .max()
+                    .unwrap_or(0)
+            ),
+        );
+    } else {
+        bad.truncate(3);
+        report.fail(AuditCode::SchedPowerBudget, bad.join("; "));
+    }
+
+    // Rebuild: the schedule is a pure function of the blocks and the
+    // budget, so the deterministic list scheduler must reproduce it.
+    match schedule(&blocks, claims.power_budget_cdf) {
+        Err(e) => report.fail(
+            AuditCode::SchedRebuild,
+            format!("recorded budget is infeasible: {e}"),
+        ),
+        Ok(rebuilt) => {
+            let same = rebuilt.steps.len() == claims.power_steps.len()
+                && rebuilt.steps.iter().zip(&claims.power_steps).all(|(r, c)| {
+                    r.blocks == c.blocks && r.cycles == c.cycles && r.power_cdf == c.power_cdf
+                });
+            if same {
+                report.ok(
+                    AuditCode::SchedRebuild,
+                    format!(
+                        "list scheduler reproduces {} steps, {} cycles total, peak {} cdf",
+                        rebuilt.steps.len(),
+                        rebuilt.total_cycles(),
+                        rebuilt.peak_power_cdf()
+                    ),
+                );
+            } else {
+                report.fail(
+                    AuditCode::SchedRebuild,
+                    format!(
+                        "claimed {} steps ({} cycles), rebuilt {} steps ({} cycles)",
+                        claims.power_steps.len(),
+                        claims.power_steps.iter().map(|s| s.cycles).sum::<u128>(),
+                        rebuilt.steps.len(),
+                        rebuilt.total_cycles()
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -43,6 +43,17 @@ pub struct ClaimedPartition {
     pub cbit_length: u32,
 }
 
+/// One claimed power-schedule step: blocks tested concurrently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimedPowerStep {
+    /// Member partition indices.
+    pub blocks: Vec<usize>,
+    /// Claimed step duration in cycles (the longest member session).
+    pub cycles: u128,
+    /// Claimed step power in centi-DFF (the sum of member rates).
+    pub power_cdf: u64,
+}
+
 /// Every number the compiler reported that the audit re-derives.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Claims {
@@ -77,6 +88,11 @@ pub struct Claims {
     pub schedule_total_cycles: u128,
     /// Sequential testing time in cycles.
     pub schedule_sequential_cycles: u128,
+    /// The peak-power budget the power schedule was packed under
+    /// (centi-DFF of switched area).
+    pub power_budget_cdf: u64,
+    /// The claimed power-schedule steps, in execution order.
+    pub power_steps: Vec<ClaimedPowerStep>,
 }
 
 /// The audit subject: the original netlist, the compiled configuration

@@ -1,0 +1,100 @@
+//! Measures the power scheduler on the golden-corpus circuits: compile
+//! each one, then time the list-scheduling pass and the Pareto budget
+//! sweep, and record the schedule quality — how close the packed test
+//! time gets to the unconstrained lower bound (the longest single
+//! session) and how far below the all-parallel peak the default budget
+//! keeps the power. Writes the results to `BENCH_sched.json`.
+//!
+//! The scheduler is a pure function of the partition summaries, so the
+//! numbers here are exactly reproducible; the timing columns exist to
+//! keep the pass honest (it runs inside every compile) rather than to
+//! gate performance.
+//!
+//! Usage: `sched_bench [out.json]` (default `BENCH_sched.json`).
+
+use std::time::Instant;
+
+use ppet_core::power_sched::{partition_blocks, partition_schedule};
+use ppet_core::{resolve_builtin, CostPolicy, Merced, MercedConfig};
+use ppet_sched::{default_budget_cdf, pareto_points, DEFAULT_PARETO_POINTS};
+
+/// The golden corpus: name, `l_k`, cost policy (mirrors
+/// `scripts/golden.sh`).
+const CORPUS: &[(&str, usize, CostPolicy)] = &[
+    ("s27", 4, CostPolicy::PaperScc),
+    ("counter8", 4, CostPolicy::PaperScc),
+    ("johnson12", 6, CostPolicy::PaperScc),
+    ("s510", 16, CostPolicy::PaperScc),
+    ("s641", 16, CostPolicy::Solver),
+];
+
+/// Timing repetitions per circuit (the pass is microseconds; the mean
+/// over many runs is steadier than any single draw).
+const REPS: u32 = 200;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sched.json".to_string());
+
+    let mut rows = Vec::new();
+    for &(name, lk, policy) in CORPUS {
+        let circuit = resolve_builtin(name).expect("builtin circuit");
+        let config = MercedConfig::default()
+            .with_cbit_length(lk)
+            .with_cost_policy(policy);
+        let report = Merced::new(config).compile(&circuit).expect("compile");
+
+        let source = report.config.cost_source;
+        let blocks = partition_blocks(&report.partitions, source);
+        let budget = default_budget_cdf(&blocks);
+        let all_parallel_cdf: u64 = blocks.iter().map(|b| b.power_cdf).sum();
+        let serial_cycles: u128 = blocks.iter().map(|b| b.session_cycles).sum();
+        let longest_session: u128 = blocks.iter().map(|b| b.session_cycles).max().unwrap_or(0);
+
+        let start = Instant::now();
+        for _ in 0..REPS {
+            partition_schedule(&report.partitions, source, None).expect("schedule");
+        }
+        let sched_ns = (start.elapsed().as_nanos() / u128::from(REPS)) as u64;
+
+        let start = Instant::now();
+        let sweep = pareto_points(&blocks, DEFAULT_PARETO_POINTS);
+        let pareto_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+        let power = &report.power;
+        assert_eq!(
+            power.budget_cdf, budget,
+            "compile embeds the default budget"
+        );
+        rows.push(format!(
+            "    {{\"circuit\": \"{name}\", \"lk\": {lk}, \"blocks\": {}, \
+             \"budget_cdf\": {}, \"peak_cdf\": {}, \"all_parallel_cdf\": {all_parallel_cdf}, \
+             \"steps\": {}, \"total_cycles\": {}, \"serial_cycles\": {serial_cycles}, \
+             \"longest_session\": {longest_session}, \"sched_ns\": {sched_ns}, \
+             \"pareto_points\": {}, \"pareto_ns\": {pareto_ns}}}",
+            blocks.len(),
+            power.budget_cdf,
+            power.peak_power_cdf(),
+            power.steps.len(),
+            power.total_cycles(),
+            sweep.len(),
+        ));
+
+        // Sanity the sweep is monotone before recording anything.
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].total_cycles() <= pair[0].total_cycles(),
+                "{name}: pareto sweep not monotone"
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"ppet-bench-sched/v1\",\n  \"reps\": {REPS},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write output");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

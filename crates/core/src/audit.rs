@@ -25,7 +25,8 @@
 //! ```
 
 use ppet_audit::{
-    AuditReport, AuditSubject, ClaimedBreakdown, ClaimedPartition, Claims, RetimingPolicy,
+    AuditReport, AuditSubject, ClaimedBreakdown, ClaimedPartition, ClaimedPowerStep, Claims,
+    RetimingPolicy,
 };
 use ppet_netlist::Circuit;
 use ppet_trace::RunManifest;
@@ -67,6 +68,17 @@ fn claims_of(report: &PpetReport) -> Claims {
         schedule_pipes: report.schedule.pipes,
         schedule_total_cycles: report.schedule.total_cycles,
         schedule_sequential_cycles: report.schedule.sequential_cycles,
+        power_budget_cdf: report.power.budget_cdf,
+        power_steps: report
+            .power
+            .steps
+            .iter()
+            .map(|s| ClaimedPowerStep {
+                blocks: s.blocks.clone(),
+                cycles: s.cycles,
+                power_cdf: s.power_cdf,
+            })
+            .collect(),
     }
 }
 
@@ -178,6 +190,32 @@ mod tests {
         let audit = ppet_audit::audit(&subject);
         assert!(!audit.pass());
         assert!(audit.failed(AuditCode::PartitionCutSet), "{audit}");
+    }
+
+    #[test]
+    fn corrupted_power_schedule_is_caught() {
+        let (circuit, compilation) = compiled(4);
+
+        // Dropping a block from a step breaks coverage.
+        let mut subject = compilation.audit_subject(&circuit);
+        subject.claims.power_steps[0].blocks.remove(0);
+        let audit = ppet_audit::audit(&subject);
+        assert!(audit.failed(AuditCode::SchedCoverage), "{audit}");
+
+        // An overstated step power breaks the rate recount.
+        let mut subject = compilation.audit_subject(&circuit);
+        subject.claims.power_steps[0].power_cdf += 1;
+        let audit = ppet_audit::audit(&subject);
+        assert!(audit.failed(AuditCode::SchedPowerBudget), "{audit}");
+
+        // A repacked schedule (steps in the wrong order) fails the
+        // deterministic rebuild even if coverage and budget still hold.
+        let mut subject = compilation.audit_subject(&circuit);
+        if subject.claims.power_steps.len() > 1 {
+            subject.claims.power_steps.reverse();
+            let audit = ppet_audit::audit(&subject);
+            assert!(audit.failed(AuditCode::SchedRebuild), "{audit}");
+        }
     }
 
     #[test]

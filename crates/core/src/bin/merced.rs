@@ -4,6 +4,8 @@
 //! merced <netlist.bench> [options]
 //! merced batch <netlist.bench>... [options]
 //! merced audit <manifest.json> [--bench netlist.bench] [options]
+//! merced schedule <netlist.bench | --builtin NAME> [options]
+//! merced schedule --manifest <manifest.json> [--power-budget CDF] [--pareto]
 //! merced serve --addr <host:port> [--workers N] [--queue N]
 //!              [--timeout-ms N] [--store DIR] [--store-budget BYTES]
 //!              [--cache-cap N] [--trace-ring N] [--slow-ms N] [options]
@@ -22,6 +24,11 @@
 //!   --max-trees <N>    cap on saturation trees (default unbounded)
 //!   --jobs <N|max>     worker threads (default $PPET_JOBS, else 1); never
 //!                      changes results, capped at the available cores
+//!   --power-budget <C> peak-power budget for the test schedule, in
+//!                      centi-DFF of switched CBIT area (default: the
+//!                      larger of the hottest single block and half the
+//!                      all-blocks-at-once power); an explicit budget
+//!                      below the hottest block is a compile error
 //!   --replicas <N>     saturation replica streams (default 1 = the paper's
 //!                      sequential loop; changes the deterministic result)
 //!   --builtin <name>   compile a built-in circuit instead of a file: s27,
@@ -39,6 +46,17 @@
 //!   --trace-json <out> write the JSON run manifest (in batch mode: a
 //!                      directory receiving one manifest per job plus
 //!                      batch.json)
+//!
+//! Schedule options (`merced schedule`):
+//!   --manifest <file>  rebuild the schedule recorded in a run manifest
+//!                      (partition rows + recorded config) instead of
+//!                      compiling; --power-budget then re-packs the
+//!                      recorded partitions under a different budget
+//!   --pareto           sweep a budget grid from the hottest single block
+//!                      to full concurrency and print the time/power
+//!                      frontier instead of one schedule
+//!   --pareto-points <N> grid points for the sweep (default 8)
+//!   The output is one `ppet-sched/v1` JSON document on stdout.
 //!
 //! Serve options:
 //!   --addr <host:port> listen address (port 0 picks an ephemeral port;
@@ -184,6 +202,7 @@ enum Mode {
     Single,
     Batch,
     Audit,
+    Schedule,
     Serve,
     Store,
     Stat,
@@ -201,6 +220,10 @@ struct Options {
     max_trees: Option<u64>,
     jobs: Option<usize>,
     replicas: u32,
+    power_budget: Option<u64>,
+    pareto: bool,
+    pareto_points: Option<usize>,
+    manifest: Option<String>,
     audit: bool,
     bench: Option<String>,
     emit: Option<String>,
@@ -239,6 +262,10 @@ fn parse_args() -> Result<Options, String> {
         max_trees: None,
         jobs: None,
         replicas: 1,
+        power_budget: None,
+        pareto: false,
+        pareto_points: None,
+        manifest: None,
         audit: false,
         bench: None,
         emit: None,
@@ -276,6 +303,15 @@ fn parse_args() -> Result<Options, String> {
                 opts.jobs = Some(jobs);
             }
             "--replicas" => opts.replicas = next_value(&mut args, "--replicas")?,
+            "--power-budget" => opts.power_budget = Some(next_value(&mut args, "--power-budget")?),
+            "--pareto" => opts.pareto = true,
+            "--pareto-points" => {
+                opts.pareto_points = Some(next_value(&mut args, "--pareto-points")?);
+                opts.pareto = true;
+            }
+            "--manifest" => {
+                opts.manifest = Some(args.next().ok_or("--manifest expects a path".to_string())?)
+            }
             "--policy" => {
                 opts.policy = match args.next().as_deref() {
                     Some("scc") => CostPolicy::PaperScc,
@@ -332,6 +368,9 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => return Err(usage()),
             "batch" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Batch,
             "audit" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Audit,
+            "schedule" if positionals == 0 && opts.mode == Mode::Single => {
+                opts.mode = Mode::Schedule;
+            }
             "serve" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Serve,
             "store" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Store,
             "stat" if positionals == 0 && opts.mode == Mode::Single => opts.mode = Mode::Stat,
@@ -347,6 +386,11 @@ fn parse_args() -> Result<Options, String> {
     }
     if !opts.backends.is_empty() && opts.mode != Mode::Cluster {
         return Err("--backend only applies to `merced cluster`".to_string());
+    }
+    if opts.mode != Mode::Schedule && (opts.pareto || opts.manifest.is_some()) {
+        return Err(
+            "--pareto/--pareto-points/--manifest only apply to `merced schedule`".to_string(),
+        );
     }
     if opts.mode == Mode::Cluster {
         if opts.addr.is_none() {
@@ -429,6 +473,24 @@ fn parse_args() -> Result<Options, String> {
     if opts.pin {
         return Err("--pin only applies to `merced store <dir> import`".to_string());
     }
+    if opts.mode == Mode::Schedule {
+        if opts.manifest.is_some() && !opts.inputs.is_empty() {
+            return Err("schedule takes a circuit or --manifest, not both".to_string());
+        }
+        if opts.manifest.is_none() && opts.inputs.len() != 1 {
+            return Err(format!(
+                "schedule expects one <netlist.bench | --builtin NAME> or \
+                 --manifest <manifest.json>\n{}",
+                usage()
+            ));
+        }
+        if opts.emit.is_some() || opts.audit || opts.trace_json.is_some() || opts.bench.is_some() {
+            return Err(
+                "--emit/--audit/--trace-json/--bench do not apply to `merced schedule`".to_string(),
+            );
+        }
+        return Ok(opts);
+    }
     if opts.inputs.is_empty() {
         return Err(usage());
     }
@@ -463,12 +525,15 @@ fn next_value<T: std::str::FromStr>(
 fn usage() -> String {
     "usage: merced <netlist.bench | --builtin NAME> [--lk N] [--beta N] \
      [--seed N] [--policy scc|solver] [--per-branch] [--max-trees N] \
-     [--jobs N|max] [--replicas N] [--audit] \
+     [--jobs N|max] [--replicas N] [--power-budget CDF] [--audit] \
      [--emit out.bench] [--quiet] [--trace] [--trace-json out.json]\n\
      \x20      merced batch <netlist.bench | --builtin NAME>... [same \
      options; --trace-json names a directory]\n\
      \x20      merced audit <manifest.json> [--bench netlist.bench] \
      [--jobs N|max] [--quiet]\n\
+     \x20      merced schedule <netlist.bench | --builtin NAME | --manifest \
+     manifest.json> [--power-budget CDF] [--pareto] [--pareto-points N] \
+     [same compile options]\n\
      \x20      merced serve --addr <host:port> [--workers N] [--queue N] \
      [--timeout-ms N] [--jobs N|max] [--store DIR] [--store-budget BYTES] \
      [--cache-cap N] [same compile options as defaults]\n\
@@ -507,6 +572,7 @@ fn build_config(opts: &Options, jobs: usize) -> MercedConfig {
         .with_beta(opts.beta)
         .with_seed(opts.seed)
         .with_cost_policy(opts.policy)
+        .with_power_budget_cdf(opts.power_budget)
         .with_flow(flow)
         .with_jobs(jobs)
 }
@@ -871,6 +937,58 @@ fn run_audit(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
     }
 }
 
+/// `merced schedule`: the power-constrained test schedule of a compile —
+/// fresh (a netlist or builtin plus compile options) or rebuilt from a
+/// recorded run manifest — printed as one `ppet-sched/v1` JSON document.
+/// `--pareto` prints the budget-sweep frontier instead.
+fn run_schedule(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
+    let (blocks, power) = if let Some(path) = &opts.manifest {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new("io", format!("cannot read {path}: {e}")))?;
+        let recorded = RunManifest::from_json(&text)
+            .map_err(|e| CliError::new("manifest", format!("{path}: {e}")))?;
+        let partitions = ppet_core::power_sched::manifest_partitions(&recorded)
+            .map_err(|e| CliError::new("manifest", format!("{path}: {e}")))?;
+        let config = MercedConfig::from_manifest_entries(&recorded.config)
+            .map_err(|e| CliError::new("manifest", format!("{path}: {e}")))?;
+        // An explicit --power-budget re-packs the recorded partitions
+        // under the new budget; otherwise the recorded budget is rebuilt.
+        let budget = opts.power_budget.or(config.power_budget_cdf);
+        let blocks = ppet_core::power_sched::partition_blocks(&partitions, config.cost_source);
+        let power =
+            ppet_core::power_sched::partition_schedule(&partitions, config.cost_source, budget)
+                .map_err(|e| CliError::new("compile", e.to_string()))?;
+        (blocks, power)
+    } else {
+        let (_, compilation) = run(opts, jobs, &Tracer::noop())?;
+        let report = compilation.report;
+        let blocks =
+            ppet_core::power_sched::partition_blocks(&report.partitions, report.config.cost_source);
+        (blocks, report.power)
+    };
+    if opts.pareto {
+        let points = ppet_sched::pareto_points(
+            &blocks,
+            opts.pareto_points
+                .unwrap_or(ppet_sched::DEFAULT_PARETO_POINTS),
+        );
+        print!("{}", ppet_sched::pareto_to_json(&points));
+    } else {
+        if !opts.quiet {
+            eprintln!(
+                "schedule: {} blocks in {} steps, {} cycles total, peak {} cdf under budget {} cdf",
+                power.block_count(),
+                power.steps.len(),
+                power.total_cycles(),
+                power.peak_power_cdf(),
+                power.budget_cdf
+            );
+        }
+        print!("{}", power.to_json());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn emit_instrumented(
     circuit: &Circuit,
     compilation: &Compilation,
@@ -968,6 +1086,7 @@ fn main() -> ExitCode {
     let outcome = match opts.mode {
         Mode::Batch => run_batch(&opts, jobs),
         Mode::Audit => run_audit(&opts, jobs),
+        Mode::Schedule => run_schedule(&opts, jobs),
         Mode::Serve => run_serve(&opts, jobs),
         Mode::Cluster => run_cluster(&opts, jobs),
         Mode::Store => run_store(&opts),

@@ -61,6 +61,12 @@ pub struct MercedConfig {
     /// `flow.replicas` (part of the experiment definition) changes them.
     /// Default 1 (fully sequential).
     pub jobs: usize,
+    /// Peak test-power budget for the BIST session schedule, in centi-DFF
+    /// of switched area (see `ppet_sched::PowerModel`). `None` uses the
+    /// default policy ([`ppet_sched::default_budget_cdf`]): half the
+    /// all-blocks-at-once power, floored at the hottest single block.
+    /// An explicit budget below the hottest block fails the compile.
+    pub power_budget_cdf: Option<u64>,
 }
 
 impl MercedConfig {
@@ -120,6 +126,14 @@ impl MercedConfig {
         self
     }
 
+    /// Sets the peak test-power budget (see
+    /// [`MercedConfig::power_budget_cdf`]).
+    #[must_use]
+    pub fn with_power_budget_cdf(mut self, budget: Option<u64>) -> Self {
+        self.power_budget_cdf = budget;
+        self
+    }
+
     /// Serializes every reproducibility-relevant knob as manifest `config`
     /// entries (the seed travels as the manifest's own `seed` field).
     ///
@@ -163,6 +177,11 @@ impl MercedConfig {
                 self.flow
                     .max_trees
                     .map_or_else(|| "none".to_owned(), |n| n.to_string()),
+            ),
+            entry(
+                "power_budget",
+                self.power_budget_cdf
+                    .map_or_else(|| "default".to_owned(), |n| n.to_string()),
             ),
         ]
     }
@@ -235,6 +254,13 @@ impl MercedConfig {
                         Some(num(key, value)?)
                     }
                 }
+                "power_budget" => {
+                    config.power_budget_cdf = if value == "default" {
+                        None
+                    } else {
+                        Some(num(key, value)?)
+                    }
+                }
                 _ => {}
             }
         }
@@ -272,6 +298,7 @@ impl Default for MercedConfig {
             cost_policy: CostPolicy::PaperScc,
             io_latency: IoLatency::Flexible,
             jobs: 1,
+            power_budget_cdf: None,
         }
     }
 }
@@ -332,7 +359,8 @@ mod tests {
             .with_io_latency(IoLatency::Fixed)
             .with_cost_source(CostSource::Synthesized)
             .with_flow(flow)
-            .with_jobs(4);
+            .with_jobs(4)
+            .with_power_budget_cdf(Some(3000));
         let back = MercedConfig::from_manifest_entries(&config.manifest_entries()).unwrap();
         assert_eq!(back, config);
 
@@ -360,6 +388,22 @@ mod tests {
         assert!(MercedConfig::from_manifest_entries(&bad)
             .unwrap_err()
             .contains("policy"));
+        let bad = vec![("power_budget".to_owned(), "lots".to_owned())];
+        assert!(MercedConfig::from_manifest_entries(&bad)
+            .unwrap_err()
+            .contains("power_budget"));
+    }
+
+    #[test]
+    fn power_budget_round_trips_default_and_explicit() {
+        let d = MercedConfig::default();
+        assert_eq!(d.power_budget_cdf, None);
+        assert!(d
+            .manifest_entries()
+            .contains(&("power_budget".to_owned(), "default".to_owned())));
+        let c = MercedConfig::default().with_power_budget_cdf(Some(1234));
+        let back = MercedConfig::from_manifest_entries(&c.manifest_entries()).unwrap();
+        assert_eq!(back.power_budget_cdf, Some(1234));
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub enum MercedError {
         /// The partition's input count.
         inputs: usize,
     },
+    /// The explicit `power_budget` cannot hold the hottest single block,
+    /// so no test schedule exists under it.
+    PowerBudgetTooTight {
+        /// The offending partition index.
+        block: usize,
+        /// Its power rate in centi-DFF.
+        power_cdf: u64,
+        /// The requested budget in centi-DFF.
+        budget_cdf: u64,
+    },
 }
 
 impl fmt::Display for MercedError {
@@ -45,6 +55,14 @@ impl fmt::Display for MercedError {
                     "partition with {inputs} inputs exceeds the largest CBIT (32)"
                 )
             }
+            Self::PowerBudgetTooTight {
+                block,
+                power_cdf,
+                budget_cdf,
+            } => write!(
+                f,
+                "power budget {budget_cdf} cdf cannot hold partition {block} (rate {power_cdf} cdf)"
+            ),
         }
     }
 }

@@ -44,6 +44,7 @@ pub mod cost;
 mod error;
 pub mod instrument;
 mod merced;
+pub mod power_sched;
 pub mod report;
 pub mod serve_backend;
 pub mod stat;

@@ -86,7 +86,9 @@ impl Merced {
     /// * [`MercedError::EmptyCircuit`] for empty circuits;
     /// * [`MercedError::CombinationalCycle`] for non-synchronous netlists;
     /// * [`MercedError::PartitionTooWide`] when a partition exceeds the
-    ///   largest standard CBIT (only reachable with pathological `β`).
+    ///   largest standard CBIT (only reachable with pathological `β`);
+    /// * [`MercedError::PowerBudgetTooTight`] when an explicit
+    ///   `power_budget` cannot hold the hottest partition's CBIT.
     pub fn compile(&self, circuit: &Circuit) -> Result<PpetReport, MercedError> {
         self.compile_detailed(circuit).map(|c| c.report)
     }
@@ -142,7 +144,7 @@ impl Merced {
         }
         let started = Instant::now();
         let root_span = tracer.span("merced");
-        let mut phases = Vec::with_capacity(5);
+        let mut phases = Vec::with_capacity(6);
 
         // STEPs 1–2: graph representation and strongly connected
         // components.
@@ -343,6 +345,33 @@ impl Merced {
                 ("cost.mux_cuts", with_retiming.mux_bits as u64),
             ],
         });
+
+        // STEP 5: power-constrained session schedule (ppet-sched). A pure
+        // function of the partition summaries, the cost source, and the
+        // budget — no randomness, so PPET_JOBS cannot perturb it.
+        let phase_start = Instant::now();
+        let power = {
+            let _span = tracer.span("power_sched");
+            let power = crate::power_sched::partition_schedule(
+                &partitions,
+                self.config.cost_source,
+                self.config.power_budget_cdf,
+            )?;
+            tracer.add("sched.blocks", power.block_count() as u64);
+            tracer.add("sched.steps", power.steps.len() as u64);
+            tracer.add("sched.peak_cdf", power.peak_power_cdf());
+            power
+        };
+        phases.push(PhaseMetrics {
+            name: "power_sched",
+            wall_ns: phase_ns(phase_start),
+            counters: vec![
+                ("sched.blocks", power.block_count() as u64),
+                ("sched.budget_cdf", power.budget_cdf),
+                ("sched.peak_cdf", power.peak_power_cdf()),
+                ("sched.steps", power.steps.len() as u64),
+            ],
+        });
         drop(root_span);
 
         let report = PpetReport {
@@ -372,6 +401,7 @@ impl Merced {
                 total_cycles: schedule.total_cycles(),
                 sequential_cycles: schedule.sequential_cycles(),
             },
+            power,
             phases,
             elapsed: started.elapsed(),
         };
@@ -438,6 +468,41 @@ mod tests {
         assert!(starved.flow_shortfall_nodes > 0);
         let m = starved.run_manifest();
         assert_eq!(m.result_value("flow.saturated"), Some("false"));
+    }
+
+    #[test]
+    fn power_schedule_covers_every_partition_under_budget() {
+        let r = compile_s27(4);
+        let mut ids: Vec<usize> = r
+            .power
+            .steps
+            .iter()
+            .flat_map(|s| s.blocks.clone())
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..r.partitions.len()).collect::<Vec<_>>());
+        assert!(r.power.peak_power_cdf() <= r.power.budget_cdf);
+        // An explicit generous budget collapses everything into one step.
+        let wide = Merced::new(
+            MercedConfig::default()
+                .with_cbit_length(4)
+                .with_power_budget_cdf(Some(1_000_000)),
+        )
+        .compile(&data::s27())
+        .unwrap();
+        assert_eq!(wide.power.steps.len(), 1);
+        // An explicit infeasible budget fails the compile with the block.
+        let err = Merced::new(
+            MercedConfig::default()
+                .with_cbit_length(4)
+                .with_power_budget_cdf(Some(1)),
+        )
+        .compile(&data::s27())
+        .unwrap_err();
+        assert!(
+            matches!(err, MercedError::PowerBudgetTooTight { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Glue between the compiler and the `ppet-sched` power scheduler.
+//!
+//! A compiled partition *is* the scheduler's input — one block per
+//! partition, session length `2^{l_k}`, power rate from the same Table 1
+//! area model the compile priced hardware with — so the schedule is a
+//! pure function of the partition summaries, the cost source, and the
+//! budget. That purity is what lets `merced schedule` rebuild a schedule
+//! from a recorded manifest alone, and lets `ppet-audit` re-derive it
+//! independently.
+
+use ppet_cbit::cost::CostSource;
+use ppet_sched::{default_budget_cdf, schedule, PowerModel, PowerSchedule, SchedBlock, SchedError};
+use ppet_trace::RunManifest;
+
+use crate::config::MercedConfig;
+use crate::error::MercedError;
+use crate::report::PartitionSummary;
+
+/// One schedulable block per partition, ids in partition order.
+#[must_use]
+pub fn partition_blocks(partitions: &[PartitionSummary], source: CostSource) -> Vec<SchedBlock> {
+    let model = PowerModel::new(source);
+    partitions
+        .iter()
+        .enumerate()
+        .map(|(id, p)| model.block(id, p.cbit_length))
+        .collect()
+}
+
+/// Schedules a compiled partition under `budget_cdf` (or the default
+/// budget policy when `None`).
+///
+/// # Errors
+///
+/// [`MercedError::PowerBudgetTooTight`] when an explicit budget cannot
+/// hold the hottest block. The default policy is always feasible.
+pub fn partition_schedule(
+    partitions: &[PartitionSummary],
+    source: CostSource,
+    budget_cdf: Option<u64>,
+) -> Result<PowerSchedule, MercedError> {
+    let blocks = partition_blocks(partitions, source);
+    let budget = budget_cdf.unwrap_or_else(|| default_budget_cdf(&blocks));
+    schedule(&blocks, budget).map_err(|e| match e {
+        SchedError::BudgetTooTight {
+            block,
+            power_cdf,
+            budget_cdf,
+        } => MercedError::PowerBudgetTooTight {
+            block,
+            power_cdf,
+            budget_cdf,
+        },
+    })
+}
+
+/// Parses the `partition.N = "cells/inputs/length"` rows of a manifest's
+/// result section back into partition summaries — enough to rebuild the
+/// schedule a recorded run embeds without recompiling the circuit.
+///
+/// # Errors
+///
+/// A description of the first missing or unparseable row.
+pub fn manifest_partitions(manifest: &RunManifest) -> Result<Vec<PartitionSummary>, String> {
+    let count: usize = manifest
+        .result_value("partitions")
+        .ok_or("manifest has no result entry \"partitions\"")?
+        .parse()
+        .map_err(|_| "result entry \"partitions\" is not a count".to_owned())?;
+    let mut out = Vec::with_capacity(count);
+    for k in 0..count {
+        let key = format!("partition.{k}");
+        let row = manifest
+            .result_value(&key)
+            .ok_or_else(|| format!("manifest is missing result entry {key:?}"))?;
+        let mut fields = row.split('/');
+        let mut next = |what: &str| -> Result<&str, String> {
+            fields
+                .next()
+                .ok_or_else(|| format!("{key}: missing {what} in {row:?}"))
+        };
+        let cells = next("cells")?;
+        let inputs = next("inputs")?;
+        let length = next("length")?;
+        let parse = |what: &str, v: &str| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("{key}: cannot parse {what} in {row:?}"))
+        };
+        out.push(PartitionSummary {
+            cells: parse("cells", cells)?,
+            inputs: parse("inputs", inputs)?,
+            cbit_length: parse("length", length)? as u32,
+        });
+    }
+    Ok(out)
+}
+
+/// Rebuilds the power schedule a recorded manifest embeds: partitions
+/// from the `partition.N` rows, cost source and budget from the recorded
+/// config. The result matches the manifest's `sched.*` entries exactly
+/// when the recording is intact.
+///
+/// # Errors
+///
+/// A description of the problem: unparseable rows, an unparseable config,
+/// or an infeasible recorded budget.
+pub fn manifest_schedule(manifest: &RunManifest) -> Result<PowerSchedule, String> {
+    let partitions = manifest_partitions(manifest)?;
+    let config = MercedConfig::from_manifest_entries(&manifest.config)?;
+    partition_schedule(&partitions, config.cost_source, config.power_budget_cdf)
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merced::Merced;
+    use ppet_netlist::data;
+
+    fn summaries() -> Vec<PartitionSummary> {
+        [(10usize, 4usize, 4u32), (8, 7, 8), (3, 0, 0), (20, 13, 16)]
+            .iter()
+            .map(|&(cells, inputs, cbit_length)| PartitionSummary {
+                cells,
+                inputs,
+                cbit_length,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocks_follow_partition_order_and_table1() {
+        let blocks = partition_blocks(&summaries(), CostSource::PaperTable);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].power_cdf, 814);
+        assert_eq!(blocks[1].power_cdf, 1668);
+        assert_eq!(blocks[2].power_cdf, 0, "input-free partition draws 0");
+        assert_eq!(blocks[3].power_cdf, 3221);
+        assert_eq!(blocks[3].session_cycles, 1 << 16);
+    }
+
+    #[test]
+    fn explicit_infeasible_budget_is_a_compile_error() {
+        let err = partition_schedule(&summaries(), CostSource::PaperTable, Some(1000)).unwrap_err();
+        assert_eq!(
+            err,
+            MercedError::PowerBudgetTooTight {
+                block: 3,
+                power_cdf: 3221,
+                budget_cdf: 1000
+            }
+        );
+        assert!(err.to_string().contains("partition 3"), "{err}");
+    }
+
+    #[test]
+    fn default_budget_always_schedules() {
+        let s = partition_schedule(&summaries(), CostSource::PaperTable, None).unwrap();
+        assert_eq!(s.block_count(), 4);
+        assert!(s.peak_power_cdf() <= s.budget_cdf);
+    }
+
+    #[test]
+    fn manifest_round_trip_rebuilds_the_embedded_schedule() {
+        let report = Merced::new(MercedConfig::default().with_cbit_length(4))
+            .compile(&data::s27())
+            .unwrap();
+        let manifest = report.run_manifest();
+        let rebuilt = manifest_schedule(&manifest).unwrap();
+        assert_eq!(rebuilt, report.power);
+        let partitions = manifest_partitions(&manifest).unwrap();
+        assert_eq!(partitions, report.partitions);
+    }
+
+    #[test]
+    fn corrupted_partition_rows_are_named() {
+        let report = Merced::new(MercedConfig::default().with_cbit_length(4))
+            .compile(&data::s27())
+            .unwrap();
+        let mut manifest = report.run_manifest();
+        for (k, v) in &mut manifest.result {
+            if k == "partition.0" {
+                *v = "not-a-row".to_owned();
+            }
+        }
+        let err = manifest_schedule(&manifest).unwrap_err();
+        assert!(err.contains("partition.0"), "{err}");
+    }
+}

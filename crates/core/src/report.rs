@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use ppet_netlist::CircuitStats;
+use ppet_sched::PowerSchedule;
 use ppet_trace::RunManifest;
 
 use crate::config::MercedConfig;
@@ -128,6 +129,10 @@ pub struct PpetReport {
     pub area: AreaComparison,
     /// The Fig. 1 schedule.
     pub schedule: ScheduleSummary,
+    /// The power-constrained session schedule (`ppet_sched`): blocks
+    /// packed into sequential steps under
+    /// [`MercedConfig::power_budget_cdf`] (or the default budget policy).
+    pub power: PowerSchedule,
     /// Per-phase wall time and counters, in pipeline order.
     pub phases: Vec<PhaseMetrics>,
     /// Wall-clock compile time (the Tables 10–11 "CPU time" column).
@@ -225,6 +230,10 @@ impl PpetReport {
                 "schedule.sequential_cycles",
                 self.schedule.sequential_cycles.to_string(),
             ),
+            ("sched.budget_cdf", self.power.budget_cdf.to_string()),
+            ("sched.steps", self.power.steps.len().to_string()),
+            ("sched.total_cycles", self.power.total_cycles().to_string()),
+            ("sched.peak_cdf", self.power.peak_power_cdf().to_string()),
             ("partitions", self.partitions.len().to_string()),
         ]
         .into_iter()
@@ -234,6 +243,13 @@ impl PpetReport {
             out.push((
                 format!("partition.{k}"),
                 format!("{}/{}/{}", p.cells, p.inputs, p.cbit_length),
+            ));
+        }
+        for (k, s) in self.power.steps.iter().enumerate() {
+            let ids: Vec<String> = s.blocks.iter().map(ToString::to_string).collect();
+            out.push((
+                format!("sched.step.{k}"),
+                format!("{}/{}:{}", s.cycles, s.power_cdf, ids.join(",")),
             ));
         }
         out
@@ -316,6 +332,14 @@ impl fmt::Display for PpetReport {
             "  testing time: {} cycles pipelined over {} pipes ({} sequential)",
             self.schedule.total_cycles, self.schedule.pipes, self.schedule.sequential_cycles
         )?;
+        writeln!(
+            f,
+            "  power schedule: {} steps in {} cycles, peak {} cdf under budget {} cdf",
+            self.power.steps.len(),
+            self.power.total_cycles(),
+            self.power.peak_power_cdf(),
+            self.power.budget_cdf
+        )?;
         write!(f, "  compile time: {:.3}s", self.elapsed.as_secs_f64())
     }
 }
@@ -374,6 +398,14 @@ mod tests {
                 pipes: 1,
                 total_cycles: 16,
                 sequential_cycles: 16,
+            },
+            power: PowerSchedule {
+                budget_cdf: 814,
+                steps: vec![ppet_sched::SchedStep {
+                    blocks: vec![0],
+                    cycles: 16,
+                    power_cdf: 814,
+                }],
             },
             phases: vec![PhaseMetrics {
                 name: "saturate_network",
@@ -439,6 +471,11 @@ mod tests {
         assert_eq!(m.result_value("flow.saturated"), Some("true"));
         assert_eq!(m.result_value("flow.shortfall_nodes"), Some("0"));
         assert_eq!(m.result_value("schedule.total_cycles"), Some("16"));
+        assert_eq!(m.result_value("sched.budget_cdf"), Some("814"));
+        assert_eq!(m.result_value("sched.steps"), Some("1"));
+        assert_eq!(m.result_value("sched.total_cycles"), Some("16"));
+        assert_eq!(m.result_value("sched.peak_cdf"), Some("814"));
+        assert_eq!(m.result_value("sched.step.0"), Some("16/814:0"));
         // The recorded config (plus the manifest's own seed field)
         // reconstructs the compile's configuration.
         let back = MercedConfig::from_manifest_entries(&m.config)

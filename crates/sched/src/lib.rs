@@ -1,0 +1,65 @@
+//! Power-constrained BIST test-session scheduling.
+//!
+//! The Merced compiler's output — a CBIT partition whose block `k` runs a
+//! pseudo-exhaustive session of `2^{l_k}` cycles — is exactly the input of
+//! the hybrid-BIST scheduling problem (arxiv 1711.08974): choose which
+//! blocks test *concurrently* so the peak switching power stays under a
+//! budget while the total test time stays small. Fully pipelined testing
+//! (paper Fig. 1) is the unconstrained optimum — everything at once — but
+//! every concurrently clocked CBIT adds its register + XOR switching power,
+//! and at-speed self-test power is the classic reason schedules exist at
+//! all.
+//!
+//! This crate is deliberately small and deterministic:
+//!
+//! - [`power`] derives a per-block power rate from the same Eq. (4) /
+//!   Table 1 area model the compiler prices hardware with: a session's
+//!   power is proportional to the switched register + XOR area of its
+//!   generating CBIT, held in integer **centi-DFF** units so every
+//!   consumer (compiler, auditor, bench) agrees bit-for-bit.
+//! - [`mod@schedule`] packs blocks into sequential *steps* (concurrent batches)
+//!   with first-fit-decreasing list scheduling — a fixed total order, no
+//!   randomness, no clocks — so a schedule is a pure function of the
+//!   blocks and the budget and an independent auditor can rebuild it.
+//! - [`pareto`] sweeps a budget grid into a time/power frontier that is
+//!   *structurally* monotone: a schedule feasible at a tight budget is
+//!   feasible at every looser one, and the sweep carries the best schedule
+//!   forward, so relaxing the budget never worsens the reported time.
+
+pub mod pareto;
+pub mod power;
+pub mod schedule;
+
+pub use pareto::{pareto_points, pareto_to_json, ParetoPoint, DEFAULT_PARETO_POINTS};
+pub use power::{PowerModel, CDF_PER_DFF};
+pub use schedule::{
+    default_budget_cdf, schedule, PowerSchedule, SchedBlock, SchedError, SchedStep,
+};
+
+/// The JSON schema identifier emitted by [`PowerSchedule::to_json`] and
+/// [`pareto_to_json`].
+pub const SCHED_SCHEMA: &str = "ppet-sched/v1";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_cbit::cost::CostSource;
+
+    #[test]
+    fn end_to_end_schedule_is_deterministic_and_covered() {
+        let model = PowerModel::new(CostSource::PaperTable);
+        let blocks: Vec<SchedBlock> = [4u32, 8, 4, 16, 8, 0]
+            .iter()
+            .enumerate()
+            .map(|(id, &lk)| model.block(id, lk))
+            .collect();
+        let budget = default_budget_cdf(&blocks);
+        let a = schedule(&blocks, budget).unwrap();
+        let b = schedule(&blocks, budget).unwrap();
+        assert_eq!(a, b, "same inputs, same schedule");
+        let mut seen: Vec<usize> = a.steps.iter().flat_map(|s| s.blocks.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5], "every block exactly once");
+        assert!(a.steps.iter().all(|s| s.power_cdf <= budget));
+    }
+}

@@ -1,0 +1,197 @@
+//! The budget-sweep Pareto frontier: test time versus peak power.
+//!
+//! Sweeping a grid of budgets from "hottest single block" (the tightest
+//! feasible budget) to "everything at once" traces the designer's real
+//! trade-off: how much test time does a power cap cost? The sweep is
+//! **structurally monotone**: any schedule packed under a tight budget is
+//! feasible under every looser one, so the sweep walks budgets ascending
+//! and carries the best schedule seen so far — if the greedy packer ever
+//! stumbles at a looser budget, the carried schedule is reported instead.
+//! Relaxing the budget therefore *never* increases the reported time, by
+//! construction rather than by hope.
+
+use crate::schedule::{schedule, PowerSchedule, SchedBlock};
+use crate::SCHED_SCHEMA;
+
+/// Default number of grid points in a sweep.
+pub const DEFAULT_PARETO_POINTS: usize = 8;
+
+/// One frontier point: the best schedule found at a budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// The budget this point was swept at.
+    pub budget_cdf: u64,
+    /// The schedule (feasible under `budget_cdf`; possibly packed at a
+    /// tighter budget and carried forward).
+    pub schedule: PowerSchedule,
+}
+
+impl ParetoPoint {
+    /// Total test time of the point's schedule.
+    #[must_use]
+    pub fn total_cycles(&self) -> u128 {
+        self.schedule.total_cycles()
+    }
+
+    /// Realized peak power of the point's schedule (≤ `budget_cdf`).
+    #[must_use]
+    pub fn peak_power_cdf(&self) -> u64 {
+        self.schedule.peak_power_cdf()
+    }
+}
+
+/// Sweeps `points` budgets linearly from the tightest feasible budget
+/// (the hottest single block) to full concurrency (the sum of all rates)
+/// and returns one frontier point per distinct budget, ascending.
+///
+/// The result is monotone: `total_cycles` never increases as the budget
+/// grows. Empty block lists yield an empty sweep.
+#[must_use]
+pub fn pareto_points(blocks: &[SchedBlock], points: usize) -> Vec<ParetoPoint> {
+    if blocks.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let floor: u64 = blocks.iter().map(|b| b.power_cdf).max().unwrap_or(0);
+    let ceil: u64 = blocks.iter().map(|b| b.power_cdf).sum();
+    let mut budgets: Vec<u64> = (0..points)
+        .map(|i| {
+            if points == 1 {
+                ceil
+            } else {
+                floor + (ceil - floor) * i as u64 / (points - 1) as u64
+            }
+        })
+        .collect();
+    budgets.dedup();
+
+    let mut out: Vec<ParetoPoint> = Vec::with_capacity(budgets.len());
+    let mut best: Option<PowerSchedule> = None;
+    for budget in budgets {
+        // Every block rate is ≤ floor ≤ budget, so packing cannot fail.
+        let fresh = schedule(blocks, budget).expect("budget at or above the hottest block");
+        let carried_wins = best.as_ref().is_some_and(|b| {
+            (b.total_cycles(), b.peak_power_cdf()) < (fresh.total_cycles(), fresh.peak_power_cdf())
+        });
+        let chosen = if carried_wins {
+            // The tighter-budget schedule is feasible here too; keep it so
+            // the frontier stays monotone even if greedy packing degraded.
+            best.clone().expect("carried schedule exists")
+        } else {
+            fresh
+        };
+        best = Some(chosen.clone());
+        out.push(ParetoPoint {
+            budget_cdf: budget,
+            schedule: chosen,
+        });
+    }
+    out
+}
+
+/// Renders a sweep as a `ppet-sched/v1` JSON document (a `pareto` array
+/// of `{budget_cdf, total_cycles, peak_power_cdf, steps}` rows).
+#[must_use]
+pub fn pareto_to_json(points: &[ParetoPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"schema\": \"{SCHED_SCHEMA}\",\n  \"pareto\": ["
+    ));
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"budget_cdf\": {}, \"total_cycles\": {}, \"peak_power_cdf\": {}, \"steps\": {}}}",
+            p.budget_cdf,
+            p.total_cycles(),
+            p.peak_power_cdf(),
+            p.schedule.steps.len()
+        ));
+    }
+    if !points.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(id: usize, lk: u32, power: u64) -> SchedBlock {
+        SchedBlock {
+            id,
+            cbit_length: lk,
+            session_cycles: 1u128 << lk,
+            power_cdf: power,
+        }
+    }
+
+    fn mixed_blocks(n: usize) -> Vec<SchedBlock> {
+        (0..n)
+            .map(|i| {
+                block(
+                    i,
+                    [4u32, 8, 12, 16][i % 4],
+                    [814u64, 1668, 2448, 3221][i % 4],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_spans_floor_to_full_concurrency() {
+        let blocks = mixed_blocks(8);
+        let points = pareto_points(&blocks, DEFAULT_PARETO_POINTS);
+        assert!(!points.is_empty());
+        assert_eq!(points.first().unwrap().budget_cdf, 3221, "hottest block");
+        let total: u64 = blocks.iter().map(|b| b.power_cdf).sum();
+        assert_eq!(points.last().unwrap().budget_cdf, total);
+        // At full concurrency everything fits one step: time = max session.
+        assert_eq!(points.last().unwrap().total_cycles(), 1 << 16);
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        for n in [1usize, 3, 8, 17, 40] {
+            let blocks = mixed_blocks(n);
+            let points = pareto_points(&blocks, DEFAULT_PARETO_POINTS);
+            for pair in points.windows(2) {
+                assert!(pair[0].budget_cdf < pair[1].budget_cdf);
+                assert!(
+                    pair[0].total_cycles() >= pair[1].total_cycles(),
+                    "looser budget must never slow testing: {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_point_respects_its_budget() {
+        let blocks = mixed_blocks(13);
+        for p in pareto_points(&blocks, 12) {
+            assert!(p.peak_power_cdf() <= p.budget_cdf, "{p:?}");
+            assert_eq!(p.schedule.block_count(), 13);
+        }
+    }
+
+    #[test]
+    fn degenerate_sweeps() {
+        assert!(pareto_points(&[], 8).is_empty());
+        assert!(pareto_points(&mixed_blocks(4), 0).is_empty());
+        // A single block collapses the grid to one budget.
+        let one = vec![block(0, 8, 1668)];
+        let points = pareto_points(&one, 8);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].budget_cdf, 1668);
+    }
+
+    #[test]
+    fn json_sweep_is_schema_tagged() {
+        let json = pareto_to_json(&pareto_points(&mixed_blocks(4), 4));
+        assert!(json.contains("\"schema\": \"ppet-sched/v1\""), "{json}");
+        assert!(json.contains("\"pareto\": ["), "{json}");
+        assert!(pareto_to_json(&[]).contains("\"pareto\": []"));
+    }
+}

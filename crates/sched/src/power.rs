@@ -1,0 +1,159 @@
+//! The per-block test-power model.
+//!
+//! During a self-test session a block's generating CBIT clocks every
+//! register bit and toggles its feedback XOR network each cycle, while the
+//! circuit segment behind it sees pseudo-random stimulus — so switching
+//! power per cycle is proportional to the *switched register + XOR area*
+//! of the CBIT. That area is exactly what Table 1 prices (`p_k` DFF
+//! equivalents for length `l_k`), so the power model reuses
+//! [`CbitCostModel`] rather than inventing a second table: one source of
+//! truth keeps the compiler, the auditor, and the bench harness in exact
+//! agreement.
+//!
+//! Rates are held in integer **centi-DFF** units (`round(100 · p_k)`):
+//! floats never cross a crate boundary, so a schedule and its audit agree
+//! bit-for-bit regardless of summation order.
+
+use ppet_cbit::cost::{CbitCostModel, CostSource};
+use ppet_cbit::timing::testing_cycles;
+
+use crate::schedule::SchedBlock;
+
+/// Centi-DFF units per DFF equivalent: power rates are `round(100 · p_k)`.
+pub const CDF_PER_DFF: u64 = 100;
+
+/// Derives deterministic per-block power rates from the CBIT area model.
+///
+/// # Examples
+///
+/// ```
+/// use ppet_cbit::cost::CostSource;
+/// use ppet_sched::PowerModel;
+///
+/// let model = PowerModel::new(CostSource::PaperTable);
+/// // Table 1: a 4-bit CBIT is 8.14 DFF → 814 centi-DFF of switched area.
+/// assert_eq!(model.session_power_cdf(4), 814);
+/// // An input-free block instantiates no CBIT and draws nothing.
+/// assert_eq!(model.session_power_cdf(0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    cost: CbitCostModel,
+}
+
+impl PowerModel {
+    /// A power model over the given area source (published Table 1 or the
+    /// synthesized first-principles areas).
+    #[must_use]
+    pub fn new(source: CostSource) -> Self {
+        Self {
+            cost: CbitCostModel::new(source),
+        }
+    }
+
+    /// The switching-power rate of one active session, in centi-DFF of
+    /// switched area per cycle, for a block whose CBIT has standard length
+    /// `cbit_length`. Length 0 (an input-free block with no CBIT) draws 0.
+    /// Non-standard lengths price at the smallest covering standard type
+    /// (Table 1 sizing), or the largest type if none covers.
+    #[must_use]
+    pub fn session_power_cdf(&self, cbit_length: u32) -> u64 {
+        if cbit_length == 0 {
+            return 0;
+        }
+        let area_dff = self
+            .cost
+            .smallest_type_for(cbit_length)
+            .or_else(|| self.cost.types().last().copied())
+            .map_or(0.0, |t| t.area_dff);
+        (area_dff * CDF_PER_DFF as f64).round() as u64
+    }
+
+    /// Builds the schedulable block for partition `id` with CBIT length
+    /// `cbit_length`: session length `2^{l_k}` cycles, power from
+    /// [`PowerModel::session_power_cdf`].
+    #[must_use]
+    pub fn block(&self, id: usize, cbit_length: u32) -> SchedBlock {
+        SchedBlock {
+            id,
+            cbit_length,
+            session_cycles: testing_cycles(cbit_length),
+            power_cdf: self.session_power_cdf(cbit_length),
+        }
+    }
+
+    /// Blocks for a whole partition list: one per entry, ids in order.
+    #[must_use]
+    pub fn blocks(&self, cbit_lengths: &[u32]) -> Vec<SchedBlock> {
+        cbit_lengths
+            .iter()
+            .enumerate()
+            .map(|(id, &lk)| self.block(id, lk))
+            .collect()
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::new(CostSource::PaperTable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppet_cbit::cost::PAPER_TABLE1;
+
+    #[test]
+    fn rates_track_table1_in_centi_dff() {
+        let m = PowerModel::default();
+        for &(l, p) in &PAPER_TABLE1 {
+            assert_eq!(m.session_power_cdf(l), (p * 100.0).round() as u64);
+        }
+    }
+
+    #[test]
+    fn power_grows_with_length() {
+        let m = PowerModel::default();
+        let rates: Vec<u64> = [4u32, 8, 12, 16, 24, 32]
+            .iter()
+            .map(|&l| m.session_power_cdf(l))
+            .collect();
+        assert!(rates.windows(2).all(|w| w[0] < w[1]), "{rates:?}");
+    }
+
+    #[test]
+    fn non_standard_lengths_round_up_like_table1_sizing() {
+        let m = PowerModel::default();
+        assert_eq!(m.session_power_cdf(5), m.session_power_cdf(8));
+        assert_eq!(m.session_power_cdf(13), m.session_power_cdf(16));
+        // Beyond the largest standard type: price at the largest.
+        assert_eq!(m.session_power_cdf(40), m.session_power_cdf(32));
+    }
+
+    #[test]
+    fn synthesized_source_stays_within_two_percent_of_paper() {
+        let paper = PowerModel::new(CostSource::PaperTable);
+        let synth = PowerModel::new(CostSource::Synthesized);
+        for l in [4u32, 8, 12, 16, 24, 32] {
+            let (p, s) = (paper.session_power_cdf(l), synth.session_power_cdf(l));
+            let rel = (s as f64 - p as f64).abs() / p as f64;
+            assert!(rel < 0.02, "length {l}: {s} vs {p}");
+        }
+    }
+
+    #[test]
+    fn blocks_carry_session_lengths() {
+        let m = PowerModel::default();
+        let blocks = m.blocks(&[4, 0, 16]);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].session_cycles, 16);
+        assert_eq!(
+            blocks[1].session_cycles, 1,
+            "input-free: one cycle, no CBIT"
+        );
+        assert_eq!(blocks[1].power_cdf, 0);
+        assert_eq!(blocks[2].session_cycles, 1 << 16);
+        assert_eq!(blocks[2].id, 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! Deterministic power-constrained list scheduling.
+//!
+//! Blocks are packed into **steps**: batches that test concurrently, run
+//! one after another. A step's power is the sum of its members' rates and
+//! must stay within the budget; its duration is its longest member's
+//! session (shorter sessions idle inside the step — the classic
+//! session-based scheduling simplification of the hybrid-BIST literature,
+//! which keeps the packing a pure bin-packing problem).
+//!
+//! The packer is first-fit-decreasing over a fixed total order
+//! (descending session length, then descending power, then ascending id):
+//! long sessions open steps and short cheap ones fill the leftover power
+//! headroom, which both approximates optimal makespan well and — more
+//! importantly here — makes the schedule a deterministic pure function
+//! that `ppet-audit` can rebuild bit-for-bit from the claims.
+
+use std::fmt;
+
+use crate::SCHED_SCHEMA;
+
+/// One schedulable block: a partition's test session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedBlock {
+    /// Partition index.
+    pub id: usize,
+    /// Standard CBIT length `l_k` (0 for input-free partitions).
+    pub cbit_length: u32,
+    /// Session length in cycles (`2^{l_k}`).
+    pub session_cycles: u128,
+    /// Switching-power rate while active, in centi-DFF of switched area.
+    pub power_cdf: u64,
+}
+
+/// One schedule step: blocks tested concurrently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedStep {
+    /// Member block ids, ascending.
+    pub blocks: Vec<usize>,
+    /// Step duration: the longest member session.
+    pub cycles: u128,
+    /// Step power: the sum of member rates.
+    pub power_cdf: u64,
+}
+
+/// A complete power schedule: steps run sequentially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerSchedule {
+    /// The peak-power budget the schedule was packed under.
+    pub budget_cdf: u64,
+    /// The steps, in execution order.
+    pub steps: Vec<SchedStep>,
+}
+
+impl PowerSchedule {
+    /// Total test time: steps run one after another.
+    #[must_use]
+    pub fn total_cycles(&self) -> u128 {
+        self.steps.iter().map(|s| s.cycles).sum()
+    }
+
+    /// The hottest step's power — what the budget actually bounds.
+    #[must_use]
+    pub fn peak_power_cdf(&self) -> u64 {
+        self.steps.iter().map(|s| s.power_cdf).max().unwrap_or(0)
+    }
+
+    /// Number of blocks across all steps.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.steps.iter().map(|s| s.blocks.len()).sum()
+    }
+
+    /// Renders the schedule as a `ppet-sched/v1` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema\": \"{SCHED_SCHEMA}\",\n  \"budget_cdf\": {},\n  \"blocks\": {},\n  \"steps\": [",
+            self.budget_cdf,
+            self.block_count()
+        ));
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ids: Vec<String> = step.blocks.iter().map(ToString::to_string).collect();
+            out.push_str(&format!(
+                "\n    {{\"cycles\": {}, \"power_cdf\": {}, \"blocks\": [{}]}}",
+                step.cycles,
+                step.power_cdf,
+                ids.join(", ")
+            ));
+        }
+        if !self.steps.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"total_cycles\": {},\n  \"peak_power_cdf\": {}\n}}\n",
+            self.total_cycles(),
+            self.peak_power_cdf()
+        ));
+        out
+    }
+}
+
+/// Why a schedule could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// A single block's rate exceeds the budget — no step can ever hold
+    /// it, so the budget is infeasible for this partition.
+    BudgetTooTight {
+        /// The offending block id.
+        block: usize,
+        /// Its power rate.
+        power_cdf: u64,
+        /// The requested budget.
+        budget_cdf: u64,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BudgetTooTight {
+                block,
+                power_cdf,
+                budget_cdf,
+            } => write!(
+                f,
+                "power budget {budget_cdf} cdf cannot hold block {block} (rate {power_cdf} cdf)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// The default budget policy when the caller names none: half the
+/// all-blocks-at-once power (rounded up), floored at the hottest single
+/// block so the default is always feasible. "Half of fully pipelined" is
+/// the conventional starting point of the power-aware BIST literature —
+/// tight enough to force real packing, loose enough to keep test time
+/// within a small factor of the Fig. 1 optimum.
+#[must_use]
+pub fn default_budget_cdf(blocks: &[SchedBlock]) -> u64 {
+    let total: u64 = blocks.iter().map(|b| b.power_cdf).sum();
+    let hottest = blocks.iter().map(|b| b.power_cdf).max().unwrap_or(0);
+    hottest.max(total.div_ceil(2))
+}
+
+/// Packs `blocks` into steps under `budget_cdf` peak power.
+///
+/// Deterministic: the result is a pure function of the inputs.
+///
+/// # Errors
+///
+/// [`SchedError::BudgetTooTight`] when some single block's rate exceeds
+/// the budget (reported for the hottest such block).
+pub fn schedule(blocks: &[SchedBlock], budget_cdf: u64) -> Result<PowerSchedule, SchedError> {
+    if let Some(hot) = blocks
+        .iter()
+        .filter(|b| b.power_cdf > budget_cdf)
+        .max_by_key(|b| (b.power_cdf, std::cmp::Reverse(b.id)))
+    {
+        return Err(SchedError::BudgetTooTight {
+            block: hot.id,
+            power_cdf: hot.power_cdf,
+            budget_cdf,
+        });
+    }
+
+    // Fixed total order: long sessions first (they set step durations),
+    // hot blocks next (hard to place), id as the final tie-break.
+    let mut order: Vec<&SchedBlock> = blocks.iter().collect();
+    order.sort_by(|a, b| {
+        b.session_cycles
+            .cmp(&a.session_cycles)
+            .then(b.power_cdf.cmp(&a.power_cdf))
+            .then(a.id.cmp(&b.id))
+    });
+
+    let mut steps: Vec<SchedStep> = Vec::new();
+    for block in order {
+        let slot = steps
+            .iter_mut()
+            .find(|s| s.power_cdf + block.power_cdf <= budget_cdf);
+        match slot {
+            Some(step) => {
+                step.power_cdf += block.power_cdf;
+                step.cycles = step.cycles.max(block.session_cycles);
+                step.blocks.push(block.id);
+            }
+            None => steps.push(SchedStep {
+                blocks: vec![block.id],
+                cycles: block.session_cycles,
+                power_cdf: block.power_cdf,
+            }),
+        }
+    }
+    for step in &mut steps {
+        step.blocks.sort_unstable();
+    }
+    Ok(PowerSchedule { budget_cdf, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(id: usize, lk: u32, power: u64) -> SchedBlock {
+        SchedBlock {
+            id,
+            cbit_length: lk,
+            session_cycles: 1u128 << lk,
+            power_cdf: power,
+        }
+    }
+
+    #[test]
+    fn unconstrained_budget_is_one_step() {
+        let blocks = vec![block(0, 4, 800), block(1, 8, 1600), block(2, 4, 800)];
+        let s = schedule(&blocks, 10_000).unwrap();
+        assert_eq!(s.steps.len(), 1);
+        assert_eq!(s.steps[0].blocks, vec![0, 1, 2]);
+        assert_eq!(s.total_cycles(), 1 << 8, "fully concurrent: max session");
+        assert_eq!(s.peak_power_cdf(), 3200);
+    }
+
+    #[test]
+    fn tight_budget_serializes_everything() {
+        let blocks = vec![block(0, 4, 800), block(1, 8, 1600), block(2, 4, 800)];
+        let s = schedule(&blocks, 1600).unwrap();
+        // 1600 holds the hot block alone and the two cool ones together.
+        assert_eq!(s.steps.len(), 2);
+        assert!(s.steps.iter().all(|st| st.power_cdf <= 1600));
+        assert_eq!(s.total_cycles(), (1 << 8) + (1 << 4));
+    }
+
+    #[test]
+    fn infeasible_budget_names_the_hottest_block() {
+        let blocks = vec![block(0, 4, 800), block(1, 8, 1600)];
+        let err = schedule(&blocks, 1000).unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::BudgetTooTight {
+                block: 1,
+                power_cdf: 1600,
+                budget_cdf: 1000
+            }
+        );
+        assert!(err.to_string().contains("block 1"), "{err}");
+    }
+
+    #[test]
+    fn zero_power_blocks_always_fit() {
+        // Input-free partitions (length 0) ride along in the first step
+        // even under a zero budget.
+        let blocks = vec![block(0, 0, 0), block(1, 0, 0)];
+        let s = schedule(&blocks, 0).unwrap();
+        assert_eq!(s.steps.len(), 1);
+        assert_eq!(s.total_cycles(), 1);
+        assert_eq!(s.peak_power_cdf(), 0);
+    }
+
+    #[test]
+    fn empty_block_list_is_an_empty_schedule() {
+        let s = schedule(&[], 100).unwrap();
+        assert!(s.steps.is_empty());
+        assert_eq!(s.total_cycles(), 0);
+        assert_eq!(s.block_count(), 0);
+    }
+
+    #[test]
+    fn every_block_scheduled_exactly_once() {
+        let blocks: Vec<SchedBlock> = (0..17)
+            .map(|i| block(i, 4 + (i as u32 % 3) * 4, 800 + 100 * i as u64))
+            .collect();
+        let budget = default_budget_cdf(&blocks);
+        let s = schedule(&blocks, budget).unwrap();
+        let mut ids: Vec<usize> = s.steps.iter().flat_map(|st| st.blocks.clone()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_budget_is_feasible_and_forces_packing() {
+        let blocks = vec![block(0, 4, 814), block(1, 8, 1668), block(2, 16, 3221)];
+        let budget = default_budget_cdf(&blocks);
+        assert_eq!(budget, 3221.max((814u64 + 1668 + 3221).div_ceil(2)));
+        let s = schedule(&blocks, budget).unwrap();
+        assert!(s.steps.len() > 1, "default budget below full concurrency");
+        // A lone hot block floors the default at its own rate.
+        let lone = vec![block(0, 32, 6312)];
+        assert_eq!(default_budget_cdf(&lone), 6312);
+        assert!(schedule(&lone, default_budget_cdf(&lone)).is_ok());
+    }
+
+    #[test]
+    fn json_document_is_schema_tagged() {
+        let blocks = vec![block(0, 4, 800), block(1, 8, 1600)];
+        let s = schedule(&blocks, 1600).unwrap();
+        let json = s.to_json();
+        assert!(json.contains("\"schema\": \"ppet-sched/v1\""), "{json}");
+        assert!(json.contains("\"total_cycles\""), "{json}");
+        assert!(json.contains("\"blocks\": [1]"), "{json}");
+    }
+}

@@ -15,14 +15,26 @@
 //! removed so the next request retries.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use ppet_netlist::canonical::{canonical_bytes, Fnv128};
 use ppet_netlist::Circuit;
 use ppet_trace::SpanData;
 
 use crate::request::{BackendError, NormalizedRequest};
+
+/// Locks `mutex`, entering the critical section even if a previous
+/// holder panicked. Every lock in this module guards plain data whose
+/// invariants hold at every panic point (each write is a single
+/// assignment or a `HashMap` operation that is valid before and after),
+/// so the poison flag carries no information here — while honouring it
+/// would let one panicking request, or a panicking user-supplied
+/// backend, permanently kill a cache slot or strand every waiter on a
+/// gate.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The cache key: a 128-bit content hash of `(circuit, config, seed)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,7 +90,7 @@ impl Gate {
     /// Fills the gate and wakes all waiters. Later fills are ignored —
     /// the first result wins, matching "the first requester compiles".
     pub fn fill(&self, result: CompileResult) {
-        let mut slot = self.slot.lock().unwrap();
+        let mut slot = lock_unpoisoned(&self.slot);
         if slot.is_none() {
             *slot = Some(result);
         }
@@ -89,7 +101,7 @@ impl Gate {
     /// Publishes the compile's span tree. First write wins; call before
     /// [`Gate::fill`] so waiters observe it once the result is visible.
     pub fn set_trace(&self, spans: Arc<Vec<SpanData>>) {
-        let mut trace = self.trace.lock().unwrap();
+        let mut trace = lock_unpoisoned(&self.trace);
         if trace.is_none() {
             *trace = Some(spans);
         }
@@ -98,28 +110,50 @@ impl Gate {
     /// The compile's span tree, shared by every waiter on this gate.
     #[must_use]
     pub fn trace(&self) -> Option<Arc<Vec<SpanData>>> {
-        self.trace.lock().unwrap().clone()
+        lock_unpoisoned(&self.trace).clone()
     }
 
-    /// Waits up to `timeout` for the result. `None` means the deadline
-    /// passed with the compile still running.
+    /// Waits up to `timeout` for the result, the deadline starting now.
+    /// `None` means the deadline passed with the compile still running.
+    /// A timeout too large to represent as a deadline waits indefinitely
+    /// (the overflow-safe reading of an astronomical timeout) instead of
+    /// panicking.
     #[must_use]
     pub fn wait(&self, timeout: Duration) -> Option<CompileResult> {
-        let mut slot = self.slot.lock().unwrap();
-        let deadline = std::time::Instant::now() + timeout;
+        self.wait_deadline(Instant::now().checked_add(timeout))
+    }
+
+    /// Waits until `deadline` for the result; `None` waits indefinitely.
+    ///
+    /// The deadline is fixed by the caller — typically at request entry,
+    /// so time spent in earlier phases (parsing, normalization, queueing)
+    /// counts against the same budget instead of restarting it here. An
+    /// already-expired deadline still observes a result that is present,
+    /// but otherwise returns `None` immediately: no zero-duration
+    /// condvar spin, and a fill that lands later is picked up from the
+    /// cache by the client's retry.
+    #[must_use]
+    pub fn wait_deadline(&self, deadline: Option<Instant>) -> Option<CompileResult> {
+        let mut slot = lock_unpoisoned(&self.slot);
         loop {
             if let Some(result) = slot.as_ref() {
                 return Some(result.clone());
             }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let (guard, wait) = self.ready.wait_timeout(slot, deadline - now).unwrap();
-            slot = guard;
-            if wait.timed_out() && slot.is_none() {
-                return None;
-            }
+            slot = match deadline {
+                Some(deadline) => {
+                    let remaining = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|rem| !rem.is_zero())?;
+                    self.ready
+                        .wait_timeout(slot, remaining)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+                None => self
+                    .ready
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner),
+            };
         }
     }
 }
@@ -192,7 +226,7 @@ impl ResultCache {
     /// Looks up `key`, registering a pending slot when it is absent. A
     /// hit refreshes the entry's LRU position.
     pub fn claim(&self, key: CacheKey) -> Claim {
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots = lock_unpoisoned(&self.slots);
         slots.tick += 1;
         let now = slots.tick;
         match slots.map.get_mut(&key.0) {
@@ -213,7 +247,7 @@ impl ResultCache {
     /// evicting the least-recently-used completed entries beyond the
     /// capacity.
     pub fn complete(&self, key: CacheKey, body: Arc<String>) {
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots = lock_unpoisoned(&self.slots);
         slots.tick += 1;
         let tick = slots.tick;
         slots.map.insert(key.0, Slot::Done { body, tick });
@@ -236,7 +270,7 @@ impl ResultCache {
     /// Removes the pending slot for a failed compile so the next request
     /// retries instead of hitting a cached error.
     pub fn abandon(&self, key: CacheKey) {
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots = lock_unpoisoned(&self.slots);
         if matches!(slots.map.get(&key.0), Some(Slot::Pending(_))) {
             slots.map.remove(&key.0);
         }
@@ -245,7 +279,7 @@ impl ResultCache {
     /// Number of completed entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        let slots = self.slots.lock().unwrap();
+        let slots = lock_unpoisoned(&self.slots);
         slots
             .map
             .values()
@@ -387,5 +421,71 @@ mod tests {
         gate.fill(Ok(Arc::new("late".to_owned())));
         let got = gate.wait(Duration::from_millis(10)).unwrap();
         assert_eq!(*got.unwrap(), "late");
+    }
+
+    /// Satellite regression: an astronomical timeout must wait, not
+    /// panic. `Instant::now() + Duration::MAX` used to overflow-panic on
+    /// the waiter's thread before the fill could ever be observed.
+    #[test]
+    fn gate_wait_survives_an_unrepresentable_timeout() {
+        let gate = Arc::new(Gate::default());
+        let filler = Arc::clone(&gate);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            filler.fill(Ok(Arc::new("eventually".to_owned())));
+        });
+        let got = gate.wait(Duration::MAX).expect("filled, not panicked");
+        assert_eq!(*got.unwrap(), "eventually");
+        t.join().unwrap();
+    }
+
+    /// Satellite regression: an already-expired deadline answers
+    /// immediately — no zero-duration condvar spin, no waiting out a
+    /// restarted budget — while a result that is already present is
+    /// still observed (the late-fill path a retry would hit via the
+    /// cache).
+    #[test]
+    fn gate_expired_deadline_fails_fast_but_sees_a_present_result() {
+        let gate = Gate::default();
+        let expired = Instant::now() - Duration::from_secs(1);
+        let started = Instant::now();
+        assert!(gate.wait_deadline(Some(expired)).is_none());
+        assert!(
+            started.elapsed() < Duration::from_millis(100),
+            "expired deadline must not block: {:?}",
+            started.elapsed()
+        );
+        gate.fill(Ok(Arc::new("late".to_owned())));
+        let got = gate.wait_deadline(Some(expired)).expect("present result");
+        assert_eq!(*got.unwrap(), "late");
+    }
+
+    /// Satellite regression: a waiter whose thread panics while holding
+    /// a gate's lock poisons the mutex; the fill side and every later
+    /// waiter must shrug that off instead of cascading the panic.
+    #[test]
+    fn poisoned_gate_locks_are_recovered_not_propagated() {
+        let gate = Arc::new(Gate::default());
+        let poisoner = Arc::clone(&gate);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.slot.lock().unwrap();
+            panic!("poison the slot lock");
+        })
+        .join();
+        gate.fill(Ok(Arc::new("fine".to_owned())));
+        let got = gate.wait(Duration::from_millis(50)).expect("filled");
+        assert_eq!(*got.unwrap(), "fine");
+
+        let cache = Arc::new(ResultCache::new());
+        let key = CacheKey::of(&normalized(77));
+        let slots_poisoner = Arc::clone(&cache);
+        let _ = thread::spawn(move || {
+            let _guard = slots_poisoner.slots.lock().unwrap();
+            panic!("poison the cache lock");
+        })
+        .join();
+        assert!(matches!(cache.claim(key), Claim::Compute(_)));
+        cache.complete(key, Arc::new("body".to_owned()));
+        assert!(matches!(cache.claim(key), Claim::Hit(_)));
     }
 }

@@ -13,6 +13,7 @@
 //! queued compiles drain, and [`Server::run`] returns.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -410,14 +411,32 @@ impl<B: CompileBackend> Service<B> {
                 http::error_body("shutdown", "server is draining"),
             );
         }
+        // The request's whole time budget starts here: normalization and
+        // queueing spend from the same deadline the compile wait honours,
+        // so a slow normalize cannot silently extend the configured
+        // timeout. `None` (unrepresentable deadline) waits indefinitely.
+        let deadline = Instant::now().checked_add(self.config.timeout);
         recorder.begin("normalize");
         let request = match CompileRequest::from_json(body) {
             Ok(request) => request,
             Err(e) => return (400, "error", http::error_body("parse", &e)),
         };
-        let normalized = match self.backend.normalize(&request) {
-            Ok(normalized) => normalized,
-            Err(e) => return (400, "error", http::error_body(e.kind, &e.message)),
+        // Normalization runs user-supplied backend code on the handler
+        // thread; a panic must become a structured error, not a dropped
+        // connection.
+        let normalized = match catch_unwind(AssertUnwindSafe(|| self.backend.normalize(&request))) {
+            Ok(Ok(normalized)) => normalized,
+            Ok(Err(e)) => return (400, "error", http::error_body(e.kind, &e.message)),
+            Err(_) => {
+                return (
+                    500,
+                    "error",
+                    http::error_body(
+                        "compile",
+                        "request normalization panicked; nothing was cached",
+                    ),
+                )
+            }
         };
         ctx.circuit = normalized.circuit.name().to_owned();
         ctx.seed = normalized.seed;
@@ -515,7 +534,7 @@ impl<B: CompileBackend> Service<B> {
         };
 
         recorder.begin("compile");
-        match gate.wait(self.config.timeout) {
+        match gate.wait_deadline(deadline) {
             Some(Ok(manifest)) => {
                 if let Some(spans) = gate.trace() {
                     recorder.graft(&spans);
@@ -575,7 +594,7 @@ impl<B: CompileBackend> Service<B> {
                 ),
             );
         };
-        if let Err(e) = self.backend.verify_stored(body) {
+        if let Err(e) = self.verify_stored_guarded(body) {
             return (
                 400,
                 "application/json",
@@ -594,17 +613,32 @@ impl<B: CompileBackend> Service<B> {
         (200, "text/plain", "replicated\n".to_owned())
     }
 
+    /// Runs the backend's stored-manifest verification with a panic
+    /// boundary. The verifier examines user-supplied (or on-disk) bytes
+    /// on the *handler* thread; before this guard a panicking verifier
+    /// unwound through `compile_inner` with the key's `Pending` slot
+    /// still registered, stranding every current and future request for
+    /// that key on a gate nobody would ever fill.
+    fn verify_stored_guarded(&self, body: &str) -> Result<(), crate::request::BackendError> {
+        catch_unwind(AssertUnwindSafe(|| self.backend.verify_stored(body))).unwrap_or_else(|_| {
+            Err(crate::request::BackendError::new(
+                "verify",
+                "stored-manifest verification panicked; entry treated as unverifiable",
+            ))
+        })
+    }
+
     /// Looks `key` up in the persistent store and verifies the stored
     /// body (UTF-8, then the backend's semantic check) before trusting
-    /// it. Anything that fails verification is quarantined so the slot
-    /// recompiles — a corrupt store degrades to a cold cache, never to a
-    /// wrong answer.
+    /// it. Anything that fails verification — including a *panicking*
+    /// verifier — is quarantined so the slot recompiles: a corrupt store
+    /// degrades to a cold cache, never to a wrong answer or a dead slot.
     fn store_fetch(&self, key: CacheKey) -> Option<Arc<String>> {
         let store = self.store.as_ref()?;
         let bytes = store.get(key.0)?;
         let verified = String::from_utf8(bytes)
             .ok()
-            .filter(|body| self.backend.verify_stored(body).is_ok());
+            .filter(|body| self.verify_stored_guarded(body).is_ok());
         match verified {
             Some(body) => Some(Arc::new(body)),
             None => {
@@ -1010,6 +1044,153 @@ mod tests {
         assert_eq!(status, 200, "retry recompiles on a live worker: {body}");
         handle.shutdown();
         join.join().unwrap();
+    }
+
+    /// Satellite regression: the request's time budget starts at request
+    /// entry, not at the compile wait. A backend whose `normalize` alone
+    /// overruns the deadline must answer 408 immediately afterwards —
+    /// before the fix the gate wait restarted the full timeout, so this
+    /// request rode a fresh budget into a 200.
+    #[test]
+    fn slow_normalize_spends_the_request_deadline() {
+        struct Molasses(EchoBackend);
+        impl CompileBackend for Molasses {
+            fn normalize(
+                &self,
+                request: &CompileRequest,
+            ) -> Result<NormalizedRequest, BackendError> {
+                thread::sleep(Duration::from_millis(150));
+                self.0.normalize(request)
+            }
+            fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError> {
+                self.0.compile(normalized)
+            }
+        }
+
+        let backend = Molasses(EchoBackend::new(Duration::from_millis(60)));
+        let config = ServeConfig {
+            timeout: Duration::from_millis(100),
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", backend, config).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run());
+        let req = CompileRequest::bench(BENCH).with_seed(41).to_json();
+        // normalize (150 ms) exceeds the 100 ms budget; the 60 ms compile
+        // would fit a *restarted* budget comfortably, so a 200 here means
+        // the deadline was restarted after normalize.
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 408, "budget spent during normalize: {body}");
+        assert!(body.contains("\"kind\":\"timeout\""), "{body}");
+        // The compile still finished into the cache; a retry hits it
+        // (after its own slow normalize).
+        thread::sleep(Duration::from_millis(300));
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200, "late fill lands in the cache: {body}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// Satellite regression: a backend whose `normalize` panics gets a
+    /// structured error, not a dropped connection.
+    #[test]
+    fn panicking_normalize_answers_a_structured_error() {
+        struct Tantrum;
+        impl CompileBackend for Tantrum {
+            fn normalize(
+                &self,
+                _request: &CompileRequest,
+            ) -> Result<NormalizedRequest, BackendError> {
+                panic!("normalize kaboom");
+            }
+            fn compile(&self, _normalized: &NormalizedRequest) -> Result<String, BackendError> {
+                unreachable!("normalize never succeeds");
+            }
+        }
+
+        let server = Server::bind("127.0.0.1:0", Tantrum, ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run());
+        let req = CompileRequest::bench(BENCH).to_json();
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("\"schema\":\"ppet-error/v1\""), "{body}");
+        assert!(body.contains("normalization panicked"), "{body}");
+        // The server is still healthy.
+        let (status, _) = roundtrip(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    /// Satellite regression: a *panicking* stored-manifest verifier runs
+    /// on the handler thread with the key's Pending slot registered.
+    /// Before the panic boundary the unwind dropped the connection and
+    /// leaked the slot: this request died mid-air and every retry
+    /// coalesced onto a gate nobody would ever fill, timing out to 408
+    /// forever. Post-fix the entry is quarantined and recompiled.
+    #[test]
+    fn panicking_store_verifier_quarantines_and_recompiles() {
+        struct Landmine(EchoBackend);
+        impl CompileBackend for Landmine {
+            fn normalize(
+                &self,
+                request: &CompileRequest,
+            ) -> Result<NormalizedRequest, BackendError> {
+                self.0.normalize(request)
+            }
+            fn compile(&self, normalized: &NormalizedRequest) -> Result<String, BackendError> {
+                self.0.compile(normalized)
+            }
+            fn verify_stored(&self, _stored: &str) -> Result<(), BackendError> {
+                panic!("verifier kaboom");
+            }
+        }
+
+        let dir = temp_store_dir("landmine");
+        let config = ServeConfig {
+            store_dir: Some(dir.clone()),
+            timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        };
+        let req = CompileRequest::bench(BENCH).with_seed(29).to_json();
+
+        // Round 1: compile lands in the store (verify runs only on
+        // fetch, so nothing detonates yet).
+        let backend = Landmine(EchoBackend::new(Duration::ZERO));
+        let server = Server::bind("127.0.0.1:0", backend, config.clone()).unwrap();
+        let (addr, handle) = (server.local_addr(), server.handle());
+        let join = thread::spawn(move || server.run());
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200, "{body}");
+        handle.shutdown();
+        join.join().unwrap();
+
+        // Round 2: a fresh server finds the stored entry; the verifier
+        // panics during the fetch.
+        let backend = Landmine(EchoBackend::new(Duration::ZERO));
+        let server = Server::bind("127.0.0.1:0", backend, config).unwrap();
+        let (addr, handle) = (server.local_addr(), server.handle());
+        let join = thread::spawn(move || server.run());
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200, "quarantined and recompiled: {body}");
+        // The slot was not leaked: the same key keeps answering.
+        let (status, body) = roundtrip(addr, "POST", "/compile", &req);
+        assert_eq!(status, 200, "slot survives for retries: {body}");
+        let (_, metrics) = roundtrip(addr, "GET", "/metrics", "");
+        assert!(metrics.contains("store_quarantined 1\n"), "{metrics}");
+
+        // The replication path shares the boundary: a panicking verifier
+        // is a structured 400, not a dropped connection.
+        let (status, body) = roundtrip(addr, "PUT", &format!("/cache/{:032x}", 7), "pushed");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("\"kind\":\"verify\""), "{body}");
+        assert!(body.contains("verification panicked"), "{body}");
+        handle.shutdown();
+        join.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Replication ingest: `PUT /cache/<key>` seeds the hot cache so the

@@ -202,8 +202,13 @@ struct Inner {
     index: HashMap<u128, Entry>,
     /// Chunk signatures of raw entries (delta-base candidates).
     signatures: HashMap<u128, Vec<u64>>,
-    /// Inverted chunk index: chunk hash → raw keys containing it.
-    chunk_index: HashMap<u64, Vec<u128>>,
+    /// Inverted chunk index: chunk hash → (raw key, occurrences of the
+    /// hash in that key's signature). Carrying the count lets
+    /// [`Store::best_base`] score candidates by the exact multiset
+    /// intersection `Σ min(probe_count, base_count)` — the same quantity
+    /// [`chunk::overlap`] computes — without touching the full
+    /// signatures.
+    chunk_index: HashMap<u64, Vec<(u128, u32)>>,
     /// Live delta count per base key.
     refs: HashMap<u128, u32>,
     live_bytes: u64,
@@ -427,12 +432,23 @@ impl Store {
     }
 
     fn best_base(&self, inner: &Inner, key: u128, sig: &[u64]) -> Option<u128> {
+        // Score = exact multiset intersection with each candidate's
+        // signature: Σ over distinct hashes of min(probe count, base
+        // count). Iterating the probe's *distinct* hashes (not raw
+        // occurrences) and clamping by both sides is what makes repeated
+        // chunks count once per shared copy — a base that is one chunk
+        // repeated 100 times shares at most min(probe, 100) chunks with
+        // the probe, not probe×100.
+        let mut probe_counts: HashMap<u64, u32> = HashMap::with_capacity(sig.len());
+        for &h in sig {
+            *probe_counts.entry(h).or_insert(0) += 1;
+        }
         let mut tally: HashMap<u128, usize> = HashMap::new();
-        for h in sig {
-            if let Some(keys) = inner.chunk_index.get(h) {
-                for &k in keys {
+        for (h, &probe_n) in &probe_counts {
+            if let Some(bases) = inner.chunk_index.get(h) {
+                for &(k, base_n) in bases {
                     if k != key {
-                        *tally.entry(k).or_insert(0) += 1;
+                        *tally.entry(k).or_insert(0) += probe_n.min(base_n) as usize;
                     }
                 }
             }
@@ -906,8 +922,12 @@ impl Inner {
     }
 
     fn add_signature(&mut self, key: u128, sig: Vec<u64>) {
+        let mut counts: HashMap<u64, u32> = HashMap::with_capacity(sig.len());
         for &h in &sig {
-            self.chunk_index.entry(h).or_default().push(key);
+            *counts.entry(h).or_insert(0) += 1;
+        }
+        for (h, n) in counts {
+            self.chunk_index.entry(h).or_default().push((key, n));
         }
         self.signatures.insert(key, sig);
     }
@@ -916,7 +936,7 @@ impl Inner {
         if let Some(sig) = self.signatures.remove(&key) {
             for h in sig {
                 if let Some(keys) = self.chunk_index.get_mut(&h) {
-                    keys.retain(|&k| k != key);
+                    keys.retain(|&(k, _)| k != key);
                     if keys.is_empty() {
                         self.chunk_index.remove(&h);
                     }

@@ -1,0 +1,145 @@
+//! Delta-base selection: the base the store picks must be byte-identical
+//! to the brute-force ranking by [`chunk::overlap`] (exact multiset
+//! intersection, deterministic key tie-break) — including on signatures
+//! with *repeated* chunks, where an inverted-index tally that multiplies
+//! probe occurrences by base occurrences instead of clamping to
+//! `min(probe, base)` inflates repetitive candidates past genuinely
+//! similar ones.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ppet_store::chunk::{self, CHUNK_SIZE};
+use ppet_store::{PutOutcome, Store, StoreConfig};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ppet-store-dedup-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `n` chunk-aligned copies of the byte `b` — a signature that is one
+/// hash repeated `n` times.
+fn blocks(b: u8, n: usize) -> Vec<u8> {
+    vec![b; CHUNK_SIZE * n]
+}
+
+/// The ranking the store must reproduce: exact multiset overlap against
+/// every candidate signature, ties broken toward the larger key, below
+/// `min_overlap` disqualified.
+fn brute_force_best(
+    probe: &[u64],
+    candidates: &[(u128, Vec<u64>)],
+    min_overlap: usize,
+) -> Option<u128> {
+    candidates
+        .iter()
+        .map(|(key, sig)| (*key, chunk::overlap(probe, sig)))
+        .filter(|(_, score)| *score >= min_overlap)
+        .max_by_key(|(key, score)| (*score, *key))
+        .map(|(key, _)| key)
+}
+
+/// A base made of one chunk repeated ten times shares exactly
+/// `min(2, 10) = 2` chunks with a probe carrying two copies — so a base
+/// sharing five *distinct* chunks must win. An occurrence-product tally
+/// scores the repetitive base 2×10 = 20 and picks it instead.
+#[test]
+fn repeated_chunks_do_not_outvote_a_genuinely_similar_base() {
+    let dir = fresh_dir("repeat");
+    let store = Store::open(&dir, StoreConfig::default()).expect("open");
+
+    let repetitive = blocks(b'X', 10);
+    let similar: Vec<u8> = (b'1'..=b'5').flat_map(|b| blocks(b, 1)).collect();
+    let probe: Vec<u8> = blocks(b'X', 2)
+        .into_iter()
+        .chain(similar.iter().copied())
+        .chain(blocks(b'Q', 1))
+        .collect();
+
+    assert!(matches!(
+        store.put(0xA, &repetitive).expect("put repetitive"),
+        PutOutcome::InsertedRaw { .. }
+    ));
+    assert!(matches!(
+        store.put(0xB, &similar).expect("put similar"),
+        PutOutcome::InsertedRaw { .. }
+    ));
+
+    let candidates = vec![
+        (0xA_u128, chunk::signature(&repetitive)),
+        (0xB_u128, chunk::signature(&similar)),
+    ];
+    let expected = brute_force_best(&chunk::signature(&probe), &candidates, 1);
+    assert_eq!(
+        expected,
+        Some(0xB),
+        "exact overlap must rank B (5) over A (2)"
+    );
+
+    let outcome = store.put(0xF0, &probe).expect("put probe");
+    let PutOutcome::InsertedDelta { base, .. } = outcome else {
+        panic!("probe should delta against the similar base, got {outcome:?}");
+    };
+    assert_eq!(
+        base,
+        expected.expect("a candidate qualifies"),
+        "store's base choice diverged from the chunk::overlap ranking"
+    );
+    assert_eq!(store.get(0xF0), Some(probe), "delta must decode exactly");
+
+    // The count-carrying index must survive replay: reopen and rank a
+    // fresh probe of the same shape.
+    store.flush().expect("flush");
+    drop(store);
+    let store = Store::open(&dir, StoreConfig::default()).expect("reopen");
+    let probe2: Vec<u8> = blocks(b'X', 2)
+        .into_iter()
+        .chain(similar.iter().copied())
+        .chain(blocks(b'R', 1))
+        .collect();
+    let outcome = store.put(0xF1, &probe2).expect("put probe after reopen");
+    let PutOutcome::InsertedDelta { base, .. } = outcome else {
+        panic!("reopened store should still delta the probe, got {outcome:?}");
+    };
+    assert_eq!(base, 0xB, "replayed index must reproduce the exact ranking");
+    assert_eq!(store.get(0xF1), Some(probe2));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// With a single shared chunk the exact and occurrence-count scores
+/// coincide — distinct-chunk base choice is unchanged by the fix.
+#[test]
+fn distinct_chunk_ranking_is_unchanged() {
+    let dir = fresh_dir("distinct");
+    let store = Store::open(&dir, StoreConfig::default()).expect("open");
+
+    // C shares three distinct chunks with the probe, D shares one.
+    let three: Vec<u8> = (b'a'..=b'c').flat_map(|b| blocks(b, 1)).collect();
+    let one: Vec<u8> = [blocks(b'a', 1), blocks(b'z', 1)].concat();
+    store.put(0xC, &three).expect("put three");
+    store.put(0xD, &one).expect("put one");
+
+    let probe: Vec<u8> = (b'a'..=b'd').flat_map(|b| blocks(b, 1)).collect();
+    let candidates = vec![
+        (0xC_u128, chunk::signature(&three)),
+        (0xD_u128, chunk::signature(&one)),
+    ];
+    assert_eq!(
+        brute_force_best(&chunk::signature(&probe), &candidates, 1),
+        Some(0xC)
+    );
+    let outcome = store.put(0xF2, &probe).expect("put probe");
+    assert!(
+        matches!(outcome, PutOutcome::InsertedDelta { base: 0xC, .. }),
+        "expected delta against C, got {outcome:?}"
+    );
+    assert_eq!(store.get(0xF2), Some(probe));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

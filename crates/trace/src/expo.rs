@@ -41,13 +41,86 @@ fn split_sample(line: &str) -> Option<(&str, &str)> {
     Some((name.trim(), value.trim()))
 }
 
-/// Pulls one label's value out of a `{k="v",…}` block.
-fn label_value<'a>(series: &'a str, label: &str) -> Option<&'a str> {
+/// Splits a `k="v",k="v",…` label block into its pairs, respecting
+/// quoting: a comma inside a quoted value does not separate pairs, and a
+/// `\"` or `\\` escape inside the quotes does not end the value. A naive
+/// `block.split(',')` shears any label whose value contains a comma —
+/// exactly the kind of value a relabeled backend address or an
+/// upstream-supplied outcome string can carry.
+fn split_pairs(block: &str) -> Vec<&str> {
+    let mut pairs = Vec::new();
+    if block.is_empty() {
+        return pairs;
+    }
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in block.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                pairs.push(&block[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    pairs.push(&block[start..]);
+    pairs
+}
+
+/// Undoes [`escape_label_value`]: `\\` → `\`, `\"` → `"`, `\n` →
+/// newline (the three escapes the exposition format defines for label
+/// values).
+fn unescape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Escapes a raw string for use inside a quoted label value, per the
+/// Prometheus text format: backslash, double quote, and newline become
+/// `\\`, `\"`, and `\n`.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Pulls one label's value out of a `{k="v",…}` block, unescaped.
+fn label_value(series: &str, label: &str) -> Option<String> {
     let block = series.split_once('{')?.1.strip_suffix('}')?;
-    for pair in block.split(',') {
+    for pair in split_pairs(block) {
         let (key, value) = pair.split_once('=')?;
         if key == label {
-            return Some(value.trim_matches('"'));
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .unwrap_or(value);
+            return Some(unescape_label_value(value));
         }
     }
     None
@@ -60,8 +133,8 @@ fn strip_label(series: &str, label: &str) -> String {
         return series.to_owned();
     };
     let block = block.strip_suffix('}').unwrap_or(block);
-    let kept: Vec<&str> = block
-        .split(',')
+    let kept: Vec<&str> = split_pairs(block)
+        .into_iter()
         .filter(|pair| pair.split_once('=').map_or(true, |(k, _)| k != label))
         .collect();
     if kept.is_empty() {
@@ -206,8 +279,10 @@ pub fn parse(text: &str) -> Result<Exposition, String> {
 }
 
 /// Appends `label="value"` to a series key, preserving any existing
-/// label block: `a` → `a{l="v"}`, `a{x="y"}` → `a{x="y",l="v"}`.
+/// label block: `a` → `a{l="v"}`, `a{x="y"}` → `a{x="y",l="v"}`. The
+/// raw `value` is escaped into exposition form on the way in.
 fn with_label(series: &str, label: &str, value: &str) -> String {
+    let value = escape_label_value(value);
     match series.split_once('{') {
         Some((base, rest)) => {
             let rest = rest.strip_suffix('}').unwrap_or(rest);
@@ -220,8 +295,9 @@ fn with_label(series: &str, label: &str, value: &str) -> String {
 impl Exposition {
     /// A copy with `label="value"` stamped onto every series — how an
     /// aggregator attributes one scrape to its source (e.g.
-    /// `backend="127.0.0.1:8427"`). The label value must already be
-    /// label-safe (no quotes, backslashes, or newlines).
+    /// `backend="127.0.0.1:8427"`). The value may be any string: quotes,
+    /// backslashes, and newlines are escaped into exposition form, and
+    /// [`parse`] recovers the original through its label-aware splitting.
     #[must_use]
     pub fn relabel(&self, label: &str, value: &str) -> Exposition {
         Exposition {
@@ -435,6 +511,42 @@ mod tests {
         // The whole thing still parses (monotone buckets, +Inf == count).
         let back = parse(&text).unwrap();
         assert_eq!(back.histograms.len(), 3);
+    }
+
+    #[test]
+    fn exotic_label_values_survive_relabel_and_reparse() {
+        // Commas, an embedded quote, a backslash, a newline, and an `=`
+        // — each of which a quote-blind splitter mangles.
+        let value = "a,b=\"c\"\\\nd";
+        let expo = parse(&sample_metrics().render_prometheus()).unwrap();
+        let tagged = expo.relabel("src", value);
+        // The escaped form is what lands in the series keys…
+        assert!(
+            tagged
+                .counters
+                .contains_key("serve_requests{src=\"a,b=\\\"c\\\"\\\\\\nd\"}"),
+            "keys: {:?}",
+            tagged.counters.keys().collect::<Vec<_>>()
+        );
+        // …and the exposition round-trips bit-exactly, histogram
+        // included: the bucket parser must find `le` *after* the exotic
+        // label without shearing the block at its commas.
+        let back = parse(&tagged.render_prometheus()).unwrap();
+        assert_eq!(back, tagged);
+        assert_eq!(back.histograms.len(), 1);
+    }
+
+    #[test]
+    fn label_value_unescapes_and_respects_quoted_commas() {
+        let series = "m{a=\"x,y\",b=\"q\\\"u\\\\o\\nte\",le=\"127\"}";
+        assert_eq!(label_value(series, "a").as_deref(), Some("x,y"));
+        assert_eq!(label_value(series, "b").as_deref(), Some("q\"u\\o\nte"));
+        assert_eq!(label_value(series, "le").as_deref(), Some("127"));
+        assert_eq!(label_value(series, "missing"), None);
+        assert_eq!(
+            strip_label(series, "le"),
+            "m{a=\"x,y\",b=\"q\\\"u\\\\o\\nte\"}"
+        );
     }
 
     #[test]

@@ -45,6 +45,9 @@ scripts/parity.sh
 echo "==> audit golden corpus"
 scripts/golden.sh --check
 
+echo "==> sched: golden schedules rebuild deterministically, pareto monotone"
+scripts/sched_check.sh
+
 echo "==> perf gate: saturation hot path vs recorded floor"
 scripts/perf_gate.sh
 
@@ -60,8 +63,8 @@ scripts/cluster_smoke.sh
 echo "==> metrics lint (cluster): aggregated router exposition"
 scripts/metrics_lint.sh --cluster
 
-echo "==> store: crash recovery + eviction invariants"
-cargo test -q -p ppet-store --test recovery --test eviction
+echo "==> store: crash recovery + eviction + dedup-ranking invariants"
+cargo test -q -p ppet-store --test recovery --test eviction --test dedup
 scripts/store_smoke.sh
 
 echo "==> ci: all green"

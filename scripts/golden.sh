@@ -61,6 +61,17 @@ bless() {
             echo "golden: refusing to bless — nothing was overwritten" >&2
             exit 1
         }
+        # A blessed recording must carry its power schedule and the
+        # audit's verdict on it; a manifest without them would let the
+        # sched gate pass vacuously.
+        for entry in '"power_budget"' '"sched.budget_cdf"' '"sched.step.0"' \
+                     '"check.sched-rebuild": "pass"'; do
+            grep -q "$entry" "$tmp/$name.json" || {
+                echo "golden: fresh $name recording is missing $entry;" >&2
+                echo "golden: refusing to bless — nothing was overwritten" >&2
+                exit 1
+            }
+        done
     done
     mkdir -p "$GOLDEN_DIR"
     corpus | while read -r name _flags; do

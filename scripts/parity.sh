@@ -66,4 +66,17 @@ for counter in flow.csr.nodes flow.csr.branches flow.requeue flow.reused \
         }
     done
 done
-echo "manifests identical modulo wall_ns/jobs (saturation counters covered)"
+
+# Same guarantee for the power-schedule sections: the schedule is a pure
+# function of the partitions and the budget, so its manifest entries must
+# be present and (by the diff above) byte-identical at any worker count.
+for entry in power_budget sched.budget_cdf sched.steps sched.total_cycles \
+             sched.peak_cdf sched.step.0; do
+    for side in seq par; do
+        grep -q "\"$entry\"" "$tmp/$side/s27.json" || {
+            echo "parity: schedule entry $entry missing from the $side manifest" >&2
+            exit 1
+        }
+    done
+done
+echo "manifests identical modulo wall_ns/jobs (saturation + schedule covered)"

@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Power-schedule gate: every golden recording embeds a power schedule
+# (`sched.*` result entries) that `merced schedule --manifest` rebuilds
+# byte-identically at any worker count, and whose `--pareto` budget sweep
+# is monotone — a looser power budget must never report a slower test.
+# The audit-side checks (sched-coverage, sched-power-budget,
+# sched-rebuild) run inside `scripts/golden.sh --check`; this stage
+# covers the CLI rebuild path and the frontier. Run from the repository
+# root. Fully offline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GOLDEN_DIR=recorded/golden
+MERCED=target/release/merced
+
+cargo build -q --release -p ppet-core --bin merced
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+for manifest in "$GOLDEN_DIR"/*.json; do
+    name="$(basename "$manifest" .json)"
+
+    # The recording must embed its schedule and the budget it ran under.
+    for entry in power_budget sched.budget_cdf sched.steps \
+                 sched.total_cycles sched.peak_cdf sched.step.0; do
+        grep -q "\"$entry\"" "$manifest" || {
+            echo "sched: $name is missing manifest entry $entry" >&2
+            exit 1
+        }
+    done
+
+    # Determinism: the rebuilt schedule is a pure function of the
+    # recorded partitions and budget — the worker count must not leak.
+    for jobs in 1 2 8; do
+        PPET_JOBS=$jobs "$MERCED" schedule --manifest "$manifest" --quiet \
+            > "$tmp/$name.$jobs.json"
+    done
+    for jobs in 2 8; do
+        cmp -s "$tmp/$name.1.json" "$tmp/$name.$jobs.json" || {
+            echo "sched: $name schedule differs between PPET_JOBS=1 and PPET_JOBS=$jobs" >&2
+            exit 1
+        }
+    done
+
+    # Frontier monotonicity: total_cycles never increases along the sweep.
+    "$MERCED" schedule --manifest "$manifest" --pareto > "$tmp/$name.pareto.json"
+    grep -o '"total_cycles": [0-9]*' "$tmp/$name.pareto.json" \
+        | awk '{ if (prev != "" && $2 + 0 > prev + 0) exit 1; prev = $2 }' || {
+        echo "sched: $name pareto sweep is not monotone" >&2
+        exit 1
+    }
+done
+echo "sched: golden schedules rebuild deterministically; pareto sweeps monotone"
