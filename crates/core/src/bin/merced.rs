@@ -8,7 +8,8 @@
 //! merced schedule --manifest <manifest.json> [--power-budget CDF] [--pareto]
 //! merced serve --addr <host:port> [--workers N] [--queue N]
 //!              [--timeout-ms N] [--store DIR] [--store-budget BYTES]
-//!              [--cache-cap N] [--trace-ring N] [--slow-ms N] [options]
+//!              [--delta-depth N] [--cache-cap N] [--trace-ring N]
+//!              [--slow-ms N] [options]
 //! merced store <dir> <stats | gc | verify | export KEY | import FILE [--pin]>
 //! merced stat <host:port>... [--watch SECS] [--json]
 //! merced cluster --addr <host:port> --backend <host:port>...
@@ -73,6 +74,9 @@
 //!                      served again
 //!   --store-budget <B> byte budget for the store's LRU eviction
 //!                      (default unbounded; pinned entries never evicted)
+//!   --delta-depth <N>  maximum delta chain depth in the store: 0 stores
+//!                      everything raw, 1 forbids delta-of-delta chains
+//!                      (default 2)
 //!   --cache-cap <N>    max completed entries in the in-memory hot cache
 //!                      (default 1024, LRU beyond it)
 //!   --trace-ring <N>   completed request traces kept for GET
@@ -90,8 +94,9 @@
 //!                      key to stdout
 //!   import <file>      store a file under its content hash (printed on
 //!                      stdout); --pin protects it from eviction
-//!   (--store-budget applies here too: imports then enforce the byte
-//!   budget, evicting unpinned LRU entries)
+//!   (--store-budget and --delta-depth apply here too: imports then
+//!   enforce the byte budget and chain-depth limit exactly as the
+//!   server would)
 //!
 //! Service status (`merced stat <host:port>...`):
 //!   scrapes GET /metrics and GET /debug/requests from a running
@@ -236,6 +241,7 @@ struct Options {
     timeout_ms: u64,
     store: Option<String>,
     store_budget: Option<u64>,
+    delta_depth: Option<u8>,
     cache_cap: Option<usize>,
     trace_ring: Option<usize>,
     slow_ms: Option<u64>,
@@ -278,6 +284,7 @@ fn parse_args() -> Result<Options, String> {
         timeout_ms: 60_000,
         store: None,
         store_budget: None,
+        delta_depth: None,
         cache_cap: None,
         trace_ring: None,
         slow_ms: None,
@@ -351,6 +358,7 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--store-budget" => opts.store_budget = Some(next_value(&mut args, "--store-budget")?),
+            "--delta-depth" => opts.delta_depth = Some(next_value(&mut args, "--delta-depth")?),
             "--cache-cap" => opts.cache_cap = Some(next_value(&mut args, "--cache-cap")?),
             "--trace-ring" => opts.trace_ring = Some(next_value(&mut args, "--trace-ring")?),
             "--slow-ms" => opts.slow_ms = Some(next_value(&mut args, "--slow-ms")?),
@@ -470,6 +478,9 @@ fn parse_args() -> Result<Options, String> {
     if opts.store_budget.is_some() {
         return Err("--store-budget only applies to `merced serve` or `merced store`".to_string());
     }
+    if opts.delta_depth.is_some() {
+        return Err("--delta-depth only applies to `merced serve` or `merced store`".to_string());
+    }
     if opts.pin {
         return Err("--pin only applies to `merced store <dir> import`".to_string());
     }
@@ -536,10 +547,10 @@ fn usage() -> String {
      [same compile options]\n\
      \x20      merced serve --addr <host:port> [--workers N] [--queue N] \
      [--timeout-ms N] [--jobs N|max] [--store DIR] [--store-budget BYTES] \
-     [--cache-cap N] [same compile options as defaults]\n\
+     [--delta-depth N] [--cache-cap N] [same compile options as defaults]\n\
      \x20      merced serve extras: [--trace-ring N] [--slow-ms N]\n\
      \x20      merced store <dir> <stats | gc | verify | export KEY | \
-     import FILE [--pin]>\n\
+     import FILE [--pin]> [--delta-depth N]\n\
      \x20      merced stat <host:port>... [--watch SECS] [--json]\n\
      \x20      merced cluster --addr <host:port> --backend <host:port>... \
      [--replication N] [--vnodes N] [--hedge-ms N] [--probe-ms N] \
@@ -675,6 +686,9 @@ fn run_serve(opts: &Options, jobs: usize) -> Result<ExitCode, CliError> {
         cache_capacity: opts.cache_cap.unwrap_or(ppet_serve::DEFAULT_CACHE_CAPACITY),
         store_dir: opts.store.as_ref().map(std::path::PathBuf::from),
         store_budget: opts.store_budget,
+        store_delta_depth: opts
+            .delta_depth
+            .unwrap_or(ServeConfig::default().store_delta_depth),
         trace_ring: opts.trace_ring.unwrap_or(ppet_serve::DEFAULT_TRACE_RING),
         slow_ms: opts.slow_ms,
         // Request IDs come from the same deterministic substrate as the
@@ -792,10 +806,13 @@ fn run_store(opts: &Options) -> Result<ExitCode, CliError> {
 
     let dir = &opts.inputs[0];
     let action = opts.inputs[1].as_str();
-    let config = StoreConfig {
+    let mut config = StoreConfig {
         budget: opts.store_budget,
         ..StoreConfig::default()
     };
+    if let Some(depth) = opts.delta_depth {
+        config.max_chain_depth = depth;
+    }
     let store = Store::open(dir, config)
         .map_err(|e| CliError::new("io", format!("cannot open store {dir}: {e}")))?;
     match action {

@@ -1,0 +1,396 @@
+//! Incremental similarity clustering over super-feature sketches.
+//!
+//! Artifacts are nodes; two artifacts are linked iff they share at least
+//! one super-feature value. A *cluster* is a connected component of that
+//! graph — the graph-clustering rule of SBC-style dedup, which chains
+//! transitive similarity (A≈B, B≈C clusters A,B,C even when A and C
+//! share nothing directly) so a whole family of variants lands in one
+//! cluster with one representative.
+//!
+//! Every query the store asks — membership, candidates, representative —
+//! is a pure function of the *current member set*, never of insertion
+//! order. That is the property that makes delta-base choice reproducible
+//! when the index is rebuilt from the log: replay re-inserts the same
+//! members and necessarily lands on the same clusters and the same
+//! representatives.
+//!
+//! # Representative election
+//!
+//! Each cluster elects the member with the highest *centrality*: the sum
+//! over its super-features of how many other members share that value
+//! (ties broken toward the smaller key). The most-shared member is the
+//! best default delta base — it is the one the most future variants will
+//! resemble. Elections re-run on every membership change, including
+//! evictions, so a cluster never points at a departed representative.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::feature::SUPER_FEATURES;
+
+/// One artifact's sketch, deduplicated to its distinct values.
+type Sketch = Vec<u64>;
+
+/// The incremental clusterer. Keys are the store's 128-bit content
+/// addresses; values are super-feature sketches.
+#[derive(Debug, Default)]
+pub struct Clusterer {
+    /// Member → its distinct super-feature values.
+    members: HashMap<u128, Sketch>,
+    /// Super-feature value → members carrying it (sorted, deduped).
+    sf_map: HashMap<u64, Vec<u128>>,
+    /// Member → cluster id. A cluster's id is its smallest member key —
+    /// an order-independent name.
+    cluster_of: HashMap<u128, u128>,
+    /// Cluster id → (members, elected representative).
+    clusters: HashMap<u128, Cluster>,
+}
+
+#[derive(Debug)]
+struct Cluster {
+    members: BTreeSet<u128>,
+    representative: u128,
+}
+
+impl Clusterer {
+    /// An empty clusterer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Members currently tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no members are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of clusters (singletons included).
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Distinct super-feature values in the table.
+    #[must_use]
+    pub fn sf_table_len(&self) -> usize {
+        self.sf_map.len()
+    }
+
+    /// Inserts (or re-sketches) `key`. Clusters linked through the new
+    /// sketch merge; the merged cluster re-elects its representative.
+    pub fn insert(&mut self, key: u128, sketch: [u64; SUPER_FEATURES]) {
+        if self.members.contains_key(&key) {
+            self.remove(key);
+        }
+        let mut distinct: Sketch = sketch.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+
+        // Everyone reachable through a shared value joins one cluster.
+        let mut merged: BTreeSet<u128> = BTreeSet::new();
+        merged.insert(key);
+        for sf in &distinct {
+            if let Some(owners) = self.sf_map.get(sf) {
+                for owner in owners {
+                    let id = self.cluster_of[owner];
+                    if let Some(cluster) = self.clusters.remove(&id) {
+                        merged.extend(cluster.members);
+                    }
+                }
+            }
+        }
+
+        for sf in &distinct {
+            let owners = self.sf_map.entry(*sf).or_default();
+            if let Err(at) = owners.binary_search(&key) {
+                owners.insert(at, key);
+            }
+        }
+        self.members.insert(key, distinct);
+        self.install(merged);
+    }
+
+    /// Removes `key` (no-op when untracked). The cluster it belonged to
+    /// may split into several components; each re-elects its
+    /// representative.
+    pub fn remove(&mut self, key: u128) {
+        let Some(sketch) = self.members.remove(&key) else {
+            return;
+        };
+        for sf in &sketch {
+            if let Some(owners) = self.sf_map.get_mut(sf) {
+                if let Ok(at) = owners.binary_search(&key) {
+                    owners.remove(at);
+                }
+                if owners.is_empty() {
+                    self.sf_map.remove(sf);
+                }
+            }
+        }
+        let id = self
+            .cluster_of
+            .remove(&key)
+            .expect("tracked member has a cluster");
+        let mut rest = self
+            .clusters
+            .remove(&id)
+            .expect("cluster id resolves")
+            .members;
+        rest.remove(&key);
+        // The survivors may no longer be connected: rebuild components.
+        while let Some(&seed) = rest.iter().next() {
+            let mut component = BTreeSet::new();
+            let mut frontier = vec![seed];
+            rest.remove(&seed);
+            component.insert(seed);
+            while let Some(node) = frontier.pop() {
+                for sf in &self.members[&node] {
+                    for peer in &self.sf_map[sf] {
+                        if rest.remove(peer) {
+                            component.insert(*peer);
+                            frontier.push(*peer);
+                        }
+                    }
+                }
+            }
+            self.install(component);
+        }
+    }
+
+    /// The cluster id `key` belongs to, when tracked.
+    #[must_use]
+    pub fn cluster_id(&self, key: u128) -> Option<u128> {
+        self.cluster_of.get(&key).copied()
+    }
+
+    /// The elected representative of `key`'s cluster.
+    #[must_use]
+    pub fn representative_of(&self, key: u128) -> Option<u128> {
+        let id = self.cluster_of.get(&key)?;
+        Some(self.clusters[id].representative)
+    }
+
+    /// Members of `key`'s cluster, ascending.
+    #[must_use]
+    pub fn cluster_members(&self, key: u128) -> Vec<u128> {
+        match self.cluster_of.get(&key) {
+            Some(id) => self.clusters[id].members.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Every member sharing at least one super-feature value with
+    /// `sketch`, with its share count, ascending by key. These are the
+    /// delta-base candidates for an incoming artifact.
+    #[must_use]
+    pub fn candidates(&self, sketch: &[u64; SUPER_FEATURES]) -> Vec<(u128, usize)> {
+        let mut distinct: Sketch = sketch.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut tally: HashMap<u128, usize> = HashMap::new();
+        for sf in &distinct {
+            if let Some(owners) = self.sf_map.get(sf) {
+                for owner in owners {
+                    *tally.entry(*owner).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out: Vec<(u128, usize)> = tally.into_iter().collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Whether `key`'s cluster currently elects it representative.
+    #[must_use]
+    pub fn is_representative(&self, key: u128) -> bool {
+        self.representative_of(key) == Some(key)
+    }
+
+    /// Cluster sizes, ascending — diagnostics for stats output.
+    #[must_use]
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.clusters.values().map(|c| c.members.len()).collect();
+        sizes.sort_unstable();
+        sizes
+    }
+
+    /// Installs `members` as one cluster: names it after its smallest
+    /// key and elects the representative by centrality.
+    fn install(&mut self, members: BTreeSet<u128>) {
+        debug_assert!(!members.is_empty());
+        let id = *members.iter().next().expect("non-empty cluster");
+        let representative = self.elect(&members);
+        for member in &members {
+            self.cluster_of.insert(*member, id);
+        }
+        self.clusters.insert(
+            id,
+            Cluster {
+                members,
+                representative,
+            },
+        );
+    }
+
+    /// Centrality election: maximize the number of *other* members
+    /// sharing each of the member's super-feature values; ties go to the
+    /// smaller key. Pure function of the member set — insertion order
+    /// never matters.
+    fn elect(&self, members: &BTreeSet<u128>) -> u128 {
+        let mut best_key = *members.iter().next().expect("non-empty cluster");
+        let mut best_score = usize::MIN;
+        let mut first = true;
+        for &member in members {
+            let score: usize = self.members[&member]
+                .iter()
+                .map(|sf| self.sf_map[sf].len().saturating_sub(1))
+                .sum();
+            if first || score > best_score {
+                best_key = member;
+                best_score = score;
+                first = false;
+            }
+        }
+        best_key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sk(values: [u64; SUPER_FEATURES]) -> [u64; SUPER_FEATURES] {
+        values
+    }
+
+    #[test]
+    fn disjoint_sketches_stay_singletons() {
+        let mut c = Clusterer::new();
+        c.insert(1, sk([10, 11, 12]));
+        c.insert(2, sk([20, 21, 22]));
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.representative_of(1), Some(1));
+        assert_eq!(c.representative_of(2), Some(2));
+    }
+
+    #[test]
+    fn one_shared_value_merges() {
+        let mut c = Clusterer::new();
+        c.insert(1, sk([10, 11, 12]));
+        c.insert(2, sk([12, 21, 22]));
+        assert_eq!(c.cluster_count(), 1);
+        assert_eq!(c.cluster_id(1), c.cluster_id(2));
+    }
+
+    #[test]
+    fn transitive_similarity_chains_into_one_cluster() {
+        let mut c = Clusterer::new();
+        c.insert(1, sk([10, 11, 12]));
+        c.insert(3, sk([30, 31, 32]));
+        // Bridges 1 and 3 without their sharing anything directly.
+        c.insert(2, sk([12, 30, 99]));
+        assert_eq!(c.cluster_count(), 1);
+        let members = c.cluster_members(1);
+        assert_eq!(members, vec![1, 2, 3]);
+        // The bridge shares a value with both sides: centrality 2 versus
+        // 1 and 1 — it is the representative.
+        assert_eq!(c.representative_of(1), Some(2));
+    }
+
+    #[test]
+    fn removal_splits_and_reelects() {
+        let mut c = Clusterer::new();
+        c.insert(1, sk([10, 11, 12]));
+        c.insert(3, sk([30, 31, 32]));
+        c.insert(2, sk([12, 30, 99]));
+        c.remove(2);
+        assert_eq!(c.cluster_count(), 2, "bridge removal must split");
+        assert_eq!(c.representative_of(1), Some(1));
+        assert_eq!(c.representative_of(3), Some(3));
+        assert_eq!(c.cluster_id(1), Some(1));
+        assert_eq!(c.cluster_id(3), Some(3));
+    }
+
+    #[test]
+    fn representative_reelected_on_eviction() {
+        let mut c = Clusterer::new();
+        // 5 is central: shares a value with each of 6 and 7.
+        c.insert(5, sk([1, 2, 3]));
+        c.insert(6, sk([1, 60, 61]));
+        c.insert(7, sk([2, 70, 71]));
+        assert_eq!(c.representative_of(6), Some(5));
+        c.remove(5);
+        // 6 and 7 no longer connect: two singletons, each its own rep.
+        assert_eq!(c.cluster_count(), 2);
+        assert!(c.is_representative(6));
+        assert!(c.is_representative(7));
+    }
+
+    #[test]
+    fn election_is_insertion_order_independent() {
+        let keys: Vec<u128> = (1..=6).collect();
+        let sketches: Vec<[u64; SUPER_FEATURES]> = vec![
+            sk([1, 2, 3]),
+            sk([1, 4, 5]),
+            sk([2, 4, 6]),
+            sk([3, 5, 6]),
+            sk([1, 2, 7]),
+            sk([8, 9, 7]),
+        ];
+        let mut orders = vec![
+            vec![0usize, 1, 2, 3, 4, 5],
+            vec![5, 4, 3, 2, 1, 0],
+            vec![2, 5, 0, 3, 1, 4],
+        ];
+        let mut snapshots = Vec::new();
+        for order in orders.drain(..) {
+            let mut c = Clusterer::new();
+            for i in order {
+                c.insert(keys[i], sketches[i]);
+            }
+            let snap: Vec<(Option<u128>, Option<u128>)> = keys
+                .iter()
+                .map(|&k| (c.cluster_id(k), c.representative_of(k)))
+                .collect();
+            snapshots.push(snap);
+        }
+        assert_eq!(snapshots[0], snapshots[1]);
+        assert_eq!(snapshots[0], snapshots[2]);
+    }
+
+    #[test]
+    fn candidates_report_share_counts() {
+        let mut c = Clusterer::new();
+        c.insert(1, sk([10, 11, 12]));
+        c.insert(2, sk([10, 11, 99]));
+        let cands = c.candidates(&sk([10, 11, 12]));
+        assert_eq!(cands, vec![(1, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn reinsert_resketches() {
+        let mut c = Clusterer::new();
+        c.insert(1, sk([10, 11, 12]));
+        c.insert(2, sk([10, 20, 21]));
+        assert_eq!(c.cluster_count(), 1);
+        c.insert(1, sk([40, 41, 42]));
+        assert_eq!(c.cluster_count(), 2, "new sketch no longer links to 2");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn sf_table_len_tracks_distinct_values() {
+        let mut c = Clusterer::new();
+        c.insert(1, sk([10, 10, 12]));
+        assert_eq!(c.sf_table_len(), 2);
+        c.remove(1);
+        assert_eq!(c.sf_table_len(), 0);
+        assert!(c.is_empty());
+    }
+}

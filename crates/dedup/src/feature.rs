@@ -1,0 +1,245 @@
+//! Super-feature extraction: Gear content-defined features reduced to a
+//! handful of min-hash group minima, then folded into `K` super-features.
+//!
+//! The pipeline is the Odess/Finesse shape of Broder's resemblance
+//! sketches, reduced to std-only integer arithmetic:
+//!
+//! 1. **Rolling Gear hash.** A 64-bit state `h = (h << 1) + GEAR[byte]`
+//!    slides over the data; each position's state summarizes the last
+//!    ~64 bytes. The table is a fixed splitmix64 expansion, so the hash
+//!    is a pure function of the bytes — no per-process salt.
+//! 2. **Content-defined sampling.** Positions where the state's low
+//!    [`SAMPLE_BITS`] bits are all ones are *features* (expected one per
+//!    [`SAMPLE_RATE`] bytes); the feature value is the state masked to
+//!    32 bits, bounding each edit's influence to a 32-byte trailing
+//!    window. Sampling by content rather than offset is what makes the
+//!    sketch insertion-stable: an edit shifts every later offset but
+//!    only the features overlapping the edit change.
+//! 3. **Min-hash groups.** Each sampled state is passed through
+//!    [`GROUPS`] independent affine transforms; each group keeps its
+//!    minimum. By Broder's argument the probability two artifacts agree
+//!    on one group minimum approximates their feature-set resemblance.
+//! 4. **Super-features.** The group minima are folded
+//!    [`GROUP_SPAN`]-at-a-time into [`SUPER_FEATURES`] values. Two
+//!    artifacts share a super-feature iff they agree on *every* minimum
+//!    in its span — a high-precision, low-recall similarity vote, which
+//!    is exactly what cluster formation wants (false merges are
+//!    expensive, misses just cost one raw store).
+//!
+//! Everything is deterministic: the same bytes produce the same
+//! super-features in every process, which is what lets the store rebuild
+//! its cluster index from the log and land on byte-identical decisions.
+
+/// Independent min-hash groups extracted per artifact.
+pub const GROUPS: usize = 12;
+
+/// Super-features per artifact: [`GROUPS`]` / `[`GROUP_SPAN`].
+pub const SUPER_FEATURES: usize = 3;
+
+/// Group minima folded into one super-feature.
+pub const GROUP_SPAN: usize = GROUPS / SUPER_FEATURES;
+
+/// Low bits of the Gear state that must be ones at a feature position.
+pub const SAMPLE_BITS: u32 = 4;
+
+/// Expected bytes per sampled feature (`2^`[`SAMPLE_BITS`]).
+pub const SAMPLE_RATE: usize = 1 << SAMPLE_BITS;
+
+const SAMPLE_MASK: u64 = (1 << SAMPLE_BITS) - 1;
+
+/// The feature value is the Gear state masked to its low 32 bits.
+/// Because the state shifts left one bit per byte, bit `k` depends only
+/// on the last `k + 1` bytes — so the mask bounds each edit's blast
+/// radius to a 32-byte trailing window instead of the full 64. Compile
+/// manifests differ in many short scattered runs (counters, ids); the
+/// narrower window roughly doubles how many features survive each edit,
+/// which is the difference between clustering those manifests and
+/// missing them entirely. A 2^32 feature space is still far too large
+/// for unrelated artifacts to collide on minima.
+const FEATURE_MASK: u64 = 0xFFFF_FFFF;
+
+/// splitmix64 — the mixer the Gear table and the group transforms are
+/// derived from (also xoshiro's seeding primitive, so the repo already
+/// trusts it for decorrelation).
+#[must_use]
+const fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The 256-entry Gear table, expanded once at compile time.
+const GEAR: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = splitmix64(0xC0DE_D0C5_0000_0000 ^ i as u64);
+        i += 1;
+    }
+    table
+};
+
+/// Per-group affine transform constants `(mul, add)`; `mul` is forced
+/// odd so the map is a bijection on `u64`.
+const TRANSFORMS: [(u64, u64); GROUPS] = {
+    let mut t = [(0u64, 0u64); GROUPS];
+    let mut i = 0;
+    while i < GROUPS {
+        t[i] = (
+            splitmix64(0x5EED_0000_0000_0000 ^ (i as u64 * 2)) | 1,
+            splitmix64(0x5EED_0000_0000_0001 ^ (i as u64 * 2 + 1)),
+        );
+        i += 1;
+    }
+    t
+};
+
+/// FNV-1a over a byte slice (64-bit) — the fold used to combine group
+/// minima into super-features and to fingerprint short inputs.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The super-feature sketch of `data`.
+///
+/// Inputs too short to yield any sampled feature (roughly under
+/// [`SAMPLE_RATE`] bytes) fall back to whole-content fingerprints: such
+/// artifacts cluster only with byte-identical content, which is the
+/// right behaviour — there is nothing meaningful to delta below that
+/// size anyway.
+#[must_use]
+pub fn super_features(data: &[u8]) -> [u64; SUPER_FEATURES] {
+    let mut minima = [u64::MAX; GROUPS];
+    let mut sampled = false;
+    let mut h = 0u64;
+    for &b in data {
+        h = (h << 1).wrapping_add(GEAR[b as usize]);
+        if h & SAMPLE_MASK == SAMPLE_MASK {
+            sampled = true;
+            let feature = h & FEATURE_MASK;
+            for (slot, &(mul, add)) in minima.iter_mut().zip(&TRANSFORMS) {
+                let v = feature.wrapping_mul(mul).wrapping_add(add);
+                if v < *slot {
+                    *slot = v;
+                }
+            }
+        }
+    }
+    let mut out = [0u64; SUPER_FEATURES];
+    if !sampled {
+        let fp = fnv1a(data);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = splitmix64(fp ^ (i as u64) << 56);
+        }
+        return out;
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        let mut bytes = [0u8; 8 * GROUP_SPAN];
+        for (j, m) in minima[i * GROUP_SPAN..(i + 1) * GROUP_SPAN]
+            .iter()
+            .enumerate()
+        {
+            bytes[j * 8..(j + 1) * 8].copy_from_slice(&m.to_le_bytes());
+        }
+        // Mix the span index in so identical minima in different spans
+        // never alias to the same super-feature value.
+        *slot = fnv1a(&bytes) ^ splitmix64(i as u64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic ~n-byte pseudo-random body.
+    fn body(seed: u64, n: usize) -> Vec<u8> {
+        let mut state = splitmix64(seed);
+        let mut out = Vec::with_capacity(n + 8);
+        while out.len() < n {
+            state = splitmix64(state);
+            out.extend_from_slice(&state.to_le_bytes());
+        }
+        out.truncate(n);
+        out
+    }
+
+    fn shared(a: &[u64; SUPER_FEATURES], b: &[u64; SUPER_FEATURES]) -> usize {
+        a.iter().filter(|v| b.contains(v)).count()
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let data = body(7, 4096);
+        assert_eq!(super_features(&data), super_features(&data));
+    }
+
+    #[test]
+    fn identical_content_shares_every_super_feature() {
+        let data = body(3, 2048);
+        let copy = data.clone();
+        assert_eq!(
+            shared(&super_features(&data), &super_features(&copy)),
+            SUPER_FEATURES
+        );
+    }
+
+    #[test]
+    fn small_edit_keeps_at_least_one_super_feature() {
+        let data = body(11, 4096);
+        let mut edited = data.clone();
+        edited[2000] ^= 0xFF;
+        edited.splice(3000..3000, b"inserted counter 12345".iter().copied());
+        assert!(
+            shared(&super_features(&data), &super_features(&edited)) >= 1,
+            "a point edit plus a small insertion must not break similarity"
+        );
+    }
+
+    #[test]
+    fn unrelated_content_shares_nothing() {
+        let a = super_features(&body(100, 4096));
+        let b = super_features(&body(200, 4096));
+        assert_eq!(shared(&a, &b), 0, "independent bodies must not cluster");
+    }
+
+    #[test]
+    fn insertion_shift_does_not_break_similarity() {
+        // Content-defined sampling is the point: prepending bytes shifts
+        // every offset but leaves most features intact.
+        let data = body(42, 4096);
+        let mut shifted = b"prefix header v2\n".to_vec();
+        shifted.extend_from_slice(&data);
+        assert!(shared(&super_features(&data), &super_features(&shifted)) >= 1);
+    }
+
+    #[test]
+    fn short_inputs_cluster_only_when_identical() {
+        let a = super_features(b"tiny");
+        let b = super_features(b"tiny");
+        let c = super_features(b"tinz");
+        assert_eq!(shared(&a, &b), SUPER_FEATURES);
+        assert_eq!(shared(&a, &c), 0);
+    }
+
+    #[test]
+    fn empty_input_is_well_defined() {
+        assert_eq!(super_features(&[]), super_features(&[]));
+    }
+
+    #[test]
+    fn super_feature_values_are_distinct_within_a_sketch() {
+        // The span-index mix keeps the K values from aliasing even on
+        // degenerate (constant) content.
+        let sf = super_features(&[0u8; 8192]);
+        assert_ne!(sf[0], sf[1]);
+        assert_ne!(sf[1], sf[2]);
+    }
+}

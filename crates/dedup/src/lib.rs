@@ -1,0 +1,35 @@
+//! `ppet-dedup` — the similarity engine behind the artifact store's
+//! delta layer.
+//!
+//! `ppet-store` used to pick delta bases with a global inverted index of
+//! fixed 64-byte chunk hashes: exact but purely local, first-fit, and
+//! blind to artifact *families*. This crate replaces that with the
+//! SBC-style stack — resemblance sketches plus graph clustering — in two
+//! std-only layers:
+//!
+//! * [`feature`] — super-feature extraction: a rolling Gear hash samples
+//!   content-defined features, [`feature::GROUPS`] min-hash transforms
+//!   reduce them to group minima, and the minima fold into
+//!   [`feature::SUPER_FEATURES`] super-features per artifact. Two
+//!   artifacts sharing a super-feature are near-duplicates with high
+//!   probability.
+//! * [`cluster`] — the incremental [`cluster::Clusterer`]: artifacts
+//!   sharing ≥ 1 super-feature join one cluster (transitively), each
+//!   cluster elects a deterministic centrality-maximizing
+//!   representative, and elections re-run on every removal. All answers
+//!   are pure functions of the member set, so an index rebuilt from a
+//!   log replay reproduces every decision bit-for-bit.
+//!
+//! The store's put path sketches the incoming artifact, asks the
+//! clusterer for candidates, and encodes against the best-ranked one;
+//! see `ppet-store` for the chain-depth and decode-budget gates layered
+//! on top.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod feature;
+
+pub use cluster::Clusterer;
+pub use feature::{super_features, SUPER_FEATURES};

@@ -1,0 +1,127 @@
+//! Clusterer determinism: cluster assignment and representative
+//! election are pure functions of the member set — any insertion order,
+//! with arbitrary interleaved removals, lands on the same clusters.
+
+use ppet_dedup::feature::super_features;
+use ppet_dedup::Clusterer;
+use proptest::prelude::*;
+
+/// Full observable state: every member's (cluster id, representative).
+fn snapshot(c: &Clusterer, keys: &[u128]) -> Vec<(u128, Option<u128>, Option<u128>)> {
+    keys.iter()
+        .map(|&k| (k, c.cluster_id(k), c.representative_of(k)))
+        .collect()
+}
+
+/// Sketches drawn from a small value space so clusters actually form.
+fn sketches() -> impl Strategy<Value = Vec<[u64; 3]>> {
+    proptest::collection::vec((0u64..24, 0u64..24, 0u64..24), 1..24)
+        .prop_map(|v| v.into_iter().map(|(a, b, c)| [a, b, c]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert a random member set in two different orders (one with a
+    /// churn pass: insert, remove, re-insert): identical clusters.
+    #[test]
+    fn insertion_order_never_changes_clusters(
+        sketches in sketches(),
+        churn in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let keys: Vec<u128> = (0..sketches.len() as u128).collect();
+
+        let mut forward = Clusterer::new();
+        for (&k, sk) in keys.iter().zip(&sketches) {
+            forward.insert(k, *sk);
+        }
+
+        let mut reverse = Clusterer::new();
+        for (&k, sk) in keys.iter().zip(&sketches).rev() {
+            reverse.insert(k, *sk);
+        }
+
+        let mut churned = Clusterer::new();
+        for (&k, sk) in keys.iter().zip(&sketches) {
+            churned.insert(k, *sk);
+        }
+        for idx in &churn {
+            churned.remove(keys[idx % keys.len()]);
+        }
+        for idx in &churn {
+            let i = idx % keys.len();
+            churned.insert(keys[i], sketches[i]);
+        }
+
+        prop_assert_eq!(snapshot(&forward, &keys), snapshot(&reverse, &keys));
+        prop_assert_eq!(snapshot(&forward, &keys), snapshot(&churned, &keys));
+        prop_assert_eq!(forward.cluster_count(), reverse.cluster_count());
+        prop_assert_eq!(forward.sf_table_len(), churned.sf_table_len());
+    }
+
+    /// Removing every member leaves a genuinely empty clusterer.
+    #[test]
+    fn full_removal_empties_all_tables(
+        sketches in sketches(),
+    ) {
+        let mut c = Clusterer::new();
+        for (i, sk) in sketches.iter().enumerate() {
+            c.insert(i as u128, *sk);
+        }
+        for i in 0..sketches.len() {
+            c.remove(i as u128);
+        }
+        prop_assert!(c.is_empty());
+        prop_assert_eq!(c.cluster_count(), 0);
+        prop_assert_eq!(c.sf_table_len(), 0);
+    }
+
+    /// Real sketches from real bytes: every artifact is among its own
+    /// candidates with a full share count, and same-family variants
+    /// land in the same cluster.
+    #[test]
+    fn real_sketches_cluster_family_variants(
+        families in proptest::collection::vec(0u64..4, 2..10),
+    ) {
+        let mut c = Clusterer::new();
+        let bodies: Vec<(u64, Vec<u8>)> = families
+            .iter()
+            .enumerate()
+            .map(|(i, &family)| {
+                // Same family ⇒ same body with a tiny per-index edit.
+                let mut state = family.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let mut body = Vec::with_capacity(2100);
+                for _ in 0..256 {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    body.extend_from_slice(&state.to_le_bytes());
+                }
+                body.extend_from_slice(format!("variant {i}").as_bytes());
+                (family, body)
+            })
+            .collect();
+        for (i, (_, body)) in bodies.iter().enumerate() {
+            c.insert(i as u128, super_features(body));
+        }
+        for (i, (family, body)) in bodies.iter().enumerate() {
+            let sf = super_features(body);
+            let mut distinct = sf.to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let cands = c.candidates(&sf);
+            let self_entry = cands.iter().find(|(k, _)| *k == i as u128);
+            prop_assert_eq!(self_entry, Some(&(i as u128, distinct.len())));
+            // A sibling differing by a short tail edit shares a cluster.
+            for (j, (other_family, _)) in bodies.iter().enumerate() {
+                if other_family == family {
+                    prop_assert_eq!(
+                        c.cluster_id(i as u128), c.cluster_id(j as u128),
+                        "family {} variants {} and {} must share a cluster",
+                        family, i, j
+                    );
+                }
+            }
+        }
+    }
+}

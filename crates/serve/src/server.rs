@@ -61,6 +61,9 @@ pub struct ServeConfig {
     /// Byte budget for the persistent store's LRU eviction; `None`
     /// means unbounded.
     pub store_budget: Option<u64>,
+    /// Maximum delta chain depth in the persistent store (0 stores
+    /// everything raw, 1 forbids delta-of-delta chains).
+    pub store_delta_depth: u8,
     /// Completed request traces kept for `GET /debug/requests` and
     /// `GET /debug/trace/<id>`; 0 disables per-request tracing entirely
     /// (requests still get IDs, but no phases are recorded).
@@ -86,6 +89,7 @@ impl Default for ServeConfig {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             store_dir: None,
             store_budget: None,
+            store_delta_depth: StoreConfig::default().max_chain_depth,
             trace_ring: DEFAULT_TRACE_RING,
             slow_ms: None,
             id_seed: 0,
@@ -161,6 +165,7 @@ impl<B: CompileBackend> Server<B> {
             Some(dir) => {
                 let store_config = StoreConfig {
                     budget: config.store_budget,
+                    max_chain_depth: config.store_delta_depth,
                     ..StoreConfig::default()
                 };
                 Some(Arc::new(Store::open_with_metrics(

@@ -1,34 +1,60 @@
 //! Byte-granular delta encoding against a base artifact.
 //!
 //! The op stream is the classic copy/insert vocabulary (the shape of
-//! xdelta/gdelta, reduced to two ops):
+//! xdelta/gdelta, reduced to two ops). Since format v2 every integer is
+//! a LEB128 varint and the two ops share one header:
 //!
 //! ```text
-//! 0x00  copy    base_off: u32, len: u32     — copy len bytes of the base
-//! 0x01  literal len: u32, bytes             — insert len new bytes
+//! byte 0: 0x02                      — format tag (v2, varint ops)
+//! header: varint h                  — kind = h & 1, len = h >> 1
+//!   kind 0  copy    varint base_off — copy len bytes of the base
+//!   kind 1  literal len bytes       — insert len new bytes
 //! ```
 //!
-//! Encoding is greedy: every offset of the base is indexed by the FNV
-//! hash of its [`WINDOW`]-byte window; the scan over the new data looks
-//! its current window up, verifies candidates byte-for-byte, extends the
-//! longest true match as far as it goes, and falls back to literal bytes
-//! between matches. Byte-granular matching (rather than chunk-aligned)
-//! is what makes insertions cheap: one inserted byte shifts every later
-//! offset, which chunk alignment would turn into "everything differs".
+//! A typical copy op costs 3–6 bytes where the v1 fixed-width framing
+//! paid 9 — on near-duplicate manifests the op overhead roughly halves.
+//! Streams whose first byte is a v1 op tag (`0x00`/`0x01`: u32 fields)
+//! still decode, so logs written before the format bump stay readable.
+//!
+//! Encoding is greedy: every [`INDEX_STRIDE`]-th base offset is indexed
+//! by the FNV hash of its [`WINDOW`]-byte window; the scan over the new
+//! data looks its current window up at every byte offset, verifies
+//! candidates byte-for-byte, extends the longest true match forward as
+//! far as it goes — and then *backward* into the pending literal run
+//! while bytes agree, reclaiming the up-to-`INDEX_STRIDE−1` bytes the
+//! strided index makes a resync land late by. Byte-granular probing
+//! (rather than chunk-aligned) is what makes insertions cheap: one
+//! inserted byte shifts every later offset, which chunk alignment would
+//! turn into "everything differs".
 //!
 //! [`decode`] is bounds-checked everywhere — a corrupt delta yields
-//! [`DeltaError`], never a panic or a wrong artifact (the caller also
-//! CRC-checks the record and length-checks the result).
+//! [`DeltaError`], never a panic or a wrong artifact. The caller passes
+//! the record's declared decoded length and decode fails with
+//! [`DeltaError::TooLarge`] the moment an op would push the output past
+//! it, so a malicious op stream of repeated max-length copies cannot
+//! balloon memory before a post-hoc length check runs.
 
 use crate::chunk::fnv1a;
 
-/// Match window width; also the minimum useful copy length (a copy op
-/// costs 9 bytes, so shorter matches are stored as literals).
+/// Match window width; also the minimum useful copy length.
 pub const WINDOW: usize = 16;
+
+/// Every `INDEX_STRIDE`-th base window is indexed. Probing stays
+/// byte-granular, so a match can land at any data offset; backward
+/// extension recovers the bytes a strided resync misses.
+pub const INDEX_STRIDE: usize = 4;
 
 /// Max base offsets remembered per window hash. Bounds worst-case
 /// encoding time on pathological (highly repetitive) bases.
 const MAX_CANDIDATES: usize = 8;
+
+/// Format tag of the varint op encoding. v1 streams start with an op
+/// tag (`0x00` copy / `0x01` literal) instead and take the legacy path.
+const FORMAT_VARINT: u8 = 0x02;
+
+/// Cap on speculative output preallocation (the declared length is
+/// trusted for the *bound*, not for an up-front allocation).
+const MAX_PREALLOC: usize = 1 << 20;
 
 /// Why a delta op stream failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +65,12 @@ pub enum DeltaError {
     UnknownOp(u8),
     /// A copy op points outside the base.
     CopyOutOfRange,
+    /// The ops produce more bytes than the record's declared decoded
+    /// length — a corrupt or malicious stream, rejected before the
+    /// output buffer can balloon.
+    TooLarge,
+    /// A varint ran past 10 bytes (64-bit range exceeded).
+    BadVarint,
 }
 
 impl std::fmt::Display for DeltaError {
@@ -47,26 +79,39 @@ impl std::fmt::Display for DeltaError {
             DeltaError::Truncated => write!(f, "delta op stream truncated"),
             DeltaError::UnknownOp(op) => write!(f, "unknown delta op {op}"),
             DeltaError::CopyOutOfRange => write!(f, "copy op exceeds base bounds"),
+            DeltaError::TooLarge => write!(f, "delta output exceeds declared length"),
+            DeltaError::BadVarint => write!(f, "varint exceeds 64-bit range"),
         }
     }
 }
 
-/// Encodes `data` as a delta against `base`.
+/// Encodes `data` as a delta against `base` (format v2).
 ///
 /// The result always decodes back to `data` exactly; it is only *useful*
 /// (smaller than `data`) when the two share long byte runs — the caller
-/// compares sizes and keeps the raw bytes otherwise.
+/// compares sizes and keeps the raw bytes otherwise. Empty `data`
+/// encodes as the empty stream.
 #[must_use]
 pub fn encode(base: &[u8], data: &[u8]) -> Vec<u8> {
+    encode_impl(base, data, true)
+}
+
+/// The encoder proper. `backtrack` gates leftward match extension so
+/// tests can pin exactly what it buys; production always extends.
+fn encode_impl(base: &[u8], data: &[u8], backtrack: bool) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    if data.is_empty() {
+        return out;
+    }
+    out.push(FORMAT_VARINT);
     if base.len() < WINDOW || data.len() < WINDOW {
         push_literal(&mut out, data);
         return out;
     }
 
-    // Index every base window by hash.
+    // Index every INDEX_STRIDE-th base window by hash.
     let mut index: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
-    for off in 0..=base.len() - WINDOW {
+    for off in (0..=base.len() - WINDOW).step_by(INDEX_STRIDE) {
         let h = fnv1a(&base[off..off + WINDOW]);
         let slots = index.entry(h).or_default();
         if slots.len() < MAX_CANDIDATES {
@@ -98,11 +143,20 @@ pub fn encode(base: &[u8], data: &[u8]) -> Vec<u8> {
             }
         }
         match best {
-            Some((off, len)) => {
+            Some((mut off, mut len)) => {
+                if backtrack {
+                    // Extend leftward into the pending literal run: the
+                    // strided index finds a resync up to INDEX_STRIDE−1
+                    // bytes late, and those bytes are already part of
+                    // the match.
+                    while off > 0 && pos > lit_start && base[off - 1] == data[pos - 1] {
+                        off -= 1;
+                        pos -= 1;
+                        len += 1;
+                    }
+                }
                 push_literal(&mut out, &data[lit_start..pos]);
-                out.push(0x00);
-                out.extend_from_slice(&(off as u32).to_le_bytes());
-                out.extend_from_slice(&(len as u32).to_le_bytes());
+                push_copy(&mut out, off, len);
                 pos += len;
                 lit_start = pos;
             }
@@ -113,23 +167,83 @@ pub fn encode(base: &[u8], data: &[u8]) -> Vec<u8> {
     out
 }
 
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
 fn push_literal(out: &mut Vec<u8>, bytes: &[u8]) {
     if bytes.is_empty() {
         return;
     }
-    out.push(0x01);
-    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    push_varint(out, (bytes.len() as u64) << 1 | 1);
     out.extend_from_slice(bytes);
 }
 
-/// Applies a delta op stream to `base`, reproducing the encoded artifact.
+fn push_copy(out: &mut Vec<u8>, off: usize, len: usize) {
+    push_varint(out, (len as u64) << 1);
+    push_varint(out, off as u64);
+}
+
+/// Applies a delta op stream to `base`, reproducing the encoded
+/// artifact. `expected_len` is the decoded length the enclosing record
+/// declares; it bounds the output *during* decoding.
 ///
 /// # Errors
 ///
-/// [`DeltaError`] when the op stream is truncated, carries an unknown op,
-/// or copies outside the base.
-pub fn decode(base: &[u8], delta: &[u8]) -> Result<Vec<u8>, DeltaError> {
-    let mut out = Vec::with_capacity(delta.len());
+/// [`DeltaError`] when the op stream is truncated, carries an unknown
+/// op or over-long varint, copies outside the base, or produces more
+/// than `expected_len` bytes. (Producing *fewer* bytes is left to the
+/// caller's exact length check — a short stream is detectable there,
+/// only overproduction has to be stopped mid-flight.)
+pub fn decode(base: &[u8], delta: &[u8], expected_len: usize) -> Result<Vec<u8>, DeltaError> {
+    if delta.first() == Some(&FORMAT_VARINT) {
+        decode_varint_ops(base, delta, expected_len)
+    } else {
+        decode_legacy(base, delta, expected_len)
+    }
+}
+
+fn decode_varint_ops(
+    base: &[u8],
+    delta: &[u8],
+    expected_len: usize,
+) -> Result<Vec<u8>, DeltaError> {
+    let mut out = Vec::with_capacity(expected_len.min(MAX_PREALLOC));
+    let mut pos = 1usize; // past the format tag
+    while pos < delta.len() {
+        let header = read_varint(delta, &mut pos)?;
+        let len = usize::try_from(header >> 1).map_err(|_| DeltaError::TooLarge)?;
+        if exceeds(out.len(), len, expected_len) {
+            return Err(DeltaError::TooLarge);
+        }
+        if header & 1 == 0 {
+            let off = usize::try_from(read_varint(delta, &mut pos)?)
+                .map_err(|_| DeltaError::CopyOutOfRange)?;
+            let end = off.checked_add(len).ok_or(DeltaError::CopyOutOfRange)?;
+            let slice = base.get(off..end).ok_or(DeltaError::CopyOutOfRange)?;
+            out.extend_from_slice(slice);
+        } else {
+            let end = pos.checked_add(len).ok_or(DeltaError::Truncated)?;
+            let slice = delta.get(pos..end).ok_or(DeltaError::Truncated)?;
+            out.extend_from_slice(slice);
+            pos = end;
+        }
+    }
+    Ok(out)
+}
+
+/// The v1 fixed-width op stream (`0x00 off:u32 len:u32` copies,
+/// `0x01 len:u32` literals), kept so pre-bump logs replay.
+fn decode_legacy(base: &[u8], delta: &[u8], expected_len: usize) -> Result<Vec<u8>, DeltaError> {
+    let mut out = Vec::with_capacity(expected_len.min(MAX_PREALLOC));
     let mut pos = 0usize;
     while pos < delta.len() {
         let op = delta[pos];
@@ -139,6 +253,9 @@ pub fn decode(base: &[u8], delta: &[u8]) -> Result<Vec<u8>, DeltaError> {
                 let off = read_u32(delta, pos)? as usize;
                 let len = read_u32(delta, pos + 4)? as usize;
                 pos += 8;
+                if exceeds(out.len(), len, expected_len) {
+                    return Err(DeltaError::TooLarge);
+                }
                 let slice = base
                     .get(off..off.checked_add(len).ok_or(DeltaError::CopyOutOfRange)?)
                     .ok_or(DeltaError::CopyOutOfRange)?;
@@ -147,6 +264,9 @@ pub fn decode(base: &[u8], delta: &[u8]) -> Result<Vec<u8>, DeltaError> {
             0x01 => {
                 let len = read_u32(delta, pos)? as usize;
                 pos += 4;
+                if exceeds(out.len(), len, expected_len) {
+                    return Err(DeltaError::TooLarge);
+                }
                 let slice = delta
                     .get(pos..pos.checked_add(len).ok_or(DeltaError::Truncated)?)
                     .ok_or(DeltaError::Truncated)?;
@@ -157,6 +277,29 @@ pub fn decode(base: &[u8], delta: &[u8]) -> Result<Vec<u8>, DeltaError> {
         }
     }
     Ok(out)
+}
+
+/// True when appending `len` more bytes to `have` would run past
+/// `bound` — the mid-flight output-size gate.
+fn exceeds(have: usize, len: usize, bound: usize) -> bool {
+    have.checked_add(len).map_or(true, |total| total > bound)
+}
+
+fn read_varint(delta: &[u8], pos: &mut usize) -> Result<u64, DeltaError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *delta.get(*pos).ok_or(DeltaError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(DeltaError::BadVarint);
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
 }
 
 fn read_u32(delta: &[u8], at: usize) -> Result<u32, DeltaError> {
@@ -173,7 +316,7 @@ mod tests {
 
     fn round_trip(base: &[u8], data: &[u8]) -> usize {
         let delta = encode(base, data);
-        assert_eq!(decode(base, &delta).expect("decodes"), data);
+        assert_eq!(decode(base, &delta, data.len()).expect("decodes"), data);
         delta.len()
     }
 
@@ -181,7 +324,8 @@ mod tests {
     fn identical_data_collapses_to_one_copy() {
         let data: Vec<u8> = (0..2048u32).flat_map(|i| i.to_le_bytes()).collect();
         let len = round_trip(&data, &data);
-        assert_eq!(len, 9, "one copy op: {len} bytes");
+        // tag + header varint (len 8192 → 3 B) + offset varint (1 B).
+        assert_eq!(len, 5, "one copy op: {len} bytes");
     }
 
     #[test]
@@ -190,7 +334,7 @@ mod tests {
         let mut data = base.clone();
         data.splice(4096..4096, b"INSERTED PAYLOAD".iter().copied());
         let len = round_trip(&base, &data);
-        assert!(len < 60, "copy + literal + copy, got {len} bytes");
+        assert!(len < 40, "copy + literal + copy, got {len} bytes");
         assert!(len < data.len() / 10);
     }
 
@@ -199,28 +343,128 @@ mod tests {
         let base = vec![0xAAu8; 500];
         let data: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
         let delta = encode(&base, &data);
-        assert_eq!(decode(&base, &delta).unwrap(), data);
-        // Never catastrophically larger than raw.
-        assert!(delta.len() <= data.len() + 5 + 13 * (data.len() / WINDOW + 1));
+        assert_eq!(decode(&base, &delta, data.len()).unwrap(), data);
+        // Never catastrophically larger than raw: see the proptest
+        // `never_worse_than_pure_literals` for the general bound.
+        assert!(delta.len() <= data.len() + 6);
     }
 
     #[test]
     fn short_inputs_are_pure_literals() {
-        assert_eq!(round_trip(b"abc", b"abc"), 8);
-        assert_eq!(round_trip(&[], b"xyz"), 8);
+        // tag + 1-byte header + bytes.
+        assert_eq!(round_trip(b"abc", b"abc"), 5);
+        assert_eq!(round_trip(&[], b"xyz"), 5);
         assert_eq!(round_trip(b"base", &[]), 0);
     }
 
     #[test]
-    fn corrupt_deltas_error_instead_of_panicking() {
+    fn legacy_fixed_width_streams_still_decode() {
         let base = b"0123456789abcdef0123456789abcdef".to_vec();
+        // v1 by hand: copy(0, 32) + literal "tail".
+        let mut v1 = vec![0x00];
+        v1.extend_from_slice(&0u32.to_le_bytes());
+        v1.extend_from_slice(&32u32.to_le_bytes());
+        v1.push(0x01);
+        v1.extend_from_slice(&4u32.to_le_bytes());
+        v1.extend_from_slice(b"tail");
+        let mut expect = base.clone();
+        expect.extend_from_slice(b"tail");
+        assert_eq!(decode(&base, &v1, expect.len()).unwrap(), expect);
+    }
+
+    #[test]
+    fn corrupt_deltas_error_instead_of_panicking() {
+        let base: Vec<u8> = (0..2048u32).flat_map(|i| i.to_le_bytes()).collect();
+        // 5 bytes: tag + 3-byte length varint + offset; cutting after
+        // byte 2 leaves a continuation bit with nothing behind it.
         let good = encode(&base, &base);
-        assert_eq!(decode(&base, &[0x02]), Err(DeltaError::UnknownOp(2)));
-        assert_eq!(decode(&base, &good[..5]), Err(DeltaError::Truncated));
+        assert_eq!(good.len(), 5);
+        assert_eq!(
+            decode(&base, &[0x03], base.len()),
+            Err(DeltaError::UnknownOp(3))
+        );
+        assert_eq!(
+            decode(&base, &good[..3], base.len()),
+            Err(DeltaError::Truncated)
+        );
+        // Legacy copy pointing far outside the base.
         let mut bad_copy = vec![0x00];
         bad_copy.extend_from_slice(&u32::MAX.to_le_bytes());
-        bad_copy.extend_from_slice(&u32::MAX.to_le_bytes());
-        assert_eq!(decode(&base, &bad_copy), Err(DeltaError::CopyOutOfRange));
+        bad_copy.extend_from_slice(&4u32.to_le_bytes());
+        assert_eq!(
+            decode(&base, &bad_copy, base.len()),
+            Err(DeltaError::CopyOutOfRange)
+        );
+        // An unterminated varint.
+        let unterminated = vec![FORMAT_VARINT, 0x80, 0x80];
+        assert_eq!(
+            decode(&base, &unterminated, base.len()),
+            Err(DeltaError::Truncated)
+        );
+        // A varint that runs past 64 bits.
+        let mut overlong = vec![FORMAT_VARINT];
+        overlong.extend_from_slice(&[0x80; 10]);
+        overlong.push(0x01);
+        assert_eq!(
+            decode(&base, &overlong, base.len()),
+            Err(DeltaError::BadVarint)
+        );
+    }
+
+    /// The regression for unbounded decoding: a tiny stream of repeated
+    /// max-length copy ops must fail [`DeltaError::TooLarge`] the moment
+    /// the declared length is exceeded — not after materializing
+    /// gigabytes for the caller's post-hoc check to reject.
+    #[test]
+    fn bomb_delta_is_rejected_before_ballooning() {
+        let base = vec![0x42u8; 64 << 10];
+        // 40 bytes of ops declaring ~2.6 MiB of output against a record
+        // that claims 100 bytes.
+        let mut bomb = vec![FORMAT_VARINT];
+        for _ in 0..20 {
+            push_copy(&mut bomb, 0, base.len());
+        }
+        assert!(bomb.len() < 100, "the bomb itself is tiny");
+        assert_eq!(decode(&base, &bomb, 100), Err(DeltaError::TooLarge));
+
+        // Same attack through the legacy format.
+        let mut legacy_bomb = Vec::new();
+        for _ in 0..20 {
+            legacy_bomb.push(0x00);
+            legacy_bomb.extend_from_slice(&0u32.to_le_bytes());
+            legacy_bomb.extend_from_slice(&(base.len() as u32).to_le_bytes());
+        }
+        assert_eq!(decode(&base, &legacy_bomb, 100), Err(DeltaError::TooLarge));
+
+        // A literal bomb: header declares more than the record does.
+        let mut lit_bomb = vec![FORMAT_VARINT];
+        push_varint(&mut lit_bomb, (200u64 << 1) | 1);
+        lit_bomb.extend_from_slice(&[0u8; 200]);
+        assert_eq!(decode(&base, &lit_bomb, 100), Err(DeltaError::TooLarge));
+    }
+
+    /// Backward extension reclaims the literal bytes a strided-index
+    /// resync pays: a point edit at an offset the stride makes the next
+    /// match land late on must produce a strictly smaller delta than
+    /// the forward-only encoder.
+    #[test]
+    fn backward_extension_shrinks_mid_window_edits() {
+        let base: Vec<u8> = (0..128u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut data = base.clone();
+        // Edit at an INDEX_STRIDE-aligned offset: the post-edit resync
+        // can only land INDEX_STRIDE bytes later, so the forward-only
+        // encoder stores INDEX_STRIDE literal bytes where one suffices.
+        data[256] ^= 0xFF;
+        let forward_only = encode_impl(&base, &data, false);
+        let with_backtrack = encode(&base, &data);
+        assert_eq!(decode(&base, &forward_only, data.len()).unwrap(), data);
+        assert_eq!(decode(&base, &with_backtrack, data.len()).unwrap(), data);
+        assert!(
+            with_backtrack.len() < forward_only.len(),
+            "backtracking must win: {} vs {}",
+            with_backtrack.len(),
+            forward_only.len()
+        );
     }
 
     proptest! {
@@ -237,7 +481,7 @@ mod tests {
             let at = data.len() / 2;
             data.splice(at..at, insert.iter().copied());
             let delta = encode(&base, &data);
-            prop_assert_eq!(decode(&base, &delta).unwrap(), data);
+            prop_assert_eq!(decode(&base, &delta, data.len()).unwrap(), data);
         }
 
         #[test]
@@ -246,7 +490,53 @@ mod tests {
             data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..300),
         ) {
             let delta = encode(&base, &data);
-            prop_assert_eq!(decode(&base, &delta).unwrap(), data);
+            prop_assert_eq!(decode(&base, &delta, data.len()).unwrap(), data);
+        }
+
+        /// The encoded delta never exceeds the pure-literal encoding
+        /// plus the per-op overhead bound: every copy op (≤ 10 B +
+        /// ≤ 5 B literal-split cost) replaces ≥ WINDOW = 16 literal
+        /// bytes, so `len(delta) ≤ len(data) + 6` (tag + one literal
+        /// header) for any input pair.
+        #[test]
+        fn never_worse_than_pure_literals(
+            base in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..400),
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..400),
+        ) {
+            let delta = encode(&base, &data);
+            prop_assert!(
+                delta.len() <= data.len() + 6,
+                "delta {} vs literal bound {}", delta.len(), data.len() + 6
+            );
+        }
+
+        /// Chained decode (base → v1 → v2) equals direct decode of the
+        /// flattened chain (base → v2): materializing through an
+        /// intermediate delta is invisible in the bytes.
+        #[test]
+        fn chain_decode_equals_flattened_decode(
+            base in proptest::collection::vec(proptest::prelude::any::<u8>(), 32..300),
+            mid_edit in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..48),
+            final_edit in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..48),
+        ) {
+            let mut v1 = base.clone();
+            let at = v1.len() / 3;
+            v1.splice(at..at, mid_edit.iter().copied());
+            let mut v2 = v1.clone();
+            let at = v2.len() / 2;
+            v2.splice(at..at, final_edit.iter().copied());
+
+            let d1 = encode(&base, &v1);
+            let d2 = encode(&v1, &v2);
+            let chained = decode(
+                &decode(&base, &d1, v1.len()).unwrap(),
+                &d2,
+                v2.len(),
+            ).unwrap();
+            let flat = decode(&base, &encode(&base, &v2), v2.len()).unwrap();
+            prop_assert_eq!(&chained, &v2);
+            prop_assert_eq!(&flat, &v2);
+            prop_assert_eq!(chained, flat);
         }
     }
 }

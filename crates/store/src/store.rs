@@ -2,20 +2,38 @@
 //!
 //! One [`Store`] owns a [`SegmentLog`] plus
 //! the in-memory state recovery rebuilds from it: the key index, the
-//! chunk-signature index for similarity matching, delta base reference
-//! counts, LRU ticks, and byte accounting. All mutation happens under one
-//! mutex — the store is shared behind an `Arc` by the compile service and
-//! its workers.
+//! similarity clusterer ([`ppet_dedup::Clusterer`]) for delta-base
+//! selection, delta base reference counts, LRU ticks, and byte
+//! accounting. All mutation happens under one mutex — the store is
+//! shared behind an `Arc` by the compile service and its workers.
 //!
 //! # Decision rule: delta vs raw
 //!
-//! An incoming artifact is chunk-signed ([`crate::chunk`]); the *raw*
-//! stored artifact sharing the most chunk hashes (at least
-//! [`StoreConfig::min_overlap_chunks`]) is the delta-base candidate. The
-//! artifact is stored as base-ref + delta iff the encoded delta frame is
-//! strictly smaller than the raw frame would be; otherwise raw. Deltas
-//! never chain: a delta's base is always a raw artifact, so every read
-//! resolves in at most two frames.
+//! An incoming artifact is sketched into super-features
+//! ([`ppet_dedup::feature`]); the clusterer's candidates — live
+//! artifacts sharing ≥ 1 super-feature — are ranked by shared-feature
+//! count, then cluster-representative status, then smaller key, and the
+//! best *eligible* one is the delta-base candidate. Eligible means the
+//! resulting chain respects both gates:
+//!
+//! * **depth** — at most [`StoreConfig::max_chain_depth`] delta hops
+//!   before a raw record (depth 0 = raw, depth 1 = classic single
+//!   delta);
+//! * **decode cost** — the total bytes materialized to decode the new
+//!   artifact (raw base + every intermediate + the artifact itself) may
+//!   not exceed [`StoreConfig::decode_budget_factor`] × the artifact's
+//!   own length. The same budget is enforced again at read time from
+//!   the actual records, so a corrupt chain cannot run away.
+//!
+//! The artifact is stored as base-ref + delta iff the encoded delta
+//! frame is strictly smaller than the raw frame would be; otherwise
+//! raw. Because eligible bases may themselves be deltas, chains of up
+//! to `max_chain_depth` frames arise naturally.
+//!
+//! Every clusterer answer is a pure function of the live member set —
+//! never of insertion order — so an index rebuilt by log replay
+//! reproduces the same clusters, the same representatives, and hence
+//! the same base choices.
 //!
 //! # Eviction and pinning
 //!
@@ -34,12 +52,17 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use ppet_dedup::{super_features, Clusterer, SUPER_FEATURES};
 use ppet_trace::{Counter, Gauge, Metrics};
 
-use crate::chunk;
 use crate::delta;
 use crate::record::Record;
 use crate::segment::{Location, SegmentLog};
+
+/// Hard ceiling on base-link walks: any chain longer than this is
+/// treated as corrupt (a cycle or an impossible depth), never followed
+/// further. Far above any configurable `max_chain_depth`.
+const MAX_CHAIN_STEPS: u32 = 16;
 
 /// Tunables for one store.
 #[derive(Debug, Clone)]
@@ -48,9 +71,15 @@ pub struct StoreConfig {
     pub budget: Option<u64>,
     /// Segment roll threshold.
     pub segment_bytes: u64,
-    /// Minimum chunk-signature overlap before an artifact is considered
-    /// as a delta base.
-    pub min_overlap_chunks: usize,
+    /// Maximum delta hops between an artifact and its raw ancestor.
+    /// `0` disables delta storage entirely; `1` restores the classic
+    /// "deltas never chain" rule; the default `2` lets a delta base
+    /// itself be a delta.
+    pub max_chain_depth: u8,
+    /// Read-amplification ceiling: decoding an artifact may materialize
+    /// at most this many times the artifact's own length across its
+    /// whole chain. Enforced when choosing a base *and* when reading.
+    pub decode_budget_factor: u32,
 }
 
 impl Default for StoreConfig {
@@ -58,7 +87,8 @@ impl Default for StoreConfig {
         Self {
             budget: None,
             segment_bytes: 4 << 20,
-            min_overlap_chunks: 1,
+            max_chain_depth: 2,
+            decode_budget_factor: 8,
         }
     }
 }
@@ -75,6 +105,20 @@ impl StoreConfig {
     #[must_use]
     pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
         self.segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// Sets the maximum delta chain depth.
+    #[must_use]
+    pub fn with_chain_depth(mut self, depth: u8) -> Self {
+        self.max_chain_depth = depth;
+        self
+    }
+
+    /// Sets the decode-cost budget factor (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_decode_budget_factor(mut self, factor: u32) -> Self {
+        self.decode_budget_factor = factor.max(1);
         self
     }
 }
@@ -117,6 +161,13 @@ pub struct StoreStats {
     pub file_bytes: u64,
     /// Configured budget.
     pub budget: Option<u64>,
+    /// Similarity clusters over the live artifacts (singletons count).
+    pub clusters: usize,
+    /// Distinct super-feature values in the clusterer's table.
+    pub sf_table: usize,
+    /// Live entries per chain depth: `chain_depths[d]` artifacts sit
+    /// `d` delta hops from their raw ancestor. Empty when the store is.
+    pub chain_depths: Vec<u64>,
     /// Reads answered from the store.
     pub hits: u64,
     /// Reads that found no live entry.
@@ -147,6 +198,19 @@ impl std::fmt::Display for StoreStats {
             Some(b) => writeln!(f, "budget         {b}")?,
             None => writeln!(f, "budget         unlimited")?,
         }
+        writeln!(
+            f,
+            "clusters       {} (sf table {})",
+            self.clusters, self.sf_table
+        )?;
+        write!(f, "chain_depth   ")?;
+        if self.chain_depths.is_empty() {
+            write!(f, " -")?;
+        }
+        for (depth, n) in self.chain_depths.iter().enumerate() {
+            write!(f, " {depth}:{n}")?;
+        }
+        writeln!(f)?;
         writeln!(f, "delta_ratio    {:.3}", self.delta_ratio)?;
         writeln!(f, "hits/misses    {}/{}", self.hits, self.misses)?;
         writeln!(f, "evictions      {}", self.evictions)?;
@@ -200,15 +264,10 @@ struct Entry {
 struct Inner {
     log: SegmentLog,
     index: HashMap<u128, Entry>,
-    /// Chunk signatures of raw entries (delta-base candidates).
-    signatures: HashMap<u128, Vec<u64>>,
-    /// Inverted chunk index: chunk hash → (raw key, occurrences of the
-    /// hash in that key's signature). Carrying the count lets
-    /// [`Store::best_base`] score candidates by the exact multiset
-    /// intersection `Σ min(probe_count, base_count)` — the same quantity
-    /// [`chunk::overlap`] computes — without touching the full
-    /// signatures.
-    chunk_index: HashMap<u64, Vec<(u128, u32)>>,
+    /// Similarity clusters over every live artifact; answers the
+    /// delta-base candidate query. Rebuilt from decoded content at open,
+    /// kept incrementally in sync afterwards.
+    clusterer: Clusterer,
     /// Live delta count per base key.
     refs: HashMap<u128, u32>,
     live_bytes: u64,
@@ -230,6 +289,7 @@ pub struct Store {
     recovered: Counter,
     quarantined: Counter,
     delta_ratio: Gauge,
+    chain_depth_gauge: Gauge,
     live_bytes_gauge: Gauge,
     entries_gauge: Gauge,
 }
@@ -263,8 +323,7 @@ impl Store {
         let mut inner = Inner {
             log,
             index: HashMap::new(),
-            signatures: HashMap::new(),
-            chunk_index: HashMap::new(),
+            clusterer: Clusterer::new(),
             refs: HashMap::new(),
             live_bytes: 0,
             file_bytes: 0,
@@ -281,19 +340,38 @@ impl Store {
         // still occupy file bytes.
         inner.file_bytes = inner.log.file_bytes()?;
         // Deltas whose base did not survive (quarantined, or the victim
-        // of a corrupt eviction interleaving) are unreadable: drop them.
-        let orphans: Vec<u128> = inner
-            .index
-            .iter()
-            .filter(|(_, e)| {
-                e.base
-                    .is_some_and(|b| !inner.index.get(&b).is_some_and(|base| base.base.is_none()))
-            })
-            .map(|(k, _)| *k)
-            .collect();
-        for key in orphans {
-            inner.remove_entry(key);
-            replay_quarantined += 1;
+        // of a corrupt eviction interleaving) are unreadable; so is
+        // anything chained on top of them — drop to the fixpoint.
+        loop {
+            let orphans: Vec<u128> = inner
+                .index
+                .iter()
+                .filter(|(_, e)| e.base.is_some_and(|b| !inner.index.contains_key(&b)))
+                .map(|(k, _)| *k)
+                .collect();
+            if orphans.is_empty() {
+                break;
+            }
+            for key in orphans {
+                inner.remove_entry(key);
+                replay_quarantined += 1;
+            }
+        }
+        // Rebuild the similarity index from decoded content. Key order
+        // is irrelevant — the clusterer is insertion-order independent —
+        // but iterate sorted so failures quarantine deterministically.
+        let mut keys: Vec<u128> = inner.index.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            if !inner.index.contains_key(&key) {
+                continue; // removed as a dependent of an earlier failure
+            }
+            match inner.read_artifact(key, config.decode_budget_factor) {
+                Ok(data) => inner.clusterer.insert(key, super_features(&data)),
+                Err(_) => {
+                    replay_quarantined += inner.remove_transitive(key).len() as u64;
+                }
+            }
         }
 
         let store = Self {
@@ -306,6 +384,7 @@ impl Store {
             recovered: metrics.counter("store.recovered"),
             quarantined: metrics.counter("store.quarantined"),
             delta_ratio: metrics.gauge("store.delta_ratio"),
+            chain_depth_gauge: metrics.gauge("store.chain_depth"),
             live_bytes_gauge: metrics.gauge("store.live_bytes"),
             entries_gauge: metrics.gauge("store.entries"),
         };
@@ -361,12 +440,12 @@ impl Store {
             return Ok(PutOutcome::AlreadyPresent);
         }
 
-        // Similarity: the raw entry sharing the most chunk hashes.
-        let sig = chunk::signature(data);
-        let candidate = self.best_base(&inner, key, &sig);
+        // Similarity: the clusterer's best eligible candidate.
+        let sketch = super_features(data);
+        let candidate = self.best_base(&inner, key, &sketch, data.len());
         let mut outcome = None;
         if let Some(base_key) = candidate {
-            if let Ok(base_data) = self.read_artifact(&inner, base_key) {
+            if let Ok(base_data) = inner.read_artifact(base_key, self.config.decode_budget_factor) {
                 let encoded = delta::encode(&base_data, data);
                 // The decision rule: delta wins iff its frame is strictly
                 // smaller than the raw frame (both share FRAME_HEADER, so
@@ -417,11 +496,13 @@ impl Store {
                     tick,
                 },
             );
-            inner.add_signature(key, sig);
             outcome = Some(PutOutcome::InsertedRaw {
                 stored_bytes: loc.frame_len(),
             });
         }
+        // Raw or delta, the artifact joins the similarity index so it
+        // can serve as a base for what arrives next.
+        inner.clusterer.insert(key, sketch);
         if pin {
             inner.append(&Record::Pin { key })?;
         }
@@ -431,33 +512,45 @@ impl Store {
         Ok(outcome.expect("outcome set above"))
     }
 
-    fn best_base(&self, inner: &Inner, key: u128, sig: &[u64]) -> Option<u128> {
-        // Score = exact multiset intersection with each candidate's
-        // signature: Σ over distinct hashes of min(probe count, base
-        // count). Iterating the probe's *distinct* hashes (not raw
-        // occurrences) and clamping by both sides is what makes repeated
-        // chunks count once per shared copy — a base that is one chunk
-        // repeated 100 times shares at most min(probe, 100) chunks with
-        // the probe, not probe×100.
-        let mut probe_counts: HashMap<u64, u32> = HashMap::with_capacity(sig.len());
-        for &h in sig {
-            *probe_counts.entry(h).or_insert(0) += 1;
+    /// Ranks the clusterer's candidates and returns the best one that
+    /// passes the chain-depth and decode-budget gates.
+    ///
+    /// Rank order: most shared super-features, then cluster
+    /// representatives (the member future variants most resemble), then
+    /// the smaller key — every criterion is a pure function of the live
+    /// member set, so replay reproduces the choice exactly.
+    fn best_base(
+        &self,
+        inner: &Inner,
+        key: u128,
+        sketch: &[u64; SUPER_FEATURES],
+        data_len: usize,
+    ) -> Option<u128> {
+        if self.config.max_chain_depth == 0 {
+            return None;
         }
-        let mut tally: HashMap<u128, usize> = HashMap::new();
-        for (h, &probe_n) in &probe_counts {
-            if let Some(bases) = inner.chunk_index.get(h) {
-                for &(k, base_n) in bases {
-                    if k != key {
-                        *tally.entry(k).or_insert(0) += probe_n.min(base_n) as usize;
-                    }
-                }
-            }
-        }
-        tally
+        let max_depth = u32::from(self.config.max_chain_depth);
+        let budget =
+            u64::from(self.config.decode_budget_factor).saturating_mul(data_len.max(1) as u64);
+        inner
+            .clusterer
+            .candidates(sketch)
             .into_iter()
-            .filter(|(_, n)| *n >= self.config.min_overlap_chunks.max(1))
-            // Deterministic tie-break on the key.
-            .max_by_key(|(k, n)| (*n, *k))
+            .filter(|&(k, _)| k != key)
+            // Depth gate: chaining on this base stays within max_depth.
+            .filter(|&(k, _)| inner.chain_depth(k) < max_depth)
+            // Decode-cost gate: materializing the base's whole chain
+            // plus the new artifact fits the read budget.
+            .filter(|&(k, _)| {
+                inner.chain_total_logical(k).saturating_add(data_len as u64) <= budget
+            })
+            .max_by_key(|&(k, shared)| {
+                (
+                    shared,
+                    inner.clusterer.is_representative(k),
+                    std::cmp::Reverse(k),
+                )
+            })
             .map(|(k, _)| k)
     }
 
@@ -470,7 +563,7 @@ impl Store {
             self.misses.inc();
             return None;
         }
-        match self.read_artifact(&inner, key) {
+        match inner.read_artifact(key, self.config.decode_budget_factor) {
             Ok(data) => {
                 inner.tick += 1;
                 let tick = inner.tick;
@@ -570,7 +663,7 @@ impl Store {
         let mut keys: Vec<u128> = inner.index.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
-            match self.read_artifact(&inner, key) {
+            match inner.read_artifact(key, self.config.decode_budget_factor) {
                 Ok(data) => {
                     let expected = inner.index[&key].logical_len as usize;
                     if data.len() == expected {
@@ -603,12 +696,13 @@ impl Store {
 
     fn gc_locked(&self, inner: &mut Inner) -> std::io::Result<GcOutcome> {
         let before_bytes = inner.log.file_bytes()?;
-        // Bases first so a half-compacted log never holds a delta whose
-        // base only exists in a to-be-deleted segment... it would anyway
-        // (old segments survive until the new ones are fsynced), but the
-        // ordering also keeps the replay post-pass trivially satisfied.
+        // Shallow entries first so a half-compacted log never holds a
+        // delta whose base only exists in a to-be-deleted segment... it
+        // would anyway (old segments survive until the new ones are
+        // fsynced), but the ordering also keeps the replay post-pass
+        // trivially satisfied at any chain depth.
         let mut keys: Vec<u128> = inner.index.keys().copied().collect();
-        keys.sort_unstable_by_key(|k| (inner.index[k].base.is_some(), *k));
+        keys.sort_unstable_by_key(|&k| (inner.chain_depth(k), k));
         let mut records = Vec::with_capacity(keys.len());
         for &key in &keys {
             records.push(inner.log.read(inner.index[&key].loc)?);
@@ -646,6 +740,9 @@ impl Store {
             logical_bytes: logical,
             file_bytes: inner.file_bytes,
             budget: self.config.budget,
+            clusters: inner.clusterer.cluster_count(),
+            sf_table: inner.clusterer.sf_table_len(),
+            chain_depths: inner.chain_depth_histogram(),
             hits: self.hits.get(),
             misses: self.misses.get(),
             evictions: self.evictions.get(),
@@ -655,70 +752,13 @@ impl Store {
         }
     }
 
-    /// Reads the decoded bytes of a live entry (raw directly, delta via
-    /// its base), re-verifying CRCs along the way.
-    fn read_artifact(&self, inner: &Inner, key: u128) -> std::io::Result<Vec<u8>> {
-        let entry = inner
-            .index
-            .get(&key)
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "not live"))?;
-        match inner.log.read(entry.loc)? {
-            Record::PutRaw { key: k, data } if k == key => Ok(data),
-            Record::PutDelta {
-                key: k,
-                base,
-                logical_len,
-                delta,
-            } if k == key => {
-                let base_entry = inner.index.get(&base).ok_or_else(|| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, "delta base not live")
-                })?;
-                let base_data = match inner.log.read(base_entry.loc)? {
-                    Record::PutRaw { data, .. } => data,
-                    _ => {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::InvalidData,
-                            "delta base is not a raw record",
-                        ))
-                    }
-                };
-                let data = delta::decode(&base_data, &delta).map_err(|e| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-                })?;
-                if data.len() != logical_len as usize {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        "decoded length disagrees with record",
-                    ));
-                }
-                Ok(data)
-            }
-            _ => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "frame key changed since indexing",
-            )),
-        }
-    }
-
-    /// Removes `key` and (if it was a delta base) every dependent delta —
+    /// Removes `key` and every delta that (transitively) depends on it —
     /// none of them can decode without it. Tombstones are appended
     /// best-effort so the quarantine survives restart.
     fn quarantine_locked(&self, inner: &mut Inner, key: u128) {
-        let mut doomed = vec![key];
-        if inner.refs.get(&key).copied().unwrap_or(0) > 0 {
-            doomed.extend(
-                inner
-                    .index
-                    .iter()
-                    .filter(|(_, e)| e.base == Some(key))
-                    .map(|(k, _)| *k),
-            );
-        }
-        for k in doomed {
-            if inner.remove_entry(k) {
-                let _ = inner.append(&Record::Evict { key: k });
-                self.quarantined.inc();
-            }
+        for k in inner.remove_transitive(key) {
+            let _ = inner.append(&Record::Evict { key: k });
+            self.quarantined.inc();
         }
     }
 
@@ -766,6 +806,8 @@ impl Store {
 
     /// Re-stores every delta that references `base` as a raw record,
     /// dropping the reference count to zero so `base` becomes evictable.
+    /// Grand-dependents are untouched: a rewritten dependent keeps its
+    /// key and decoded content, so deltas chained on it still resolve.
     fn rewrite_dependents_raw(&self, inner: &mut Inner, base: u128) -> std::io::Result<()> {
         let dependents: Vec<u128> = inner
             .index
@@ -774,12 +816,9 @@ impl Store {
             .map(|(k, _)| *k)
             .collect();
         for key in dependents {
-            let data = self.read_artifact(inner, key)?;
+            let data = inner.read_artifact(key, self.config.decode_budget_factor)?;
             let entry = inner.index.get(&key).expect("dependent is live").clone();
-            let loc = inner.append(&Record::PutRaw {
-                key,
-                data: data.clone(),
-            })?;
+            let loc = inner.append(&Record::PutRaw { key, data })?;
             inner.live_bytes = inner.live_bytes - entry.loc.frame_len() + loc.frame_len();
             inner.delta_stored -= entry.loc.frame_len();
             inner.delta_logical -= u64::from(entry.logical_len);
@@ -789,7 +828,8 @@ impl Store {
             let e = inner.index.get_mut(&key).expect("dependent is live");
             e.loc = loc;
             e.base = None;
-            inner.add_signature(key, chunk::signature(&data));
+            // The clusterer keeps its sketch: decoded content is
+            // unchanged, only the storage form moved.
         }
         inner.refs.remove(&base);
         Ok(())
@@ -808,6 +848,13 @@ impl Store {
     fn publish_gauges(&self, inner: &Inner) {
         self.delta_ratio
             .set(ratio(inner.delta_stored, inner.delta_logical));
+        let max_depth = inner
+            .index
+            .keys()
+            .map(|&k| inner.chain_depth(k))
+            .max()
+            .unwrap_or(0);
+        self.chain_depth_gauge.set(f64::from(max_depth));
         self.live_bytes_gauge.set(inner.live_bytes as f64);
         self.entries_gauge.set(inner.index.len() as f64);
     }
@@ -826,6 +873,141 @@ impl Inner {
         let loc = self.log.append(record)?;
         self.file_bytes += loc.frame_len();
         Ok(loc)
+    }
+
+    /// Reads the decoded bytes of a live entry, re-verifying CRCs along
+    /// the way and resolving delta chains base-ward. Two runaway guards:
+    /// a hard step ceiling ([`MAX_CHAIN_STEPS`]) against cyclic links,
+    /// and the decode-cost budget — the chain may materialize at most
+    /// `budget_factor` × the artifact's declared length, enforced from
+    /// the records actually read, before any oversized buffer exists.
+    fn read_artifact(&self, key: u128, budget_factor: u32) -> std::io::Result<Vec<u8>> {
+        let corrupt = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let entry = self
+            .index
+            .get(&key)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "not live"))?;
+        let budget =
+            u64::from(budget_factor.max(1)).saturating_mul(u64::from(entry.logical_len).max(1));
+
+        // Walk base-ward, collecting each hop's delta, until raw.
+        let mut chain: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut cursor = key;
+        let base_data = loop {
+            if chain.len() as u32 > MAX_CHAIN_STEPS {
+                return Err(corrupt("delta chain too long (corrupt base links)"));
+            }
+            let e = self
+                .index
+                .get(&cursor)
+                .ok_or_else(|| corrupt("delta base not live"))?;
+            match self.log.read(e.loc)? {
+                Record::PutRaw { key: k, data } if k == cursor => break data,
+                Record::PutDelta {
+                    key: k,
+                    base,
+                    logical_len,
+                    delta,
+                } if k == cursor => {
+                    chain.push((logical_len, delta));
+                    cursor = base;
+                }
+                _ => return Err(corrupt("frame key changed since indexing")),
+            }
+        };
+
+        // Apply deltas raw-base-outward, metering decoded bytes.
+        let mut decoded_total = base_data.len() as u64;
+        let mut data = base_data;
+        for (logical_len, delta_bytes) in chain.into_iter().rev() {
+            decoded_total = decoded_total.saturating_add(u64::from(logical_len));
+            if decoded_total > budget {
+                return Err(corrupt("delta chain exceeds decode budget"));
+            }
+            data = delta::decode(&data, &delta_bytes, logical_len as usize)
+                .map_err(|e| corrupt(&e.to_string()))?;
+            if data.len() != logical_len as usize {
+                return Err(corrupt("decoded length disagrees with record"));
+            }
+        }
+        Ok(data)
+    }
+
+    /// Delta hops between `key` and its raw ancestor (0 for raw entries
+    /// and for untracked keys). Walks the live index; cycles are cut at
+    /// [`MAX_CHAIN_STEPS`].
+    fn chain_depth(&self, key: u128) -> u32 {
+        let mut depth = 0u32;
+        let mut cursor = self.index.get(&key);
+        while let Some(entry) = cursor {
+            match entry.base {
+                Some(base) if depth < MAX_CHAIN_STEPS => {
+                    depth += 1;
+                    cursor = self.index.get(&base);
+                }
+                _ => break,
+            }
+        }
+        depth
+    }
+
+    /// Total bytes materialized to decode `key`: its own logical length
+    /// plus every link down to (and including) the raw ancestor.
+    fn chain_total_logical(&self, key: u128) -> u64 {
+        let mut total = 0u64;
+        let mut steps = 0u32;
+        let mut cursor = self.index.get(&key);
+        while let Some(entry) = cursor {
+            total = total.saturating_add(u64::from(entry.logical_len));
+            match entry.base {
+                Some(base) if steps < MAX_CHAIN_STEPS => {
+                    steps += 1;
+                    cursor = self.index.get(&base);
+                }
+                _ => break,
+            }
+        }
+        total
+    }
+
+    /// Live-entry counts per chain depth; `histogram[d]` = entries at
+    /// depth `d`. Empty for an empty store.
+    fn chain_depth_histogram(&self) -> Vec<u64> {
+        let mut histogram = Vec::new();
+        for &key in self.index.keys() {
+            let depth = self.chain_depth(key) as usize;
+            if histogram.len() <= depth {
+                histogram.resize(depth + 1, 0);
+            }
+            histogram[depth] += 1;
+        }
+        histogram
+    }
+
+    /// Removes `key` and every (transitive) dependent delta from the
+    /// in-memory state. Returns the keys actually removed, dependents
+    /// in BFS order after the root.
+    fn remove_transitive(&mut self, key: u128) -> Vec<u128> {
+        let mut doomed = vec![key];
+        let mut at = 0;
+        while at < doomed.len() {
+            let parent = doomed[at];
+            at += 1;
+            let mut dependents: Vec<u128> = self
+                .index
+                .iter()
+                .filter(|(_, e)| e.base == Some(parent))
+                .map(|(k, _)| *k)
+                .collect();
+            dependents.sort_unstable();
+            for d in dependents {
+                if !doomed.contains(&d) {
+                    doomed.push(d);
+                }
+            }
+        }
+        doomed.retain(|&k| self.remove_entry(k));
+        doomed
     }
 
     /// Replays one recovered record into the index (log order).
@@ -850,7 +1032,6 @@ impl Inner {
                         tick,
                     },
                 );
-                self.add_signature(key, chunk::signature(&data));
             }
             Record::PutDelta {
                 key,
@@ -903,45 +1084,21 @@ impl Inner {
             return false;
         };
         self.live_bytes = self.live_bytes.saturating_sub(entry.loc.frame_len());
-        match entry.base {
-            Some(base) => {
-                self.delta_stored = self.delta_stored.saturating_sub(entry.loc.frame_len());
-                self.delta_logical = self
-                    .delta_logical
-                    .saturating_sub(u64::from(entry.logical_len));
-                if let Some(n) = self.refs.get_mut(&base) {
-                    *n = n.saturating_sub(1);
-                    if *n == 0 {
-                        self.refs.remove(&base);
-                    }
+        if let Some(base) = entry.base {
+            self.delta_stored = self.delta_stored.saturating_sub(entry.loc.frame_len());
+            self.delta_logical = self
+                .delta_logical
+                .saturating_sub(u64::from(entry.logical_len));
+            if let Some(n) = self.refs.get_mut(&base) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    self.refs.remove(&base);
                 }
             }
-            None => self.drop_signature(key),
         }
+        // Tolerates untracked keys: during replay the clusterer is
+        // still empty (it is rebuilt from decoded content afterwards).
+        self.clusterer.remove(key);
         true
-    }
-
-    fn add_signature(&mut self, key: u128, sig: Vec<u64>) {
-        let mut counts: HashMap<u64, u32> = HashMap::with_capacity(sig.len());
-        for &h in &sig {
-            *counts.entry(h).or_insert(0) += 1;
-        }
-        for (h, n) in counts {
-            self.chunk_index.entry(h).or_default().push((key, n));
-        }
-        self.signatures.insert(key, sig);
-    }
-
-    fn drop_signature(&mut self, key: u128) {
-        if let Some(sig) = self.signatures.remove(&key) {
-            for h in sig {
-                if let Some(keys) = self.chunk_index.get_mut(&h) {
-                    keys.retain(|&(k, _)| k != key);
-                    if keys.is_empty() {
-                        self.chunk_index.remove(&h);
-                    }
-                }
-            }
-        }
     }
 }

@@ -139,6 +139,75 @@ fn evicting_a_base_rewrites_dependents_raw() {
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
+/// Depth-2 chain fodder (see `tests/dedup.rs`): `f1` splices a 1 KiB
+/// run into a 16 KiB `f0`, `f2` appends a short tail to `f1` — so `f2`
+/// deltas against `f1`, which deltas against `f0`.
+fn chain_trio() -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let mut state = 11u64.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut f0 = Vec::with_capacity(16384);
+    for _ in 0..2048 {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        f0.extend_from_slice(&state.to_le_bytes());
+    }
+    let mut splice = Vec::with_capacity(1024);
+    let mut state = 12u64.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..128 {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        splice.extend_from_slice(&state.to_le_bytes());
+    }
+    let mut f1 = f0.clone();
+    f1.splice(8192..9216, splice);
+    let mut f2 = f1.clone();
+    f2.extend_from_slice(b"short tail edit for the leaf variant");
+    (f0, f1, f2)
+}
+
+/// Budget pressure against a depth-2 chain: evicting the raw root first
+/// rewrites the mid delta raw, evicting the mid then rewrites the leaf —
+/// the pinned leaf survives byte-exact through the whole cascade and
+/// across restart.
+#[test]
+fn evicting_through_a_depth2_chain_rewrites_stepwise() {
+    let dir = fresh_dir("chain2");
+    let (f0, f1, f2) = chain_trio();
+    {
+        let store = Store::open(&dir, StoreConfig::default()).expect("open");
+        store.put(1, &f0).expect("put root");
+        let o1 = store.put(2, &f1).expect("put mid");
+        assert!(matches!(o1, PutOutcome::InsertedDelta { base: 1, .. }));
+        let o2 = store.put(3, &f2).expect("put leaf");
+        assert!(
+            matches!(o2, PutOutcome::InsertedDelta { base: 2, .. }),
+            "expected a depth-2 chain, got {o2:?}"
+        );
+        store.pin(3).expect("pin leaf");
+        store.flush().expect("flush");
+    }
+
+    // Reopen with a budget below even one raw frame: the cascade must
+    // peel root and mid, and the pinned leaf (rewritten raw) is the only
+    // survivor — over budget, because the pin contract wins.
+    let config = StoreConfig::default().with_budget(f2.len() as u64);
+    let store = Store::open(&dir, config).expect("reopen under budget");
+    assert!(!store.contains(1), "root evicted");
+    assert!(!store.contains(2), "mid evicted");
+    assert_eq!(store.get(3), Some(f2.clone()), "pinned leaf survives");
+    let stats = store.stats();
+    assert_eq!(stats.delta_entries, 0, "leaf was rewritten raw");
+    assert_eq!(stats.chain_depths, vec![1]);
+    assert!(stats.evictions >= 2);
+
+    store.flush().expect("flush");
+    drop(store);
+    let store = Store::open(&dir, StoreConfig::default()).expect("final reopen");
+    assert_eq!(store.get(3), Some(f2));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
 /// Pinned entries exceeding the budget are kept (the pin contract wins);
 /// everything unpinned goes.
 #[test]

@@ -160,6 +160,68 @@ fn orphaned_delta_is_quarantined_on_open() {
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
+/// Corrupting the raw root of a depth-2 chain orphans the whole chain:
+/// the mid delta loses its base and the leaf loses its (transitively)
+/// — recovery quarantines all three instead of serving garbage.
+#[test]
+fn orphaned_depth2_chain_is_quarantined_on_open() {
+    let dir = fresh_dir("orphan2");
+    // The depth-2 trio from tests/dedup.rs: splice then tail-append.
+    let mut f0 = Vec::with_capacity(16384);
+    let mut state = 11u64.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..2048 {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        f0.extend_from_slice(&state.to_le_bytes());
+    }
+    let mut splice = Vec::with_capacity(1024);
+    let mut state = 12u64.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..128 {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        splice.extend_from_slice(&state.to_le_bytes());
+    }
+    let mut f1 = f0.clone();
+    f1.splice(8192..9216, splice);
+    let mut f2 = f1.clone();
+    f2.extend_from_slice(b"short tail edit for the leaf variant");
+    {
+        let store = Store::open(&dir, StoreConfig::default()).expect("open");
+        store.put(1, &f0).expect("put root");
+        let o1 = store.put(2, &f1).expect("put mid");
+        assert!(matches!(
+            o1,
+            ppet_store::PutOutcome::InsertedDelta { base: 1, .. }
+        ));
+        let o2 = store.put(3, &f2).expect("put leaf");
+        assert!(
+            matches!(o2, ppet_store::PutOutcome::InsertedDelta { base: 2, .. }),
+            "expected a depth-2 chain, got {o2:?}"
+        );
+        store.flush().expect("flush");
+    }
+    // Corrupt the root's frame on disk.
+    let seg = std::fs::read_dir(&dir)
+        .expect("dir")
+        .map(|e| e.expect("entry").path())
+        .find(|p| p.extension().is_some_and(|e| e == "log"))
+        .expect("segment");
+    let mut bytes = std::fs::read(&seg).expect("read");
+    bytes[16] ^= 0x01; // payload byte of the first (root) frame
+    std::fs::write(&seg, &bytes).expect("write back");
+
+    let store = Store::open(&dir, StoreConfig::default()).expect("reopen");
+    let stats = store.stats();
+    assert_eq!(stats.entries, 0, "root corrupt, whole chain orphaned");
+    assert_eq!(stats.quarantined, 3);
+    for key in [1u128, 2, 3] {
+        assert!(store.get(key).is_none());
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
 /// Pins and unpins survive restart.
 #[test]
 fn pin_state_survives_restart() {

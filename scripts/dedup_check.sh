@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Dedup engine gate, two halves:
+#
+#  1. The 20-variant inverter-chain manifest bench (real compile output
+#     through `merced serve`) must dedup to a delta ratio under 0.1 —
+#     the similarity clusterer has to *find* the near-duplicates and the
+#     varint delta encoder has to make them cheap.
+#  2. The 1000-variant synthetic stress corpus must be deterministic:
+#     `dedup_bench --gate` replays the log and re-runs the identical put
+#     sequence into a mirror directory, failing unless base choice,
+#     cluster assignment and the chain-depth histogram reproduce exactly
+#     (and its own delta ratio also clears 0.1).
+#
+# Run from the repository root. Shared by scripts/ci.sh and the workflow.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p ppet-bench --bin store_bench --bin dedup_bench
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT INT TERM
+
+echo "dedup_check: 20-variant manifest bench"
+target/release/store_bench "$out/store.json" >/dev/null
+ratio="$(sed -n 's/.*"delta_ratio": \([0-9.]*\).*/\1/p' "$out/store.json")"
+deltas="$(sed -n 's/.*"delta_entries": \([0-9]*\).*/\1/p' "$out/store.json")"
+[ -n "$ratio" ] || { echo "dedup_check: no delta_ratio in bench output" >&2; exit 1; }
+if [ "$deltas" -eq 0 ]; then
+    echo "dedup_check: manifest bench produced no delta entries" >&2
+    exit 1
+fi
+# delta_ratio < 0.1, compared without floating-point shell arithmetic.
+if ! awk -v r="$ratio" 'BEGIN { exit !(r < 0.1) }'; then
+    echo "dedup_check: manifest delta_ratio $ratio breaches the 0.1 gate" >&2
+    exit 1
+fi
+echo "dedup_check: manifest delta_ratio $ratio < 0.1 ($deltas deltas) OK"
+
+echo "dedup_check: 1000-variant determinism gate"
+target/release/dedup_bench "$out/dedup.json" --gate >/dev/null
+
+echo "dedup_check: all green"

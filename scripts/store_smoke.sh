@@ -4,8 +4,11 @@
 # kill the server with SIGKILL — no drain, no flush — restart it over the
 # same directory, and require the identical request to come back from
 # disk byte-for-byte modulo wall_ns/jobs (same normalization as
-# scripts/parity.sh). Shared by scripts/ci.sh and the workflow so the two
-# entry points cannot drift.
+# scripts/parity.sh). A second pass pre-seeds a depth-2 delta chain via
+# `merced store import`, serves over that directory, SIGKILLs it, and
+# requires every chained artifact to export byte-identically with the
+# chain-depth histogram intact. Shared by scripts/ci.sh and the workflow
+# so the two entry points cannot drift.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -98,3 +101,107 @@ if ! cmp -s "$out/first.norm" "$out/revived.norm"; then
 fi
 
 echo "store_smoke: compile + SIGKILL + restart answered identically (modulo wall_ns/jobs) OK"
+
+# ---------------------------------------------------------------------
+# Pass 2: a depth-2 delta chain must survive serving and a hard crash.
+# Three near-variant artifacts imported in sequence chain leaf→mid→root
+# (default --delta-depth 2); the chain is then read *through* a server
+# that gets SIGKILLed, and each artifact must still export byte-exact.
+
+python3 - "$out" <<'EOF'
+import sys
+
+out = sys.argv[1]
+state = 11 * 0x9E37_79B9_7F4A_7C15 | 1
+f0 = bytearray()
+for _ in range(2048):
+    state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+    f0 += state.to_bytes(8, "little")
+state = 12 * 0x9E37_79B9_7F4A_7C15 | 1
+splice = bytearray()
+for _ in range(128):
+    state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+    splice += state.to_bytes(8, "little")
+f1 = f0[:8192] + splice + f0[9216:]
+f2 = f1 + b"short tail edit for the leaf variant"
+for name, body in (("f0", f0), ("f1", f1), ("f2", f2)):
+    with open(f"{out}/{name}.bin", "wb") as f:
+        f.write(body)
+EOF
+
+keys=""
+for name in f0 f1 f2; do
+    key="$(target/release/merced store "$out/chain" import "$out/$name.bin")"
+    keys="$keys $key"
+done
+
+stats_before="$(target/release/merced store "$out/chain" stats)"
+echo "$stats_before" | grep -q '3 (0 pinned, 2 delta)' || {
+    echo "store_smoke: expected 2 delta entries after chained imports" >&2
+    echo "$stats_before" >&2
+    exit 1
+}
+echo "$stats_before" | grep -q '2:1' || {
+    echo "store_smoke: expected a depth-2 entry in the chain histogram" >&2
+    echo "$stats_before" >&2
+    exit 1
+}
+
+# Serve over the chained store, do one compile (a fourth artifact lands
+# next to the chain), then crash hard.
+start_chain_server() {
+    : >"$out/stdout"
+    target/release/merced serve --addr 127.0.0.1:0 --store "$out/chain" --quiet >"$out/stdout" &
+    pid=$!
+    addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        addr="$(sed -n 's/^merced serve listening on //p' "$out/stdout")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "store_smoke: chained server did not announce an address" >&2
+        exit 1
+    fi
+}
+
+start_chain_server
+compile_to "$out/chained.json"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+# After the crash: every chained artifact decodes byte-exact, the chain
+# histogram is intact, and the served answer replays identically.
+set -- $keys
+for name in f0 f1 f2; do
+    target/release/merced store "$out/chain" export "$1" >"$out/$name.back"
+    cmp -s "$out/$name.bin" "$out/$name.back" || {
+        echo "store_smoke: $name diverged after SIGKILL over the chain" >&2
+        exit 1
+    }
+    shift
+done
+stats_after="$(target/release/merced store "$out/chain" stats)"
+echo "$stats_after" | grep -q '2:1' || {
+    echo "store_smoke: chain histogram lost after SIGKILL" >&2
+    echo "$stats_after" >&2
+    exit 1
+}
+
+start_chain_server
+compile_to "$out/chained2.json"
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pid=""
+normalize "$out/chained.json" >"$out/chained.norm"
+normalize "$out/chained2.json" >"$out/chained2.norm"
+cmp -s "$out/chained.norm" "$out/chained2.norm" || {
+    echo "store_smoke: post-crash chained answer diverged" >&2
+    diff "$out/chained.norm" "$out/chained2.norm" >&2 || true
+    exit 1
+}
+
+echo "store_smoke: depth-2 chain survived import + serve + SIGKILL byte-exact OK"

@@ -25,9 +25,13 @@
 //!   JSON run manifest (`merced --trace-json`);
 //! * [`audit`] — independent verification: re-derives every paper
 //!   invariant from the netlist and partition alone (`merced audit`);
+//! * [`dedup`] — similarity detection: Gear-hash super-feature sketches
+//!   and the replay-deterministic incremental clusterer the store's
+//!   delta-base selection runs on;
 //! * [`store`] — persistent content-addressed artifact store: append-only
-//!   segment log, similarity-based delta encoding, byte-budget LRU
-//!   eviction with pinning, crash-safe recovery (`merced store`);
+//!   segment log, similarity-clustered delta encoding with bounded-depth
+//!   chains, byte-budget LRU eviction with pinning, crash-safe recovery
+//!   (`merced store`);
 //! * [`serve`] — the long-running compile service: HTTP front end,
 //!   content-addressed result cache, bounded-queue backpressure
 //!   (`merced serve`);
@@ -56,6 +60,7 @@ pub use ppet_audit as audit;
 pub use ppet_cbit as cbit;
 pub use ppet_cluster as cluster;
 pub use ppet_core as core;
+pub use ppet_dedup as dedup;
 pub use ppet_exec as exec;
 pub use ppet_flow as flow;
 pub use ppet_graph as graph;
